@@ -1,0 +1,76 @@
+//! Figures 2–4 companion: narrate the interval-tree insertion cases on the
+//! paper's own worked examples, printing the store contents after each step.
+//!
+//! ```sh
+//! cargo run --release -p stint-bench --bin cases
+//! ```
+
+use stint_ivtree::{Interval, IntervalStore, Treap};
+
+fn show<A: Copy + std::fmt::Debug>(t: &Treap<A>) -> String {
+    t.to_vec()
+        .iter()
+        .map(|iv| format!("[{},{},{:?}]", iv.start, iv.end, iv.who))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    println!("== Write tree (Figure 2): INSERTWRITEINTERVAL cases ==\n");
+    let mut w: Treap<char> = Treap::with_seed(1);
+
+    println!("insert [10,20,a]                       (case A: empty leaf)");
+    w.insert_write(Interval::new(10, 20, 'a'), |_, _, _| {});
+    println!("  tree: {}\n", show(&w));
+
+    println!("insert [30,40,b]                       (case A: no overlap, recurse right)");
+    w.insert_write(Interval::new(30, 40, 'b'), |_, _, _| {});
+    println!("  tree: {}\n", show(&w));
+
+    println!("insert [15,25,c]                       (case B: partial overlap — trim a)");
+    w.insert_write(Interval::new(15, 25, 'c'), |who, lo, hi| {
+        println!("  conflict with {who} on [{lo},{hi})");
+    });
+    println!("  tree: {}\n", show(&w));
+
+    println!("insert [32,35,d]                       (case C: old interval bigger — split b)");
+    w.insert_write(Interval::new(32, 35, 'd'), |who, lo, hi| {
+        println!("  conflict with {who} on [{lo},{hi})");
+    });
+    println!("  tree: {}\n", show(&w));
+
+    println!("insert [5,50,e]                        (case D + REMOVEOVERLAP: e swallows all)");
+    w.insert_write(Interval::new(5, 50, 'e'), |who, lo, hi| {
+        println!("  conflict with {who} on [{lo},{hi})");
+    });
+    println!("  tree: {}\n", show(&w));
+
+    println!("== Read tree (Figure 4 + Section 4 example) ==\n");
+    println!("reads [8,16,a] [24,32,b] [40,52,c] [52,60,d], then [12,56,e]");
+    println!("where e is left-of a and c, but not left-of b and d:\n");
+    let mut r: Treap<char> = Treap::with_seed(2);
+    for (s, e, who) in [(8, 16, 'a'), (24, 32, 'b'), (40, 52, 'c'), (52, 60, 'd')] {
+        r.insert_read(Interval::new(s, e, who), |_| true);
+    }
+    println!("  before: {}", show(&r));
+    r.insert_read(Interval::new(12, 56, 'e'), |old| old == 'a' || old == 'c');
+    println!("  after:  {}", show(&r));
+    println!("  (paper: [8,12,a] [12,24,e] [24,32,b] [32,52,e] [52,60,d])\n");
+
+    println!("== Lemma 4.1's gap-filling example ==\n");
+    println!("reads [1,2,a] [3,4,b] [5,6,c], then [0,7,d] with a,b,c all left-of d:");
+    let mut r: Treap<char> = Treap::with_seed(3);
+    for (s, e, who) in [(1, 2, 'a'), (3, 4, 'b'), (5, 6, 'c')] {
+        r.insert_read(Interval::new(s, e, who), |_| true);
+    }
+    r.insert_read(Interval::new(0, 7, 'd'), |_| false);
+    println!("  after:  {}", show(&r));
+    println!("  (d only fills the gaps — 2m+1 intervals after m inserts, never more)");
+    println!(
+        "  inserts: {}, intervals: {} <= {}",
+        r.insert_ops(),
+        r.len(),
+        2 * r.insert_ops() + 1
+    );
+    r.check_invariants();
+}

@@ -1,0 +1,42 @@
+//! Figure 1: overheads of the vanilla race detector, and the access/interval
+//! counts motivating interval-based access histories.
+//!
+//! Columns: baseline time, reachability-only time, full vanilla detection
+//! (with overheads), then the number of 4-byte word accesses and the number
+//! of runtime-coalesced intervals (reads/writes, in millions).
+
+use stint::Variant;
+use stint_bench::*;
+use stint_suite::NAMES;
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Figure 1 — vanilla detector overheads and access/interval counts (scale={})",
+        scale_name(scale)
+    );
+    let mut t = Table::new(vec![
+        "bench", "base", "reach.", "(oh)", "full", "(oh)", "acc(r)M", "acc(w)M", "int(r)M",
+        "int(w)M",
+    ]);
+    for name in NAMES {
+        let base = baseline(name, scale);
+        let reach = reach_only(name, scale);
+        let full = run_variant(name, scale, Variant::Vanilla);
+        // Interval counts come from the runtime coalescer (comp+rts view).
+        let coal = run_variant(name, scale, Variant::CompRts);
+        t.row(vec![
+            name.to_string(),
+            secs(base),
+            secs(reach),
+            format!("({:.2}x)", overhead(reach, base)),
+            secs(full.wall),
+            format!("({:.2}x)", overhead(full.wall, base)),
+            millions(full.stats.read.words),
+            millions(full.stats.write.words),
+            millions(coal.stats.read.intervals),
+            millions(coal.stats.write.intervals),
+        ]);
+    }
+    t.print();
+}

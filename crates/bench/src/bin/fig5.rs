@@ -1,0 +1,44 @@
+//! Figure 5: execution times and overheads of the four detector variants
+//! (vanilla / compiler / comp+rts / STINT) against the no-detection baseline,
+//! plus the geometric-mean overhead row the paper quotes (78.13× vanilla vs
+//! 18.61× STINT on the paper's machine/inputs).
+
+use stint::Variant;
+use stint_bench::*;
+use stint_suite::NAMES;
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Figure 5 — detector variant times and overheads (scale={})",
+        scale_name(scale)
+    );
+    let mut t = Table::new(vec![
+        "bench", "base", "vanilla", "(oh)", "compiler", "(oh)", "comp+rts", "(oh)", "STINT",
+        "(oh)",
+    ]);
+    let mut ohs: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for name in NAMES {
+        let base = baseline(name, scale);
+        let mut cells = vec![name.to_string(), secs(base)];
+        for (i, v) in Variant::ALL.iter().enumerate() {
+            let o = run_variant(name, scale, *v);
+            let oh = overhead(o.wall, base);
+            ohs[i].push(oh);
+            cells.push(secs(o.wall));
+            cells.push(format!("({oh:.2}x)"));
+        }
+        t.row(cells);
+    }
+    let mut gm = vec!["geomean".to_string(), String::new()];
+    for o in &ohs {
+        gm.push(String::new());
+        gm.push(format!("({:.2}x)", geomean(o)));
+    }
+    t.row(gm);
+    t.print();
+    println!();
+    println!(
+        "paper reference (their machine, paper-scale inputs): vanilla 78.13x, STINT 18.61x geomean"
+    );
+}

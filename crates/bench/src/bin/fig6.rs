@@ -1,0 +1,64 @@
+//! Figure 6: memory-access statistics under the three instrumentation
+//! configurations — vanilla (per-word accesses), compiler coalescing only,
+//! and compile-time + runtime coalescing ("both"). For each: access/interval
+//! counts (millions), average interval size (bytes) and total bytes into the
+//! access history (MB), split by reads/writes.
+
+use stint::Variant;
+use stint_bench::*;
+use stint_suite::NAMES;
+
+fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e6)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Figure 6 — coalescing statistics: vanilla vs compiler vs both (scale={})",
+        scale_name(scale)
+    );
+    let mut t = Table::new(vec![
+        "bench",
+        "acc(r)M",
+        "acc(w)M",
+        "cmp int(r)M",
+        "cmp int(w)M",
+        "both int(r)M",
+        "both int(w)M",
+        "cmp avg(r)",
+        "cmp avg(w)",
+        "both avg(r)",
+        "both avg(w)",
+        "cmp sum(r)MB",
+        "cmp sum(w)MB",
+        "both sum(r)MB",
+        "both sum(w)MB",
+    ]);
+    for name in NAMES {
+        let van = run_variant(name, scale, Variant::Vanilla);
+        let cmp = run_variant(name, scale, Variant::Compiler);
+        let both = run_variant(name, scale, Variant::CompRts);
+        t.row(vec![
+            name.to_string(),
+            millions(van.stats.read.words),
+            millions(van.stats.write.words),
+            millions(cmp.stats.read.intervals),
+            millions(cmp.stats.write.intervals),
+            millions(both.stats.read.intervals),
+            millions(both.stats.write.intervals),
+            format!("{:.1}", cmp.stats.read.avg_interval_bytes()),
+            format!("{:.1}", cmp.stats.write.avg_interval_bytes()),
+            format!("{:.1}", both.stats.read.avg_interval_bytes()),
+            format!("{:.1}", both.stats.write.avg_interval_bytes()),
+            mb(cmp.stats.read.interval_bytes),
+            mb(cmp.stats.write.interval_bytes),
+            mb(both.stats.read.interval_bytes),
+            mb(both.stats.write.interval_bytes),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("cmp = compile-time coalescing only; both = compile-time + runtime.");
+    println!("A drop from cmp sum to both sum indicates runtime deduplication.");
+}

@@ -1,0 +1,561 @@
+//! A small Cilk-style work-stealing runtime.
+//!
+//! The paper's benchmarks are Cilk programs; their *baseline* is ordinary
+//! parallel execution under the Cilk work-stealing scheduler (detection
+//! itself is sequential). This crate provides that substrate: a thread pool
+//! with one Chase–Lev deque per worker (via `crossbeam-deque`), a global
+//! injector for external submissions, and the classic fork-join primitive
+//! [`ThreadPool::join`] — the moral equivalent of `spawn`/`sync` — plus
+//! conveniences built on it ([`ThreadPool::for_each_chunk`]).
+//!
+//! The design follows the textbook rayon/Cilk recipe:
+//!
+//! * `join(a, b)` pushes `b` onto the calling worker's deque as a *stack
+//!   job* (it lives in the caller's frame), runs `a` inline, then pops `b`
+//!   back — executing it inline in the common un-stolen case. If `b` was
+//!   stolen, the caller *helps*: it executes other available work while
+//!   waiting for the thief to finish, so blocked frames never idle a core.
+//! * Idle workers steal: first from the global injector, then from victims
+//!   in round-robin order, backing off exponentially to a short timed sleep
+//!   when the system is quiet.
+//! * Panics inside either closure are captured and propagated to the caller
+//!   of `join`, preserving the serial-elision semantics.
+//!
+//! This runtime exists so the examples can demonstrate that the benchmark
+//! kernels really are parallel programs (and to measure parallel speedup as
+//! a sanity check); the race detectors never use it.
+
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A type-erased pointer to a job plus its execute function.
+#[derive(Clone, Copy)]
+struct JobRef {
+    ptr: *mut (),
+    exec: unsafe fn(*mut ()),
+}
+
+// SAFETY: a JobRef is only created for jobs whose closures are Send, and is
+// executed exactly once on exactly one thread.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    #[inline]
+    unsafe fn execute(self) {
+        (self.exec)(self.ptr)
+    }
+}
+
+/// A job allocated in the frame of the `join` that spawned it.
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F: FnOnce() -> R + Send, R: Send> StackJob<F, R> {
+    fn new(f: F) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            ptr: self as *const Self as *mut (),
+            exec: Self::execute,
+        }
+    }
+
+    unsafe fn execute(ptr: *mut ()) {
+        let this = &*(ptr as *const Self);
+        let f = (*this.f.get()).take().expect("job executed twice");
+        let res = panic::catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(res);
+        this.done.store(true, Ordering::Release);
+    }
+
+    unsafe fn take_result(&self) -> R {
+        debug_assert!(self.done.load(Ordering::Acquire));
+        match (*self.result.get()).take().expect("result missing") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A heap job used for external (non-worker) submissions.
+struct HeapJob<F: FnOnce() + Send> {
+    f: F,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef {
+            ptr: Box::into_raw(self) as *mut (),
+            exec: Self::execute,
+        }
+    }
+
+    unsafe fn execute(ptr: *mut ()) {
+        let this = Box::from_raw(ptr as *mut Self);
+        (this.f)();
+    }
+}
+
+struct Shared {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    shutdown: AtomicBool,
+    /// Count of sleeping workers plus the condvar they sleep on.
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _g = self.lock.lock();
+            self.wake.notify_all();
+        }
+    }
+}
+
+thread_local! {
+    /// (pool shared ptr, worker index) when the current thread is a worker.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+struct WorkerCtx {
+    shared: Arc<Shared>,
+    index: usize,
+    deque: Deque<JobRef>,
+    /// Round-robin steal cursor.
+    next_victim: Cell<usize>,
+}
+
+thread_local! {
+    static CTX: UnsafeCell<Option<WorkerCtx>> = const { UnsafeCell::new(None) };
+}
+
+/// A work-stealing thread pool with Cilk-style fork-join.
+///
+/// ```
+/// use stint_cilkrt::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let (a, b) = pool.join(|| 2 + 2, || "forty-two");
+/// assert_eq!((a, b), (4, "forty-two"));
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let deques: Vec<Deque<JobRef>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for (i, deque) in deques.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cilkrt-worker-{i}"))
+                    .spawn(move || worker_main(shared, i, deque))
+                    .expect("failed to spawn worker"),
+            );
+        }
+        ThreadPool { shared, handles }
+    }
+
+    /// Pool with one worker per available hardware thread.
+    pub fn with_default_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(n)
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `f` inside the pool and return its result. If called from one of
+    /// this pool's workers, runs inline.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        if on_this_pool(&self.shared) {
+            return f();
+        }
+        let job = StackJob::new(f);
+        self.shared.injector.push(job.as_job_ref());
+        self.shared.notify();
+        // Wait without helping: the caller is not a worker.
+        let mut spins = 0u32;
+        while !job.done.load(Ordering::Acquire) {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: done is set, result is present, we are the only consumer.
+        unsafe { job.take_result() }
+    }
+
+    /// Cilk-style fork-join: potentially run `a` and `b` in parallel,
+    /// returning both results. Must be cheap to call recursively.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if on_this_pool(&self.shared) {
+            join_inner(a, b)
+        } else {
+            self.install(move || join_inner(a, b))
+        }
+    }
+
+    /// Fire-and-forget: run `f` on some worker at some point. There is no
+    /// join handle; use [`ThreadPool::join`]/[`ThreadPool::install`] for
+    /// structured parallelism.
+    pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
+        let job = Box::new(HeapJob { f });
+        self.shared.injector.push(job.into_job_ref());
+        self.shared.notify();
+    }
+
+    /// Apply `f` to disjoint chunks of `data` of at most `chunk` elements in
+    /// parallel (recursive binary splitting over `join`). `f` receives the
+    /// chunk and its starting offset.
+    pub fn for_each_chunk<T: Send, F>(&self, data: &mut [T], chunk: usize, f: &F)
+    where
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        self.install(|| for_each_chunk_inner(self, data, chunk, 0, f));
+    }
+}
+
+fn for_each_chunk_inner<T: Send, F>(
+    pool: &ThreadPool,
+    data: &mut [T],
+    chunk: usize,
+    offset: usize,
+    f: &F,
+) where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.len() <= chunk.max(1) {
+        f(offset, data);
+        return;
+    }
+    let mid = data.len() / 2;
+    let (lo, hi) = data.split_at_mut(mid);
+    pool.join(
+        || for_each_chunk_inner(pool, lo, chunk, offset, f),
+        || for_each_chunk_inner(pool, hi, chunk, offset + mid, f),
+    );
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.lock.lock();
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn on_this_pool(shared: &Arc<Shared>) -> bool {
+    WORKER.with(|w| match w.get() {
+        Some((pool_id, _)) => pool_id == Arc::as_ptr(shared) as usize,
+        None => false,
+    })
+}
+
+/// The body of `join` when running on a worker thread.
+fn join_inner<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    CTX.with(|slot| {
+        // SAFETY: only this thread accesses its own ctx; jobs executed below
+        // re-enter CTX.with but only through &WorkerCtx methods on fields
+        // that are individually interior-mutable or externally synchronized.
+        let ctx = unsafe { (*slot.get()).as_ref().expect("join off worker") };
+        let bjob = StackJob::new(b);
+        ctx.deque.push(bjob.as_job_ref());
+        ctx.shared.notify();
+        let ra = a();
+        // Try to take b back; if stolen, help with other work until done.
+        loop {
+            if bjob.done.load(Ordering::Acquire) {
+                break;
+            }
+            match ctx.deque.pop() {
+                Some(job) => {
+                    if job.ptr == &bjob as *const _ as *mut () {
+                        // SAFETY: un-stolen; execute inline exactly once.
+                        unsafe { job.execute() };
+                        break;
+                    } else {
+                        // A deeper frame's job surfaced (b was stolen):
+                        // execute it, it cannot be b.
+                        unsafe { job.execute() };
+                    }
+                }
+                None => {
+                    // b was stolen and is in flight: help elsewhere.
+                    if let Some(job) = steal_work(ctx) {
+                        unsafe { job.execute() };
+                    } else {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let rb = unsafe { bjob.take_result() };
+        (ra, rb)
+    })
+}
+
+fn steal_work(ctx: &WorkerCtx) -> Option<JobRef> {
+    // Injector first (external work), then victims round-robin.
+    loop {
+        match ctx.shared.injector.steal() {
+            crossbeam::deque::Steal::Success(j) => return Some(j),
+            crossbeam::deque::Steal::Empty => break,
+            crossbeam::deque::Steal::Retry => continue,
+        }
+    }
+    let n = ctx.shared.stealers.len();
+    let start = ctx.next_victim.get();
+    for k in 0..n {
+        let v = (start + k) % n;
+        if v == ctx.index {
+            continue;
+        }
+        loop {
+            match ctx.shared.stealers[v].steal() {
+                crossbeam::deque::Steal::Success(j) => {
+                    ctx.next_victim.set(v);
+                    return Some(j);
+                }
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<JobRef>) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, index))));
+    CTX.with(|slot| unsafe {
+        *slot.get() = Some(WorkerCtx {
+            shared: Arc::clone(&shared),
+            index,
+            deque,
+            next_victim: Cell::new(index + 1),
+        });
+    });
+    let mut idle_spins = 0u32;
+    loop {
+        let job = CTX.with(|slot| {
+            let ctx = unsafe { (*slot.get()).as_ref().unwrap() };
+            ctx.deque.pop().or_else(|| steal_work(ctx))
+        });
+        match job {
+            Some(j) => {
+                idle_spins = 0;
+                unsafe { j.execute() };
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::hint::spin_loop();
+                } else if idle_spins < 128 {
+                    std::thread::yield_now();
+                } else {
+                    // Timed sleep: a notify wakes us early; the timeout
+                    // bounds the latency of any missed wakeup.
+                    shared.sleepers.fetch_add(1, Ordering::Relaxed);
+                    let mut g = shared.lock.lock();
+                    shared
+                        .wake
+                        .wait_for(&mut g, std::time::Duration::from_millis(1));
+                    drop(g);
+                    shared.sleepers.fetch_sub(1, Ordering::Relaxed);
+                    idle_spins = 64;
+                }
+            }
+        }
+    }
+    CTX.with(|slot| unsafe { *slot.get() = None });
+    WORKER.with(|w| w.set(None));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn fib(pool: &ThreadPool, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        if n < 12 {
+            return fib_seq(n);
+        }
+        let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+        a + b
+    }
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_seq(n - 1) + fib_seq(n - 2)
+        }
+    }
+
+    #[test]
+    fn join_computes_correct_results() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(fib(&pool, 24), fib_seq(24));
+    }
+
+    #[test]
+    fn install_from_external_thread() {
+        let pool = ThreadPool::new(2);
+        let r = pool.install(|| 21 * 2);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn nested_joins_deeply() {
+        let pool = ThreadPool::new(3);
+        fn sum(pool: &ThreadPool, lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = pool.join(|| sum(pool, lo, mid), || sum(pool, mid, hi));
+            a + b
+        }
+        let n = 100_000;
+        assert_eq!(sum(&pool, 0, n), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn for_each_chunk_touches_every_element_once() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u64; 10_000];
+        pool.for_each_chunk(&mut data, 128, &|offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x += (offset + i) as u64;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn work_actually_distributes() {
+        // With enough coarse tasks, more than one worker should run them.
+        let pool = ThreadPool::new(4);
+        let seen = AtomicU64::new(0);
+        pool.install(|| {
+            fn go(pool: &ThreadPool, depth: u32, seen: &AtomicU64) {
+                WORKER.with(|w| {
+                    let (_, idx) = w.get().unwrap();
+                    seen.fetch_or(1 << idx, Ordering::Relaxed);
+                });
+                if depth == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    return;
+                }
+                pool.join(
+                    || go(pool, depth - 1, seen),
+                    || go(pool, depth - 1, seen),
+                );
+            }
+            go(&pool, 5, &seen);
+        });
+        assert!(
+            seen.load(Ordering::Relaxed).count_ones() >= 2,
+            "work never left one worker"
+        );
+    }
+
+    #[test]
+    fn panics_propagate_to_join_caller() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || -> i32 { panic!("boom") });
+        }));
+        assert!(result.is_err());
+        // Pool survives and stays usable.
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn spawn_detached_runs() {
+        let pool = ThreadPool::new(2);
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        pool.spawn_detached(move || f2.store(true, Ordering::Release));
+        let t0 = std::time::Instant::now();
+        while !flag.load(Ordering::Acquire) {
+            assert!(t0.elapsed().as_secs() < 5, "detached job never ran");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn pool_drop_terminates_workers() {
+        let pool = ThreadPool::new(8);
+        let _ = pool.install(|| 1);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(fib(&pool, 18), fib_seq(18));
+    }
+}

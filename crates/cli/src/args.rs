@@ -1,0 +1,243 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use stint::Variant;
+use stint_suite::Scale;
+
+pub const USAGE: &str = "\
+stint-cli — STINT race detector (SPAA 2021 reproduction)
+
+USAGE:
+  stint-cli detect <bench> [--variant V] [--scale S]
+  stint-cli bugs
+  stint-cli trace record <bench> <file> [--scale S]
+  stint-cli trace info <file>
+  stint-cli trace replay <file> [--variant V]
+  stint-cli grid [n]
+  stint-cli help
+
+  <bench>    chol | fft | heat | mmul | sort | stra | straz
+  --variant  vanilla | compiler | comp+rts | stint (default) | stint-btree
+  --scale    test (default) | s | m | paper
+
+EXIT CODE: 0 = no races, 1 = races found, 2 = usage/IO error.";
+
+#[derive(Debug, PartialEq)]
+pub enum Parsed {
+    Help,
+    Detect {
+        bench: String,
+        variant: Variant,
+        scale: Scale,
+    },
+    Bugs,
+    TraceRecord {
+        bench: String,
+        file: String,
+        scale: Scale,
+    },
+    TraceInfo {
+        file: String,
+    },
+    TraceReplay {
+        file: String,
+        variant: Variant,
+    },
+    Grid {
+        n: usize,
+    },
+}
+
+fn parse_variant(s: &str) -> Result<Variant, String> {
+    match s {
+        "vanilla" => Ok(Variant::Vanilla),
+        "compiler" => Ok(Variant::Compiler),
+        "comp+rts" | "comprts" => Ok(Variant::CompRts),
+        "stint" => Ok(Variant::Stint),
+        "stint-btree" | "btree" => Ok(Variant::StintFlat),
+        _ => Err(format!("unknown variant {s:?}")),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    Scale::parse(s).ok_or_else(|| format!("unknown scale {s:?}"))
+}
+
+/// Pull `--variant`/`--scale` options out of `rest`, leaving positionals.
+fn split_opts(rest: &[String]) -> Result<(Vec<String>, Variant, Scale), String> {
+    let mut pos = Vec::new();
+    let mut variant = Variant::Stint;
+    let mut scale = Scale::Test;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--variant" => {
+                let v = rest.get(i + 1).ok_or("--variant needs a value")?;
+                variant = parse_variant(v)?;
+                i += 2;
+            }
+            "--scale" => {
+                let v = rest.get(i + 1).ok_or("--scale needs a value")?;
+                scale = parse_scale(v)?;
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            _ => {
+                pos.push(rest[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((pos, variant, scale))
+}
+
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let cmd = argv.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Parsed::Help),
+        "detect" => {
+            let (pos, variant, scale) = split_opts(&argv[1..])?;
+            let [bench] = pos.as_slice() else {
+                return Err("detect takes exactly one benchmark name".into());
+            };
+            if !crate::known_bench(bench) {
+                return Err(format!("unknown benchmark {bench:?}"));
+            }
+            Ok(Parsed::Detect {
+                bench: bench.clone(),
+                variant,
+                scale,
+            })
+        }
+        "bugs" => Ok(Parsed::Bugs),
+        "trace" => {
+            let sub = argv.get(1).map(String::as_str).ok_or("trace needs a subcommand")?;
+            match sub {
+                "record" => {
+                    let (pos, _variant, scale) = split_opts(&argv[2..])?;
+                    let [bench, file] = pos.as_slice() else {
+                        return Err("trace record takes <bench> <file>".into());
+                    };
+                    if !crate::known_bench(bench) {
+                        return Err(format!("unknown benchmark {bench:?}"));
+                    }
+                    Ok(Parsed::TraceRecord {
+                        bench: bench.clone(),
+                        file: file.clone(),
+                        scale,
+                    })
+                }
+                "info" => {
+                    let [_, _, file] = argv else {
+                        return Err("trace info takes <file>".into());
+                    };
+                    Ok(Parsed::TraceInfo { file: file.clone() })
+                }
+                "replay" => {
+                    let (pos, variant, _scale) = split_opts(&argv[2..])?;
+                    let [file] = pos.as_slice() else {
+                        return Err("trace replay takes <file>".into());
+                    };
+                    Ok(Parsed::TraceReplay {
+                        file: file.clone(),
+                        variant,
+                    })
+                }
+                _ => Err(format!("unknown trace subcommand {sub:?}")),
+            }
+        }
+        "grid" => {
+            let n = match argv.get(1) {
+                None => 40,
+                Some(x) => x.parse().map_err(|_| format!("bad grid size {x:?}"))?,
+            };
+            if n == 0 || n > 4000 {
+                return Err("grid size must be in 1..=4000".into());
+            }
+            Ok(Parsed::Grid { n })
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_detect_with_options() {
+        let p = parse(&v(&["detect", "sort", "--variant", "comp+rts", "--scale", "s"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Detect {
+                bench: "sort".into(),
+                variant: Variant::CompRts,
+                scale: Scale::S,
+            }
+        );
+    }
+
+    #[test]
+    fn defaults() {
+        let p = parse(&v(&["detect", "fft"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Detect {
+                bench: "fft".into(),
+                variant: Variant::Stint,
+                scale: Scale::Test,
+            }
+        );
+        assert_eq!(parse(&v(&[])).unwrap(), Parsed::Help);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&["detect"])).is_err());
+        assert!(parse(&v(&["detect", "nope"])).is_err());
+        assert!(parse(&v(&["detect", "sort", "--variant", "x"])).is_err());
+        assert!(parse(&v(&["detect", "sort", "--scale"])).is_err());
+        assert!(parse(&v(&["detect", "sort", "--wat"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["trace"])).is_err());
+        assert!(parse(&v(&["trace", "record", "sort"])).is_err());
+        assert!(parse(&v(&["grid", "0"])).is_err());
+        assert!(parse(&v(&["grid", "abc"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_commands() {
+        assert_eq!(
+            parse(&v(&["trace", "record", "mmul", "/tmp/t.trace"])).unwrap(),
+            Parsed::TraceRecord {
+                bench: "mmul".into(),
+                file: "/tmp/t.trace".into(),
+                scale: Scale::Test,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["trace", "info", "/tmp/t.trace"])).unwrap(),
+            Parsed::TraceInfo {
+                file: "/tmp/t.trace".into()
+            }
+        );
+        assert_eq!(
+            parse(&v(&["trace", "replay", "/tmp/t.trace", "--variant", "vanilla"])).unwrap(),
+            Parsed::TraceReplay {
+                file: "/tmp/t.trace".into(),
+                variant: Variant::Vanilla,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_grid() {
+        assert_eq!(parse(&v(&["grid"])).unwrap(), Parsed::Grid { n: 40 });
+        assert_eq!(parse(&v(&["grid", "100"])).unwrap(), Parsed::Grid { n: 100 });
+    }
+}

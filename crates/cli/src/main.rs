@@ -1,0 +1,176 @@
+//! `stint-cli` — command-line front end for the STINT reproduction.
+//!
+//! ```text
+//! stint-cli detect <bench> [--variant V] [--scale S]   race detect a benchmark
+//! stint-cli bugs                                        run the buggy variants
+//! stint-cli trace record <bench> <file> [--scale S]     record a portable trace
+//! stint-cli trace info <file>                           inspect a trace file
+//! stint-cli trace replay <file> [--variant V]           detect from a trace
+//! stint-cli grid [n]                                    wavefront demo (Smith-Waterman)
+//! ```
+//!
+//! Variants: vanilla | compiler | comp+rts | stint | stint-btree.
+//! Scales: test | s | m | paper.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use stint::{
+    detect_with, CompRtsDetector, Config, PortableTrace, RaceReport, StintDetector,
+    StintFlatDetector, VanillaDetector, Variant,
+};
+use stint_suite::{Workload, NAMES};
+
+mod args;
+mod output;
+
+use args::Parsed;
+use output::{print_outcome, print_report};
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is a closed pipe (e.g. `stint-cli bugs | head`):
+    // std's println! panics on EPIPE, which would print a scary backtrace.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+    }));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(parsed) {
+        Ok(races_found) => {
+            if races_found {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Returns whether races were found (drives the exit code, like a linter).
+fn run(p: Parsed) -> Result<bool, String> {
+    match p {
+        Parsed::Help => {
+            println!("{}", args::USAGE);
+            Ok(false)
+        }
+        Parsed::Detect {
+            bench,
+            variant,
+            scale,
+        } => {
+            let mut w = Workload::by_name(&bench, scale);
+            let outcome = detect_with(&mut w, Config::new(variant));
+            w.verify().map_err(|e| format!("output verification: {e}"))?;
+            print_outcome(&bench, &outcome);
+            Ok(!outcome.report.is_race_free())
+        }
+        Parsed::Bugs => {
+            use stint_suite::buggy::*;
+            let mut any = false;
+            println!("Running the seeded-bug variants under STINT:\n");
+            let o = stint::detect(&mut MmulMissingSync::new(16, 4, 7), Variant::Stint);
+            println!("mmul with missing phase sync:");
+            print_report(&o.report, 3);
+            any |= !o.report.is_race_free();
+            let o = stint::detect(&mut HeatMissingBarrier::new(16, 16, 3, 4, 7), Variant::Stint);
+            println!("\nheat with missing timestep barrier:");
+            print_report(&o.report, 3);
+            any |= !o.report.is_race_free();
+            let o = stint::detect(&mut OverlappingMerge::new(64, 4, 7), Variant::Stint);
+            println!("\nmergesort with overlapping output ranges:");
+            print_report(&o.report, 3);
+            any |= !o.report.is_race_free();
+            Ok(any)
+        }
+        Parsed::TraceRecord {
+            bench,
+            file,
+            scale,
+        } => {
+            let mut w = Workload::by_name(&bench, scale);
+            let pt = PortableTrace::record(&mut w);
+            let f = File::create(&file).map_err(|e| format!("create {file}: {e}"))?;
+            pt.save(BufWriter::new(f)).map_err(|e| e.to_string())?;
+            println!(
+                "recorded {} events over {} strands into {file}",
+                pt.trace.len(),
+                pt.reach.strand_count()
+            );
+            Ok(false)
+        }
+        Parsed::TraceInfo { file } => {
+            let pt = load_trace(&file)?;
+            let mut by_op = std::collections::BTreeMap::new();
+            for e in &pt.trace.events {
+                *by_op.entry(format!("{:?}", e.op)).or_insert(0u64) += 1;
+            }
+            println!("trace {file}:");
+            println!("  strands: {}", pt.reach.strand_count());
+            println!("  events:  {}", pt.trace.len());
+            println!("  bytes:   {}", pt.trace.access_bytes());
+            for (op, n) in by_op {
+                println!("  {op:<12} {n}");
+            }
+            Ok(false)
+        }
+        Parsed::TraceReplay { file, variant } => {
+            let pt = load_trace(&file)?;
+            let report = RaceReport::default();
+            let report = match variant {
+                Variant::Vanilla => pt.replay(VanillaDetector::new(false, report)).report,
+                Variant::Compiler => pt.replay(VanillaDetector::new(true, report)).report,
+                Variant::CompRts => pt.replay(CompRtsDetector::new(report)).report,
+                Variant::Stint => pt.replay(StintDetector::new(report)).report,
+                Variant::StintFlat => pt.replay(StintFlatDetector::new_flat(report)).report,
+            };
+            println!("replayed {} events under {}:", pt.trace.len(), variant);
+            print_report(&report, 10);
+            Ok(!report.is_race_free())
+        }
+        Parsed::Grid { n } => {
+            use stint_grid::wavefront::SmithWaterman;
+            let a: Vec<u8> = (0..n).map(|i| b"ACGT"[(i * 7 + 1) % 4]).collect();
+            let b: Vec<u8> = (0..n).map(|i| b"ACGT"[(i * 5 + 2) % 4]).collect();
+            let mut sw = SmithWaterman::new(&a, &b);
+            let report = sw.detect();
+            println!(
+                "Smith-Waterman {0}x{0} wavefront: score {1}, races {2}",
+                n + 1,
+                sw.score(),
+                report.total
+            );
+            Ok(!report.is_race_free())
+        }
+    }
+}
+
+fn load_trace(file: &str) -> Result<PortableTrace, String> {
+    let f = File::open(file).map_err(|e| format!("open {file}: {e}"))?;
+    PortableTrace::load(BufReader::new(f)).map_err(|e| format!("parse {file}: {e}"))
+}
+
+/// Shared with `args.rs` for validation.
+pub(crate) fn known_bench(name: &str) -> bool {
+    NAMES.contains(&name)
+}

@@ -1,0 +1,54 @@
+//! Human-readable rendering of outcomes and reports.
+
+use stint::{Outcome, RaceReport};
+
+pub fn print_outcome(bench: &str, o: &Outcome) {
+    println!("{bench} under {}:", o.variant);
+    println!("  wall time:        {:?}", o.wall);
+    println!(
+        "  strands:          {} ({} spawns, {} syncs)",
+        o.strands, o.counters.spawns, o.counters.effective_syncs
+    );
+    println!(
+        "  word accesses:    {} reads, {} writes",
+        o.stats.read.words, o.stats.write.words
+    );
+    println!(
+        "  intervals:        {} reads, {} writes",
+        o.stats.read.intervals, o.stats.write.intervals
+    );
+    if o.stats.treap.ops > 0 {
+        println!(
+            "  treap:            {} ops, {:.1} nodes/op, {:.2} overlaps/op",
+            o.stats.treap.ops,
+            o.stats.treap.avg_visited(),
+            o.stats.treap.avg_overlaps()
+        );
+    }
+    if o.stats.hash_ops > 0 {
+        println!("  hashmap ops:      {}", o.stats.hash_ops);
+    }
+    if o.stats.ah_time.as_nanos() > 0 {
+        println!("  access-hist time: {:?}", o.stats.ah_time);
+    }
+    print_report(&o.report, 10);
+}
+
+pub fn print_report(report: &RaceReport, max: usize) {
+    if report.is_race_free() {
+        println!("  races:            none — race free \u{2713}");
+        return;
+    }
+    println!(
+        "  races:            {} report(s), {} distinct racy word(s)",
+        report.total,
+        report.racy_words().len()
+    );
+    for race in report.races().iter().take(max) {
+        println!("    {race}");
+    }
+    let shown = report.races().len().min(max);
+    if (report.total as usize) > shown {
+        println!("    ... and {} more", report.total as usize - shown);
+    }
+}

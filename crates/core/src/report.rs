@@ -1,0 +1,164 @@
+//! Race reports.
+
+use std::collections::HashSet;
+use stint_sporder::StrandId;
+
+/// The kind of conflicting pair, named `<previous access>-<current access>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RaceKind {
+    /// Both accesses are writes.
+    WriteWrite,
+    /// A recorded read races with the current write.
+    ReadWrite,
+    /// A recorded write races with the current read.
+    WriteRead,
+}
+
+impl std::fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write-write"),
+            RaceKind::ReadWrite => write!(f, "read-write"),
+            RaceKind::WriteRead => write!(f, "write-read"),
+        }
+    }
+}
+
+/// One detected determinacy race on a range of 4-byte words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Race {
+    pub kind: RaceKind,
+    /// First racy word of the region this report covers.
+    pub word_lo: u64,
+    /// One past the last racy word of the region.
+    pub word_hi: u64,
+    /// The previously recorded strand.
+    pub prev: StrandId,
+    /// The currently executing strand.
+    pub cur: StrandId,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} race on words [{:#x}, {:#x}) (bytes [{:#x}, {:#x})): strand {} vs strand {}",
+            self.kind,
+            self.word_lo,
+            self.word_hi,
+            self.word_lo * 4,
+            self.word_hi * 4,
+            self.prev.0,
+            self.cur.0
+        )
+    }
+}
+
+/// Accumulated race reports.
+///
+/// Detailed [`Race`] records are kept up to a cap (racy programs can produce
+/// enormous numbers of reports); the total count and — when word collection
+/// is enabled — the exact set of racy words are always maintained. The racy
+/// word set is what the differential tests compare across detector variants
+/// (variants may legally attribute the same racy word to different
+/// kinds/pairs; see DESIGN.md §3).
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    races: Vec<Race>,
+    cap: usize,
+    /// Total race reports, including those beyond the cap.
+    pub total: u64,
+    collect_words: bool,
+    racy_words: HashSet<u64>,
+}
+
+impl Default for RaceReport {
+    fn default() -> Self {
+        Self::new(10_000, true)
+    }
+}
+
+impl RaceReport {
+    pub fn new(cap: usize, collect_words: bool) -> Self {
+        RaceReport {
+            races: Vec::new(),
+            cap,
+            total: 0,
+            collect_words,
+            racy_words: HashSet::new(),
+        }
+    }
+
+    /// Record a race covering the word range `[lo, hi)`.
+    pub fn add(&mut self, kind: RaceKind, lo: u64, hi: u64, prev: StrandId, cur: StrandId) {
+        debug_assert!(lo < hi);
+        self.total += 1;
+        if self.races.len() < self.cap {
+            self.races.push(Race {
+                kind,
+                word_lo: lo,
+                word_hi: hi,
+                prev,
+                cur,
+            });
+        }
+        if self.collect_words {
+            for w in lo..hi {
+                self.racy_words.insert(w);
+            }
+        }
+    }
+
+    /// True if no race was detected.
+    pub fn is_race_free(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The recorded reports (capped).
+    pub fn races(&self) -> &[Race] {
+        &self.races
+    }
+
+    /// The exact set of racy words, sorted (empty if collection is off).
+    pub fn racy_words(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.racy_words.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_limits_details_not_totals() {
+        let mut r = RaceReport::new(2, true);
+        for i in 0..5 {
+            r.add(RaceKind::WriteWrite, i, i + 1, StrandId(0), StrandId(1));
+        }
+        assert_eq!(r.races().len(), 2);
+        assert_eq!(r.total, 5);
+        assert_eq!(r.racy_words(), vec![0, 1, 2, 3, 4]);
+        assert!(!r.is_race_free());
+    }
+
+    #[test]
+    fn region_expands_to_words() {
+        let mut r = RaceReport::default();
+        r.add(RaceKind::WriteRead, 10, 14, StrandId(3), StrandId(7));
+        assert_eq!(r.racy_words(), vec![10, 11, 12, 13]);
+        assert_eq!(r.total, 1);
+        let shown = format!("{}", r.races()[0]);
+        assert!(shown.contains("write-read"));
+        assert!(shown.contains("strand 3"));
+    }
+
+    #[test]
+    fn word_collection_can_be_disabled() {
+        let mut r = RaceReport::new(10, false);
+        r.add(RaceKind::WriteWrite, 0, 100, StrandId(0), StrandId(1));
+        assert!(r.racy_words().is_empty());
+        assert_eq!(r.total, 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Detector statistics — the raw numbers behind Figures 1, 6, 7 and 8.
+
+use std::time::Duration;
+use stint_ivtree::OpStats;
+
+/// Per-kind (read/write) access statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sided {
+    /// Top-level instrumentation hook calls delivered to the detector.
+    pub hooks: u64,
+    /// Bytes covered by those hook calls (with multiplicity).
+    pub hook_bytes: u64,
+    /// 4-byte words processed at word granularity (with multiplicity) —
+    /// Figure 1/6's "acc." columns.
+    pub words: u64,
+    /// Intervals that made it into the access history — Figure 1/6's "int."
+    /// columns. For the `compiler` variant this counts top-level calls into
+    /// the access history (each hook is one interval).
+    pub intervals: u64,
+    /// Bytes covered by those intervals — Figure 6's "sum" column.
+    pub interval_bytes: u64,
+}
+
+impl Sided {
+    /// Average interval size in bytes — Figure 6's "avg" column.
+    pub fn avg_interval_bytes(&self) -> f64 {
+        if self.intervals == 0 {
+            0.0
+        } else {
+            self.interval_bytes as f64 / self.intervals as f64
+        }
+    }
+}
+
+/// Statistics collected by a detector run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DetectorStats {
+    pub read: Sided,
+    pub write: Sided,
+    /// Time spent querying/updating the access history only (Figure 7's
+    /// `hashmap`/`treap` columns, Figure 8's `oh` columns). Only the batching
+    /// variants (`comp+rts`, `STINT`) measure this — they do access-history
+    /// work in per-strand bursts that are cheap to time.
+    pub ah_time: Duration,
+    /// Word-granularity shadow operations (Figure 8's `hash ops`).
+    pub hash_ops: u64,
+    /// Interval-store operations and their per-op node/overlap counts
+    /// (Figure 8's `treap ops`, `# nodes`, `# overlaps`).
+    pub treap: OpStats,
+    /// Strands whose accesses were flushed (non-empty strands).
+    pub strands_flushed: u64,
+}
+
+impl DetectorStats {
+    pub fn total_words(&self) -> u64 {
+        self.read.words + self.write.words
+    }
+    pub fn total_intervals(&self) -> u64 {
+        self.read.intervals + self.write.intervals
+    }
+}

@@ -1,0 +1,277 @@
+//! The **STINT** detector variant: compile-time + runtime coalescing with
+//! the *interval-based* access history of Section 4.
+//!
+//! During a strand, hooks set bits in the [`BitShadow`] coalescers exactly as
+//! in `comp+rts`. At strand end the extracted intervals go to two interval
+//! stores (read tree / write tree) instead of being replayed word-by-word:
+//!
+//! 1. every **read** interval is checked (query-only) against the write tree
+//!    — a parallel last writer of any overlapped region is a write-read race
+//!    — and then inserted into the read tree, where the leftmost reader of
+//!    each overlapped region is kept;
+//! 2. every **write** interval is checked (query-only) against the read tree
+//!    (read-write races) and then inserted into the write tree, reporting
+//!    write-write races against every overlapped previous writer.
+//!
+//! Reads are processed before writes so that all queries observe the
+//! pre-strand history (a strand's intervals never conflict with themselves:
+//! same strand ⇒ series).
+//!
+//! The detector is generic over the [`IntervalStore`] implementation: the
+//! paper's treap by default ([`StintDetector`]), or the `BTreeMap` reference
+//! store ([`StintFlatDetector`]) as the "any balanced BST" ablation.
+
+use crate::report::{RaceKind, RaceReport};
+use crate::stats::DetectorStats;
+use std::time::Instant;
+use stint_cilk::{word_range, Detector};
+use stint_ivtree::{FlatStore, Interval, IntervalStore, Treap};
+use stint_shadow::{BitShadow, WordIv};
+use stint_sporder::{Reachability, StrandId};
+
+/// Pseudo-accessor recorded over freed regions: it conflicts with nothing
+/// and is always replaced by real accesses (allocator `free` integration).
+pub const TOMBSTONE: StrandId = StrandId(u32::MAX);
+
+/// STINT with the paper's treap access history.
+pub type StintDetector = IntervalDetector<Treap<StrandId>>;
+/// STINT with the `BTreeMap` reference access history (ablation).
+pub type StintFlatDetector = IntervalDetector<FlatStore<StrandId>>;
+
+/// Interval-based detector, generic over the access-history store.
+pub struct IntervalDetector<S> {
+    reads: BitShadow,
+    writes: BitShadow,
+    read_tree: S,
+    write_tree: S,
+    scratch: Vec<WordIv>,
+    pub report: RaceReport,
+    pub stats: DetectorStats,
+}
+
+impl IntervalDetector<Treap<StrandId>> {
+    pub fn new(report: RaceReport) -> Self {
+        Self::with_stores(
+            Treap::with_seed(0x57A7_157A_7157_0001),
+            Treap::with_seed(0x57A7_157A_7157_0002),
+            report,
+        )
+    }
+}
+
+impl IntervalDetector<FlatStore<StrandId>> {
+    pub fn new_flat(report: RaceReport) -> Self {
+        Self::with_stores(FlatStore::new(), FlatStore::new(), report)
+    }
+}
+
+impl<S: IntervalStore<StrandId>> IntervalDetector<S> {
+    pub fn with_stores(read_tree: S, write_tree: S, report: RaceReport) -> Self {
+        IntervalDetector {
+            reads: BitShadow::new(),
+            writes: BitShadow::new(),
+            read_tree,
+            write_tree,
+            scratch: Vec::new(),
+            report,
+            stats: DetectorStats::default(),
+        }
+    }
+
+    /// Current sizes of the (read, write) interval stores.
+    pub fn tree_sizes(&self) -> (usize, usize) {
+        (self.read_tree.len(), self.write_tree.len())
+    }
+
+    /// Access the read-interval store (tests/benches).
+    pub fn read_tree(&self) -> &S {
+        &self.read_tree
+    }
+    /// Access the write-interval store (tests/benches).
+    pub fn write_tree(&self) -> &S {
+        &self.write_tree
+    }
+}
+
+impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetector<S> {
+    #[inline]
+    fn load(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        let (lo, hi) = word_range(addr, bytes);
+        self.stats.read.hooks += 1;
+        self.stats.read.hook_bytes += bytes as u64;
+        self.stats.read.words += hi - lo;
+        self.reads.set_range(lo, hi);
+    }
+
+    #[inline]
+    fn store(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        let (lo, hi) = word_range(addr, bytes);
+        self.stats.write.hooks += 1;
+        self.stats.write.hook_bytes += bytes as u64;
+        self.stats.write.words += hi - lo;
+        self.writes.set_range(lo, hi);
+    }
+
+    fn free(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
+        // Flush pending accesses (they must be checked before the region's
+        // history is erased), then blanket both trees with a tombstone.
+        self.strand_end(s, reach);
+        let (lo, hi) = word_range(addr, bytes);
+        if lo < hi {
+            self.read_tree
+                .insert_write(Interval::new(lo, hi, TOMBSTONE), |_, _, _| {});
+            self.write_tree
+                .insert_write(Interval::new(lo, hi, TOMBSTONE), |_, _, _| {});
+        }
+    }
+
+    fn strand_end(&mut self, s: StrandId, reach: &R) {
+        if self.reads.is_clear() && self.writes.is_clear() {
+            return;
+        }
+        self.stats.strands_flushed += 1;
+        let t0 = Instant::now();
+        let mut ivs = std::mem::take(&mut self.scratch);
+
+        // --- Read intervals: check against write tree, insert into read tree.
+        ivs.clear();
+        self.reads.extract_and_clear(&mut ivs);
+        for &(lo, hi) in &ivs {
+            self.stats.read.intervals += 1;
+            self.stats.read.interval_bytes += (hi - lo) * 4;
+            let report = &mut self.report;
+            self.write_tree.query_overlaps(lo, hi, |old, olo, ohi| {
+                if old != TOMBSTONE && reach.parallel(old, s) {
+                    report.add(RaceKind::WriteRead, olo, ohi, old, s);
+                }
+            });
+            self.read_tree.insert_read(Interval::new(lo, hi, s), |old| {
+                old == TOMBSTONE || reach.left_of(s, old)
+            });
+        }
+
+        // --- Write intervals: check against read tree, insert into write tree.
+        ivs.clear();
+        self.writes.extract_and_clear(&mut ivs);
+        for &(lo, hi) in &ivs {
+            self.stats.write.intervals += 1;
+            self.stats.write.interval_bytes += (hi - lo) * 4;
+            let report = &mut self.report;
+            self.read_tree.query_overlaps(lo, hi, |old, olo, ohi| {
+                if old != TOMBSTONE && reach.parallel(old, s) {
+                    report.add(RaceKind::ReadWrite, olo, ohi, old, s);
+                }
+            });
+            let report = &mut self.report;
+            self.write_tree
+                .insert_write(Interval::new(lo, hi, s), |old, olo, ohi| {
+                    if old != TOMBSTONE && reach.parallel(old, s) {
+                        report.add(RaceKind::WriteWrite, olo, ohi, old, s);
+                    }
+                });
+        }
+        ivs.clear();
+        self.scratch = ivs;
+        self.stats.ah_time += t0.elapsed();
+    }
+
+    fn finish(&mut self, s: StrandId, reach: &R) {
+        self.strand_end(s, reach);
+        let mut t = self.read_tree.stats();
+        t.merge(&self.write_tree.stats());
+        self.stats.treap = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_cilk::{run_with_detector, Cilk, CilkProgram};
+
+    struct RacyPair;
+    impl CilkProgram for RacyPair {
+        fn run<C: Cilk>(&mut self, ctx: &mut C) {
+            ctx.spawn(|c| c.store(100, 4));
+            ctx.store(100, 4);
+            ctx.sync();
+        }
+    }
+
+    #[test]
+    fn detects_simple_race_treap_and_flat() {
+        let (ex, _) = run_with_detector(&mut RacyPair, StintDetector::new(RaceReport::default()));
+        assert_eq!(ex.det.report.racy_words(), vec![25]);
+        let (ex, _) = run_with_detector(
+            &mut RacyPair,
+            StintFlatDetector::new_flat(RaceReport::default()),
+        );
+        assert_eq!(ex.det.report.racy_words(), vec![25]);
+    }
+
+    struct BigRanges;
+    impl CilkProgram for BigRanges {
+        fn run<C: Cilk>(&mut self, ctx: &mut C) {
+            // Child writes [0,1024) bytes; continuation reads [512, 1536).
+            ctx.spawn(|c| c.store_range(0, 1024));
+            ctx.load_range(512, 1024);
+            ctx.sync();
+        }
+    }
+
+    #[test]
+    fn interval_overlap_race_region() {
+        let (ex, _) = run_with_detector(&mut BigRanges, StintDetector::new(RaceReport::default()));
+        let d = &ex.det;
+        // Overlap is bytes [512,1024) = words [128,256).
+        assert_eq!(d.report.racy_words(), (128..256).collect::<Vec<u64>>());
+        assert_eq!(d.stats.write.intervals, 1);
+        assert_eq!(d.stats.read.intervals, 1);
+    }
+
+    /// Read-before-write inside a strand must still race with an earlier
+    /// parallel writer.
+    struct ReadThenWriteRace;
+    impl CilkProgram for ReadThenWriteRace {
+        fn run<C: Cilk>(&mut self, ctx: &mut C) {
+            ctx.spawn(|c| c.store(64, 4));
+            ctx.load(64, 4);
+            ctx.store(64, 4);
+            ctx.sync();
+        }
+    }
+
+    #[test]
+    fn own_write_does_not_mask_read_race() {
+        let (ex, _) = run_with_detector(
+            &mut ReadThenWriteRace,
+            StintDetector::new(RaceReport::default()),
+        );
+        assert_eq!(ex.det.report.racy_words(), vec![16]);
+    }
+
+    /// Serial reuse of the same region is race-free and keeps tree sizes
+    /// small (intervals replace one another).
+    struct SerialReuse;
+    impl CilkProgram for SerialReuse {
+        fn run<C: Cilk>(&mut self, ctx: &mut C) {
+            for _ in 0..50 {
+                ctx.spawn(|c| {
+                    c.load_range(0, 4096);
+                    c.store_range(0, 4096);
+                });
+                ctx.sync();
+            }
+        }
+    }
+
+    #[test]
+    fn serial_reuse_is_race_free_and_compact() {
+        let (ex, _) =
+            run_with_detector(&mut SerialReuse, StintDetector::new(RaceReport::default()));
+        let d = &ex.det;
+        assert!(d.report.is_race_free());
+        let (r, w) = d.tree_sizes();
+        assert_eq!(r, 1, "read tree holds one replacing interval");
+        assert_eq!(w, 1, "write tree holds one replacing interval");
+    }
+}

@@ -1,0 +1,132 @@
+//! The per-word last-writer/leftmost-reader protocol [Feng & Leiserson],
+//! shared by every variant that keeps word-granularity shadow state
+//! (`vanilla`, `compiler`, `comp+rts`).
+
+use crate::report::{RaceKind, RaceReport};
+use stint_shadow::{WordEntry, NO_STRAND};
+use stint_sporder::{Reachability, StrandId};
+
+/// Process a write by strand `s` to the word `w` with shadow entry `e`.
+#[inline]
+pub fn write_word<R: Reachability>(
+    e: &mut WordEntry,
+    w: u64,
+    s: StrandId,
+    reach: &R,
+    report: &mut RaceReport,
+) {
+    if e.reader != NO_STRAND {
+        let r = StrandId(e.reader);
+        if reach.parallel(r, s) {
+            report.add(RaceKind::ReadWrite, w, w + 1, r, s);
+        }
+    }
+    if e.writer != NO_STRAND {
+        let wr = StrandId(e.writer);
+        if reach.parallel(wr, s) {
+            report.add(RaceKind::WriteWrite, w, w + 1, wr, s);
+        }
+    }
+    // The current strand is always the new last writer (sequential order).
+    e.writer = s.0;
+}
+
+/// Process a read by strand `s` of the word `w` with shadow entry `e`.
+#[inline]
+pub fn read_word<R: Reachability>(
+    e: &mut WordEntry,
+    w: u64,
+    s: StrandId,
+    reach: &R,
+    report: &mut RaceReport,
+) {
+    if e.writer != NO_STRAND {
+        let wr = StrandId(e.writer);
+        if reach.parallel(wr, s) {
+            report.add(RaceKind::WriteRead, w, w + 1, wr, s);
+        }
+    }
+    // Keep whichever reader is leftmost. Under sequential execution the new
+    // reader is left of the stored one exactly when they are in series.
+    if e.reader == NO_STRAND || reach.left_of(s, StrandId(e.reader)) {
+        e.reader = s.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_sporder::SpOrder;
+
+    /// Build a tiny SP structure: root spawns child (parallel with
+    /// continuation), then syncs.
+    fn fixture() -> (SpOrder, StrandId, StrandId, StrandId, StrandId) {
+        let (mut sp, root) = SpOrder::new();
+        let j = sp.new_sync_strand(root);
+        let s = sp.spawn(root);
+        (sp, root, s.child, s.continuation, j)
+    }
+
+    #[test]
+    fn parallel_write_write_races() {
+        let (sp, _root, child, cont, _j) = fixture();
+        let mut e = WordEntry::EMPTY;
+        let mut rep = RaceReport::default();
+        write_word(&mut e, 5, child, &sp, &mut rep);
+        assert!(rep.is_race_free());
+        write_word(&mut e, 5, cont, &sp, &mut rep);
+        assert_eq!(rep.total, 1);
+        assert_eq!(rep.races()[0].kind, RaceKind::WriteWrite);
+        assert_eq!(e.writer, cont.0, "new write becomes last writer");
+    }
+
+    #[test]
+    fn series_accesses_do_not_race() {
+        let (sp, root, child, _cont, j) = fixture();
+        let mut e = WordEntry::EMPTY;
+        let mut rep = RaceReport::default();
+        write_word(&mut e, 5, root, &sp, &mut rep);
+        write_word(&mut e, 5, child, &sp, &mut rep); // root ≺ child
+        read_word(&mut e, 5, j, &sp, &mut rep); // child ≺ j
+        assert!(rep.is_race_free());
+        assert_eq!(e.reader, j.0);
+    }
+
+    #[test]
+    fn parallel_read_then_write_races() {
+        let (sp, _root, child, cont, _j) = fixture();
+        let mut e = WordEntry::EMPTY;
+        let mut rep = RaceReport::default();
+        read_word(&mut e, 9, child, &sp, &mut rep);
+        write_word(&mut e, 9, cont, &sp, &mut rep);
+        assert_eq!(rep.total, 1);
+        assert_eq!(rep.races()[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn parallel_write_then_read_races() {
+        let (sp, _root, child, cont, _j) = fixture();
+        let mut e = WordEntry::EMPTY;
+        let mut rep = RaceReport::default();
+        write_word(&mut e, 9, child, &sp, &mut rep);
+        read_word(&mut e, 9, cont, &sp, &mut rep);
+        assert_eq!(rep.total, 1);
+        assert_eq!(rep.races()[0].kind, RaceKind::WriteRead);
+    }
+
+    #[test]
+    fn parallel_reads_do_not_race_and_leftmost_is_kept() {
+        let (sp, _root, child, cont, j) = fixture();
+        let mut e = WordEntry::EMPTY;
+        let mut rep = RaceReport::default();
+        read_word(&mut e, 1, child, &sp, &mut rep);
+        read_word(&mut e, 1, cont, &sp, &mut rep);
+        assert!(rep.is_race_free());
+        // child executed first and is parallel with cont ⇒ child is leftmost.
+        assert_eq!(e.reader, child.0);
+        // A series successor replaces the leftmost reader.
+        read_word(&mut e, 1, j, &sp, &mut rep);
+        assert_eq!(e.reader, j.0);
+        assert!(rep.is_race_free());
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end differential test of the whole detection pipeline.
+//!
+//! Random fork-join programs (dense address spaces ⇒ plenty of real races)
+//! are executed under all five detector variants; each must report exactly
+//! the set of racy words computed by the brute-force all-pairs oracle in
+//! `stint-spdag`. This exercises, in one sweep: the executor's strand
+//! management, SP-Order maintenance, the per-word protocol, the bit-shadow
+//! coalescer and both interval stores.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stint::{detect, Cilk, CilkProgram, Variant};
+use stint_spdag::{random_func, simulate, Func, GenCfg, Stmt};
+
+/// Interpret a `stint-spdag` AST program against the production `Cilk` trait.
+struct AstProgram<'a>(&'a Func);
+
+fn walk<C: Cilk>(f: &Func, ctx: &mut C) {
+    for stmt in &f.0 {
+        match stmt {
+            Stmt::Compute(accs) => {
+                for a in accs {
+                    let addr = (a.word * 4) as usize;
+                    let bytes = (a.len * 4) as usize;
+                    match (a.write, a.coalesced) {
+                        (true, true) => ctx.store_range(addr, bytes),
+                        (true, false) => ctx.store(addr, bytes),
+                        (false, true) => ctx.load_range(addr, bytes),
+                        (false, false) => ctx.load(addr, bytes),
+                    }
+                }
+            }
+            Stmt::Spawn(g) => ctx.spawn(|c| walk(g, c)),
+            Stmt::Sync => ctx.sync(),
+            Stmt::Call(g) => ctx.call(|c| walk(g, c)),
+        }
+    }
+}
+
+impl CilkProgram for AstProgram<'_> {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        walk(self.0, ctx);
+    }
+}
+
+const VARIANTS: [Variant; 5] = [
+    Variant::Vanilla,
+    Variant::Compiler,
+    Variant::CompRts,
+    Variant::Stint,
+    Variant::StintFlat,
+];
+
+fn check_program(f: &Func) {
+    let expected = simulate(f).racy_words();
+    for v in VARIANTS {
+        let got = detect(&mut AstProgram(f), v).report.racy_words();
+        assert_eq!(
+            got, expected,
+            "{v} disagrees with the all-pairs oracle on program {f:?}"
+        );
+    }
+}
+
+fn sweep(seed: u64, rounds: usize, cfg: &GenCfg) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut racy = 0usize;
+    for _ in 0..rounds {
+        let f = random_func(&mut rng, cfg);
+        let sim = simulate(&f);
+        if sim.strand_count() > 300 {
+            continue;
+        }
+        if !sim.racy_words().is_empty() {
+            racy += 1;
+        }
+        check_program(&f);
+    }
+    assert!(
+        racy > rounds / 10,
+        "generator produced too few racy programs ({racy}/{rounds}) — test is too weak"
+    );
+}
+
+#[test]
+fn dense_random_programs_match_oracle() {
+    sweep(
+        0xD15EA5E,
+        200,
+        &GenCfg {
+            word_space: 48,
+            max_len: 12,
+            ..GenCfg::default()
+        },
+    );
+}
+
+#[test]
+fn wide_random_programs_match_oracle() {
+    sweep(
+        0xFACADE,
+        150,
+        &GenCfg {
+            max_depth: 2,
+            max_stmts: 10,
+            p_spawn: 0.45,
+            p_sync: 0.2,
+            word_space: 32,
+            max_len: 16,
+            ..GenCfg::default()
+        },
+    );
+}
+
+#[test]
+fn deep_random_programs_match_oracle() {
+    sweep(
+        0xBADC0DE,
+        150,
+        &GenCfg {
+            max_depth: 7,
+            max_stmts: 4,
+            p_spawn: 0.5,
+            p_sync: 0.25,
+            word_space: 64,
+            max_len: 24,
+            ..GenCfg::default()
+        },
+    );
+}
+
+#[test]
+fn mostly_reads_programs_match_oracle() {
+    sweep(
+        0x5EEDED,
+        150,
+        &GenCfg {
+            p_write: 0.12,
+            word_space: 40,
+            max_len: 20,
+            ..GenCfg::default()
+        },
+    );
+}
+
+#[test]
+fn mostly_writes_programs_match_oracle() {
+    sweep(
+        0x33C0DE,
+        150,
+        &GenCfg {
+            p_write: 0.9,
+            word_space: 40,
+            max_len: 20,
+            ..GenCfg::default()
+        },
+    );
+}

@@ -1,0 +1,107 @@
+//! Allocator integration: freeing a region must clear its access history in
+//! every detector variant, so that heap reuse across logically parallel
+//! strands does not produce false races — while races on genuinely live
+//! memory are still caught.
+
+use stint::{detect, Cilk, CilkProgram, Variant};
+
+const VARIANTS: [Variant; 5] = [
+    Variant::Vanilla,
+    Variant::Compiler,
+    Variant::CompRts,
+    Variant::Stint,
+    Variant::StintFlat,
+];
+
+/// Child writes a "heap block" and frees it; the parallel continuation
+/// reuses the same addresses. Without `free` this is a false race.
+struct ReuseAfterFree {
+    do_free: bool,
+}
+impl CilkProgram for ReuseAfterFree {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let do_free = self.do_free;
+        ctx.spawn(move |c| {
+            c.store_range(0x1000, 256);
+            c.load_range(0x1000, 256);
+            if do_free {
+                c.free(0x1000, 256);
+            }
+        });
+        // "Allocator returns the same block" to the parallel continuation.
+        ctx.store_range(0x1000, 256);
+        ctx.sync();
+    }
+}
+
+#[test]
+fn freed_region_does_not_race() {
+    for v in VARIANTS {
+        let o = detect(&mut ReuseAfterFree { do_free: true }, v);
+        assert!(
+            o.report.is_race_free(),
+            "{v}: false race on reused freed memory"
+        );
+    }
+}
+
+#[test]
+fn same_program_without_free_does_race() {
+    for v in VARIANTS {
+        let o = detect(&mut ReuseAfterFree { do_free: false }, v);
+        assert!(!o.report.is_race_free(), "{v}: real race missed");
+    }
+}
+
+/// The strand's *own* accesses before the free must still be checked: the
+/// child read the region while a parallel sibling wrote it; the later free
+/// must not suppress that report.
+struct FreeAfterRace;
+impl CilkProgram for FreeAfterRace {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        ctx.spawn(|c| c.store_range(0x2000, 64));
+        ctx.spawn(|c| {
+            c.load_range(0x2000, 64);
+            c.free(0x2000, 64);
+        });
+        ctx.sync();
+    }
+}
+
+#[test]
+fn free_does_not_suppress_prior_race() {
+    for v in VARIANTS {
+        let o = detect(&mut FreeAfterRace, v);
+        assert!(!o.report.is_race_free(), "{v}: race suppressed by free");
+        assert_eq!(
+            o.report.racy_words(),
+            (0x800..0x810).collect::<Vec<u64>>(),
+            "{v}"
+        );
+    }
+}
+
+/// After a free, fresh accesses to the recycled region behave like accesses
+/// to untouched memory (serial reuse then a genuine new race still reported).
+struct FreshLifecycle;
+impl CilkProgram for FreshLifecycle {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        // Generation 1: clean parallel use of disjoint halves, then free.
+        ctx.spawn(|c| c.store_range(0x3000, 128));
+        ctx.store_range(0x3080, 128);
+        ctx.sync();
+        ctx.free(0x3000, 256);
+        // Generation 2: a real race in the recycled block.
+        ctx.spawn(|c| c.store_range(0x3000, 8));
+        ctx.load_range(0x3004, 8);
+        ctx.sync();
+    }
+}
+
+#[test]
+fn recycled_region_detects_new_races_only() {
+    for v in VARIANTS {
+        let o = detect(&mut FreshLifecycle, v);
+        assert_eq!(o.report.racy_words(), vec![0xC01], "{v}");
+    }
+}

@@ -1,0 +1,833 @@
+//! The treap of disjoint intervals (paper Section 4, Figures 2–4).
+//!
+//! Nodes live in an arena indexed by `u32` and carry a random priority; the
+//! tree is a BST on interval start and a max-heap on priority. All paper
+//! operations are implemented recursively; rebalancing happens on the unwind
+//! (a fresh leaf is rotated up while its priority beats its parent's; a node
+//! whose children changed in the split cases is sifted down). Removals splice
+//! nodes out along one spine, which cannot violate the heap order.
+//!
+//! When an existing node is trimmed or has its payload replaced in place
+//! (write case D, the "middle piece" of the split cases), it keeps its old
+//! priority: priorities are i.i.d. uniform, so the tree's shape distribution
+//! is preserved.
+
+use crate::{Interval, IntervalStore, OpStats};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<A> {
+    start: u64,
+    end: u64,
+    who: A,
+    prio: u64,
+    left: u32,
+    right: u32,
+}
+
+/// Treap-based interval store. See the crate docs for the semantics.
+///
+/// ```
+/// use stint_ivtree::{Treap, Interval, IntervalStore};
+///
+/// let mut history: Treap<&str> = Treap::new();
+/// history.insert_write(Interval::new(0, 30, "alice"), |_, _, _| {});
+/// // Bob overwrites the middle: alice is reported as the previous writer.
+/// let mut conflicts = vec![];
+/// history.insert_write(Interval::new(10, 20, "bob"), |who, lo, hi| {
+///     conflicts.push((who, lo, hi));
+/// });
+/// assert_eq!(conflicts, [("alice", 10, 20)]);
+/// // Alice's interval was split around Bob's.
+/// assert_eq!(history.len(), 3);
+/// ```
+pub struct Treap<A> {
+    nodes: Vec<Node<A>>,
+    free: Vec<u32>,
+    root: u32,
+    rng: u64,
+    len: usize,
+    stats: OpStats,
+    /// Total top-level insert operations (for the Lemma 4.1 bound check).
+    inserts: u64,
+}
+
+impl<A: Copy> Default for Treap<A> {
+    fn default() -> Self {
+        Self::with_seed(0x5EED_1234_5678_9ABC)
+    }
+}
+
+impl<A: Copy> Treap<A> {
+    /// Create an empty treap whose priorities are drawn from a splitmix64
+    /// stream seeded with `seed` (deterministic for reproducible runs).
+    pub fn with_seed(seed: u64) -> Self {
+        Treap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+            len: 0,
+            stats: OpStats::default(),
+            inserts: 0,
+        }
+    }
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total insert operations performed (Lemma 4.1: `len() <= 2*inserts+1`).
+    pub fn insert_ops(&self) -> u64 {
+        self.inserts
+    }
+
+    #[inline]
+    fn next_prio(&mut self) -> u64 {
+        // splitmix64
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn alloc(&mut self, iv: Interval<A>, prio: u64) -> u32 {
+        self.len += 1;
+        let node = Node {
+            start: iv.start,
+            end: iv.end,
+            who: iv.who,
+            prio,
+            left: NIL,
+            right: NIL,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            let i = self.nodes.len() as u32;
+            assert!(i != NIL, "treap capacity exceeded");
+            self.nodes.push(node);
+            i
+        }
+    }
+
+    #[inline]
+    fn dealloc(&mut self, t: u32) {
+        self.len -= 1;
+        self.free.push(t);
+    }
+
+    #[inline]
+    fn n(&self, t: u32) -> &Node<A> {
+        &self.nodes[t as usize]
+    }
+    #[inline]
+    fn nm(&mut self, t: u32) -> &mut Node<A> {
+        &mut self.nodes[t as usize]
+    }
+
+    /// Right rotation: left child comes up. Returns the new subtree root.
+    #[inline]
+    fn rotate_right(&mut self, t: u32) -> u32 {
+        let l = self.n(t).left;
+        self.nm(t).left = self.n(l).right;
+        self.nm(l).right = t;
+        l
+    }
+
+    /// Left rotation: right child comes up. Returns the new subtree root.
+    #[inline]
+    fn rotate_left(&mut self, t: u32) -> u32 {
+        let r = self.n(t).right;
+        self.nm(t).right = self.n(r).left;
+        self.nm(r).left = t;
+        r
+    }
+
+    /// Restore the heap order after `t`'s left child subtree was rebuilt by a
+    /// recursive insert. The child subtree is internally heap-consistent but
+    /// its nodes may outrank `t`; rotating the child up leaves `t` with a new
+    /// left child that may outrank it in turn, so the fix recurses down the
+    /// spine (a sift).
+    fn fix_left(&mut self, t: u32) -> u32 {
+        let l = self.n(t).left;
+        if l != NIL && self.n(l).prio > self.n(t).prio {
+            let top = self.rotate_right(t);
+            let fixed = self.fix_left(t);
+            self.nm(top).right = fixed;
+            top
+        } else {
+            t
+        }
+    }
+
+    /// Mirror image of [`Self::fix_left`].
+    fn fix_right(&mut self, t: u32) -> u32 {
+        let r = self.n(t).right;
+        if r != NIL && self.n(r).prio > self.n(t).prio {
+            let top = self.rotate_left(t);
+            let fixed = self.fix_right(t);
+            self.nm(top).left = fixed;
+            top
+        } else {
+            t
+        }
+    }
+
+    /// Plain treap insertion of an interval known not to overlap anything in
+    /// this subtree (used for the split pieces of case C).
+    fn insert_disjoint(&mut self, t: u32, iv: Interval<A>, prio: u64) -> u32 {
+        if t == NIL {
+            return self.alloc(iv, prio);
+        }
+        self.stats.visited += 1;
+        debug_assert!(iv.end <= self.n(t).start || iv.start >= self.n(t).end);
+        if iv.start < self.n(t).start {
+            let nl = self.insert_disjoint(self.n(t).left, iv, prio);
+            self.nm(t).left = nl;
+            self.fix_left(t)
+        } else {
+            let nr = self.insert_disjoint(self.n(t).right, iv, prio);
+            self.nm(t).right = nr;
+            self.fix_right(t)
+        }
+    }
+
+    /// Report every interval in the subtree as fully overlapped and free the
+    /// whole subtree (used when REMOVEOVERLAP discards a subtree wholesale).
+    fn report_and_free_all(&mut self, t: u32, cb: &mut impl FnMut(A, u64, u64)) {
+        if t == NIL {
+            return;
+        }
+        self.stats.visited += 1;
+        self.stats.overlaps += 1;
+        let (l, r) = (self.n(t).left, self.n(t).right);
+        let (s, e, who) = {
+            let n = self.n(t);
+            (n.start, n.end, n.who)
+        };
+        cb(who, s, e);
+        self.report_and_free_all(l, cb);
+        self.report_and_free_all(r, cb);
+        self.dealloc(t);
+    }
+
+    /// REMOVEOVERLAPLEFT (paper Figure 3): called on the left subtree of a
+    /// node that `x` replaced; the invariant is that `x` sits at an ancestor
+    /// to the right and extends at least as far right as anything here
+    /// (`x.end >= z.end` for all subtree nodes `z`).
+    fn remove_overlap_left(&mut self, t: u32, x_start: u64, cb: &mut impl FnMut(A, u64, u64)) -> u32 {
+        if t == NIL {
+            return NIL;
+        }
+        self.stats.visited += 1;
+        let (zs, ze) = (self.n(t).start, self.n(t).end);
+        if ze <= x_start {
+            // Case A: no overlap; only the right subtree can overlap.
+            let nr = self.remove_overlap_left(self.n(t).right, x_start, cb);
+            self.nm(t).right = nr;
+            t
+        } else if zs < x_start {
+            // Case B: partial overlap; trim z, and the entire right subtree
+            // overlaps x and is removed.
+            self.stats.overlaps += 1;
+            let who = self.n(t).who;
+            cb(who, x_start, ze);
+            self.nm(t).end = x_start;
+            let r = self.n(t).right;
+            self.report_and_free_all(r, cb);
+            self.nm(t).right = NIL;
+            t
+        } else {
+            // Case C: x fully covers z; remove z and its right subtree,
+            // splice in the left subtree and keep looking there.
+            self.stats.overlaps += 1;
+            let who = self.n(t).who;
+            cb(who, zs, ze);
+            let (l, r) = (self.n(t).left, self.n(t).right);
+            self.report_and_free_all(r, cb);
+            self.dealloc(t);
+            self.remove_overlap_left(l, x_start, cb)
+        }
+    }
+
+    /// Mirror image of [`Self::remove_overlap_left`] for the right subtree:
+    /// `x` sits at an ancestor to the left and `x.start <= z.start` holds for
+    /// all subtree nodes `z`.
+    fn remove_overlap_right(&mut self, t: u32, x_end: u64, cb: &mut impl FnMut(A, u64, u64)) -> u32 {
+        if t == NIL {
+            return NIL;
+        }
+        self.stats.visited += 1;
+        let (zs, ze) = (self.n(t).start, self.n(t).end);
+        if zs >= x_end {
+            let nl = self.remove_overlap_right(self.n(t).left, x_end, cb);
+            self.nm(t).left = nl;
+            t
+        } else if ze > x_end {
+            self.stats.overlaps += 1;
+            let who = self.n(t).who;
+            cb(who, zs, x_end);
+            self.nm(t).start = x_end;
+            let l = self.n(t).left;
+            self.report_and_free_all(l, cb);
+            self.nm(t).left = NIL;
+            t
+        } else {
+            self.stats.overlaps += 1;
+            let who = self.n(t).who;
+            cb(who, zs, ze);
+            let (l, r) = (self.n(t).left, self.n(t).right);
+            self.report_and_free_all(l, cb);
+            self.dealloc(t);
+            self.remove_overlap_right(r, x_end, cb)
+        }
+    }
+
+    /// INSERTWRITEINTERVAL (paper Figure 2).
+    fn iw(&mut self, t: u32, x: Interval<A>, cb: &mut impl FnMut(A, u64, u64)) -> u32 {
+        if t == NIL {
+            let p = self.next_prio();
+            return self.alloc(x, p);
+        }
+        self.stats.visited += 1;
+        let (ys, ye) = (self.n(t).start, self.n(t).end);
+        if x.end <= ys {
+            // Case A: no overlap, x entirely to the left.
+            let nl = self.iw(self.n(t).left, x, cb);
+            self.nm(t).left = nl;
+            return self.fix_left(t);
+        }
+        if x.start >= ye {
+            // Case A: no overlap, x entirely to the right.
+            let nr = self.iw(self.n(t).right, x, cb);
+            self.nm(t).right = nr;
+            return self.fix_right(t);
+        }
+        // Overlap: report the conflicting region with the old accessor.
+        self.stats.overlaps += 1;
+        let y_who = self.n(t).who;
+        cb(y_who, x.start.max(ys), x.end.min(ye));
+        if x.start <= ys && ye <= x.end {
+            // Case D: x fully covers y. Replace y's payload in place (keeping
+            // its priority) and flush remaining overlaps out of both subtrees.
+            {
+                let node = self.nm(t);
+                node.start = x.start;
+                node.end = x.end;
+                node.who = x.who;
+            }
+            let nl = self.remove_overlap_left(self.n(t).left, x.start, cb);
+            self.nm(t).left = nl;
+            let nr = self.remove_overlap_right(self.n(t).right, x.end, cb);
+            self.nm(t).right = nr;
+            t
+        } else if ys <= x.start && x.end <= ye {
+            // Case C: y fully covers x (strictly on at least one side).
+            // Keep the middle (= x) here; the side remnants of y are
+            // re-inserted from this subtree's root, where they cannot overlap
+            // anything (each is a classic single-node treap insert).
+            {
+                let node = self.nm(t);
+                node.start = x.start;
+                node.end = x.end;
+                node.who = x.who;
+            }
+            let mut t = t;
+            if ys < x.start {
+                let p = self.next_prio();
+                t = self.insert_disjoint(t, Interval::new(ys, x.start, y_who), p);
+            }
+            if x.end < ye {
+                let p = self.next_prio();
+                t = self.insert_disjoint(t, Interval::new(x.end, ye, y_who), p);
+            }
+            t
+        } else if x.start > ys {
+            // Case B: partial overlap, x to the right: trim y and recurse.
+            self.nm(t).end = x.start;
+            let nr = self.iw(self.n(t).right, x, cb);
+            self.nm(t).right = nr;
+            self.fix_right(t)
+        } else {
+            // Case B mirrored: partial overlap, x to the left.
+            self.nm(t).start = x.end;
+            let nl = self.iw(self.n(t).left, x, cb);
+            self.nm(t).left = nl;
+            self.fix_left(t)
+        }
+    }
+
+    /// INSERTREADINTERVAL (paper §4.2, Figure 4). `keep_new(old)` is true
+    /// when the new reader is left of the stored reader `old`.
+    fn ir(&mut self, t: u32, x: Interval<A>, keep_new: &mut impl FnMut(A) -> bool) -> u32 {
+        if t == NIL {
+            let p = self.next_prio();
+            return self.alloc(x, p);
+        }
+        self.stats.visited += 1;
+        let (ys, ye) = (self.n(t).start, self.n(t).end);
+        if x.end <= ys {
+            let nl = self.ir(self.n(t).left, x, keep_new);
+            self.nm(t).left = nl;
+            return self.fix_left(t);
+        }
+        if x.start >= ye {
+            let nr = self.ir(self.n(t).right, x, keep_new);
+            self.nm(t).right = nr;
+            return self.fix_right(t);
+        }
+        self.stats.overlaps += 1;
+        let y_who = self.n(t).who;
+        if x.start <= ys && ye <= x.end {
+            // Case D: x fully covers y. The middle piece keeps y's bounds and
+            // gets whichever accessor is leftmost; the flanks of x are
+            // re-inserted from this subtree's root (they may split further —
+            // Lemma 4.1's amortization covers this).
+            if keep_new(y_who) {
+                self.nm(t).who = x.who;
+            }
+            let mut t = t;
+            if x.start < ys {
+                t = self.ir(t, Interval::new(x.start, ys, x.who), keep_new);
+            }
+            if ye < x.end {
+                t = self.ir(t, Interval::new(ye, x.end, x.who), keep_new);
+            }
+            t
+        } else if ys <= x.start && x.end <= ye {
+            // Case C: y fully covers x.
+            if keep_new(y_who) {
+                // Split y: keep x here, re-insert y's remnants from this
+                // subtree's root.
+                {
+                    let node = self.nm(t);
+                    node.start = x.start;
+                    node.end = x.end;
+                    node.who = x.who;
+                }
+                let mut t = t;
+                if ys < x.start {
+                    let p = self.next_prio();
+                    t = self.insert_disjoint(t, Interval::new(ys, x.start, y_who), p);
+                }
+                if x.end < ye {
+                    let p = self.next_prio();
+                    t = self.insert_disjoint(t, Interval::new(x.end, ye, y_who), p);
+                }
+                t
+            } else {
+                // Old reader stays leftmost everywhere; x contributes nothing.
+                t
+            }
+        } else if x.start > ys {
+            // Partial overlap, x to the right (x.end > ye).
+            if keep_new(y_who) {
+                self.nm(t).end = x.start;
+                let nr = self.ir(self.n(t).right, x, keep_new);
+                self.nm(t).right = nr;
+            } else {
+                let trimmed = Interval::new(ye, x.end, x.who);
+                let nr = self.ir(self.n(t).right, trimmed, keep_new);
+                self.nm(t).right = nr;
+            }
+            self.fix_right(t)
+        } else {
+            // Partial overlap, x to the left (x.start < ys, x.end < ye).
+            if keep_new(y_who) {
+                self.nm(t).start = x.end;
+                let nl = self.ir(self.n(t).left, x, keep_new);
+                self.nm(t).left = nl;
+            } else {
+                let trimmed = Interval::new(x.start, ys, x.who);
+                let nl = self.ir(self.n(t).left, trimmed, keep_new);
+                self.nm(t).left = nl;
+            }
+            self.fix_left(t)
+        }
+    }
+
+    /// Read-only overlap walk (paper §4.3).
+    fn qo(&mut self, t: u32, lo: u64, hi: u64, f: &mut impl FnMut(A, u64, u64)) {
+        if t == NIL {
+            return;
+        }
+        self.stats.visited += 1;
+        let (ys, ye, who) = {
+            let n = self.n(t);
+            (n.start, n.end, n.who)
+        };
+        if hi <= ys {
+            self.qo(self.n(t).left, lo, hi, f);
+        } else if lo >= ye {
+            self.qo(self.n(t).right, lo, hi, f);
+        } else {
+            self.stats.overlaps += 1;
+            f(who, lo.max(ys), hi.min(ye));
+            if lo < ys {
+                self.qo(self.n(t).left, lo, hi, f);
+            }
+            if hi > ye {
+                self.qo(self.n(t).right, lo, hi, f);
+            }
+        }
+    }
+
+    fn collect(&self, t: u32, out: &mut Vec<Interval<A>>) {
+        if t == NIL {
+            return;
+        }
+        self.collect(self.n(t).left, out);
+        let n = self.n(t);
+        out.push(Interval {
+            start: n.start,
+            end: n.end,
+            who: n.who,
+        });
+        self.collect(self.n(t).right, out);
+    }
+
+    /// Check the BST, heap and non-overlap invariants (tests only — O(n)).
+    pub fn check_invariants(&self) {
+        fn walk<A: Copy>(
+            tr: &Treap<A>,
+            t: u32,
+            min_prio: Option<u64>,
+            prev_end: &mut u64,
+            count: &mut usize,
+        ) {
+            if t == NIL {
+                return;
+            }
+            *count += 1;
+            let n = tr.n(t);
+            assert!(n.start < n.end, "empty interval stored");
+            if let Some(p) = min_prio {
+                assert!(n.prio <= p, "heap order violated");
+            }
+            walk(tr, n.left, Some(n.prio), prev_end, count);
+            assert!(
+                n.start >= *prev_end,
+                "intervals overlap or are out of order: start {} < prev end {}",
+                n.start,
+                *prev_end
+            );
+            *prev_end = n.end;
+            walk(tr, n.right, Some(n.prio), prev_end, count);
+        }
+        let mut prev_end = 0u64;
+        let mut count = 0usize;
+        walk(self, self.root, None, &mut prev_end, &mut count);
+        assert_eq!(count, self.len, "len out of sync with tree");
+        // Lemma 4.1: at most 2m+1 intervals after m inserts.
+        assert!(
+            self.len as u64 <= 2 * self.inserts + 1,
+            "Lemma 4.1 bound violated: {} intervals after {} inserts",
+            self.len,
+            self.inserts
+        );
+    }
+
+    /// Height of the tree (tests/benches; O(n)).
+    pub fn height(&self) -> usize {
+        fn h<A>(nodes: &[Node<A>], t: u32) -> usize {
+            if t == NIL {
+                0
+            } else {
+                1 + h(nodes, nodes[t as usize].left).max(h(nodes, nodes[t as usize].right))
+            }
+        }
+        h(&self.nodes, self.root)
+    }
+}
+
+impl<A: Copy> IntervalStore<A> for Treap<A> {
+    fn insert_write(&mut self, x: Interval<A>, mut conflict: impl FnMut(A, u64, u64)) {
+        debug_assert!(x.start < x.end);
+        self.stats.ops += 1;
+        self.inserts += 1;
+        self.root = self.iw(self.root, x, &mut conflict);
+    }
+
+    fn insert_read(&mut self, x: Interval<A>, mut is_new_left_of: impl FnMut(A) -> bool) {
+        debug_assert!(x.start < x.end);
+        self.stats.ops += 1;
+        self.inserts += 1;
+        self.root = self.ir(self.root, x, &mut is_new_left_of);
+    }
+
+    fn query_overlaps(&mut self, lo: u64, hi: u64, mut f: impl FnMut(A, u64, u64)) {
+        self.stats.ops += 1;
+        self.qo(self.root, lo, hi, &mut f);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn to_vec(&self) -> Vec<Interval<A>> {
+        let mut v = Vec::with_capacity(self.len);
+        self.collect(self.root, &mut v);
+        v
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64, who: u32) -> Interval<u32> {
+        Interval::new(s, e, who)
+    }
+
+    fn contents(t: &Treap<u32>) -> Vec<(u64, u64, u32)> {
+        t.to_vec().iter().map(|i| (i.start, i.end, i.who)).collect()
+    }
+
+    #[test]
+    fn write_disjoint_inserts() {
+        let mut t = Treap::new();
+        for (s, e, w) in [(10, 20, 1), (0, 5, 2), (30, 40, 3), (25, 28, 4)] {
+            t.insert_write(iv(s, e, w), |_, _, _| panic!("no overlap expected"));
+            t.check_invariants();
+        }
+        assert_eq!(
+            contents(&t),
+            vec![(0, 5, 2), (10, 20, 1), (25, 28, 4), (30, 40, 3)]
+        );
+    }
+
+    #[test]
+    fn write_case_b_right_trims_old() {
+        let mut t = Treap::new();
+        t.insert_write(iv(0, 10, 1), |_, _, _| {});
+        let mut hits = Vec::new();
+        t.insert_write(iv(5, 15, 2), |w, lo, hi| hits.push((w, lo, hi)));
+        assert_eq!(hits, vec![(1, 5, 10)]);
+        assert_eq!(contents(&t), vec![(0, 5, 1), (5, 15, 2)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn write_case_b_left_trims_old() {
+        let mut t = Treap::new();
+        t.insert_write(iv(10, 20, 1), |_, _, _| {});
+        let mut hits = Vec::new();
+        t.insert_write(iv(5, 15, 2), |w, lo, hi| hits.push((w, lo, hi)));
+        assert_eq!(hits, vec![(1, 10, 15)]);
+        assert_eq!(contents(&t), vec![(5, 15, 2), (15, 20, 1)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn write_case_c_splits_old_into_three() {
+        let mut t = Treap::new();
+        t.insert_write(iv(0, 30, 1), |_, _, _| {});
+        let mut hits = Vec::new();
+        t.insert_write(iv(10, 20, 2), |w, lo, hi| hits.push((w, lo, hi)));
+        assert_eq!(hits, vec![(1, 10, 20)]);
+        assert_eq!(contents(&t), vec![(0, 10, 1), (10, 20, 2), (20, 30, 1)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn write_case_c_exact_prefix_and_suffix() {
+        let mut t = Treap::new();
+        t.insert_write(iv(0, 30, 1), |_, _, _| {});
+        t.insert_write(iv(0, 10, 2), |_, _, _| {}); // prefix: only right remnant
+        t.check_invariants();
+        assert_eq!(contents(&t), vec![(0, 10, 2), (10, 30, 1)]);
+        t.insert_write(iv(20, 30, 3), |_, _, _| {}); // suffix of the remnant
+        t.check_invariants();
+        assert_eq!(contents(&t), vec![(0, 10, 2), (10, 20, 1), (20, 30, 3)]);
+    }
+
+    #[test]
+    fn write_case_d_replaces_and_sweeps_subtrees() {
+        let mut t = Treap::new();
+        for (s, e, w) in [(0, 2, 1), (4, 6, 2), (8, 10, 3), (12, 14, 4), (16, 18, 5)] {
+            t.insert_write(iv(s, e, w), |_, _, _| {});
+        }
+        let mut hits = Vec::new();
+        t.insert_write(iv(3, 15, 9), |w, lo, hi| hits.push((w, lo, hi)));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![(2, 4, 6), (3, 8, 10), (4, 12, 14)]);
+        assert_eq!(contents(&t), vec![(0, 2, 1), (3, 15, 9), (16, 18, 5)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn write_case_d_with_partial_edges() {
+        let mut t = Treap::new();
+        for (s, e, w) in [(0, 5, 1), (6, 8, 2), (9, 12, 3)] {
+            t.insert_write(iv(s, e, w), |_, _, _| {});
+        }
+        // Covers (6,8) fully, clips (0,5) and (9,12) partially.
+        let mut hits = Vec::new();
+        t.insert_write(iv(3, 10, 7), |w, lo, hi| hits.push((w, lo, hi)));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![(1, 3, 5), (2, 6, 8), (3, 9, 10)]);
+        assert_eq!(contents(&t), vec![(0, 3, 1), (3, 10, 7), (10, 12, 3)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn write_exact_match_replaces() {
+        let mut t = Treap::new();
+        t.insert_write(iv(5, 10, 1), |_, _, _| {});
+        let mut hits = Vec::new();
+        t.insert_write(iv(5, 10, 2), |w, lo, hi| hits.push((w, lo, hi)));
+        assert_eq!(hits, vec![(1, 5, 10)]);
+        assert_eq!(contents(&t), vec![(5, 10, 2)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn paper_read_example() {
+        // From Section 4: reads [8,16,a],[24,32,b],[40,52,c],[52,60,d];
+        // new read [12,56,e] with e left of a and c, but not of b and d.
+        let (a, b, c, d, e) = (1u32, 2, 3, 4, 5);
+        let mut t = Treap::new();
+        for (s, en, w) in [(8, 16, a), (24, 32, b), (40, 52, c), (52, 60, d)] {
+            t.insert_read(iv(s, en, w), |_| true);
+        }
+        t.insert_read(iv(12, 56, e), |old| old == a || old == c);
+        t.check_invariants();
+        let got = crate::normalize(t.to_vec());
+        let want = vec![
+            iv(8, 12, a),
+            iv(12, 24, e),
+            iv(24, 32, b),
+            iv(32, 52, e),
+            iv(52, 60, d),
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn read_case_c_old_wins_absorbs_new() {
+        let mut t = Treap::new();
+        t.insert_read(iv(0, 100, 1), |_| true);
+        t.insert_read(iv(20, 30, 2), |_| false); // old stays leftmost
+        assert_eq!(contents(&t), vec![(0, 100, 1)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn read_case_c_new_wins_splits_old() {
+        let mut t = Treap::new();
+        t.insert_read(iv(0, 100, 1), |_| true);
+        t.insert_read(iv(20, 30, 2), |_| true);
+        assert_eq!(contents(&t), vec![(0, 20, 1), (20, 30, 2), (30, 100, 1)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn read_case_d_gap_filling_lemma41_example() {
+        // Lemma 4.1's example: [1,2,a],[3,4,b],[5,6,c]; insert [0,7,d] where
+        // a,b,c are all left of d — d only fills the gaps.
+        let mut t = Treap::new();
+        for (s, e, w) in [(1, 2, 1), (3, 4, 2), (5, 6, 3)] {
+            t.insert_read(iv(s, e, w), |_| true);
+        }
+        t.insert_read(iv(0, 7, 4), |_| false);
+        t.check_invariants();
+        assert_eq!(
+            contents(&t),
+            vec![
+                (0, 1, 4),
+                (1, 2, 1),
+                (2, 3, 4),
+                (3, 4, 2),
+                (4, 5, 4),
+                (5, 6, 3),
+                (6, 7, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn read_case_d_new_wins_everywhere() {
+        let mut t = Treap::new();
+        for (s, e, w) in [(1, 2, 1), (3, 4, 2), (5, 6, 3)] {
+            t.insert_read(iv(s, e, w), |_| true);
+        }
+        t.insert_read(iv(0, 7, 4), |_| true);
+        t.check_invariants();
+        assert_eq!(crate::normalize(t.to_vec()), vec![iv(0, 7, 4)]);
+    }
+
+    #[test]
+    fn read_partial_old_wins_trims_new() {
+        let mut t = Treap::new();
+        t.insert_read(iv(0, 10, 1), |_| true);
+        t.insert_read(iv(5, 20, 2), |_| false);
+        t.check_invariants();
+        assert_eq!(contents(&t), vec![(0, 10, 1), (10, 20, 2)]);
+    }
+
+    #[test]
+    fn read_partial_left_old_wins_trims_new() {
+        let mut t = Treap::new();
+        t.insert_read(iv(10, 20, 1), |_| true);
+        t.insert_read(iv(0, 15, 2), |_| false);
+        t.check_invariants();
+        assert_eq!(contents(&t), vec![(0, 10, 2), (10, 20, 1)]);
+    }
+
+    #[test]
+    fn query_reports_all_overlaps_without_modifying() {
+        let mut t = Treap::new();
+        for (s, e, w) in [(0, 5, 1), (10, 15, 2), (20, 25, 3), (30, 35, 4)] {
+            t.insert_write(iv(s, e, w), |_, _, _| {});
+        }
+        let before = contents(&t);
+        let mut hits = Vec::new();
+        t.query_overlaps(3, 22, |w, lo, hi| hits.push((w, lo, hi)));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![(1, 3, 5), (2, 10, 15), (3, 20, 22)]);
+        assert_eq!(contents(&t), before);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn query_on_empty_and_miss() {
+        let mut t: Treap<u32> = Treap::new();
+        t.query_overlaps(0, 100, |_, _, _| panic!("empty tree has no overlaps"));
+        t.insert_write(iv(10, 20, 1), |_, _, _| {});
+        t.query_overlaps(0, 10, |_, _, _| panic!("touching is not overlapping"));
+        t.query_overlaps(20, 30, |_, _, _| panic!("touching is not overlapping"));
+    }
+
+    #[test]
+    fn heights_stay_logarithmic() {
+        let mut t = Treap::new();
+        // Sorted insertion order — worst case for an unbalanced BST.
+        for i in 0..10_000u64 {
+            t.insert_write(iv(i * 10, i * 10 + 5, (i % 7) as u32), |_, _, _| {});
+        }
+        let h = t.height();
+        assert!(h < 64, "height {h} too large for 10k nodes — not balanced");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn stats_count_ops_and_overlaps() {
+        let mut t = Treap::new();
+        t.insert_write(iv(0, 10, 1), |_, _, _| {});
+        t.insert_write(iv(5, 15, 2), |_, _, _| {});
+        t.query_overlaps(0, 20, |_, _, _| {});
+        let s = t.stats();
+        assert_eq!(s.ops, 3);
+        assert!(s.overlaps >= 3); // 1 on second insert, 2 on query
+        assert!(s.visited >= 3);
+    }
+}

@@ -1,0 +1,302 @@
+//! Two-level order-maintenance list with O(1) amortized insertion
+//! [Dietz & Sleator; Bender et al.].
+//!
+//! The single-level list-labelling structure in the crate root pays
+//! O(log n) amortized per insertion (relabelling). The classic fix is
+//! indirection: elements live in *groups* of at most `2·GROUP_CAP`
+//! elements; groups form a top-level list maintained by the O(log n)
+//! labelling algorithm, while elements within a group get evenly spaced
+//! 64-bit local labels. Insertions relabel only their group (O(group size)
+//! every Ω(group size) insertions ⇒ O(1) amortized), and a full group
+//! splits into two, inserting one new top-level node per Ω(GROUP_CAP)
+//! insertions — which pays for the top level's O(log n).
+//!
+//! Order queries compare (group tag, local label) — still O(1).
+
+use crate::{OmList, OmNode};
+
+/// Elements per group before a split. Any Θ(log n)-ish constant works; 32
+/// keeps splits rare while bounding relabel bursts.
+const GROUP_CAP: usize = 32;
+
+const NIL: u32 = u32::MAX;
+
+/// Handle to an element of a [`TwoLevelOm`] list.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TlNode(u32);
+
+struct Element {
+    /// Local label within the group (strictly increasing along the group).
+    label: u64,
+    group: u32,
+    prev: u32,
+    next: u32,
+}
+
+struct Group {
+    top: OmNode,
+    /// First/last element indices.
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+/// Two-level order-maintenance list: O(1) amortized insert, O(1) query.
+pub struct TwoLevelOm {
+    top: OmList,
+    groups: Vec<Group>,
+    elems: Vec<Element>,
+}
+
+impl Default for TwoLevelOm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwoLevelOm {
+    pub fn new() -> Self {
+        TwoLevelOm {
+            top: OmList::new(),
+            groups: Vec::new(),
+            elems: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Number of groups (for tests/benches).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Insert the first element into an empty list.
+    pub fn insert_first(&mut self) -> TlNode {
+        assert!(self.is_empty(), "insert_first on non-empty list");
+        let top = self.top.insert_first();
+        self.groups.push(Group {
+            top,
+            head: 0,
+            tail: 0,
+            len: 1,
+        });
+        self.elems.push(Element {
+            label: 1 << 63,
+            group: 0,
+            prev: NIL,
+            next: NIL,
+        });
+        TlNode(0)
+    }
+
+    /// Insert a new element immediately after `x`.
+    pub fn insert_after(&mut self, x: TlNode) -> TlNode {
+        let xi = x.0 as usize;
+        let g = self.elems[xi].group;
+        // Label midway between x and its in-group successor (or the top of
+        // the label space).
+        let next = self.elems[xi].next;
+        let xl = self.elems[xi].label;
+        let nl = if next == NIL {
+            u64::MAX
+        } else {
+            self.elems[next as usize].label
+        };
+        let idx = self.elems.len() as u32;
+        assert!(idx != NIL, "capacity exceeded");
+        if nl - xl >= 2 {
+            let label = xl + (nl - xl) / 2;
+            self.elems.push(Element {
+                label,
+                group: g,
+                prev: xi as u32,
+                next,
+            });
+            self.elems[xi].next = idx;
+            if next == NIL {
+                self.groups[g as usize].tail = idx;
+            } else {
+                self.elems[next as usize].prev = idx;
+            }
+            self.groups[g as usize].len += 1;
+            if self.groups[g as usize].len as usize > 2 * GROUP_CAP {
+                self.split_group(g);
+            }
+            return TlNode(idx);
+        }
+        // No local label available: relabel the group evenly, then retry
+        // (guaranteed to succeed: the group holds ≤ 2·GROUP_CAP + 1 ≪ 2^64
+        // elements).
+        self.relabel_group(g);
+        self.insert_after(x)
+    }
+
+    /// True if `a` strictly precedes `b`. O(1).
+    #[inline]
+    pub fn precedes(&self, a: TlNode, b: TlNode) -> bool {
+        let ea = &self.elems[a.0 as usize];
+        let eb = &self.elems[b.0 as usize];
+        if ea.group == eb.group {
+            ea.label < eb.label
+        } else {
+            self.top
+                .precedes(self.groups[ea.group as usize].top, self.groups[eb.group as usize].top)
+        }
+    }
+
+    fn relabel_group(&mut self, g: u32) {
+        let grp = &self.groups[g as usize];
+        let n = grp.len as u64;
+        let mut cur = grp.head;
+        let mut i = 0u64;
+        while cur != NIL {
+            // Spread across (0, u64::MAX): slot k gets (k+1) * span/(n+1).
+            let label = ((i + 1) as u128 * (u64::MAX as u128) / (n + 1) as u128) as u64;
+            self.elems[cur as usize].label = label;
+            i += 1;
+            cur = self.elems[cur as usize].next;
+        }
+    }
+
+    /// Split an oversized group: the second half moves into a fresh group
+    /// inserted after it in the top-level list.
+    fn split_group(&mut self, g: u32) {
+        let len = self.groups[g as usize].len;
+        let keep = len / 2;
+        // Walk to the split point.
+        let mut cur = self.groups[g as usize].head;
+        for _ in 1..keep {
+            cur = self.elems[cur as usize].next;
+        }
+        let first_moved = self.elems[cur as usize].next;
+        debug_assert_ne!(first_moved, NIL);
+        // Detach.
+        self.elems[cur as usize].next = NIL;
+        let old_tail = self.groups[g as usize].tail;
+        self.groups[g as usize].tail = cur;
+        self.groups[g as usize].len = keep;
+        // New group after g in the top list.
+        let new_top = self.top.insert_after(self.groups[g as usize].top);
+        let ng = self.groups.len() as u32;
+        self.groups.push(Group {
+            top: new_top,
+            head: first_moved,
+            tail: old_tail,
+            len: len - keep,
+        });
+        self.elems[first_moved as usize].prev = NIL;
+        // Re-home and relabel the moved elements.
+        let mut cur = first_moved;
+        while cur != NIL {
+            self.elems[cur as usize].group = ng;
+            cur = self.elems[cur as usize].next;
+        }
+        self.relabel_group(ng);
+    }
+
+    /// Consistency check for tests: linked structure, label order, group
+    /// membership and top-level order all agree.
+    pub fn check_invariants(&self) {
+        let mut total = 0usize;
+        for (gi, g) in self.groups.iter().enumerate() {
+            let mut cur = g.head;
+            let mut prev = NIL;
+            let mut last_label = None;
+            let mut count = 0;
+            while cur != NIL {
+                let e = &self.elems[cur as usize];
+                assert_eq!(e.group as usize, gi, "group membership broken");
+                assert_eq!(e.prev, prev, "prev link broken");
+                if let Some(l) = last_label {
+                    assert!(e.label > l, "labels not increasing in group");
+                }
+                last_label = Some(e.label);
+                prev = cur;
+                cur = e.next;
+                count += 1;
+            }
+            assert_eq!(prev, g.tail, "tail broken");
+            assert_eq!(count, g.len as usize, "group len broken");
+            assert!(count <= 2 * GROUP_CAP + 1, "group overflow");
+            total += count;
+        }
+        assert_eq!(total, self.elems.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_reference_order() {
+        let mut l = TwoLevelOm::new();
+        let mut order = vec![l.insert_first()];
+        let mut state: u64 = 0xFEED;
+        for i in 0..5000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let pos = (state as usize) % order.len();
+            let n = l.insert_after(order[pos]);
+            order.insert(pos + 1, n);
+            if i % 512 == 0 {
+                l.check_invariants();
+            }
+        }
+        l.check_invariants();
+        for i in (0..order.len()).step_by(61) {
+            for j in (0..order.len()).step_by(97) {
+                assert_eq!(l.precedes(order[i], order[j]), i < j, "i={i} j={j}");
+            }
+        }
+        assert!(l.group_count() > 1, "splits must have happened");
+    }
+
+    #[test]
+    fn hotspot_insertions() {
+        let mut l = TwoLevelOm::new();
+        let head = l.insert_first();
+        let mut rest = Vec::new();
+        for _ in 0..4000 {
+            rest.push(l.insert_after(head));
+        }
+        l.check_invariants();
+        // All inserted after head, so list order is reverse insertion order.
+        for w in rest.windows(2) {
+            assert!(l.precedes(w[1], w[0]));
+            assert!(l.precedes(head, w[0]));
+        }
+    }
+
+    #[test]
+    fn append_only() {
+        let mut l = TwoLevelOm::new();
+        let mut last = l.insert_first();
+        let mut all = vec![last];
+        for _ in 0..3000 {
+            last = l.insert_after(last);
+            all.push(last);
+        }
+        l.check_invariants();
+        for w in all.windows(2) {
+            assert!(l.precedes(w[0], w[1]));
+        }
+        assert!(l.precedes(all[0], *all.last().unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_first on non-empty")]
+    fn double_insert_first_panics() {
+        let mut l = TwoLevelOm::new();
+        l.insert_first();
+        l.insert_first();
+    }
+}

@@ -1,0 +1,311 @@
+//! The bit hashmap used for runtime coalescing (paper Section 3.2).
+//!
+//! While a strand executes, every access sets the bits of the 4-byte words it
+//! touches; coalesced hooks set whole bit ranges at once with bit-level
+//! parallelism. When the strand ends, [`BitShadow::extract_and_clear`]
+//! returns the *maximal disjoint word intervals* covered by set bits — this
+//! single step performs the paper's spatial coalescing (adjacent and
+//! overlapping accesses merge), temporal coalescing and deduplication
+//! (repeated accesses set the same bits once).
+//!
+//! The table is two-level: a [`PageMap`] from chunk number to a lazily
+//! allocated chunk of 1024 `u64` bitmap groups (one chunk covers 2^16 words =
+//! 256 KiB of program data). A dirty vector remembers every bitmap group that
+//! became non-zero during the strand, so extraction and clearing cost
+//! O(groups touched · log) — independent of how much of the table is
+//! allocated. (The `log` is the sort that puts the intervals in address
+//! order; the paper's "vectors … to remember indices" serve the same role.)
+
+use crate::pagemap::PageMap;
+use crate::WordIv;
+
+/// log2 of bitmap groups per chunk.
+const GROUPS_PER_CHUNK_BITS: u32 = 10;
+const GROUPS_PER_CHUNK: usize = 1 << GROUPS_PER_CHUNK_BITS;
+
+/// The runtime-coalescing bit table. One instance tracks one access kind
+/// (the detector keeps separate read and write instances, as in the paper).
+///
+/// ```
+/// use stint_shadow::BitShadow;
+///
+/// let mut bits = BitShadow::new();
+/// bits.set_range(10, 14);  // words
+/// bits.set_range(14, 20);  // adjacent: coalesces
+/// bits.set_range(12, 13);  // duplicate: deduplicates
+/// bits.set_range(100, 101);
+/// let mut intervals = Vec::new();
+/// bits.extract_and_clear(&mut intervals);
+/// assert_eq!(intervals, [(10, 20), (100, 101)]);
+/// assert!(bits.is_clear());
+/// ```
+pub struct BitShadow {
+    map: PageMap,
+    chunks: Vec<Box<[u64]>>,
+    /// Global bitmap-group ids (`word >> 6`) that became non-zero during the
+    /// current strand, in first-touch order.
+    dirty: Vec<u64>,
+    /// Cache of the last (chunk_no, slot) to skip the map on sequential hits.
+    last_chunk: (u64, u32),
+    /// Total `set_range` invocations (hook-level operations).
+    pub set_calls: u64,
+    /// Total bitmap groups made dirty across all strands.
+    pub groups_touched: u64,
+}
+
+impl Default for BitShadow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitShadow {
+    pub fn new() -> Self {
+        BitShadow {
+            map: PageMap::new(),
+            chunks: Vec::new(),
+            dirty: Vec::new(),
+            last_chunk: (u64::MAX, 0),
+            set_calls: 0,
+            groups_touched: 0,
+        }
+    }
+
+    /// Number of chunks allocated (they persist across strands).
+    pub fn chunks_allocated(&self) -> usize {
+        self.chunks.len()
+    }
+
+    #[inline]
+    fn chunk_slot(&mut self, chunk_no: u64) -> u32 {
+        if self.last_chunk.0 == chunk_no {
+            return self.last_chunk.1;
+        }
+        let chunks = &mut self.chunks;
+        let slot = self.map.get_or_insert_with(chunk_no, || {
+            let idx = chunks.len() as u32;
+            chunks.push(vec![0u64; GROUPS_PER_CHUNK].into_boxed_slice());
+            idx
+        });
+        self.last_chunk = (chunk_no, slot);
+        slot
+    }
+
+    /// Mark the words `[start, end)` as accessed in the current strand.
+    #[inline]
+    pub fn set_range(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        self.set_calls += 1;
+        let first_group = start >> 6;
+        let last_group = (end - 1) >> 6;
+        for g in first_group..=last_group {
+            let lo = if g == first_group { start & 63 } else { 0 };
+            let hi = if g == last_group {
+                ((end - 1) & 63) + 1
+            } else {
+                64
+            };
+            let mask = if hi - lo == 64 {
+                !0u64
+            } else {
+                ((1u64 << (hi - lo)) - 1) << lo
+            };
+            let slot = self.chunk_slot(g >> GROUPS_PER_CHUNK_BITS) as usize;
+            let cell = &mut self.chunks[slot][(g as usize) & (GROUPS_PER_CHUNK - 1)];
+            if *cell == 0 {
+                self.dirty.push(g);
+                self.groups_touched += 1;
+            }
+            *cell |= mask;
+        }
+    }
+
+    /// True if no bits are currently set.
+    pub fn is_clear(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Extract the maximal disjoint intervals of set words in ascending
+    /// address order, appending them to `out`, and clear the table for the
+    /// next strand. Cost: O(d log d) in the number of dirty groups.
+    pub fn extract_and_clear(&mut self, out: &mut Vec<WordIv>) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        self.dirty.sort_unstable();
+        let mut open: Option<WordIv> = None;
+        // Take dirty out of self to appease the borrow checker.
+        let dirty = std::mem::take(&mut self.dirty);
+        for &g in &dirty {
+            let slot = self.chunk_slot(g >> GROUPS_PER_CHUNK_BITS) as usize;
+            let cell = &mut self.chunks[slot][(g as usize) & (GROUPS_PER_CHUNK - 1)];
+            let mut bits = *cell;
+            *cell = 0;
+            debug_assert_ne!(bits, 0, "dirty group with no bits set");
+            let base = g << 6;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as u64;
+                let run = ((!(bits >> tz)).trailing_zeros() as u64).min(64 - tz);
+                let (rs, re) = (base + tz, base + tz + run);
+                match open {
+                    Some((s, e)) if e == rs => open = Some((s, re)),
+                    Some(iv) => {
+                        out.push(iv);
+                        open = Some((rs, re));
+                    }
+                    None => open = Some((rs, re)),
+                }
+                if tz + run >= 64 {
+                    bits = 0;
+                } else {
+                    bits &= !(((1u64 << run) - 1) << tz);
+                }
+            }
+        }
+        self.dirty = dirty;
+        self.dirty.clear();
+        if let Some(iv) = open {
+            out.push(iv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn extract(b: &mut BitShadow) -> Vec<WordIv> {
+        let mut v = Vec::new();
+        b.extract_and_clear(&mut v);
+        v
+    }
+
+    #[test]
+    fn single_word() {
+        let mut b = BitShadow::new();
+        b.set_range(5, 6);
+        assert_eq!(extract(&mut b), vec![(5, 6)]);
+        assert!(b.is_clear());
+        assert_eq!(extract(&mut b), vec![]);
+    }
+
+    #[test]
+    fn adjacent_accesses_coalesce() {
+        let mut b = BitShadow::new();
+        b.set_range(10, 12);
+        b.set_range(12, 20);
+        b.set_range(8, 10);
+        assert_eq!(extract(&mut b), vec![(8, 20)]);
+    }
+
+    #[test]
+    fn duplicates_dedup() {
+        let mut b = BitShadow::new();
+        for _ in 0..100 {
+            b.set_range(100, 108);
+        }
+        assert_eq!(extract(&mut b), vec![(100, 108)]);
+        assert_eq!(b.set_calls, 100);
+    }
+
+    #[test]
+    fn disjoint_stay_disjoint() {
+        let mut b = BitShadow::new();
+        b.set_range(0, 4);
+        b.set_range(6, 8);
+        b.set_range(100, 101);
+        assert_eq!(extract(&mut b), vec![(0, 4), (6, 8), (100, 101)]);
+    }
+
+    #[test]
+    fn run_across_group_boundary() {
+        let mut b = BitShadow::new();
+        b.set_range(60, 70); // spans groups 0 and 1
+        assert_eq!(extract(&mut b), vec![(60, 70)]);
+    }
+
+    #[test]
+    fn run_across_chunk_boundary() {
+        let mut b = BitShadow::new();
+        let boundary = 1u64 << 16;
+        b.set_range(boundary - 3, boundary + 3);
+        assert_eq!(extract(&mut b), vec![(boundary - 3, boundary + 3)]);
+        assert_eq!(b.chunks_allocated(), 2);
+    }
+
+    #[test]
+    fn full_group_runs() {
+        let mut b = BitShadow::new();
+        b.set_range(0, 256); // four full groups
+        assert_eq!(extract(&mut b), vec![(0, 256)]);
+    }
+
+    #[test]
+    fn interleaved_bits_in_one_group() {
+        let mut b = BitShadow::new();
+        // every other word in [0, 16)
+        for w in (0..16).step_by(2) {
+            b.set_range(w, w + 1);
+        }
+        let ivs = extract(&mut b);
+        assert_eq!(ivs.len(), 8);
+        for (i, iv) in ivs.iter().enumerate() {
+            assert_eq!(*iv, (2 * i as u64, 2 * i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn clears_between_strands() {
+        let mut b = BitShadow::new();
+        b.set_range(0, 100);
+        extract(&mut b);
+        b.set_range(50, 60);
+        assert_eq!(extract(&mut b), vec![(50, 60)]);
+    }
+
+    #[test]
+    fn out_of_order_insertion_sorted_output() {
+        let mut b = BitShadow::new();
+        b.set_range(1000, 1001);
+        b.set_range(5, 6);
+        b.set_range(70, 90);
+        assert_eq!(extract(&mut b), vec![(5, 6), (70, 90), (1000, 1001)]);
+    }
+
+    /// Randomized differential test against a BTreeSet of words.
+    #[test]
+    fn random_vs_reference() {
+        let mut state: u64 = 0xABCDEF;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..200 {
+            let mut b = BitShadow::new();
+            let mut reference = BTreeSet::new();
+            let n = (next() % 40 + 1) as usize;
+            for _ in 0..n {
+                let start = next() % 500;
+                let len = next() % 80 + 1;
+                b.set_range(start, start + len);
+                for w in start..start + len {
+                    reference.insert(w);
+                }
+            }
+            // Expected intervals from the reference set.
+            let mut want: Vec<WordIv> = Vec::new();
+            for &w in &reference {
+                match want.last_mut() {
+                    Some((_, e)) if *e == w => *e = w + 1,
+                    _ => want.push((w, w + 1)),
+                }
+            }
+            assert_eq!(extract(&mut b), want);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The vanilla word-granularity access history ("shadow memory").
+//!
+//! Maps every 4-byte word to a [`WordEntry`] holding the strand ids of the
+//! word's *last writer* and *leftmost reader* — the two accessors that
+//! suffice for sequential race detection of fork-join programs
+//! [Feng & Leiserson 1997]. The structure is the paper's "optimized two-level
+//! page-table-like hashmap": the word's page number indexes a [`PageMap`],
+//! pages are dense arrays allocated lazily on first touch.
+//!
+//! The race-checking *logic* lives in the detector crate; this type only
+//! provides fast per-word and per-range access to the entries, so that the
+//! same storage serves the `vanilla`, `compiler` and `comp+rts` variants.
+
+use crate::pagemap::PageMap;
+
+/// Sentinel strand id meaning "no recorded accessor".
+pub const NO_STRAND: u32 = u32::MAX;
+
+/// Words per shadow page (16 KiB of program data per page).
+const PAGE_BITS: u32 = 12;
+const PAGE_WORDS: usize = 1 << PAGE_BITS;
+
+/// Shadow state of one 4-byte word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WordEntry {
+    /// Strand id of the last writer (sequential order), or [`NO_STRAND`].
+    pub writer: u32,
+    /// Strand id of the leftmost reader, or [`NO_STRAND`].
+    pub reader: u32,
+}
+
+impl WordEntry {
+    pub const EMPTY: WordEntry = WordEntry {
+        writer: NO_STRAND,
+        reader: NO_STRAND,
+    };
+}
+
+/// Two-level word-granularity shadow memory.
+pub struct WordShadow {
+    map: PageMap,
+    pages: Vec<Box<[WordEntry]>>,
+    /// Number of individual word operations served (for the paper's
+    /// `hash ops` column in Figure 8).
+    pub ops: u64,
+}
+
+impl Default for WordShadow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WordShadow {
+    pub fn new() -> Self {
+        WordShadow {
+            map: PageMap::new(),
+            pages: Vec::new(),
+            ops: 0,
+        }
+    }
+
+    /// Number of shadow pages allocated.
+    pub fn pages_allocated(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bytes of shadow memory allocated (second level only).
+    pub fn shadow_bytes(&self) -> usize {
+        self.pages.len() * PAGE_WORDS * std::mem::size_of::<WordEntry>()
+    }
+
+    #[inline]
+    fn page_slot(&mut self, page_no: u64) -> usize {
+        let pages = &mut self.pages;
+        self.map.get_or_insert_with(page_no, || {
+            let idx = pages.len() as u32;
+            pages.push(vec![WordEntry::EMPTY; PAGE_WORDS].into_boxed_slice());
+            idx
+        }) as usize
+    }
+
+    /// Mutable access to the entry of `word` (allocating its page lazily).
+    /// Counts as one shadow operation.
+    #[inline]
+    pub fn entry_mut(&mut self, word: u64) -> &mut WordEntry {
+        self.ops += 1;
+        let slot = self.page_slot(word >> PAGE_BITS);
+        &mut self.pages[slot][(word as usize) & (PAGE_WORDS - 1)]
+    }
+
+    /// Apply `f` to every word entry in `[start, end)`, traversing each page
+    /// only once (this is what makes the *compiler* variant's coalesced
+    /// hooks cheaper than per-word lookups). Each word counts as one shadow
+    /// operation.
+    #[inline]
+    pub fn for_range_mut(&mut self, start: u64, end: u64, mut f: impl FnMut(u64, &mut WordEntry)) {
+        if start >= end {
+            return;
+        }
+        self.ops += end - start;
+        let mut w = start;
+        while w < end {
+            let page_no = w >> PAGE_BITS;
+            let page_end = ((page_no + 1) << PAGE_BITS).min(end);
+            let slot = self.page_slot(page_no);
+            let page = &mut self.pages[slot];
+            for word in w..page_end {
+                f(word, &mut page[(word as usize) & (PAGE_WORDS - 1)]);
+            }
+            w = page_end;
+        }
+    }
+
+    /// Reset all entries in `[start, end)` to [`WordEntry::EMPTY`], touching
+    /// only pages that already exist (used for allocator `free` integration;
+    /// does not count as shadow operations).
+    pub fn clear_range(&mut self, start: u64, end: u64) {
+        let mut w = start;
+        while w < end {
+            let page_no = w >> PAGE_BITS;
+            let page_end = ((page_no + 1) << PAGE_BITS).min(end);
+            if let Some(slot) = self.map.get(page_no) {
+                let page = &mut self.pages[slot as usize];
+                for word in w..page_end {
+                    page[(word as usize) & (PAGE_WORDS - 1)] = WordEntry::EMPTY;
+                }
+            }
+            w = page_end;
+        }
+    }
+
+    /// Read-only lookup; `None` if the page was never touched.
+    pub fn get(&self, word: u64) -> Option<WordEntry> {
+        let slot = self.map.get(word >> PAGE_BITS)?;
+        Some(self.pages[slot as usize][(word as usize) & (PAGE_WORDS - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_pages() {
+        let mut s = WordShadow::new();
+        assert_eq!(s.pages_allocated(), 0);
+        assert_eq!(s.get(123), None);
+        s.entry_mut(123).writer = 1;
+        assert_eq!(s.pages_allocated(), 1);
+        assert_eq!(
+            s.get(123),
+            Some(WordEntry {
+                writer: 1,
+                reader: NO_STRAND
+            })
+        );
+        // Same page, different word: untouched entry is EMPTY.
+        assert_eq!(s.get(124), Some(WordEntry::EMPTY));
+        // Far-away word allocates a second page.
+        s.entry_mut(1 << 40).reader = 2;
+        assert_eq!(s.pages_allocated(), 2);
+    }
+
+    #[test]
+    fn range_spanning_pages() {
+        let mut s = WordShadow::new();
+        let start = (1u64 << PAGE_BITS) - 5;
+        let end = (1u64 << PAGE_BITS) + 5;
+        let mut visited = Vec::new();
+        s.for_range_mut(start, end, |w, e| {
+            visited.push(w);
+            e.writer = 9;
+        });
+        assert_eq!(visited, (start..end).collect::<Vec<_>>());
+        assert_eq!(s.pages_allocated(), 2);
+        for w in start..end {
+            assert_eq!(s.get(w).unwrap().writer, 9);
+        }
+        assert_eq!(s.get(start - 1).unwrap(), WordEntry::EMPTY);
+        assert_eq!(s.get(end).unwrap(), WordEntry::EMPTY);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let mut s = WordShadow::new();
+        s.for_range_mut(10, 10, |_, _| panic!("must not be called"));
+        s.for_range_mut(10, 5, |_, _| panic!("must not be called"));
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.pages_allocated(), 0);
+    }
+
+    #[test]
+    fn ops_counting() {
+        let mut s = WordShadow::new();
+        s.entry_mut(0);
+        s.entry_mut(1);
+        s.for_range_mut(0, 10, |_, _| {});
+        assert_eq!(s.ops, 12);
+    }
+}

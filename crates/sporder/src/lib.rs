@@ -1,0 +1,566 @@
+//! SP-Order reachability for fork-join programs [Bender, Fineman, Gilbert,
+//! Leiserson — SPAA 2004].
+//!
+//! SP-Order executes a fork-join computation *sequentially* (depth-first,
+//! spawned-child first) and maintains two total orders over the executed
+//! strands:
+//!
+//! * the **English** order — the sequential execution order (left-to-right
+//!   traversal of the SP parse tree), and
+//! * the **Hebrew** order — its mirror (right-to-left traversal).
+//!
+//! Two strands are **in series** (`a ≺ b`) iff `a` precedes `b` in *both*
+//! orders, and **logically parallel** iff the orders disagree. Both orders are
+//! kept in order-maintenance lists, so every query is O(1).
+//!
+//! # Maintenance rules
+//!
+//! Let `cur` be the strand executing a `spawn`, belonging to a *sync block*
+//! (the region of its function between two syncs). The invariant is that all
+//! OM nodes belonging to the block's subcomputation lie strictly between
+//! `cur`'s nodes and the block's *sync strand* nodes in both lists.
+//!
+//! * On the **first spawn of a sync block**, create the block's sync strand
+//!   `j` by inserting right after `cur` in both lists (everything inserted
+//!   later lands between `cur` and `j`).
+//! * On **every spawn**, create the child strand `c` and the continuation
+//!   strand `k`:
+//!   * English: insert after `cur` so the result is `cur, c, k`;
+//!   * Hebrew: insert after `cur` so the result is `cur, k, c`.
+//! * On **sync** (explicit, or the implicit one at a spawned function's
+//!   return), execution continues as the block's sync strand `j` (a no-op if
+//!   nothing was spawned since the previous sync).
+//!
+//! With these rules, for strands `a` executed before `b` (so `a <_E b`
+//! always): `a ≺ b` iff `a <_H b`, and `a ∥ b` iff `b <_H a`.
+//!
+//! The correctness of these rules is differentially tested against the
+//! brute-force transitive-closure oracle in `stint-spdag` on thousands of
+//! random fork-join programs (see `tests/oracle.rs`).
+
+use stint_om::{OmList, OrderList, TwoLevelOm};
+
+/// Identifier of an executed strand. Dense, allocated in creation order
+/// (creation order is *not* the sequential execution order for sync strands,
+/// which are created at the first spawn of their block).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct StrandId(pub u32);
+
+impl StrandId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The reachability interface race detectors consume.
+///
+/// The paper notes (§7) that its access history "would work out of the box in
+/// other instances, such as race detectors for pipelines or 2D grids, since
+/// it is still sufficient to store one reader and one writer for each memory
+/// location". This trait is that seam: detectors are generic over it, and
+/// `stint-grid` provides a coordinate-based implementation for 2-D wavefront
+/// programs alongside [`SpOrder`] for fork-join programs.
+///
+/// Implementations must be consistent with some *sequential* execution order
+/// in which the detector observes strands: for strands `a` observed before
+/// `b`, exactly one of `series(a, b)` / `parallel(a, b)` holds.
+pub trait Reachability {
+    /// `a` logically precedes `b` (`a ≺ b`). False for `a == b`.
+    fn series(&self, a: StrandId, b: StrandId) -> bool;
+    /// `a` and `b` are logically parallel. False for `a == b`.
+    fn parallel(&self, a: StrandId, b: StrandId) -> bool;
+    /// `a` is *left of* `b` (see [`SpOrder::left_of`]). Under sequential
+    /// observation this decides whether a new reader replaces the stored
+    /// leftmost reader.
+    fn left_of(&self, a: StrandId, b: StrandId) -> bool;
+}
+
+impl<L: OrderList> Reachability for SpOrderImpl<L> {
+    #[inline]
+    fn series(&self, a: StrandId, b: StrandId) -> bool {
+        SpOrderImpl::series(self, a, b)
+    }
+    #[inline]
+    fn parallel(&self, a: StrandId, b: StrandId) -> bool {
+        SpOrderImpl::parallel(self, a, b)
+    }
+    #[inline]
+    fn left_of(&self, a: StrandId, b: StrandId) -> bool {
+        SpOrderImpl::left_of(self, a, b)
+    }
+}
+
+/// Result of registering a spawn: the spawned child's first strand and the
+/// parent's continuation strand.
+#[derive(Clone, Copy, Debug)]
+pub struct SpawnStrands {
+    pub child: StrandId,
+    pub continuation: StrandId,
+}
+
+/// The SP-Order reachability structure, generic over the order-maintenance
+/// implementation.
+pub struct SpOrderImpl<L: OrderList = OmList> {
+    eng: L,
+    heb: L,
+    /// Per strand: (English node, Hebrew node).
+    strands: Vec<(L::Handle, L::Handle)>,
+}
+
+/// SP-Order over the single-level labelled list (the default; O(log n)
+/// amortized maintenance, O(1) queries).
+pub type SpOrder = SpOrderImpl<OmList>;
+
+/// SP-Order over the two-level indirection list — O(1) amortized
+/// maintenance, matching the asymptotics claimed by Bender et al.
+pub type SpOrderO1 = SpOrderImpl<TwoLevelOm>;
+
+impl<L: OrderList> Default for SpOrderImpl<L> {
+    fn default() -> Self {
+        Self::new().0
+    }
+}
+
+impl<L: OrderList> SpOrderImpl<L> {
+    /// Create the structure together with the root strand of the computation.
+    pub fn new() -> (Self, StrandId) {
+        let mut eng = L::default();
+        let mut heb = L::default();
+        let e = eng.insert_first();
+        let h = heb.insert_first();
+        (
+            SpOrderImpl {
+                eng,
+                heb,
+                strands: vec![(e, h)],
+            },
+            StrandId(0),
+        )
+    }
+
+    /// Number of strands registered so far.
+    #[inline]
+    pub fn strand_count(&self) -> usize {
+        self.strands.len()
+    }
+
+    fn push(&mut self, e: L::Handle, h: L::Handle) -> StrandId {
+        let id = self.strands.len();
+        assert!(id < u32::MAX as usize, "strand count exceeds u32");
+        self.strands.push((e, h));
+        StrandId(id as u32)
+    }
+
+    /// Create the sync strand for a sync block whose first spawn is being
+    /// executed by `cur`. Must be called *before* [`SpOrder::spawn`] for that
+    /// spawn.
+    pub fn new_sync_strand(&mut self, cur: StrandId) -> StrandId {
+        let (ce, ch) = self.strands[cur.index()];
+        let je = self.eng.insert_after(ce);
+        let jh = self.heb.insert_after(ch);
+        self.push(je, jh)
+    }
+
+    /// Register a spawn executed by `cur`, returning the child's first strand
+    /// and the continuation strand.
+    pub fn spawn(&mut self, cur: StrandId) -> SpawnStrands {
+        let (ce, ch) = self.strands[cur.index()];
+        // English: cur, child, continuation  (insert cont first, then child).
+        let ke = self.eng.insert_after(ce);
+        let se = self.eng.insert_after(ce);
+        // Hebrew: cur, continuation, child  (insert child first, then cont).
+        let sh = self.heb.insert_after(ch);
+        let kh = self.heb.insert_after(ch);
+        let child = self.push(se, sh);
+        let continuation = self.push(ke, kh);
+        SpawnStrands {
+            child,
+            continuation,
+        }
+    }
+
+    /// True if strand `a` logically precedes strand `b` (series, `a ≺ b`).
+    #[inline]
+    pub fn series(&self, a: StrandId, b: StrandId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ae, ah) = self.strands[a.index()];
+        let (be, bh) = self.strands[b.index()];
+        self.eng.precedes(ae, be) && self.heb.precedes(ah, bh)
+    }
+
+    /// True if strands `a` and `b` are logically parallel.
+    #[inline]
+    pub fn parallel(&self, a: StrandId, b: StrandId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ae, ah) = self.strands[a.index()];
+        let (be, bh) = self.strands[b.index()];
+        self.eng.precedes(ae, be) != self.heb.precedes(ah, bh)
+    }
+
+    /// True if `a` is *left of* `b`: either `a ∥ b` and `a` precedes `b` in
+    /// the sequential order, or `a` is in series with `b` and follows it.
+    /// Equivalently: `b` precedes `a` in the Hebrew order... no — `a` is left
+    /// of `b` iff `b <_H a` is false and... see below.
+    ///
+    /// Derivation: writing `<_E`/`<_H` for the two orders,
+    /// * case 1 (parallel, `a` first sequentially): `a <_E b` and `b <_H a`;
+    /// * case 2 (series, `a` after `b`): `b <_E a` and `b <_H a`.
+    ///
+    /// Both cases are exactly `b <_H a`, and conversely `b <_H a` implies one
+    /// of the two cases. So `left_of(a, b) ⟺ b <_H a`.
+    #[inline]
+    pub fn left_of(&self, a: StrandId, b: StrandId) -> bool {
+        if a == b {
+            return false;
+        }
+        let ah = self.strands[a.index()].1;
+        let bh = self.strands[b.index()].1;
+        self.heb.precedes(bh, ah)
+    }
+
+    /// True if `a` precedes `b` in the English (sequential) order.
+    #[inline]
+    pub fn english_precedes(&self, a: StrandId, b: StrandId) -> bool {
+        let ae = self.strands[a.index()].0;
+        let be = self.strands[b.index()].0;
+        self.eng.precedes(ae, be)
+    }
+
+}
+
+impl<L: OrderList> SpOrderImpl<L> {
+    /// Snapshot the current orders into a [`FrozenReach`] (O(n log n)).
+    pub fn freeze(&self) -> FrozenReach {
+        let n = self.strands.len();
+        let rank_of = |which_heb: bool| -> Vec<u32> {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by(|&x, &y| {
+                let hx = self.strands[x as usize];
+                let hy = self.strands[y as usize];
+                let before = if which_heb {
+                    self.heb.precedes(hx.1, hy.1)
+                } else {
+                    self.eng.precedes(hx.0, hy.0)
+                };
+                if before {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            });
+            let mut rank = vec![0u32; n];
+            for (r, &i) in idx.iter().enumerate() {
+                rank[i as usize] = r as u32;
+            }
+            rank
+        };
+        FrozenReach {
+            eng_rank: rank_of(false),
+            heb_rank: rank_of(true),
+        }
+    }
+}
+
+impl SpOrderImpl<OmList> {
+    /// Statistics about the underlying OM lists (for benchmarks).
+    pub fn om_stats(&self) -> OmStats {
+        OmStats {
+            english_relabels: self.eng.relabels(),
+            hebrew_relabels: self.heb.relabels(),
+            english_moved: self.eng.relabel_moved(),
+            hebrew_moved: self.heb.relabel_moved(),
+        }
+    }
+}
+
+/// A reachability snapshot: each strand's rank in the English and Hebrew
+/// orders. Freezing a [`SpOrderImpl`] yields a compact, serializable
+/// structure that answers the same queries — useful for persisting recorded
+/// traces (see `stint::trace`) and for replaying them in later processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenReach {
+    eng_rank: Vec<u32>,
+    heb_rank: Vec<u32>,
+}
+
+impl FrozenReach {
+    /// Reconstruct from previously exported ranks.
+    ///
+    /// # Panics
+    /// Panics if the two vectors differ in length or are not permutations of
+    /// `0..n`.
+    pub fn from_ranks(eng_rank: Vec<u32>, heb_rank: Vec<u32>) -> FrozenReach {
+        assert_eq!(eng_rank.len(), heb_rank.len());
+        let n = eng_rank.len() as u32;
+        let check = |v: &[u32]| {
+            let mut seen = vec![false; v.len()];
+            for &r in v {
+                assert!(r < n && !seen[r as usize], "ranks must be a permutation");
+                seen[r as usize] = true;
+            }
+        };
+        check(&eng_rank);
+        check(&heb_rank);
+        FrozenReach { eng_rank, heb_rank }
+    }
+
+    /// The per-strand (English, Hebrew) ranks.
+    pub fn ranks(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.eng_rank.iter().copied().zip(self.heb_rank.iter().copied())
+    }
+
+    pub fn strand_count(&self) -> usize {
+        self.eng_rank.len()
+    }
+}
+
+impl Reachability for FrozenReach {
+    #[inline]
+    fn series(&self, a: StrandId, b: StrandId) -> bool {
+        a != b
+            && self.eng_rank[a.index()] < self.eng_rank[b.index()]
+            && self.heb_rank[a.index()] < self.heb_rank[b.index()]
+    }
+    #[inline]
+    fn parallel(&self, a: StrandId, b: StrandId) -> bool {
+        a != b
+            && (self.eng_rank[a.index()] < self.eng_rank[b.index()])
+                != (self.heb_rank[a.index()] < self.heb_rank[b.index()])
+    }
+    #[inline]
+    fn left_of(&self, a: StrandId, b: StrandId) -> bool {
+        a != b && self.heb_rank[b.index()] < self.heb_rank[a.index()]
+    }
+}
+
+/// Relabelling statistics of the two OM lists.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OmStats {
+    pub english_relabels: u64,
+    pub hebrew_relabels: u64,
+    pub english_moved: u64,
+    pub hebrew_moved: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny executor mirroring the maintenance protocol, used to drive unit
+    /// tests. (The real executor lives in `stint-cilk`.)
+    struct Frame {
+        sync_strand: Option<StrandId>,
+    }
+    pub struct Toy {
+        pub sp: SpOrder,
+        pub cur: StrandId,
+        frames: Vec<Frame>,
+    }
+    impl Toy {
+        pub fn new() -> Self {
+            let (sp, root) = SpOrder::new();
+            Toy {
+                sp,
+                cur: root,
+                frames: vec![Frame { sync_strand: None }],
+            }
+        }
+        pub fn spawn(&mut self, f: impl FnOnce(&mut Toy)) {
+            if self.frames.last().unwrap().sync_strand.is_none() {
+                let j = self.sp.new_sync_strand(self.cur);
+                self.frames.last_mut().unwrap().sync_strand = Some(j);
+            }
+            let s = self.sp.spawn(self.cur);
+            self.frames.push(Frame { sync_strand: None });
+            self.cur = s.child;
+            f(self);
+            // implicit sync at spawned function return
+            self.sync();
+            self.frames.pop();
+            self.cur = s.continuation;
+        }
+        pub fn sync(&mut self) {
+            if let Some(j) = self.frames.last_mut().unwrap().sync_strand.take() {
+                self.cur = j;
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_makes_child_parallel_to_continuation() {
+        let mut t = Toy::new();
+        let mut child = None;
+        t.spawn(|t| child = Some(t.cur));
+        let child = child.unwrap();
+        let cont = t.cur;
+        assert!(t.sp.parallel(child, cont));
+        assert!(t.sp.left_of(child, cont), "child is left of continuation");
+        assert!(!t.sp.left_of(cont, child));
+    }
+
+    #[test]
+    fn sync_serializes() {
+        let mut t = Toy::new();
+        let root = t.cur;
+        let mut child = None;
+        t.spawn(|t| child = Some(t.cur));
+        t.sync();
+        let after = t.cur;
+        let child = child.unwrap();
+        assert!(t.sp.series(root, child));
+        assert!(t.sp.series(child, after));
+        assert!(t.sp.series(root, after));
+        assert!(!t.sp.parallel(child, after));
+        // After sync, the later strand is left of the earlier (series) one.
+        assert!(t.sp.left_of(after, child));
+    }
+
+    #[test]
+    fn two_children_are_parallel() {
+        let mut t = Toy::new();
+        let (mut c1, mut c2) = (None, None);
+        t.spawn(|t| c1 = Some(t.cur));
+        t.spawn(|t| c2 = Some(t.cur));
+        t.sync();
+        let (c1, c2) = (c1.unwrap(), c2.unwrap());
+        assert!(t.sp.parallel(c1, c2));
+        assert!(t.sp.left_of(c1, c2), "earlier sibling is left of later");
+        assert!(t.sp.series(c1, t.cur));
+        assert!(t.sp.series(c2, t.cur));
+    }
+
+    #[test]
+    fn nested_spawn_parallel_with_uncle_continuation() {
+        // spawn { spawn {A}; B } ; C ; sync   — A,B,C pairwise parallel.
+        let mut t = Toy::new();
+        let (mut a, mut b) = (None, None);
+        t.spawn(|t| {
+            t.spawn(|t| a = Some(t.cur));
+            b = Some(t.cur);
+        });
+        let c = t.cur;
+        t.sync();
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert!(t.sp.parallel(a, b));
+        assert!(t.sp.parallel(a, c));
+        assert!(t.sp.parallel(b, c));
+        assert!(t.sp.series(a, t.cur));
+        assert!(t.sp.series(b, t.cur));
+    }
+
+    #[test]
+    fn second_sync_block_is_serial_after_first() {
+        let mut t = Toy::new();
+        let (mut a, mut b) = (None, None);
+        t.spawn(|t| a = Some(t.cur));
+        t.sync();
+        t.spawn(|t| b = Some(t.cur));
+        t.sync();
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert!(t.sp.series(a, b), "strands of block 1 precede block 2");
+        assert!(t.sp.series(a, t.cur));
+        assert!(t.sp.series(b, t.cur));
+    }
+
+    #[test]
+    fn implicit_sync_at_child_return() {
+        // spawn { spawn {A}; (implicit sync) }; after-child-return strand is
+        // the continuation — A is parallel to it; but A is serial before the
+        // strand following the outer sync.
+        let mut t = Toy::new();
+        let mut a = None;
+        t.spawn(|t| {
+            t.spawn(|t| a = Some(t.cur));
+            // no explicit sync: implicit at return
+        });
+        let cont = t.cur;
+        let a = a.unwrap();
+        assert!(t.sp.parallel(a, cont));
+        t.sync();
+        assert!(t.sp.series(a, t.cur));
+    }
+
+    #[test]
+    fn sync_without_spawn_is_noop() {
+        let mut t = Toy::new();
+        let before = t.cur;
+        t.sync();
+        assert_eq!(before, t.cur);
+    }
+
+    #[test]
+    fn deep_chain_series() {
+        let mut t = Toy::new();
+        let mut ids = vec![t.cur];
+        for _ in 0..100 {
+            t.spawn(|_| {});
+            t.sync();
+            ids.push(t.cur);
+        }
+        for w in ids.windows(2) {
+            assert!(t.sp.series(w[0], w[1]));
+        }
+        assert!(t.sp.series(ids[0], *ids.last().unwrap()));
+    }
+
+    #[test]
+    fn frozen_reach_answers_like_live() {
+        let mut t = Toy::new();
+        let mut ids = vec![t.cur];
+        t.spawn(|t| {
+            ids.push(t.cur);
+            t.spawn(|t| ids.push(t.cur));
+            ids.push(t.cur);
+        });
+        ids.push(t.cur);
+        t.sync();
+        ids.push(t.cur);
+        let frozen = t.sp.freeze();
+        assert_eq!(frozen.strand_count(), t.sp.strand_count());
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(
+                    t.sp.series(a, b),
+                    Reachability::series(&frozen, a, b),
+                    "series({a:?},{b:?})"
+                );
+                assert_eq!(
+                    t.sp.parallel(a, b),
+                    Reachability::parallel(&frozen, a, b),
+                    "parallel({a:?},{b:?})"
+                );
+                assert_eq!(
+                    t.sp.left_of(a, b),
+                    Reachability::left_of(&frozen, a, b),
+                    "left_of({a:?},{b:?})"
+                );
+            }
+        }
+        // Roundtrip through exported ranks.
+        let (e, h): (Vec<u32>, Vec<u32>) = frozen.ranks().unzip();
+        let back = FrozenReach::from_ranks(e, h);
+        assert_eq!(back, frozen);
+    }
+
+    #[test]
+    fn wide_fanout_pairwise_parallel() {
+        let mut t = Toy::new();
+        let mut kids = Vec::new();
+        for _ in 0..50 {
+            t.spawn(|t| kids.push(t.cur));
+        }
+        t.sync();
+        for i in 0..kids.len() {
+            for j in (i + 1)..kids.len() {
+                assert!(t.sp.parallel(kids[i], kids[j]));
+                assert!(t.sp.left_of(kids[i], kids[j]));
+            }
+            assert!(t.sp.series(kids[i], t.cur));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Differential test: SP-Order vs the brute-force transitive-closure oracle
+//! from `stint-spdag`, on thousands of random fork-join programs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stint_spdag::{random_func, simulate, Func, GenCfg, Stmt};
+use stint_sporder::{SpOrder, StrandId};
+
+/// Interpret a `Func` against SP-Order, mirroring the strand semantics of the
+/// spdag reference simulator exactly, and record the SP-Order strand ids in
+/// sequential execution order (so index `i` corresponds to spdag strand `i`).
+struct Walker {
+    sp: SpOrder,
+    cur: StrandId,
+    /// SP-Order id of each sim strand, in sequential order.
+    map: Vec<StrandId>,
+}
+
+impl Walker {
+    fn run(f: &Func) -> (SpOrder, Vec<StrandId>) {
+        let (sp, root) = SpOrder::new();
+        let mut w = Walker {
+            sp,
+            cur: root,
+            map: vec![root],
+        };
+        w.func(f);
+        (w.sp, w.map)
+    }
+
+    fn func(&mut self, f: &Func) {
+        let mut sync_strand: Option<StrandId> = None;
+        let mut spawned = false;
+        for stmt in &f.0 {
+            match stmt {
+                Stmt::Compute(_) => {}
+                Stmt::Spawn(g) => {
+                    if sync_strand.is_none() {
+                        sync_strand = Some(self.sp.new_sync_strand(self.cur));
+                    }
+                    spawned = true;
+                    let s = self.sp.spawn(self.cur);
+                    self.cur = s.child;
+                    self.map.push(s.child);
+                    self.func(g);
+                    self.cur = s.continuation;
+                    self.map.push(s.continuation);
+                }
+                Stmt::Sync => {
+                    if spawned {
+                        let j = sync_strand.take().unwrap();
+                        self.cur = j;
+                        self.map.push(j);
+                        spawned = false;
+                    }
+                }
+                Stmt::Call(g) => {
+                    self.func(g);
+                }
+            }
+        }
+        // Implicit sync at function end.
+        if spawned {
+            let j = sync_strand.take().unwrap();
+            self.cur = j;
+            self.map.push(j);
+        }
+    }
+}
+
+fn check_program(f: &Func) {
+    let sim = simulate(f);
+    let (sp, map) = Walker::run(f);
+    assert_eq!(
+        sim.strand_count(),
+        map.len(),
+        "strand count mismatch between oracle and SP-Order walker"
+    );
+    let n = sim.strand_count() as u32;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (sa, sb) = (map[a as usize], map[b as usize]);
+            assert_eq!(
+                sim.precedes(a, b),
+                sp.series(sa, sb),
+                "series({a},{b}) mismatch"
+            );
+            assert_eq!(
+                sim.parallel(a, b),
+                sp.parallel(sa, sb),
+                "parallel({a},{b}) mismatch"
+            );
+            // English order must equal sequential order.
+            assert_eq!(sp.english_precedes(sa, sb), a < b, "english({a},{b})");
+        }
+    }
+    // left_of definition check against the oracle.
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (sa, sb) = (map[a as usize], map[b as usize]);
+            let expect = (sim.parallel(a, b) && a < b) || sim.precedes(b, a);
+            assert_eq!(sp.left_of(sa, sb), expect, "left_of({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn random_programs_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let cfg = GenCfg::default();
+    for i in 0..500 {
+        let f = random_func(&mut rng, &cfg);
+        // Avoid quadratic blowup on the rare huge program.
+        if simulate(&f).strand_count() > 400 {
+            continue;
+        }
+        check_program(&f);
+        let _ = i;
+    }
+}
+
+#[test]
+fn deep_programs_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    let cfg = GenCfg {
+        max_depth: 8,
+        max_stmts: 3,
+        p_spawn: 0.5,
+        p_sync: 0.2,
+        ..GenCfg::default()
+    };
+    for _ in 0..300 {
+        let f = random_func(&mut rng, &cfg);
+        if simulate(&f).strand_count() > 400 {
+            continue;
+        }
+        check_program(&f);
+    }
+}
+
+#[test]
+fn wide_programs_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let cfg = GenCfg {
+        max_depth: 2,
+        max_stmts: 12,
+        p_spawn: 0.45,
+        p_sync: 0.25,
+        ..GenCfg::default()
+    };
+    for _ in 0..300 {
+        let f = random_func(&mut rng, &cfg);
+        if simulate(&f).strand_count() > 400 {
+            continue;
+        }
+        check_program(&f);
+    }
+}

@@ -1,0 +1,225 @@
+//! Deliberately broken variants of the benchmarks, used as positive tests:
+//! every detector variant must report these (and must report the same racy
+//! words — see the integration tests).
+
+use crate::util::{addr, random_f64s, random_i64s, MatMut};
+use stint_cilk::{Cilk, CilkProgram};
+
+/// Wrap any program with one guaranteed race on a sentinel cell: the wrapped
+/// program runs in a spawned child while the continuation writes a flag the
+/// child also writes.
+pub struct WithInjectedRace<P> {
+    pub inner: P,
+    flag: Box<[u8; 64]>,
+}
+
+impl<P> WithInjectedRace<P> {
+    pub fn new(inner: P) -> Self {
+        WithInjectedRace {
+            inner,
+            flag: Box::new([0; 64]),
+        }
+    }
+
+    /// The word range of the sentinel cell (for assertions).
+    pub fn sentinel_words(&self) -> (u64, u64) {
+        stint_cilk::word_range(self.flag.as_ptr() as usize, 8)
+    }
+}
+
+impl<P: CilkProgram> CilkProgram for WithInjectedRace<P> {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let a = self.flag.as_ptr() as usize;
+        let inner = &mut self.inner;
+        ctx.spawn(move |c| {
+            c.store(a, 8);
+            inner.run(c);
+        });
+        ctx.store(a, 8); // races with the child's store
+        ctx.sync();
+    }
+}
+
+/// `mmul` with the sync between the two accumulation phases removed: the
+/// phase-2 products read and write `C` quadrants in parallel with phase 1 —
+/// the classic forgotten-sync bug.
+pub struct MmulMissingSync {
+    pub n: usize,
+    pub b: usize,
+    a: Vec<f64>,
+    bm: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl MmulMissingSync {
+    pub fn new(n: usize, b: usize, seed: u64) -> Self {
+        assert!(n.is_power_of_two() && n > b);
+        MmulMissingSync {
+            n,
+            b,
+            a: random_f64s(n * n, seed ^ 0xA),
+            bm: random_f64s(n * n, seed ^ 0xB),
+            c: vec![0.0; n * n],
+        }
+    }
+}
+
+impl CilkProgram for MmulMissingSync {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let n = self.n;
+        let c = MatMut::from_slice(&mut self.c, n, n);
+        let a = MatMut::from_slice(&mut self.a, n, n);
+        let b = MatMut::from_slice(&mut self.bm, n, n);
+        let bs = self.b;
+        let h = n / 2;
+        let [c11, c12, c21, c22] = c.quadrants(h, h);
+        let [a11, a12, a21, a22] = a.quadrants(h, h);
+        let [b11, b12, b21, b22] = b.quadrants(h, h);
+        ctx.spawn(move |x| crate::mmul::mm(x, c11, a11, b11, bs));
+        ctx.spawn(move |x| crate::mmul::mm(x, c12, a11, b12, bs));
+        ctx.spawn(move |x| crate::mmul::mm(x, c21, a21, b11, bs));
+        ctx.spawn(move |x| crate::mmul::mm(x, c22, a21, b12, bs));
+        // BUG: missing ctx.sync() here — phase 2 races with phase 1.
+        ctx.spawn(move |x| crate::mmul::mm(x, c11, a12, b21, bs));
+        ctx.spawn(move |x| crate::mmul::mm(x, c12, a12, b22, bs));
+        ctx.spawn(move |x| crate::mmul::mm(x, c21, a22, b21, bs));
+        ctx.spawn(move |x| crate::mmul::mm(x, c22, a22, b22, bs));
+        ctx.sync();
+    }
+}
+
+/// `heat` without the barrier between timesteps: step `t+1` reads the rows
+/// step `t` is still writing.
+pub struct HeatMissingBarrier {
+    pub nx: usize,
+    pub ny: usize,
+    pub steps: usize,
+    pub b: usize,
+    grid_a: Vec<f64>,
+    grid_b: Vec<f64>,
+}
+
+impl HeatMissingBarrier {
+    pub fn new(nx: usize, ny: usize, steps: usize, b: usize, seed: u64) -> Self {
+        assert!(steps >= 2, "need two steps for the missing barrier to race");
+        let init = random_f64s(nx * ny, seed);
+        HeatMissingBarrier {
+            nx,
+            ny,
+            steps,
+            b,
+            grid_a: init.clone(),
+            grid_b: init,
+        }
+    }
+}
+
+impl CilkProgram for HeatMissingBarrier {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let (nx, ny, b) = (self.nx, self.ny, self.b);
+        for t in 0..self.steps {
+            let (old, new) = if t % 2 == 0 {
+                (&mut self.grid_a, &mut self.grid_b)
+            } else {
+                (&mut self.grid_b, &mut self.grid_a)
+            };
+            let old = MatMut::from_slice(old, nx, ny);
+            let new = MatMut::from_slice(new, nx, ny);
+            // Spawn the whole step and DON'T sync: steps overlap.
+            ctx.spawn(move |x| step(x, old, new, b));
+        }
+        ctx.sync();
+    }
+}
+
+fn step<C: Cilk>(ctx: &mut C, old: MatMut, new: MatMut, b: usize) {
+    let nx = old.rows;
+    let ny = old.cols;
+    let mut lo = 1;
+    while lo < nx - 1 {
+        let hi = (lo + b).min(nx - 1);
+        ctx.spawn(move |x| {
+            for i in lo..hi {
+                x.load_range(old.addr(i - 1, 0), ny * 8);
+                x.load_range(old.addr(i, 0), ny * 8);
+                x.load_range(old.addr(i + 1, 0), ny * 8);
+                x.store_range(new.addr(i, 1), (ny - 2) * 8);
+                for j in 1..ny - 1 {
+                    let v = old.get(i, j)
+                        + 0.1 * (old.get(i - 1, j) + old.get(i + 1, j) + old.get(i, j - 1)
+                            + old.get(i, j + 1)
+                            - 4.0 * old.get(i, j));
+                    new.set(i, j, v);
+                }
+            }
+        });
+        lo = hi;
+    }
+    ctx.sync();
+}
+
+/// A parallel merge whose output ranges overlap by `overlap` elements: the
+/// two merging strands race on the shared slots.
+pub struct OverlappingMerge {
+    pub n: usize,
+    pub overlap: usize,
+    data: Vec<i64>,
+    out: Vec<i64>,
+}
+
+impl OverlappingMerge {
+    pub fn new(n: usize, overlap: usize, seed: u64) -> Self {
+        assert!(overlap >= 1 && overlap < n / 2);
+        let mut data = random_i64s(n, seed);
+        let h = n / 2;
+        data[..h].sort_unstable();
+        data[h..].sort_unstable();
+        OverlappingMerge {
+            n,
+            overlap,
+            out: vec![0; n],
+            data,
+        }
+    }
+}
+
+impl CilkProgram for OverlappingMerge {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let h = self.n / 2;
+        let (x, y) = self.data.split_at(h);
+        let (xl, xr) = x.split_at(h / 2);
+        let (yl, yr) = y.split_at(h / 2);
+        let mid = h - self.overlap; // BUG: left output overruns into right
+        let o = addr(&self.out, 0);
+        let n = self.n;
+        let overlap = self.overlap;
+        ctx.spawn(move |c| copy_merge(c, xl, yl, o, mid + overlap));
+        copy_merge(ctx, xr, yr, o + mid * 8, n - mid);
+        ctx.sync();
+    }
+}
+
+/// Simplified merge writing `len` slots starting at byte address `base`.
+fn copy_merge<C: Cilk>(ctx: &mut C, x: &[i64], y: &[i64], base: usize, len: usize) {
+    ctx.store_range(base, len * 8);
+    for i in 0..x.len().min(len) {
+        ctx.load(addr(x, i), 8);
+    }
+    for i in 0..y.len().min(len) {
+        ctx.load(addr(y, i), 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_cilk::run_baseline;
+
+    #[test]
+    fn buggy_programs_still_run_under_baseline() {
+        run_baseline(&mut MmulMissingSync::new(16, 4, 1));
+        run_baseline(&mut HeatMissingBarrier::new(12, 12, 3, 3, 1));
+        run_baseline(&mut OverlappingMerge::new(64, 4, 1));
+        run_baseline(&mut WithInjectedRace::new(crate::mmul::Mmul::new(8, 4, 1)));
+    }
+}

@@ -1,0 +1,304 @@
+//! `chol` — Cholesky factorization by recursive blocked elimination.
+//!
+//! The Cilk-5 `cholesky` benchmark factors a sparse matrix held in a
+//! quadtree; we substitute the dense blocked recursion with the same
+//! fork-join shape and the same access-pattern property the paper exploits
+//! (strands work on contiguous row segments of the lower triangle — chol is
+//! one of the paper's best coalescers: 1466M accesses → 2.1M intervals).
+//! See DESIGN.md §2 for the substitution note.
+//!
+//! In-place factorization of the lower triangle, `A = L·Lᵀ`:
+//!
+//! ```text
+//! chol(A):            [ A11      ]      1. chol(A11)
+//!                     [ A21  A22 ]      2. trsm:  A21 ← A21 · L11⁻ᵀ      (rows of A21 in parallel)
+//!                                       3. syrk:  A22 ← A22 − A21·A21ᵀ  (disjoint blocks in parallel)
+//!                                       4. chol(A22)
+//! ```
+
+use crate::util::MatMut;
+use crate::Scale;
+use stint_cilk::{Cilk, CilkProgram};
+
+/// The `chol` benchmark instance.
+pub struct Chol {
+    pub n: usize,
+    pub b: usize,
+    a: Vec<f64>,
+    /// The true factor used to build the input (for verification).
+    l_true: Vec<f64>,
+    verify_limit: usize,
+}
+
+impl Chol {
+    pub fn new(n: usize, b: usize, seed: u64) -> Chol {
+        assert!(n >= 1 && b >= 1);
+        // Build A = L·Lᵀ from a random lower-triangular L with a dominant
+        // positive diagonal: Cholesky of an SPD matrix is unique, so the
+        // factorization must reproduce L exactly (up to rounding).
+        let raw = crate::util::random_f64s(n * n, seed ^ 0xC0);
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..i {
+                l[i * n + j] = raw[i * n + j] * 0.25;
+            }
+            l[i * n + i] = 1.0 + raw[i * n + i].abs();
+        }
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += l[i * n + k] * l[j * n + k];
+                }
+                a[i * n + j] = s;
+                a[j * n + i] = s;
+            }
+        }
+        Chol {
+            n,
+            b,
+            a,
+            l_true: l,
+            verify_limit: 1024,
+        }
+    }
+
+    /// Paper parameters: n = 2000, b = 16 (on the sparse quadtree variant).
+    pub fn with_scale(scale: Scale) -> Chol {
+        match scale {
+            Scale::Test => Chol::new(48, 8, 6),
+            Scale::S => Chol::new(384, 16, 6),
+            Scale::M => Chol::new(1024, 16, 6),
+            Scale::Paper => Chol::new(2000, 16, 6),
+        }
+    }
+
+    /// The computed factor occupies the lower triangle of the matrix.
+    pub fn factor(&self) -> &[f64] {
+        &self.a
+    }
+
+    pub fn verify(&self) -> Result<(), String> {
+        if self.n > self.verify_limit {
+            return Ok(());
+        }
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for j in 0..=i {
+                worst = worst.max((self.a[i * self.n + j] - self.l_true[i * self.n + j]).abs());
+            }
+        }
+        if worst < 1e-8 * self.n as f64 {
+            Ok(())
+        } else {
+            Err(format!("chol: max abs deviation from true factor = {worst}"))
+        }
+    }
+}
+
+impl CilkProgram for Chol {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let n = self.n;
+        let a = MatMut::from_slice(&mut self.a, n, n);
+        chol_rec(ctx, a, self.b);
+    }
+}
+
+fn chol_rec<C: Cilk>(ctx: &mut C, a: MatMut, b: usize) {
+    let n = a.rows;
+    if n <= b {
+        chol_base(ctx, a);
+        return;
+    }
+    let h = n / 2;
+    let a11 = a.sub(0, 0, h, h);
+    let a21 = a.sub(h, 0, n - h, h);
+    let a22 = a.sub(h, h, n - h, n - h);
+    chol_rec(ctx, a11, b);
+    trsm(ctx, a21, a11, b);
+    ctx.sync();
+    syrk(ctx, a22, a21, b);
+    ctx.sync();
+    chol_rec(ctx, a22, b);
+}
+
+/// Serial left-looking base case over row segments of the lower triangle.
+fn chol_base<C: Cilk>(ctx: &mut C, a: MatMut) {
+    let n = a.rows;
+    for j in 0..n {
+        // Row j's prefix is read repeatedly below; its diagonal is written.
+        ctx.load_range(a.addr(j, 0), (j + 1) * 8);
+        ctx.store(a.addr(j, j), 8);
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            d -= a.get(j, k) * a.get(j, k);
+        }
+        let d = d.max(1e-300).sqrt();
+        a.set(j, j, d);
+        for i in (j + 1)..n {
+            ctx.load_range(a.addr(i, 0), (j + 1) * 8);
+            ctx.store(a.addr(i, j), 8);
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= a.get(i, k) * a.get(j, k);
+            }
+            a.set(i, j, s / d);
+        }
+    }
+}
+
+/// `x ← x · l⁻ᵀ` where `l` is lower triangular: forward substitution on every
+/// row of `x`, rows processed in parallel (recursive split).
+fn trsm<C: Cilk>(ctx: &mut C, x: MatMut, l: MatMut, b: usize) {
+    let m = x.rows;
+    if m <= b {
+        trsm_base(ctx, x, l);
+        return;
+    }
+    let h = m / 2;
+    let xt = x.sub(0, 0, h, x.cols);
+    let xb = x.sub(h, 0, m - h, x.cols);
+    ctx.spawn(move |c| trsm(c, xt, l, b));
+    trsm(ctx, xb, l, b);
+    ctx.sync();
+}
+
+fn trsm_base<C: Cilk>(ctx: &mut C, x: MatMut, l: MatMut) {
+    let k = x.cols;
+    for i in 0..x.rows {
+        // The whole row of x is read and rewritten in place.
+        ctx.load_range(x.addr(i, 0), k * 8);
+        ctx.store_range(x.addr(i, 0), k * 8);
+        for j in 0..k {
+            ctx.load_range(l.addr(j, 0), (j + 1) * 8);
+            let mut s = x.get(i, j);
+            for p in 0..j {
+                s -= x.get(i, p) * l.get(j, p);
+            }
+            x.set(i, j, s / l.get(j, j));
+        }
+    }
+}
+
+/// `c ← c − x·xᵀ` on the lower triangle of `c` (`c` is `m×m`, `x` is `m×k`).
+/// The diagonal blocks and the off-diagonal block are disjoint and run in
+/// parallel.
+fn syrk<C: Cilk>(ctx: &mut C, c: MatMut, x: MatMut, b: usize) {
+    let m = c.rows;
+    if m <= b {
+        syrk_base(ctx, c, x);
+        return;
+    }
+    let h = m / 2;
+    let c11 = c.sub(0, 0, h, h);
+    let c21 = c.sub(h, 0, m - h, h);
+    let c22 = c.sub(h, h, m - h, m - h);
+    let xt = x.sub(0, 0, h, x.cols);
+    let xb = x.sub(h, 0, m - h, x.cols);
+    ctx.spawn(move |cx| syrk(cx, c11, xt, b));
+    ctx.spawn(move |cx| syrk(cx, c22, xb, b));
+    gemm_nt(ctx, c21, xb, xt, b);
+    ctx.sync();
+}
+
+fn syrk_base<C: Cilk>(ctx: &mut C, c: MatMut, x: MatMut) {
+    let k = x.cols;
+    for i in 0..c.rows {
+        ctx.load_range(c.addr(i, 0), (i + 1) * 8);
+        ctx.store_range(c.addr(i, 0), (i + 1) * 8);
+        ctx.load_range(x.addr(i, 0), k * 8);
+        for j in 0..=i {
+            if i != j {
+                ctx.load_range(x.addr(j, 0), k * 8);
+            }
+            let mut s = c.get(i, j);
+            for p in 0..k {
+                s -= x.get(i, p) * x.get(j, p);
+            }
+            c.set(i, j, s);
+        }
+    }
+}
+
+/// `c ← c − x·yᵀ` (`c` is `m×n`, `x` is `m×k`, `y` is `n×k`): recursive
+/// quadrant split over the rows of `x` and `y`; the four result blocks are
+/// disjoint, so all four recursions run in parallel.
+fn gemm_nt<C: Cilk>(ctx: &mut C, c: MatMut, x: MatMut, y: MatMut, b: usize) {
+    let (m, n) = (c.rows, c.cols);
+    if m <= b || n <= b {
+        gemm_nt_base(ctx, c, x, y);
+        return;
+    }
+    let (hm, hn) = (m / 2, n / 2);
+    let [c11, c12, c21, c22] = c.quadrants(hm, hn);
+    let xt = x.sub(0, 0, hm, x.cols);
+    let xb = x.sub(hm, 0, m - hm, x.cols);
+    let yt = y.sub(0, 0, hn, y.cols);
+    let yb = y.sub(hn, 0, n - hn, y.cols);
+    ctx.spawn(move |cx| gemm_nt(cx, c11, xt, yt, b));
+    ctx.spawn(move |cx| gemm_nt(cx, c12, xt, yb, b));
+    ctx.spawn(move |cx| gemm_nt(cx, c21, xb, yt, b));
+    gemm_nt(ctx, c22, xb, yb, b);
+    ctx.sync();
+}
+
+fn gemm_nt_base<C: Cilk>(ctx: &mut C, c: MatMut, x: MatMut, y: MatMut) {
+    let k = x.cols;
+    for i in 0..c.rows {
+        ctx.load_range(c.addr(i, 0), c.cols * 8);
+        ctx.store_range(c.addr(i, 0), c.cols * 8);
+        ctx.load_range(x.addr(i, 0), k * 8);
+        for j in 0..c.cols {
+            ctx.load_range(y.addr(j, 0), k * 8);
+            let mut s = c.get(i, j);
+            for p in 0..k {
+                s -= x.get(i, p) * y.get(j, p);
+            }
+            c.set(i, j, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_cilk::run_baseline;
+
+    #[test]
+    fn recovers_the_true_factor() {
+        for (n, b) in [(4, 2), (16, 4), (48, 8), (65, 8), (128, 16)] {
+            let mut c = Chol::new(n, b, 13);
+            run_baseline(&mut c);
+            c.verify().unwrap_or_else(|e| panic!("n={n} b={b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn base_case_only() {
+        let mut c = Chol::new(24, 64, 3);
+        run_baseline(&mut c);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn llt_reconstructs_input() {
+        // Independent check: L·Lᵀ from the computed factor equals A.
+        let n = 40;
+        let mut c = Chol::new(n, 8, 21);
+        let a0 = c.a.clone();
+        run_baseline(&mut c);
+        let l = c.factor();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..=j.min(i) {
+                    s += l[i * n + k] * l[j * n + k];
+                }
+                worst = worst.max((s - a0[i * n + j]).abs());
+            }
+        }
+        assert!(worst < 1e-9 * n as f64, "L·Lᵀ deviates by {worst}");
+    }
+}

@@ -1,0 +1,402 @@
+//! `fft` — parallel complex FFT in the six-step (Bailey) formulation used by
+//! Cilk-5's `fft`, which views the length-`n` input (`n = r·r`, `r` a power
+//! of two) as an `r × r` matrix:
+//!
+//! 1. transpose, 2. FFT each row (size `r`), 3. scale by the twiddle
+//!    factors `w_n^(j·k)`, 4. transpose, 5. FFT each row again, 6. transpose.
+//!
+//! The row FFTs and the twiddle scaling touch contiguous rows (coalescible),
+//! but the **transposes** read or write column-major — with 16-byte complex
+//! elements every transposed element is its own 4-word access that can never
+//! merge with its neighbours. This is exactly the access signature that
+//! makes fft the paper's adverse case for interval-based access histories:
+//! little interval reduction and small average interval size (Figures 6–8).
+
+use crate::util::Mat2D;
+use crate::Scale;
+use std::f64::consts::PI;
+use stint_cilk::{Cilk, CilkProgram};
+
+/// A complex number, 16 bytes, the unit of FFT memory traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cx {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl std::ops::Add for Cx {
+    type Output = Cx;
+    #[inline]
+    fn add(self, o: Cx) -> Cx {
+        Cx::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Cx {
+    type Output = Cx;
+    #[inline]
+    fn sub(self, o: Cx) -> Cx {
+        Cx::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Cx {
+    type Output = Cx;
+    #[inline]
+    fn mul(self, o: Cx) -> Cx {
+        Cx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Cx {
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Cx {
+        Cx { re, im }
+    }
+    /// e^{-2πi k / n} (forward-transform twiddle).
+    #[inline]
+    pub fn twiddle(k: usize, n: usize) -> Cx {
+        let a = -2.0 * PI * (k as f64) / (n as f64);
+        Cx::new(a.cos(), a.sin())
+    }
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+type CxMat = Mat2D<Cx>;
+
+/// The `fft` benchmark instance.
+pub struct Fft {
+    /// Total points; a perfect square of a power of two.
+    pub n: usize,
+    /// Rows per leaf strand in the row-FFT passes and leaf block size in the
+    /// transposes.
+    pub b: usize,
+    data: Vec<Cx>,
+    orig: Vec<Cx>,
+    verify_limit: usize,
+}
+
+impl Fft {
+    /// `n` must be `4^k` so the matrix is square with power-of-two sides.
+    pub fn new(n: usize, b: usize, seed: u64) -> Fft {
+        let r = (n as f64).sqrt() as usize;
+        assert_eq!(r * r, n, "n must be a perfect square (use 4^k)");
+        assert!(r.is_power_of_two());
+        let re = crate::util::random_f64s(n, seed ^ 0xF0);
+        let im = crate::util::random_f64s(n, seed ^ 0xF1);
+        let data: Vec<Cx> = re
+            .into_iter()
+            .zip(im)
+            .map(|(a, b)| Cx::new(a, b))
+            .collect();
+        Fft {
+            n,
+            b: b.max(1),
+            orig: data.clone(),
+            data,
+            verify_limit: 1 << 12,
+        }
+    }
+
+    /// Paper parameters: n = 2^26, b = 128.
+    pub fn with_scale(scale: Scale) -> Fft {
+        match scale {
+            Scale::Test => Fft::new(1 << 10, 4, 4),
+            Scale::S => Fft::new(1 << 16, 16, 4),
+            Scale::M => Fft::new(1 << 20, 64, 4),
+            Scale::Paper => Fft::new(1 << 26, 128, 4),
+        }
+    }
+
+    pub fn result(&self) -> &[Cx] {
+        &self.data
+    }
+
+    /// Verification: against the naive O(n²) DFT for small sizes; via an
+    /// uninstrumented inverse-transform round trip otherwise.
+    pub fn verify(&self) -> Result<(), String> {
+        let scale = (self.n as f64).sqrt();
+        if self.n <= self.verify_limit {
+            let mut worst = 0.0f64;
+            for k in 0..self.n {
+                let mut acc = Cx::default();
+                for (j, &x) in self.orig.iter().enumerate() {
+                    acc = acc + x * Cx::twiddle((j * k) % self.n, self.n);
+                }
+                worst = worst.max((acc - self.data[k]).norm_sq().sqrt());
+            }
+            if worst < 1e-6 * scale {
+                Ok(())
+            } else {
+                Err(format!("fft: max abs error vs naive DFT = {worst}"))
+            }
+        } else {
+            // Inverse transform: conjugate → forward → conjugate → 1/n.
+            let mut inv: Vec<Cx> = self.data.iter().map(|c| Cx::new(c.re, -c.im)).collect();
+            let mut prog = RawFft {
+                data: &mut inv,
+                b: self.b,
+            };
+            stint_cilk::run_baseline(&mut prog);
+            let nf = self.n as f64;
+            let mut worst = 0.0f64;
+            for (y, x) in inv.iter().zip(&self.orig) {
+                let back = Cx::new(y.re / nf, -y.im / nf);
+                worst = worst.max((back - *x).norm_sq().sqrt());
+            }
+            if worst < 1e-8 * scale {
+                Ok(())
+            } else {
+                Err(format!("fft: round-trip error = {worst}"))
+            }
+        }
+    }
+}
+
+impl CilkProgram for Fft {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let mut prog = RawFft {
+            data: &mut self.data,
+            b: self.b,
+        };
+        prog.run(ctx);
+    }
+}
+
+/// The six-step FFT over a borrowed buffer (also used for the verification
+/// round trip).
+struct RawFft<'a> {
+    data: &'a mut [Cx],
+    b: usize,
+}
+
+impl CilkProgram for RawFft<'_> {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let n = self.data.len();
+        let r = (n as f64).sqrt() as usize;
+        let m = CxMat::from_slice(self.data, r, r);
+        let b = self.b;
+        transpose(ctx, m, b);
+        ctx.sync();
+        fft_rows(ctx, m, b, n, false);
+        ctx.sync();
+        transpose(ctx, m, b);
+        ctx.sync();
+        fft_rows(ctx, m, b, n, true); // second pass includes twiddle scaling
+        ctx.sync();
+        transpose(ctx, m, b);
+        ctx.sync();
+    }
+}
+
+/// In-place parallel transpose of a square matrix: diagonal quadrants
+/// recurse (spawned), off-diagonal quadrants are swapped blockwise.
+fn transpose<C: Cilk>(ctx: &mut C, m: CxMat, b: usize) {
+    let n = m.rows;
+    if n <= b {
+        // Leaf: element-wise swaps across the diagonal. Column-major
+        // partners ⇒ per-element (uncoalescible) hooks.
+        for i in 0..n {
+            for j in 0..i {
+                ctx.load(m.addr(i, j), 16);
+                ctx.load(m.addr(j, i), 16);
+                ctx.store(m.addr(i, j), 16);
+                ctx.store(m.addr(j, i), 16);
+                let t = m.get(i, j);
+                m.set(i, j, m.get(j, i));
+                m.set(j, i, t);
+            }
+        }
+        return;
+    }
+    let h = n / 2;
+    let [q11, q12, q21, q22] = m.quadrants(h, h);
+    ctx.spawn(move |x| transpose(x, q11, b));
+    ctx.spawn(move |x| transpose(x, q22, b));
+    swap_blocks(ctx, q12, q21, b);
+    ctx.sync();
+}
+
+/// `a[i][j] <-> b[j][i]` for two disjoint equal-size blocks, recursively.
+fn swap_blocks<C: Cilk>(ctx: &mut C, a: CxMat, b_: CxMat, bs: usize) {
+    let n = a.rows;
+    if n <= bs {
+        for i in 0..n {
+            // Row of `a` is contiguous (coalescible); the partners in `b`
+            // form a column — per-element hooks.
+            ctx.load_range(a.addr(i, 0), n * 16);
+            ctx.store_range(a.addr(i, 0), n * 16);
+            for j in 0..n {
+                ctx.load(b_.addr(j, i), 16);
+                ctx.store(b_.addr(j, i), 16);
+                let t = a.get(i, j);
+                a.set(i, j, b_.get(j, i));
+                b_.set(j, i, t);
+            }
+        }
+        return;
+    }
+    let h = n / 2;
+    let [a11, a12, a21, a22] = a.quadrants(h, h);
+    let [b11, b12, b21, b22] = b_.quadrants(h, h);
+    ctx.spawn(move |x| swap_blocks(x, a11, b11, bs));
+    ctx.spawn(move |x| swap_blocks(x, a12, b21, bs));
+    ctx.spawn(move |x| swap_blocks(x, a21, b12, bs));
+    swap_blocks(ctx, a22, b22, bs);
+    ctx.sync();
+}
+
+/// FFT every row of `m` in parallel (recursive split over row ranges). When
+/// `twiddle` is set, each row `j` is first scaled by `w_n^{j·k}` (step 3 of
+/// the six-step algorithm, fused with the second row pass).
+fn fft_rows<C: Cilk>(ctx: &mut C, m: CxMat, b: usize, n: usize, twiddle: bool) {
+    rows_rec(ctx, m, 0, m.rows, b, n, twiddle);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rows_rec<C: Cilk>(
+    ctx: &mut C,
+    m: CxMat,
+    lo: usize,
+    hi: usize,
+    b: usize,
+    n: usize,
+    twiddle: bool,
+) {
+    if hi - lo <= b {
+        for j in lo..hi {
+            if twiddle {
+                twiddle_row(ctx, m, j, n);
+            }
+            fft_row(ctx, m, j);
+        }
+        return;
+    }
+    let mid = (lo + hi) / 2;
+    ctx.spawn(move |x| rows_rec(x, m, lo, mid, b, n, twiddle));
+    rows_rec(ctx, m, mid, hi, b, n, twiddle);
+    ctx.sync();
+}
+
+/// Scale row `j` by the six-step twiddles: `m[j][k] *= w_n^{j·k}`.
+fn twiddle_row<C: Cilk>(ctx: &mut C, m: CxMat, j: usize, n: usize) {
+    let r = m.cols;
+    ctx.load_range(m.addr(j, 0), r * 16);
+    ctx.store_range(m.addr(j, 0), r * 16);
+    let step = Cx::twiddle(j, n);
+    let mut w = Cx::new(1.0, 0.0);
+    for k in 0..r {
+        // Re-anchor the rotation periodically to bound drift.
+        if k % 64 == 0 {
+            w = Cx::twiddle((j * k) % n, n);
+        }
+        m.set(j, k, m.get(j, k) * w);
+        w = w * step;
+    }
+}
+
+/// Iterative in-place radix-2 FFT of row `j` (bit-reversal + butterflies).
+/// The permutation gathers and the strided butterflies are per-element
+/// hooks; within one strand they coalesce back into the row's interval.
+fn fft_row<C: Cilk>(ctx: &mut C, m: CxMat, j: usize) {
+    let r = m.cols;
+    if r <= 1 {
+        return;
+    }
+    let bits = r.trailing_zeros();
+    // Bit-reversal permutation.
+    for k in 0..r {
+        let rk = (k.reverse_bits() >> (usize::BITS - bits)) & (r - 1);
+        if k < rk {
+            ctx.load(m.addr(j, k), 16);
+            ctx.load(m.addr(j, rk), 16);
+            ctx.store(m.addr(j, k), 16);
+            ctx.store(m.addr(j, rk), 16);
+            let t = m.get(j, k);
+            m.set(j, k, m.get(j, rk));
+            m.set(j, rk, t);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2usize;
+    while len <= r {
+        let step = Cx::twiddle(1, len);
+        let mut base = 0usize;
+        while base < r {
+            let mut w = Cx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let (i0, i1) = (base + k, base + k + len / 2);
+                ctx.load(m.addr(j, i0), 16);
+                ctx.load(m.addr(j, i1), 16);
+                ctx.store(m.addr(j, i0), 16);
+                ctx.store(m.addr(j, i1), 16);
+                let u = m.get(j, i0);
+                let v = m.get(j, i1) * w;
+                m.set(j, i0, u + v);
+                m.set(j, i1, u - v);
+                w = w * step;
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_cilk::run_baseline;
+
+    #[test]
+    fn matches_naive_dft() {
+        for (n, b) in [(16, 1), (64, 2), (256, 4), (1024, 8)] {
+            let mut f = Fft::new(n, b, 9);
+            run_baseline(&mut f);
+            f.verify().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn roundtrip_at_medium_size() {
+        let mut f = Fft::new(1 << 14, 8, 9);
+        run_baseline(&mut f);
+        f.verify().unwrap();
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut f = Fft::new(64, 2, 0);
+        for c in f.data.iter_mut() {
+            *c = Cx::default();
+        }
+        f.data[0] = Cx::new(1.0, 0.0);
+        f.orig = f.data.clone();
+        run_baseline(&mut f);
+        for (k, c) in f.result().iter().enumerate() {
+            assert!(
+                (c.re - 1.0).abs() < 1e-9 && c.im.abs() < 1e-9,
+                "X[{k}] = {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut f = Fft::new(256, 4, 0);
+        for c in f.data.iter_mut() {
+            *c = Cx::new(1.0, 0.0);
+        }
+        f.orig = f.data.clone();
+        run_baseline(&mut f);
+        let r = f.result();
+        assert!((r[0].re - 256.0).abs() < 1e-8);
+        for (k, c) in r.iter().enumerate().skip(1) {
+            assert!(c.norm_sq().sqrt() < 1e-8, "X[{k}] = {c:?}");
+        }
+    }
+}

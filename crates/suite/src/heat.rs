@@ -1,0 +1,172 @@
+//! `heat` — 2-D Jacobi heat diffusion on a grid (Cilk-5 `heat`).
+//!
+//! Each timestep computes `new[i][j]` from the 5-point stencil over `old`
+//! and then the roles swap. Within a step, the interior rows are divided
+//! recursively and the halves spawned; rows are row-major, so each leaf
+//! strand reads three contiguous row segments of `old` (coalesced loads) and
+//! writes one contiguous row of `new` (coalesced store) — heat coalesces
+//! extremely well, exactly as in the paper (5274M accesses → 2.2M intervals).
+
+use crate::util::{max_abs_diff, random_f64s, MatMut};
+use crate::Scale;
+use stint_cilk::{Cilk, CilkProgram};
+
+/// The `heat` benchmark instance.
+pub struct Heat {
+    pub nx: usize,
+    pub ny: usize,
+    pub steps: usize,
+    /// Base-case number of rows per leaf strand.
+    pub b: usize,
+    grid_a: Vec<f64>,
+    grid_b: Vec<f64>,
+    init: Vec<f64>,
+    verify_limit: usize,
+}
+
+impl Heat {
+    pub fn new(nx: usize, ny: usize, steps: usize, b: usize, seed: u64) -> Heat {
+        assert!(nx >= 3 && ny >= 3 && b >= 1);
+        let init = random_f64s(nx * ny, seed);
+        Heat {
+            nx,
+            ny,
+            steps,
+            b,
+            grid_a: init.clone(),
+            grid_b: init.clone(),
+            init,
+            verify_limit: 1 << 22,
+        }
+    }
+
+    /// Paper parameters: nx = ny = 2048, b = 10.
+    pub fn with_scale(scale: Scale) -> Heat {
+        match scale {
+            Scale::Test => Heat::new(24, 24, 4, 3, 2),
+            Scale::S => Heat::new(512, 512, 20, 10, 2),
+            Scale::M => Heat::new(1024, 1024, 50, 10, 2),
+            Scale::Paper => Heat::new(2048, 2048, 100, 10, 2),
+        }
+    }
+
+    /// The grid holding the final state.
+    pub fn result(&self) -> &[f64] {
+        if self.steps.is_multiple_of(2) {
+            &self.grid_a
+        } else {
+            &self.grid_b
+        }
+    }
+
+    /// Recompute serially from the saved initial state and compare.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.nx * self.ny * self.steps > self.verify_limit {
+            return Ok(());
+        }
+        let mut a = self.init.clone();
+        let mut b = self.init.clone();
+        let (nx, ny) = (self.nx, self.ny);
+        for _ in 0..self.steps {
+            for i in 1..nx - 1 {
+                for j in 1..ny - 1 {
+                    b[i * ny + j] = a[i * ny + j]
+                        + 0.1 * (a[(i - 1) * ny + j] + a[(i + 1) * ny + j] + a[i * ny + j - 1]
+                            + a[i * ny + j + 1]
+                            - 4.0 * a[i * ny + j]);
+                }
+            }
+            std::mem::swap(&mut a, &mut b);
+        }
+        let err = max_abs_diff(&a, self.result());
+        if err < 1e-12 {
+            Ok(())
+        } else {
+            Err(format!("heat: max abs error {err}"))
+        }
+    }
+}
+
+impl CilkProgram for Heat {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let (nx, ny) = (self.nx, self.ny);
+        for t in 0..self.steps {
+            let (old, new) = if t % 2 == 0 {
+                (&mut self.grid_a, &mut self.grid_b)
+            } else {
+                (&mut self.grid_b, &mut self.grid_a)
+            };
+            let old = MatMut::from_slice(old, nx, ny);
+            let new = MatMut::from_slice(new, nx, ny);
+            rows_rec(ctx, old, new, 1, nx - 1, self.b);
+            // Barrier between timesteps.
+            ctx.sync();
+        }
+    }
+}
+
+/// Recursively split the interior row range [lo, hi), spawning the halves.
+fn rows_rec<C: Cilk>(ctx: &mut C, old: MatMut, new: MatMut, lo: usize, hi: usize, b: usize) {
+    if hi - lo <= b {
+        leaf(ctx, old, new, lo, hi);
+        return;
+    }
+    let mid = (lo + hi) / 2;
+    ctx.spawn(move |x| rows_rec(x, old, new, lo, mid, b));
+    rows_rec(ctx, old, new, mid, hi, b);
+    ctx.sync();
+}
+
+/// One leaf strand: stencil over rows [lo, hi).
+fn leaf<C: Cilk>(ctx: &mut C, old: MatMut, new: MatMut, lo: usize, hi: usize) {
+    let ny = old.cols;
+    for i in lo..hi {
+        // Three contiguous row reads, one contiguous row write — all
+        // statically coalescible.
+        ctx.load_range(old.addr(i - 1, 0), ny * 8);
+        ctx.load_range(old.addr(i, 0), ny * 8);
+        ctx.load_range(old.addr(i + 1, 0), ny * 8);
+        ctx.store_range(new.addr(i, 1), (ny - 2) * 8);
+        for j in 1..ny - 1 {
+            let v = old.get(i, j)
+                + 0.1 * (old.get(i - 1, j) + old.get(i + 1, j) + old.get(i, j - 1)
+                    + old.get(i, j + 1)
+                    - 4.0 * old.get(i, j));
+            new.set(i, j, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_cilk::run_baseline;
+
+    #[test]
+    fn matches_serial_reference() {
+        for (nx, ny, steps, b) in [(8, 8, 3, 2), (24, 16, 5, 3), (33, 17, 4, 4)] {
+            let mut h = Heat::new(nx, ny, steps, b, 5);
+            run_baseline(&mut h);
+            h.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let mut h = Heat::new(8, 8, 0, 2, 5);
+        run_baseline(&mut h);
+        h.verify().unwrap();
+        assert_eq!(h.result(), &h.init[..]);
+    }
+
+    #[test]
+    fn boundary_rows_untouched() {
+        let mut h = Heat::new(10, 10, 3, 2, 5);
+        run_baseline(&mut h);
+        let r = h.result();
+        for j in 0..10 {
+            assert_eq!(r[j], h.init[j], "top row changed");
+            assert_eq!(r[90 + j], h.init[90 + j], "bottom row changed");
+        }
+    }
+}

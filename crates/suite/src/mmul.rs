@@ -1,0 +1,167 @@
+//! `mmul` — recursive divide-and-conquer dense matrix multiplication
+//! (Cilk-5 `matmul`), the benchmark whose base case is the paper's
+//! Algorithm 1.
+//!
+//! `C += A·B` on square power-of-two matrices stored row-major. The
+//! recursion splits all three matrices into quadrants and performs the eight
+//! quadrant products in two fully parallel phases of four (the two phases
+//! write the same `C` quadrants and are separated by a `sync`):
+//!
+//! ```text
+//! phase 1: C11+=A11·B11  C12+=A11·B12  C21+=A21·B11  C22+=A21·B12   sync
+//! phase 2: C11+=A12·B21  C12+=A12·B22  C21+=A22·B21  C22+=A22·B22   sync
+//! ```
+//!
+//! The base case follows Algorithm 1's instrumentation exactly: coalesced
+//! load+store of each `C` row segment, coalesced load of each `A` row
+//! segment, and *uncoalesced* per-element loads of `B` — the `k` loop reads
+//! `B` in column-major order, which the compiler cannot coalesce.
+
+use crate::util::{max_abs_diff, naive_matmul, random_f64s, MatMut};
+use crate::Scale;
+use stint_cilk::{Cilk, CilkProgram};
+
+/// The `mmul` benchmark instance.
+pub struct Mmul {
+    pub n: usize,
+    pub b: usize,
+    a: Vec<f64>,
+    bm: Vec<f64>,
+    c: Vec<f64>,
+    verify_limit: usize,
+}
+
+impl Mmul {
+    /// `n` must be a power of two; `b` is the base-case size.
+    pub fn new(n: usize, b: usize, seed: u64) -> Mmul {
+        assert!(n.is_power_of_two() && b >= 1);
+        Mmul {
+            n,
+            b,
+            a: random_f64s(n * n, seed ^ 0xA),
+            bm: random_f64s(n * n, seed ^ 0xB),
+            c: vec![0.0; n * n],
+            verify_limit: 512,
+        }
+    }
+
+    /// Paper parameters: n = 2048, b = 64.
+    pub fn with_scale(scale: Scale) -> Mmul {
+        match scale {
+            Scale::Test => Mmul::new(32, 8, 1),
+            Scale::S => Mmul::new(256, 32, 1),
+            Scale::M => Mmul::new(512, 64, 1),
+            Scale::Paper => Mmul::new(2048, 64, 1),
+        }
+    }
+
+    /// Compare against the naive product (skipped above `verify_limit`).
+    pub fn verify(&self) -> Result<(), String> {
+        if self.n > self.verify_limit {
+            return Ok(());
+        }
+        let mut want = vec![0.0; self.n * self.n];
+        naive_matmul(&mut want, &self.a, &self.bm, self.n);
+        let err = max_abs_diff(&self.c, &want);
+        if err < 1e-9 * self.n as f64 {
+            Ok(())
+        } else {
+            Err(format!("mmul: max abs error {err}"))
+        }
+    }
+
+    /// The result matrix (for tests).
+    pub fn result(&self) -> &[f64] {
+        &self.c
+    }
+}
+
+impl CilkProgram for Mmul {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let n = self.n;
+        let c = MatMut::from_slice(&mut self.c, n, n);
+        let a = MatMut::from_slice(&mut self.a, n, n);
+        let b = MatMut::from_slice(&mut self.bm, n, n);
+        mm(ctx, c, a, b, self.b);
+    }
+}
+
+/// `c += a · b`, recursive quadrant decomposition.
+pub(crate) fn mm<C: Cilk>(ctx: &mut C, c: MatMut, a: MatMut, b: MatMut, bsize: usize) {
+    let n = c.rows;
+    if n <= bsize {
+        base(ctx, c, a, b);
+        return;
+    }
+    let h = n / 2;
+    let [c11, c12, c21, c22] = c.quadrants(h, h);
+    let [a11, a12, a21, a22] = a.quadrants(h, h);
+    let [b11, b12, b21, b22] = b.quadrants(h, h);
+    // Phase 1: contributions of A's left column of quadrants.
+    ctx.spawn(move |x| mm(x, c11, a11, b11, bsize));
+    ctx.spawn(move |x| mm(x, c12, a11, b12, bsize));
+    ctx.spawn(move |x| mm(x, c21, a21, b11, bsize));
+    ctx.spawn(move |x| mm(x, c22, a21, b12, bsize));
+    ctx.sync();
+    // Phase 2: contributions of A's right column of quadrants.
+    ctx.spawn(move |x| mm(x, c11, a12, b21, bsize));
+    ctx.spawn(move |x| mm(x, c12, a12, b22, bsize));
+    ctx.spawn(move |x| mm(x, c21, a22, b21, bsize));
+    ctx.spawn(move |x| mm(x, c22, a22, b22, bsize));
+    ctx.sync();
+}
+
+/// Serial base case with Algorithm 1's instrumentation.
+pub(crate) fn base<C: Cilk>(ctx: &mut C, c: MatMut, a: MatMut, b: MatMut) {
+    let (m, p, q) = (c.rows, c.cols, a.cols);
+    debug_assert_eq!(b.rows, q);
+    for i in 0..m {
+        // __coalesced_load_hook / __coalesced_store_hook on C's row segment
+        // (the j loop loads and stores all of it), and a coalesced load of
+        // A's row segment (the k loop reads all of it).
+        ctx.load_range(c.addr(i, 0), p * 8);
+        ctx.store_range(c.addr(i, 0), p * 8);
+        ctx.load_range(a.addr(i, 0), q * 8);
+        for j in 0..p {
+            let mut t = c.get(i, j);
+            for k in 0..q {
+                // __load_hook: B is read in column-major order — not
+                // contiguous in row-major storage, so not coalescible.
+                ctx.load(b.addr(k, j), 8);
+                t += a.get(i, k) * b.get(k, j);
+            }
+            c.set(i, j, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_cilk::run_baseline;
+
+    #[test]
+    fn computes_correct_product() {
+        for (n, b) in [(8, 2), (16, 4), (32, 8), (64, 32)] {
+            let mut m = Mmul::new(n, b, 7);
+            run_baseline(&mut m);
+            m.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn base_case_only() {
+        let mut m = Mmul::new(16, 16, 3); // n == b: single base call
+        run_baseline(&mut m);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut m1 = Mmul::new(32, 8, 9);
+        let mut m2 = Mmul::new(32, 8, 9);
+        run_baseline(&mut m1);
+        run_baseline(&mut m2);
+        assert_eq!(m1.result(), m2.result());
+    }
+}

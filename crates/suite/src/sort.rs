@@ -1,0 +1,292 @@
+//! `sort` — cilksort (Cilk-5): 4-way parallel mergesort with a parallel
+//! divide-and-conquer merge, a serial quicksort base case, and the
+//! insertion-sort innermost base case of the paper's Algorithm 2.
+//!
+//! Instrumentation notes: the moves performed by quicksort's partition and
+//! by insertion sort are value-dependent — the compiler cannot coalesce them
+//! (Algorithm 2), but at runtime they densely cover the base-case range and
+//! coalesce into a handful of intervals. The serial merge reads its two
+//! input runs in a data-dependent interleaving (per-element loads) but its
+//! output range is statically known, so the store is emitted coalesced.
+
+use crate::util::{addr, random_i64s};
+use crate::Scale;
+use stint_cilk::{Cilk, CilkProgram};
+
+/// Below this length, quicksort switches to insertion sort (Cilk-5 constant).
+const INSERTION_MAX: usize = 20;
+
+/// The `sort` benchmark instance.
+pub struct Sort {
+    pub n: usize,
+    /// Base-case size: runs of at most `b` elements are sorted serially.
+    pub b: usize,
+    data: Vec<i64>,
+    tmp: Vec<i64>,
+    reference: Vec<i64>,
+    verify_limit: usize,
+}
+
+impl Sort {
+    pub fn new(n: usize, b: usize, seed: u64) -> Sort {
+        let data = random_i64s(n, seed);
+        Sort {
+            n,
+            b: b.max(4),
+            tmp: vec![0; n],
+            reference: data.clone(),
+            data,
+            verify_limit: 50_000_000,
+        }
+    }
+
+    /// Paper parameters: n = 2.5e7, b = 2048.
+    pub fn with_scale(scale: Scale) -> Sort {
+        match scale {
+            Scale::Test => Sort::new(1_500, 64, 3),
+            Scale::S => Sort::new(300_000, 2048, 3),
+            Scale::M => Sort::new(2_500_000, 2048, 3),
+            Scale::Paper => Sort::new(25_000_000, 2048, 3),
+        }
+    }
+
+    pub fn result(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Sortedness + permutation check against `std` sort of the input.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.n > self.verify_limit {
+            return Ok(());
+        }
+        let mut want = self.reference.clone();
+        want.sort_unstable();
+        if self.data == want {
+            Ok(())
+        } else {
+            Err("sort: output differs from std sort".into())
+        }
+    }
+}
+
+impl CilkProgram for Sort {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        cilksort(ctx, &mut self.data, &mut self.tmp, self.b);
+    }
+}
+
+/// Sort `a` using `tmp` as scratch (both the same length).
+fn cilksort<C: Cilk>(ctx: &mut C, a: &mut [i64], tmp: &mut [i64], b: usize) {
+    let n = a.len();
+    if n <= b {
+        seqquick(ctx, a);
+        return;
+    }
+    let q = n / 4;
+    // Sort the four quarters in parallel...
+    {
+        let (a1, rest) = a.split_at_mut(q);
+        let (a2, rest) = rest.split_at_mut(q);
+        let (a3, a4) = rest.split_at_mut(q);
+        let (t1, trest) = tmp.split_at_mut(q);
+        let (t2, trest) = trest.split_at_mut(q);
+        let (t3, t4) = trest.split_at_mut(q);
+        ctx.spawn(|x| cilksort(x, a1, t1, b));
+        ctx.spawn(|x| cilksort(x, a2, t2, b));
+        ctx.spawn(|x| cilksort(x, a3, t3, b));
+        cilksort(ctx, a4, t4, b);
+        ctx.sync();
+    }
+    // ...merge pairs of quarters into tmp, in parallel...
+    {
+        let (alo, ahi) = a.split_at(2 * q);
+        let (a1, a2) = alo.split_at(q);
+        let (a3, a4) = ahi.split_at(q);
+        let (tlo, thi) = tmp.split_at_mut(2 * q);
+        ctx.spawn(|x| merge(x, a1, a2, tlo));
+        merge(ctx, a3, a4, thi);
+        ctx.sync();
+    }
+    // ...and merge the two halves back into a.
+    let (tlo, thi) = tmp.split_at(2 * q);
+    merge(ctx, tlo, thi, a);
+    ctx.sync();
+}
+
+/// Parallel merge of sorted runs `x` and `y` into `out` (divide & conquer).
+fn merge<C: Cilk>(ctx: &mut C, x: &[i64], y: &[i64], out: &mut [i64]) {
+    debug_assert_eq!(x.len() + y.len(), out.len());
+    // Keep the larger run as the one we bisect.
+    let (x, y) = if x.len() >= y.len() { (x, y) } else { (y, x) };
+    if out.len() <= 2048 || y.is_empty() {
+        seq_merge(ctx, x, y, out);
+        return;
+    }
+    let mx = x.len() / 2;
+    ctx.load(addr(x, mx), 8);
+    let pivot = x[mx];
+    // Binary search y for the pivot's partition point (hooked probes).
+    let mut lo = 0usize;
+    let mut hi = y.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        ctx.load(addr(y, mid), 8);
+        if y[mid] < pivot {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let my = lo;
+    let (xl, xr) = x.split_at(mx);
+    let (yl, yr) = y.split_at(my);
+    let (ol, or_) = out.split_at_mut(mx + my);
+    ctx.spawn(|c| merge(c, xl, yl, ol));
+    merge(ctx, xr, yr, or_);
+    ctx.sync();
+}
+
+/// Serial merge: per-element data-dependent loads, coalesced output store.
+fn seq_merge<C: Cilk>(ctx: &mut C, x: &[i64], y: &[i64], out: &mut [i64]) {
+    if !out.is_empty() {
+        // The output range is statically known: coalesced store.
+        ctx.store_range(addr(out, 0), out.len() * 8);
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        let take_x = if i == x.len() {
+            false
+        } else if j == y.len() {
+            true
+        } else {
+            ctx.load(addr(x, i), 8);
+            ctx.load(addr(y, j), 8);
+            x[i] <= y[j]
+        };
+        if take_x {
+            if j == y.len() {
+                ctx.load(addr(x, i), 8);
+            }
+            *slot = x[i];
+            i += 1;
+        } else {
+            if i == x.len() {
+                ctx.load(addr(y, j), 8);
+            }
+            *slot = y[j];
+            j += 1;
+        }
+    }
+}
+
+/// Serial quicksort with median-of-three pivoting and the insertion-sort
+/// base case of Algorithm 2.
+fn seqquick<C: Cilk>(ctx: &mut C, a: &mut [i64]) {
+    let n = a.len();
+    if n <= INSERTION_MAX {
+        insertion(ctx, a);
+        return;
+    }
+    // Median-of-three pivot selection (hooked loads), pivot parked at the end.
+    ctx.load(addr(a, 0), 8);
+    ctx.load(addr(a, n / 2), 8);
+    ctx.load(addr(a, n - 1), 8);
+    let (x, y, z) = (a[0], a[n / 2], a[n - 1]);
+    let med = x.max(y.min(z)).min(y.max(z));
+    let pi = if med == x {
+        0
+    } else if med == y {
+        n / 2
+    } else {
+        n - 1
+    };
+    if pi != n - 1 {
+        ctx.store(addr(a, pi), 8);
+        ctx.store(addr(a, n - 1), 8);
+        a.swap(pi, n - 1);
+    }
+    let pivot = a[n - 1];
+    // Lomuto partition (hooked per-element loads and per-swap stores).
+    let mut store = 0usize;
+    for i in 0..n - 1 {
+        ctx.load(addr(a, i), 8);
+        if a[i] < pivot {
+            if i != store {
+                ctx.store(addr(a, i), 8);
+                ctx.store(addr(a, store), 8);
+            }
+            a.swap(i, store);
+            store += 1;
+        }
+    }
+    ctx.store(addr(a, store), 8);
+    ctx.store(addr(a, n - 1), 8);
+    a.swap(store, n - 1);
+    // The pivot at `store` is final: recurse on strictly smaller parts.
+    let (lo, hi) = a.split_at_mut(store);
+    seqquick(ctx, lo);
+    seqquick(ctx, &mut hi[1..]);
+}
+
+/// Insertion sort — the paper's Algorithm 2, hook for hook.
+fn insertion<C: Cilk>(ctx: &mut C, a: &mut [i64]) {
+    for q in 1..a.len() {
+        ctx.load(addr(a, q), 8);
+        let key = a[q];
+        let mut p = q;
+        while p > 0 {
+            ctx.load(addr(a, p - 1), 8);
+            if a[p - 1] > key {
+                ctx.store(addr(a, p), 8);
+                a[p] = a[p - 1];
+                p -= 1;
+            } else {
+                break;
+            }
+        }
+        ctx.store(addr(a, p), 8);
+        a[p] = key;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_cilk::run_baseline;
+
+    #[test]
+    fn sorts_correctly_various_sizes() {
+        for (n, b) in [(1, 4), (7, 4), (50, 8), (1000, 32), (4096, 64), (10_000, 128)] {
+            let mut s = Sort::new(n, b, 11);
+            run_baseline(&mut s);
+            s.verify().unwrap_or_else(|e| panic!("n={n} b={b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        for pattern in 0..4 {
+            let n = 3000;
+            let mut s = Sort::new(n, 64, 0);
+            // Overwrite the random data with an adversarial pattern.
+            for i in 0..n {
+                s.data[i] = match pattern {
+                    0 => i as i64,             // sorted
+                    1 => (n - i) as i64,       // reverse sorted
+                    2 => 42,                   // all equal
+                    _ => (i % 7) as i64,       // few distinct values
+                };
+            }
+            s.reference = s.data.clone();
+            run_baseline(&mut s);
+            s.verify().unwrap_or_else(|e| panic!("pattern={pattern}: {e}"));
+        }
+    }
+
+    #[test]
+    fn base_case_only() {
+        let mut s = Sort::new(64, 4096, 2);
+        run_baseline(&mut s);
+        s.verify().unwrap();
+    }
+}

@@ -1,0 +1,501 @@
+//! `stra` / `straz` — Strassen's matrix multiplication (Cilk-5 `strassen`),
+//! in two storage layouts:
+//!
+//! * [`Strassen`] (`stra`) — ordinary row-major storage: submatrix rows are
+//!   contiguous segments, so operand sums and the combine step coalesce per
+//!   row.
+//! * [`StrassenZ`] (`straz`) — Morton Z layout: the matrix is stored as four
+//!   recursively laid-out quadrant blocks, so every submatrix at every
+//!   recursion level is one contiguous slice and whole-block accesses
+//!   coalesce.
+//!
+//! The recursion computes the seven Strassen products in parallel, each in a
+//! spawned task that builds its operand sums in freshly allocated
+//! temporaries and frees them (via the [`stint_cilk::Cilk::free`] hook — see
+//! the allocator-integration notes in `stint-cilk`) before returning:
+//!
+//! ```text
+//! P1=(A11+A22)(B11+B22)  P2=(A21+A22)B11      P3=A11(B12−B22)
+//! P4=A22(B21−B11)        P5=(A11+A12)B22      P6=(A21−A11)(B11+B12)
+//! P7=(A12−A22)(B21+B22)
+//! C11=P1+P4−P5+P7  C12=P3+P5  C21=P2+P4  C22=P1−P2+P3+P6
+//! ```
+
+use crate::util::{addr, max_abs_diff, naive_matmul, random_f64s, MatMut};
+use crate::Scale;
+use stint_cilk::{Cilk, CilkProgram};
+
+// ---------------------------------------------------------------- row-major
+
+/// The `stra` benchmark instance (row-major layout).
+pub struct Strassen {
+    pub n: usize,
+    pub b: usize,
+    a: Vec<f64>,
+    bm: Vec<f64>,
+    c: Vec<f64>,
+    verify_limit: usize,
+}
+
+impl Strassen {
+    pub fn new(n: usize, b: usize, seed: u64) -> Strassen {
+        assert!(n.is_power_of_two() && b >= 2);
+        Strassen {
+            n,
+            b,
+            a: random_f64s(n * n, seed ^ 0x5A),
+            bm: random_f64s(n * n, seed ^ 0x5B),
+            c: vec![0.0; n * n],
+            verify_limit: 512,
+        }
+    }
+
+    /// Paper parameters: n = 2048, b = 64.
+    pub fn with_scale(scale: Scale) -> Strassen {
+        match scale {
+            Scale::Test => Strassen::new(32, 8, 14),
+            Scale::S => Strassen::new(256, 32, 14),
+            Scale::M => Strassen::new(512, 64, 14),
+            Scale::Paper => Strassen::new(2048, 64, 14),
+        }
+    }
+
+    pub fn result(&self) -> &[f64] {
+        &self.c
+    }
+
+    pub fn verify(&self) -> Result<(), String> {
+        if self.n > self.verify_limit {
+            return Ok(());
+        }
+        let mut want = vec![0.0; self.n * self.n];
+        naive_matmul(&mut want, &self.a, &self.bm, self.n);
+        let err = max_abs_diff(&self.c, &want);
+        if err < 1e-8 * self.n as f64 {
+            Ok(())
+        } else {
+            Err(format!("stra: max abs error {err}"))
+        }
+    }
+}
+
+impl CilkProgram for Strassen {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let n = self.n;
+        let c = MatMut::from_slice(&mut self.c, n, n);
+        let a = MatMut::from_slice(&mut self.a, n, n);
+        let b = MatMut::from_slice(&mut self.bm, n, n);
+        strassen_rm(ctx, c, a, b, self.b);
+    }
+}
+
+/// `dst = x + sign*y`, row-coalesced.
+fn mat_add<C: Cilk>(ctx: &mut C, dst: MatMut, x: MatMut, y: MatMut, sign: f64) {
+    let (m, n) = (dst.rows, dst.cols);
+    for i in 0..m {
+        ctx.load_range(x.addr(i, 0), n * 8);
+        ctx.load_range(y.addr(i, 0), n * 8);
+        ctx.store_range(dst.addr(i, 0), n * 8);
+        for j in 0..n {
+            dst.set(i, j, x.get(i, j) + sign * y.get(i, j));
+        }
+    }
+}
+
+/// Base case: `c = a · b` (overwrite), Algorithm-1 instrumentation minus the
+/// initial read of `c`.
+fn base_set<C: Cilk>(ctx: &mut C, c: MatMut, a: MatMut, b: MatMut) {
+    let (m, p, q) = (c.rows, c.cols, a.cols);
+    for i in 0..m {
+        ctx.store_range(c.addr(i, 0), p * 8);
+        ctx.load_range(a.addr(i, 0), q * 8);
+        for j in 0..p {
+            let mut t = 0.0;
+            for k in 0..q {
+                ctx.load(b.addr(k, j), 8);
+                t += a.get(i, k) * b.get(k, j);
+            }
+            c.set(i, j, t);
+        }
+    }
+}
+
+/// One spawned Strassen product: build up to two operand sums in fresh
+/// temporaries, recurse, free the temporaries.
+///
+/// `xa`/`xb` describe the operands: either a quadrant directly or a
+/// `(quadrant, quadrant, sign)` sum.
+#[derive(Clone, Copy)]
+enum Operand {
+    Plain(MatMut),
+    Sum(MatMut, MatMut, f64),
+}
+
+fn product<C: Cilk>(ctx: &mut C, dst: MatMut, xa: Operand, xb: Operand, bs: usize) {
+    let h = dst.rows;
+    let mut buf_a;
+    let mut buf_b;
+    let (mut free_a, mut free_b) = (0usize, 0usize);
+    let av = match xa {
+        Operand::Plain(m) => m,
+        Operand::Sum(x, y, s) => {
+            buf_a = vec![0.0; h * h];
+            free_a = addr(&buf_a, 0);
+            let v = MatMut::from_slice(&mut buf_a, h, h);
+            mat_add(ctx, v, x, y, s);
+            v
+        }
+    };
+    let bv = match xb {
+        Operand::Plain(m) => m,
+        Operand::Sum(x, y, s) => {
+            buf_b = vec![0.0; h * h];
+            free_b = addr(&buf_b, 0);
+            let v = MatMut::from_slice(&mut buf_b, h, h);
+            mat_add(ctx, v, x, y, s);
+            v
+        }
+    };
+    strassen_rm(ctx, dst, av, bv, bs);
+    // Clear the temporaries' access history before the allocator may hand
+    // their addresses to a logically parallel sibling product.
+    if free_a != 0 {
+        ctx.free(free_a, h * h * 8);
+    }
+    if free_b != 0 {
+        ctx.free(free_b, h * h * 8);
+    }
+}
+
+fn strassen_rm<C: Cilk>(ctx: &mut C, c: MatMut, a: MatMut, b: MatMut, bs: usize) {
+    let n = c.rows;
+    if n <= bs {
+        base_set(ctx, c, a, b);
+        return;
+    }
+    let h = n / 2;
+    let [c11, c12, c21, c22] = c.quadrants(h, h);
+    let [a11, a12, a21, a22] = a.quadrants(h, h);
+    let [b11, b12, b21, b22] = b.quadrants(h, h);
+    // The seven products live in buffers owned by this frame.
+    let mut bufs: Vec<Vec<f64>> = (0..7).map(|_| vec![0.0; h * h]).collect();
+    let p: Vec<MatMut> = bufs
+        .iter_mut()
+        .map(|v| MatMut::from_slice(v, h, h))
+        .collect();
+    let (p1, p2, p3, p4, p5, p6, p7) = (p[0], p[1], p[2], p[3], p[4], p[5], p[6]);
+    ctx.spawn(move |x| product(x, p1, Operand::Sum(a11, a22, 1.0), Operand::Sum(b11, b22, 1.0), bs));
+    ctx.spawn(move |x| product(x, p2, Operand::Sum(a21, a22, 1.0), Operand::Plain(b11), bs));
+    ctx.spawn(move |x| product(x, p3, Operand::Plain(a11), Operand::Sum(b12, b22, -1.0), bs));
+    ctx.spawn(move |x| product(x, p4, Operand::Plain(a22), Operand::Sum(b21, b11, -1.0), bs));
+    ctx.spawn(move |x| product(x, p5, Operand::Sum(a11, a12, 1.0), Operand::Plain(b22), bs));
+    ctx.spawn(move |x| product(x, p6, Operand::Sum(a21, a11, -1.0), Operand::Sum(b11, b12, 1.0), bs));
+    product(ctx, p7, Operand::Sum(a12, a22, -1.0), Operand::Sum(b21, b22, 1.0), bs);
+    ctx.sync();
+    // Combine (row-coalesced reads of the products, stores of C).
+    for i in 0..h {
+        ctx.load_range(p1.addr(i, 0), h * 8);
+        ctx.load_range(p2.addr(i, 0), h * 8);
+        ctx.load_range(p3.addr(i, 0), h * 8);
+        ctx.load_range(p4.addr(i, 0), h * 8);
+        ctx.load_range(p5.addr(i, 0), h * 8);
+        ctx.load_range(p6.addr(i, 0), h * 8);
+        ctx.load_range(p7.addr(i, 0), h * 8);
+        ctx.store_range(c11.addr(i, 0), h * 8);
+        ctx.store_range(c12.addr(i, 0), h * 8);
+        ctx.store_range(c21.addr(i, 0), h * 8);
+        ctx.store_range(c22.addr(i, 0), h * 8);
+        for j in 0..h {
+            c11.set(i, j, p1.get(i, j) + p4.get(i, j) - p5.get(i, j) + p7.get(i, j));
+            c12.set(i, j, p3.get(i, j) + p5.get(i, j));
+            c21.set(i, j, p2.get(i, j) + p4.get(i, j));
+            c22.set(i, j, p1.get(i, j) - p2.get(i, j) + p3.get(i, j) + p6.get(i, j));
+        }
+    }
+    for buf in &bufs {
+        ctx.free(addr(buf, 0), buf.len() * 8);
+    }
+}
+
+// ------------------------------------------------------------------ Z order
+
+/// The `straz` benchmark instance (Morton Z layout).
+///
+/// Layout: a matrix of side `n > b` is the concatenation of its four
+/// quadrants `[Q11, Q12, Q21, Q22]`, each recursively laid out; a matrix of
+/// side `≤ b` is a plain row-major block. Every submatrix the recursion
+/// touches is therefore one contiguous slice.
+pub struct StrassenZ {
+    pub n: usize,
+    pub b: usize,
+    a: Vec<f64>,
+    bm: Vec<f64>,
+    c: Vec<f64>,
+    a_rm: Vec<f64>,
+    b_rm: Vec<f64>,
+    verify_limit: usize,
+}
+
+impl StrassenZ {
+    pub fn new(n: usize, b: usize, seed: u64) -> StrassenZ {
+        assert!(n.is_power_of_two() && b.is_power_of_two() && b >= 2 && b <= n);
+        let a_rm = random_f64s(n * n, seed ^ 0x5C);
+        let b_rm = random_f64s(n * n, seed ^ 0x5D);
+        StrassenZ {
+            n,
+            b,
+            a: rowmajor_to_z(&a_rm, n, b),
+            bm: rowmajor_to_z(&b_rm, n, b),
+            c: vec![0.0; n * n],
+            a_rm,
+            b_rm,
+            verify_limit: 512,
+        }
+    }
+
+    /// Paper parameters: n = 2048, b = 64.
+    pub fn with_scale(scale: Scale) -> StrassenZ {
+        match scale {
+            Scale::Test => StrassenZ::new(32, 8, 15),
+            Scale::S => StrassenZ::new(256, 32, 15),
+            Scale::M => StrassenZ::new(512, 64, 15),
+            Scale::Paper => StrassenZ::new(2048, 64, 15),
+        }
+    }
+
+    /// Result converted back to row-major.
+    pub fn result_rowmajor(&self) -> Vec<f64> {
+        z_to_rowmajor(&self.c, self.n, self.b)
+    }
+
+    pub fn verify(&self) -> Result<(), String> {
+        if self.n > self.verify_limit {
+            return Ok(());
+        }
+        let mut want = vec![0.0; self.n * self.n];
+        naive_matmul(&mut want, &self.a_rm, &self.b_rm, self.n);
+        let err = max_abs_diff(&self.result_rowmajor(), &want);
+        if err < 1e-8 * self.n as f64 {
+            Ok(())
+        } else {
+            Err(format!("straz: max abs error {err}"))
+        }
+    }
+}
+
+impl CilkProgram for StrassenZ {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let n = self.n;
+        let b = self.b;
+        strassen_z(ctx, &mut self.c, &self.a, &self.bm, n, b);
+    }
+}
+
+/// Convert a row-major matrix to the Z layout with block floor `b`.
+pub fn rowmajor_to_z(src: &[f64], n: usize, b: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * n];
+    fn rec(src: &[f64], ld: usize, out: &mut [f64], n: usize, b: usize) {
+        if n <= b {
+            for i in 0..n {
+                out[i * n..(i + 1) * n].copy_from_slice(&src[i * ld..i * ld + n]);
+            }
+            return;
+        }
+        let h = n / 2;
+        let q = h * h;
+        let (o11, rest) = out.split_at_mut(q);
+        let (o12, rest) = rest.split_at_mut(q);
+        let (o21, o22) = rest.split_at_mut(q);
+        rec(src, ld, o11, h, b);
+        rec(&src[h..], ld, o12, h, b);
+        rec(&src[h * ld..], ld, o21, h, b);
+        rec(&src[h * ld + h..], ld, o22, h, b);
+    }
+    rec(src, n, &mut out, n, b);
+    out
+}
+
+/// Convert a Z-layout matrix back to row-major.
+pub fn z_to_rowmajor(src: &[f64], n: usize, b: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * n];
+    fn rec(src: &[f64], out: &mut [f64], off: usize, ld: usize, n: usize, b: usize) {
+        if n <= b {
+            for i in 0..n {
+                out[off + i * ld..off + i * ld + n].copy_from_slice(&src[i * n..(i + 1) * n]);
+            }
+            return;
+        }
+        let h = n / 2;
+        let q = h * h;
+        rec(&src[..q], out, off, ld, h, b);
+        rec(&src[q..2 * q], out, off + h, ld, h, b);
+        rec(&src[2 * q..3 * q], out, off + h * ld, ld, h, b);
+        rec(&src[3 * q..], out, off + h * ld + h, ld, h, b);
+    }
+    rec(src, &mut out, 0, n, n, b);
+    out
+}
+
+fn quads(s: &[f64]) -> (&[f64], &[f64], &[f64], &[f64]) {
+    let q = s.len() / 4;
+    (&s[..q], &s[q..2 * q], &s[2 * q..3 * q], &s[3 * q..])
+}
+
+/// `dst = x + sign*y` over contiguous Z blocks: one coalesced hook each.
+fn z_add<C: Cilk>(ctx: &mut C, dst: &mut [f64], x: &[f64], y: &[f64], sign: f64) {
+    ctx.load_range(addr(x, 0), x.len() * 8);
+    ctx.load_range(addr(y, 0), y.len() * 8);
+    ctx.store_range(addr(dst, 0), dst.len() * 8);
+    for ((d, &a), &b) in dst.iter_mut().zip(x).zip(y) {
+        *d = a + sign * b;
+    }
+}
+
+enum ZOperand<'a> {
+    Plain(&'a [f64]),
+    Sum(&'a [f64], &'a [f64], f64),
+}
+
+fn z_product<C: Cilk>(ctx: &mut C, dst: &mut [f64], xa: ZOperand, xb: ZOperand, n: usize, bs: usize) {
+    let mut buf_a;
+    let mut buf_b;
+    let (mut free_a, mut free_b) = (0usize, 0usize);
+    let av: &[f64] = match xa {
+        ZOperand::Plain(m) => m,
+        ZOperand::Sum(x, y, s) => {
+            buf_a = vec![0.0; n * n];
+            free_a = addr(&buf_a, 0);
+            z_add(ctx, &mut buf_a, x, y, s);
+            &buf_a
+        }
+    };
+    let bv: &[f64] = match xb {
+        ZOperand::Plain(m) => m,
+        ZOperand::Sum(x, y, s) => {
+            buf_b = vec![0.0; n * n];
+            free_b = addr(&buf_b, 0);
+            z_add(ctx, &mut buf_b, x, y, s);
+            &buf_b
+        }
+    };
+    strassen_z(ctx, dst, av, bv, n, bs);
+    if free_a != 0 {
+        ctx.free(free_a, n * n * 8);
+    }
+    if free_b != 0 {
+        ctx.free(free_b, n * n * 8);
+    }
+}
+
+fn strassen_z<C: Cilk>(ctx: &mut C, c: &mut [f64], a: &[f64], b: &[f64], n: usize, bs: usize) {
+    if n <= bs {
+        // A Z block is a contiguous row-major block; the operands are
+        // read-only views into the shared base case.
+        let cm = MatMut::from_slice(c, n, n);
+        let am = MatMut::from_slice_ref(a, n, n);
+        let bm = MatMut::from_slice_ref(b, n, n);
+        base_set(ctx, cm, am, bm);
+        return;
+    }
+    let h = n / 2;
+    let (a11, a12, a21, a22) = quads(a);
+    let (b11, b12, b21, b22) = quads(b);
+    let q = h * h;
+    let (c11, rest) = c.split_at_mut(q);
+    let (c12, rest) = rest.split_at_mut(q);
+    let (c21, c22) = rest.split_at_mut(q);
+    let mut bufs: Vec<Vec<f64>> = (0..7).map(|_| vec![0.0; q]).collect();
+    {
+        let mut it = bufs.iter_mut();
+        let (p1, p2, p3, p4, p5, p6, p7) = (
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+        );
+        ctx.spawn(|x| z_product(x, p1, ZOperand::Sum(a11, a22, 1.0), ZOperand::Sum(b11, b22, 1.0), h, bs));
+        ctx.spawn(|x| z_product(x, p2, ZOperand::Sum(a21, a22, 1.0), ZOperand::Plain(b11), h, bs));
+        ctx.spawn(|x| z_product(x, p3, ZOperand::Plain(a11), ZOperand::Sum(b12, b22, -1.0), h, bs));
+        ctx.spawn(|x| z_product(x, p4, ZOperand::Plain(a22), ZOperand::Sum(b21, b11, -1.0), h, bs));
+        ctx.spawn(|x| z_product(x, p5, ZOperand::Sum(a11, a12, 1.0), ZOperand::Plain(b22), h, bs));
+        ctx.spawn(|x| z_product(x, p6, ZOperand::Sum(a21, a11, -1.0), ZOperand::Sum(b11, b12, 1.0), h, bs));
+        z_product(ctx, p7, ZOperand::Sum(a12, a22, -1.0), ZOperand::Sum(b21, b22, 1.0), h, bs);
+        ctx.sync();
+        // Combine: whole contiguous blocks, fully coalesced.
+        for s in [&*p1, &*p2, &*p3, &*p4, &*p5, &*p6, &*p7] {
+            ctx.load_range(addr(s, 0), q * 8);
+        }
+        ctx.store_range(addr(c11, 0), q * 8);
+        ctx.store_range(addr(c12, 0), q * 8);
+        ctx.store_range(addr(c21, 0), q * 8);
+        ctx.store_range(addr(c22, 0), q * 8);
+        for i in 0..q {
+            c11[i] = p1[i] + p4[i] - p5[i] + p7[i];
+            c12[i] = p3[i] + p5[i];
+            c21[i] = p2[i] + p4[i];
+            c22[i] = p1[i] - p2[i] + p3[i] + p6[i];
+        }
+    }
+    for buf in &bufs {
+        ctx.free(addr(buf, 0), buf.len() * 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint_cilk::run_baseline;
+
+    #[test]
+    fn stra_matches_naive() {
+        for (n, b) in [(8, 2), (16, 4), (32, 8), (64, 16), (128, 32)] {
+            let mut s = Strassen::new(n, b, 17);
+            run_baseline(&mut s);
+            s.verify().unwrap_or_else(|e| panic!("n={n} b={b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn straz_matches_naive() {
+        for (n, b) in [(8, 2), (16, 4), (32, 8), (64, 16), (128, 32)] {
+            let mut s = StrassenZ::new(n, b, 18);
+            run_baseline(&mut s);
+            s.verify().unwrap_or_else(|e| panic!("n={n} b={b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn z_layout_roundtrip() {
+        for (n, b) in [(8, 2), (16, 8), (64, 16)] {
+            let rm = random_f64s(n * n, 33);
+            let z = rowmajor_to_z(&rm, n, b);
+            assert_eq!(z_to_rowmajor(&z, n, b), rm);
+        }
+    }
+
+    #[test]
+    fn z_layout_blocks_are_contiguous() {
+        // In a 4x4 matrix with b=2, quadrant Q12 occupies elements 4..8.
+        let rm: Vec<f64> = (0..16).map(|x| x as f64).collect();
+        let z = rowmajor_to_z(&rm, 4, 2);
+        assert_eq!(&z[4..8], &[2.0, 3.0, 6.0, 7.0], "Q12 block");
+    }
+
+    #[test]
+    fn stra_and_straz_agree() {
+        let mut s1 = Strassen::new(64, 8, 99);
+        let mut s2 = StrassenZ::new(64, 8, 77);
+        // Force identical inputs.
+        s2.a_rm = s1.a.clone();
+        s2.b_rm = s1.bm.clone();
+        s2.a = rowmajor_to_z(&s2.a_rm, 64, 8);
+        s2.bm = rowmajor_to_z(&s2.b_rm, 64, 8);
+        run_baseline(&mut s1);
+        run_baseline(&mut s2);
+        let d = max_abs_diff(s1.result(), &s2.result_rowmajor());
+        assert!(d < 1e-9, "layouts disagree by {d}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Shared helpers: instrumentation addresses, matrix views, data generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Byte address of element `i` of slice `s` — what the instrumentation hooks
+/// report. Real pointer addresses, exactly like compiler instrumentation.
+#[inline]
+pub fn addr<T>(s: &[T], i: usize) -> usize {
+    s.as_ptr() as usize + i * std::mem::size_of::<T>()
+}
+
+/// Deterministic `f64` data in (-1, 1).
+pub fn random_f64s(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(-1.0..1.0)).collect()
+}
+
+/// Deterministic `i64` data.
+pub fn random_i64s(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(i64::MIN / 4..i64::MAX / 4)).collect()
+}
+
+/// Max absolute difference between two slices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// A mutable dense-matrix *view*: base pointer, dimensions and leading
+/// dimension (row stride), in elements.
+///
+/// Divide-and-conquer matrix kernels hand disjoint quadrants of one
+/// allocation to logically parallel subtasks. Rust slices cannot express
+/// "rows r0..r1 × cols c0..c1 of a strided matrix" disjointly, so the
+/// kernels use raw-pointer views — the standard trusted-kernel pattern.
+///
+/// SAFETY contract: every algorithm in this crate only splits a view into
+/// non-overlapping sub-views and only runs such sub-views in logically
+/// parallel strands when they are disjoint. This is precisely the property
+/// the race detector verifies dynamically: the detectors observing these
+/// kernels report them race-free, and the `buggy` variants show the same
+/// machinery catching violations.
+pub struct Mat2D<T> {
+    ptr: *mut T,
+    pub rows: usize,
+    pub cols: usize,
+    pub ld: usize,
+}
+
+// Manual impls: `T` is always a plain scalar here and views are Copy.
+impl<T> Clone for Mat2D<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Mat2D<T> {}
+
+// SAFETY: a view is just (pointer, shape); sending or sharing it across
+// threads is safe because all *uses* are governed by the aliasing contract
+// above (parallel strands touch disjoint regions — dynamically verified by
+// the race detectors).
+unsafe impl<T: Send> Send for Mat2D<T> {}
+unsafe impl<T: Send + Sync> Sync for Mat2D<T> {}
+
+/// The common `f64` view used by the dense-matrix kernels.
+pub type MatMut = Mat2D<f64>;
+
+impl<T: Copy> Mat2D<T> {
+    /// View over an entire `rows x cols` row-major buffer.
+    pub fn from_slice(s: &mut [T], rows: usize, cols: usize) -> Mat2D<T> {
+        assert!(s.len() >= rows * cols);
+        Mat2D {
+            ptr: s.as_mut_ptr(),
+            rows,
+            cols,
+            ld: cols,
+        }
+    }
+
+    /// Read-only view over a shared buffer. The caller must never call
+    /// [`Mat2D::set`]/[`Mat2D::add`] on it (or on any sub-view of it).
+    pub fn from_slice_ref(s: &[T], rows: usize, cols: usize) -> Mat2D<T> {
+        assert!(s.len() >= rows * cols);
+        Mat2D {
+            ptr: s.as_ptr() as *mut T,
+            rows,
+            cols,
+            ld: cols,
+        }
+    }
+
+    /// Sub-view of `r` rows × `c` cols starting at (i, j).
+    #[inline]
+    pub fn sub(self, i: usize, j: usize, r: usize, c: usize) -> Mat2D<T> {
+        debug_assert!(i + r <= self.rows && j + c <= self.cols);
+        Mat2D {
+            // SAFETY: offset stays within the original allocation.
+            ptr: unsafe { self.ptr.add(i * self.ld + j) },
+            rows: r,
+            cols: c,
+            ld: self.ld,
+        }
+    }
+
+    /// Split into four quadrants at (`ri`, `ci`).
+    pub fn quadrants(self, ri: usize, ci: usize) -> [Mat2D<T>; 4] {
+        [
+            self.sub(0, 0, ri, ci),
+            self.sub(0, ci, ri, self.cols - ci),
+            self.sub(ri, 0, self.rows - ri, ci),
+            self.sub(ri, ci, self.rows - ri, self.cols - ci),
+        ]
+    }
+
+    /// Byte address of element (i, j) — for instrumentation hooks.
+    #[inline]
+    pub fn addr(self, i: usize, j: usize) -> usize {
+        (self.ptr as usize) + (i * self.ld + j) * std::mem::size_of::<T>()
+    }
+
+    /// Read element (i, j).
+    ///
+    /// SAFETY: in-bounds per the view contract; aliasing discipline is the
+    /// caller's responsibility (see type docs).
+    #[inline]
+    pub fn get(self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        unsafe { *self.ptr.add(i * self.ld + j) }
+    }
+
+    /// Write element (i, j).
+    #[inline]
+    pub fn set(self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        unsafe { *self.ptr.add(i * self.ld + j) = v }
+    }
+}
+
+impl Mat2D<f64> {
+    /// Add `v` into element (i, j).
+    #[inline]
+    pub fn add(self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        unsafe { *self.ptr.add(i * self.ld + j) += v }
+    }
+}
+
+/// Naive O(n^3) reference matmul: `c += a * b` (row-major, square `n`).
+pub fn naive_matmul(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_is_linear_in_index() {
+        let v = vec![0f64; 8];
+        assert_eq!(addr(&v, 3) - addr(&v, 0), 24);
+        let w = vec![0i64; 8];
+        assert_eq!(addr(&w, 1) - addr(&w, 0), 8);
+    }
+
+    #[test]
+    fn matview_quadrants_are_disjoint() {
+        let mut buf = vec![0f64; 16];
+        let m = MatMut::from_slice(&mut buf, 4, 4);
+        let [q11, q12, q21, q22] = m.quadrants(2, 2);
+        q11.set(0, 0, 1.0);
+        q12.set(0, 0, 2.0);
+        q21.set(0, 0, 3.0);
+        q22.set(1, 1, 4.0);
+        assert_eq!(buf[0], 1.0);
+        assert_eq!(buf[2], 2.0);
+        assert_eq!(buf[8], 3.0);
+        assert_eq!(buf[15], 4.0);
+    }
+
+    #[test]
+    fn matview_addr_matches_memory_layout() {
+        let mut buf = vec![0f64; 36];
+        let base = buf.as_ptr() as usize;
+        let m = MatMut::from_slice(&mut buf, 6, 6);
+        let s = m.sub(2, 3, 2, 2);
+        assert_eq!(s.addr(0, 0), base + (2 * 6 + 3) * 8);
+        assert_eq!(s.addr(1, 1), base + (3 * 6 + 4) * 8);
+    }
+
+    #[test]
+    fn data_generation_is_deterministic() {
+        assert_eq!(random_f64s(100, 42), random_f64s(100, 42));
+        assert_ne!(random_f64s(100, 42), random_f64s(100, 43));
+        assert_eq!(random_i64s(50, 1), random_i64s(50, 1));
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: write a fork-join program against the `Cilk` trait, run it
+//! under STINT, and read the race report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stint::{detect, Cilk, CilkProgram, Variant};
+
+/// A parallel sum over a shared accumulator — with a classic bug: the two
+/// halves also both update a shared `checksum` cell without synchronization.
+struct ParallelSum {
+    data: Vec<i64>,
+    partial: [i64; 2],
+    checksum: i64,
+    buggy: bool,
+}
+
+impl ParallelSum {
+    fn new(n: usize, buggy: bool) -> Self {
+        ParallelSum {
+            data: (0..n as i64).collect(),
+            partial: [0; 2],
+            checksum: 0,
+            buggy,
+        }
+    }
+}
+
+/// Byte address of a value, as the instrumentation hooks report it.
+fn addr_of<T>(v: &T) -> usize {
+    v as *const T as usize
+}
+
+impl CilkProgram for ParallelSum {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        let n = self.data.len();
+        let (lo, hi) = self.data.split_at(n / 2);
+        let (p0, p1) = {
+            let [a, b] = &mut self.partial;
+            (a, b)
+        };
+        let checksum = &mut self.checksum as *mut i64;
+        let buggy = self.buggy;
+        let p0_addr = addr_of(&*p0);
+        let p1_addr = addr_of(&*p1);
+
+        // Child: sums the low half.
+        ctx.spawn(move |c| {
+            c.load_range(lo.as_ptr() as usize, lo.len() * 8);
+            *p0 = lo.iter().sum();
+            c.store(addr_of(p0), 8);
+            if buggy {
+                // BUG: updates the shared checksum in parallel with the
+                // continuation doing the same.
+                c.load(checksum as usize, 8);
+                c.store(checksum as usize, 8);
+                unsafe { *checksum += *p0 };
+            }
+        });
+
+        // Continuation: sums the high half — logically parallel with the child.
+        ctx.load_range(hi.as_ptr() as usize, hi.len() * 8);
+        *p1 = hi.iter().sum();
+        ctx.store(addr_of(p1), 8);
+        if buggy {
+            ctx.load(checksum as usize, 8);
+            ctx.store(checksum as usize, 8);
+            unsafe { *checksum += *p1 };
+        }
+
+        ctx.sync();
+
+        // After the sync everything is ordered: this is race-free.
+        ctx.load(p0_addr, 8);
+        ctx.load(p1_addr, 8);
+        ctx.store(checksum as usize, 8);
+        self.checksum = self.partial[0] + self.partial[1];
+    }
+}
+
+fn main() {
+    println!("== buggy version ==");
+    let outcome = detect(&mut ParallelSum::new(1 << 16, true), Variant::Stint);
+    println!(
+        "strands: {}, read intervals: {}, write intervals: {}",
+        outcome.strands, outcome.stats.read.intervals, outcome.stats.write.intervals
+    );
+    println!("races reported: {}", outcome.report.total);
+    for race in outcome.report.races().iter().take(4) {
+        println!("  {race}");
+    }
+    assert!(!outcome.report.is_race_free());
+
+    println!("\n== fixed version (checksum updated after the sync) ==");
+    let outcome = detect(&mut ParallelSum::new(1 << 16, false), Variant::Stint);
+    println!("races reported: {}", outcome.report.total);
+    assert!(outcome.report.is_race_free());
+    println!("race-free ✓");
+}

@@ -1,0 +1,113 @@
+//! Workspace-level property tests: proptest-generated fork-join programs
+//! (with shrinking) must produce identical racy-word sets under every
+//! detector variant and match the brute-force oracle.
+//!
+//! This complements `stint`'s own seeded differential sweeps with proptest's
+//! shrinking: a failure here minimizes to a small witness program.
+
+use proptest::prelude::*;
+use stint_repro::{detect, Cilk, CilkProgram, Variant};
+use stint_spdag::{simulate, Access, Func, Stmt};
+
+/// Proptest strategy for fork-join programs over a small word space.
+fn func_strategy(depth: u32) -> BoxedStrategy<Func> {
+    let access = (any::<bool>(), 0u64..40, 1u64..10, any::<bool>()).prop_map(
+        |(write, word, len, coalesced)| Access {
+            write,
+            word,
+            len,
+            coalesced,
+        },
+    );
+    let compute = proptest::collection::vec(access, 1..4).prop_map(Stmt::Compute);
+    if depth == 0 {
+        proptest::collection::vec(prop_oneof![compute, Just(Stmt::Sync)], 1..5)
+            .prop_map(Func)
+            .boxed()
+    } else {
+        let inner = func_strategy(depth - 1);
+        let stmt = prop_oneof![
+            4 => compute,
+            1 => Just(Stmt::Sync),
+            3 => inner.clone().prop_map(Stmt::Spawn),
+            1 => inner.prop_map(Stmt::Call),
+        ];
+        proptest::collection::vec(stmt, 1..6).prop_map(Func).boxed()
+    }
+}
+
+struct AstProgram<'a>(&'a Func);
+
+fn walk<C: Cilk>(f: &Func, ctx: &mut C) {
+    for stmt in &f.0 {
+        match stmt {
+            Stmt::Compute(accs) => {
+                for a in accs {
+                    let addr = (a.word * 4) as usize;
+                    let bytes = (a.len * 4) as usize;
+                    match (a.write, a.coalesced) {
+                        (true, true) => ctx.store_range(addr, bytes),
+                        (true, false) => ctx.store(addr, bytes),
+                        (false, true) => ctx.load_range(addr, bytes),
+                        (false, false) => ctx.load(addr, bytes),
+                    }
+                }
+            }
+            Stmt::Spawn(g) => ctx.spawn(|c| walk(g, c)),
+            Stmt::Sync => ctx.sync(),
+            Stmt::Call(g) => ctx.call(|c| walk(g, c)),
+        }
+    }
+}
+
+impl CilkProgram for AstProgram<'_> {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        walk(self.0, ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn variants_match_oracle(f in func_strategy(3)) {
+        let sim = simulate(&f);
+        prop_assume!(sim.strand_count() <= 250);
+        let expected = sim.racy_words();
+        for v in [
+            Variant::Vanilla,
+            Variant::Compiler,
+            Variant::CompRts,
+            Variant::Stint,
+            Variant::StintFlat,
+        ] {
+            let got = detect(&mut AstProgram(&f), v).report.racy_words();
+            prop_assert_eq!(&got, &expected, "variant {} diverged", v);
+        }
+    }
+
+    /// Adding a terminal sync never changes the racy words (the implicit
+    /// function-end sync already joins everything).
+    #[test]
+    fn trailing_sync_is_redundant(mut f in func_strategy(2)) {
+        let before = simulate(&f).racy_words();
+        f.0.push(Stmt::Sync);
+        let after = simulate(&f).racy_words();
+        prop_assert_eq!(&before, &after);
+        let detected = detect(&mut AstProgram(&f), Variant::Stint).report.racy_words();
+        prop_assert_eq!(&detected, &before);
+    }
+
+    /// Wrapping the whole program in Call (serial, own sync scope) or in a
+    /// single Spawn+Sync preserves its internal races.
+    #[test]
+    fn structural_wrappers_preserve_races(f in func_strategy(2)) {
+        let base = simulate(&f).racy_words();
+        let called = Func(vec![Stmt::Call(f.clone())]);
+        prop_assert_eq!(&simulate(&called).racy_words(), &base);
+        let spawned = Func(vec![Stmt::Spawn(f.clone()), Stmt::Sync]);
+        prop_assert_eq!(&simulate(&spawned).racy_words(), &base);
+        let got = detect(&mut AstProgram(&spawned), Variant::Stint).report.racy_words();
+        prop_assert_eq!(&got, &base);
+    }
+}
