@@ -86,7 +86,10 @@ fn bench_query(c: &mut Criterion) {
     for &n in &[1_000u64, 10_000, 100_000] {
         let mut t: Treap<u32> = Treap::with_seed(3);
         for i in 0..n {
-            t.insert_write(Interval::new(i * 16, i * 16 + 8, (i % 64) as u32), |_, _, _| {});
+            t.insert_write(
+                Interval::new(i * 16, i * 16 + 8, (i % 64) as u32),
+                |_, _, _| {},
+            );
         }
         g.bench_with_input(BenchmarkId::new("hit", n), &n, |b, &n| {
             let mut k = 0u64;

@@ -21,13 +21,21 @@ fn bench_replay(c: &mut Criterion) {
         g.throughput(criterion::Throughput::Elements(n));
         g.bench_with_input(BenchmarkId::new("vanilla", n), &trace, |b, t| {
             b.iter(|| {
-                let d = replay(t, &reach, VanillaDetector::new(false, RaceReport::new(16, false)));
+                let d = replay(
+                    t,
+                    &reach,
+                    VanillaDetector::new(false, RaceReport::new(16, false)),
+                );
                 black_box(d.stats.hash_ops)
             })
         });
         g.bench_with_input(BenchmarkId::new("compiler", n), &trace, |b, t| {
             b.iter(|| {
-                let d = replay(t, &reach, VanillaDetector::new(true, RaceReport::new(16, false)));
+                let d = replay(
+                    t,
+                    &reach,
+                    VanillaDetector::new(true, RaceReport::new(16, false)),
+                );
                 black_box(d.stats.hash_ops)
             })
         });
@@ -45,7 +53,11 @@ fn bench_replay(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("stint_btree", n), &trace, |b, t| {
             b.iter(|| {
-                let d = replay(t, &reach, StintFlatDetector::new_flat(RaceReport::new(16, false)));
+                let d = replay(
+                    t,
+                    &reach,
+                    StintFlatDetector::new_flat(RaceReport::new(16, false)),
+                );
                 black_box(d.stats.treap.ops)
             })
         });

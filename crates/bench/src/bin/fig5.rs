@@ -14,8 +14,7 @@ fn main() {
         scale_name(scale)
     );
     let mut t = Table::new(vec![
-        "bench", "base", "vanilla", "(oh)", "compiler", "(oh)", "comp+rts", "(oh)", "STINT",
-        "(oh)",
+        "bench", "base", "vanilla", "(oh)", "compiler", "(oh)", "comp+rts", "(oh)", "STINT", "(oh)",
     ]);
     let mut ohs: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for name in NAMES {

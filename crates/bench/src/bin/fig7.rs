@@ -6,12 +6,26 @@ use stint_bench::*;
 use stint_suite::NAMES;
 
 fn main() {
+    // Exact ah_time: time every flush, not the default 1-in-64 sampling.
+    stint::timing::set_mode(stint::TimingMode::Full);
     let scale = scale_from_args();
     println!(
         "Figure 7 — access-history update time: hashmap vs treap (scale={})",
         scale_name(scale)
     );
-    let mut t = Table::new(vec!["bench", "hashmap", "treap", "treap/hashmap"]);
+    // The trailing columns attribute the hot-path speedup: how much of the
+    // reachability traffic the strand-local cache absorbed, how many words
+    // each page resolution served on the batched replay path, and how many
+    // hooks the redundant-set filter elided (per variant h=hashmap, t=treap).
+    let mut t = Table::new(vec![
+        "bench",
+        "hashmap",
+        "treap",
+        "treap/hashmap",
+        "reach hit% h/t",
+        "batch avg h",
+        "filtered h/t",
+    ]);
     for name in NAMES {
         let h = run_variant(name, scale, Variant::CompRts);
         let s = run_variant(name, scale, Variant::Stint);
@@ -22,6 +36,16 @@ fn main() {
             format!("{ht:.3}"),
             format!("{st:.3}"),
             format!("{:.2}x", st / ht.max(1e-9)),
+            format!(
+                "{:.1}/{:.1}",
+                100.0 * h.stats.reach_hit_rate(),
+                100.0 * s.stats.reach_hit_rate()
+            ),
+            format!("{:.1}", h.stats.avg_page_batch_words()),
+            format!(
+                "{:.1e}/{:.1e}",
+                h.stats.hook_filter_hits as f64, s.stats.hook_filter_hits as f64
+            ),
         ]);
     }
     t.print();

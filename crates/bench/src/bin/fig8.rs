@@ -17,6 +17,8 @@ struct Case {
 }
 
 fn main() {
+    // Exact ah_time columns: time every flush, not the 1-in-64 sampling.
+    stint::timing::set_mode(stint::TimingMode::Full);
     let scale = scale_from_args();
     println!(
         "Figure 8 — scaling of comp+rts vs STINT on fft/mmul/sort (scale={})",
@@ -26,29 +28,29 @@ fn main() {
     // Input-size triples per scale. The paper uses fft 2^24..2^26, mmul
     // 1024..4096, sort 5e7..2e8; our six-step fft requires perfect-square
     // sizes, so the paper preset steps by 4x (2^22, 2^24, 2^26).
-    let (ffts, mmuls, sorts): (Vec<(usize, usize)>, Vec<(usize, usize)>, Vec<(usize, usize)>) =
-        match scale {
-            Scale::Test => (
-                vec![(1 << 8, 2), (1 << 10, 4), (1 << 12, 8)],
-                vec![(16, 8), (32, 8), (64, 8)],
-                vec![(1_000, 64), (2_000, 64), (4_000, 64)],
-            ),
-            Scale::S => (
-                vec![(1 << 12, 8), (1 << 14, 16), (1 << 16, 16)],
-                vec![(128, 32), (256, 32), (512, 32)],
-                vec![(100_000, 2048), (300_000, 2048), (1_000_000, 2048)],
-            ),
-            Scale::M => (
-                vec![(1 << 16, 16), (1 << 18, 32), (1 << 20, 64)],
-                vec![(256, 64), (512, 64), (1024, 64)],
-                vec![(1_000_000, 2048), (2_500_000, 2048), (5_000_000, 2048)],
-            ),
-            Scale::Paper => (
-                vec![(1 << 22, 128), (1 << 24, 128), (1 << 26, 128)],
-                vec![(1024, 64), (2048, 64), (4096, 64)],
-                vec![(50_000_000, 2048), (100_000_000, 2048), (200_000_000, 2048)],
-            ),
-        };
+    type Sizes = Vec<(usize, usize)>;
+    let (ffts, mmuls, sorts): (Sizes, Sizes, Sizes) = match scale {
+        Scale::Test => (
+            vec![(1 << 8, 2), (1 << 10, 4), (1 << 12, 8)],
+            vec![(16, 8), (32, 8), (64, 8)],
+            vec![(1_000, 64), (2_000, 64), (4_000, 64)],
+        ),
+        Scale::S => (
+            vec![(1 << 12, 8), (1 << 14, 16), (1 << 16, 16)],
+            vec![(128, 32), (256, 32), (512, 32)],
+            vec![(100_000, 2048), (300_000, 2048), (1_000_000, 2048)],
+        ),
+        Scale::M => (
+            vec![(1 << 16, 16), (1 << 18, 32), (1 << 20, 64)],
+            vec![(256, 64), (512, 64), (1024, 64)],
+            vec![(1_000_000, 2048), (2_500_000, 2048), (5_000_000, 2048)],
+        ),
+        Scale::Paper => (
+            vec![(1 << 22, 128), (1 << 24, 128), (1 << 26, 128)],
+            vec![(1024, 64), (2048, 64), (4096, 64)],
+            vec![(50_000_000, 2048), (100_000_000, 2048), (200_000_000, 2048)],
+        ),
+    };
 
     let mut cases: Vec<Case> = Vec::new();
     for (n, b) in ffts {
@@ -56,9 +58,7 @@ fn main() {
             bench: "fft",
             input: format!("2^{}", n.trailing_zeros()),
             base: stint::run_baseline(&mut Fft::new(n, b, 4)),
-            make: Box::new(move || {
-                Box::new(move |v| run_program(&mut Fft::new(n, b, 4), v))
-            }),
+            make: Box::new(move || Box::new(move |v| run_program(&mut Fft::new(n, b, 4), v))),
         });
     }
     for (n, b) in mmuls {
@@ -66,9 +66,7 @@ fn main() {
             bench: "mmul",
             input: format!("{n}"),
             base: stint::run_baseline(&mut Mmul::new(n, b, 1)),
-            make: Box::new(move || {
-                Box::new(move |v| run_program(&mut Mmul::new(n, b, 1), v))
-            }),
+            make: Box::new(move || Box::new(move |v| run_program(&mut Mmul::new(n, b, 1), v))),
         });
     }
     for (n, b) in sorts {
@@ -76,15 +74,24 @@ fn main() {
             bench: "sort",
             input: format!("{:.1e}", n as f64),
             base: stint::run_baseline(&mut Sort::new(n, b, 3)),
-            make: Box::new(move || {
-                Box::new(move |v| run_program(&mut Sort::new(n, b, 3), v))
-            }),
+            make: Box::new(move || Box::new(move |v| run_program(&mut Sort::new(n, b, 3), v))),
         });
     }
 
     let mut t = Table::new(vec![
-        "bench", "input", "base", "comp+rts", "(oh)", "STINT", "(oh)", "hash oh", "treap oh",
-        "hash ops", "treap ops", "#nodes", "#overlaps",
+        "bench",
+        "input",
+        "base",
+        "comp+rts",
+        "(oh)",
+        "STINT",
+        "(oh)",
+        "hash oh",
+        "treap oh",
+        "hash ops",
+        "treap ops",
+        "#nodes",
+        "#overlaps",
     ]);
     for c in cases {
         let h = (c.make)()(Variant::CompRts);

@@ -1,0 +1,309 @@
+//! Performance gate: machine-readable before/after numbers for the hot-path
+//! optimizations (per-page shadow batching + reachability memoization).
+//!
+//! Runs the fig5/fig7 benchmark suite at the requested `--scale` (default
+//! `s`) twice per variant — once with [`HotPath::LEGACY`] (the unoptimized
+//! paths, kept in-tree precisely so they can serve as the baseline) and once
+//! with the default hot path — and emits `BENCH_perfgate.json` with wall
+//! times, access/interval counts and cache statistics. If a previous JSON is
+//! present it prints the geomean deltas against it.
+//!
+//! Flags:
+//! * `--scale {test|s|m|paper}` — workload size (default `s`);
+//! * `--reps N` — minimum rep pairs per (bench, variant) cell (default 5);
+//! * `--bench NAME` — run only that workload (investigating one bench);
+//! * `--out PATH` — output file (default `BENCH_perfgate.json`);
+//! * `--check` — exit nonzero if any variant's geomean speedup < 1.0
+//!   (the optimized path must never lose to the legacy path).
+//!
+//! Access-history flush timing is forced off ([`TimingMode::Off`]) so the
+//! wall times contain no clock-read overhead.
+
+use std::time::Duration;
+use stint::{Config, HotPath, Outcome, TimingMode, Variant};
+use stint_bench::*;
+use stint_suite::{Scale, Workload, NAMES};
+
+struct Args {
+    scale: Scale,
+    reps: u32,
+    out: String,
+    check: bool,
+    bench: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut a = Args {
+        scale: scale_from_args(),
+        reps: 5,
+        out: "BENCH_perfgate.json".to_string(),
+        check: false,
+        bench: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--reps" => {
+                a.reps = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps needs a positive integer");
+                        std::process::exit(2);
+                    });
+                i += 1;
+            }
+            "--out" => {
+                a.out = argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            "--check" => a.check = true,
+            "--bench" => {
+                a.bench = Some(argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--bench needs a workload name");
+                    std::process::exit(2);
+                }));
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    a.reps = a.reps.max(1);
+    a
+}
+
+fn run_once(name: &str, scale: Scale, v: Variant, hot: HotPath) -> Outcome {
+    let mut w = Workload::by_name(name, scale);
+    let mut cfg = Config::new(v);
+    cfg.collect_racy_words = false;
+    cfg.hot = hot;
+    let o = stint::detect_with(&mut w, cfg);
+    assert!(
+        o.report.is_race_free(),
+        "{name} reported races under {v} — benchmark or detector bug"
+    );
+    o
+}
+
+/// Sub-second workloads need more repetitions than `--reps` to beat scheduler
+/// noise: rep pairs keep coming until each side has accumulated this much
+/// measured wall time (or [`MAX_PAIRS`] caps the cell).
+const MIN_CELL_SECS: f64 = 0.6;
+const MAX_PAIRS: u32 = 50;
+
+/// Best-of-N wall time for the legacy and hot paths, measured *interleaved*
+/// (one untimed warmup of each, then legacy/hot alternating) so slow drift in
+/// machine state — frequency scaling, cache warmth — cancels out instead of
+/// biasing whichever side runs last. At least `reps` pairs run; fast cells
+/// get extra pairs until the [`MIN_CELL_SECS`] time floor is met. Stats come
+/// from the fastest run (counts are deterministic across reps, only the time
+/// varies).
+fn run_pair(name: &str, scale: Scale, v: Variant, reps: u32) -> (Outcome, Outcome) {
+    run_once(name, scale, v, HotPath::LEGACY);
+    run_once(name, scale, v, HotPath::default());
+    let mut legacy: Option<Outcome> = None;
+    let mut hot: Option<Outcome> = None;
+    let mut spent = Duration::ZERO;
+    let mut pairs = 0;
+    while pairs < reps || (spent.as_secs_f64() < 2.0 * MIN_CELL_SECS && pairs < MAX_PAIRS) {
+        let l = run_once(name, scale, v, HotPath::LEGACY);
+        spent += l.wall;
+        if legacy.as_ref().is_none_or(|b| l.wall < b.wall) {
+            legacy = Some(l);
+        }
+        let h = run_once(name, scale, v, HotPath::default());
+        spent += h.wall;
+        if hot.as_ref().is_none_or(|b| h.wall < b.wall) {
+            hot = Some(h);
+        }
+        pairs += 1;
+    }
+    (legacy.unwrap(), hot.unwrap())
+}
+
+struct Row {
+    bench: &'static str,
+    variant: Variant,
+    legacy: Duration,
+    hot: Outcome,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.legacy.as_secs_f64() / self.hot.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+fn write_json(path: &str, scale: Scale, reps: u32, rows: &[Row], geomeans: &[(Variant, f64)]) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"stint-perfgate-v1\",\n");
+    j.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(scale)));
+    j.push_str(&format!("  \"reps\": {reps},\n"));
+    j.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let s = &r.hot.stats;
+        j.push_str(&format!(
+            concat!(
+                "    {{\"bench\": \"{}\", \"variant\": \"{}\", ",
+                "\"legacy_secs\": {:.6}, \"hot_secs\": {:.6}, \"speedup\": {:.4}, ",
+                "\"intervals\": {}, \"words\": {}, \"strands_flushed\": {}, ",
+                "\"hash_ops\": {}, \"treap_ops\": {}, ",
+                "\"reach_hits\": {}, \"reach_misses\": {}, \"reach_hit_rate\": {:.4}, ",
+                "\"hook_filter_hits\": {}, ",
+                "\"page_batches\": {}, \"avg_page_batch_words\": {:.2}}}{}\n",
+            ),
+            json_escape_free(r.bench),
+            json_escape_free(r.variant.name()),
+            r.legacy.as_secs_f64(),
+            r.hot.wall.as_secs_f64(),
+            r.speedup(),
+            s.total_intervals(),
+            s.total_words(),
+            s.strands_flushed,
+            s.hash_ops,
+            s.treap.ops,
+            s.reach_hits,
+            s.reach_misses,
+            s.reach_hit_rate(),
+            s.hook_filter_hits,
+            s.page_batches,
+            s.avg_page_batch_words(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"geomean_speedup\": {");
+    for (i, (v, g)) in geomeans.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"{}\": {:.4}", json_escape_free(v.name()), g));
+    }
+    j.push_str("}\n}\n");
+    std::fs::write(path, j).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+}
+
+/// Pull `"<key>": <number>` out of the `geomean_speedup` object of a previous
+/// report (enough structure awareness for our own output format).
+fn previous_geomean(content: &str, key: &str) -> Option<f64> {
+    let obj = content.split("\"geomean_speedup\"").nth(1)?;
+    let after = obj.split(&format!("\"{key}\":")).nth(1)?;
+    let num: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    // No clock reads inside strand-end flushes while we measure wall time.
+    stint::timing::set_mode(TimingMode::Off);
+    let previous = std::fs::read_to_string(&args.out).ok();
+
+    println!(
+        "perfgate — legacy vs hot path, fig5/fig7 suite (scale={}, best of {})",
+        scale_name(args.scale),
+        args.reps
+    );
+
+    if let Some(b) = args.bench.as_deref() {
+        if !NAMES.contains(&b) {
+            eprintln!("--bench {b}: no such workload (have: {})", NAMES.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for name in NAMES {
+        if args.bench.as_deref().is_some_and(|b| b != name) {
+            continue;
+        }
+        for v in Variant::ALL {
+            let (legacy, hot) = run_pair(name, args.scale, v, args.reps);
+            rows.push(Row {
+                bench: name,
+                variant: v,
+                legacy: legacy.wall,
+                hot,
+            });
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "bench",
+        "variant",
+        "legacy",
+        "hot",
+        "speedup",
+        "reach hit%",
+        "batch avg",
+    ]);
+    for r in &rows {
+        let s = &r.hot.stats;
+        t.row(vec![
+            r.bench.to_string(),
+            r.variant.name().to_string(),
+            secs(r.legacy),
+            secs(r.hot.wall),
+            format!("{:.2}x", r.speedup()),
+            format!("{:.1}", 100.0 * s.reach_hit_rate()),
+            format!("{:.1}", s.avg_page_batch_words()),
+        ]);
+    }
+    t.print();
+
+    let mut geomeans: Vec<(Variant, f64)> = Vec::new();
+    println!();
+    for v in Variant::ALL {
+        let sp: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.variant == v)
+            .map(Row::speedup)
+            .collect();
+        let g = geomean(&sp);
+        if let Some(prev) = previous
+            .as_deref()
+            .and_then(|c| previous_geomean(c, v.name()))
+        {
+            println!("{v}: geomean speedup {g:.2}x (previous run: {prev:.2}x)");
+        } else {
+            println!("{v}: geomean speedup {g:.2}x");
+        }
+        geomeans.push((v, g));
+    }
+
+    write_json(&args.out, args.scale, args.reps, &rows, &geomeans);
+    println!("\nwrote {}", args.out);
+
+    if args.check {
+        let losers: Vec<String> = geomeans
+            .iter()
+            .filter(|(_, g)| *g < 1.0)
+            .map(|(v, g)| format!("{v} ({g:.2}x)"))
+            .collect();
+        if !losers.is_empty() {
+            eprintln!(
+                "FAIL: hot path slower than legacy for: {}",
+                losers.join(", ")
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: hot path no slower than legacy for every variant");
+    }
+}

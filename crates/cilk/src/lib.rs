@@ -369,6 +369,7 @@ mod tests {
     struct Recorder {
         events: Vec<(StrandId, &'static str, usize, usize)>,
         ends: Vec<StrandId>,
+        #[allow(dead_code)] // exercised only as a RefCell-interior-mutability pattern check
         pairs_checked: RefCell<Vec<(StrandId, StrandId, bool)>>,
     }
     impl Detector for Recorder {
@@ -438,9 +439,8 @@ mod tests {
             fn run<C: Cilk>(&mut self, ctx: &mut C) {
                 let n = self.0;
                 let mut l = 0;
-                let mut r = 0;
                 ctx.spawn(|_| l = (0..n).sum::<u64>());
-                r = (n..2 * n).sum::<u64>();
+                let r = (n..2 * n).sum::<u64>();
                 ctx.sync();
                 self.1 = l + r;
             }
@@ -469,7 +469,10 @@ mod tests {
         let (ex, _) = run_with_detector(&mut P, Recorder::default());
         let a = ex.det.events[0].0;
         let b = ex.det.events[1].0;
-        assert!(ex.reach.series(a, b), "call's implicit sync must order A before B");
+        assert!(
+            ex.reach.series(a, b),
+            "call's implicit sync must order A before B"
+        );
     }
 
     #[test]
@@ -491,7 +494,7 @@ mod tests {
         assert!(ex.reach.series(a, b));
         assert!(ex.reach.series(b, c));
         assert_eq!(ex.counters.spawns, 2);
-        assert_eq!(ex.counters.effective_syncs >= 2, true);
+        assert!(ex.counters.effective_syncs >= 2);
     }
 
     #[test]

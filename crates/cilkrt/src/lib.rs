@@ -509,10 +509,7 @@ mod tests {
                     std::thread::sleep(std::time::Duration::from_millis(2));
                     return;
                 }
-                pool.join(
-                    || go(pool, depth - 1, seen),
-                    || go(pool, depth - 1, seen),
-                );
+                pool.join(|| go(pool, depth - 1, seen), || go(pool, depth - 1, seen));
             }
             go(&pool, 5, &seen);
         });

@@ -112,7 +112,10 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
         }
         "bugs" => Ok(Parsed::Bugs),
         "trace" => {
-            let sub = argv.get(1).map(String::as_str).ok_or("trace needs a subcommand")?;
+            let sub = argv
+                .get(1)
+                .map(String::as_str)
+                .ok_or("trace needs a subcommand")?;
             match sub {
                 "record" => {
                     let (pos, _variant, scale) = split_opts(&argv[2..])?;
@@ -171,7 +174,15 @@ mod tests {
 
     #[test]
     fn parses_detect_with_options() {
-        let p = parse(&v(&["detect", "sort", "--variant", "comp+rts", "--scale", "s"])).unwrap();
+        let p = parse(&v(&[
+            "detect",
+            "sort",
+            "--variant",
+            "comp+rts",
+            "--scale",
+            "s",
+        ]))
+        .unwrap();
         assert_eq!(
             p,
             Parsed::Detect {
@@ -227,7 +238,14 @@ mod tests {
             }
         );
         assert_eq!(
-            parse(&v(&["trace", "replay", "/tmp/t.trace", "--variant", "vanilla"])).unwrap(),
+            parse(&v(&[
+                "trace",
+                "replay",
+                "/tmp/t.trace",
+                "--variant",
+                "vanilla"
+            ]))
+            .unwrap(),
             Parsed::TraceReplay {
                 file: "/tmp/t.trace".into(),
                 variant: Variant::Vanilla,
@@ -238,6 +256,9 @@ mod tests {
     #[test]
     fn parses_grid() {
         assert_eq!(parse(&v(&["grid"])).unwrap(), Parsed::Grid { n: 40 });
-        assert_eq!(parse(&v(&["grid", "100"])).unwrap(), Parsed::Grid { n: 100 });
+        assert_eq!(
+            parse(&v(&["grid", "100"])).unwrap(),
+            Parsed::Grid { n: 100 }
+        );
     }
 }

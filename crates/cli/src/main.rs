@@ -81,7 +81,8 @@ fn run(p: Parsed) -> Result<bool, String> {
         } => {
             let mut w = Workload::by_name(&bench, scale);
             let outcome = detect_with(&mut w, Config::new(variant));
-            w.verify().map_err(|e| format!("output verification: {e}"))?;
+            w.verify()
+                .map_err(|e| format!("output verification: {e}"))?;
             print_outcome(&bench, &outcome);
             Ok(!outcome.report.is_race_free())
         }
@@ -93,7 +94,10 @@ fn run(p: Parsed) -> Result<bool, String> {
             println!("mmul with missing phase sync:");
             print_report(&o.report, 3);
             any |= !o.report.is_race_free();
-            let o = stint::detect(&mut HeatMissingBarrier::new(16, 16, 3, 4, 7), Variant::Stint);
+            let o = stint::detect(
+                &mut HeatMissingBarrier::new(16, 16, 3, 4, 7),
+                Variant::Stint,
+            );
             println!("\nheat with missing timestep barrier:");
             print_report(&o.report, 3);
             any |= !o.report.is_race_free();
@@ -103,11 +107,7 @@ fn run(p: Parsed) -> Result<bool, String> {
             any |= !o.report.is_race_free();
             Ok(any)
         }
-        Parsed::TraceRecord {
-            bench,
-            file,
-            scale,
-        } => {
+        Parsed::TraceRecord { bench, file, scale } => {
             let mut w = Workload::by_name(&bench, scale);
             let pt = PortableTrace::record(&mut w);
             let f = File::create(&file).map_err(|e| format!("create {file}: {e}"))?;

@@ -11,18 +11,24 @@
 
 use crate::report::RaceReport;
 use crate::stats::DetectorStats;
-use crate::word_logic::{read_word, write_word};
-use std::time::Instant;
+use crate::timing::FlushTimer;
+use crate::word_logic::{replay_interval, WordOp};
+use crate::HotPath;
 use stint_cilk::{word_range, Detector};
-use stint_shadow::{BitShadow, WordIv, WordShadow};
-use stint_sporder::{Reachability, StrandId};
+use stint_shadow::{BitShadow, SetFilter, WordIv, WordShadow};
+use stint_sporder::{ReachCache, Reachability, StrandId};
 
 /// Runtime-coalescing detector over the word-granularity access history.
 pub struct CompRtsDetector {
     reads: BitShadow,
     writes: BitShadow,
+    read_filter: SetFilter,
+    write_filter: SetFilter,
     shadow: WordShadow,
     scratch: Vec<WordIv>,
+    hot: HotPath,
+    cache: ReachCache,
+    timer: FlushTimer,
     pub report: RaceReport,
     pub stats: DetectorStats,
 }
@@ -32,11 +38,25 @@ impl CompRtsDetector {
         CompRtsDetector {
             reads: BitShadow::new(),
             writes: BitShadow::new(),
+            read_filter: SetFilter::new(),
+            write_filter: SetFilter::new(),
             shadow: WordShadow::new(),
             scratch: Vec::new(),
+            hot: HotPath::default(),
+            cache: ReachCache::new(),
+            timer: FlushTimer::default(),
             report,
             stats: DetectorStats::default(),
         }
+    }
+
+    /// Select which hot-path optimizations to use (default: all on).
+    pub fn with_hot_path(mut self, hot: HotPath) -> Self {
+        self.hot = hot;
+        if !hot.gated_timing {
+            self.timer = FlushTimer::full();
+        }
+        self
     }
 }
 
@@ -47,7 +67,18 @@ impl<R: Reachability> Detector<R> for CompRtsDetector {
         self.stats.read.hooks += 1;
         self.stats.read.hook_bytes += bytes as u64;
         self.stats.read.words += hi - lo;
-        self.reads.set_range(lo, hi);
+        // The bit table is monotone until the strand-end flush, so a range
+        // the filter has seen set this strand can skip it entirely.
+        if self.hot.batched {
+            if !self.read_filter.covers(lo, hi) {
+                self.reads.set_range(lo, hi);
+                if lo < hi {
+                    self.read_filter.record(lo, hi);
+                }
+            }
+        } else {
+            self.reads.set_range(lo, hi);
+        }
     }
 
     #[inline]
@@ -56,7 +87,16 @@ impl<R: Reachability> Detector<R> for CompRtsDetector {
         self.stats.write.hooks += 1;
         self.stats.write.hook_bytes += bytes as u64;
         self.stats.write.words += hi - lo;
-        self.writes.set_range(lo, hi);
+        if self.hot.batched {
+            if !self.write_filter.covers(lo, hi) {
+                self.writes.set_range(lo, hi);
+                if lo < hi {
+                    self.write_filter.record(lo, hi);
+                }
+            }
+        } else {
+            self.writes.set_range(lo, hi);
+        }
     }
 
     fn free(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
@@ -73,37 +113,62 @@ impl<R: Reachability> Detector<R> for CompRtsDetector {
             return;
         }
         self.stats.strands_flushed += 1;
-        let t0 = Instant::now();
+        let t0 = self.timer.begin();
+        self.cache.begin_strand(s);
         // Reads first: queries must observe the pre-strand history (a
         // strand's own write must not mask an earlier writer its read races
         // with — see DESIGN.md §3).
         let mut ivs = std::mem::take(&mut self.scratch);
         ivs.clear();
         self.reads.extract_and_clear(&mut ivs);
+        self.read_filter.reset();
         for &(lo, hi) in &ivs {
             self.stats.read.intervals += 1;
             self.stats.read.interval_bytes += (hi - lo) * 4;
-            let report = &mut self.report;
-            self.shadow
-                .for_range_mut(lo, hi, |w, e| read_word(e, w, s, reach, report));
+            replay_interval(
+                &mut self.shadow,
+                WordOp::Read,
+                lo,
+                hi,
+                s,
+                reach,
+                self.hot,
+                &mut self.cache,
+                &mut self.report,
+            );
         }
         ivs.clear();
         self.writes.extract_and_clear(&mut ivs);
+        self.write_filter.reset();
         for &(lo, hi) in &ivs {
             self.stats.write.intervals += 1;
             self.stats.write.interval_bytes += (hi - lo) * 4;
-            let report = &mut self.report;
-            self.shadow
-                .for_range_mut(lo, hi, |w, e| write_word(e, w, s, reach, report));
+            replay_interval(
+                &mut self.shadow,
+                WordOp::Write,
+                lo,
+                hi,
+                s,
+                reach,
+                self.hot,
+                &mut self.cache,
+                &mut self.report,
+            );
         }
         ivs.clear();
         self.scratch = ivs;
-        self.stats.ah_time += t0.elapsed();
+        self.timer.end(t0, &mut self.stats.ah_time);
     }
 
     fn finish(&mut self, s: StrandId, reach: &R) {
         self.strand_end(s, reach);
         self.stats.hash_ops = self.shadow.ops;
+        self.stats.reach_hits = self.cache.hits;
+        self.stats.reach_misses = self.cache.misses;
+        self.stats.reach_flushes = self.cache.flushes;
+        self.stats.page_batches = self.shadow.batches;
+        self.stats.page_batch_words = self.shadow.batched_words;
+        self.stats.hook_filter_hits = self.read_filter.hits + self.write_filter.hits;
     }
 }
 

@@ -45,17 +45,18 @@
 
 pub mod comprts;
 pub mod report;
-pub mod trace;
 pub mod stats;
 pub mod stint_det;
+pub mod timing;
+pub mod trace;
 pub mod vanilla;
 pub mod word_logic;
 
 pub use comprts::CompRtsDetector;
-pub use trace::{record, replay, PortableTrace, Trace, TraceEvent, TraceOp, TraceRecorder};
 pub use report::{Race, RaceKind, RaceReport};
 pub use stats::{DetectorStats, Sided};
 pub use stint_det::{IntervalDetector, StintDetector, StintFlatDetector};
+pub use trace::{record, replay, PortableTrace, Trace, TraceEvent, TraceOp, TraceRecorder};
 pub use vanilla::VanillaDetector;
 
 // Re-export the substrate surface users need.
@@ -64,7 +65,8 @@ pub use stint_cilk::{
     ExecCounters, Executor, NopDetector,
 };
 pub use stint_ivtree::{FlatStore, Interval, IntervalStore, OpStats, Treap};
-pub use stint_sporder::{FrozenReach, Reachability, SpOrder, SpOrderO1, StrandId};
+pub use stint_sporder::{FrozenReach, ReachCache, Reachability, SpOrder, SpOrderO1, StrandId};
+pub use timing::{FlushTimer, TimingMode};
 
 use std::time::Duration;
 
@@ -108,6 +110,45 @@ impl std::fmt::Display for Variant {
     }
 }
 
+/// Hot-path configuration shared by the detectors.
+///
+/// Both knobs are pure optimizations: any combination reports exactly the
+/// same races (enforced by the differential tests in
+/// `tests/cached_reach.rs`). [`HotPath::LEGACY`] selects the historical
+/// unoptimized paths and is what the perf gate uses as its baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotPath {
+    /// Replay word ranges page run by page run (one page-table resolution
+    /// per up to 4096 words) instead of re-walking the page table per word.
+    pub batched: bool,
+    /// Memoize reachability queries in a strand-local [`ReachCache`].
+    pub reach_cache: bool,
+    /// Gate the per-flush `ah_time` clock reads behind the process timing
+    /// mode (see [`timing`]). When false, every strand-end flush pays two
+    /// `Instant::now` calls regardless of mode — the historical behavior.
+    pub gated_timing: bool,
+}
+
+impl Default for HotPath {
+    fn default() -> Self {
+        HotPath {
+            batched: true,
+            reach_cache: true,
+            gated_timing: true,
+        }
+    }
+}
+
+impl HotPath {
+    /// The unoptimized paths: per-word page walks, uncached reachability,
+    /// unconditional flush timing.
+    pub const LEGACY: HotPath = HotPath {
+        batched: false,
+        reach_cache: false,
+        gated_timing: false,
+    };
+}
+
 /// Options for [`detect_with`].
 #[derive(Clone, Copy, Debug)]
 pub struct Config {
@@ -117,6 +158,8 @@ pub struct Config {
     /// Maintain the exact racy-word set (cheap for race-free programs; can
     /// be large for heavily racy ones).
     pub collect_racy_words: bool,
+    /// Hot-path optimizations (default: all on).
+    pub hot: HotPath,
 }
 
 impl Config {
@@ -125,6 +168,7 @@ impl Config {
             variant,
             race_cap: 10_000,
             collect_racy_words: true,
+            hot: HotPath::default(),
         }
     }
 }
@@ -153,23 +197,28 @@ pub fn detect_with<P: CilkProgram>(p: &mut P, cfg: Config) -> Outcome {
     let report = RaceReport::new(cfg.race_cap, cfg.collect_racy_words);
     match cfg.variant {
         Variant::Vanilla => {
-            let (ex, wall) = run_with_detector(p, VanillaDetector::new(false, report));
+            let det = VanillaDetector::new(false, report).with_hot_path(cfg.hot);
+            let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::Compiler => {
-            let (ex, wall) = run_with_detector(p, VanillaDetector::new(true, report));
+            let det = VanillaDetector::new(true, report).with_hot_path(cfg.hot);
+            let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::CompRts => {
-            let (ex, wall) = run_with_detector(p, CompRtsDetector::new(report));
+            let det = CompRtsDetector::new(report).with_hot_path(cfg.hot);
+            let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::Stint => {
-            let (ex, wall) = run_with_detector(p, StintDetector::new(report));
+            let det = StintDetector::new(report).with_hot_path(cfg.hot);
+            let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::StintFlat => {
-            let (ex, wall) = run_with_detector(p, StintFlatDetector::new_flat(report));
+            let det = StintFlatDetector::new_flat(report).with_hot_path(cfg.hot);
+            let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
     }

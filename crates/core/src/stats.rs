@@ -49,6 +49,21 @@ pub struct DetectorStats {
     pub treap: OpStats,
     /// Strands whose accesses were flushed (non-empty strands).
     pub strands_flushed: u64,
+    /// Reachability queries answered by the strand-local cache.
+    pub reach_hits: u64,
+    /// Reachability queries that walked the order-maintenance lists.
+    pub reach_misses: u64,
+    /// Strand-boundary invalidations of the reachability cache.
+    pub reach_flushes: u64,
+    /// Instrumentation hooks elided by the redundant-`set_range` filter:
+    /// the hook's word range was already fully set in the bit table this
+    /// strand, so the table (and its page lookup) was skipped entirely.
+    pub hook_filter_hits: u64,
+    /// Single-page runs processed by the batched shadow-replay path.
+    pub page_batches: u64,
+    /// Words covered by those runs (`page_batch_words / page_batches` is the
+    /// mean number of words served per page-table resolution).
+    pub page_batch_words: u64,
 }
 
 impl DetectorStats {
@@ -57,5 +72,22 @@ impl DetectorStats {
     }
     pub fn total_intervals(&self) -> u64 {
         self.read.intervals + self.write.intervals
+    }
+    /// Fraction of reachability queries served by the cache (0 if uncached).
+    pub fn reach_hit_rate(&self) -> f64 {
+        let total = self.reach_hits + self.reach_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.reach_hits as f64 / total as f64
+        }
+    }
+    /// Mean words handled per page-table resolution on the batched path.
+    pub fn avg_page_batch_words(&self) -> f64 {
+        if self.page_batches == 0 {
+            0.0
+        } else {
+            self.page_batch_words as f64 / self.page_batches as f64
+        }
     }
 }

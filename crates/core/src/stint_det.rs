@@ -23,11 +23,12 @@
 
 use crate::report::{RaceKind, RaceReport};
 use crate::stats::DetectorStats;
-use std::time::Instant;
+use crate::timing::FlushTimer;
+use crate::HotPath;
 use stint_cilk::{word_range, Detector};
 use stint_ivtree::{FlatStore, Interval, IntervalStore, Treap};
-use stint_shadow::{BitShadow, WordIv};
-use stint_sporder::{Reachability, StrandId};
+use stint_shadow::{BitShadow, SetFilter, WordIv};
+use stint_sporder::{ReachCache, Reachability, StrandId};
 
 /// Pseudo-accessor recorded over freed regions: it conflicts with nothing
 /// and is always replaced by real accesses (allocator `free` integration).
@@ -42,11 +43,44 @@ pub type StintFlatDetector = IntervalDetector<FlatStore<StrandId>>;
 pub struct IntervalDetector<S> {
     reads: BitShadow,
     writes: BitShadow,
+    read_filter: SetFilter,
+    write_filter: SetFilter,
     read_tree: S,
     write_tree: S,
-    scratch: Vec<WordIv>,
+    scratch_r: Vec<WordIv>,
+    scratch_w: Vec<WordIv>,
+    hot: HotPath,
+    cache: ReachCache,
+    timer: FlushTimer,
     pub report: RaceReport,
     pub stats: DetectorStats,
+}
+
+/// Reachability queries of a strand-end flush, optionally memoized. All
+/// queries during a flush share the current strand `s`, which is what makes
+/// the [`ReachCache`] applicable.
+struct Queries<'a, R> {
+    reach: &'a R,
+    s: StrandId,
+    cache: Option<&'a mut ReachCache>,
+}
+
+impl<R: Reachability> Queries<'_, R> {
+    #[inline]
+    fn parallel(&mut self, old: StrandId) -> bool {
+        match &mut self.cache {
+            Some(c) => c.parallel_with_cur(old, self.reach),
+            None => self.reach.parallel(old, self.s),
+        }
+    }
+
+    #[inline]
+    fn cur_left_of(&mut self, old: StrandId) -> bool {
+        match &mut self.cache {
+            Some(c) => c.cur_left_of(old, self.reach),
+            None => self.reach.left_of(self.s, old),
+        }
+    }
 }
 
 impl IntervalDetector<Treap<StrandId>> {
@@ -70,12 +104,32 @@ impl<S: IntervalStore<StrandId>> IntervalDetector<S> {
         IntervalDetector {
             reads: BitShadow::new(),
             writes: BitShadow::new(),
+            read_filter: SetFilter::new(),
+            write_filter: SetFilter::new(),
             read_tree,
             write_tree,
-            scratch: Vec::new(),
+            scratch_r: Vec::new(),
+            scratch_w: Vec::new(),
+            hot: HotPath::default(),
+            cache: ReachCache::new(),
+            timer: FlushTimer::default(),
             report,
             stats: DetectorStats::default(),
         }
+    }
+
+    /// Select which hot-path optimizations to use (default: all on). The
+    /// interval detector has no word-replay loop; here [`HotPath::batched`]
+    /// enables the hook-side redundant-`set_range` filter (a load/store
+    /// whose word range is already set in the bit table this strand skips
+    /// the table entirely), while [`HotPath::reach_cache`] and
+    /// [`HotPath::gated_timing`] work as in the word-granularity detectors.
+    pub fn with_hot_path(mut self, hot: HotPath) -> Self {
+        self.hot = hot;
+        if !hot.gated_timing {
+            self.timer = FlushTimer::full();
+        }
+        self
     }
 
     /// Current sizes of the (read, write) interval stores.
@@ -100,7 +154,18 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
         self.stats.read.hooks += 1;
         self.stats.read.hook_bytes += bytes as u64;
         self.stats.read.words += hi - lo;
-        self.reads.set_range(lo, hi);
+        // The bit table is monotone until the strand-end flush, so a range
+        // the filter has seen set this strand can skip it entirely.
+        if self.hot.batched {
+            if !self.read_filter.covers(lo, hi) {
+                self.reads.set_range(lo, hi);
+                if lo < hi {
+                    self.read_filter.record(lo, hi);
+                }
+            }
+        } else {
+            self.reads.set_range(lo, hi);
+        }
     }
 
     #[inline]
@@ -109,7 +174,16 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
         self.stats.write.hooks += 1;
         self.stats.write.hook_bytes += bytes as u64;
         self.stats.write.words += hi - lo;
-        self.writes.set_range(lo, hi);
+        if self.hot.batched {
+            if !self.write_filter.covers(lo, hi) {
+                self.writes.set_range(lo, hi);
+                if lo < hi {
+                    self.write_filter.record(lo, hi);
+                }
+            }
+        } else {
+            self.writes.set_range(lo, hi);
+        }
     }
 
     fn free(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
@@ -130,49 +204,70 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
             return;
         }
         self.stats.strands_flushed += 1;
-        let t0 = Instant::now();
-        let mut ivs = std::mem::take(&mut self.scratch);
-
-        // --- Read intervals: check against write tree, insert into read tree.
-        ivs.clear();
-        self.reads.extract_and_clear(&mut ivs);
-        for &(lo, hi) in &ivs {
+        let t0 = self.timer.begin();
+        if self.hot.reach_cache {
+            self.cache.begin_strand(s);
+        }
+        let mut q = Queries {
+            reach,
+            s,
+            cache: self.hot.reach_cache.then_some(&mut self.cache),
+        };
+        let mut reads = std::mem::take(&mut self.scratch_r);
+        let mut writes = std::mem::take(&mut self.scratch_w);
+        reads.clear();
+        writes.clear();
+        self.reads.extract_and_clear(&mut reads);
+        self.writes.extract_and_clear(&mut writes);
+        self.read_filter.reset();
+        self.write_filter.reset();
+        for &(lo, hi) in &reads {
             self.stats.read.intervals += 1;
             self.stats.read.interval_bytes += (hi - lo) * 4;
+        }
+        for &(lo, hi) in &writes {
+            self.stats.write.intervals += 1;
+            self.stats.write.interval_bytes += (hi - lo) * 4;
+        }
+
+        // --- Read intervals: check against write tree, insert into read
+        // tree. Queries on the same address region as the insert that
+        // follows keep the relevant tree paths cache-hot, so the phases stay
+        // interleaved per interval.
+        for &(lo, hi) in &reads {
             let report = &mut self.report;
             self.write_tree.query_overlaps(lo, hi, |old, olo, ohi| {
-                if old != TOMBSTONE && reach.parallel(old, s) {
+                if old != TOMBSTONE && q.parallel(old) {
                     report.add(RaceKind::WriteRead, olo, ohi, old, s);
                 }
             });
             self.read_tree.insert_read(Interval::new(lo, hi, s), |old| {
-                old == TOMBSTONE || reach.left_of(s, old)
+                old == TOMBSTONE || q.cur_left_of(old)
             });
         }
 
-        // --- Write intervals: check against read tree, insert into write tree.
-        ivs.clear();
-        self.writes.extract_and_clear(&mut ivs);
-        for &(lo, hi) in &ivs {
-            self.stats.write.intervals += 1;
-            self.stats.write.interval_bytes += (hi - lo) * 4;
+        // --- Write intervals: check against read tree, insert into write
+        // tree.
+        for &(lo, hi) in &writes {
             let report = &mut self.report;
             self.read_tree.query_overlaps(lo, hi, |old, olo, ohi| {
-                if old != TOMBSTONE && reach.parallel(old, s) {
+                if old != TOMBSTONE && q.parallel(old) {
                     report.add(RaceKind::ReadWrite, olo, ohi, old, s);
                 }
             });
             let report = &mut self.report;
             self.write_tree
                 .insert_write(Interval::new(lo, hi, s), |old, olo, ohi| {
-                    if old != TOMBSTONE && reach.parallel(old, s) {
+                    if old != TOMBSTONE && q.parallel(old) {
                         report.add(RaceKind::WriteWrite, olo, ohi, old, s);
                     }
                 });
         }
-        ivs.clear();
-        self.scratch = ivs;
-        self.stats.ah_time += t0.elapsed();
+        reads.clear();
+        writes.clear();
+        self.scratch_r = reads;
+        self.scratch_w = writes;
+        self.timer.end(t0, &mut self.stats.ah_time);
     }
 
     fn finish(&mut self, s: StrandId, reach: &R) {
@@ -180,6 +275,10 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
         let mut t = self.read_tree.stats();
         t.merge(&self.write_tree.stats());
         self.stats.treap = t;
+        self.stats.reach_hits = self.cache.hits;
+        self.stats.reach_misses = self.cache.misses;
+        self.stats.reach_flushes = self.cache.flushes;
+        self.stats.hook_filter_hits = self.read_filter.hits + self.write_filter.hits;
     }
 }
 

@@ -1,0 +1,150 @@
+//! Access-history timing gate.
+//!
+//! The batching detectors (`comp+rts`, `STINT`) time each strand-end flush to
+//! produce the `ah_time` figure (paper Figure 7/8 overhead columns). Two
+//! `Instant::now` calls per flush are measurable on fine-grained workloads —
+//! strands can flush in well under a microsecond — so the clock reads are
+//! gated behind a process-wide mode:
+//!
+//! * `full` — time every flush (exact, the pre-gate behavior);
+//! * `sampled` (default) — time every 64th flush and scale the elapsed time
+//!   by 64, an unbiased estimate when flush cost is stationary;
+//! * `off` — never read the clock; `ah_time` stays zero.
+//!
+//! The mode comes from the `STINT_AH_TIMING` environment variable, read once,
+//! or from [`set_mode`] if a binary calls it before the first detector runs
+//! (the perf gate forces `off`; figure-7 style runs force `full`).
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingMode {
+    Off,
+    Sampled,
+    Full,
+}
+
+static MODE: OnceLock<TimingMode> = OnceLock::new();
+
+/// Sampled flushes are scaled by this factor (must be a power of two).
+pub const SAMPLE_PERIOD: u32 = 64;
+
+/// The process-wide timing mode. First call latches it (env var
+/// `STINT_AH_TIMING` = `off` | `sampled` | `full`, default `sampled`).
+pub fn mode() -> TimingMode {
+    *MODE.get_or_init(|| match std::env::var("STINT_AH_TIMING").as_deref() {
+        Ok("off") => TimingMode::Off,
+        Ok("full") => TimingMode::Full,
+        _ => TimingMode::Sampled,
+    })
+}
+
+/// Force the timing mode, overriding the environment. Returns `false` if the
+/// mode was already latched (by an earlier [`mode`] or `set_mode` call), in
+/// which case the existing mode stays in effect.
+pub fn set_mode(m: TimingMode) -> bool {
+    MODE.set(m).is_ok()
+}
+
+/// Per-detector flush timer implementing the gate. One instance per detector;
+/// the mode is latched at construction.
+#[derive(Debug)]
+pub struct FlushTimer {
+    mode: TimingMode,
+    flushes: u32,
+}
+
+impl Default for FlushTimer {
+    fn default() -> Self {
+        FlushTimer {
+            mode: mode(),
+            flushes: 0,
+        }
+    }
+}
+
+impl FlushTimer {
+    /// A timer that times every flush regardless of the process mode — the
+    /// pre-gate behavior, used by `HotPath { gated_timing: false }`.
+    pub fn full() -> Self {
+        FlushTimer {
+            mode: TimingMode::Full,
+            flushes: 0,
+        }
+    }
+
+    /// Start timing a flush. `None` means this flush is not being timed.
+    #[inline]
+    pub fn begin(&mut self) -> Option<Instant> {
+        match self.mode {
+            TimingMode::Off => None,
+            TimingMode::Full => Some(Instant::now()),
+            TimingMode::Sampled => {
+                let take = self.flushes & (SAMPLE_PERIOD - 1) == 0;
+                self.flushes = self.flushes.wrapping_add(1);
+                take.then(Instant::now)
+            }
+        }
+    }
+
+    /// Account a flush started by [`begin`](Self::begin) into `acc`.
+    #[inline]
+    pub fn end(&self, t0: Option<Instant>, acc: &mut Duration) {
+        if let Some(t0) = t0 {
+            let dt = t0.elapsed();
+            *acc += if self.mode == TimingMode::Sampled {
+                dt * SAMPLE_PERIOD
+            } else {
+                dt
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `mode()` is process-global, so tests exercise FlushTimer with explicit
+    // modes rather than racing over the OnceLock.
+    fn timer(mode: TimingMode) -> FlushTimer {
+        FlushTimer { mode, flushes: 0 }
+    }
+
+    #[test]
+    fn off_never_reads_clock() {
+        let mut t = timer(TimingMode::Off);
+        let mut acc = Duration::ZERO;
+        for _ in 0..200 {
+            let t0 = t.begin();
+            assert!(t0.is_none());
+            t.end(t0, &mut acc);
+        }
+        assert_eq!(acc, Duration::ZERO);
+    }
+
+    #[test]
+    fn full_times_every_flush() {
+        let mut t = timer(TimingMode::Full);
+        for _ in 0..5 {
+            assert!(t.begin().is_some());
+        }
+    }
+
+    #[test]
+    fn sampled_times_one_in_period_and_scales() {
+        let mut t = timer(TimingMode::Sampled);
+        let taken: u32 = (0..(SAMPLE_PERIOD * 3))
+            .map(|_| t.begin().is_some() as u32)
+            .sum();
+        assert_eq!(taken, 3);
+        // Scaling: an accounted sample contributes its elapsed × period.
+        let mut acc = Duration::ZERO;
+        let mut t = timer(TimingMode::Sampled);
+        let t0 = t.begin();
+        std::thread::sleep(Duration::from_millis(2));
+        t.end(t0, &mut acc);
+        assert!(acc >= Duration::from_millis(2) * SAMPLE_PERIOD);
+    }
+}

@@ -201,9 +201,7 @@ impl PortableTrace {
         let bad = |m: &str| Error::new(ErrorKind::InvalidData, m.to_string());
         let mut lines = r.lines();
         let mut next = move || -> std::io::Result<String> {
-            lines
-                .next()
-                .ok_or_else(|| bad("unexpected end of trace"))?
+            lines.next().ok_or_else(|| bad("unexpected end of trace"))?
         };
         if next()?.trim() != "STINT-TRACE v1" {
             return Err(bad("bad magic: expected STINT-TRACE v1"));
@@ -313,7 +311,11 @@ mod tests {
         assert_eq!(replayed.report.racy_words(), live.report.racy_words());
         assert!(!replayed.report.is_race_free());
         // And the word-level detector agrees too.
-        let vr = replay(&trace, &reach, VanillaDetector::new(true, RaceReport::default()));
+        let vr = replay(
+            &trace,
+            &reach,
+            VanillaDetector::new(true, RaceReport::default()),
+        );
         assert_eq!(vr.report.racy_words(), replayed.report.racy_words());
     }
 

@@ -12,16 +12,21 @@
 
 use crate::report::RaceReport;
 use crate::stats::DetectorStats;
-use crate::word_logic::{read_word, write_word};
+use crate::word_logic::{
+    read_word, read_word_cached, replay_interval, write_word, write_word_cached, WordOp,
+};
+use crate::HotPath;
 use stint_cilk::{word_range, Detector};
 use stint_shadow::WordShadow;
-use stint_sporder::{Reachability, StrandId};
+use stint_sporder::{ReachCache, Reachability, StrandId};
 
 /// Word-granularity, check-at-every-access detector.
 pub struct VanillaDetector {
     /// True for the `compiler` variant (exploit coalesced hooks).
     compiler_coalescing: bool,
     shadow: WordShadow,
+    hot: HotPath,
+    cache: ReachCache,
     pub report: RaceReport,
     pub stats: DetectorStats,
 }
@@ -31,33 +36,99 @@ impl VanillaDetector {
         VanillaDetector {
             compiler_coalescing,
             shadow: WordShadow::new(),
+            hot: HotPath::default(),
+            cache: ReachCache::new(),
             report,
             stats: DetectorStats::default(),
         }
+    }
+
+    /// Select which hot-path optimizations to use (default: all on).
+    pub fn with_hot_path(mut self, hot: HotPath) -> Self {
+        self.hot = hot;
+        self
     }
 
     pub fn shadow(&self) -> &WordShadow {
         &self.shadow
     }
 
-    fn load_words<R: Reachability>(&mut self, s: StrandId, lo: u64, hi: u64, reach: &R, ranged: bool) {
+    fn load_words<R: Reachability>(
+        &mut self,
+        s: StrandId,
+        lo: u64,
+        hi: u64,
+        reach: &R,
+        ranged: bool,
+    ) {
         let report = &mut self.report;
+        self.cache.begin_strand(s);
         if ranged {
-            self.shadow
-                .for_range_mut(lo, hi, |w, e| read_word(e, w, s, reach, report));
+            replay_interval(
+                &mut self.shadow,
+                WordOp::Read,
+                lo,
+                hi,
+                s,
+                reach,
+                self.hot,
+                &mut self.cache,
+                report,
+            );
+        } else if self.hot.reach_cache {
+            // Per-word lookups: each pays its own page-table walk (that cost
+            // is the modeled quantity — batching must not hide it), but the
+            // reachability cache is detector-internal and still applies.
+            for w in lo..hi {
+                read_word_cached(
+                    self.shadow.entry_mut(w),
+                    w,
+                    s,
+                    reach,
+                    &mut self.cache,
+                    report,
+                );
+            }
         } else {
-            // Per-word lookups: each pays its own page-table walk.
             for w in lo..hi {
                 read_word(self.shadow.entry_mut(w), w, s, reach, report);
             }
         }
     }
 
-    fn store_words<R: Reachability>(&mut self, s: StrandId, lo: u64, hi: u64, reach: &R, ranged: bool) {
+    fn store_words<R: Reachability>(
+        &mut self,
+        s: StrandId,
+        lo: u64,
+        hi: u64,
+        reach: &R,
+        ranged: bool,
+    ) {
         let report = &mut self.report;
+        self.cache.begin_strand(s);
         if ranged {
-            self.shadow
-                .for_range_mut(lo, hi, |w, e| write_word(e, w, s, reach, report));
+            replay_interval(
+                &mut self.shadow,
+                WordOp::Write,
+                lo,
+                hi,
+                s,
+                reach,
+                self.hot,
+                &mut self.cache,
+                report,
+            );
+        } else if self.hot.reach_cache {
+            for w in lo..hi {
+                write_word_cached(
+                    self.shadow.entry_mut(w),
+                    w,
+                    s,
+                    reach,
+                    &mut self.cache,
+                    report,
+                );
+            }
         } else {
             for w in lo..hi {
                 write_word(self.shadow.entry_mut(w), w, s, reach, report);
@@ -131,6 +202,11 @@ impl<R: Reachability> Detector<R> for VanillaDetector {
     fn finish(&mut self, s: StrandId, reach: &R) {
         self.strand_end(s, reach);
         self.stats.hash_ops = self.shadow.ops;
+        self.stats.reach_hits = self.cache.hits;
+        self.stats.reach_misses = self.cache.misses;
+        self.stats.reach_flushes = self.cache.flushes;
+        self.stats.page_batches = self.shadow.batches;
+        self.stats.page_batch_words = self.shadow.batched_words;
     }
 }
 

@@ -3,8 +3,9 @@
 //! (`vanilla`, `compiler`, `comp+rts`).
 
 use crate::report::{RaceKind, RaceReport};
-use stint_shadow::{WordEntry, NO_STRAND};
-use stint_sporder::{Reachability, StrandId};
+use crate::HotPath;
+use stint_shadow::{WordEntry, WordShadow, NO_STRAND};
+use stint_sporder::{ReachCache, Reachability, StrandId};
 
 /// Process a write by strand `s` to the word `w` with shadow entry `e`.
 #[inline]
@@ -50,6 +51,164 @@ pub fn read_word<R: Reachability>(
     // reader is left of the stored one exactly when they are in series.
     if e.reader == NO_STRAND || reach.left_of(s, StrandId(e.reader)) {
         e.reader = s.0;
+    }
+}
+
+/// [`write_word`] with reachability answers memoized in `cache`. The caller
+/// must have pointed the cache at `s` via [`ReachCache::begin_strand`].
+#[inline]
+pub fn write_word_cached<R: Reachability>(
+    e: &mut WordEntry,
+    w: u64,
+    s: StrandId,
+    reach: &R,
+    cache: &mut ReachCache,
+    report: &mut RaceReport,
+) {
+    debug_assert_eq!(cache.current(), s);
+    if e.reader != NO_STRAND {
+        let r = StrandId(e.reader);
+        if cache.parallel_with_cur(r, reach) {
+            report.add(RaceKind::ReadWrite, w, w + 1, r, s);
+        }
+    }
+    if e.writer != NO_STRAND {
+        let wr = StrandId(e.writer);
+        if cache.parallel_with_cur(wr, reach) {
+            report.add(RaceKind::WriteWrite, w, w + 1, wr, s);
+        }
+    }
+    e.writer = s.0;
+}
+
+/// [`read_word`] with reachability answers memoized in `cache`. The caller
+/// must have pointed the cache at `s` via [`ReachCache::begin_strand`].
+#[inline]
+pub fn read_word_cached<R: Reachability>(
+    e: &mut WordEntry,
+    w: u64,
+    s: StrandId,
+    reach: &R,
+    cache: &mut ReachCache,
+    report: &mut RaceReport,
+) {
+    debug_assert_eq!(cache.current(), s);
+    if e.writer != NO_STRAND {
+        let wr = StrandId(e.writer);
+        if cache.parallel_with_cur(wr, reach) {
+            report.add(RaceKind::WriteRead, w, w + 1, wr, s);
+        }
+    }
+    if e.reader == NO_STRAND || cache.cur_left_of(StrandId(e.reader), reach) {
+        e.reader = s.0;
+    }
+}
+
+/// Which word operation an interval replay performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WordOp {
+    Read,
+    Write,
+}
+
+/// Replay the interval `[lo, hi)` against the word shadow, dispatching on the
+/// hot-path configuration:
+///
+/// * `hot.batched` — walk the range page run by page run
+///   ([`WordShadow::process_range_on_page`]: one page-table resolution per up
+///   to 4096 words) instead of re-walking per word;
+/// * `hot.reach_cache` — answer reachability queries through `cache`.
+///
+/// Shared by the `compiler` ranged path and the `comp+rts` strand-end replay
+/// so both take the identical fast path. With `HotPath::LEGACY` this is
+/// exactly the historical `for_range_mut` + uncached loop, which the
+/// differential tests (and the perf-gate baseline) run against.
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat arg list keeps the hook path monomorphic and borrow-friendly
+pub fn replay_interval<R: Reachability>(
+    shadow: &mut WordShadow,
+    op: WordOp,
+    lo: u64,
+    hi: u64,
+    s: StrandId,
+    reach: &R,
+    hot: HotPath,
+    cache: &mut ReachCache,
+    report: &mut RaceReport,
+) {
+    if lo >= hi {
+        return;
+    }
+    // `op` is matched per page run (not per word) so each arm compiles to a
+    // monomorphic inner loop over the page slice.
+    //
+    // The fully-hot arm also short-circuits uniform runs: consecutive words
+    // of a replayed interval overwhelmingly hold the identical
+    // (reader, writer) pair (a single earlier interval populated them), and
+    // the word protocol's decisions depend only on that pair and `s`. A word
+    // whose entry equals the previous race-free input is rewritten to the
+    // previous output without re-deciding anything; racy inputs are never
+    // memoized (each racy word must reach `report.add` itself).
+    match (hot.batched, hot.reach_cache) {
+        (true, true) => shadow.process_range_on_page(lo, hi, |w0, entries| {
+            let mut memo: Option<(WordEntry, WordEntry)> = None;
+            match op {
+                WordOp::Read => {
+                    for (i, e) in entries.iter_mut().enumerate() {
+                        if let Some((pin, pout)) = memo {
+                            if *e == pin {
+                                *e = pout;
+                                continue;
+                            }
+                        }
+                        let before = *e;
+                        let races = report.total;
+                        read_word_cached(e, w0 + i as u64, s, reach, cache, report);
+                        memo = (report.total == races).then_some((before, *e));
+                    }
+                }
+                WordOp::Write => {
+                    for (i, e) in entries.iter_mut().enumerate() {
+                        if let Some((pin, pout)) = memo {
+                            if *e == pin {
+                                *e = pout;
+                                continue;
+                            }
+                        }
+                        let before = *e;
+                        let races = report.total;
+                        write_word_cached(e, w0 + i as u64, s, reach, cache, report);
+                        memo = (report.total == races).then_some((before, *e));
+                    }
+                }
+            }
+        }),
+        (true, false) => shadow.process_range_on_page(lo, hi, |w0, entries| match op {
+            WordOp::Read => {
+                for (i, e) in entries.iter_mut().enumerate() {
+                    read_word(e, w0 + i as u64, s, reach, report);
+                }
+            }
+            WordOp::Write => {
+                for (i, e) in entries.iter_mut().enumerate() {
+                    write_word(e, w0 + i as u64, s, reach, report);
+                }
+            }
+        }),
+        (false, true) => match op {
+            WordOp::Read => shadow.for_range_mut(lo, hi, |w, e| {
+                read_word_cached(e, w, s, reach, cache, report)
+            }),
+            WordOp::Write => shadow.for_range_mut(lo, hi, |w, e| {
+                write_word_cached(e, w, s, reach, cache, report)
+            }),
+        },
+        (false, false) => match op {
+            WordOp::Read => shadow.for_range_mut(lo, hi, |w, e| read_word(e, w, s, reach, report)),
+            WordOp::Write => {
+                shadow.for_range_mut(lo, hi, |w, e| write_word(e, w, s, reach, report))
+            }
+        },
     }
 }
 
@@ -128,5 +287,98 @@ mod tests {
         read_word(&mut e, 1, j, &sp, &mut rep);
         assert_eq!(e.reader, j.0);
         assert!(rep.is_race_free());
+    }
+
+    /// Cached word ops must be observationally identical to the plain ones:
+    /// same race reports, same shadow-entry evolution.
+    #[test]
+    fn cached_ops_match_uncached() {
+        let (sp, root, child, cont, j) = fixture();
+        let script: [(bool, StrandId); 7] = [
+            (false, root), // write
+            (true, child), // read
+            (false, cont),
+            (true, cont),
+            (false, child),
+            (true, j),
+            (false, j),
+        ];
+        let mut e_plain = WordEntry::EMPTY;
+        let mut e_cached = WordEntry::EMPTY;
+        let mut rep_plain = RaceReport::default();
+        let mut rep_cached = RaceReport::default();
+        let mut cache = ReachCache::new();
+        for &(is_read, s) in &script {
+            cache.begin_strand(s);
+            if is_read {
+                read_word(&mut e_plain, 7, s, &sp, &mut rep_plain);
+                read_word_cached(&mut e_cached, 7, s, &sp, &mut cache, &mut rep_cached);
+            } else {
+                write_word(&mut e_plain, 7, s, &sp, &mut rep_plain);
+                write_word_cached(&mut e_cached, 7, s, &sp, &mut cache, &mut rep_cached);
+            }
+            assert_eq!(e_plain.reader, e_cached.reader);
+            assert_eq!(e_plain.writer, e_cached.writer);
+        }
+        assert_eq!(rep_plain.racy_words(), rep_cached.racy_words());
+        assert_eq!(rep_plain.total, rep_cached.total);
+    }
+
+    /// All four (batched × cached) replay configurations agree with each
+    /// other on a cross-page range.
+    #[test]
+    fn replay_interval_configs_agree() {
+        let (sp, _root, child, cont, _j) = fixture();
+        let configs = [
+            HotPath::LEGACY,
+            HotPath {
+                batched: true,
+                reach_cache: false,
+                ..HotPath::default()
+            },
+            HotPath {
+                batched: false,
+                reach_cache: true,
+                ..HotPath::default()
+            },
+            HotPath::default(),
+        ];
+        let lo = 4000u64;
+        let hi = 4200u64; // crosses the 4096-word page boundary
+        let mut outcomes = Vec::new();
+        for hot in configs {
+            let mut shadow = WordShadow::new();
+            let mut cache = ReachCache::new();
+            let mut rep = RaceReport::default();
+            cache.begin_strand(child);
+            replay_interval(
+                &mut shadow,
+                WordOp::Write,
+                lo,
+                hi,
+                child,
+                &sp,
+                hot,
+                &mut cache,
+                &mut rep,
+            );
+            cache.begin_strand(cont);
+            replay_interval(
+                &mut shadow,
+                WordOp::Read,
+                lo + 50,
+                hi + 50,
+                cont,
+                &sp,
+                hot,
+                &mut cache,
+                &mut rep,
+            );
+            outcomes.push((rep.racy_words(), rep.total));
+        }
+        assert_eq!(outcomes[0].0, (lo + 50..hi).collect::<Vec<u64>>());
+        for o in &outcomes[1..] {
+            assert_eq!(o, &outcomes[0]);
+        }
     }
 }

@@ -157,7 +157,9 @@ impl Pipeline {
             // legal since (t-1, s) ≺ (t, s).
             ctx.load(sbase + s * 8, 8);
             ctx.store(sbase + s * 8, 8);
-            state[s] = state[s].wrapping_mul(6364136223846793005).wrapping_add(input);
+            state[s] = state[s]
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(input);
             ctx.store(b_at(t, s), 8);
             buf[t * stages + s] = state[s] ^ (input << 1);
         })
@@ -169,8 +171,14 @@ impl Pipeline {
         let mut state = vec![0xABCDu64; stages];
         for t in 0..items {
             for s in 0..stages {
-                let input = if s == 0 { t as u64 } else { buf[t * stages + s - 1] };
-                state[s] = state[s].wrapping_mul(6364136223846793005).wrapping_add(input);
+                let input = if s == 0 {
+                    t as u64
+                } else {
+                    buf[t * stages + s - 1]
+                };
+                state[s] = state[s]
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(input);
                 buf[t * stages + s] = state[s] ^ (input << 1);
             }
         }

@@ -67,7 +67,12 @@ fn run_case(rows: usize, cols: usize, cells: &[Vec<Acc>]) {
     let expected = oracle(cells, &g);
     let drive = |ctx_load: &mut dyn FnMut(bool, bool, usize, usize), i: usize, j: usize| {
         for a in &cells[i * cols + j] {
-            ctx_load(a.write, a.coalesced, (a.word * 4) as usize, (a.len * 4) as usize);
+            ctx_load(
+                a.write,
+                a.coalesced,
+                (a.word * 4) as usize,
+                (a.len * 4) as usize,
+            );
         }
     };
     let stint_words = detect_grid_stint(rows, cols, |i, j, ctx| {
@@ -97,7 +102,10 @@ fn run_case(rows: usize, cols: usize, cells: &[Vec<Acc>]) {
         )
     })
     .racy_words();
-    assert_eq!(vanilla_words, expected, "vanilla vs oracle on {rows}x{cols}");
+    assert_eq!(
+        vanilla_words, expected,
+        "vanilla vs oracle on {rows}x{cols}"
+    );
 }
 
 #[test]

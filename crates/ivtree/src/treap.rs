@@ -153,6 +153,7 @@ impl<A: Copy> Treap<A> {
     /// its nodes may outrank `t`; rotating the child up leaves `t` with a new
     /// left child that may outrank it in turn, so the fix recurses down the
     /// spine (a sift).
+    #[inline]
     fn fix_left(&mut self, t: u32) -> u32 {
         let l = self.n(t).left;
         if l != NIL && self.n(l).prio > self.n(t).prio {
@@ -166,6 +167,7 @@ impl<A: Copy> Treap<A> {
     }
 
     /// Mirror image of [`Self::fix_left`].
+    #[inline]
     fn fix_right(&mut self, t: u32) -> u32 {
         let r = self.n(t).right;
         if r != NIL && self.n(r).prio > self.n(t).prio {
@@ -180,6 +182,7 @@ impl<A: Copy> Treap<A> {
 
     /// Plain treap insertion of an interval known not to overlap anything in
     /// this subtree (used for the split pieces of case C).
+    #[inline]
     fn insert_disjoint(&mut self, t: u32, iv: Interval<A>, prio: u64) -> u32 {
         if t == NIL {
             return self.alloc(iv, prio);
@@ -220,7 +223,12 @@ impl<A: Copy> Treap<A> {
     /// node that `x` replaced; the invariant is that `x` sits at an ancestor
     /// to the right and extends at least as far right as anything here
     /// (`x.end >= z.end` for all subtree nodes `z`).
-    fn remove_overlap_left(&mut self, t: u32, x_start: u64, cb: &mut impl FnMut(A, u64, u64)) -> u32 {
+    fn remove_overlap_left(
+        &mut self,
+        t: u32,
+        x_start: u64,
+        cb: &mut impl FnMut(A, u64, u64),
+    ) -> u32 {
         if t == NIL {
             return NIL;
         }
@@ -258,7 +266,12 @@ impl<A: Copy> Treap<A> {
     /// Mirror image of [`Self::remove_overlap_left`] for the right subtree:
     /// `x` sits at an ancestor to the left and `x.start <= z.start` holds for
     /// all subtree nodes `z`.
-    fn remove_overlap_right(&mut self, t: u32, x_end: u64, cb: &mut impl FnMut(A, u64, u64)) -> u32 {
+    fn remove_overlap_right(
+        &mut self,
+        t: u32,
+        x_end: u64,
+        cb: &mut impl FnMut(A, u64, u64),
+    ) -> u32 {
         if t == NIL {
             return NIL;
         }

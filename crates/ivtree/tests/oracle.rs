@@ -15,10 +15,16 @@ enum Op {
 
 fn op_strategy(space: u64, max_len: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..space, 1..=max_len, 0..50u32)
-            .prop_map(|(start, len, who)| Op::Write { start, len, who }),
-        (0..space, 1..=max_len, 0..50u32)
-            .prop_map(|(start, len, who)| Op::Read { start, len, who }),
+        (0..space, 1..=max_len, 0..50u32).prop_map(|(start, len, who)| Op::Write {
+            start,
+            len,
+            who
+        }),
+        (0..space, 1..=max_len, 0..50u32).prop_map(|(start, len, who)| Op::Read {
+            start,
+            len,
+            who
+        }),
         (0..space, 1..=max_len).prop_map(|(start, len)| Op::Query { start, len }),
     ]
 }
@@ -161,7 +167,11 @@ fn long_run_soak() {
         }
         if i % 512 == 0 {
             treap.check_invariants();
-            assert_eq!(normalize(treap.to_vec()), normalize(flat.to_vec()), "op {i}");
+            assert_eq!(
+                normalize(treap.to_vec()),
+                normalize(flat.to_vec()),
+                "op {i}"
+            );
         }
     }
     treap.check_invariants();

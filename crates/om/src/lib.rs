@@ -404,7 +404,9 @@ mod tests {
         let mut order = vec![l.insert_first()];
         let mut state: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..2000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let pos = (state >> 33) as usize % order.len();
             let n = l.insert_after(order[pos]);
             order.insert(pos + 1, n);

@@ -146,8 +146,10 @@ impl TwoLevelOm {
         if ea.group == eb.group {
             ea.label < eb.label
         } else {
-            self.top
-                .precedes(self.groups[ea.group as usize].top, self.groups[eb.group as usize].top)
+            self.top.precedes(
+                self.groups[ea.group as usize].top,
+                self.groups[eb.group as usize].top,
+            )
         }
     }
 

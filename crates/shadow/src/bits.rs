@@ -59,6 +59,124 @@ impl Default for BitShadow {
     }
 }
 
+/// Hook-side filter for redundant [`BitShadow::set_range`] calls.
+///
+/// Within one strand the bit table is monotone — bits only accumulate until
+/// the next [`BitShadow::extract_and_clear`] — so a range covered by an
+/// earlier `set_range` of the same strand can skip the table entirely. The
+/// filter keeps the last two distinct set ranges (two, because inner loops
+/// commonly alternate between two arrays); a recorded range that overlaps or
+/// abuts the most recent entry merges into it, so sequential scans collapse
+/// into one growing entry. Must be [`reset`](SetFilter::reset) whenever the
+/// table is extracted or cleared.
+///
+/// The filter is self-regulating: per-workload hit rates are strongly bimodal
+/// (a phase either re-touches whole ranges constantly or essentially never),
+/// so it evaluates itself every [`TRIAL`](SetFilter::TRIAL) probes. A window
+/// with a hit rate below 1/4 switches the filter off for a penalty period
+/// (doubling per consecutive failure, capped), reducing the per-hook cost on
+/// filter-hostile traffic to one predictable branch; the periodic re-trial
+/// lets it come back when the workload enters a re-touching phase.
+#[derive(Clone, Copy, Debug)]
+pub struct SetFilter {
+    ranges: [(u64, u64); 2],
+    /// `set_range` calls skipped because the range was already covered
+    /// (cumulative over the whole run, for statistics).
+    pub hits: u64,
+    /// Probes and hits in the current evaluation window.
+    w_probes: u32,
+    w_hits: u32,
+    /// Remaining `covers` calls to wave through while switched off.
+    skip: u32,
+    /// Length of the next off period; doubles per consecutive failed trial.
+    penalty: u32,
+}
+
+impl Default for SetFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SetFilter {
+    /// Evaluation-window length. Long enough to see past a cold start, short
+    /// enough that a hostile phase pays a negligible fraction of its hooks.
+    pub const TRIAL: u32 = 4096;
+    /// Shortest off period after a failed trial.
+    pub const MIN_PENALTY: u32 = 4 * Self::TRIAL;
+    /// Backoff cap: even permanently hostile traffic re-trials this often.
+    pub const MAX_PENALTY: u32 = 64 * Self::TRIAL;
+
+    pub const fn new() -> Self {
+        SetFilter {
+            // (1, 0) is empty: it covers nothing.
+            ranges: [(1, 0); 2],
+            hits: 0,
+            w_probes: 0,
+            w_hits: 0,
+            skip: 0,
+            penalty: Self::MIN_PENALTY,
+        }
+    }
+
+    /// True if every word of `[lo, hi)` is known to be set already (the
+    /// caller may skip `set_range`).
+    #[inline]
+    pub fn covers(&mut self, lo: u64, hi: u64) -> bool {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return false;
+        }
+        self.w_probes += 1;
+        let mut hit = false;
+        for (a, b) in self.ranges {
+            if lo >= a && hi <= b {
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            self.hits += 1;
+            self.w_hits += 1;
+        }
+        if self.w_probes == Self::TRIAL {
+            if self.w_hits * 4 < Self::TRIAL {
+                self.skip = self.penalty;
+                self.penalty = (self.penalty * 2).min(Self::MAX_PENALTY);
+            } else {
+                self.penalty = Self::MIN_PENALTY;
+            }
+            self.w_probes = 0;
+            self.w_hits = 0;
+        }
+        hit
+    }
+
+    /// Record that `[lo, hi)` has been set (callers pass non-empty ranges).
+    #[inline]
+    pub fn record(&mut self, lo: u64, hi: u64) {
+        if self.skip > 0 {
+            return;
+        }
+        let (a, b) = self.ranges[0];
+        if lo <= b && hi >= a {
+            // Overlapping or abutting the newest entry: their union is fully
+            // set, so grow it in place.
+            self.ranges[0] = (a.min(lo), b.max(hi));
+        } else {
+            self.ranges[1] = self.ranges[0];
+            self.ranges[0] = (lo, hi);
+        }
+    }
+
+    /// Forget the ranges (the table was extracted or cleared). The trial
+    /// state persists — on/off is a property of the traffic, not the strand.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.ranges = [(1, 0); 2];
+    }
+}
+
 impl BitShadow {
     pub fn new() -> Self {
         BitShadow {
@@ -273,6 +391,92 @@ mod tests {
         b.set_range(5, 6);
         b.set_range(70, 90);
         assert_eq!(extract(&mut b), vec![(5, 6), (70, 90), (1000, 1001)]);
+    }
+
+    #[test]
+    fn set_filter_covers_and_merges() {
+        let mut f = SetFilter::new();
+        assert!(!f.covers(0, 1), "empty filter covers nothing");
+        f.record(10, 20);
+        assert!(f.covers(10, 20));
+        assert!(f.covers(12, 15));
+        assert!(!f.covers(5, 12));
+        assert!(!f.covers(15, 25));
+        // Abutting range merges into one growing entry.
+        f.record(20, 30);
+        assert!(f.covers(10, 30));
+        // A distant range occupies the second slot; both stay covered.
+        f.record(100, 110);
+        assert!(f.covers(100, 110));
+        assert!(f.covers(10, 30));
+        // A third distinct range evicts the oldest.
+        f.record(200, 210);
+        assert!(f.covers(200, 210));
+        assert!(f.covers(100, 110));
+        assert!(!f.covers(10, 30));
+        assert!(f.hits >= 6);
+        f.reset();
+        assert!(!f.covers(200, 210));
+    }
+
+    #[test]
+    fn set_filter_backs_off_and_retrials() {
+        let mut f = SetFilter::new();
+        // All-miss traffic: every probe sees a fresh range.
+        for i in 0..SetFilter::TRIAL as u64 {
+            assert!(!f.covers(i * 100, i * 100 + 1));
+            f.record(i * 100, i * 100 + 1);
+        }
+        // Off now: even a just-recorded range no longer reports covered, and
+        // record calls are ignored for the whole penalty period.
+        let last = (SetFilter::TRIAL as u64 - 1) * 100;
+        assert!(!f.covers(last, last + 1));
+        f.record(7, 9);
+        assert!(!f.covers(7, 9));
+        assert_eq!(f.hits, 0);
+        // Burn the remaining penalty (two probes consumed above), then show
+        // the re-trial window is live again: hits start counting.
+        for _ in 0..SetFilter::MIN_PENALTY - 2 {
+            assert!(!f.covers(0, 1));
+        }
+        f.record(0, 64);
+        assert!(f.covers(3, 10));
+        assert_eq!(f.hits, 1);
+
+        // A hit-rich stream keeps the filter on across many windows.
+        let mut f = SetFilter::new();
+        f.record(0, 64);
+        for _ in 0..4 * SetFilter::TRIAL {
+            assert!(f.covers(3, 10));
+        }
+    }
+
+    /// Randomized: a `BitShadow` guarded by the filter extracts the same
+    /// intervals as an unguarded one.
+    #[test]
+    fn set_filter_differential() {
+        let mut state: u64 = 0x5E7F_17E8;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..100 {
+            let mut plain = BitShadow::new();
+            let mut filtered = BitShadow::new();
+            let mut f = SetFilter::new();
+            for _ in 0..(next() % 30 + 1) {
+                let lo = next() % 300;
+                let hi = lo + next() % 50 + 1;
+                plain.set_range(lo, hi);
+                if !f.covers(lo, hi) {
+                    filtered.set_range(lo, hi);
+                    f.record(lo, hi);
+                }
+            }
+            assert_eq!(extract(&mut plain), extract(&mut filtered));
+        }
     }
 
     /// Randomized differential test against a BTreeSet of words.

@@ -40,9 +40,18 @@ impl WordEntry {
 pub struct WordShadow {
     map: PageMap,
     pages: Vec<Box<[WordEntry]>>,
+    /// Last page resolved by the batched path: `(page_no, slot)`. Slots are
+    /// stable (pages are only ever appended), so a hit is always valid; the
+    /// sentinel slot `u32::MAX` marks the cache as empty.
+    last_page: (u64, u32),
     /// Number of individual word operations served (for the paper's
     /// `hash ops` column in Figure 8).
     pub ops: u64,
+    /// Page runs resolved by the batched API ([`WordShadow::with_page`]).
+    pub batches: u64,
+    /// Words covered by those page runs (`batched_words / batches` is the
+    /// average batch length).
+    pub batched_words: u64,
 }
 
 impl Default for WordShadow {
@@ -56,7 +65,10 @@ impl WordShadow {
         WordShadow {
             map: PageMap::new(),
             pages: Vec::new(),
+            last_page: (0, u32::MAX),
             ops: 0,
+            batches: 0,
+            batched_words: 0,
         }
     }
 
@@ -109,6 +121,65 @@ impl WordShadow {
                 f(word, &mut page[(word as usize) & (PAGE_WORDS - 1)]);
             }
             w = page_end;
+        }
+    }
+
+    /// Like [`WordShadow::page_slot`], but checks the one-entry page cache
+    /// first — consecutive intervals overwhelmingly land on the same shadow
+    /// page, so most batched resolutions skip the [`PageMap`] probe entirely.
+    #[inline]
+    fn page_slot_cached(&mut self, page_no: u64) -> usize {
+        let (cached_no, cached_slot) = self.last_page;
+        if cached_no == page_no && cached_slot != u32::MAX {
+            return cached_slot as usize;
+        }
+        let slot = self.page_slot(page_no);
+        self.last_page = (page_no, slot as u32);
+        slot
+    }
+
+    /// The batched-access primitive: resolve the page containing `start`
+    /// *once* and hand `f` the contiguous entry slice covering
+    /// `[start, min(end, page_end))`, together with the word number of its
+    /// first element. Returns the first word *not* covered, so callers loop
+    /// until the return value reaches `end`. Each covered word counts as one
+    /// shadow operation (same accounting as [`WordShadow::for_range_mut`]).
+    #[inline]
+    pub fn with_page(
+        &mut self,
+        start: u64,
+        end: u64,
+        f: impl FnOnce(u64, &mut [WordEntry]),
+    ) -> u64 {
+        debug_assert!(start < end);
+        let page_no = start >> PAGE_BITS;
+        let run_end = ((page_no + 1) << PAGE_BITS).min(end);
+        let covered = run_end - start;
+        self.ops += covered;
+        self.batches += 1;
+        self.batched_words += covered;
+        let slot = self.page_slot_cached(page_no);
+        let base = (start as usize) & (PAGE_WORDS - 1);
+        f(start, &mut self.pages[slot][base..base + covered as usize]);
+        run_end
+    }
+
+    /// Apply `f` to the entry slice of every page run in `[start, end)` —
+    /// the batched counterpart of [`WordShadow::for_range_mut`]. The second
+    /// level is resolved once per up-to-4096-word page run (with a
+    /// same-page fast path) and `f` iterates each page slice directly, so
+    /// the per-word cost is a slice step instead of an index + mask + bounds
+    /// check through `self.pages`.
+    #[inline]
+    pub fn process_range_on_page(
+        &mut self,
+        start: u64,
+        end: u64,
+        mut f: impl FnMut(u64, &mut [WordEntry]),
+    ) {
+        let mut w = start;
+        while w < end {
+            w = self.with_page(w, end, &mut f);
         }
     }
 
@@ -197,5 +268,85 @@ mod tests {
         s.entry_mut(1);
         s.for_range_mut(0, 10, |_, _| {});
         assert_eq!(s.ops, 12);
+    }
+
+    #[test]
+    fn with_page_covers_single_page_run() {
+        let mut s = WordShadow::new();
+        let start = (1u64 << PAGE_BITS) - 3;
+        // Run is clipped at the page boundary.
+        let covered_to = s.with_page(start, start + 100, |base, entries| {
+            assert_eq!(base, start);
+            assert_eq!(entries.len(), 3);
+            for e in entries.iter_mut() {
+                e.writer = 7;
+            }
+        });
+        assert_eq!(covered_to, 1 << PAGE_BITS);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_words, 3);
+        assert_eq!(s.ops, 3);
+        for w in start..covered_to {
+            assert_eq!(s.get(w).unwrap().writer, 7);
+        }
+    }
+
+    #[test]
+    fn process_range_matches_for_range_mut() {
+        // Differential: the batched path must visit exactly the words the
+        // per-word path visits, in the same order, with the same entries.
+        let ranges = [
+            (0u64, 10u64),
+            ((1 << PAGE_BITS) - 5, (1 << PAGE_BITS) + 5),
+            (100, 100 + 3 * (1 << PAGE_BITS)),
+            ((1 << 40) - 1, (1 << 40) + 1),
+        ];
+        for &(start, end) in &ranges {
+            let mut a = WordShadow::new();
+            let mut b = WordShadow::new();
+            let mut va = Vec::new();
+            let mut vb = Vec::new();
+            a.for_range_mut(start, end, |w, e| {
+                va.push(w);
+                e.writer = (w % 97) as u32;
+            });
+            b.process_range_on_page(start, end, |base, entries| {
+                for (i, e) in entries.iter_mut().enumerate() {
+                    let w = base + i as u64;
+                    vb.push(w);
+                    e.writer = (w % 97) as u32;
+                }
+            });
+            assert_eq!(va, vb, "visit order diverged for {start}..{end}");
+            assert_eq!(a.ops, b.ops, "ops accounting diverged");
+            for w in start..end {
+                assert_eq!(a.get(w), b.get(w), "entry diverged at {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn page_cache_skips_map_probe_but_stays_correct() {
+        let mut s = WordShadow::new();
+        // Two far-apart pages, alternating: the cache must never serve a
+        // stale slot.
+        for round in 0..10u64 {
+            s.process_range_on_page(0, 4, |base, entries| {
+                assert_eq!(base, 0);
+                for e in entries.iter_mut() {
+                    e.writer = round as u32;
+                }
+            });
+            s.process_range_on_page(1 << 30, (1 << 30) + 4, |base, entries| {
+                assert_eq!(base, 1 << 30);
+                for e in entries.iter_mut() {
+                    e.reader = round as u32;
+                }
+            });
+        }
+        assert_eq!(s.get(0).unwrap().writer, 9);
+        assert_eq!(s.get(1 << 30).unwrap().reader, 9);
+        assert_eq!(s.pages_allocated(), 2);
+        assert_eq!(s.batches, 20);
     }
 }

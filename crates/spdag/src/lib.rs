@@ -424,7 +424,10 @@ mod tests {
                 assert!(u < v);
             }
             // Sequential order is just 0..n by construction.
-            assert_eq!(sim.seq_order, (0..sim.strand_count() as u32).collect::<Vec<_>>());
+            assert_eq!(
+                sim.seq_order,
+                (0..sim.strand_count() as u32).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -465,7 +468,7 @@ mod tests {
         ]);
         let sim = simulate(&f);
         assert!(sim.racy_words().is_empty()); // distinct words: no races
-        // Find the three strands holding the accesses.
+                                              // Find the three strands holding the accesses.
         let find = |w: u64| -> u32 {
             sim.strand_accesses
                 .iter()

@@ -40,6 +40,9 @@
 
 use stint_om::{OmList, OrderList, TwoLevelOm};
 
+mod cache;
+pub use cache::ReachCache;
+
 /// Identifier of an executed strand. Dense, allocated in creation order
 /// (creation order is *not* the sequential execution order for sync strands,
 /// which are created at the first spawn of their block).
@@ -230,7 +233,6 @@ impl<L: OrderList> SpOrderImpl<L> {
         let be = self.strands[b.index()].0;
         self.eng.precedes(ae, be)
     }
-
 }
 
 impl<L: OrderList> SpOrderImpl<L> {
@@ -311,7 +313,10 @@ impl FrozenReach {
 
     /// The per-strand (English, Hebrew) ranks.
     pub fn ranks(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.eng_rank.iter().copied().zip(self.heb_rank.iter().copied())
+        self.eng_rank
+            .iter()
+            .copied()
+            .zip(self.heb_rank.iter().copied())
     }
 
     pub fn strand_count(&self) -> usize {

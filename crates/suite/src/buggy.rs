@@ -146,9 +146,12 @@ fn step<C: Cilk>(ctx: &mut C, old: MatMut, new: MatMut, b: usize) {
                 x.store_range(new.addr(i, 1), (ny - 2) * 8);
                 for j in 1..ny - 1 {
                     let v = old.get(i, j)
-                        + 0.1 * (old.get(i - 1, j) + old.get(i + 1, j) + old.get(i, j - 1)
-                            + old.get(i, j + 1)
-                            - 4.0 * old.get(i, j));
+                        + 0.1
+                            * (old.get(i - 1, j)
+                                + old.get(i + 1, j)
+                                + old.get(i, j - 1)
+                                + old.get(i, j + 1)
+                                - 4.0 * old.get(i, j));
                     new.set(i, j, v);
                 }
             }

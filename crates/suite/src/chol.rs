@@ -92,7 +92,9 @@ impl Chol {
         if worst < 1e-8 * self.n as f64 {
             Ok(())
         } else {
-            Err(format!("chol: max abs deviation from true factor = {worst}"))
+            Err(format!(
+                "chol: max abs deviation from true factor = {worst}"
+            ))
         }
     }
 }

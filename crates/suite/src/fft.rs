@@ -89,11 +89,7 @@ impl Fft {
         assert!(r.is_power_of_two());
         let re = crate::util::random_f64s(n, seed ^ 0xF0);
         let im = crate::util::random_f64s(n, seed ^ 0xF1);
-        let data: Vec<Cx> = re
-            .into_iter()
-            .zip(im)
-            .map(|(a, b)| Cx::new(a, b))
-            .collect();
+        let data: Vec<Cx> = re.into_iter().zip(im).map(|(a, b)| Cx::new(a, b)).collect();
         Fft {
             n,
             b: b.max(1),

@@ -71,9 +71,12 @@ impl Heat {
             for i in 1..nx - 1 {
                 for j in 1..ny - 1 {
                     b[i * ny + j] = a[i * ny + j]
-                        + 0.1 * (a[(i - 1) * ny + j] + a[(i + 1) * ny + j] + a[i * ny + j - 1]
-                            + a[i * ny + j + 1]
-                            - 4.0 * a[i * ny + j]);
+                        + 0.1
+                            * (a[(i - 1) * ny + j]
+                                + a[(i + 1) * ny + j]
+                                + a[i * ny + j - 1]
+                                + a[i * ny + j + 1]
+                                - 4.0 * a[i * ny + j]);
                 }
             }
             std::mem::swap(&mut a, &mut b);
@@ -129,9 +132,12 @@ fn leaf<C: Cilk>(ctx: &mut C, old: MatMut, new: MatMut, lo: usize, hi: usize) {
         ctx.store_range(new.addr(i, 1), (ny - 2) * 8);
         for j in 1..ny - 1 {
             let v = old.get(i, j)
-                + 0.1 * (old.get(i - 1, j) + old.get(i + 1, j) + old.get(i, j - 1)
-                    + old.get(i, j + 1)
-                    - 4.0 * old.get(i, j));
+                + 0.1
+                    * (old.get(i - 1, j)
+                        + old.get(i + 1, j)
+                        + old.get(i, j - 1)
+                        + old.get(i, j + 1)
+                        - 4.0 * old.get(i, j));
             new.set(i, j, v);
         }
     }

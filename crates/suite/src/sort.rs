@@ -256,7 +256,14 @@ mod tests {
 
     #[test]
     fn sorts_correctly_various_sizes() {
-        for (n, b) in [(1, 4), (7, 4), (50, 8), (1000, 32), (4096, 64), (10_000, 128)] {
+        for (n, b) in [
+            (1, 4),
+            (7, 4),
+            (50, 8),
+            (1000, 32),
+            (4096, 64),
+            (10_000, 128),
+        ] {
             let mut s = Sort::new(n, b, 11);
             run_baseline(&mut s);
             s.verify().unwrap_or_else(|e| panic!("n={n} b={b}: {e}"));
@@ -271,15 +278,16 @@ mod tests {
             // Overwrite the random data with an adversarial pattern.
             for i in 0..n {
                 s.data[i] = match pattern {
-                    0 => i as i64,             // sorted
-                    1 => (n - i) as i64,       // reverse sorted
-                    2 => 42,                   // all equal
-                    _ => (i % 7) as i64,       // few distinct values
+                    0 => i as i64,       // sorted
+                    1 => (n - i) as i64, // reverse sorted
+                    2 => 42,             // all equal
+                    _ => (i % 7) as i64, // few distinct values
                 };
             }
             s.reference = s.data.clone();
             run_baseline(&mut s);
-            s.verify().unwrap_or_else(|e| panic!("pattern={pattern}: {e}"));
+            s.verify()
+                .unwrap_or_else(|e| panic!("pattern={pattern}: {e}"));
         }
     }
 

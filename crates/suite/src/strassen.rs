@@ -184,13 +184,35 @@ fn strassen_rm<C: Cilk>(ctx: &mut C, c: MatMut, a: MatMut, b: MatMut, bs: usize)
         .map(|v| MatMut::from_slice(v, h, h))
         .collect();
     let (p1, p2, p3, p4, p5, p6, p7) = (p[0], p[1], p[2], p[3], p[4], p[5], p[6]);
-    ctx.spawn(move |x| product(x, p1, Operand::Sum(a11, a22, 1.0), Operand::Sum(b11, b22, 1.0), bs));
+    ctx.spawn(move |x| {
+        product(
+            x,
+            p1,
+            Operand::Sum(a11, a22, 1.0),
+            Operand::Sum(b11, b22, 1.0),
+            bs,
+        )
+    });
     ctx.spawn(move |x| product(x, p2, Operand::Sum(a21, a22, 1.0), Operand::Plain(b11), bs));
     ctx.spawn(move |x| product(x, p3, Operand::Plain(a11), Operand::Sum(b12, b22, -1.0), bs));
     ctx.spawn(move |x| product(x, p4, Operand::Plain(a22), Operand::Sum(b21, b11, -1.0), bs));
     ctx.spawn(move |x| product(x, p5, Operand::Sum(a11, a12, 1.0), Operand::Plain(b22), bs));
-    ctx.spawn(move |x| product(x, p6, Operand::Sum(a21, a11, -1.0), Operand::Sum(b11, b12, 1.0), bs));
-    product(ctx, p7, Operand::Sum(a12, a22, -1.0), Operand::Sum(b21, b22, 1.0), bs);
+    ctx.spawn(move |x| {
+        product(
+            x,
+            p6,
+            Operand::Sum(a21, a11, -1.0),
+            Operand::Sum(b11, b12, 1.0),
+            bs,
+        )
+    });
+    product(
+        ctx,
+        p7,
+        Operand::Sum(a12, a22, -1.0),
+        Operand::Sum(b21, b22, 1.0),
+        bs,
+    );
     ctx.sync();
     // Combine (row-coalesced reads of the products, stores of C).
     for i in 0..h {
@@ -206,10 +228,18 @@ fn strassen_rm<C: Cilk>(ctx: &mut C, c: MatMut, a: MatMut, b: MatMut, bs: usize)
         ctx.store_range(c21.addr(i, 0), h * 8);
         ctx.store_range(c22.addr(i, 0), h * 8);
         for j in 0..h {
-            c11.set(i, j, p1.get(i, j) + p4.get(i, j) - p5.get(i, j) + p7.get(i, j));
+            c11.set(
+                i,
+                j,
+                p1.get(i, j) + p4.get(i, j) - p5.get(i, j) + p7.get(i, j),
+            );
             c12.set(i, j, p3.get(i, j) + p5.get(i, j));
             c21.set(i, j, p2.get(i, j) + p4.get(i, j));
-            c22.set(i, j, p1.get(i, j) - p2.get(i, j) + p3.get(i, j) + p6.get(i, j));
+            c22.set(
+                i,
+                j,
+                p1.get(i, j) - p2.get(i, j) + p3.get(i, j) + p6.get(i, j),
+            );
         }
     }
     for buf in &bufs {
@@ -356,7 +386,14 @@ enum ZOperand<'a> {
     Sum(&'a [f64], &'a [f64], f64),
 }
 
-fn z_product<C: Cilk>(ctx: &mut C, dst: &mut [f64], xa: ZOperand, xb: ZOperand, n: usize, bs: usize) {
+fn z_product<C: Cilk>(
+    ctx: &mut C,
+    dst: &mut [f64],
+    xa: ZOperand,
+    xb: ZOperand,
+    n: usize,
+    bs: usize,
+) {
     let mut buf_a;
     let mut buf_b;
     let (mut free_a, mut free_b) = (0usize, 0usize);
@@ -416,13 +453,74 @@ fn strassen_z<C: Cilk>(ctx: &mut C, c: &mut [f64], a: &[f64], b: &[f64], n: usiz
             it.next().unwrap(),
             it.next().unwrap(),
         );
-        ctx.spawn(|x| z_product(x, p1, ZOperand::Sum(a11, a22, 1.0), ZOperand::Sum(b11, b22, 1.0), h, bs));
-        ctx.spawn(|x| z_product(x, p2, ZOperand::Sum(a21, a22, 1.0), ZOperand::Plain(b11), h, bs));
-        ctx.spawn(|x| z_product(x, p3, ZOperand::Plain(a11), ZOperand::Sum(b12, b22, -1.0), h, bs));
-        ctx.spawn(|x| z_product(x, p4, ZOperand::Plain(a22), ZOperand::Sum(b21, b11, -1.0), h, bs));
-        ctx.spawn(|x| z_product(x, p5, ZOperand::Sum(a11, a12, 1.0), ZOperand::Plain(b22), h, bs));
-        ctx.spawn(|x| z_product(x, p6, ZOperand::Sum(a21, a11, -1.0), ZOperand::Sum(b11, b12, 1.0), h, bs));
-        z_product(ctx, p7, ZOperand::Sum(a12, a22, -1.0), ZOperand::Sum(b21, b22, 1.0), h, bs);
+        ctx.spawn(|x| {
+            z_product(
+                x,
+                p1,
+                ZOperand::Sum(a11, a22, 1.0),
+                ZOperand::Sum(b11, b22, 1.0),
+                h,
+                bs,
+            )
+        });
+        ctx.spawn(|x| {
+            z_product(
+                x,
+                p2,
+                ZOperand::Sum(a21, a22, 1.0),
+                ZOperand::Plain(b11),
+                h,
+                bs,
+            )
+        });
+        ctx.spawn(|x| {
+            z_product(
+                x,
+                p3,
+                ZOperand::Plain(a11),
+                ZOperand::Sum(b12, b22, -1.0),
+                h,
+                bs,
+            )
+        });
+        ctx.spawn(|x| {
+            z_product(
+                x,
+                p4,
+                ZOperand::Plain(a22),
+                ZOperand::Sum(b21, b11, -1.0),
+                h,
+                bs,
+            )
+        });
+        ctx.spawn(|x| {
+            z_product(
+                x,
+                p5,
+                ZOperand::Sum(a11, a12, 1.0),
+                ZOperand::Plain(b22),
+                h,
+                bs,
+            )
+        });
+        ctx.spawn(|x| {
+            z_product(
+                x,
+                p6,
+                ZOperand::Sum(a21, a11, -1.0),
+                ZOperand::Sum(b11, b12, 1.0),
+                h,
+                bs,
+            )
+        });
+        z_product(
+            ctx,
+            p7,
+            ZOperand::Sum(a12, a22, -1.0),
+            ZOperand::Sum(b21, b22, 1.0),
+            h,
+            bs,
+        );
         ctx.sync();
         // Combine: whole contiguous blocks, fully coalesced.
         for s in [&*p1, &*p2, &*p3, &*p4, &*p5, &*p6, &*p7] {

@@ -19,7 +19,9 @@ pub fn random_f64s(n: usize, seed: u64) -> Vec<f64> {
 /// Deterministic `i64` data.
 pub fn random_i64s(n: usize, seed: u64) -> Vec<i64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(i64::MIN / 4..i64::MAX / 4)).collect()
+    (0..n)
+        .map(|_| rng.random_range(i64::MIN / 4..i64::MAX / 4))
+        .collect()
 }
 
 /// Max absolute difference between two slices.

@@ -128,9 +128,7 @@ fn detection_does_not_perturb_results() {
             (Workload::Fft(a), Workload::Fft(b)) => a.result() == b.result(),
             (Workload::Chol(a), Workload::Chol(b)) => a.factor() == b.factor(),
             (Workload::Stra(a), Workload::Stra(b)) => a.result() == b.result(),
-            (Workload::Straz(a), Workload::Straz(b)) => {
-                a.result_rowmajor() == b.result_rowmajor()
-            }
+            (Workload::Straz(a), Workload::Straz(b)) => a.result_rowmajor() == b.result_rowmajor(),
             _ => unreachable!(),
         };
         assert!(same, "{name}: detection changed the computed result");

@@ -24,8 +24,8 @@ fn main() {
     ];
 
     println!(
-        "{:<7} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>12}   {}",
-        "bench", "base", "vanilla", "compiler", "comp+rts", "STINT", "STINT(btree)", "intervals r/w (STINT)"
+        "{:<7} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>12}   intervals r/w (STINT)",
+        "bench", "base", "vanilla", "compiler", "comp+rts", "STINT", "STINT(btree)",
     );
     for name in NAMES {
         let mut w = Workload::by_name(name, scale);
@@ -38,7 +38,10 @@ fn main() {
             cfg.collect_racy_words = false;
             let o = stint::detect_with(&mut w, cfg);
             assert!(o.report.is_race_free(), "{name} raced under {v}!");
-            cells.push(format!("{:>8.2}x", o.wall.as_secs_f64() / base.as_secs_f64()));
+            cells.push(format!(
+                "{:>8.2}x",
+                o.wall.as_secs_f64() / base.as_secs_f64()
+            ));
             if v == Variant::Stint {
                 ivs = (o.stats.read.intervals, o.stats.write.intervals);
             }

@@ -98,7 +98,9 @@ fn main() {
     }
     let t_seq = t0.elapsed();
 
-    let workers = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(4);
     if workers == 1 {
         println!("note: only one hardware thread available — expect speedup ~1x");
     }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Performance gate: style checks, release build, then the legacy-vs-hot-path
+# benchmark comparison. Fails if formatting/clippy are dirty, if any variant's
+# geomean speedup drops below 1.0 (--check), or — with --diff — if the
+# regenerated BENCH_perfgate.json differs from the committed one (counts are
+# deterministic; wall times always differ, so --diff compares geomeans only
+# via the perfgate's own previous-run report).
+#
+# Usage: scripts/perfgate.sh [--scale s|m|paper] [--reps N] [--diff]
+# Extra args are forwarded to the perfgate binary.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIFF=0
+ARGS=()
+for a in "$@"; do
+    if [ "$a" = "--diff" ]; then DIFF=1; else ARGS+=("$a"); fi
+done
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release -q
+
+echo "== perfgate"
+if [ "$DIFF" = 1 ]; then
+    # Leave the committed JSON in place so perfgate prints the comparison,
+    # then restore it after capturing the fresh numbers next to it.
+    cp BENCH_perfgate.json BENCH_perfgate.prev.json 2>/dev/null || true
+    cargo run --release -q -p stint-bench --bin perfgate -- --check "${ARGS[@]}"
+    if [ -f BENCH_perfgate.prev.json ]; then
+        echo "== diff vs committed JSON (wall times will differ; inspect geomeans)"
+        diff BENCH_perfgate.prev.json BENCH_perfgate.json || true
+        rm -f BENCH_perfgate.prev.json
+    fi
+else
+    cargo run --release -q -p stint-bench --bin perfgate -- --check "${ARGS[@]}"
+fi

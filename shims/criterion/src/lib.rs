@@ -1,0 +1,352 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!` (both forms) and `criterion_main!` — backed by a small
+//! median-of-samples wall-clock harness instead of criterion's full
+//! statistical machinery.
+//!
+//! Behavior notes:
+//!
+//! * `--test` on the command line (what `cargo test` passes to bench
+//!   targets) runs every benchmark exactly once and prints `ok`, like real
+//!   criterion's test mode.
+//! * A positional argument acts as a substring filter on benchmark names.
+//! * Each benchmark is calibrated from one warmup sample, then measured for
+//!   `sample_size` samples whose per-sample iteration count targets
+//!   `CRITERION_SAMPLE_MS` milliseconds (default 5); expensive benchmarks
+//!   degrade to one iteration per sample rather than blowing the budget.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; only affects the printed rate line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark name with a parameter, e.g. `append/1000`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `iters` times, timing the whole batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+    sample_ms: u64,
+}
+
+impl Settings {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Harness flags cargo or users may pass; no-ops here.
+                "--bench" | "--quiet" | "-q" | "--verbose" | "--nocapture" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        let sample_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5);
+        Settings {
+            sample_size: 100,
+            test_mode,
+            filter,
+            sample_ms,
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Present for signature compatibility; args are already applied.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, &self.settings, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, &self.settings, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, &self.settings, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, s: &Settings, tp: Option<Throughput>, mut f: F) {
+    if let Some(filter) = &s.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if s.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+    // Calibrate from one warmup sample.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(s.sample_ms);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000_000) as u64;
+    // Expensive benchmarks: fewer samples rather than a blown budget.
+    let samples = if per_iter > target {
+        s.sample_size.min(10)
+    } else {
+        s.sample_size
+    };
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.iters = iters;
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let lo = per_iter_ns[0];
+    let hi = per_iter_ns[per_iter_ns.len() - 1];
+    let rate = match tp {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  thrpt: {}/s", human_count(n as f64 * 1e9 / median))
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  thrpt: {}B/s", human_count(n as f64 * 1e9 / median))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} time: [{} {} {}]{rate}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+    );
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x < 1_000.0 {
+        format!("{x:.1} ")
+    } else if x < 1_000_000.0 {
+        format!("{:.2} K", x / 1_000.0)
+    } else if x < 1_000_000_000.0 {
+        format!("{:.2} M", x / 1_000_000.0)
+    } else {
+        format!("{:.2} G", x / 1_000_000_000.0)
+    }
+}
+
+/// Both real-criterion forms:
+/// `criterion_group!(benches, f, g)` and
+/// `criterion_group! { name = benches; config = ...; targets = f, g }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_iters() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 37,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 37);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_apis_compose() {
+        // Settings forced into test mode so this stays instant.
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 10,
+                test_mode: true,
+                filter: None,
+                sample_ms: 1,
+            },
+        };
+        let mut hits = 0u32;
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(4));
+            g.bench_with_input(BenchmarkId::new("in", 4), &4u32, |b, &n| {
+                b.iter(|| hits += n)
+            });
+            g.bench_function("plain", |b| b.iter(|| hits += 1));
+            g.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| hits += 1));
+        // Each benchmark ran exactly one iteration in test mode.
+        assert_eq!(hits, 4 + 1 + 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 10,
+                test_mode: true,
+                filter: Some("match-me".into()),
+                sample_ms: 1,
+            },
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes/match-me/1", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `deque` module is provided, because that is all this workspace
+//! uses (the `stint-cilkrt` work-stealing pool). The real crate's
+//! `Worker`/`Stealer` pair is a lock-free Chase–Lev deque; here both ends
+//! share a `Mutex<VecDeque>`. Semantics are preserved — owner pushes/pops
+//! LIFO at the back, thieves steal FIFO from the front, `Injector` is a
+//! shared FIFO — but contended throughput is lower. Correctness of the pool
+//! does not depend on lock-freedom, only on these ordering guarantees.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt. The locked backing store never needs a
+    /// retry, but the variant exists because callers match on it.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Owner end of a work-stealing deque (LIFO for the owner).
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Thief end of a work-stealing deque (FIFO for thieves).
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// A deque whose owner operates in LIFO order (the Cilk discipline).
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// FIFO-owner flavor; same backing store here.
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+
+    /// A shared FIFO queue for submissions from outside the worker set.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert!(matches!(s.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert!(matches!(inj.steal(), Steal::Success("a")));
+        assert!(matches!(inj.steal(), Steal::Success("b")));
+        assert!(matches!(inj.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_nothing() {
+        let w = Worker::new_lifo();
+        for i in 0..10_000u64 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = stealers
+            .into_iter()
+            .map(|s| {
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed),
+            10_000 * 9_999 / 2
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared glue for the workspace-level property tests: a proptest strategy
+//! generating fork-join programs over a small word space, and the adapter
+//! that replays a generated AST through a [`Cilk`] context.
+
+use proptest::prelude::*;
+use stint_repro::Cilk;
+use stint_repro::CilkProgram;
+use stint_spdag::{Access, Func, Stmt};
+
+/// Proptest strategy for fork-join programs over a small word space.
+pub fn func_strategy(depth: u32) -> BoxedStrategy<Func> {
+    let access = (any::<bool>(), 0u64..40, 1u64..10, any::<bool>()).prop_map(
+        |(write, word, len, coalesced)| Access {
+            write,
+            word,
+            len,
+            coalesced,
+        },
+    );
+    let compute = proptest::collection::vec(access, 1..4).prop_map(Stmt::Compute);
+    if depth == 0 {
+        proptest::collection::vec(prop_oneof![compute, Just(Stmt::Sync)], 1..5)
+            .prop_map(Func)
+            .boxed()
+    } else {
+        let inner = func_strategy(depth - 1);
+        let stmt = prop_oneof![
+            4 => compute,
+            1 => Just(Stmt::Sync),
+            3 => inner.clone().prop_map(Stmt::Spawn),
+            1 => inner.prop_map(Stmt::Call),
+        ];
+        proptest::collection::vec(stmt, 1..6).prop_map(Func).boxed()
+    }
+}
+
+pub struct AstProgram<'a>(pub &'a Func);
+
+fn walk<C: Cilk>(f: &Func, ctx: &mut C) {
+    for stmt in &f.0 {
+        match stmt {
+            Stmt::Compute(accs) => {
+                for a in accs {
+                    let addr = (a.word * 4) as usize;
+                    let bytes = (a.len * 4) as usize;
+                    match (a.write, a.coalesced) {
+                        (true, true) => ctx.store_range(addr, bytes),
+                        (true, false) => ctx.store(addr, bytes),
+                        (false, true) => ctx.load_range(addr, bytes),
+                        (false, false) => ctx.load(addr, bytes),
+                    }
+                }
+            }
+            Stmt::Spawn(g) => ctx.spawn(|c| walk(g, c)),
+            Stmt::Sync => ctx.sync(),
+            Stmt::Call(g) => ctx.call(|c| walk(g, c)),
+        }
+    }
+}
+
+impl CilkProgram for AstProgram<'_> {
+    fn run<C: Cilk>(&mut self, ctx: &mut C) {
+        walk(self.0, ctx);
+    }
+}

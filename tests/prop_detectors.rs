@@ -6,65 +6,11 @@
 //! shrinking: a failure here minimizes to a small witness program.
 
 use proptest::prelude::*;
-use stint_repro::{detect, Cilk, CilkProgram, Variant};
-use stint_spdag::{simulate, Access, Func, Stmt};
+use stint_repro::{detect, Variant};
+use stint_spdag::{simulate, Func, Stmt};
 
-/// Proptest strategy for fork-join programs over a small word space.
-fn func_strategy(depth: u32) -> BoxedStrategy<Func> {
-    let access = (any::<bool>(), 0u64..40, 1u64..10, any::<bool>()).prop_map(
-        |(write, word, len, coalesced)| Access {
-            write,
-            word,
-            len,
-            coalesced,
-        },
-    );
-    let compute = proptest::collection::vec(access, 1..4).prop_map(Stmt::Compute);
-    if depth == 0 {
-        proptest::collection::vec(prop_oneof![compute, Just(Stmt::Sync)], 1..5)
-            .prop_map(Func)
-            .boxed()
-    } else {
-        let inner = func_strategy(depth - 1);
-        let stmt = prop_oneof![
-            4 => compute,
-            1 => Just(Stmt::Sync),
-            3 => inner.clone().prop_map(Stmt::Spawn),
-            1 => inner.prop_map(Stmt::Call),
-        ];
-        proptest::collection::vec(stmt, 1..6).prop_map(Func).boxed()
-    }
-}
-
-struct AstProgram<'a>(&'a Func);
-
-fn walk<C: Cilk>(f: &Func, ctx: &mut C) {
-    for stmt in &f.0 {
-        match stmt {
-            Stmt::Compute(accs) => {
-                for a in accs {
-                    let addr = (a.word * 4) as usize;
-                    let bytes = (a.len * 4) as usize;
-                    match (a.write, a.coalesced) {
-                        (true, true) => ctx.store_range(addr, bytes),
-                        (true, false) => ctx.store(addr, bytes),
-                        (false, true) => ctx.load_range(addr, bytes),
-                        (false, false) => ctx.load(addr, bytes),
-                    }
-                }
-            }
-            Stmt::Spawn(g) => ctx.spawn(|c| walk(g, c)),
-            Stmt::Sync => ctx.sync(),
-            Stmt::Call(g) => ctx.call(|c| walk(g, c)),
-        }
-    }
-}
-
-impl CilkProgram for AstProgram<'_> {
-    fn run<C: Cilk>(&mut self, ctx: &mut C) {
-        walk(self.0, ctx);
-    }
-}
+mod common;
+use common::{func_strategy, AstProgram};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
