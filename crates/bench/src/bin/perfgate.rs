@@ -14,7 +14,11 @@
 //! * `--bench NAME` — run only that workload (investigating one bench);
 //! * `--out PATH` — output file (default `BENCH_perfgate.json`);
 //! * `--check` — exit nonzero if any variant's geomean speedup < 1.0
-//!   (the optimized path must never lose to the legacy path).
+//!   (the optimized path must never lose to the legacy path), or if a
+//!   previous JSON is present and any geomean fell more than
+//!   [`BASELINE_NOISE`] below it — the fault-injection layer must be free
+//!   when no plan is installed, so a fresh run may only differ from the
+//!   committed baseline by benchmark noise.
 //!
 //! Access-history flush timing is forced off ([`TimingMode::Off`]) so the
 //! wall times contain no clock-read overhead.
@@ -89,6 +93,13 @@ fn run_once(name: &str, scale: Scale, v: Variant, hot: HotPath) -> Outcome {
     );
     o
 }
+
+/// Allowed geomean drop against the committed `BENCH_perfgate.json` before
+/// `--check` fails. Wall times on a shared machine jitter run to run, but the
+/// disabled fault-injection path is a single relaxed atomic load per
+/// structure construction: anything beyond noise means the gate earned its
+/// keep.
+const BASELINE_NOISE: f64 = 0.15;
 
 /// Sub-second workloads need more repetitions than `--reps` to beat scheduler
 /// noise: rep pairs keep coming until each side has accumulated this much
@@ -212,6 +223,13 @@ fn previous_geomean(content: &str, key: &str) -> Option<f64> {
 
 fn main() {
     let args = parse_args();
+    // The numbers below are only meaningful on the faults-disabled path; a
+    // stray plan (say, an inherited STINT_FAULTS that some caller installed)
+    // would silently measure the degraded detector instead.
+    assert!(
+        !stint_faults::is_active(),
+        "perfgate must run with no fault plan installed"
+    );
     // No clock reads inside strand-end flushes while we measure wall time.
     stint::timing::set_mode(TimingMode::Off);
     let previous = std::fs::read_to_string(&args.out).ok();
@@ -305,5 +323,32 @@ fn main() {
             std::process::exit(1);
         }
         println!("check passed: hot path no slower than legacy for every variant");
+
+        // Zero-overhead guard: with no plan installed, this run must sit
+        // within noise of the committed baseline geomeans.
+        if let Some(content) = previous.as_deref() {
+            let regressed: Vec<String> = geomeans
+                .iter()
+                .filter_map(|(v, g)| {
+                    previous_geomean(content, v.name())
+                        .filter(|prev| *g < prev * (1.0 - BASELINE_NOISE))
+                        .map(|prev| format!("{v} ({g:.2}x vs baseline {prev:.2}x)"))
+                })
+                .collect();
+            if !regressed.is_empty() {
+                eprintln!(
+                    "FAIL: geomean fell more than {:.0}% below the previous baseline \
+                     (the disabled fault layer must be free) for: {}",
+                    BASELINE_NOISE * 100.0,
+                    regressed.join(", ")
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "check passed: geomeans within {:.0}% of the previous baseline \
+                 (fault layer free when disabled)",
+                BASELINE_NOISE * 100.0
+            );
+        }
     }
 }

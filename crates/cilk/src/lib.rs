@@ -129,6 +129,13 @@ pub trait Detector<R: Reachability = SpOrder> {
     fn finish(&mut self, s: StrandId, reach: &R) {
         self.strand_end(s, reach);
     }
+    /// The first structured failure the detector recorded, if any. A failed
+    /// detector has gone *dead*: it stopped extending its access history at
+    /// the failure point, so its report is sound (no false races) but only
+    /// complete up to that point. Default: never fails.
+    fn failure(&self) -> Option<stint_faults::DetectorError> {
+        None
+    }
 }
 
 /// Detector that ignores everything — running [`Executor`] with it measures

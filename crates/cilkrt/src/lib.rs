@@ -24,6 +24,20 @@
 //! This runtime exists so the examples can demonstrate that the benchmark
 //! kernels really are parallel programs (and to measure parallel speedup as
 //! a sanity check); the race detectors never use it.
+//!
+//! # Graceful degradation
+//!
+//! Worker-thread failure is survivable, not fatal. If spawning a worker
+//! fails (a real `std::thread::Builder::spawn` error, or a
+//! `worker-spawn-fail` fault plan), the pool simply runs with fewer workers
+//! — ultimately zero, in which case [`ThreadPool::join`] and
+//! [`ThreadPool::install`] execute sequentially on the caller. Workers that
+//! die after startup (`worker-panic` fault) are tracked by a live-worker
+//! count; once none remain, external submissions are drained and executed
+//! inline by the waiting caller, so nothing hangs and nothing is lost. Each
+//! degradation is logged to stderr once per process.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
@@ -114,6 +128,10 @@ struct Shared {
     injector: Injector<JobRef>,
     stealers: Vec<Stealer<JobRef>>,
     shutdown: AtomicBool,
+    /// Workers currently running their main loop. Decremented on any exit,
+    /// including unwinds, via a drop guard in `worker_main`; `install` falls
+    /// back to draining the injector inline when this reaches zero.
+    alive: AtomicUsize,
     /// Count of sleeping workers plus the condvar they sleep on.
     sleepers: AtomicUsize,
     lock: Mutex<()>,
@@ -126,6 +144,16 @@ impl Shared {
             let _g = self.lock.lock();
             self.wake.notify_all();
         }
+    }
+}
+
+/// Log a degradation event to stderr, once per process (repeat events are
+/// counted silently — the first report tells the operator the run is
+/// degraded; per-event spam would drown the actual output).
+fn log_degradation_once(what: &str) {
+    static LOGGED: AtomicBool = AtomicBool::new(false);
+    if !LOGGED.swap(true, Ordering::Relaxed) {
+        eprintln!("cilkrt: degraded: {what}");
     }
 }
 
@@ -162,6 +190,10 @@ pub struct ThreadPool {
 
 impl ThreadPool {
     /// Spawn a pool with `threads` workers (clamped to at least 1).
+    ///
+    /// Spawn failures are not fatal: the pool runs with however many workers
+    /// came up, down to zero (fully sequential execution). Fault plans are
+    /// sampled here, at construction.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let deques: Vec<Deque<JobRef>> = (0..threads).map(|_| Deque::new_lifo()).collect();
@@ -170,19 +202,43 @@ impl ThreadPool {
             injector: Injector::new(),
             stealers,
             shutdown: AtomicBool::new(false),
+            alive: AtomicUsize::new(0),
             sleepers: AtomicUsize::new(0),
             lock: Mutex::new(()),
             wake: Condvar::new(),
         });
+        let faults = stint_faults::is_active();
         let mut handles = Vec::with_capacity(threads);
+        let mut failed = 0usize;
         for (i, deque) in deques.into_iter().enumerate() {
+            // Fault plans are sampled now; the worker closure must not
+            // consult the global plan later (it may be gone by then).
+            if faults && stint_faults::worker_spawn_fails(i) {
+                failed += 1;
+                continue;
+            }
+            let panic_at_start = faults && stint_faults::worker_panics(i);
             let shared = Arc::clone(&shared);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("cilkrt-worker-{i}"))
-                    .spawn(move || worker_main(shared, i, deque))
-                    .expect("failed to spawn worker"),
-            );
+            // A dropped deque's Stealer just reports Empty, so the stealers
+            // registered for failed workers stay safe to probe.
+            match std::thread::Builder::new()
+                .name(format!("cilkrt-worker-{i}"))
+                .spawn(move || worker_main(shared, i, deque, panic_at_start))
+            {
+                Ok(h) => handles.push(h),
+                Err(_) => failed += 1,
+            }
+        }
+        if failed > 0 {
+            log_degradation_once(&format!(
+                "{failed} of {threads} workers failed to spawn; continuing with {}{}",
+                handles.len(),
+                if handles.is_empty() {
+                    " (sequential execution)"
+                } else {
+                    ""
+                }
+            ));
         }
         ThreadPool { shared, handles }
     }
@@ -206,12 +262,40 @@ impl ThreadPool {
         if on_this_pool(&self.shared) {
             return f();
         }
+        if self.handles.is_empty() {
+            // Degraded pool with no workers at all: sequential execution.
+            return f();
+        }
         let job = StackJob::new(f);
         self.shared.injector.push(job.as_job_ref());
         self.shared.notify();
         // Wait without helping: the caller is not a worker.
         let mut spins = 0u32;
         while !job.done.load(Ordering::Acquire) {
+            if self.shared.alive.load(Ordering::Acquire) == 0 {
+                // Every worker died (or none started yet). Injected jobs can
+                // only be waiting in the injector — a worker that popped one
+                // executes it immediately and `StackJob::execute` survives
+                // panics — so draining the injector inline is complete: our
+                // job either runs here or `done` was already set.
+                loop {
+                    match self.shared.injector.steal() {
+                        crossbeam::deque::Steal::Success(j) => unsafe { j.execute() },
+                        crossbeam::deque::Steal::Retry => continue,
+                        crossbeam::deque::Steal::Empty => break,
+                    }
+                }
+                if job.done.load(Ordering::Acquire) {
+                    break;
+                }
+                if self.shared.alive.load(Ordering::Acquire) == 0 {
+                    // Drained and still no workers: the job is either done
+                    // (checked next iteration) or being finished inline by
+                    // another draining thread — yield until it lands.
+                    std::thread::yield_now();
+                    continue;
+                }
+            }
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
@@ -234,6 +318,9 @@ impl ThreadPool {
     {
         if on_this_pool(&self.shared) {
             join_inner(a, b)
+        } else if self.handles.is_empty() {
+            // Degraded pool with no workers: serial elision.
+            (a(), b())
         } else {
             self.install(move || join_inner(a, b))
         }
@@ -312,7 +399,17 @@ where
         // SAFETY: only this thread accesses its own ctx; jobs executed below
         // re-enter CTX.with but only through &WorkerCtx methods on fields
         // that are individually interior-mutable or externally synchronized.
-        let ctx = unsafe { (*slot.get()).as_ref().expect("join off worker") };
+        let ctx = match unsafe { (*slot.get()).as_ref() } {
+            Some(ctx) => ctx,
+            // Not a worker thread: this happens when a waiting `install`
+            // drains a queued join job inline because every worker died.
+            // Serial elision is always a correct execution of fork-join.
+            None => {
+                let ra = a();
+                let rb = b();
+                return (ra, rb);
+            }
+        };
         let bjob = StackJob::new(b);
         ctx.deque.push(bjob.as_job_ref());
         ctx.shared.notify();
@@ -380,7 +477,33 @@ fn steal_work(ctx: &WorkerCtx) -> Option<JobRef> {
     None
 }
 
-fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<JobRef>) {
+/// Decrements the live-worker count however the worker exits — normal
+/// shutdown or an unwinding panic — so `install`'s alive==0 fallback and the
+/// degradation log always see the truth.
+struct AliveGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        if self.shared.alive.fetch_sub(1, Ordering::AcqRel) == 1
+            && !self.shared.shutdown.load(Ordering::Acquire)
+        {
+            log_degradation_once("last live worker exited; callers execute inline");
+        }
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<JobRef>, panic_at_start: bool) {
+    shared.alive.fetch_add(1, Ordering::AcqRel);
+    let _alive = AliveGuard {
+        shared: Arc::clone(&shared),
+    };
+    if panic_at_start {
+        // `worker-panic` fault: the thread dies right after announcing
+        // itself, exercising the all-workers-dead paths.
+        panic!("injected worker panic (fault plan worker-panic)");
+    }
     WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, index))));
     CTX.with(|slot| unsafe {
         *slot.get() = Some(WorkerCtx {
@@ -393,7 +516,7 @@ fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<JobRef>) {
     let mut idle_spins = 0u32;
     loop {
         let job = CTX.with(|slot| {
-            let ctx = unsafe { (*slot.get()).as_ref().unwrap() };
+            let ctx = unsafe { (*slot.get()).as_ref() }.expect("worker ctx missing");
             ctx.deque.pop().or_else(|| steal_work(ctx))
         });
         match job {

@@ -1,0 +1,113 @@
+//! Worker-failure degradation: the pool must stay correct (and must not
+//! hang) with fewer workers than requested, down to none at all.
+//!
+//! These tests live in their own binary because the fault plan is
+//! process-global: the lib unit tests must never observe it. Within this
+//! binary, every test serializes on [`lock`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use stint_cilkrt::ThreadPool;
+use stint_faults::{FaultPlan, ScopedPlan};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn fib(pool: &ThreadPool, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n < 10 {
+        return fib_seq(n);
+    }
+    let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+    a + b
+}
+
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+#[test]
+fn partial_spawn_failure_runs_with_fewer_workers() {
+    let _g = lock();
+    let pool = {
+        let _plan = ScopedPlan::install(FaultPlan {
+            worker_spawn_fail_from: Some(1),
+            ..Default::default()
+        });
+        ThreadPool::new(4)
+    };
+    assert_eq!(pool.threads(), 1, "workers 1..4 must have failed to spawn");
+    assert_eq!(fib(&pool, 20), fib_seq(20));
+    assert_eq!(pool.install(|| 7), 7);
+}
+
+#[test]
+fn total_spawn_failure_degrades_to_sequential() {
+    let _g = lock();
+    let pool = {
+        let _plan = ScopedPlan::install(FaultPlan {
+            worker_spawn_fail_from: Some(0),
+            ..Default::default()
+        });
+        ThreadPool::new(4)
+    };
+    assert_eq!(pool.threads(), 0, "no worker may spawn");
+    // join, install and for_each_chunk all run inline and stay correct.
+    assert_eq!(fib(&pool, 18), fib_seq(18));
+    assert_eq!(pool.install(|| 21 * 2), 42);
+    let mut data = vec![0u64; 1000];
+    pool.for_each_chunk(&mut data, 64, &|offset, chunk| {
+        for (i, x) in chunk.iter_mut().enumerate() {
+            *x = (offset + i) as u64;
+        }
+    });
+    for (i, &x) in data.iter().enumerate() {
+        assert_eq!(x, i as u64);
+    }
+    drop(pool); // must not hang
+}
+
+#[test]
+fn workers_dying_at_startup_do_not_hang_install() {
+    let _g = lock();
+    let pool = {
+        let _plan = ScopedPlan::install(FaultPlan {
+            worker_panic_from: Some(0),
+            ..Default::default()
+        });
+        ThreadPool::new(3)
+    };
+    assert_eq!(pool.threads(), 3, "threads spawn, then die");
+    // Whether a worker takes the job before dying is racy in principle, but
+    // with every worker panicking at startup the waiting caller must drain
+    // and execute it inline — never hang, never lose the result.
+    assert_eq!(pool.install(|| 6 * 7), 42);
+    assert_eq!(fib(&pool, 16), fib_seq(16));
+    drop(pool); // must not hang
+}
+
+#[test]
+fn mixed_spawn_failure_and_startup_death() {
+    let _g = lock();
+    let pool = {
+        let _plan = ScopedPlan::install(FaultPlan {
+            worker_spawn_fail_from: Some(2),
+            worker_panic_from: Some(1),
+            ..Default::default()
+        });
+        ThreadPool::new(4)
+    };
+    // Worker 0 lives, worker 1 dies at startup, workers 2-3 never spawn.
+    assert_eq!(pool.threads(), 2);
+    assert_eq!(fib(&pool, 18), fib_seq(18));
+    drop(pool);
+}

@@ -1,6 +1,7 @@
-//! Hand-rolled argument parsing (no external dependencies).
+//! Hand-rolled argument parsing (no external dependencies). Every malformed
+//! input is a `Result` error surfaced as exit code 2 — parsing never panics.
 
-use stint::Variant;
+use stint::{FaultPlan, Variant};
 use stint_suite::Scale;
 
 pub const USAGE: &str = "\
@@ -19,7 +20,27 @@ USAGE:
   --variant  vanilla | compiler | comp+rts | stint (default) | stint-btree
   --scale    test (default) | s | m | paper
 
-EXIT CODE: 0 = no races, 1 = races found, 2 = usage/IO error.";
+GLOBAL OPTIONS (any command):
+  --fault-plan SPEC   install a deterministic fault plan (key=value,flag,...;
+                      e.g. 'seed=7,om-tags=16,shadow-pages=4'); also read
+                      from the STINT_FAULTS environment variable
+  --max-shadow-mb N   shadow-memory budget per structure, in MiB; on
+                      exhaustion detection degrades soundly and exits 3
+  --max-intervals N   interval-store budget (read + write trees); on
+                      exhaustion detection degrades soundly and exits 3
+
+EXIT CODE: 0 = no races, 1 = races found, 2 = usage/IO error,
+           3 = detector resource budget exhausted (report sound up to the
+               failure point), 4 = internal detector failure.";
+
+/// Process/run-level options valid with every command: fault injection and
+/// resource budgets (budgets only affect commands that run detection).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RunOpts {
+    pub fault_plan: Option<FaultPlan>,
+    pub max_shadow_mb: Option<u64>,
+    pub max_intervals: Option<u64>,
+}
 
 #[derive(Debug, PartialEq)]
 pub enum Parsed {
@@ -92,7 +113,57 @@ fn split_opts(rest: &[String]) -> Result<(Vec<String>, Variant, Scale), String> 
     Ok((pos, variant, scale))
 }
 
-pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+/// Strip the global options (valid anywhere on the command line) out of
+/// `argv` before command dispatch.
+fn extract_run_opts(argv: &[String]) -> Result<(Vec<String>, RunOpts), String> {
+    let mut rest = Vec::new();
+    let mut opts = RunOpts::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let take_value = |name: &str| {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match argv[i].as_str() {
+            "--fault-plan" => {
+                let spec = take_value("--fault-plan")?;
+                opts.fault_plan = Some(
+                    FaultPlan::parse(&spec).map_err(|e| format!("--fault-plan {spec:?}: {e}"))?,
+                );
+                i += 2;
+            }
+            "--max-shadow-mb" => {
+                let v = take_value("--max-shadow-mb")?;
+                opts.max_shadow_mb = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-shadow-mb {v:?}"))?,
+                );
+                i += 2;
+            }
+            "--max-intervals" => {
+                let v = take_value("--max-intervals")?;
+                opts.max_intervals = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-intervals {v:?}"))?,
+                );
+                i += 2;
+            }
+            _ => {
+                rest.push(argv[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((rest, opts))
+}
+
+pub fn parse(argv: &[String]) -> Result<(Parsed, RunOpts), String> {
+    let (argv, opts) = extract_run_opts(argv)?;
+    Ok((parse_cmd(&argv)?, opts))
+}
+
+fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
     let cmd = argv.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "help" | "--help" | "-h" => Ok(Parsed::Help),
@@ -174,7 +245,7 @@ mod tests {
 
     #[test]
     fn parses_detect_with_options() {
-        let p = parse(&v(&[
+        let p = parse_cmd(&v(&[
             "detect",
             "sort",
             "--variant",
@@ -195,7 +266,7 @@ mod tests {
 
     #[test]
     fn defaults() {
-        let p = parse(&v(&["detect", "fft"])).unwrap();
+        let (p, _) = parse(&v(&["detect", "fft"])).unwrap();
         assert_eq!(
             p,
             Parsed::Detect {
@@ -204,7 +275,7 @@ mod tests {
                 scale: Scale::Test,
             }
         );
-        assert_eq!(parse(&v(&[])).unwrap(), Parsed::Help);
+        assert_eq!(parse(&v(&[])).unwrap().0, Parsed::Help);
     }
 
     #[test]
@@ -224,7 +295,9 @@ mod tests {
     #[test]
     fn parses_trace_commands() {
         assert_eq!(
-            parse(&v(&["trace", "record", "mmul", "/tmp/t.trace"])).unwrap(),
+            parse(&v(&["trace", "record", "mmul", "/tmp/t.trace"]))
+                .unwrap()
+                .0,
             Parsed::TraceRecord {
                 bench: "mmul".into(),
                 file: "/tmp/t.trace".into(),
@@ -232,7 +305,7 @@ mod tests {
             }
         );
         assert_eq!(
-            parse(&v(&["trace", "info", "/tmp/t.trace"])).unwrap(),
+            parse(&v(&["trace", "info", "/tmp/t.trace"])).unwrap().0,
             Parsed::TraceInfo {
                 file: "/tmp/t.trace".into()
             }
@@ -245,7 +318,8 @@ mod tests {
                 "--variant",
                 "vanilla"
             ]))
-            .unwrap(),
+            .unwrap()
+            .0,
             Parsed::TraceReplay {
                 file: "/tmp/t.trace".into(),
                 variant: Variant::Vanilla,
@@ -254,10 +328,48 @@ mod tests {
     }
 
     #[test]
-    fn parses_grid() {
-        assert_eq!(parse(&v(&["grid"])).unwrap(), Parsed::Grid { n: 40 });
+    fn parses_global_run_opts_anywhere() {
+        let (p, opts) = parse(&v(&[
+            "detect",
+            "mmul",
+            "--max-intervals",
+            "10",
+            "--variant",
+            "stint",
+            "--fault-plan",
+            "seed=7,om-tags=16",
+            "--max-shadow-mb",
+            "2",
+        ]))
+        .unwrap();
         assert_eq!(
-            parse(&v(&["grid", "100"])).unwrap(),
+            p,
+            Parsed::Detect {
+                bench: "mmul".into(),
+                variant: Variant::Stint,
+                scale: Scale::Test,
+            }
+        );
+        assert_eq!(opts.max_intervals, Some(10));
+        assert_eq!(opts.max_shadow_mb, Some(2));
+        let plan = opts.fault_plan.expect("plan parsed");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.om_tag_bits, Some(16));
+    }
+
+    #[test]
+    fn rejects_bad_run_opts() {
+        assert!(parse(&v(&["detect", "sort", "--fault-plan"])).is_err());
+        assert!(parse(&v(&["detect", "sort", "--fault-plan", "wat=1"])).is_err());
+        assert!(parse(&v(&["detect", "sort", "--max-shadow-mb", "lots"])).is_err());
+        assert!(parse(&v(&["detect", "sort", "--max-intervals", "-3"])).is_err());
+    }
+
+    #[test]
+    fn parses_grid() {
+        assert_eq!(parse(&v(&["grid"])).unwrap().0, Parsed::Grid { n: 40 });
+        assert_eq!(
+            parse(&v(&["grid", "100"])).unwrap().0,
             Parsed::Grid { n: 100 }
         );
     }

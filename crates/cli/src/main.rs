@@ -11,26 +11,65 @@
 //!
 //! Variants: vanilla | compiler | comp+rts | stint | stint-btree.
 //! Scales: test | s | m | paper.
+//!
+//! Exit codes: 0 = no races, 1 = races found, 2 = usage/IO error,
+//! 3 = detector resource budget exhausted (report sound up to the failure
+//! point), 4 = internal detector failure.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use stint::{
-    detect_with, CompRtsDetector, Config, PortableTrace, RaceReport, StintDetector,
-    StintFlatDetector, VanillaDetector, Variant,
+    try_detect_with, CompRtsDetector, Config, DetectorError, PortableTrace, RaceReport,
+    StintDetector, StintFlatDetector, VanillaDetector, Variant,
 };
 use stint_suite::{Workload, NAMES};
 
 mod args;
 mod output;
 
-use args::Parsed;
+use args::{Parsed, RunOpts};
 use output::{print_outcome, print_report};
+
+/// A failed run: either bad input (exit 2) or a structured detector failure
+/// (exit 3 for resource exhaustion, 4 for a poisoned session).
+enum Failure {
+    Usage(String),
+    Detector(DetectorError),
+}
+
+impl Failure {
+    fn exit_code(&self) -> u8 {
+        match self {
+            Failure::Usage(_) => 2,
+            Failure::Detector(e) => e.exit_code(),
+        }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Usage(e) => f.write_str(e),
+            Failure::Detector(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+fn usage<E: std::fmt::Display>(e: E) -> Failure {
+    Failure::Usage(e.to_string())
+}
 
 fn main() -> ExitCode {
     // Exit quietly when stdout is a closed pipe (e.g. `stint-cli bugs | head`):
     // std's println! panics on EPIPE, which would print a scary backtrace.
+    // Structured DetectorError panics are reported by the catch_unwind in
+    // try_detect_with, so the hook stays silent for them too.
     std::panic::set_hook(Box::new(|info| {
+        if info.payload().downcast_ref::<DetectorError>().is_some() {
+            return;
+        }
         let msg = info
             .payload()
             .downcast_ref::<String>()
@@ -43,7 +82,7 @@ fn main() -> ExitCode {
         eprintln!("{info}");
     }));
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match args::parse(&argv) {
+    let (parsed, opts) = match args::parse(&argv) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
@@ -52,7 +91,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(parsed) {
+    // Fault plans: environment first, then the CLI flag (which wins). Both
+    // must be installed before any detector or pool is constructed — fault
+    // knobs are sampled at structure construction time.
+    if let Err(e) = stint_faults::install_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    if let Some(plan) = &opts.fault_plan {
+        stint_faults::install(plan.clone());
+    }
+    match run(parsed, &opts) {
         Ok(races_found) => {
             if races_found {
                 ExitCode::from(1)
@@ -62,13 +111,13 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
 /// Returns whether races were found (drives the exit code, like a linter).
-fn run(p: Parsed) -> Result<bool, String> {
+fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
     match p {
         Parsed::Help => {
             println!("{}", args::USAGE);
@@ -80,10 +129,20 @@ fn run(p: Parsed) -> Result<bool, String> {
             scale,
         } => {
             let mut w = Workload::by_name(&bench, scale);
-            let outcome = detect_with(&mut w, Config::new(variant));
+            let mut cfg = Config::new(variant);
+            if let Some(mb) = opts.max_shadow_mb {
+                cfg.budget = cfg.budget.with_shadow_mb(mb);
+            }
+            cfg.budget.max_intervals = opts.max_intervals;
+            let outcome = try_detect_with(&mut w, cfg).map_err(Failure::Detector)?;
             w.verify()
-                .map_err(|e| format!("output verification: {e}"))?;
+                .map_err(|e| usage(format!("output verification: {e}")))?;
             print_outcome(&bench, &outcome);
+            if let Some(err) = outcome.degraded {
+                // The report above is sound but incomplete: surface the
+                // failure and exit 3 rather than claiming a clean verdict.
+                return Err(Failure::Detector(err));
+            }
             Ok(!outcome.report.is_race_free())
         }
         Parsed::Bugs => {
@@ -110,8 +169,8 @@ fn run(p: Parsed) -> Result<bool, String> {
         Parsed::TraceRecord { bench, file, scale } => {
             let mut w = Workload::by_name(&bench, scale);
             let pt = PortableTrace::record(&mut w);
-            let f = File::create(&file).map_err(|e| format!("create {file}: {e}"))?;
-            pt.save(BufWriter::new(f)).map_err(|e| e.to_string())?;
+            let f = File::create(&file).map_err(|e| usage(format!("create {file}: {e}")))?;
+            pt.save(BufWriter::new(f)).map_err(usage)?;
             println!(
                 "recorded {} events over {} strands into {file}",
                 pt.trace.len(),
@@ -120,7 +179,7 @@ fn run(p: Parsed) -> Result<bool, String> {
             Ok(false)
         }
         Parsed::TraceInfo { file } => {
-            let pt = load_trace(&file)?;
+            let pt = load_trace(&file).map_err(usage)?;
             let mut by_op = std::collections::BTreeMap::new();
             for e in &pt.trace.events {
                 *by_op.entry(format!("{:?}", e.op)).or_insert(0u64) += 1;
@@ -135,7 +194,7 @@ fn run(p: Parsed) -> Result<bool, String> {
             Ok(false)
         }
         Parsed::TraceReplay { file, variant } => {
-            let pt = load_trace(&file)?;
+            let pt = load_trace(&file).map_err(usage)?;
             let report = RaceReport::default();
             let report = match variant {
                 Variant::Vanilla => pt.replay(VanillaDetector::new(false, report)).report,

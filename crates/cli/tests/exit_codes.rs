@@ -1,0 +1,116 @@
+//! End-to-end exit-code contract of `stint-cli`:
+//! 0 = no races, 1 = races found, 2 = usage error, 3 = resource budget
+//! exhausted (sound partial report), 4 = internal detector failure.
+
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_stint-cli"));
+    // Isolate from any fault plan in the test runner's environment.
+    c.env_remove("STINT_FAULTS");
+    c.args(args);
+    c
+}
+
+fn run(args: &[&str]) -> Output {
+    cli(args).output().expect("spawn stint-cli")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code (killed by signal?)")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn exit_0_race_free_run() {
+    let out = run(&["detect", "sort"]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("race free"));
+}
+
+#[test]
+fn exit_1_races_found() {
+    let out = run(&["bugs"]);
+    assert_eq!(code(&out), 1, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn exit_2_usage_errors() {
+    for args in [
+        &["detect", "nope"][..],
+        &["frobnicate"][..],
+        &["detect", "sort", "--variant", "x"][..],
+        &["detect", "sort", "--fault-plan", "wat=1"][..],
+        &["detect", "sort", "--max-intervals", "lots"][..],
+    ] {
+        let out = run(args);
+        assert_eq!(code(&out), 2, "args {args:?}, stderr: {}", stderr(&out));
+        assert!(stderr(&out).contains("error:"), "args {args:?}");
+    }
+}
+
+#[test]
+fn exit_3_interval_budget_exhausted() {
+    let out = run(&["detect", "mmul", "--max-intervals", "1"]);
+    assert_eq!(code(&out), 3, "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("detector overloaded"), "stderr: {err}");
+    assert!(err.contains("sound up to that point"), "stderr: {err}");
+}
+
+#[test]
+fn exit_3_shadow_budget_exhausted() {
+    let out = run(&[
+        "detect",
+        "sort",
+        "--variant",
+        "vanilla",
+        "--max-shadow-mb",
+        "0",
+    ]);
+    assert_eq!(code(&out), 3, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("shadow memory"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn exit_4_injected_internal_failure() {
+    let out = run(&["detect", "sort", "--fault-plan", "panic-at-flush=1"]);
+    assert_eq!(code(&out), 4, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("poisoned"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn fault_plan_env_var_is_honored() {
+    let out = cli(&["detect", "sort"])
+        .env("STINT_FAULTS", "panic-at-flush=1")
+        .output()
+        .expect("spawn stint-cli");
+    assert_eq!(code(&out), 4, "stderr: {}", stderr(&out));
+
+    let out = cli(&["detect", "sort"])
+        .env("STINT_FAULTS", "not-a-knob")
+        .output()
+        .expect("spawn stint-cli");
+    assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn degraded_run_still_prints_partial_report() {
+    // The partial report must be printed before the exit-3 error: the
+    // degradation message promises "results sound up to that point".
+    let out = run(&["detect", "heat", "--max-intervals", "1"]);
+    assert_eq!(code(&out), 3, "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("heat under"), "stdout: {stdout}");
+}

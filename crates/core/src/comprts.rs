@@ -13,8 +13,9 @@ use crate::report::RaceReport;
 use crate::stats::DetectorStats;
 use crate::timing::FlushTimer;
 use crate::word_logic::{replay_interval, WordOp};
-use crate::HotPath;
+use crate::{HotPath, ResourceBudget};
 use stint_cilk::{word_range, Detector};
+use stint_faults::DetectorError;
 use stint_shadow::{BitShadow, SetFilter, WordIv, WordShadow};
 use stint_sporder::{ReachCache, Reachability, StrandId};
 
@@ -29,6 +30,9 @@ pub struct CompRtsDetector {
     hot: HotPath,
     cache: ReachCache,
     timer: FlushTimer,
+    /// Injected fault: panic at the Nth strand-end flush (sampled from the
+    /// process fault plan at construction time).
+    panic_at_flush: Option<u64>,
     pub report: RaceReport,
     pub stats: DetectorStats,
 }
@@ -45,6 +49,11 @@ impl CompRtsDetector {
             hot: HotPath::default(),
             cache: ReachCache::new(),
             timer: FlushTimer::default(),
+            panic_at_flush: if stint_faults::is_active() {
+                stint_faults::panic_at_flush()
+            } else {
+                None
+            },
             report,
             stats: DetectorStats::default(),
         }
@@ -55,6 +64,20 @@ impl CompRtsDetector {
         self.hot = hot;
         if !hot.gated_timing {
             self.timer = FlushTimer::full();
+        }
+        self
+    }
+
+    /// Apply resource budgets. On exhaustion the [`WordShadow`] degrades to
+    /// an always-empty sink page and the [`BitShadow`] coalescers drop bits
+    /// (both sound: no false races); the first failure surfaces via
+    /// [`Detector::failure`].
+    pub fn with_budget(mut self, b: ResourceBudget) -> Self {
+        if let Some(bytes) = b.max_shadow_bytes {
+            self.shadow.set_page_cap(bytes / WordShadow::BYTES_PER_PAGE);
+            self.reads.set_chunk_cap(bytes / BitShadow::BYTES_PER_CHUNK);
+            self.writes
+                .set_chunk_cap(bytes / BitShadow::BYTES_PER_CHUNK);
         }
         self
     }
@@ -113,6 +136,9 @@ impl<R: Reachability> Detector<R> for CompRtsDetector {
             return;
         }
         self.stats.strands_flushed += 1;
+        if self.panic_at_flush == Some(self.stats.strands_flushed) {
+            panic!("injected flush panic (fault plan panic-at-flush)");
+        }
         let t0 = self.timer.begin();
         self.cache.begin_strand(s);
         // Reads first: queries must observe the pre-strand history (a
@@ -169,6 +195,13 @@ impl<R: Reachability> Detector<R> for CompRtsDetector {
         self.stats.page_batches = self.shadow.batches;
         self.stats.page_batch_words = self.shadow.batched_words;
         self.stats.hook_filter_hits = self.read_filter.hits + self.write_filter.hits;
+    }
+
+    fn failure(&self) -> Option<DetectorError> {
+        self.shadow
+            .exhausted()
+            .or_else(|| self.reads.exhausted())
+            .or_else(|| self.writes.exhausted())
     }
 }
 

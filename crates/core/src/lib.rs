@@ -64,6 +64,7 @@ pub use stint_cilk::{
     run_baseline, run_reach_only, run_with_detector, BaseExec, Cilk, CilkProgram, Detector,
     ExecCounters, Executor, NopDetector,
 };
+pub use stint_faults::{DetectorError, FaultPlan, Resource, ScopedPlan};
 pub use stint_ivtree::{FlatStore, Interval, IntervalStore, OpStats, Treap};
 pub use stint_sporder::{FrozenReach, ReachCache, Reachability, SpOrder, SpOrderO1, StrandId};
 pub use timing::{FlushTimer, TimingMode};
@@ -149,6 +150,43 @@ impl HotPath {
     };
 }
 
+/// Resource budgets for a detection run (default: unbounded).
+///
+/// When a budget is hit the detector does **not** abort: it records a
+/// [`DetectorError::ResourceExhausted`] (surfaced via [`Outcome::degraded`])
+/// and degrades soundly — it stops extending the access history past the
+/// failure point, so every race it *does* report is real and the verdict is
+/// complete up to the failure point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Cap, in bytes, on each shadow structure the variant allocates (the
+    /// word-granularity access history and/or the per-strand coalescing bit
+    /// tables). `None` = unbounded.
+    pub max_shadow_bytes: Option<u64>,
+    /// Cap on the total number of stored intervals (read tree + write tree;
+    /// interval variants only). `None` = unbounded.
+    pub max_intervals: Option<u64>,
+}
+
+impl ResourceBudget {
+    pub const UNLIMITED: ResourceBudget = ResourceBudget {
+        max_shadow_bytes: None,
+        max_intervals: None,
+    };
+
+    /// Budget with the shadow cap given in whole mebibytes (CLI
+    /// `--max-shadow-mb`).
+    pub fn with_shadow_mb(mut self, mb: u64) -> Self {
+        self.max_shadow_bytes = Some(mb.saturating_mul(1 << 20));
+        self
+    }
+
+    pub fn with_max_intervals(mut self, n: u64) -> Self {
+        self.max_intervals = Some(n);
+        self
+    }
+}
+
 /// Options for [`detect_with`].
 #[derive(Clone, Copy, Debug)]
 pub struct Config {
@@ -160,6 +198,8 @@ pub struct Config {
     pub collect_racy_words: bool,
     /// Hot-path optimizations (default: all on).
     pub hot: HotPath,
+    /// Resource budgets (default: unbounded).
+    pub budget: ResourceBudget,
 }
 
 impl Config {
@@ -169,6 +209,7 @@ impl Config {
             race_cap: 10_000,
             collect_racy_words: true,
             hot: HotPath::default(),
+            budget: ResourceBudget::UNLIMITED,
         }
     }
 }
@@ -185,6 +226,10 @@ pub struct Outcome {
     pub strands: usize,
     /// Executor spawn/sync counters.
     pub counters: ExecCounters,
+    /// `Some` if the detector hit a resource budget (or injected fault) and
+    /// went dead partway through: the report is sound but only complete up
+    /// to the failure point.
+    pub degraded: Option<DetectorError>,
 }
 
 /// Race detect `p` with the given variant and default options.
@@ -197,31 +242,55 @@ pub fn detect_with<P: CilkProgram>(p: &mut P, cfg: Config) -> Outcome {
     let report = RaceReport::new(cfg.race_cap, cfg.collect_racy_words);
     match cfg.variant {
         Variant::Vanilla => {
-            let det = VanillaDetector::new(false, report).with_hot_path(cfg.hot);
+            let det = VanillaDetector::new(false, report)
+                .with_hot_path(cfg.hot)
+                .with_budget(cfg.budget);
             let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::Compiler => {
-            let det = VanillaDetector::new(true, report).with_hot_path(cfg.hot);
+            let det = VanillaDetector::new(true, report)
+                .with_hot_path(cfg.hot)
+                .with_budget(cfg.budget);
             let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::CompRts => {
-            let det = CompRtsDetector::new(report).with_hot_path(cfg.hot);
+            let det = CompRtsDetector::new(report)
+                .with_hot_path(cfg.hot)
+                .with_budget(cfg.budget);
             let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::Stint => {
-            let det = StintDetector::new(report).with_hot_path(cfg.hot);
+            let det = StintDetector::new(report)
+                .with_hot_path(cfg.hot)
+                .with_budget(cfg.budget);
             let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::StintFlat => {
-            let det = StintFlatDetector::new_flat(report).with_hot_path(cfg.hot);
+            let det = StintFlatDetector::new_flat(report)
+                .with_hot_path(cfg.hot)
+                .with_budget(cfg.budget);
             let (ex, wall) = run_with_detector(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
     }
+}
+
+/// Panic-safe [`detect_with`]: the whole instrumented execution runs under
+/// `catch_unwind`, so an internal detector panic — including the structured
+/// [`DetectorError::raise`] used by infallible deep paths such as
+/// order-maintenance tag exhaustion — surfaces as an `Err` instead of
+/// aborting the caller.
+///
+/// Resource-budget exhaustion does **not** produce an `Err`: the detectors
+/// degrade soundly and finish, and the failure is reported through
+/// [`Outcome::degraded`].
+pub fn try_detect_with<P: CilkProgram>(p: &mut P, cfg: Config) -> Result<Outcome, DetectorError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| detect_with(p, cfg)))
+        .map_err(DetectorError::from_panic)
 }
 
 fn pack<D: Detector>(
@@ -232,6 +301,7 @@ fn pack<D: Detector>(
 ) -> Outcome {
     let strands = ex.strand_count();
     let counters = ex.counters;
+    let degraded = ex.det.failure();
     let (report, stats) = split(ex.into_detector());
     Outcome {
         variant,
@@ -240,6 +310,7 @@ fn pack<D: Detector>(
         wall,
         strands,
         counters,
+        degraded,
     }
 }
 
@@ -304,6 +375,84 @@ mod tests {
         let det = StintDetector::new(RaceReport::default());
         let (ex, _) = run_with_detector_in::<_, _, TwoLevelOm>(&mut Fanout { racy: false }, det);
         assert!(ex.det.report.is_race_free());
+    }
+
+    #[test]
+    fn unbudgeted_runs_are_not_degraded() {
+        for v in Variant::ALL {
+            let o = detect(&mut Fanout { racy: true }, v);
+            assert!(o.degraded.is_none(), "{v} degraded without a budget");
+        }
+    }
+
+    #[test]
+    fn shadow_budget_degrades_soundly() {
+        // A zero-byte shadow budget exhausts on the first page: the run must
+        // still finish, report no false races, and surface the failure.
+        for v in Variant::ALL {
+            let mut cfg = Config::new(v);
+            cfg.budget.max_shadow_bytes = Some(0);
+            let o = detect_with(&mut Fanout { racy: false }, cfg);
+            assert!(o.report.is_race_free(), "{v} fabricated races when capped");
+            let err = o.degraded.expect("zero budget must exhaust");
+            assert_eq!(err.exit_code(), 3, "{v}: {err}");
+        }
+    }
+
+    #[test]
+    fn interval_budget_freezes_history() {
+        let mut cfg = Config::new(Variant::Stint);
+        cfg.budget.max_intervals = Some(1);
+        let o = detect_with(&mut Fanout { racy: false }, cfg);
+        assert!(o.report.is_race_free());
+        assert!(
+            matches!(
+                o.degraded,
+                Some(DetectorError::ResourceExhausted {
+                    resource: Resource::Intervals,
+                    limit: 1,
+                    ..
+                })
+            ),
+            "unexpected failure: {:?}",
+            o.degraded
+        );
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let expected = detect(&mut Fanout { racy: true }, Variant::Stint)
+            .report
+            .racy_words();
+        let mut cfg = Config::new(Variant::Stint);
+        cfg.budget = ResourceBudget::UNLIMITED
+            .with_shadow_mb(64)
+            .with_max_intervals(1 << 20);
+        let o = detect_with(&mut Fanout { racy: true }, cfg);
+        assert!(o.degraded.is_none());
+        assert_eq!(o.report.racy_words(), expected);
+    }
+
+    #[test]
+    fn try_detect_passes_through_clean_runs() {
+        let o = try_detect_with(&mut Fanout { racy: false }, Config::new(Variant::Stint))
+            .expect("clean run must not error");
+        assert!(o.report.is_race_free());
+    }
+
+    #[test]
+    fn try_detect_catches_panics_as_poisoned() {
+        struct Exploding;
+        impl CilkProgram for Exploding {
+            fn run<C: Cilk>(&mut self, ctx: &mut C) {
+                ctx.store(0, 4);
+                panic!("boom");
+            }
+        }
+        let err = try_detect_with(&mut Exploding, Config::new(Variant::Stint))
+            .expect_err("panic must surface as an error");
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("boom"), "{err}");
     }
 
     #[test]

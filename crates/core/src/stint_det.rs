@@ -24,8 +24,9 @@
 use crate::report::{RaceKind, RaceReport};
 use crate::stats::DetectorStats;
 use crate::timing::FlushTimer;
-use crate::HotPath;
+use crate::{HotPath, ResourceBudget};
 use stint_cilk::{word_range, Detector};
+use stint_faults::{DetectorError, Resource};
 use stint_ivtree::{FlatStore, Interval, IntervalStore, Treap};
 use stint_shadow::{BitShadow, SetFilter, WordIv};
 use stint_sporder::{ReachCache, Reachability, StrandId};
@@ -52,6 +53,14 @@ pub struct IntervalDetector<S> {
     hot: HotPath,
     cache: ReachCache,
     timer: FlushTimer,
+    /// Interval budget (read tree + write tree); `None` = unbounded.
+    max_intervals: Option<u64>,
+    /// First structured failure; once set the detector is *dead*: hooks and
+    /// flushes no-op, freezing the (sound) history at the failure point.
+    failure: Option<DetectorError>,
+    /// Injected fault: panic at the Nth strand-end flush (sampled from the
+    /// process fault plan at construction time).
+    panic_at_flush: Option<u64>,
     pub report: RaceReport,
     pub stats: DetectorStats,
 }
@@ -113,6 +122,13 @@ impl<S: IntervalStore<StrandId>> IntervalDetector<S> {
             hot: HotPath::default(),
             cache: ReachCache::new(),
             timer: FlushTimer::default(),
+            max_intervals: None,
+            failure: None,
+            panic_at_flush: if stint_faults::is_active() {
+                stint_faults::panic_at_flush()
+            } else {
+                None
+            },
             report,
             stats: DetectorStats::default(),
         }
@@ -129,6 +145,20 @@ impl<S: IntervalStore<StrandId>> IntervalDetector<S> {
         if !hot.gated_timing {
             self.timer = FlushTimer::full();
         }
+        self
+    }
+
+    /// Apply resource budgets. A shadow-byte budget caps the coalescing bit
+    /// tables (which drop bits soundly on exhaustion); an interval budget is
+    /// enforced after each flush — the flush that crosses it completes, then
+    /// the detector goes dead with its history frozen at that point.
+    pub fn with_budget(mut self, b: ResourceBudget) -> Self {
+        if let Some(bytes) = b.max_shadow_bytes {
+            self.reads.set_chunk_cap(bytes / BitShadow::BYTES_PER_CHUNK);
+            self.writes
+                .set_chunk_cap(bytes / BitShadow::BYTES_PER_CHUNK);
+        }
+        self.max_intervals = b.max_intervals;
         self
     }
 
@@ -150,6 +180,9 @@ impl<S: IntervalStore<StrandId>> IntervalDetector<S> {
 impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetector<S> {
     #[inline]
     fn load(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        if self.failure.is_some() {
+            return; // dead: history frozen at the failure point
+        }
         let (lo, hi) = word_range(addr, bytes);
         self.stats.read.hooks += 1;
         self.stats.read.hook_bytes += bytes as u64;
@@ -170,6 +203,9 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
 
     #[inline]
     fn store(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        if self.failure.is_some() {
+            return; // dead: history frozen at the failure point
+        }
         let (lo, hi) = word_range(addr, bytes);
         self.stats.write.hooks += 1;
         self.stats.write.hook_bytes += bytes as u64;
@@ -187,6 +223,9 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
     }
 
     fn free(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
+        if self.failure.is_some() {
+            return; // dead: history frozen at the failure point
+        }
         // Flush pending accesses (they must be checked before the region's
         // history is erased), then blanket both trees with a tombstone.
         self.strand_end(s, reach);
@@ -200,10 +239,13 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
     }
 
     fn strand_end(&mut self, s: StrandId, reach: &R) {
-        if self.reads.is_clear() && self.writes.is_clear() {
+        if self.failure.is_some() || (self.reads.is_clear() && self.writes.is_clear()) {
             return;
         }
         self.stats.strands_flushed += 1;
+        if self.panic_at_flush == Some(self.stats.strands_flushed) {
+            panic!("injected flush panic (fault plan panic-at-flush)");
+        }
         let t0 = self.timer.begin();
         if self.hot.reach_cache {
             self.cache.begin_strand(s);
@@ -268,6 +310,20 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
         self.scratch_r = reads;
         self.scratch_w = writes;
         self.timer.end(t0, &mut self.stats.ah_time);
+
+        // Interval budget: the flush that crosses the cap completes (its
+        // checks above already ran against the pre-strand history), then the
+        // detector goes dead — sound up to this point.
+        if let Some(cap) = self.max_intervals {
+            let held = (self.read_tree.len() + self.write_tree.len()) as u64;
+            if held > cap {
+                self.failure = Some(DetectorError::ResourceExhausted {
+                    resource: Resource::Intervals,
+                    limit: cap,
+                    at_word: None,
+                });
+            }
+        }
     }
 
     fn finish(&mut self, s: StrandId, reach: &R) {
@@ -279,6 +335,13 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
         self.stats.reach_misses = self.cache.misses;
         self.stats.reach_flushes = self.cache.flushes;
         self.stats.hook_filter_hits = self.read_filter.hits + self.write_filter.hits;
+    }
+
+    fn failure(&self) -> Option<DetectorError> {
+        self.failure
+            .clone()
+            .or_else(|| self.reads.exhausted())
+            .or_else(|| self.writes.exhausted())
     }
 }
 

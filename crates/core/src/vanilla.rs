@@ -15,8 +15,9 @@ use crate::stats::DetectorStats;
 use crate::word_logic::{
     read_word, read_word_cached, replay_interval, write_word, write_word_cached, WordOp,
 };
-use crate::HotPath;
+use crate::{HotPath, ResourceBudget};
 use stint_cilk::{word_range, Detector};
+use stint_faults::DetectorError;
 use stint_shadow::WordShadow;
 use stint_sporder::{ReachCache, Reachability, StrandId};
 
@@ -27,6 +28,9 @@ pub struct VanillaDetector {
     shadow: WordShadow,
     hot: HotPath,
     cache: ReachCache,
+    /// Injected fault: panic at the Nth strand-end flush (sampled from the
+    /// process fault plan at construction time).
+    panic_at_flush: Option<u64>,
     pub report: RaceReport,
     pub stats: DetectorStats,
 }
@@ -38,6 +42,11 @@ impl VanillaDetector {
             shadow: WordShadow::new(),
             hot: HotPath::default(),
             cache: ReachCache::new(),
+            panic_at_flush: if stint_faults::is_active() {
+                stint_faults::panic_at_flush()
+            } else {
+                None
+            },
             report,
             stats: DetectorStats::default(),
         }
@@ -46,6 +55,16 @@ impl VanillaDetector {
     /// Select which hot-path optimizations to use (default: all on).
     pub fn with_hot_path(mut self, hot: HotPath) -> Self {
         self.hot = hot;
+        self
+    }
+
+    /// Apply resource budgets. On exhaustion the [`WordShadow`] degrades to
+    /// an always-empty sink page (sound: nothing past the cap can satisfy a
+    /// race predicate) and the failure surfaces via [`Detector::failure`].
+    pub fn with_budget(mut self, b: ResourceBudget) -> Self {
+        if let Some(bytes) = b.max_shadow_bytes {
+            self.shadow.set_page_cap(bytes / WordShadow::BYTES_PER_PAGE);
+        }
         self
     }
 
@@ -197,6 +216,9 @@ impl<R: Reachability> Detector<R> for VanillaDetector {
 
     fn strand_end(&mut self, _s: StrandId, _reach: &R) {
         self.stats.strands_flushed += 1;
+        if self.panic_at_flush == Some(self.stats.strands_flushed) {
+            panic!("injected flush panic (fault plan panic-at-flush)");
+        }
     }
 
     fn finish(&mut self, s: StrandId, reach: &R) {
@@ -207,6 +229,10 @@ impl<R: Reachability> Detector<R> for VanillaDetector {
         self.stats.reach_flushes = self.cache.flushes;
         self.stats.page_batches = self.shadow.batches;
         self.stats.page_batch_words = self.shadow.batched_words;
+    }
+
+    fn failure(&self) -> Option<DetectorError> {
+        self.shadow.exhausted()
     }
 }
 

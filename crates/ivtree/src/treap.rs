@@ -47,6 +47,10 @@ pub struct Treap<A> {
     free: Vec<u32>,
     root: u32,
     rng: u64,
+    /// `treap-degenerate` fault: draw monotonically increasing priorities,
+    /// turning the treap into its worst-case (list-shaped) form so the
+    /// degradation machinery is exercised with pathological depth.
+    degenerate: bool,
     len: usize,
     stats: OpStats,
     /// Total top-level insert operations (for the Lemma 4.1 bound check).
@@ -62,12 +66,19 @@ impl<A: Copy> Default for Treap<A> {
 impl<A: Copy> Treap<A> {
     /// Create an empty treap whose priorities are drawn from a splitmix64
     /// stream seeded with `seed` (deterministic for reproducible runs).
+    /// Samples the installed fault plan (if any): under `treap-degenerate`
+    /// the priorities become monotone and the treap degrades to a list.
     pub fn with_seed(seed: u64) -> Self {
         Treap {
             nodes: Vec::new(),
             free: Vec::new(),
             root: NIL,
-            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+            rng: if stint_faults::is_active() && stint_faults::treap_degenerate() {
+                0 // monotone counter start; see `next_prio`
+            } else {
+                seed ^ 0x9E37_79B9_7F4A_7C15
+            },
+            degenerate: stint_faults::is_active() && stint_faults::treap_degenerate(),
             len: 0,
             stats: OpStats::default(),
             inserts: 0,
@@ -85,6 +96,13 @@ impl<A: Copy> Treap<A> {
 
     #[inline]
     fn next_prio(&mut self) -> u64 {
+        if self.degenerate {
+            // Worst-case fault: each new node outranks every older one, so
+            // insertion rotates it all the way to the root and the tree is a
+            // list. The rng field doubles as the monotone counter.
+            self.rng = self.rng.wrapping_add(1);
+            return self.rng;
+        }
         // splitmix64
         self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.rng;
@@ -603,6 +621,41 @@ mod tests {
 
     fn contents(t: &Treap<u32>) -> Vec<(u64, u64, u32)> {
         t.to_vec().iter().map(|i| (i.start, i.end, i.who)).collect()
+    }
+
+    #[test]
+    fn degenerate_priorities_keep_results_correct() {
+        // Under the `treap-degenerate` fault the tree is list-shaped but must
+        // return exactly the results of a healthy treap.
+        let ops: Vec<(u64, u64, u32)> = (0..200)
+            .map(|i| {
+                let s = (i * 37) % 500;
+                (s, s + 1 + (i * 13) % 40, i as u32)
+            })
+            .collect();
+        let run = |t: &mut Treap<u32>| {
+            let mut hits = Vec::new();
+            for &(s, e, w) in &ops {
+                t.insert_write(iv(s, e, w), |who, lo, hi| hits.push((who, lo, hi)));
+            }
+            t.check_invariants();
+            // Conflict callback *order* follows tree shape; the detector
+            // consumes conflicts as a set, so compare shape-independently.
+            hits.sort_unstable();
+            (contents(t), hits)
+        };
+        let healthy = run(&mut Treap::new());
+        let degenerate = {
+            let _plan = stint_faults::ScopedPlan::install(stint_faults::FaultPlan {
+                treap_degenerate: true,
+                ..Default::default()
+            });
+            let mut t = Treap::new();
+            assert!(t.degenerate, "plan must be sampled at construction");
+            drop(_plan); // sampling already happened; results must not change
+            run(&mut t)
+        };
+        assert_eq!(healthy, degenerate);
     }
 
     #[test]

@@ -29,6 +29,17 @@
 //! Elements are never removed (SP-Order never deletes strands), so node
 //! handles are plain indices into an arena and stay valid for the lifetime of
 //! the list.
+//!
+//! # Fault injection & exhaustion
+//!
+//! Constructors sample the process-wide [`stint_faults`] plan: `om-tags=N`
+//! narrows the tag universe to `2^N` tags (forcing the relabelling machinery
+//! to work at toy scales) and `om-storm=N` forces a relabel pass every ~N
+//! insertions. When even a full-universe relabel cannot restore the spacing
+//! an insertion needs, the list is genuinely out of tags; instead of looping
+//! forever it raises [`stint_faults::DetectorError::ResourceExhausted`] as a
+//! typed panic payload, which the panic-safe detection session upstream
+//! converts into a structured error.
 
 pub mod two_level;
 pub use two_level::{TlNode, TwoLevelOm};
@@ -116,7 +127,7 @@ struct Node {
 /// assert!(list.precedes(b, c));
 /// assert!(!list.precedes(c, a));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct OmList {
     nodes: Vec<Node>,
     head: u32,
@@ -126,29 +137,78 @@ pub struct OmList {
     relabels: u64,
     /// Total number of nodes moved across all relabelling passes.
     relabel_moved: u64,
+    /// Top of the tag universe (`u64::MAX` normally; smaller under an
+    /// `om-tags` fault plan, which shrinks the universe to `2^bits - 1`).
+    max_tag: u64,
+    /// Bits in the tag universe (64 normally); bounds the relabel levels.
+    tag_bits: u32,
+    /// Forced-relabel period (`om-storm` fault); 0 when disabled.
+    storm_period: u64,
+    /// Insertions until the next forced relabel (seed-derived phase).
+    storm_countdown: u64,
+}
+
+impl Default for OmList {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OmList {
-    /// Create an empty list.
+    /// Create an empty list. Samples the installed fault plan (if any), so
+    /// plans must be installed before the structures they should affect are
+    /// built.
     pub fn new() -> Self {
-        OmList {
-            nodes: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            relabels: 0,
-            relabel_moved: 0,
-        }
+        Self::with_capacity(0)
     }
 
     /// Create an empty list with capacity for `n` elements.
     pub fn with_capacity(n: usize) -> Self {
-        OmList {
+        let mut l = OmList {
             nodes: Vec::with_capacity(n),
             head: NIL,
             tail: NIL,
             relabels: 0,
             relabel_moved: 0,
+            max_tag: u64::MAX,
+            tag_bits: 64,
+            storm_period: 0,
+            storm_countdown: 0,
+        };
+        if stint_faults::is_active() {
+            if let Some(bits) = stint_faults::om_tag_bits() {
+                l.set_tag_bits(bits);
+            }
+            if let Some((period, phase)) = stint_faults::om_relabel_storm() {
+                l.storm_period = period;
+                l.storm_countdown = phase;
+            }
         }
+        l
+    }
+
+    /// Create an empty list with a narrowed tag universe of `2^bits` tags,
+    /// independent of any fault plan (used by tests to drive the relabel and
+    /// exhaustion paths directly).
+    pub fn with_tag_bits(bits: u32) -> Self {
+        let mut l = Self::with_capacity(0);
+        l.set_tag_bits(bits);
+        l
+    }
+
+    fn set_tag_bits(&mut self, bits: u32) {
+        assert!((4..=64).contains(&bits), "tag bits must be in 4..=64");
+        self.tag_bits = bits;
+        self.max_tag = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+    }
+
+    /// Bits in this list's tag universe (64 unless narrowed by a fault).
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_bits
     }
 
     /// Number of elements in the list.
@@ -179,7 +239,7 @@ impl OmList {
     /// Panics if the list is not empty.
     pub fn insert_first(&mut self) -> OmNode {
         assert!(self.is_empty(), "insert_first on non-empty OmList");
-        let idx = self.alloc(1 << 63, NIL, NIL);
+        let idx = self.alloc(self.max_tag / 2 + 1, NIL, NIL);
         self.head = idx;
         self.tail = idx;
         OmNode(idx)
@@ -189,13 +249,24 @@ impl OmList {
     pub fn insert_after(&mut self, x: OmNode) -> OmNode {
         let xi = x.0;
         debug_assert!((xi as usize) < self.nodes.len(), "foreign OmNode");
+        // `om-storm` fault: periodically force a relabel pass even when the
+        // midpoint insertion would have succeeded, exercising the relabel
+        // machinery under load. One predictable branch when disabled.
+        if self.storm_period != 0 {
+            if self.storm_countdown == 0 {
+                self.storm_countdown = self.storm_period;
+                self.relabel_around(xi);
+            } else {
+                self.storm_countdown -= 1;
+            }
+        }
         loop {
             let xt = self.nodes[xi as usize].tag;
             let ni = self.nodes[xi as usize].next;
             if ni == NIL {
                 // Insert after the last element: take the midpoint between
                 // x's tag and the end of the tag universe.
-                let gap = u64::MAX - xt;
+                let gap = self.max_tag - xt;
                 if gap >= 2 {
                     let idx = self.alloc(xt + gap / 2, xi, NIL);
                     self.nodes[xi as usize].next = idx;
@@ -256,7 +327,7 @@ impl OmList {
     /// level threshold, spreading its elements uniformly.
     fn relabel_around(&mut self, xi: u32) {
         let xt = self.nodes[xi as usize].tag;
-        for level in 1..=63u32 {
+        for level in 1..self.tag_bits {
             let size: u64 = 1 << level;
             let min = xt & !(size - 1);
             let max = min + (size - 1);
@@ -309,13 +380,26 @@ impl OmList {
             return;
         }
         // Fall back to relabelling the entire list across the full universe.
-        self.relabels += 1;
+        // The same spacing bound as above applies: the uniform spread only
+        // guarantees the retried insertion succeeds if every node gets a gap
+        // of at least 4 tags. Below that the universe is genuinely exhausted
+        // — raise the structured error instead of retrying forever (the
+        // insert/relabel retry loop would otherwise spin).
         let n = self.nodes.len() as u64;
+        if n >= self.max_tag / 4 {
+            stint_faults::DetectorError::ResourceExhausted {
+                resource: stint_faults::Resource::OmTags,
+                limit: self.max_tag,
+                at_word: None,
+            }
+            .raise();
+        }
+        self.relabels += 1;
         self.relabel_moved += n;
         let mut cur = self.head;
         let mut j: u64 = 0;
         while cur != NIL {
-            let t = ((j as u128 * u64::MAX as u128) / n as u128) as u64;
+            let t = ((j as u128 * self.max_tag as u128) / n as u128) as u64;
             self.nodes[cur as usize].tag = t;
             j += 1;
             cur = self.nodes[cur as usize].next;
@@ -428,6 +512,36 @@ mod tests {
         let mut l = OmList::new();
         l.insert_first();
         l.insert_first();
+    }
+
+    #[test]
+    fn narrowed_universe_stays_ordered_then_exhausts_structurally() {
+        let mut l = OmList::with_tag_bits(8);
+        let mut last = l.insert_first();
+        let mut chain = vec![last];
+        // 2^8 tags with a spacing bound of 4 hold at most ~64 nodes; appends
+        // beyond that must raise the structured exhaustion error, never spin.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for _ in 0..1000 {
+                last = l.insert_after(last);
+                chain.push(last);
+            }
+        }));
+        let err = stint_faults::DetectorError::from_panic(result.unwrap_err());
+        assert_eq!(
+            err,
+            stint_faults::DetectorError::ResourceExhausted {
+                resource: stint_faults::Resource::OmTags,
+                limit: (1 << 8) - 1,
+                at_word: None,
+            }
+        );
+        // Everything inserted before exhaustion is still correctly ordered.
+        assert!(chain.len() > 16, "should hold a few dozen nodes first");
+        for w in chain.windows(2) {
+            assert!(l.precedes(w[0], w[1]));
+        }
+        l.check_invariants();
     }
 
     #[test]

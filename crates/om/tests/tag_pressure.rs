@@ -1,0 +1,90 @@
+//! Property test: order-maintenance inserts under a fault-narrowed tag space
+//! keep every order query correct, no matter how many forced relabel passes
+//! the narrow universe (or an injected relabel storm) triggers.
+//!
+//! Lives in its own test binary because one property installs the
+//! process-global fault plan.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use stint_faults::{FaultPlan, ScopedPlan};
+use stint_om::{OmList, OmNode};
+
+/// Serializes the properties that touch (or could observe) the global plan.
+fn lock() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Replay `ops` as insert-after positions, returning the handles in list
+/// order. Element counts stay well under `max_tag / 4`, so no sequence here
+/// can structurally exhaust even a 10-bit universe.
+fn build(l: &mut OmList, ops: &[u64]) -> Vec<OmNode> {
+    let mut order = vec![l.insert_first()];
+    for &r in ops {
+        let idx = (r as usize) % order.len();
+        let h = l.insert_after(order[idx]);
+        order.insert(idx + 1, h);
+    }
+    order
+}
+
+fn assert_total_order(l: &OmList, order: &[OmNode]) -> Result<(), TestCaseError> {
+    for i in 0..order.len() {
+        for j in (i + 1)..order.len() {
+            prop_assert!(
+                l.precedes(order[i], order[j]),
+                "position {i} must precede position {j} (n = {})",
+                order.len()
+            );
+            prop_assert!(
+                !l.precedes(order[j], order[i]),
+                "position {j} must not precede position {i}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A narrowed universe forces frequent relabels; order queries must stay
+    /// exact through every one of them.
+    #[test]
+    fn narrowed_tag_space_preserves_order(
+        bits in 10u32..=16,
+        ops in proptest::collection::vec(0u64..1_000_000, 1..96usize),
+    ) {
+        let _g = lock();
+        let mut l = OmList::with_tag_bits(bits);
+        let order = build(&mut l, &ops);
+        prop_assert!(l.tag_bits() == bits);
+        assert_total_order(&l, &order)?;
+    }
+
+    /// Same property with the full fault plan installed: narrowed tags plus
+    /// a relabel storm every `period` inserts (the `om` fault class end to
+    /// end, construction-time sampling included).
+    #[test]
+    fn relabel_storms_preserve_order(
+        bits in 12u32..=16,
+        period in 1u64..=4,
+        ops in proptest::collection::vec(0u64..1_000_000, 1..96usize),
+    ) {
+        let _g = lock();
+        let _plan = ScopedPlan::install(FaultPlan {
+            om_tag_bits: Some(bits),
+            om_relabel_storm: Some(period),
+            seed: 0xC0FFEE,
+            ..Default::default()
+        });
+        let mut l = OmList::new();
+        prop_assert!(l.tag_bits() == bits, "plan must be sampled at construction");
+        let order = build(&mut l, &ops);
+        assert_total_order(&l, &order)?;
+    }
+}

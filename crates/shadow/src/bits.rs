@@ -18,10 +18,21 @@
 
 use crate::pagemap::PageMap;
 use crate::WordIv;
+use stint_faults::{DetectorError, Resource};
 
 /// log2 of bitmap groups per chunk.
 const GROUPS_PER_CHUNK_BITS: u32 = 10;
 const GROUPS_PER_CHUNK: usize = 1 << GROUPS_PER_CHUNK_BITS;
+
+/// Sentinel slot meaning "chunk could not be allocated; drop these bits".
+///
+/// Unlike [`crate::WordShadow`]'s sink page, a shared chunk would be
+/// *unsound* here: [`BitShadow::extract_and_clear`] merges dirty groups into
+/// intervals, and aliased groups from different chunks would merge into
+/// intervals the program never accessed. Dropping the bits instead only ever
+/// *under*-reports accesses past the exhaustion point — the documented
+/// "sound up to that point" degradation.
+const DROPPED: u32 = u32::MAX;
 
 /// The runtime-coalescing bit table. One instance tracks one access kind
 /// (the detector keeps separate read and write instances, as in the paper).
@@ -51,6 +62,14 @@ pub struct BitShadow {
     pub set_calls: u64,
     /// Total bitmap groups made dirty across all strands.
     pub groups_touched: u64,
+    /// Maximum number of chunks that may be allocated (`u64::MAX` when
+    /// unbounded; set by a budget or a `shadow-pages` fault).
+    chunk_cap: u64,
+    /// Allocation index that should fail with simulated OOM (`shadow-oom-at`
+    /// fault; `u64::MAX` when disabled).
+    oom_at: u64,
+    /// First failure, recorded once; later unallocatable bits are dropped.
+    exhausted: Option<DetectorError>,
 }
 
 impl Default for BitShadow {
@@ -178,15 +197,30 @@ impl SetFilter {
 }
 
 impl BitShadow {
+    /// Create an empty table. Samples the installed fault plan (if any), so
+    /// plans must be installed before the structures they should affect are
+    /// built.
     pub fn new() -> Self {
-        BitShadow {
+        let mut b = BitShadow {
             map: PageMap::new(),
             chunks: Vec::new(),
             dirty: Vec::new(),
             last_chunk: (u64::MAX, 0),
             set_calls: 0,
             groups_touched: 0,
+            chunk_cap: u64::MAX,
+            oom_at: u64::MAX,
+            exhausted: None,
+        };
+        if stint_faults::is_active() {
+            if let Some(cap) = stint_faults::shadow_page_cap() {
+                b.chunk_cap = cap;
+            }
+            if let Some(at) = stint_faults::shadow_oom_at() {
+                b.oom_at = at;
+            }
         }
+        b
     }
 
     /// Number of chunks allocated (they persist across strands).
@@ -194,10 +228,49 @@ impl BitShadow {
         self.chunks.len()
     }
 
+    /// Cap chunk allocations at `chunks` (a `--max-shadow-mb` budget
+    /// translated to chunks). A fault-injected cap, if tighter, wins.
+    pub fn set_chunk_cap(&mut self, chunks: u64) {
+        self.chunk_cap = self.chunk_cap.min(chunks);
+    }
+
+    /// Shadow bytes one chunk costs (for budget math).
+    pub const BYTES_PER_CHUNK: u64 = (GROUPS_PER_CHUNK * 8) as u64;
+
+    /// The first allocation failure, if any: bits for words past this point
+    /// were dropped and the run's verdict is sound only up to it.
+    pub fn exhausted(&self) -> Option<DetectorError> {
+        self.exhausted.clone()
+    }
+
     #[inline]
     fn chunk_slot(&mut self, chunk_no: u64) -> u32 {
         if self.last_chunk.0 == chunk_no {
             return self.last_chunk.1;
+        }
+        if let Some(slot) = self.map.get(chunk_no) {
+            self.last_chunk = (chunk_no, slot);
+            return slot;
+        }
+        self.chunk_slot_alloc(chunk_no)
+    }
+
+    /// Miss path: allocate the chunk, or record exhaustion and report
+    /// [`DROPPED`] when the cap is reached or the simulated OOM fires.
+    #[cold]
+    fn chunk_slot_alloc(&mut self, chunk_no: u64) -> u32 {
+        let allocs = self.chunks.len() as u64;
+        let capped = allocs >= self.chunk_cap;
+        if capped || allocs == self.oom_at {
+            if self.exhausted.is_none() {
+                self.exhausted = Some(DetectorError::ResourceExhausted {
+                    resource: Resource::ShadowPages,
+                    limit: allocs,
+                    at_word: Some(chunk_no << (GROUPS_PER_CHUNK_BITS + 6)),
+                });
+            }
+            self.last_chunk = (chunk_no, DROPPED);
+            return DROPPED;
         }
         let chunks = &mut self.chunks;
         let slot = self.map.get_or_insert_with(chunk_no, || {
@@ -230,8 +303,11 @@ impl BitShadow {
             } else {
                 ((1u64 << (hi - lo)) - 1) << lo
             };
-            let slot = self.chunk_slot(g >> GROUPS_PER_CHUNK_BITS) as usize;
-            let cell = &mut self.chunks[slot][(g as usize) & (GROUPS_PER_CHUNK - 1)];
+            let slot = self.chunk_slot(g >> GROUPS_PER_CHUNK_BITS);
+            if slot == DROPPED {
+                continue;
+            }
+            let cell = &mut self.chunks[slot as usize][(g as usize) & (GROUPS_PER_CHUNK - 1)];
             if *cell == 0 {
                 self.dirty.push(g);
                 self.groups_touched += 1;
@@ -343,6 +419,34 @@ mod tests {
         let mut b = BitShadow::new();
         b.set_range(60, 70); // spans groups 0 and 1
         assert_eq!(extract(&mut b), vec![(60, 70)]);
+    }
+
+    #[test]
+    fn capped_chunks_drop_bits_soundly() {
+        let mut b = BitShadow::new();
+        b.set_chunk_cap(1);
+        b.set_range(10, 20);
+        assert!(b.exhausted().is_none());
+        // A second chunk (words >= 2^16) cannot be allocated: its bits are
+        // dropped, not aliased into an existing chunk.
+        let far = 5u64 << 16;
+        b.set_range(far, far + 8);
+        let err = b.exhausted().expect("cap must be recorded");
+        match err {
+            DetectorError::ResourceExhausted {
+                resource: Resource::ShadowPages,
+                limit: 1,
+                at_word: Some(at),
+            } => assert_eq!(at, far),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The tracked interval survives; the dropped one never appears.
+        assert_eq!(extract(&mut b), vec![(10, 20)]);
+        // Subsequent strands keep working within the allocated chunk.
+        b.set_range(30, 32);
+        b.set_range(far + 100, far + 200);
+        assert_eq!(extract(&mut b), vec![(30, 32)]);
+        assert_eq!(b.chunks_allocated(), 1);
     }
 
     #[test]

@@ -10,8 +10,21 @@
 //! The race-checking *logic* lives in the detector crate; this type only
 //! provides fast per-word and per-range access to the entries, so that the
 //! same storage serves the `vanilla`, `compiler` and `comp+rts` variants.
+//!
+//! # Allocation caps & graceful degradation
+//!
+//! Page allocation can be capped, either by a `shadow-pages`/`shadow-oom-at`
+//! fault plan (sampled at construction) or by a real `--max-shadow-mb`
+//! budget ([`WordShadow::set_page_cap`]). Once the cap is hit the structure
+//! records a [`stint_faults::DetectorError`] and degrades *soundly*: words
+//! on unallocatable pages are served from a single **sink page** whose
+//! entries are reset to [`WordEntry::EMPTY`] at every handout. An
+//! always-empty entry can never satisfy a race predicate, so the detector
+//! reports no false races — it merely stops tracking the untrackable words,
+//! which is exactly the "results sound up to that point" contract.
 
 use crate::pagemap::PageMap;
+use stint_faults::{DetectorError, Resource};
 
 /// Sentinel strand id meaning "no recorded accessor".
 pub const NO_STRAND: u32 = u32::MAX;
@@ -52,6 +65,19 @@ pub struct WordShadow {
     /// Words covered by those page runs (`batched_words / batches` is the
     /// average batch length).
     pub batched_words: u64,
+    /// Maximum number of real pages that may be allocated (`u64::MAX` when
+    /// unbounded; set by a budget or a `shadow-pages` fault).
+    page_cap: u64,
+    /// Allocation index that should fail with simulated OOM (`shadow-oom-at`
+    /// fault; `u64::MAX` when disabled).
+    oom_at: u64,
+    /// Real page allocations performed so far.
+    allocs: u64,
+    /// Slot of the sink page serving untrackable words, `u32::MAX` until the
+    /// first failed allocation.
+    sink: u32,
+    /// First failure, recorded once; later allocations silently sink.
+    exhausted: Option<DetectorError>,
 }
 
 impl Default for WordShadow {
@@ -61,15 +87,50 @@ impl Default for WordShadow {
 }
 
 impl WordShadow {
+    /// Create an empty shadow. Samples the installed fault plan (if any), so
+    /// plans must be installed before the structures they should affect are
+    /// built.
     pub fn new() -> Self {
-        WordShadow {
+        let mut s = WordShadow {
             map: PageMap::new(),
             pages: Vec::new(),
             last_page: (0, u32::MAX),
             ops: 0,
             batches: 0,
             batched_words: 0,
+            page_cap: u64::MAX,
+            oom_at: u64::MAX,
+            allocs: 0,
+            sink: u32::MAX,
+            exhausted: None,
+        };
+        if stint_faults::is_active() {
+            if let Some(cap) = stint_faults::shadow_page_cap() {
+                s.page_cap = cap;
+            }
+            if let Some(at) = stint_faults::shadow_oom_at() {
+                s.oom_at = at;
+            }
         }
+        s
+    }
+
+    /// Cap real page allocations at `pages` (a `--max-shadow-mb` budget
+    /// translated to pages). A fault-injected cap, if tighter, wins.
+    pub fn set_page_cap(&mut self, pages: u64) {
+        self.page_cap = self.page_cap.min(pages);
+    }
+
+    /// Bytes of program memory one shadow page covers (for budget math).
+    pub const BYTES_TRACKED_PER_PAGE: u64 = (PAGE_WORDS as u64) * 4;
+
+    /// Shadow bytes one page costs (for budget math).
+    pub const BYTES_PER_PAGE: u64 = (PAGE_WORDS * std::mem::size_of::<WordEntry>()) as u64;
+
+    /// The first allocation failure, if any: the shadow stopped tracking new
+    /// pages at that point and the run's verdict is sound only up to it.
+    pub fn exhausted(&self) -> Option<DetectorError> {
+        self.exhausted.clone()
     }
 
     /// Number of shadow pages allocated.
@@ -84,6 +145,37 @@ impl WordShadow {
 
     #[inline]
     fn page_slot(&mut self, page_no: u64) -> usize {
+        if let Some(slot) = self.map.get(page_no) {
+            return slot as usize;
+        }
+        self.page_slot_alloc(page_no)
+    }
+
+    /// Miss path: allocate the page, or degrade to the sink when the cap is
+    /// reached or the simulated OOM fires. Out of line — it runs once per
+    /// page (or once per miss in the exhausted regime).
+    #[cold]
+    fn page_slot_alloc(&mut self, page_no: u64) -> usize {
+        let capped = self.allocs >= self.page_cap;
+        if capped || self.allocs == self.oom_at {
+            if self.exhausted.is_none() {
+                self.exhausted = Some(DetectorError::ResourceExhausted {
+                    resource: Resource::ShadowPages,
+                    limit: if capped { self.page_cap } else { self.allocs },
+                    at_word: Some(page_no << PAGE_BITS),
+                });
+            }
+            // Note: the failed page is *not* registered in the map, so the
+            // map stays bounded and reads via `get` keep reporting the page
+            // as never touched.
+            if self.sink == u32::MAX {
+                self.sink = self.pages.len() as u32;
+                self.pages
+                    .push(vec![WordEntry::EMPTY; PAGE_WORDS].into_boxed_slice());
+            }
+            return self.sink as usize;
+        }
+        self.allocs += 1;
         let pages = &mut self.pages;
         self.map.get_or_insert_with(page_no, || {
             let idx = pages.len() as u32;
@@ -98,7 +190,15 @@ impl WordShadow {
     pub fn entry_mut(&mut self, word: u64) -> &mut WordEntry {
         self.ops += 1;
         let slot = self.page_slot(word >> PAGE_BITS);
-        &mut self.pages[slot][(word as usize) & (PAGE_WORDS - 1)]
+        let entry = &mut self.pages[slot][(word as usize) & (PAGE_WORDS - 1)];
+        // Sink entries are reset at every handout: the sink aliases all
+        // untrackable words, and a stale accessor would surface as a false
+        // race. (`sink` is `u32::MAX` until exhaustion, so this is one
+        // always-false compare on the healthy path.)
+        if slot as u32 == self.sink {
+            *entry = WordEntry::EMPTY;
+        }
+        entry
     }
 
     /// Apply `f` to every word entry in `[start, end)`, traversing each page
@@ -117,6 +217,9 @@ impl WordShadow {
             let page_end = ((page_no + 1) << PAGE_BITS).min(end);
             let slot = self.page_slot(page_no);
             let page = &mut self.pages[slot];
+            if slot as u32 == self.sink {
+                page.fill(WordEntry::EMPTY);
+            }
             for word in w..page_end {
                 f(word, &mut page[(word as usize) & (PAGE_WORDS - 1)]);
             }
@@ -160,7 +263,11 @@ impl WordShadow {
         self.batched_words += covered;
         let slot = self.page_slot_cached(page_no);
         let base = (start as usize) & (PAGE_WORDS - 1);
-        f(start, &mut self.pages[slot][base..base + covered as usize]);
+        let slice = &mut self.pages[slot][base..base + covered as usize];
+        if slot as u32 == self.sink {
+            slice.fill(WordEntry::EMPTY);
+        }
+        f(start, slice);
         run_end
     }
 
@@ -231,6 +338,40 @@ mod tests {
         // Far-away word allocates a second page.
         s.entry_mut(1 << 40).reader = 2;
         assert_eq!(s.pages_allocated(), 2);
+    }
+
+    #[test]
+    fn capped_pages_degrade_to_empty_sink() {
+        let mut s = WordShadow::new();
+        s.set_page_cap(2);
+        // Two real pages fill the cap.
+        s.entry_mut(0).writer = 1;
+        s.entry_mut(1 << PAGE_BITS).writer = 2;
+        assert!(s.exhausted().is_none());
+        // Third page cannot be allocated: writes land in the sink...
+        let w3 = 5u64 << PAGE_BITS;
+        s.entry_mut(w3).writer = 3;
+        let err = s.exhausted().expect("cap must be recorded");
+        match err {
+            DetectorError::ResourceExhausted {
+                resource: Resource::ShadowPages,
+                limit: 2,
+                at_word: Some(at),
+            } => assert_eq!(at, w3),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // ...and every sink handout is reset, so the stale writer can never
+        // resurface as a false race — not at the same word, not at another
+        // word aliasing the same sink page.
+        assert_eq!(*s.entry_mut(w3), WordEntry::EMPTY);
+        assert_eq!(*s.entry_mut((7 << PAGE_BITS) + 9), WordEntry::EMPTY);
+        s.process_range_on_page(w3, w3 + 4, |_, entries| {
+            assert!(entries.iter().all(|e| *e == WordEntry::EMPTY));
+        });
+        // Untrackable pages read as never touched; real pages kept their data.
+        assert_eq!(s.get(w3), None);
+        assert_eq!(s.get(0).unwrap().writer, 1);
+        assert_eq!(s.get(1 << PAGE_BITS).unwrap().writer, 2);
     }
 
     #[test]

@@ -27,6 +27,9 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "== cargo build --release"
 cargo build --release -q
 
+echo "== chaos gate (fault-injection suites)"
+scripts/chaos.sh
+
 echo "== perfgate"
 if [ "$DIFF" = 1 ]; then
     # Leave the committed JSON in place so perfgate prints the comparison,

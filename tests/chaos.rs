@@ -1,0 +1,278 @@
+//! Chaos suite: every benchmark run under every fault class must end in a
+//! correct race verdict or a structured [`DetectorError`] — never an
+//! escaping panic, and never a silently missed race on the buggy suite
+//! (a missed race is only permitted when the run *reports* degradation).
+//!
+//! Fault classes exercised (ISSUE: ≥ 4):
+//!   1. `om`     — narrowed tag space + forced relabel storms
+//!   2. `shadow` — page/chunk caps and simulated OOM
+//!   3. `ivtree` — worst-case (degenerate) treap priorities
+//!   4. `cilkrt` — worker spawn failures and startup deaths
+//!
+//! plus the injected flush panic that drives the poisoned-session path.
+//!
+//! The fault plan is process-global, so this suite lives in its own test
+//! binary and serializes every test on [`lock`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use stint_repro::cilkrt::ThreadPool;
+use stint_repro::suite::buggy::{HeatMissingBarrier, MmulMissingSync, OverlappingMerge};
+use stint_repro::suite::{Scale, Workload};
+use stint_repro::{
+    try_detect_with, CilkProgram, Config, DetectorError, FaultPlan, Resource, ScopedPlan, Variant,
+};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Racy-word count plus the degradation marker of one panic-safe detection
+/// run. Counts, not addresses: the benchmarks race on heap buffers, so the
+/// absolute racy words shift between fresh program instances.
+type Verdict = Result<(usize, Option<DetectorError>), DetectorError>;
+
+fn run_one<P: CilkProgram>(mut p: P, v: Variant) -> Verdict {
+    let o = try_detect_with(&mut p, Config::new(v))?;
+    Ok((o.report.racy_words().len(), o.degraded))
+}
+
+/// The chaos corpus: clean paper benchmarks and the seeded-bug suite. Each
+/// entry builds a fresh program per run (detection consumes the program).
+#[allow(clippy::type_complexity)]
+fn programs() -> Vec<(&'static str, bool, Box<dyn Fn(Variant) -> Verdict>)> {
+    vec![
+        (
+            "mmul",
+            false,
+            Box::new(|v| run_one(Workload::by_name("mmul", Scale::Test), v)),
+        ),
+        (
+            "sort",
+            false,
+            Box::new(|v| run_one(Workload::by_name("sort", Scale::Test), v)),
+        ),
+        (
+            "buggy-mmul",
+            true,
+            Box::new(|v| run_one(MmulMissingSync::new(16, 4, 7), v)),
+        ),
+        (
+            "buggy-heat",
+            true,
+            Box::new(|v| run_one(HeatMissingBarrier::new(16, 16, 3, 4, 7), v)),
+        ),
+        (
+            "buggy-merge",
+            true,
+            Box::new(|v| run_one(OverlappingMerge::new(64, 4, 7), v)),
+        ),
+    ]
+}
+
+fn healthy_count(run: &dyn Fn(Variant) -> Verdict, v: Variant) -> usize {
+    let (n, degraded) = run(v).expect("healthy run must not fail");
+    assert!(degraded.is_none(), "healthy run must not degrade");
+    n
+}
+
+/// Fault class 1 (`om`): a narrowed tag universe either survives all forced
+/// relabels with an exact verdict, or fails *structurally* with an OmTags
+/// resource error — never with an arbitrary panic.
+#[test]
+fn om_tag_pressure_yields_verdict_or_structured_error() {
+    let _g = lock();
+    for bits in [8u32, 12, 16] {
+        for (name, _racy, run) in programs() {
+            let healthy = healthy_count(run.as_ref(), Variant::Stint);
+            let _plan = ScopedPlan::install(FaultPlan {
+                om_tag_bits: Some(bits),
+                ..Default::default()
+            });
+            match run(Variant::Stint) {
+                Ok((n, degraded)) => {
+                    assert!(degraded.is_none(), "{name}@{bits}: om faults set no budget");
+                    assert_eq!(n, healthy, "{name}@{bits}: verdict drifted");
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(
+                            e,
+                            DetectorError::ResourceExhausted {
+                                resource: Resource::OmTags,
+                                ..
+                            }
+                        ),
+                        "{name}@{bits}: unexpected failure {e}"
+                    );
+                    assert_eq!(e.exit_code(), 3);
+                }
+            }
+        }
+    }
+}
+
+/// Fault class 1 (`om`), storm flavor: forced relabel passes are a pure
+/// perf fault — verdicts must be bit-for-bit identical.
+#[test]
+fn om_relabel_storms_keep_verdicts_exact() {
+    let _g = lock();
+    for (name, _racy, run) in programs() {
+        for v in [Variant::Vanilla, Variant::Stint] {
+            let healthy = healthy_count(run.as_ref(), v);
+            let _plan = ScopedPlan::install(FaultPlan {
+                om_relabel_storm: Some(2),
+                seed: 42,
+                ..Default::default()
+            });
+            let (n, degraded) = run(v).expect("storms must not abort");
+            assert!(degraded.is_none(), "{name}/{v}: storms set no budget");
+            assert_eq!(n, healthy, "{name}/{v}: storm changed the verdict");
+        }
+    }
+}
+
+/// Fault class 2 (`shadow`): allocation caps and simulated OOM degrade
+/// soundly — clean programs never gain a false race, buggy programs either
+/// still report races or report the degradation.
+#[test]
+fn shadow_exhaustion_degrades_soundly() {
+    let _g = lock();
+    let plans = [
+        FaultPlan {
+            shadow_page_cap: Some(2),
+            ..Default::default()
+        },
+        FaultPlan {
+            shadow_oom_at: Some(4),
+            seed: 7,
+            ..Default::default()
+        },
+    ];
+    for plan in plans {
+        for (name, racy, run) in programs() {
+            for v in [Variant::Vanilla, Variant::CompRts, Variant::Stint] {
+                let _plan = ScopedPlan::install(plan.clone());
+                let (n, degraded) = run(v)
+                    .unwrap_or_else(|e| panic!("{name}/{v}: shadow faults must not abort: {e}"));
+                if racy {
+                    assert!(
+                        n > 0 || degraded.is_some(),
+                        "{name}/{v}: race silently missed without a degradation report"
+                    );
+                } else {
+                    assert_eq!(
+                        n, 0,
+                        "{name}/{v}: fabricated {n} racy words under shadow faults"
+                    );
+                }
+                if let Some(e) = degraded {
+                    assert_eq!(e.exit_code(), 3, "{name}/{v}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Fault class 3 (`ivtree`): worst-case treap priorities (a list-shaped
+/// tree) are a pure perf fault — verdicts must be identical.
+#[test]
+fn degenerate_treap_keeps_verdicts_exact() {
+    let _g = lock();
+    for (name, _racy, run) in programs() {
+        let healthy = healthy_count(run.as_ref(), Variant::Stint);
+        let _plan = ScopedPlan::install(FaultPlan {
+            treap_degenerate: true,
+            ..Default::default()
+        });
+        let (n, degraded) = run(Variant::Stint).expect("degenerate treap must not abort");
+        assert!(degraded.is_none(), "{name}: treap fault sets no budget");
+        assert_eq!(n, healthy, "{name}: tree shape changed the verdict");
+    }
+}
+
+/// Fault class 4 (`cilkrt`): worker spawn failures and startup deaths leave
+/// the pool correct (degraded to fewer workers, ultimately sequential).
+#[test]
+fn worker_failures_keep_pool_results_correct() {
+    let _g = lock();
+    fn sum(pool: &ThreadPool, lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 64 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = pool.join(|| sum(pool, lo, mid), || sum(pool, mid, hi));
+        a + b
+    }
+    let expected: u64 = (0..10_000).sum();
+    let plans = [
+        FaultPlan {
+            worker_spawn_fail_from: Some(1),
+            ..Default::default()
+        },
+        FaultPlan {
+            worker_spawn_fail_from: Some(0),
+            ..Default::default()
+        },
+        FaultPlan {
+            worker_panic_from: Some(0),
+            ..Default::default()
+        },
+    ];
+    for plan in plans {
+        let pool = {
+            let _plan = ScopedPlan::install(plan.clone());
+            ThreadPool::new(4)
+        };
+        assert_eq!(sum(&pool, 0, 10_000), expected, "plan {plan:?}");
+    }
+}
+
+/// Poisoned-session path: an injected internal panic surfaces as a
+/// structured `Poisoned` error with exit code 4, for every variant.
+#[test]
+fn injected_flush_panic_is_reported_as_poisoned() {
+    let _g = lock();
+    for v in Variant::ALL {
+        let _plan = ScopedPlan::install(FaultPlan {
+            panic_at_flush: Some(1),
+            ..Default::default()
+        });
+        let e = run_one(Workload::by_name("sort", Scale::Test), v)
+            .expect_err("injected panic must surface as an error");
+        assert!(
+            matches!(e, DetectorError::Poisoned { .. }),
+            "{v}: unexpected failure {e}"
+        );
+        assert_eq!(e.exit_code(), 4);
+        assert!(e.to_string().contains("injected flush panic"), "{v}: {e}");
+    }
+}
+
+/// Budgets compose with faults: a run that is both capped and stormed still
+/// terminates with a sound verdict or structured error.
+#[test]
+fn combined_faults_and_budgets_stay_structured() {
+    let _g = lock();
+    let _plan = ScopedPlan::install(FaultPlan {
+        om_relabel_storm: Some(3),
+        shadow_page_cap: Some(2),
+        treap_degenerate: true,
+        seed: 1234,
+        ..Default::default()
+    });
+    let mut cfg = Config::new(Variant::Stint);
+    cfg.budget.max_intervals = Some(64);
+    let mut w = Workload::by_name("mmul", Scale::Test);
+    match try_detect_with(&mut w, cfg) {
+        Ok(o) => {
+            assert!(o.report.is_race_free(), "mmul is race-free: no false races");
+            if let Some(e) = o.degraded {
+                assert_eq!(e.exit_code(), 3, "{e}");
+            }
+        }
+        Err(e) => panic!("combined faults must not abort: {e}"),
+    }
+}
