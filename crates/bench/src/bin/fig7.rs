@@ -7,7 +7,16 @@ use stint_suite::NAMES;
 
 fn main() {
     // Exact ah_time: time every flush, not the default 1-in-64 sampling.
-    stint::timing::set_mode(stint::TimingMode::Full);
+    // set_mode returns the latched mode; if something latched it first the
+    // ah_time columns would be sampled estimates, which this figure must not
+    // silently present as exact.
+    let mode = stint::timing::set_mode(stint::TimingMode::Full);
+    if mode != stint::TimingMode::Full {
+        eprintln!(
+            "fig7: timing mode already latched to {mode:?}; ah_time columns would be inexact"
+        );
+        std::process::exit(2);
+    }
     let scale = scale_from_args();
     println!(
         "Figure 7 — access-history update time: hashmap vs treap (scale={})",

@@ -18,7 +18,11 @@ struct Case {
 
 fn main() {
     // Exact ah_time columns: time every flush, not the 1-in-64 sampling.
-    stint::timing::set_mode(stint::TimingMode::Full);
+    let mode = stint::timing::set_mode(stint::TimingMode::Full);
+    if mode != stint::TimingMode::Full {
+        eprintln!("fig8: timing mode already latched to {mode:?}; ah columns would be inexact");
+        std::process::exit(2);
+    }
     let scale = scale_from_args();
     println!(
         "Figure 8 — scaling of comp+rts vs STINT on fft/mmul/sort (scale={})",

@@ -230,8 +230,20 @@ fn main() {
         !stint_faults::is_active(),
         "perfgate must run with no fault plan installed"
     );
+    // Same reasoning for the observability layer: its disabled path (one
+    // relaxed load per instrumented site) is what this gate certifies.
+    assert!(
+        !stint::obs::is_enabled(),
+        "perfgate must run with observability disabled (unset STINT_OBS)"
+    );
     // No clock reads inside strand-end flushes while we measure wall time.
-    stint::timing::set_mode(TimingMode::Off);
+    // set_mode returns the latched mode; anything else means some earlier
+    // code latched timing on and the wall-clock numbers would be polluted.
+    assert_eq!(
+        stint::timing::set_mode(TimingMode::Off),
+        TimingMode::Off,
+        "perfgate must latch timing off before any detector runs"
+    );
     let previous = std::fs::read_to_string(&args.out).ok();
 
     println!(
@@ -351,4 +363,13 @@ fn main() {
             );
         }
     }
+
+    // Disabled observability must stay disabled: if any counter registered,
+    // something bypassed the `is_enabled` gate and the whole suite above
+    // measured an instrumented build.
+    assert!(
+        !stint::obs::registry_initialized(),
+        "observability registry initialized during a disabled-obs run \
+         (an instrumented site bypassed the is_enabled gate)"
+    );
 }

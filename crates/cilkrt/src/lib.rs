@@ -147,10 +147,22 @@ impl Shared {
     }
 }
 
+// Observability (no-ops costing one relaxed load while `stint-obs` is
+// disabled). `cilkrt.spawns` counts fork points (child pushed to a deque),
+// `cilkrt.steals` successful steals from the injector or a victim deque.
+static OBS_SPAWNS: stint_obs::Counter = stint_obs::Counter::new("cilkrt.spawns");
+static OBS_STEALS: stint_obs::Counter = stint_obs::Counter::new("cilkrt.steals");
+static OBS_JOBS_INJECTED: stint_obs::Counter = stint_obs::Counter::new("cilkrt.jobs_injected");
+static OBS_WORKERS_SPAWNED: stint_obs::Counter = stint_obs::Counter::new("cilkrt.workers_spawned");
+static OBS_DEGRADATIONS: stint_obs::Counter = stint_obs::Counter::new("cilkrt.degradations");
+
 /// Log a degradation event to stderr, once per process (repeat events are
 /// counted silently — the first report tells the operator the run is
-/// degraded; per-event spam would drown the actual output).
+/// degraded; per-event spam would drown the actual output; the obs counter
+/// keeps the exact count).
 fn log_degradation_once(what: &str) {
+    OBS_DEGRADATIONS.incr();
+    stint_obs::event("fault.cilkrt_degraded");
     static LOGGED: AtomicBool = AtomicBool::new(false);
     if !LOGGED.swap(true, Ordering::Relaxed) {
         eprintln!("cilkrt: degraded: {what}");
@@ -229,6 +241,7 @@ impl ThreadPool {
                 Err(_) => failed += 1,
             }
         }
+        OBS_WORKERS_SPAWNED.add(handles.len() as u64);
         if failed > 0 {
             log_degradation_once(&format!(
                 "{failed} of {threads} workers failed to spawn; continuing with {}{}",
@@ -267,6 +280,7 @@ impl ThreadPool {
             return f();
         }
         let job = StackJob::new(f);
+        OBS_JOBS_INJECTED.incr();
         self.shared.injector.push(job.as_job_ref());
         self.shared.notify();
         // Wait without helping: the caller is not a worker.
@@ -331,6 +345,7 @@ impl ThreadPool {
     /// structured parallelism.
     pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
         let job = Box::new(HeapJob { f });
+        OBS_JOBS_INJECTED.incr();
         self.shared.injector.push(job.into_job_ref());
         self.shared.notify();
     }
@@ -411,6 +426,7 @@ where
             }
         };
         let bjob = StackJob::new(b);
+        OBS_SPAWNS.incr();
         ctx.deque.push(bjob.as_job_ref());
         ctx.shared.notify();
         let ra = a();
@@ -451,7 +467,10 @@ fn steal_work(ctx: &WorkerCtx) -> Option<JobRef> {
     // Injector first (external work), then victims round-robin.
     loop {
         match ctx.shared.injector.steal() {
-            crossbeam::deque::Steal::Success(j) => return Some(j),
+            crossbeam::deque::Steal::Success(j) => {
+                OBS_STEALS.incr();
+                return Some(j);
+            }
             crossbeam::deque::Steal::Empty => break,
             crossbeam::deque::Steal::Retry => continue,
         }
@@ -466,6 +485,7 @@ fn steal_work(ctx: &WorkerCtx) -> Option<JobRef> {
         loop {
             match ctx.shared.stealers[v].steal() {
                 crossbeam::deque::Steal::Success(j) => {
+                    OBS_STEALS.incr();
                     ctx.next_victim.set(v);
                     return Some(j);
                 }

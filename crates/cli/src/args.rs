@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies). Every malformed
 //! input is a `Result` error surfaced as exit code 2 — parsing never panics.
 
+use stint::obs::ObsConfig;
 use stint::{FaultPlan, Variant};
 use stint_suite::Scale;
 
@@ -17,7 +18,9 @@ USAGE:
   stint-cli help
 
   <bench>    chol | fft | heat | mmul | sort | stra | straz
-  --variant  vanilla | compiler | comp+rts | stint (default) | stint-btree
+  --variant  vanilla | compiler | comp+rts | stint (default) | stint-btree;
+             detect also accepts 'all' (every variant, run in parallel on a
+             work-stealing pool)
   --scale    test (default) | s | m | paper
 
 GLOBAL OPTIONS (any command):
@@ -28,18 +31,41 @@ GLOBAL OPTIONS (any command):
                       exhaustion detection degrades soundly and exits 3
   --max-intervals N   interval-store budget (read + write trees); on
                       exhaustion detection degrades soundly and exits 3
+  --obs SPEC          observability: off | counters | on | full |
+                      spans=off|sampled|full (comma-composed); also read
+                      from the STINT_OBS environment variable (flag wins)
+  --metrics-out PATH  after the run, write all counters/histograms as JSON
+                      (implies --obs on if observability is otherwise off)
+  --trace-out PATH    after the run, write recorded spans as Chrome
+                      trace_event JSON (load in chrome://tracing or Perfetto;
+                      implies --obs on)
+  --stats-json PATH   (detect) write the run's DetectorStats as JSON
 
 EXIT CODE: 0 = no races, 1 = races found, 2 = usage/IO error,
            3 = detector resource budget exhausted (report sound up to the
                failure point), 4 = internal detector failure.";
 
-/// Process/run-level options valid with every command: fault injection and
-/// resource budgets (budgets only affect commands that run detection).
+/// Process/run-level options valid with every command: fault injection,
+/// resource budgets and observability (budgets and `--stats-json` only
+/// affect commands that run detection).
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct RunOpts {
     pub fault_plan: Option<FaultPlan>,
     pub max_shadow_mb: Option<u64>,
     pub max_intervals: Option<u64>,
+    /// `--obs SPEC`: outer `None` = flag absent (environment decides);
+    /// `Some(None)` = explicitly off; `Some(Some(cfg))` = enabled.
+    pub obs: Option<Option<ObsConfig>>,
+    pub metrics_out: Option<String>,
+    pub trace_out: Option<String>,
+    pub stats_json: Option<String>,
+}
+
+/// `--variant` argument: one concrete variant, or `all` of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantSel {
+    One(Variant),
+    All,
 }
 
 #[derive(Debug, PartialEq)]
@@ -47,7 +73,7 @@ pub enum Parsed {
     Help,
     Detect {
         bench: String,
-        variant: Variant,
+        variant: VariantSel,
         scale: Scale,
     },
     Bugs,
@@ -68,13 +94,14 @@ pub enum Parsed {
     },
 }
 
-fn parse_variant(s: &str) -> Result<Variant, String> {
+fn parse_variant(s: &str) -> Result<VariantSel, String> {
     match s {
-        "vanilla" => Ok(Variant::Vanilla),
-        "compiler" => Ok(Variant::Compiler),
-        "comp+rts" | "comprts" => Ok(Variant::CompRts),
-        "stint" => Ok(Variant::Stint),
-        "stint-btree" | "btree" => Ok(Variant::StintFlat),
+        "vanilla" => Ok(VariantSel::One(Variant::Vanilla)),
+        "compiler" => Ok(VariantSel::One(Variant::Compiler)),
+        "comp+rts" | "comprts" => Ok(VariantSel::One(Variant::CompRts)),
+        "stint" => Ok(VariantSel::One(Variant::Stint)),
+        "stint-btree" | "btree" => Ok(VariantSel::One(Variant::StintFlat)),
+        "all" => Ok(VariantSel::All),
         _ => Err(format!("unknown variant {s:?}")),
     }
 }
@@ -84,9 +111,9 @@ fn parse_scale(s: &str) -> Result<Scale, String> {
 }
 
 /// Pull `--variant`/`--scale` options out of `rest`, leaving positionals.
-fn split_opts(rest: &[String]) -> Result<(Vec<String>, Variant, Scale), String> {
+fn split_opts(rest: &[String]) -> Result<(Vec<String>, VariantSel, Scale), String> {
     let mut pos = Vec::new();
-    let mut variant = Variant::Stint;
+    let mut variant = VariantSel::One(Variant::Stint);
     let mut scale = Scale::Test;
     let mut i = 0;
     while i < rest.len() {
@@ -147,6 +174,24 @@ fn extract_run_opts(argv: &[String]) -> Result<(Vec<String>, RunOpts), String> {
                     v.parse()
                         .map_err(|_| format!("bad --max-intervals {v:?}"))?,
                 );
+                i += 2;
+            }
+            "--obs" => {
+                let spec = take_value("--obs")?;
+                opts.obs =
+                    Some(ObsConfig::parse(&spec).map_err(|e| format!("--obs {spec:?}: {e}"))?);
+                i += 2;
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(take_value("--metrics-out")?);
+                i += 2;
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(take_value("--trace-out")?);
+                i += 2;
+            }
+            "--stats-json" => {
+                opts.stats_json = Some(take_value("--stats-json")?);
                 i += 2;
             }
             _ => {
@@ -213,6 +258,9 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                     let [file] = pos.as_slice() else {
                         return Err("trace replay takes <file>".into());
                     };
+                    let VariantSel::One(variant) = variant else {
+                        return Err("trace replay needs one concrete --variant, not 'all'".into());
+                    };
                     Ok(Parsed::TraceReplay {
                         file: file.clone(),
                         variant,
@@ -258,10 +306,25 @@ mod tests {
             p,
             Parsed::Detect {
                 bench: "sort".into(),
-                variant: Variant::CompRts,
+                variant: VariantSel::One(Variant::CompRts),
                 scale: Scale::S,
             }
         );
+    }
+
+    #[test]
+    fn parses_variant_all() {
+        let p = parse_cmd(&v(&["detect", "fft", "--variant", "all"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Detect {
+                bench: "fft".into(),
+                variant: VariantSel::All,
+                scale: Scale::Test,
+            }
+        );
+        // `all` makes no sense for a single-detector replay.
+        assert!(parse_cmd(&v(&["trace", "replay", "/tmp/t", "--variant", "all"])).is_err());
     }
 
     #[test]
@@ -271,7 +334,7 @@ mod tests {
             p,
             Parsed::Detect {
                 bench: "fft".into(),
-                variant: Variant::Stint,
+                variant: VariantSel::One(Variant::Stint),
                 scale: Scale::Test,
             }
         );
@@ -346,7 +409,7 @@ mod tests {
             p,
             Parsed::Detect {
                 bench: "mmul".into(),
-                variant: Variant::Stint,
+                variant: VariantSel::One(Variant::Stint),
                 scale: Scale::Test,
             }
         );
@@ -363,6 +426,37 @@ mod tests {
         assert!(parse(&v(&["detect", "sort", "--fault-plan", "wat=1"])).is_err());
         assert!(parse(&v(&["detect", "sort", "--max-shadow-mb", "lots"])).is_err());
         assert!(parse(&v(&["detect", "sort", "--max-intervals", "-3"])).is_err());
+        assert!(parse(&v(&["detect", "sort", "--obs", "wat"])).is_err());
+        assert!(parse(&v(&["detect", "sort", "--metrics-out"])).is_err());
+    }
+
+    #[test]
+    fn parses_obs_and_export_opts() {
+        let (_, opts) = parse(&v(&[
+            "detect",
+            "sort",
+            "--obs",
+            "full",
+            "--metrics-out",
+            "/tmp/m.json",
+            "--trace-out",
+            "/tmp/t.json",
+            "--stats-json",
+            "/tmp/s.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts.obs,
+            Some(Some(ObsConfig {
+                spans: stint::obs::SpanMode::Full
+            }))
+        );
+        assert_eq!(opts.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(opts.stats_json.as_deref(), Some("/tmp/s.json"));
+        // Explicit off round-trips as Some(None).
+        let (_, opts) = parse(&v(&["bugs", "--obs", "off"])).unwrap();
+        assert_eq!(opts.obs, Some(None));
     }
 
     #[test]

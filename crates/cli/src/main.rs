@@ -21,16 +21,16 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use stint::{
-    try_detect_with, CompRtsDetector, Config, DetectorError, PortableTrace, RaceReport,
+    try_detect_with, CompRtsDetector, Config, DetectorError, Outcome, PortableTrace, RaceReport,
     StintDetector, StintFlatDetector, VanillaDetector, Variant,
 };
-use stint_suite::{Workload, NAMES};
+use stint_suite::{Scale, Workload, NAMES};
 
 mod args;
 mod output;
 
-use args::{Parsed, RunOpts};
-use output::{print_outcome, print_report};
+use args::{Parsed, RunOpts, VariantSel};
+use output::{print_outcome, print_report, write_stats_json};
 
 /// A failed run: either bad input (exit 2) or a structured detector failure
 /// (exit 3 for resource exhaustion, 4 for a poisoned session).
@@ -101,19 +101,62 @@ fn main() -> ExitCode {
     if let Some(plan) = &opts.fault_plan {
         stint_faults::install(plan.clone());
     }
-    match run(parsed, &opts) {
-        Ok(races_found) => {
+    // Observability: environment first, then the CLI flag (which wins). The
+    // exporter flags imply the default config when nothing else enabled it,
+    // so `--metrics-out x.json` alone produces a populated file.
+    if let Err(e) = stint::obs::enable_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    match &opts.obs {
+        Some(Some(cfg)) => stint::obs::enable(*cfg),
+        Some(None) => stint::obs::disable(),
+        None => {
+            if (opts.metrics_out.is_some() || opts.trace_out.is_some()) && !stint::obs::is_enabled()
+            {
+                stint::obs::enable(stint::obs::ObsConfig::default());
+            }
+        }
+    }
+    let result = run(parsed, &opts);
+    // Exports happen after the run regardless of success: a degraded run's
+    // counters are exactly what an operator wants to look at.
+    let export = write_obs_outputs(&opts);
+    match (result, export) {
+        (Ok(races_found), Ok(())) => {
             if races_found {
                 ExitCode::from(1)
             } else {
                 ExitCode::SUCCESS
             }
         }
-        Err(e) => {
+        (Ok(_), Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+        (Err(e), export) => {
+            if let Err(x) = export {
+                eprintln!("error: {x}");
+            }
             eprintln!("error: {e}");
             ExitCode::from(e.exit_code())
         }
     }
+}
+
+/// Write `--metrics-out` / `--trace-out` files, if requested.
+fn write_obs_outputs(opts: &RunOpts) -> Result<(), String> {
+    if let Some(path) = &opts.metrics_out {
+        let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        stint::obs::write_metrics_json(BufWriter::new(f))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace_out {
+        let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        stint::obs::write_trace_json(BufWriter::new(f))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Returns whether races were found (drives the exit code, like a linter).
@@ -128,22 +171,51 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             variant,
             scale,
         } => {
-            let mut w = Workload::by_name(&bench, scale);
-            let mut cfg = Config::new(variant);
+            let mut cfg = Config::new(Variant::Stint);
             if let Some(mb) = opts.max_shadow_mb {
                 cfg.budget = cfg.budget.with_shadow_mb(mb);
             }
             cfg.budget.max_intervals = opts.max_intervals;
-            let outcome = try_detect_with(&mut w, cfg).map_err(Failure::Detector)?;
-            w.verify()
-                .map_err(|e| usage(format!("output verification: {e}")))?;
-            print_outcome(&bench, &outcome);
-            if let Some(err) = outcome.degraded {
+            let outcomes = match variant {
+                VariantSel::One(v) => {
+                    cfg.variant = v;
+                    let mut w = Workload::by_name(&bench, scale);
+                    let outcome = try_detect_with(&mut w, cfg).map_err(Failure::Detector)?;
+                    w.verify()
+                        .map_err(|e| usage(format!("output verification: {e}")))?;
+                    vec![outcome]
+                }
+                VariantSel::All => detect_all(&bench, scale, cfg)?,
+            };
+            for (i, o) in outcomes.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print_outcome(&bench, o);
+            }
+            if outcomes.len() > 1 && outcomes.iter().all(|o| o.degraded.is_none()) {
+                let first = outcomes[0].report.racy_words();
+                if outcomes.iter().all(|o| o.report.racy_words() == first) {
+                    println!(
+                        "\nall {} variants agree: {} racy word(s)",
+                        outcomes.len(),
+                        first.len()
+                    );
+                } else {
+                    eprintln!("warning: variants disagree on the racy-word set");
+                }
+            }
+            // The stats dump goes out before the degraded check so a capped
+            // run's partial numbers are still inspectable.
+            if let Some(path) = &opts.stats_json {
+                write_stats_json(path, &bench, &outcomes).map_err(usage)?;
+            }
+            if let Some(err) = outcomes.iter().find_map(|o| o.degraded.clone()) {
                 // The report above is sound but incomplete: surface the
                 // failure and exit 3 rather than claiming a clean verdict.
                 return Err(Failure::Detector(err));
             }
-            Ok(!outcome.report.is_race_free())
+            Ok(outcomes.iter().any(|o| !o.report.is_race_free()))
         }
         Parsed::Bugs => {
             use stint_suite::buggy::*;
@@ -220,6 +292,59 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
                 report.total
             );
             Ok(!report.is_race_free())
+        }
+    }
+}
+
+/// Run every variant of `bench` concurrently, one task per variant, on a
+/// small work-stealing pool. Detection is thread-safe: each task owns its
+/// workload and detector, and the process-wide state the tasks share (fault
+/// plan, observability counters, timing latch) is read-only or atomic.
+fn detect_all(bench: &str, scale: Scale, base: Config) -> Result<Vec<Outcome>, Failure> {
+    let pool = stint_cilkrt::ThreadPool::new(Variant::ALL.len());
+    let mut slots: Vec<Option<Result<Outcome, Failure>>> =
+        Variant::ALL.iter().map(|_| None).collect();
+    pool.install(|| fan_out(&pool, bench, scale, base, &Variant::ALL, &mut slots));
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        out.push(slot.expect("fan_out fills every slot")?);
+    }
+    Ok(out)
+}
+
+/// Recursive binary fan-out of `variants` over the pool, filling `slots`
+/// (same length, same order).
+fn fan_out(
+    pool: &stint_cilkrt::ThreadPool,
+    bench: &str,
+    scale: Scale,
+    base: Config,
+    variants: &[Variant],
+    slots: &mut [Option<Result<Outcome, Failure>>],
+) {
+    match variants {
+        [] => {}
+        [v] => {
+            let mut cfg = base;
+            cfg.variant = *v;
+            let mut w = Workload::by_name(bench, scale);
+            let r = try_detect_with(&mut w, cfg)
+                .map_err(Failure::Detector)
+                .and_then(|o| {
+                    w.verify()
+                        .map_err(|e| usage(format!("{v} output verification: {e}")))?;
+                    Ok(o)
+                });
+            slots[0] = Some(r);
+        }
+        _ => {
+            let mid = variants.len() / 2;
+            let (vl, vr) = variants.split_at(mid);
+            let (sl, sr) = slots.split_at_mut(mid);
+            pool.join(
+                || fan_out(pool, bench, scale, base, vl, sl),
+                || fan_out(pool, bench, scale, base, vr, sr),
+            );
         }
     }
 }

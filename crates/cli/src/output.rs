@@ -1,5 +1,7 @@
-//! Human-readable rendering of outcomes and reports.
+//! Human-readable rendering of outcomes and reports, plus the `--stats-json`
+//! machine-readable dump.
 
+use stint::obs::json_escape;
 use stint::{Outcome, RaceReport};
 
 pub fn print_outcome(bench: &str, o: &Outcome) {
@@ -51,4 +53,66 @@ pub fn print_report(report: &RaceReport, max: usize) {
     if (report.total as usize) > shown {
         println!("    ... and {} more", report.total as usize - shown);
     }
+}
+
+/// Write the run(s) of one `detect` invocation as JSON. The per-run `stats`
+/// object is generated from [`stint::DetectorStats::fields`] — the same
+/// source the observability registry is fed from — so this dump, the figure
+/// tables and `--metrics-out` can never disagree.
+///
+/// ```json
+/// {
+///   "schema": "stint-stats-v1",
+///   "bench": "fft",
+///   "runs": [ { "variant": "STINT", "wall_ns": 1, "ah_time_ns": 0,
+///               "strands": 3, "spawns": 1, "syncs": 1, "races": 0,
+///               "racy_words": 0, "degraded": null,
+///               "stats": { "detector.read_hooks": 2, ... } } ]
+/// }
+/// ```
+pub fn write_stats_json(path: &str, bench: &str, outcomes: &[Outcome]) -> Result<(), String> {
+    use std::io::Write;
+    let f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(f);
+    let mut emit = || -> std::io::Result<()> {
+        writeln!(w, "{{")?;
+        writeln!(w, "  \"schema\": \"stint-stats-v1\",")?;
+        writeln!(w, "  \"bench\": \"{}\",", json_escape(bench))?;
+        writeln!(w, "  \"runs\": [")?;
+        for (i, o) in outcomes.iter().enumerate() {
+            writeln!(w, "    {{")?;
+            writeln!(
+                w,
+                "      \"variant\": \"{}\",",
+                json_escape(o.variant.name())
+            )?;
+            writeln!(w, "      \"wall_ns\": {},", o.wall.as_nanos())?;
+            writeln!(w, "      \"ah_time_ns\": {},", o.stats.ah_time.as_nanos())?;
+            writeln!(w, "      \"strands\": {},", o.strands)?;
+            writeln!(w, "      \"spawns\": {},", o.counters.spawns)?;
+            writeln!(w, "      \"syncs\": {},", o.counters.effective_syncs)?;
+            writeln!(w, "      \"races\": {},", o.report.total)?;
+            writeln!(w, "      \"racy_words\": {},", o.report.racy_words().len())?;
+            match &o.degraded {
+                Some(e) => writeln!(
+                    w,
+                    "      \"degraded\": \"{}\",",
+                    json_escape(&e.to_string())
+                )?,
+                None => writeln!(w, "      \"degraded\": null,")?,
+            }
+            writeln!(w, "      \"stats\": {{")?;
+            let fields = o.stats.fields();
+            for (j, (name, v)) in fields.iter().enumerate() {
+                let comma = if j + 1 < fields.len() { "," } else { "" };
+                writeln!(w, "        \"{}\": {v}{comma}", json_escape(name))?;
+            }
+            writeln!(w, "      }}")?;
+            let comma = if i + 1 < outcomes.len() { "," } else { "" };
+            writeln!(w, "    }}{comma}")?;
+        }
+        writeln!(w, "  ]")?;
+        writeln!(w, "}}")
+    };
+    emit().map_err(|e| format!("write {path}: {e}"))
 }

@@ -140,6 +140,7 @@ impl<R: Reachability> Detector<R> for CompRtsDetector {
             panic!("injected flush panic (fault plan panic-at-flush)");
         }
         let t0 = self.timer.begin();
+        let _span = stint_obs::span("comprts.flush");
         self.cache.begin_strand(s);
         // Reads first: queries must observe the pre-strand history (a
         // strand's own write must not mask an earlier writer its read races

@@ -66,6 +66,7 @@ pub use stint_cilk::{
 };
 pub use stint_faults::{DetectorError, FaultPlan, Resource, ScopedPlan};
 pub use stint_ivtree::{FlatStore, Interval, IntervalStore, OpStats, Treap};
+pub use stint_obs as obs;
 pub use stint_sporder::{FrozenReach, ReachCache, Reachability, SpOrder, SpOrderO1, StrandId};
 pub use timing::{FlushTimer, TimingMode};
 
@@ -245,38 +246,45 @@ pub fn detect_with<P: CilkProgram>(p: &mut P, cfg: Config) -> Outcome {
             let det = VanillaDetector::new(false, report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_with_detector(p, det);
+            let (ex, wall) = run_traced(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::Compiler => {
             let det = VanillaDetector::new(true, report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_with_detector(p, det);
+            let (ex, wall) = run_traced(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::CompRts => {
             let det = CompRtsDetector::new(report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_with_detector(p, det);
+            let (ex, wall) = run_traced(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::Stint => {
             let det = StintDetector::new(report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_with_detector(p, det);
+            let (ex, wall) = run_traced(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::StintFlat => {
             let det = StintFlatDetector::new_flat(report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_with_detector(p, det);
+            let (ex, wall) = run_traced(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
     }
+}
+
+/// [`run_with_detector`] under a `detect.execute` span — the instrumented
+/// execution phase of every variant shows up as one top-level slice.
+fn run_traced<P: CilkProgram, D: Detector>(p: &mut P, det: D) -> (Executor<D>, Duration) {
+    let _span = stint_obs::span("detect.execute");
+    run_with_detector(p, det)
 }
 
 /// Panic-safe [`detect_with`]: the whole instrumented execution runs under
@@ -299,10 +307,25 @@ fn pack<D: Detector>(
     ex: Executor<D>,
     split: impl FnOnce(D) -> (RaceReport, DetectorStats),
 ) -> Outcome {
+    let _span = stint_obs::span("detect.report");
     let strands = ex.strand_count();
     let counters = ex.counters;
     let degraded = ex.det.failure();
     let (report, stats) = split(ex.into_detector());
+    // Publish the run's statistics into the observability registry. The
+    // registry values are the *same* numbers as `Outcome::stats` (both come
+    // from `DetectorStats::fields`), so the metrics export and the figure
+    // tables cannot disagree; across multiple runs in one process the
+    // registry accumulates totals, as counters do.
+    if stint_obs::is_enabled() {
+        for (name, v) in stats.fields() {
+            stint_obs::add(name, v);
+        }
+        stint_obs::add("detector.ah_time_ns", stats.ah_time.as_nanos() as u64);
+        stint_obs::add("detector.wall_ns", wall.as_nanos() as u64);
+        stint_obs::add("detector.strands", strands as u64);
+        stint_obs::add("detector.races", report.total);
+    }
     Outcome {
         variant,
         report,

@@ -90,4 +90,35 @@ impl DetectorStats {
             self.page_batch_words as f64 / self.page_batches as f64
         }
     }
+
+    /// Every integer field as a named `("detector.…", value)` pair. This is
+    /// the single source the JSON exporters and the observability registry
+    /// both consume, so the figure tables and the metrics stream can never
+    /// disagree on a statistic. `ah_time` is a `Duration` and is reported
+    /// separately (as nanoseconds) by callers that want it.
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
+        [
+            ("detector.read_hooks", self.read.hooks),
+            ("detector.read_hook_bytes", self.read.hook_bytes),
+            ("detector.read_words", self.read.words),
+            ("detector.read_intervals", self.read.intervals),
+            ("detector.read_interval_bytes", self.read.interval_bytes),
+            ("detector.write_hooks", self.write.hooks),
+            ("detector.write_hook_bytes", self.write.hook_bytes),
+            ("detector.write_words", self.write.words),
+            ("detector.write_intervals", self.write.intervals),
+            ("detector.write_interval_bytes", self.write.interval_bytes),
+            ("detector.hash_ops", self.hash_ops),
+            ("detector.treap_ops", self.treap.ops),
+            ("detector.treap_visited", self.treap.visited),
+            ("detector.treap_overlaps", self.treap.overlaps),
+            ("detector.strands_flushed", self.strands_flushed),
+            ("detector.reach_hits", self.reach_hits),
+            ("detector.reach_misses", self.reach_misses),
+            ("detector.reach_flushes", self.reach_flushes),
+            ("detector.hook_filter_hits", self.hook_filter_hits),
+            ("detector.page_batches", self.page_batches),
+            ("detector.page_batch_words", self.page_batch_words),
+        ]
+    }
 }

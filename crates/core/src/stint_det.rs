@@ -247,6 +247,7 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
             panic!("injected flush panic (fault plan panic-at-flush)");
         }
         let t0 = self.timer.begin();
+        let _span = stint_obs::span("stint.flush");
         if self.hot.reach_cache {
             self.cache.begin_strand(s);
         }

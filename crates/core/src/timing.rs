@@ -14,6 +14,14 @@
 //! The mode comes from the `STINT_AH_TIMING` environment variable, read once,
 //! or from [`set_mode`] if a binary calls it before the first detector runs
 //! (the perf gate forces `off`; figure-7 style runs force `full`).
+//!
+//! The mode is a **latch**: whichever of [`mode`] and [`set_mode`] runs first
+//! fixes the mode for the rest of the process, and later [`set_mode`] calls
+//! do *not* change it. This is deliberate — `FlushTimer`s snapshot the mode
+//! at construction, so flipping it mid-process would silently produce
+//! detectors with mixed timing policies. A caller that loses the race gets
+//! the latched mode back from [`set_mode`] and must decide whether that mode
+//! is acceptable for its measurement.
 
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -40,12 +48,26 @@ pub fn mode() -> TimingMode {
     })
 }
 
-/// Force the timing mode, overriding the environment. Returns `false` if the
-/// mode was already latched (by an earlier [`mode`] or `set_mode` call), in
-/// which case the existing mode stays in effect.
-pub fn set_mode(m: TimingMode) -> bool {
-    MODE.set(m).is_ok()
+/// Force the timing mode, overriding the environment, and return the mode
+/// actually in effect. If the mode was already latched (by an earlier
+/// [`mode`] or `set_mode` call) the request is ignored and the latched mode
+/// is returned — callers that need `m` specifically must compare the return
+/// value rather than assume the override took. A lost override is surfaced
+/// on the observability stream (`timing.set_mode_lost`) so silent mixed-mode
+/// measurements are diagnosable.
+pub fn set_mode(m: TimingMode) -> TimingMode {
+    if MODE.set(m).is_err() {
+        let latched = mode();
+        if latched != m {
+            OBS_SET_MODE_LOST.incr();
+            stint_obs::event("timing.set_mode_lost");
+        }
+        return latched;
+    }
+    m
 }
+
+static OBS_SET_MODE_LOST: stint_obs::Counter = stint_obs::Counter::new("timing.set_mode_lost");
 
 /// Per-detector flush timer implementing the gate. One instance per detector;
 /// the mode is latched at construction.

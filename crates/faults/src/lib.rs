@@ -102,6 +102,8 @@ impl DetectorError {
     /// under a spawn) use this; `stint::try_detect_with` catches the payload
     /// and returns it as a structured `Err`.
     pub fn raise(self) -> ! {
+        OBS_ERRORS_RAISED.incr();
+        stint_obs::event("fault.raise");
         std::panic::panic_any(self)
     }
 
@@ -261,6 +263,11 @@ impl FaultPlan {
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
 
+// Fault events surfaced into the observability stream so a trace of a
+// fault-injected run shows where the plan actually bit.
+static OBS_PLANS_INSTALLED: stint_obs::Counter = stint_obs::Counter::new("faults.plans_installed");
+static OBS_ERRORS_RAISED: stint_obs::Counter = stint_obs::Counter::new("faults.errors_raised");
+
 /// True if a fault plan is currently installed.
 #[inline]
 pub fn is_active() -> bool {
@@ -275,6 +282,7 @@ fn plan_slot() -> std::sync::MutexGuard<'static, Option<FaultPlan>> {
 /// construction, so install a plan *before* building the run it should
 /// affect.
 pub fn install(plan: FaultPlan) {
+    OBS_PLANS_INSTALLED.incr();
     *plan_slot() = Some(plan);
     ACTIVE.store(true, Ordering::Release);
 }

@@ -16,6 +16,17 @@ use crate::{Interval, IntervalStore, OpStats};
 
 const NIL: u32 = u32::MAX;
 
+// Observability (no-ops costing one relaxed load while `stint-obs` is
+// disabled). `ivtree.op_visited` buckets the nodes visited per top-level
+// operation — a search-depth proxy; `ivtree.depth` records the exact height
+// once per tree when its stats are collected at the end of a run.
+static OBS_INSERTS: stint_obs::Counter = stint_obs::Counter::new("ivtree.inserts");
+static OBS_QUERIES: stint_obs::Counter = stint_obs::Counter::new("ivtree.queries");
+static OBS_ROTATIONS: stint_obs::Counter = stint_obs::Counter::new("ivtree.rotations");
+static OBS_NODES_HW: stint_obs::Counter = stint_obs::Counter::new("ivtree.nodes_high_water");
+static OBS_OP_VISITED: stint_obs::Histogram = stint_obs::Histogram::new("ivtree.op_visited");
+static OBS_DEPTH: stint_obs::Histogram = stint_obs::Histogram::new("ivtree.depth");
+
 #[derive(Clone, Debug)]
 struct Node<A> {
     start: u64,
@@ -114,6 +125,7 @@ impl<A: Copy> Treap<A> {
     #[inline]
     fn alloc(&mut self, iv: Interval<A>, prio: u64) -> u32 {
         self.len += 1;
+        OBS_NODES_HW.record_max(self.len as u64);
         let node = Node {
             start: iv.start,
             end: iv.end,
@@ -151,6 +163,7 @@ impl<A: Copy> Treap<A> {
     /// Right rotation: left child comes up. Returns the new subtree root.
     #[inline]
     fn rotate_right(&mut self, t: u32) -> u32 {
+        OBS_ROTATIONS.incr();
         let l = self.n(t).left;
         self.nm(t).left = self.n(l).right;
         self.nm(l).right = t;
@@ -160,6 +173,7 @@ impl<A: Copy> Treap<A> {
     /// Left rotation: right child comes up. Returns the new subtree root.
     #[inline]
     fn rotate_left(&mut self, t: u32) -> u32 {
+        OBS_ROTATIONS.incr();
         let r = self.n(t).right;
         self.nm(t).right = self.n(r).left;
         self.nm(r).left = t;
@@ -581,19 +595,34 @@ impl<A: Copy> IntervalStore<A> for Treap<A> {
         debug_assert!(x.start < x.end);
         self.stats.ops += 1;
         self.inserts += 1;
+        let visited_before = self.stats.visited;
         self.root = self.iw(self.root, x, &mut conflict);
+        if stint_obs::is_enabled() {
+            OBS_INSERTS.incr();
+            OBS_OP_VISITED.observe(self.stats.visited - visited_before);
+        }
     }
 
     fn insert_read(&mut self, x: Interval<A>, mut is_new_left_of: impl FnMut(A) -> bool) {
         debug_assert!(x.start < x.end);
         self.stats.ops += 1;
         self.inserts += 1;
+        let visited_before = self.stats.visited;
         self.root = self.ir(self.root, x, &mut is_new_left_of);
+        if stint_obs::is_enabled() {
+            OBS_INSERTS.incr();
+            OBS_OP_VISITED.observe(self.stats.visited - visited_before);
+        }
     }
 
     fn query_overlaps(&mut self, lo: u64, hi: u64, mut f: impl FnMut(A, u64, u64)) {
         self.stats.ops += 1;
+        let visited_before = self.stats.visited;
         self.qo(self.root, lo, hi, &mut f);
+        if stint_obs::is_enabled() {
+            OBS_QUERIES.incr();
+            OBS_OP_VISITED.observe(self.stats.visited - visited_before);
+        }
     }
 
     fn len(&self) -> usize {
@@ -607,6 +636,11 @@ impl<A: Copy> IntervalStore<A> for Treap<A> {
     }
 
     fn stats(&self) -> OpStats {
+        // Stats are collected once per tree at the end of a run — the one
+        // point where the O(n) exact height is affordable.
+        if stint_obs::is_enabled() && self.len > 0 {
+            OBS_DEPTH.observe(self.height() as u64);
+        }
         self.stats
     }
 }

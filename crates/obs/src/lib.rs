@@ -1,0 +1,940 @@
+//! Unified observability for the detector stack: structured metrics, span
+//! tracing, and JSON export.
+//!
+//! The paper's evaluation is all about *seeing inside* the access history —
+//! interval counts, coalescing rates, where detection time goes. This crate
+//! is the single substrate every layer reports into:
+//!
+//! * **Counters** ([`Counter`]) — named monotonic `u64`s declared as
+//!   `static`s per crate (`om.relabels`, `ivtree.rotations`, …).
+//!   [`Counter::record_max`] turns the same primitive into a high-water
+//!   gauge (`ivtree.nodes_high_water`).
+//! * **Histograms** ([`Histogram`]) — log2-bucketed value distributions
+//!   (relabel widths, per-op nodes visited).
+//! * **Spans** ([`span`]) — lightweight start/stop timing with thread-local
+//!   buffers, subsuming the `FlushTimer` off/sampled/full gate: the span
+//!   mode is part of the process-wide [`ObsConfig`].
+//! * **Events** ([`event`]) — zero-duration instants tagged into the same
+//!   stream (fault injections, lost timing overrides).
+//!
+//! Two exporters serialize the registry with no external dependencies:
+//! [`metrics_json`] (a flat snapshot keyed by counter name) and
+//! [`trace_json`] (Chrome/Perfetto `trace_event` format — load the file at
+//! `ui.perfetto.dev` or `chrome://tracing`).
+//!
+//! # Zero cost when disabled
+//!
+//! The layer follows the `stint-faults` pattern exactly: every counter add,
+//! histogram observe, span open and event goes through one relaxed load of a
+//! global `AtomicBool` ([`is_enabled`]); with observability off that load is
+//! the **entire** cost, nothing registers, and the global registry is never
+//! initialized ([`registry_initialized`] stays `false` — asserted by the
+//! perf gate, whose ±15% bound enforces the claim empirically).
+//!
+//! Configuration comes from the `STINT_OBS` environment variable
+//! ([`enable_from_env`]) or the CLI `--obs` flag; specs look like
+//! `on`, `counters`, `spans=full`, `full` (see [`ObsConfig::parse`]).
+//!
+//! # Registration without life-before-main
+//!
+//! Rust has no portable static constructors, so counters self-register
+//! lazily: the first touch of an enabled counter pushes `&'static self` into
+//! the registry under a mutex; every later touch is a relaxed flag check
+//! plus a relaxed `fetch_add`. A counter that is never touched (or only
+//! touched while disabled) is invisible to the exporters.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Span recording mode, subsuming the `FlushTimer` gate's three settings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpanMode {
+    /// Never read the clock; [`span`] returns an inert guard.
+    Off,
+    /// Record every [`SAMPLE_PERIOD`]th span per thread (cheap, unbiased
+    /// when span cost is stationary). Instant events are always recorded.
+    #[default]
+    Sampled,
+    /// Record every span (exact; two clock reads per span).
+    Full,
+}
+
+/// Spans are sampled one-in-`SAMPLE_PERIOD` per thread under
+/// [`SpanMode::Sampled`] (matches `stint::timing::SAMPLE_PERIOD`).
+pub const SAMPLE_PERIOD: u32 = 64;
+
+/// Process-wide observability configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    pub spans: SpanMode,
+}
+
+impl ObsConfig {
+    /// Counters only, spans off.
+    pub const COUNTERS: ObsConfig = ObsConfig {
+        spans: SpanMode::Off,
+    };
+    /// Counters plus full (every-span) tracing.
+    pub const FULL: ObsConfig = ObsConfig {
+        spans: SpanMode::Full,
+    };
+
+    /// Parse an `STINT_OBS` / `--obs` spec. Returns `Ok(None)` when the spec
+    /// explicitly disables observability (`off` / `0` / empty).
+    ///
+    /// | spec | meaning |
+    /// |---|---|
+    /// | `off`, `0`, `` | disabled (zero-cost path) |
+    /// | `on`, `1`, `sampled` | counters + sampled spans (the default config) |
+    /// | `counters` | counters only, spans off |
+    /// | `full` | counters + every span recorded |
+    /// | `spans=off\|sampled\|full` | counters + explicit span mode |
+    ///
+    /// Comma-separated parts compose (`counters,spans=full` ≡ `full`); the
+    /// last span setting wins. Unknown keys are errors (surfaced as CLI
+    /// usage errors, exit 2).
+    pub fn parse(spec: &str) -> Result<Option<ObsConfig>, String> {
+        let mut cfg = ObsConfig::default();
+        let mut enabled = false;
+        for part in spec.split(',') {
+            let part = part.trim();
+            match part {
+                "" => continue,
+                "off" | "0" => enabled = false,
+                "on" | "1" | "sampled" => {
+                    enabled = true;
+                    cfg.spans = SpanMode::Sampled;
+                }
+                "counters" => {
+                    enabled = true;
+                    cfg.spans = SpanMode::Off;
+                }
+                "full" => {
+                    enabled = true;
+                    cfg.spans = SpanMode::Full;
+                }
+                _ => match part.split_once('=') {
+                    Some(("spans", v)) => {
+                        enabled = true;
+                        cfg.spans = match v.trim() {
+                            "off" => SpanMode::Off,
+                            "sampled" => SpanMode::Sampled,
+                            "full" => SpanMode::Full,
+                            other => return Err(format!("unknown span mode {other:?}")),
+                        };
+                    }
+                    _ => return Err(format!("unknown obs setting {part:?}")),
+                },
+            }
+        }
+        Ok(enabled.then_some(cfg))
+    }
+}
+
+/// Fast gate: true only while observability is enabled. One relaxed atomic
+/// load — this is the entire disabled-path cost of the layer.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Encoded [`SpanMode`]; only consulted when [`ENABLED`] is set.
+static SPAN_MODE: AtomicU32 = AtomicU32::new(0);
+/// Monotonic per-thread trace ids, handed out on first span per thread.
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// True while observability is enabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The effective span mode ([`SpanMode::Off`] whenever disabled).
+pub fn span_mode() -> SpanMode {
+    if !is_enabled() {
+        return SpanMode::Off;
+    }
+    match SPAN_MODE.load(Ordering::Relaxed) {
+        2 => SpanMode::Full,
+        1 => SpanMode::Sampled,
+        _ => SpanMode::Off,
+    }
+}
+
+/// Enable observability process-wide with the given configuration.
+pub fn enable(cfg: ObsConfig) {
+    let mode = match cfg.spans {
+        SpanMode::Off => 0,
+        SpanMode::Sampled => 1,
+        SpanMode::Full => 2,
+    };
+    SPAN_MODE.store(mode, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Back to the zero-cost disabled state. Already-recorded data stays in the
+/// registry (exporters still see it); nothing new is recorded.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Environment variable consulted by [`enable_from_env`].
+pub const ENV_VAR: &str = "STINT_OBS";
+
+/// Enable from the `STINT_OBS` environment variable, if set to an enabling
+/// spec. Returns whether observability was enabled; a malformed spec is an
+/// error.
+pub fn enable_from_env() -> Result<bool, String> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) => {
+            match ObsConfig::parse(&spec).map_err(|e| format!("{ENV_VAR}={spec:?}: {e}"))? {
+                Some(cfg) => {
+                    enable(cfg);
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+        _ => Ok(false),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A recorded span or instant event.
+#[derive(Clone, Copy, Debug)]
+struct SpanRec {
+    name: &'static str,
+    tid: u32,
+    start_ns: u64,
+    dur_ns: u64,
+    instant: bool,
+}
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    histograms: Vec<&'static Histogram>,
+    /// Late-bound named values (e.g. `DetectorStats` published at the end of
+    /// a run) that have no static `Counter` declaration.
+    named: BTreeMap<&'static str, u64>,
+    spans: Vec<SpanRec>,
+    /// Process time origin for span timestamps, fixed at first registry use.
+    epoch: Instant,
+}
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, Registry> {
+    REGISTRY
+        .get_or_init(|| {
+            Mutex::new(Registry {
+                counters: Vec::new(),
+                histograms: Vec::new(),
+                named: BTreeMap::new(),
+                spans: Vec::new(),
+                epoch: Instant::now(),
+            })
+        })
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// True once anything has actually been recorded. With observability
+/// disabled nothing ever registers, so a full benchmark run leaves this
+/// `false` — the disabled-path guarantee mirrored from `stint-faults`
+/// (asserted by `tests/obs_disabled.rs` and the perf gate).
+pub fn registry_initialized() -> bool {
+    REGISTRY.get().is_some()
+}
+
+/// Add `n` to the late-bound named counter `name` (cold path: takes the
+/// registry lock every call). Used to publish end-of-run `DetectorStats`
+/// into the same namespace as the static counters.
+pub fn add(name: &'static str, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    *registry().named.entry(name).or_insert(0) += n;
+}
+
+/// Reset every registered counter, histogram, named value and recorded span
+/// to zero/empty (test isolation; spans buffered in *other* threads that
+/// have not yet flushed are not reachable and survive a reset).
+pub fn reset() {
+    flush_thread_spans();
+    if !registry_initialized() {
+        return;
+    }
+    let mut reg = registry();
+    for c in &reg.counters {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in &reg.histograms {
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+    reg.named.clear();
+    reg.spans.clear();
+    reg.epoch = Instant::now();
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter (or, via [`Counter::record_max`], a high-water
+/// gauge). Declare as a `static` and touch from anywhere:
+///
+/// ```
+/// static RELABELS: stint_obs::Counter = stint_obs::Counter::new("om.relabels");
+/// let _scope = stint_obs::ScopedObs::enable(stint_obs::ObsConfig::COUNTERS);
+/// RELABELS.incr();
+/// assert_eq!(RELABELS.get(), 1);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current value (0 until first enabled touch).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Add `n`. No-op (one relaxed load) while disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !is_enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1. No-op (one relaxed load) while disabled.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1)
+    }
+
+    /// Raise the value to at least `v` (high-water gauge). No-op while
+    /// disabled.
+    #[inline]
+    pub fn record_max(&'static self, v: u64) {
+        if !is_enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        let mut reg = registry();
+        // The swap under the lock makes the registration unique even when
+        // two threads race their first touch.
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            reg.counters.push(self);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i` holds
+/// values in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (relabel widths, per-op nodes
+/// visited, treap depths). Same registration discipline as [`Counter`].
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Histogram {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [ZERO; BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one sample. No-op (one relaxed load) while disabled.
+    #[inline]
+    pub fn observe(&'static self, v: u64) {
+        if !is_enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register_slow();
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        let mut reg = registry();
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            reg.histograms.push(self);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans and events
+// ---------------------------------------------------------------------------
+
+struct ThreadSpans {
+    tid: u32,
+    epoch: Instant,
+    buf: Vec<SpanRec>,
+    /// Per-thread span sequence number driving [`SpanMode::Sampled`].
+    seq: u32,
+}
+
+impl ThreadSpans {
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            registry().spans.append(&mut self.buf);
+        }
+    }
+}
+
+impl Drop for ThreadSpans {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static SPANS: RefCell<Option<ThreadSpans>> = const { RefCell::new(None) };
+}
+
+/// Thread-local buffers flush into the global registry at this size.
+const SPAN_FLUSH_AT: usize = 1024;
+
+fn with_thread_spans<R>(f: impl FnOnce(&mut ThreadSpans) -> R) -> Option<R> {
+    SPANS
+        .try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let ts = slot.get_or_insert_with(|| {
+                let epoch = registry().epoch;
+                ThreadSpans {
+                    tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                    epoch,
+                    buf: Vec::new(),
+                    seq: 0,
+                }
+            });
+            f(ts)
+        })
+        .ok()
+}
+
+/// Flush the current thread's span buffer into the registry (exporters call
+/// this so same-thread spans are always visible; other threads flush at
+/// [`SPAN_FLUSH_AT`] and on thread exit).
+pub fn flush_thread_spans() {
+    if REGISTRY.get().is_none() {
+        return;
+    }
+    SPANS
+        .try_with(|cell| {
+            if let Some(ts) = cell.borrow_mut().as_mut() {
+                ts.flush();
+            }
+        })
+        .ok();
+}
+
+/// RAII guard returned by [`span`]; records the span on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// True if this span is actually being timed (false when disabled or
+    /// skipped by sampling) — lets callers gate *extra* work, never needed
+    /// for correctness.
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            with_thread_spans(|ts| {
+                let start_ns = t0.duration_since(ts.epoch).as_nanos() as u64;
+                ts.buf.push(SpanRec {
+                    name: self.name,
+                    tid: ts.tid,
+                    start_ns,
+                    dur_ns,
+                    instant: false,
+                });
+                if ts.buf.len() >= SPAN_FLUSH_AT {
+                    ts.flush();
+                }
+            });
+        }
+    }
+}
+
+/// Open a timed span; the returned guard records `name` with its duration
+/// when dropped. Costs one relaxed load when disabled; under
+/// [`SpanMode::Sampled`] one span in [`SAMPLE_PERIOD`] per thread is timed.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let start = match span_mode() {
+        SpanMode::Off => None,
+        SpanMode::Full => Some(Instant::now()),
+        SpanMode::Sampled => with_thread_spans(|ts| {
+            let take = ts.seq & (SAMPLE_PERIOD - 1) == 0;
+            ts.seq = ts.seq.wrapping_add(1);
+            take
+        })
+        .unwrap_or(false)
+        .then(Instant::now),
+    };
+    SpanGuard { name, start }
+}
+
+/// Record a zero-duration instant event (fault injections, lost overrides).
+/// Never sampled away: when spans are on at all, every event is kept.
+#[inline]
+pub fn event(name: &'static str) {
+    if span_mode() == SpanMode::Off {
+        return;
+    }
+    let now = Instant::now();
+    with_thread_spans(|ts| {
+        let start_ns = now.duration_since(ts.epoch).as_nanos() as u64;
+        ts.buf.push(SpanRec {
+            name,
+            tid: ts.tid,
+            start_ns,
+            dur_ns: 0,
+            instant: true,
+        });
+        if ts.buf.len() >= SPAN_FLUSH_AT {
+            ts.flush();
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+/// Escape `s` for inclusion in a JSON string literal (quotes, backslashes
+/// and control characters). Shared by the exporters here and by downstream
+/// hand-rolled JSON writers (the CLI's `--stats-json`).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize the registry as a flat metrics JSON object:
+///
+/// ```json
+/// {
+///   "schema": "stint-obs-metrics-v1",
+///   "counters": { "om.relabels": 3, ... },
+///   "histograms": {
+///     "ivtree.op_visited": {
+///       "count": 10, "sum": 57,
+///       "buckets": [ { "log2": 2, "count": 4 }, ... ]
+///     }
+///   },
+///   "spans_recorded": 128
+/// }
+/// ```
+///
+/// Bucket `log2 = i` counts samples in `[2^(i-1), 2^i)` (`log2 = 0` counts
+/// exact zeros); empty buckets are omitted. Keys are sorted, so the output
+/// is deterministic for a deterministic run.
+pub fn write_metrics_json<W: Write>(mut w: W) -> std::io::Result<()> {
+    // (name, count, sum, non-empty (log2-bucket, count) pairs).
+    type HistRow = (&'static str, u64, u64, Vec<(usize, u64)>);
+    flush_thread_spans();
+    // Snapshot under the lock, format outside it.
+    let (counters, histograms, span_count) = {
+        if REGISTRY.get().is_none() {
+            (BTreeMap::new(), Vec::new(), 0)
+        } else {
+            let reg = registry();
+            let mut counters: BTreeMap<&'static str, u64> = reg.named.clone();
+            for c in &reg.counters {
+                *counters.entry(c.name).or_insert(0) += c.get();
+            }
+            let mut histograms: Vec<HistRow> = reg
+                .histograms
+                .iter()
+                .map(|h| {
+                    let buckets: Vec<(usize, u64)> = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let n = b.load(Ordering::Relaxed);
+                            (n > 0).then_some((i, n))
+                        })
+                        .collect();
+                    (h.name, h.count(), h.sum(), buckets)
+                })
+                .collect();
+            histograms.sort_by_key(|(name, ..)| *name);
+            (counters, histograms, reg.spans.len())
+        }
+    };
+    writeln!(w, "{{")?;
+    writeln!(w, "  \"schema\": \"stint-obs-metrics-v1\",")?;
+    writeln!(w, "  \"counters\": {{")?;
+    let mut first = true;
+    for (name, v) in &counters {
+        if !first {
+            writeln!(w, ",")?;
+        }
+        first = false;
+        write!(w, "    \"{}\": {v}", json_escape(name))?;
+    }
+    if !first {
+        writeln!(w)?;
+    }
+    writeln!(w, "  }},")?;
+    writeln!(w, "  \"histograms\": {{")?;
+    let mut first = true;
+    for (name, count, sum, buckets) in &histograms {
+        if !first {
+            writeln!(w, ",")?;
+        }
+        first = false;
+        write!(
+            w,
+            "    \"{}\": {{ \"count\": {count}, \"sum\": {sum}, \"buckets\": [",
+            json_escape(name)
+        )?;
+        for (i, (log2, n)) in buckets.iter().enumerate() {
+            if i > 0 {
+                write!(w, ", ")?;
+            }
+            write!(w, "{{ \"log2\": {log2}, \"count\": {n} }}")?;
+        }
+        write!(w, "] }}")?;
+    }
+    if !first {
+        writeln!(w)?;
+    }
+    writeln!(w, "  }},")?;
+    writeln!(w, "  \"spans_recorded\": {span_count}")?;
+    writeln!(w, "}}")
+}
+
+/// [`write_metrics_json`] into a `String`.
+pub fn metrics_json() -> String {
+    let mut buf = Vec::new();
+    write_metrics_json(&mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("metrics JSON is ASCII")
+}
+
+/// Serialize recorded spans in Chrome/Perfetto `trace_event` JSON: an array
+/// of complete (`"ph": "X"`, with `ts`/`dur` in microseconds) and instant
+/// (`"ph": "i"`) events. Load the file at `ui.perfetto.dev` or
+/// `chrome://tracing`.
+pub fn write_trace_json<W: Write>(mut w: W) -> std::io::Result<()> {
+    flush_thread_spans();
+    let spans: Vec<SpanRec> = if REGISTRY.get().is_none() {
+        Vec::new()
+    } else {
+        registry().spans.clone()
+    };
+    writeln!(w, "[")?;
+    for (i, s) in spans.iter().enumerate() {
+        let comma = if i + 1 < spans.len() { "," } else { "" };
+        let ts = s.start_ns as f64 / 1000.0;
+        if s.instant {
+            writeln!(
+                w,
+                "  {{\"name\": \"{}\", \"cat\": \"stint\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {}}}{comma}",
+                json_escape(s.name),
+                s.tid
+            )?;
+        } else {
+            let dur = s.dur_ns as f64 / 1000.0;
+            writeln!(
+                w,
+                "  {{\"name\": \"{}\", \"cat\": \"stint\", \"ph\": \"X\", \"ts\": {ts:.3}, \
+                 \"dur\": {dur:.3}, \"pid\": 1, \"tid\": {}}}{comma}",
+                json_escape(s.name),
+                s.tid
+            )?;
+        }
+    }
+    writeln!(w, "]")
+}
+
+/// [`write_trace_json`] into a `String`.
+pub fn trace_json() -> String {
+    let mut buf = Vec::new();
+    write_trace_json(&mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("trace JSON is ASCII")
+}
+
+// ---------------------------------------------------------------------------
+// Test scoping
+// ---------------------------------------------------------------------------
+
+/// RAII guard for tests: enables observability with a fresh (reset) registry
+/// and restores the previous enabled state (and span mode) on drop, so
+/// obs-enabled test cases cannot leak state into later cases. Tests sharing
+/// a process must serialize around it — the registry is process-global.
+pub struct ScopedObs {
+    prev_enabled: bool,
+    prev_mode: u32,
+}
+
+impl ScopedObs {
+    pub fn enable(cfg: ObsConfig) -> ScopedObs {
+        let prev_enabled = is_enabled();
+        let prev_mode = SPAN_MODE.load(Ordering::Relaxed);
+        enable(cfg);
+        reset();
+        ScopedObs {
+            prev_enabled,
+            prev_mode,
+        }
+    }
+}
+
+impl Drop for ScopedObs {
+    fn drop(&mut self) {
+        flush_thread_spans();
+        SPAN_MODE.store(self.prev_mode, Ordering::Relaxed);
+        ENABLED.store(self.prev_enabled, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The registry is process-global; tests that enable obs serialize here.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static M: OnceLock<Mutex<()>> = OnceLock::new();
+        M.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(ObsConfig::parse("").unwrap(), None);
+        assert_eq!(ObsConfig::parse("off").unwrap(), None);
+        assert_eq!(ObsConfig::parse("0").unwrap(), None);
+        assert_eq!(
+            ObsConfig::parse("on").unwrap(),
+            Some(ObsConfig {
+                spans: SpanMode::Sampled
+            })
+        );
+        assert_eq!(
+            ObsConfig::parse("counters").unwrap(),
+            Some(ObsConfig::COUNTERS)
+        );
+        assert_eq!(ObsConfig::parse("full").unwrap(), Some(ObsConfig::FULL));
+        assert_eq!(
+            ObsConfig::parse("counters,spans=full").unwrap(),
+            Some(ObsConfig::FULL)
+        );
+        assert_eq!(
+            ObsConfig::parse("spans=off").unwrap(),
+            Some(ObsConfig::COUNTERS)
+        );
+        assert!(ObsConfig::parse("frobnicate").is_err());
+        assert!(ObsConfig::parse("spans=lots").is_err());
+    }
+
+    #[test]
+    fn disabled_touches_record_nothing() {
+        let _g = global_lock();
+        static C: Counter = Counter::new("test.disabled_counter");
+        static H: Histogram = Histogram::new("test.disabled_hist");
+        assert!(!is_enabled());
+        C.add(5);
+        C.record_max(9);
+        H.observe(3);
+        add("test.disabled_named", 1);
+        event("test.disabled_event");
+        {
+            let _s = span("test.disabled_span");
+        }
+        assert_eq!(C.get(), 0);
+        assert_eq!(H.count(), 0);
+        // Counters stay unregistered, so an enabled run elsewhere would not
+        // even list them.
+        assert!(!C.registered.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn counters_and_histograms_register_and_accumulate() {
+        let _g = global_lock();
+        static C: Counter = Counter::new("test.counter");
+        static HW: Counter = Counter::new("test.high_water");
+        static H: Histogram = Histogram::new("test.hist");
+        let _scope = ScopedObs::enable(ObsConfig::COUNTERS);
+        C.add(2);
+        C.incr();
+        HW.record_max(7);
+        HW.record_max(3);
+        H.observe(0);
+        H.observe(1);
+        H.observe(5);
+        add("test.named", 40);
+        add("test.named", 2);
+        assert_eq!(C.get(), 3);
+        assert_eq!(HW.get(), 7);
+        assert_eq!(H.count(), 3);
+        assert_eq!(H.sum(), 6);
+        let json = metrics_json();
+        assert!(json.contains("\"test.counter\": 3"), "{json}");
+        assert!(json.contains("\"test.high_water\": 7"), "{json}");
+        assert!(json.contains("\"test.named\": 42"), "{json}");
+        // 5 lands in bucket 3 ([4, 8)); 0 in bucket 0; 1 in bucket 1.
+        assert!(json.contains("\"test.hist\""), "{json}");
+        assert!(json.contains("{ \"log2\": 3, \"count\": 1 }"), "{json}");
+        assert!(json.contains("{ \"log2\": 0, \"count\": 1 }"), "{json}");
+    }
+
+    #[test]
+    fn spans_and_events_export_as_trace_events() {
+        let _g = global_lock();
+        let _scope = ScopedObs::enable(ObsConfig::FULL);
+        {
+            let s = span("test.work");
+            assert!(s.is_recording());
+            std::hint::black_box(0);
+        }
+        event("test.instant");
+        let json = trace_json();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\"name\": \"test.work\""), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+        assert!(json.contains("\"ph\": \"i\""), "{json}");
+        assert!(json.contains("\"dur\": "), "{json}");
+        let metrics = metrics_json();
+        assert!(!metrics.contains("\"spans_recorded\": 0"), "{metrics}");
+    }
+
+    #[test]
+    fn sampled_mode_records_first_span_per_thread() {
+        let _g = global_lock();
+        let _scope = ScopedObs::enable(ObsConfig {
+            spans: SpanMode::Sampled,
+        });
+        let recorded: usize = std::thread::spawn(|| {
+            (0..(SAMPLE_PERIOD * 2))
+                .map(|_| span("test.sampled").is_recording() as usize)
+                .sum()
+        })
+        .join()
+        .expect("thread");
+        assert_eq!(recorded, 2, "one span per SAMPLE_PERIOD per thread");
+    }
+
+    #[test]
+    fn scoped_obs_restores_disabled_state() {
+        let _g = global_lock();
+        assert!(!is_enabled());
+        {
+            let _scope = ScopedObs::enable(ObsConfig::FULL);
+            assert!(is_enabled());
+            assert_eq!(span_mode(), SpanMode::Full);
+        }
+        assert!(!is_enabled());
+        assert_eq!(span_mode(), SpanMode::Off);
+    }
+
+    #[test]
+    fn exporters_work_uninitialized() {
+        // Before anything registers, exporters produce valid empty JSON and
+        // do NOT initialize the registry as a side effect.
+        let json = metrics_json();
+        assert!(json.contains("\"counters\""), "{json}");
+        let trace = trace_json();
+        assert!(trace.trim_start().starts_with('['), "{trace}");
+    }
+
+    #[test]
+    fn escape_is_sound() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tend"), "tab\\u0009end");
+    }
+}

@@ -101,6 +101,19 @@ impl OmNode {
 
 const NIL: u32 = u32::MAX;
 
+// Observability (all no-ops costing one relaxed load while `stint-obs` is
+// disabled). `om.occupancy_permille` tracks the high-water fill of the tag
+// space against the `max_tag / 4` spacing capacity at which the universe is
+// declared exhausted.
+static OBS_INSERTS: stint_obs::Counter = stint_obs::Counter::new("om.inserts");
+static OBS_LEN_HW: stint_obs::Counter = stint_obs::Counter::new("om.len_high_water");
+static OBS_RELABELS: stint_obs::Counter = stint_obs::Counter::new("om.relabels");
+static OBS_RELABEL_MOVED: stint_obs::Counter = stint_obs::Counter::new("om.relabel_moved");
+static OBS_FULL_RELABELS: stint_obs::Counter = stint_obs::Counter::new("om.full_relabels");
+static OBS_STORM_RELABELS: stint_obs::Counter = stint_obs::Counter::new("om.storm_relabels");
+static OBS_OCCUPANCY: stint_obs::Counter = stint_obs::Counter::new("om.occupancy_permille");
+static OBS_RELABEL_WIDTH: stint_obs::Histogram = stint_obs::Histogram::new("om.relabel_width");
+
 /// Density threshold ratio: a tag range of size 2^i may be relabelled into
 /// when it holds at most `2^i * TAU^i` elements. `TAU = 3/4` is the standard
 /// choice (any value in (1/2, 1) works; smaller values relabel more eagerly
@@ -255,6 +268,8 @@ impl OmList {
         if self.storm_period != 0 {
             if self.storm_countdown == 0 {
                 self.storm_countdown = self.storm_period;
+                OBS_STORM_RELABELS.incr();
+                stint_obs::event("fault.om_storm");
                 self.relabel_around(xi);
             } else {
                 self.storm_countdown -= 1;
@@ -320,7 +335,18 @@ impl OmList {
         let idx = self.nodes.len();
         assert!(idx < NIL as usize, "OmList capacity exceeded (u32 indices)");
         self.nodes.push(Node { tag, prev, next });
+        if stint_obs::is_enabled() {
+            OBS_INSERTS.incr();
+            OBS_LEN_HW.record_max(self.nodes.len() as u64);
+        }
         idx as u32
+    }
+
+    /// Fill of the tag space in permille of the `max_tag / 4` spacing
+    /// capacity at which a full-universe relabel declares exhaustion.
+    fn occupancy_permille(&self) -> u64 {
+        let capacity = (self.max_tag / 4).max(1);
+        ((self.nodes.len() as u128 * 1000) / capacity as u128).min(1000) as u64
     }
 
     /// Relabel the smallest tag range enclosing `x` whose density is below the
@@ -371,6 +397,12 @@ impl OmList {
             // Spread the `count` nodes uniformly across [min, min+size).
             self.relabels += 1;
             self.relabel_moved += count;
+            if stint_obs::is_enabled() {
+                OBS_RELABELS.incr();
+                OBS_RELABEL_MOVED.add(count);
+                OBS_RELABEL_WIDTH.observe(count);
+                OBS_OCCUPANCY.record_max(self.occupancy_permille());
+            }
             let mut cur = left;
             for j in 0..count {
                 let t = min + ((j as u128 * size as u128) / count as u128) as u64;
@@ -387,6 +419,8 @@ impl OmList {
         // insert/relabel retry loop would otherwise spin).
         let n = self.nodes.len() as u64;
         if n >= self.max_tag / 4 {
+            OBS_OCCUPANCY.record_max(1000);
+            stint_obs::event("fault.om_tags_exhausted");
             stint_faults::DetectorError::ResourceExhausted {
                 resource: stint_faults::Resource::OmTags,
                 limit: self.max_tag,
@@ -396,6 +430,13 @@ impl OmList {
         }
         self.relabels += 1;
         self.relabel_moved += n;
+        if stint_obs::is_enabled() {
+            OBS_RELABELS.incr();
+            OBS_FULL_RELABELS.incr();
+            OBS_RELABEL_MOVED.add(n);
+            OBS_RELABEL_WIDTH.observe(n);
+            OBS_OCCUPANCY.record_max(self.occupancy_permille());
+        }
         let mut cur = self.head;
         let mut j: u64 = 0;
         while cur != NIL {

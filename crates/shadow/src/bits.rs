@@ -20,6 +20,11 @@ use crate::pagemap::PageMap;
 use crate::WordIv;
 use stint_faults::{DetectorError, Resource};
 
+// Observability (no-ops costing one relaxed load while `stint-obs` is
+// disabled).
+static OBS_CHUNK_ALLOCS: stint_obs::Counter = stint_obs::Counter::new("shadow.chunk_allocs");
+static OBS_FILTER_ELISIONS: stint_obs::Counter = stint_obs::Counter::new("shadow.filter_elisions");
+
 /// log2 of bitmap groups per chunk.
 const GROUPS_PER_CHUNK_BITS: u32 = 10;
 const GROUPS_PER_CHUNK: usize = 1 << GROUPS_PER_CHUNK_BITS;
@@ -157,6 +162,7 @@ impl SetFilter {
         if hit {
             self.hits += 1;
             self.w_hits += 1;
+            OBS_FILTER_ELISIONS.incr();
         }
         if self.w_probes == Self::TRIAL {
             if self.w_hits * 4 < Self::TRIAL {
@@ -263,6 +269,7 @@ impl BitShadow {
         let capped = allocs >= self.chunk_cap;
         if capped || allocs == self.oom_at {
             if self.exhausted.is_none() {
+                stint_obs::event("fault.shadow_chunk_exhausted");
                 self.exhausted = Some(DetectorError::ResourceExhausted {
                     resource: Resource::ShadowPages,
                     limit: allocs,
@@ -272,6 +279,7 @@ impl BitShadow {
             self.last_chunk = (chunk_no, DROPPED);
             return DROPPED;
         }
+        OBS_CHUNK_ALLOCS.incr();
         let chunks = &mut self.chunks;
         let slot = self.map.get_or_insert_with(chunk_no, || {
             let idx = chunks.len() as u32;

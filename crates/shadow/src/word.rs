@@ -26,6 +26,12 @@
 use crate::pagemap::PageMap;
 use stint_faults::{DetectorError, Resource};
 
+// Observability (no-ops costing one relaxed load while `stint-obs` is
+// disabled). Pages are never freed individually — the whole structure drops
+// at the end of a run — so allocation counters are the interesting signal.
+static OBS_PAGE_ALLOCS: stint_obs::Counter = stint_obs::Counter::new("shadow.page_allocs");
+static OBS_SINK_HANDOUTS: stint_obs::Counter = stint_obs::Counter::new("shadow.sink_handouts");
+
 /// Sentinel strand id meaning "no recorded accessor".
 pub const NO_STRAND: u32 = u32::MAX;
 
@@ -159,12 +165,14 @@ impl WordShadow {
         let capped = self.allocs >= self.page_cap;
         if capped || self.allocs == self.oom_at {
             if self.exhausted.is_none() {
+                stint_obs::event("fault.shadow_page_exhausted");
                 self.exhausted = Some(DetectorError::ResourceExhausted {
                     resource: Resource::ShadowPages,
                     limit: if capped { self.page_cap } else { self.allocs },
                     at_word: Some(page_no << PAGE_BITS),
                 });
             }
+            OBS_SINK_HANDOUTS.incr();
             // Note: the failed page is *not* registered in the map, so the
             // map stays bounded and reads via `get` keep reporting the page
             // as never touched.
@@ -176,6 +184,7 @@ impl WordShadow {
             return self.sink as usize;
         }
         self.allocs += 1;
+        OBS_PAGE_ALLOCS.incr();
         let pages = &mut self.pages;
         self.map.get_or_insert_with(page_no, || {
             let idx = pages.len() as u32;

@@ -20,6 +20,12 @@ use crate::{Reachability, StrandId};
 
 const SLOTS: usize = 64;
 
+// Observability mirrors of the per-instance `hits`/`misses`/`flushes`
+// fields, aggregated process-wide (no-ops while `stint-obs` is disabled).
+static OBS_HITS: stint_obs::Counter = stint_obs::Counter::new("sporder.reach_cache_hits");
+static OBS_MISSES: stint_obs::Counter = stint_obs::Counter::new("sporder.reach_cache_misses");
+static OBS_FLUSHES: stint_obs::Counter = stint_obs::Counter::new("sporder.reach_cache_flushes");
+
 /// `Slot::have` bit: the `parallel` answer is present.
 const HAVE_PARALLEL: u8 = 1;
 /// `Slot::have` bit: the `left_of` answer is present.
@@ -90,6 +96,7 @@ impl ReachCache {
             self.cur = s;
             self.gen += 1;
             self.flushes += 1;
+            OBS_FLUSHES.incr();
         }
     }
 
@@ -108,9 +115,11 @@ impl ReachCache {
         let live = slot.gen == gen && slot.old == old;
         if live && slot.have & HAVE_PARALLEL != 0 {
             self.hits += 1;
+            OBS_HITS.incr();
             return slot.parallel;
         }
         self.misses += 1;
+        OBS_MISSES.incr();
         let parallel = reach.parallel(old, self.cur);
         if live {
             slot.have |= HAVE_PARALLEL;
@@ -139,9 +148,11 @@ impl ReachCache {
         let live = slot.gen == gen && slot.old == old;
         if live && slot.have & HAVE_LEFT_OF != 0 {
             self.hits += 1;
+            OBS_HITS.incr();
             return slot.left_of;
         }
         self.misses += 1;
+        OBS_MISSES.incr();
         let left_of = reach.left_of(self.cur, old);
         if live {
             slot.have |= HAVE_LEFT_OF;

@@ -43,6 +43,15 @@ use stint_om::{OmList, OrderList, TwoLevelOm};
 mod cache;
 pub use cache::ReachCache;
 
+// Observability (no-ops costing one relaxed load while `stint-obs` is
+// disabled). Order queries are counted at the `SpOrderImpl` layer so both
+// OM backends report into the same counters; the strand-local cache's
+// hit/miss/flush counters live in `cache.rs`.
+static OBS_SERIES_QUERIES: stint_obs::Counter = stint_obs::Counter::new("sporder.series_queries");
+static OBS_PARALLEL_QUERIES: stint_obs::Counter =
+    stint_obs::Counter::new("sporder.parallel_queries");
+static OBS_LEFT_OF_QUERIES: stint_obs::Counter = stint_obs::Counter::new("sporder.left_of_queries");
+
 /// Identifier of an executed strand. Dense, allocated in creation order
 /// (creation order is *not* the sequential execution order for sync strands,
 /// which are created at the first spawn of their block).
@@ -186,6 +195,7 @@ impl<L: OrderList> SpOrderImpl<L> {
     /// True if strand `a` logically precedes strand `b` (series, `a ≺ b`).
     #[inline]
     pub fn series(&self, a: StrandId, b: StrandId) -> bool {
+        OBS_SERIES_QUERIES.incr();
         if a == b {
             return false;
         }
@@ -197,6 +207,7 @@ impl<L: OrderList> SpOrderImpl<L> {
     /// True if strands `a` and `b` are logically parallel.
     #[inline]
     pub fn parallel(&self, a: StrandId, b: StrandId) -> bool {
+        OBS_PARALLEL_QUERIES.incr();
         if a == b {
             return false;
         }
@@ -218,6 +229,7 @@ impl<L: OrderList> SpOrderImpl<L> {
     /// of the two cases. So `left_of(a, b) ⟺ b <_H a`.
     #[inline]
     pub fn left_of(&self, a: StrandId, b: StrandId) -> bool {
+        OBS_LEFT_OF_QUERIES.incr();
         if a == b {
             return false;
         }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Observability smoke test: one release CLI run with every exporter on, then
+# validate the three JSON documents (python3 json.tool) and assert the key
+# content promises — counters from every instrumented layer in the metrics,
+# Chrome trace_event complete spans in the trace, and exact agreement between
+# the stats dump and the metrics registry on the detector counters.
+#
+# Usage: scripts/obs_smoke.sh [bench] (default: sort)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-sort}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== stint-cli detect $BENCH --variant all (obs full, all exporters)"
+cargo run --release -q -p stint-cli -- \
+    detect "$BENCH" --variant all --obs full \
+    --metrics-out "$OUT/metrics.json" \
+    --trace-out "$OUT/trace.json" \
+    --stats-json "$OUT/stats.json" >"$OUT/stdout.txt"
+
+for f in metrics trace stats; do
+    python3 -m json.tool "$OUT/$f.json" >/dev/null \
+        || { echo "FAIL: $f.json is not valid JSON"; exit 1; }
+done
+echo "ok: metrics.json, trace.json, stats.json all parse"
+
+# Metrics must carry counters from every instrumented layer.
+for key in om. sporder. ivtree. shadow. cilkrt. detector.; do
+    grep -q "\"$key" "$OUT/metrics.json" \
+        || { echo "FAIL: metrics.json has no $key* counters"; exit 1; }
+done
+echo "ok: metrics.json covers om/sporder/ivtree/shadow/cilkrt/detector"
+
+# The trace must contain Chrome trace_event complete spans with durations.
+grep -q '"ph": "X"' "$OUT/trace.json" \
+    || { echo "FAIL: trace.json has no complete (ph=X) spans"; exit 1; }
+grep -q '"dur":' "$OUT/trace.json" \
+    || { echo "FAIL: trace.json spans carry no durations"; exit 1; }
+grep -q '"detect.execute"' "$OUT/trace.json" \
+    || { echo "FAIL: trace.json is missing the detect.execute phase"; exit 1; }
+echo "ok: trace.json is Chrome trace_event with timed spans"
+
+# The stats dump and the metrics registry are fed from the same
+# DetectorStats::fields() source: summing any detector counter across the
+# runs in stats.json must reproduce the metrics value exactly.
+python3 - "$OUT/stats.json" "$OUT/metrics.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+metrics = json.load(open(sys.argv[2]))
+assert stats["schema"] == "stint-stats-v1", stats["schema"]
+assert metrics["schema"] == "stint-obs-metrics-v1", metrics["schema"]
+runs = stats["runs"]
+assert len(runs) >= 2, f"expected every variant, got {len(runs)} run(s)"
+for key in runs[0]["stats"]:
+    want = sum(r["stats"][key] for r in runs)
+    got = metrics["counters"].get(key)
+    assert got == want, f"{key}: stats.json sums to {want}, metrics.json says {got}"
+print(f"ok: {len(runs[0]['stats'])} detector counters agree across "
+      f"{len(runs)} variants")
+EOF
+
+echo "obs smoke passed"

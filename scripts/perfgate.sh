@@ -30,6 +30,9 @@ cargo build --release -q
 echo "== chaos gate (fault-injection suites)"
 scripts/chaos.sh
 
+echo "== obs smoke (exporters + cross-document agreement)"
+scripts/obs_smoke.sh
+
 echo "== perfgate"
 if [ "$DIFF" = 1 ]; then
     # Leave the committed JSON in place so perfgate prints the comparison,

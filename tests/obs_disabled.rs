@@ -1,0 +1,43 @@
+//! Disabled-path guarantee for the observability layer, in its own test
+//! binary: counter/histogram registration is sticky for the life of the
+//! process, so this check is only meaningful in a process where observability
+//! was *never* enabled — it must not share a binary with obs-enabled tests.
+
+use stint_repro::suite::{Scale, Workload};
+use stint_repro::{detect, obs, Variant};
+
+#[test]
+fn full_run_with_obs_disabled_leaves_no_trace() {
+    assert!(
+        !obs::is_enabled(),
+        "obs must start disabled (unset STINT_OBS)"
+    );
+
+    // A real detection run through every instrumented layer (om, sporder,
+    // ivtree, shadow), plus a work-stealing pool exercising cilkrt's sites.
+    for v in [Variant::CompRts, Variant::Stint] {
+        let mut w = Workload::by_name("sort", Scale::Test);
+        let o = detect(&mut w, v);
+        assert!(o.report.is_race_free(), "{v}");
+    }
+    let pool = stint_cilkrt::ThreadPool::new(2);
+    let (a, b) = pool.join(|| 1 + 1, || 2 + 2);
+    assert_eq!((a, b), (2, 4));
+    drop(pool);
+
+    // Nothing registered: every instrumented site stopped at the one relaxed
+    // load, and the registry (allocated lazily on first registration) was
+    // never even created.
+    assert!(!obs::registry_initialized());
+
+    // The exporters still work — and emit empty documents.
+    let metrics = obs::metrics_json();
+    assert!(metrics.contains("\"counters\": {"));
+    assert!(!metrics.contains("om."), "unexpected counters:\n{metrics}");
+    assert!(metrics.contains("\"spans_recorded\": 0"));
+    let trace = obs::trace_json();
+    assert!(!trace.contains("\"ph\""), "unexpected spans:\n{trace}");
+
+    // Exporting must not have initialized the registry either.
+    assert!(!obs::registry_initialized());
+}

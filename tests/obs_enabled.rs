@@ -1,0 +1,106 @@
+//! Enabled-path integration test for the observability layer: one detection
+//! run per shadow substrate plus a work-stealing pool, then assert that the
+//! metrics export carries counters from every instrumented crate and that
+//! the registry's detector numbers agree exactly with `Outcome::stats`.
+//!
+//! A single `#[test]` (and its own binary): the registry is process-global,
+//! so concurrent obs-enabled cases would double-count each other.
+
+use stint_repro::suite::{Scale, Workload};
+use stint_repro::{detect, obs, Variant};
+
+/// Pull `"name": value` out of the flat metrics JSON.
+fn counter(metrics: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\": ");
+    let at = metrics.find(&key)? + key.len();
+    let rest = &metrics[at..];
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn metrics_cover_every_layer_and_agree_with_stats() {
+    let _obs = obs::ScopedObs::enable(obs::ObsConfig::FULL);
+
+    // Stint exercises om + sporder + ivtree + shadow bit tables; CompRts
+    // exercises the word-granularity shadow pages.
+    let mut w = Workload::by_name("sort", Scale::Test);
+    let stint_run = detect(&mut w, Variant::Stint);
+    assert!(stint_run.report.is_race_free());
+    let mut w = Workload::by_name("fft", Scale::Test);
+    let comprts_run = detect(&mut w, Variant::CompRts);
+    assert!(comprts_run.report.is_race_free());
+
+    // cilkrt: fork-join on a real pool. A join landing before any worker
+    // thread is up gets drained inline (serial elision, no fork recorded),
+    // so retry until one actually runs on a worker deque.
+    let pool = stint_cilkrt::ThreadPool::new(2);
+    let mut forked = false;
+    for _ in 0..1000 {
+        let mut v: Vec<u64> = (0..64).collect();
+        pool.for_each_chunk(&mut v, 1, &|_, c| c[0] = c[0].wrapping_add(1));
+        if counter(&obs::metrics_json(), "cilkrt.spawns").is_some_and(|n| n > 0) {
+            forked = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(forked, "no join ever ran on a pool worker");
+    drop(pool);
+
+    assert!(obs::registry_initialized());
+    let metrics = obs::metrics_json();
+
+    // At least one counter from every instrumented layer.
+    for name in [
+        "om.inserts",
+        "sporder.parallel_queries",
+        "sporder.reach_cache_hits",
+        "ivtree.inserts",
+        "shadow.page_allocs",
+        "shadow.filter_elisions",
+        "cilkrt.workers_spawned",
+        "cilkrt.spawns",
+    ] {
+        assert!(
+            counter(&metrics, name).is_some_and(|v| v > 0),
+            "missing or zero counter {name}:\n{metrics}"
+        );
+    }
+    // Histograms: ivtree always observes per-op visit counts; om's relabel
+    // width shows up only when the run actually relabeled.
+    assert!(metrics.contains("\"ivtree.op_visited\""), "{metrics}");
+    if counter(&metrics, "om.relabels").unwrap_or(0) > 0 {
+        assert!(metrics.contains("\"om.relabel_width\""), "{metrics}");
+    }
+
+    // The published detector numbers are the sum over both runs of exactly
+    // the values `Outcome::stats` reported — shared source, no drift.
+    for (name, _) in stint_run.stats.fields() {
+        let want = counter_sum(&stint_run, &comprts_run, name);
+        assert_eq!(
+            counter(&metrics, name),
+            Some(want),
+            "registry disagrees with Outcome::stats on {name}"
+        );
+    }
+
+    // Spans: full mode records the per-variant execute/report phases as
+    // Chrome trace_event complete events.
+    let trace = obs::trace_json();
+    assert!(trace.contains("\"ph\": \"X\""), "{trace}");
+    assert!(trace.contains("\"name\": \"detect.execute\""), "{trace}");
+    assert!(trace.contains("\"name\": \"stint.flush\""), "{trace}");
+}
+
+fn counter_sum(a: &stint_repro::Outcome, b: &stint_repro::Outcome, name: &str) -> u64 {
+    let get = |o: &stint_repro::Outcome| {
+        o.stats
+            .fields()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    get(a) + get(b)
+}
