@@ -1,0 +1,192 @@
+//! `jsoncheck` — dependency-free validator for the harness's JSON documents.
+//!
+//! The smoke scripts (`scripts/obs_smoke.sh`, `scripts/mem_smoke.sh`) used to
+//! require `python3` for JSON validation and the cross-document agreement
+//! check; this binary provides the same checks so the gates run on machines
+//! with neither Python nor `jq`.
+//!
+//! ```text
+//! jsoncheck validate FILE...        each file must parse as JSON
+//! jsoncheck agree STATS METRICS     per-run detector stats summed across
+//!                                   STATS runs must equal the METRICS
+//!                                   registry counters exactly
+//! jsoncheck memseries SERIES [STATS]
+//!                                   SERIES must be a non-empty memory time
+//!                                   series with monotone timestamps; with
+//!                                   STATS, the gauge watermarks must bound
+//!                                   the detector's byte stats and Lemma 4.1
+//!                                   must hold on the reported watermarks
+//! ```
+//!
+//! Exit codes: 0 = all checks passed, 1 = a check failed, 2 = usage error.
+
+use stint_bench::json::{parse, Value};
+
+fn fail(msg: String) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Value {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    parse(&content).unwrap_or_else(|e| fail(format!("{path}: {e}")))
+}
+
+fn schema(doc: &Value, path: &str, want: &str) {
+    let got = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    if got != want {
+        fail(format!("{path}: schema is {got:?}, expected {want:?}"));
+    }
+}
+
+fn u64_field(v: &Value, key: &str, ctx: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| fail(format!("{ctx}: missing integer field {key:?}")))
+}
+
+/// The obs_smoke agreement: the stats dump and the metrics registry are fed
+/// from the same `DetectorStats::fields()` source, so summing any detector
+/// counter across the runs in stats.json must reproduce the metrics value.
+fn agree(stats_path: &str, metrics_path: &str) {
+    let stats = load(stats_path);
+    let metrics = load(metrics_path);
+    schema(&stats, stats_path, "stint-stats-v1");
+    schema(&metrics, metrics_path, "stint-obs-metrics-v1");
+    let runs = stats
+        .get("runs")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(format!("{stats_path}: no runs array")));
+    if runs.len() < 2 {
+        fail(format!(
+            "{stats_path}: expected every variant, got {} run(s)",
+            runs.len()
+        ));
+    }
+    let counters = metrics
+        .get("counters")
+        .unwrap_or_else(|| fail(format!("{metrics_path}: no counters object")));
+    let keys = runs[0]
+        .get("stats")
+        .and_then(Value::as_object)
+        .unwrap_or_else(|| fail(format!("{stats_path}: run 0 has no stats object")));
+    for (key, _) in keys {
+        let want: u64 = runs
+            .iter()
+            .map(|r| {
+                r.get("stats")
+                    .map(|s| u64_field(s, key, stats_path))
+                    .unwrap_or_else(|| fail(format!("{stats_path}: run without stats")))
+            })
+            .sum();
+        let got = counters.get(key).and_then(Value::as_u64);
+        if got != Some(want) {
+            fail(format!(
+                "{key}: stats.json sums to {want}, metrics.json says {got:?}"
+            ));
+        }
+    }
+    println!(
+        "ok: {} detector counters agree across {} variants",
+        keys.len(),
+        runs.len()
+    );
+}
+
+/// The mem_smoke checks: a non-empty series with monotone timestamps, and —
+/// when the stats dump is provided — watermark/stats agreement plus the
+/// Lemma 4.1 bound on the measured watermarks.
+fn memseries(series_path: &str, stats_path: Option<&str>) {
+    let series = load(series_path);
+    schema(&series, series_path, "stint-obs-memseries-v1");
+    let samples = series
+        .get("samples")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(format!("{series_path}: no samples array")));
+    if samples.is_empty() {
+        fail(format!("{series_path}: empty sample series"));
+    }
+    let mut prev = 0u64;
+    for (i, s) in samples.iter().enumerate() {
+        let t = u64_field(s, "t_ns", series_path);
+        if t < prev {
+            fail(format!(
+                "{series_path}: sample {i} t_ns={t} precedes {prev} (not monotone)"
+            ));
+        }
+        prev = t;
+        if s.get("gauges").and_then(Value::as_object).is_none() {
+            fail(format!("{series_path}: sample {i} has no gauges object"));
+        }
+    }
+    println!(
+        "ok: {} samples, timestamps monotone over {} ns",
+        samples.len(),
+        prev
+    );
+
+    let Some(stats_path) = stats_path else { return };
+    let stats = load(stats_path);
+    schema(&stats, stats_path, "stint-stats-v1");
+    let gauges = stats
+        .get("gauges")
+        .unwrap_or_else(|| fail(format!("{stats_path}: no gauges object")));
+    let treap_hw = gauges
+        .get("ivtree.bytes")
+        .map(|g| u64_field(g, "hw", stats_path));
+    let runs = stats
+        .get("runs")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(format!("{stats_path}: no runs array")));
+    for r in runs {
+        let s = r
+            .get("stats")
+            .unwrap_or_else(|| fail(format!("{stats_path}: run without stats")));
+        let inserts = u64_field(s, "detector.treap_inserts", stats_path);
+        if inserts == 0 {
+            continue; // a hash-variant run; nothing tree-shaped to bound
+        }
+        let ah = u64_field(s, "detector.ah_bytes", stats_path);
+        let len_hw = u64_field(s, "detector.treap_len_hw", stats_path);
+        // Two stores (read tree + write tree), so the merged Lemma 4.1
+        // bound is 2m + 2.
+        if len_hw > 2 * inserts + 2 {
+            fail(format!(
+                "Lemma 4.1 violated: treap_len_hw={len_hw} > 2*{inserts}+2"
+            ));
+        }
+        if let Some(hw) = treap_hw {
+            if ah > hw {
+                fail(format!(
+                    "detector.ah_bytes={ah} exceeds the ivtree.bytes watermark {hw}"
+                ));
+            }
+        }
+    }
+    println!("ok: gauge watermarks bound the detector byte stats (Lemma 4.1 holds)");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("validate") if argv.len() >= 2 => {
+            for path in &argv[1..] {
+                load(path);
+            }
+            println!("ok: {} document(s) parse", argv.len() - 1);
+        }
+        Some("agree") if argv.len() == 3 => agree(&argv[1], &argv[2]),
+        Some("memseries") if argv.len() == 2 || argv.len() == 3 => {
+            memseries(&argv[1], argv.get(2).map(String::as_str))
+        }
+        _ => {
+            eprintln!(
+                "usage: jsoncheck validate FILE...\n       \
+                 jsoncheck agree STATS METRICS\n       \
+                 jsoncheck memseries SERIES [STATS]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

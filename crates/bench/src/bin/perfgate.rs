@@ -221,6 +221,47 @@ fn previous_geomean(content: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Gate the space study's report (regenerated by the `space` binary; see
+/// `scripts/perfgate.sh`): every row and every per-store case must satisfy
+/// its Lemma 4.1 bound. Absent file = the study has not run; that is only a
+/// warning, so a bare `perfgate --check` stays usable on its own.
+fn check_space_report(path: &str) {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        eprintln!("warning: no {path} (run the `space` binary to gate the space study)");
+        return;
+    };
+    let doc = stint_bench::json::parse(&content).unwrap_or_else(|e| {
+        eprintln!("FAIL: {path}: {e}");
+        std::process::exit(1);
+    });
+    let fail = |msg: String| -> ! {
+        eprintln!("FAIL: {path}: {msg}");
+        std::process::exit(1);
+    };
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("stint-space-v1") {
+        fail("not a stint-space-v1 document".into());
+    }
+    let mut cases = 0usize;
+    for (section, key) in [("rows", "lemma_ok"), ("lemma_per_store", "ok")] {
+        let items = doc
+            .get(section)
+            .and_then(|v| v.as_array())
+            .unwrap_or_else(|| fail(format!("missing {section} array")));
+        if items.is_empty() {
+            fail(format!("empty {section} array"));
+        }
+        for item in items {
+            if item.get(key).and_then(|b| b.as_bool()) != Some(true) {
+                fail(format!(
+                    "Lemma 4.1 violation recorded in {section}: {item:?}"
+                ));
+            }
+            cases += 1;
+        }
+    }
+    println!("check passed: Lemma 4.1 holds in all {cases} recorded space cases");
+}
+
 fn main() {
     let args = parse_args();
     // The numbers below are only meaningful on the faults-disabled path; a
@@ -362,6 +403,8 @@ fn main() {
                 BASELINE_NOISE * 100.0
             );
         }
+
+        check_space_report("BENCH_space.json");
     }
 
     // Disabled observability must stay disabled: if any counter registered,
@@ -371,5 +414,12 @@ fn main() {
         !stint::obs::registry_initialized(),
         "observability registry initialized during a disabled-obs run \
          (an instrumented site bypassed the is_enabled gate)"
+    );
+    // Same for the space gauges specifically: every arena allocated and
+    // dropped above, yet with observability off no gauge may have recorded
+    // a byte (the snapshot is empty because nothing ever registered).
+    assert!(
+        stint::obs::gauges_snapshot().is_empty(),
+        "space gauges recorded bytes during a disabled-obs run"
     );
 }

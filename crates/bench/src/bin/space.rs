@@ -1,0 +1,367 @@
+//! `space` — the paper's space-overhead comparison, regenerated from the
+//! byte-accurate gauge telemetry (Section 5's memory discussion plus
+//! Lemma 4.1).
+//!
+//! For every benchmark × variant the binary runs one detection with
+//! observability on and reports, from the end-of-run `DetectorStats` and the
+//! gauge watermarks:
+//!
+//! * `ah_bytes` — heap bytes of the access history at run end (shadow pages
+//!   for the hash variants, interval-store arenas for STINT);
+//! * `coalesce_bytes` — the runtime-coalescing bit tables;
+//! * `shadow_hw` — watermark of the word+bit shadow gauges;
+//! * `peak_bytes` — sum of every `*.bytes` gauge watermark: the RSS proxy
+//!   (structures need not peak simultaneously, so this is an upper bound on
+//!   any single instant's tracked footprint);
+//! * the Lemma 4.1 numbers: `treap_len_hw` must stay within
+//!   `2*treap_inserts + k` for `k` interval stores.
+//!
+//! Per benchmark it then prints the paper's headline ratio — hash-variant
+//! shadow bytes over STINT's treap bytes — and runs one dedicated STINT
+//! detection whose read and write trees are checked *separately* against the
+//! exact per-store bound `len_hw <= 2*inserts + 1` (the merged stats can
+//! only support the weaker `+2` form).
+//!
+//! Flags: `--scale {test|s|m|paper}` (default `s`), `--bench NAME`,
+//! `--out PATH` (default `BENCH_space.json`). Any Lemma violation is a hard
+//! failure (exit 1) — `scripts/perfgate.sh --check` regenerates and gates
+//! this file.
+//!
+//! Build with `--features obs-alloc` to also record the counting-allocator
+//! watermark (`alloc_hw`) as process-level ground truth.
+
+use stint::{Config, IntervalStore, Outcome, Variant};
+use stint_bench::*;
+use stint_suite::{Scale, Workload, NAMES};
+
+#[cfg(feature = "obs-alloc")]
+#[global_allocator]
+static ALLOC: stint::obs::alloc_track::CountingAlloc = stint::obs::alloc_track::CountingAlloc;
+
+/// Unlike the timing figures, the space table also includes the B-tree
+/// interval store (`stint-btree`): its `bytes` column is the paper's "what
+/// if the treap were a flat ordered map" data point.
+const VARIANTS: [Variant; 5] = [
+    Variant::Vanilla,
+    Variant::Compiler,
+    Variant::CompRts,
+    Variant::Stint,
+    Variant::StintFlat,
+];
+
+struct Args {
+    scale: Scale,
+    out: String,
+    bench: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut a = Args {
+        scale: scale_from_args(),
+        out: "BENCH_space.json".to_string(),
+        bench: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                a.out = argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            "--bench" => {
+                a.bench = Some(argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--bench needs a workload name");
+                    std::process::exit(2);
+                }));
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    a
+}
+
+struct Row {
+    bench: &'static str,
+    variant: Variant,
+    outcome: Outcome,
+    shadow_hw: u64,
+    peak_bytes: u64,
+    alloc_hw: u64,
+}
+
+impl Row {
+    /// Merged-store Lemma 4.1 bound: two interval stores, `2m + 2`.
+    fn lemma_bound(&self) -> u64 {
+        2 * self.outcome.stats.treap_inserts + 2
+    }
+    fn lemma_ok(&self) -> bool {
+        self.outcome.stats.treap_len_hw <= self.lemma_bound()
+    }
+}
+
+/// Exact per-store Lemma 4.1 check for one benchmark: run STINT directly and
+/// read each tree's `OpStats` separately (`len_hw <= 2*inserts + 1`).
+struct LemmaCase {
+    bench: &'static str,
+    tree: &'static str,
+    inserts: u64,
+    len_hw: u64,
+}
+
+impl LemmaCase {
+    fn bound(&self) -> u64 {
+        2 * self.inserts + 1
+    }
+    fn ok(&self) -> bool {
+        self.len_hw <= self.bound()
+    }
+}
+
+fn run_cell(name: &'static str, scale: Scale, v: Variant) -> Row {
+    // Fresh watermarks per cell: everything from the previous cell has been
+    // dropped (gauges reconciled back to zero), so a reset only clears the
+    // high-water marks and the accumulated counters.
+    stint::obs::reset();
+    let mut w = Workload::by_name(name, scale);
+    let mut cfg = Config::new(v);
+    cfg.collect_racy_words = false;
+    let o = stint::detect_with(&mut w, cfg);
+    assert!(
+        o.report.is_race_free(),
+        "{name} reported races under {v} — benchmark or detector bug"
+    );
+    let mut shadow_hw = 0u64;
+    let mut peak_bytes = 0u64;
+    for (gname, _current, hw) in stint::obs::gauges_snapshot() {
+        if gname.ends_with("bytes") {
+            peak_bytes += hw;
+        }
+        if gname == "shadow.word_bytes" || gname == "shadow.bit_bytes" {
+            shadow_hw += hw;
+        }
+    }
+    #[cfg(feature = "obs-alloc")]
+    let alloc_hw = stint::obs::alloc_track::high_water_bytes();
+    #[cfg(not(feature = "obs-alloc"))]
+    let alloc_hw = 0u64;
+    Row {
+        bench: name,
+        variant: v,
+        outcome: o,
+        shadow_hw,
+        peak_bytes,
+        alloc_hw,
+    }
+}
+
+fn run_lemma_cases(bench: &'static str, scale: Scale) -> [LemmaCase; 2] {
+    stint::obs::reset();
+    let mut w = Workload::by_name(bench, scale);
+    let det = stint::StintDetector::new(stint::RaceReport::default());
+    let (ex, _) = stint::run_with_detector(&mut w, det);
+    let rs = ex.det.read_tree().stats();
+    let ws = ex.det.write_tree().stats();
+    [
+        LemmaCase {
+            bench,
+            tree: "read",
+            inserts: rs.inserts,
+            len_hw: rs.len_hw,
+        },
+        LemmaCase {
+            bench,
+            tree: "write",
+            inserts: ws.inserts,
+            len_hw: ws.len_hw,
+        },
+    ]
+}
+
+fn kib(b: u64) -> String {
+    format!("{:.1}", b as f64 / 1024.0)
+}
+
+fn write_json(
+    path: &str,
+    scale: Scale,
+    rows: &[Row],
+    lemma: &[LemmaCase],
+    ratios: &[(&'static str, f64)],
+) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"stint-space-v1\",\n");
+    j.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(scale)));
+    j.push_str(&format!(
+        "  \"obs_alloc\": {},\n",
+        cfg!(feature = "obs-alloc")
+    ));
+    j.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let s = &r.outcome.stats;
+        j.push_str(&format!(
+            concat!(
+                "    {{\"bench\": \"{}\", \"variant\": \"{}\", ",
+                "\"ah_bytes\": {}, \"coalesce_bytes\": {}, \"shadow_hw_bytes\": {}, ",
+                "\"peak_gauge_bytes\": {}, \"alloc_hw_bytes\": {}, ",
+                "\"treap_inserts\": {}, \"treap_len_hw\": {}, ",
+                "\"lemma_bound\": {}, \"lemma_ok\": {}}}{}\n",
+            ),
+            r.bench,
+            r.variant.name(),
+            s.ah_bytes,
+            s.coalesce_bytes,
+            r.shadow_hw,
+            r.peak_bytes,
+            r.alloc_hw,
+            s.treap_inserts,
+            s.treap_len_hw,
+            r.lemma_bound(),
+            r.lemma_ok(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"lemma_per_store\": [\n");
+    for (i, c) in lemma.iter().enumerate() {
+        j.push_str(&format!(
+            concat!(
+                "    {{\"bench\": \"{}\", \"tree\": \"{}\", \"inserts\": {}, ",
+                "\"len_hw\": {}, \"bound\": {}, \"ok\": {}}}{}\n",
+            ),
+            c.bench,
+            c.tree,
+            c.inserts,
+            c.len_hw,
+            c.bound(),
+            c.ok(),
+            if i + 1 < lemma.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"hash_shadow_over_treap\": {");
+    for (i, (bench, ratio)) in ratios.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"{bench}\": {ratio:.2}"));
+    }
+    j.push_str("}\n}\n");
+    std::fs::write(path, j).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+}
+
+fn main() {
+    let args = parse_args();
+    assert!(
+        !stint_faults::is_active(),
+        "the space study must run with no fault plan installed"
+    );
+    if let Some(b) = args.bench.as_deref() {
+        if !NAMES.contains(&b) {
+            eprintln!("--bench {b}: no such workload (have: {})", NAMES.join(", "));
+            std::process::exit(2);
+        }
+    }
+    // Counters + gauges only: spans and the sampler would add noise without
+    // adding bytes, and the watermarks are what this study reads.
+    stint::obs::enable(stint::obs::ObsConfig::COUNTERS);
+
+    println!(
+        "space — access-history bytes and gauge watermarks (scale={})",
+        scale_name(args.scale)
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut lemma: Vec<LemmaCase> = Vec::new();
+    for name in NAMES {
+        if args.bench.as_deref().is_some_and(|b| b != name) {
+            continue;
+        }
+        for v in VARIANTS {
+            rows.push(run_cell(name, args.scale, v));
+        }
+        lemma.extend(run_lemma_cases(name, args.scale));
+    }
+
+    let mut t = Table::new(vec![
+        "bench",
+        "variant",
+        "ah KiB",
+        "coalesce KiB",
+        "shadow hw KiB",
+        "peak KiB",
+        "len_hw",
+        "2m+2",
+        "lemma",
+    ]);
+    for r in &rows {
+        let s = &r.outcome.stats;
+        t.row(vec![
+            r.bench.to_string(),
+            r.variant.name().to_string(),
+            kib(s.ah_bytes),
+            kib(s.coalesce_bytes),
+            kib(r.shadow_hw),
+            kib(r.peak_bytes),
+            s.treap_len_hw.to_string(),
+            r.lemma_bound().to_string(),
+            if r.lemma_ok() { "ok" } else { "VIOLATED" }.to_string(),
+        ]);
+    }
+    t.print();
+
+    // The headline comparison: word-shadow footprint of the strongest hash
+    // variant over STINT's interval arenas, per benchmark.
+    let mut ratios: Vec<(&'static str, f64)> = Vec::new();
+    println!();
+    for name in NAMES {
+        let hash = rows
+            .iter()
+            .find(|r| r.bench == name && r.variant == Variant::Vanilla);
+        let treap = rows
+            .iter()
+            .find(|r| r.bench == name && r.variant == Variant::Stint);
+        if let (Some(h), Some(t)) = (hash, treap) {
+            let ratio = h.outcome.stats.ah_bytes as f64 / t.outcome.stats.ah_bytes.max(1) as f64;
+            println!(
+                "{name}: hash shadow {} KiB / treap {} KiB = {ratio:.2}x",
+                kib(h.outcome.stats.ah_bytes),
+                kib(t.outcome.stats.ah_bytes),
+            );
+            ratios.push((h.bench, ratio));
+        }
+    }
+
+    println!();
+    for c in &lemma {
+        println!(
+            "lemma 4.1 {} {} tree: len_hw {} <= 2*{}+1 = {} {}",
+            c.bench,
+            c.tree,
+            c.len_hw,
+            c.inserts,
+            c.bound(),
+            if c.ok() { "ok" } else { "VIOLATED" }
+        );
+    }
+
+    write_json(&args.out, args.scale, &rows, &lemma, &ratios);
+    println!("\nwrote {}", args.out);
+
+    let violations =
+        rows.iter().filter(|r| !r.lemma_ok()).count() + lemma.iter().filter(|c| !c.ok()).count();
+    if violations > 0 {
+        eprintln!("FAIL: {violations} Lemma 4.1 violation(s)");
+        std::process::exit(1);
+    }
+    println!("lemma 4.1 holds on every case");
+}

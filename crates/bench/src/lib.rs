@@ -9,6 +9,8 @@ use std::time::Duration;
 use stint::{Outcome, Variant};
 use stint_suite::{Scale, Workload};
 
+pub mod json;
+
 /// Parse `--scale X` from argv (default `S`).
 pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();

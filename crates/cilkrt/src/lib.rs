@@ -112,6 +112,7 @@ struct HeapJob<F: FnOnce() + Send> {
 
 impl<F: FnOnce() + Send> HeapJob<F> {
     fn into_job_ref(self: Box<Self>) -> JobRef {
+        OBS_JOB_BYTES.add(std::mem::size_of::<Self>() as u64);
         JobRef {
             ptr: Box::into_raw(self) as *mut (),
             exec: Self::execute,
@@ -120,6 +121,7 @@ impl<F: FnOnce() + Send> HeapJob<F> {
 
     unsafe fn execute(ptr: *mut ()) {
         let this = Box::from_raw(ptr as *mut Self);
+        OBS_JOB_BYTES.sub(std::mem::size_of::<Self>() as u64);
         (this.f)();
     }
 }
@@ -155,6 +157,13 @@ static OBS_STEALS: stint_obs::Counter = stint_obs::Counter::new("cilkrt.steals")
 static OBS_JOBS_INJECTED: stint_obs::Counter = stint_obs::Counter::new("cilkrt.jobs_injected");
 static OBS_WORKERS_SPAWNED: stint_obs::Counter = stint_obs::Counter::new("cilkrt.workers_spawned");
 static OBS_DEGRADATIONS: stint_obs::Counter = stint_obs::Counter::new("cilkrt.degradations");
+/// Live heap bytes held by injected [`HeapJob`]s (added at boxing, returned
+/// when the job executes and its box is reclaimed).
+static OBS_JOB_BYTES: stint_obs::Gauge = stint_obs::Gauge::new("cilkrt.job_bytes");
+/// Fixed footprint of live pools: shared state, stealer table and join
+/// handles (the deques' ring buffers are owned by worker threads and not
+/// visible here — this gauge is the pool-side estimate).
+static OBS_POOL_BYTES: stint_obs::Gauge = stint_obs::Gauge::new("cilkrt.pool_bytes");
 
 /// Log a degradation event to stderr, once per process (repeat events are
 /// counted silently — the first report tells the operator the run is
@@ -198,6 +207,8 @@ thread_local! {
 pub struct ThreadPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    /// Bytes last reported to the `cilkrt.pool_bytes` gauge.
+    owned_bytes: u64,
 }
 
 impl ThreadPool {
@@ -253,7 +264,28 @@ impl ThreadPool {
                 }
             ));
         }
-        ThreadPool { shared, handles }
+        let mut pool = ThreadPool {
+            shared,
+            handles,
+            owned_bytes: 0,
+        };
+        pool.note_mem();
+        pool
+    }
+
+    /// Estimated heap bytes held by the pool itself: the shared block, the
+    /// stealer table and the worker join handles.
+    pub fn heap_bytes(&self) -> u64 {
+        (std::mem::size_of::<Shared>()
+            + self.shared.stealers.capacity() * std::mem::size_of::<Stealer<JobRef>>()
+            + self.handles.capacity() * std::mem::size_of::<JoinHandle<()>>()) as u64
+    }
+
+    /// Publish the pool's footprint to the `cilkrt.pool_bytes` gauge (no-op
+    /// while obs is disabled).
+    fn note_mem(&mut self) {
+        let bytes = self.heap_bytes();
+        OBS_POOL_BYTES.reconcile(&mut self.owned_bytes, bytes);
     }
 
     /// Pool with one worker per available hardware thread.
@@ -392,6 +424,7 @@ impl Drop for ThreadPool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        OBS_POOL_BYTES.reconcile(&mut self.owned_bytes, 0);
     }
 }
 

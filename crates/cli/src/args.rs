@@ -32,14 +32,24 @@ GLOBAL OPTIONS (any command):
   --max-intervals N   interval-store budget (read + write trees); on
                       exhaustion detection degrades soundly and exits 3
   --obs SPEC          observability: off | counters | on | full |
-                      spans=off|sampled|full (comma-composed); also read
-                      from the STINT_OBS environment variable (flag wins)
-  --metrics-out PATH  after the run, write all counters/histograms as JSON
-                      (implies --obs on if observability is otherwise off)
-  --trace-out PATH    after the run, write recorded spans as Chrome
-                      trace_event JSON (load in chrome://tracing or Perfetto;
-                      implies --obs on)
-  --stats-json PATH   (detect) write the run's DetectorStats as JSON
+                      spans=off|sampled|full | sample=MS (comma-composed);
+                      also read from the STINT_OBS environment variable
+                      (flag wins); sample=MS starts the periodic memory
+                      sampler
+  --metrics-out PATH  after the run, write all counters/gauges/histograms as
+                      JSON (implies --obs on if observability is otherwise
+                      off); PATH '-' writes to stdout
+  --trace-out PATH    after the run, write recorded spans and gauge counter
+                      tracks as Chrome trace_event JSON (load in
+                      chrome://tracing or Perfetto; implies --obs on);
+                      PATH '-' writes to stdout
+  --mem-series-out PATH
+                      after the run, write the sampled gauge time series as
+                      JSON (implies --obs on with a 10 ms sample interval
+                      unless --obs sample=MS chose one); PATH '-' writes to
+                      stdout
+  --stats-json PATH   (detect) write the run's DetectorStats as JSON,
+                      including a process-wide gauge watermark snapshot
 
 EXIT CODE: 0 = no races, 1 = races found, 2 = usage/IO error,
            3 = detector resource budget exhausted (report sound up to the
@@ -58,6 +68,7 @@ pub struct RunOpts {
     pub obs: Option<Option<ObsConfig>>,
     pub metrics_out: Option<String>,
     pub trace_out: Option<String>,
+    pub mem_series_out: Option<String>,
     pub stats_json: Option<String>,
 }
 
@@ -188,6 +199,10 @@ fn extract_run_opts(argv: &[String]) -> Result<(Vec<String>, RunOpts), String> {
             }
             "--trace-out" => {
                 opts.trace_out = Some(take_value("--trace-out")?);
+                i += 2;
+            }
+            "--mem-series-out" => {
+                opts.mem_series_out = Some(take_value("--mem-series-out")?);
                 i += 2;
             }
             "--stats-json" => {
@@ -441,6 +456,8 @@ mod tests {
             "/tmp/m.json",
             "--trace-out",
             "/tmp/t.json",
+            "--mem-series-out",
+            "-",
             "--stats-json",
             "/tmp/s.json",
         ]))
@@ -448,11 +465,13 @@ mod tests {
         assert_eq!(
             opts.obs,
             Some(Some(ObsConfig {
-                spans: stint::obs::SpanMode::Full
+                spans: stint::obs::SpanMode::Full,
+                sample_ms: None,
             }))
         );
         assert_eq!(opts.metrics_out.as_deref(), Some("/tmp/m.json"));
         assert_eq!(opts.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(opts.mem_series_out.as_deref(), Some("-"));
         assert_eq!(opts.stats_json.as_deref(), Some("/tmp/s.json"));
         // Explicit off round-trips as Some(None).
         let (_, opts) = parse(&v(&["bugs", "--obs", "off"])).unwrap();

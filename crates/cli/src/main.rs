@@ -109,12 +109,26 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     match &opts.obs {
-        Some(Some(cfg)) => stint::obs::enable(*cfg),
+        Some(Some(cfg)) => {
+            let mut cfg = *cfg;
+            // --mem-series-out needs the sampler; default its interval when
+            // the spec didn't pick one.
+            if opts.mem_series_out.is_some() && cfg.sample_ms.is_none() {
+                cfg.sample_ms = Some(10);
+            }
+            stint::obs::enable(cfg);
+        }
         Some(None) => stint::obs::disable(),
         None => {
-            if (opts.metrics_out.is_some() || opts.trace_out.is_some()) && !stint::obs::is_enabled()
-            {
-                stint::obs::enable(stint::obs::ObsConfig::default());
+            let wants_obs = opts.metrics_out.is_some()
+                || opts.trace_out.is_some()
+                || opts.mem_series_out.is_some();
+            if wants_obs && !stint::obs::is_enabled() {
+                let mut cfg = stint::obs::ObsConfig::default();
+                if opts.mem_series_out.is_some() {
+                    cfg.sample_ms = Some(10);
+                }
+                stint::obs::enable(cfg);
             }
         }
     }
@@ -144,16 +158,32 @@ fn main() -> ExitCode {
     }
 }
 
-/// Write `--metrics-out` / `--trace-out` files, if requested.
+/// Writer for an export path; `-` means stdout.
+fn out_writer(path: &str) -> Result<Box<dyn std::io::Write>, String> {
+    if path == "-" {
+        Ok(Box::new(BufWriter::new(std::io::stdout())))
+    } else {
+        let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        Ok(Box::new(BufWriter::new(f)))
+    }
+}
+
+/// Write `--metrics-out` / `--trace-out` / `--mem-series-out` files, if
+/// requested. A path of `-` streams to stdout.
 fn write_obs_outputs(opts: &RunOpts) -> Result<(), String> {
     if let Some(path) = &opts.metrics_out {
-        let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-        stint::obs::write_metrics_json(BufWriter::new(f))
+        stint::obs::write_metrics_json(out_writer(path)?)
             .map_err(|e| format!("write {path}: {e}"))?;
     }
     if let Some(path) = &opts.trace_out {
-        let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-        stint::obs::write_trace_json(BufWriter::new(f))
+        stint::obs::write_trace_json(out_writer(path)?)
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.mem_series_out {
+        // Always close the series with one final snapshot so even a run
+        // shorter than the sample interval yields a non-empty series.
+        stint::obs::sampler::sample_now();
+        stint::obs::write_mem_series_json(out_writer(path)?)
             .map_err(|e| format!("write {path}: {e}"))?;
     }
     Ok(())

@@ -58,12 +58,15 @@ pub fn print_report(report: &RaceReport, max: usize) {
 /// Write the run(s) of one `detect` invocation as JSON. The per-run `stats`
 /// object is generated from [`stint::DetectorStats::fields`] — the same
 /// source the observability registry is fed from — so this dump, the figure
-/// tables and `--metrics-out` can never disagree.
+/// tables and `--metrics-out` can never disagree. `gauges` is the
+/// process-wide space-gauge snapshot (current value and high watermark) at
+/// dump time; it is empty when observability is off.
 ///
 /// ```json
 /// {
 ///   "schema": "stint-stats-v1",
 ///   "bench": "fft",
+///   "gauges": { "ivtree.bytes": { "current": 0, "hw": 4096 } },
 ///   "runs": [ { "variant": "STINT", "wall_ns": 1, "ah_time_ns": 0,
 ///               "strands": 3, "spawns": 1, "syncs": 1, "races": 0,
 ///               "racy_words": 0, "degraded": null,
@@ -78,6 +81,17 @@ pub fn write_stats_json(path: &str, bench: &str, outcomes: &[Outcome]) -> Result
         writeln!(w, "{{")?;
         writeln!(w, "  \"schema\": \"stint-stats-v1\",")?;
         writeln!(w, "  \"bench\": \"{}\",", json_escape(bench))?;
+        let gauges = stint::obs::gauges_snapshot();
+        writeln!(w, "  \"gauges\": {{")?;
+        for (i, (name, current, hw)) in gauges.iter().enumerate() {
+            let comma = if i + 1 < gauges.len() { "," } else { "" };
+            writeln!(
+                w,
+                "    \"{}\": {{ \"current\": {current}, \"hw\": {hw} }}{comma}",
+                json_escape(name)
+            )?;
+        }
+        writeln!(w, "  }},")?;
         writeln!(w, "  \"runs\": [")?;
         for (i, o) in outcomes.iter().enumerate() {
             writeln!(w, "    {{")?;

@@ -196,6 +196,8 @@ impl<R: Reachability> Detector<R> for CompRtsDetector {
         self.stats.page_batches = self.shadow.batches;
         self.stats.page_batch_words = self.shadow.batched_words;
         self.stats.hook_filter_hits = self.read_filter.hits + self.write_filter.hits;
+        self.stats.ah_bytes = self.shadow.heap_bytes();
+        self.stats.coalesce_bytes = self.reads.heap_bytes() + self.writes.heap_bytes();
     }
 
     fn failure(&self) -> Option<DetectorError> {

@@ -64,6 +64,20 @@ pub struct DetectorStats {
     /// Words covered by those runs (`page_batch_words / page_batches` is the
     /// mean number of words served per page-table resolution).
     pub page_batch_words: u64,
+    /// Heap bytes held by the access history at the end of the run — shadow
+    /// pages for the hash variants, interval-store arenas for STINT. The
+    /// paper's space-overhead comparison divides the hash variants' value by
+    /// STINT's.
+    pub ah_bytes: u64,
+    /// Heap bytes of the runtime-coalescing bit tables (zero for variants
+    /// without runtime coalescing).
+    pub coalesce_bytes: u64,
+    /// Interval-store insert operations (Lemma 4.1's `m`, summed over the
+    /// read and write trees).
+    pub treap_inserts: u64,
+    /// Peak intervals stored at once, summed over the read and write trees
+    /// (per Lemma 4.1, `treap_len_hw <= 2*treap_inserts + 2`).
+    pub treap_len_hw: u64,
 }
 
 impl DetectorStats {
@@ -96,7 +110,7 @@ impl DetectorStats {
     /// both consume, so the figure tables and the metrics stream can never
     /// disagree on a statistic. `ah_time` is a `Duration` and is reported
     /// separately (as nanoseconds) by callers that want it.
-    pub fn fields(&self) -> [(&'static str, u64); 21] {
+    pub fn fields(&self) -> [(&'static str, u64); 25] {
         [
             ("detector.read_hooks", self.read.hooks),
             ("detector.read_hook_bytes", self.read.hook_bytes),
@@ -119,6 +133,10 @@ impl DetectorStats {
             ("detector.hook_filter_hits", self.hook_filter_hits),
             ("detector.page_batches", self.page_batches),
             ("detector.page_batch_words", self.page_batch_words),
+            ("detector.ah_bytes", self.ah_bytes),
+            ("detector.coalesce_bytes", self.coalesce_bytes),
+            ("detector.treap_inserts", self.treap_inserts),
+            ("detector.treap_len_hw", self.treap_len_hw),
         ]
     }
 }

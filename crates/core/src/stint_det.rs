@@ -336,6 +336,10 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
         self.stats.reach_misses = self.cache.misses;
         self.stats.reach_flushes = self.cache.flushes;
         self.stats.hook_filter_hits = self.read_filter.hits + self.write_filter.hits;
+        self.stats.ah_bytes = t.bytes;
+        self.stats.coalesce_bytes = self.reads.heap_bytes() + self.writes.heap_bytes();
+        self.stats.treap_inserts = t.inserts;
+        self.stats.treap_len_hw = t.len_hw;
     }
 
     fn failure(&self) -> Option<DetectorError> {

@@ -229,6 +229,7 @@ impl<R: Reachability> Detector<R> for VanillaDetector {
         self.stats.reach_flushes = self.cache.flushes;
         self.stats.page_batches = self.shadow.batches;
         self.stats.page_batch_words = self.shadow.batched_words;
+        self.stats.ah_bytes = self.shadow.heap_bytes();
     }
 
     fn failure(&self) -> Option<DetectorError> {

@@ -20,6 +20,8 @@ pub struct FlatStore<A> {
     map: BTreeMap<u64, (u64, A)>,
     stats: OpStats,
     inserts: u64,
+    /// Most intervals ever stored at once (Lemma 4.1 watermark).
+    len_hw: usize,
     /// Scratch buffer reused across operations.
     scratch: Vec<(u64, u64, A)>,
 }
@@ -36,6 +38,7 @@ impl<A: Copy> FlatStore<A> {
             map: BTreeMap::new(),
             stats: OpStats::default(),
             inserts: 0,
+            len_hw: 0,
             scratch: Vec::new(),
         }
     }
@@ -43,6 +46,20 @@ impl<A: Copy> FlatStore<A> {
     /// Total insert operations performed.
     pub fn insert_ops(&self) -> u64 {
         self.inserts
+    }
+
+    /// Most intervals ever stored at once (`<= 2*insert_ops() + 1`).
+    pub fn len_high_water(&self) -> usize {
+        self.len_hw
+    }
+
+    /// Estimated heap bytes. `BTreeMap` exposes no capacity, so this scales
+    /// the entry payload by 3/2 — leaves hold up to 11 entries and average
+    /// roughly two-thirds full — and adds the scratch buffer exactly.
+    pub fn approx_bytes(&self) -> u64 {
+        let per = std::mem::size_of::<u64>() + std::mem::size_of::<(u64, A)>();
+        (self.map.len() * per * 3 / 2
+            + self.scratch.capacity() * std::mem::size_of::<(u64, u64, A)>()) as u64
     }
 
     /// Collect `(start, end, who)` of stored intervals overlapping `[lo, hi)`
@@ -80,6 +97,7 @@ impl<A: Copy> IntervalStore<A> for FlatStore<A> {
         }
         self.map.insert(x.start, (x.end, x.who));
         self.scratch = ov;
+        self.len_hw = self.len_hw.max(self.map.len());
     }
 
     fn insert_read(&mut self, x: Interval<A>, mut is_new_left_of: impl FnMut(A) -> bool) {
@@ -114,6 +132,7 @@ impl<A: Copy> IntervalStore<A> for FlatStore<A> {
             self.map.insert(cur, (x.end, x.who));
         }
         self.scratch = ov;
+        self.len_hw = self.len_hw.max(self.map.len());
     }
 
     fn query_overlaps(&mut self, lo: u64, hi: u64, mut f: impl FnMut(A, u64, u64)) {
@@ -145,7 +164,11 @@ impl<A: Copy> IntervalStore<A> for FlatStore<A> {
     }
 
     fn stats(&self) -> OpStats {
-        self.stats
+        let mut s = self.stats;
+        s.inserts = self.inserts;
+        s.len_hw = self.len_hw as u64;
+        s.bytes = self.approx_bytes();
+        s
     }
 }
 

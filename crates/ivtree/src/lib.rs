@@ -86,6 +86,14 @@ pub struct OpStats {
     pub visited: u64,
     /// Overlapping stored intervals encountered across all operations.
     pub overlaps: u64,
+    /// Top-level insert operations (Lemma 4.1's `m`).
+    pub inserts: u64,
+    /// Most intervals stored at once. Per store Lemma 4.1 bounds this by
+    /// `2*inserts + 1`; a merge of `k` stores is bounded by `2*inserts + k`.
+    pub len_hw: u64,
+    /// Heap bytes held by the store when stats were collected (exact for the
+    /// treap arena, an occupancy estimate for the B-tree reference store).
+    pub bytes: u64,
 }
 
 impl OpStats {
@@ -107,6 +115,9 @@ impl OpStats {
         self.ops += o.ops;
         self.visited += o.visited;
         self.overlaps += o.overlaps;
+        self.inserts += o.inserts;
+        self.len_hw += o.len_hw;
+        self.bytes += o.bytes;
     }
 }
 

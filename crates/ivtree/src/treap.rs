@@ -23,7 +23,8 @@ const NIL: u32 = u32::MAX;
 static OBS_INSERTS: stint_obs::Counter = stint_obs::Counter::new("ivtree.inserts");
 static OBS_QUERIES: stint_obs::Counter = stint_obs::Counter::new("ivtree.queries");
 static OBS_ROTATIONS: stint_obs::Counter = stint_obs::Counter::new("ivtree.rotations");
-static OBS_NODES_HW: stint_obs::Counter = stint_obs::Counter::new("ivtree.nodes_high_water");
+static OBS_NODES: stint_obs::Gauge = stint_obs::Gauge::new("ivtree.nodes");
+static OBS_BYTES: stint_obs::Gauge = stint_obs::Gauge::new("ivtree.bytes");
 static OBS_OP_VISITED: stint_obs::Histogram = stint_obs::Histogram::new("ivtree.op_visited");
 static OBS_DEPTH: stint_obs::Histogram = stint_obs::Histogram::new("ivtree.depth");
 
@@ -63,9 +64,18 @@ pub struct Treap<A> {
     /// degradation machinery is exercised with pathological depth.
     degenerate: bool,
     len: usize,
+    /// Most intervals ever stored at once (Lemma 4.1 watermark).
+    len_hw: usize,
     stats: OpStats,
     /// Total top-level insert operations (for the Lemma 4.1 bound check).
     inserts: u64,
+    /// Arena slot budget: allocation past this raises
+    /// [`stint_faults::DetectorError::ResourceExhausted`].
+    node_cap: u32,
+    /// Heap bytes last reported to the `ivtree.bytes`/`ivtree.nodes` gauges
+    /// (zero while obs is disabled — `Gauge::reconcile` no-ops).
+    owned_bytes: u64,
+    owned_nodes: u64,
 }
 
 impl<A: Copy> Default for Treap<A> {
@@ -91,8 +101,12 @@ impl<A: Copy> Treap<A> {
             },
             degenerate: stint_faults::is_active() && stint_faults::treap_degenerate(),
             len: 0,
+            len_hw: 0,
             stats: OpStats::default(),
             inserts: 0,
+            node_cap: NIL,
+            owned_bytes: 0,
+            owned_nodes: 0,
         }
     }
 
@@ -103,6 +117,36 @@ impl<A: Copy> Treap<A> {
     /// Total insert operations performed (Lemma 4.1: `len() <= 2*inserts+1`).
     pub fn insert_ops(&self) -> u64 {
         self.inserts
+    }
+
+    /// Most intervals ever stored at once. Lemma 4.1 bounds the watermark
+    /// too: every stored interval was produced by some insert, so
+    /// `len_high_water() <= 2*insert_ops() + 1` at all times.
+    pub fn len_high_water(&self) -> usize {
+        self.len_hw
+    }
+
+    /// Cap the node arena at `cap` slots; allocating past it raises the
+    /// structured [`stint_faults::DetectorError::ResourceExhausted`] error
+    /// instead of aborting, so budget exhaustion stays a clean exit-3.
+    pub fn set_node_cap(&mut self, cap: usize) {
+        self.node_cap = cap.min(NIL as usize) as u32;
+    }
+
+    /// Heap bytes currently owned by the arena (node slab + free list).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.nodes.capacity() * std::mem::size_of::<Node<A>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Publish the arena's live footprint to the `ivtree.*` gauges.
+    /// `Gauge::reconcile` is a no-op while obs is disabled, leaving the
+    /// `owned_*` shadows untouched so a mid-life enable can't underflow.
+    #[inline]
+    fn note_mem(&mut self) {
+        let (len, bytes) = (self.len as u64, self.heap_bytes());
+        OBS_NODES.reconcile(&mut self.owned_nodes, len);
+        OBS_BYTES.reconcile(&mut self.owned_bytes, bytes);
     }
 
     #[inline]
@@ -125,7 +169,7 @@ impl<A: Copy> Treap<A> {
     #[inline]
     fn alloc(&mut self, iv: Interval<A>, prio: u64) -> u32 {
         self.len += 1;
-        OBS_NODES_HW.record_max(self.len as u64);
+        self.len_hw = self.len_hw.max(self.len);
         let node = Node {
             start: iv.start,
             end: iv.end,
@@ -134,21 +178,41 @@ impl<A: Copy> Treap<A> {
             left: NIL,
             right: NIL,
         };
-        if let Some(i) = self.free.pop() {
+        let slot = if let Some(i) = self.free.pop() {
             self.nodes[i as usize] = node;
             i
         } else {
             let i = self.nodes.len() as u32;
-            assert!(i != NIL, "treap capacity exceeded");
+            if i >= self.node_cap {
+                self.exhausted();
+            }
             self.nodes.push(node);
             i
+        };
+        self.note_mem();
+        slot
+    }
+
+    /// Arena slots ran out (either the configured [`Self::set_node_cap`]
+    /// budget or the u32 index space). Raise the structured resource error —
+    /// the detector's panic boundary converts it into a graceful exit-3.
+    #[cold]
+    #[inline(never)]
+    fn exhausted(&self) -> ! {
+        stint_obs::event("fault.intervals_exhausted");
+        stint_faults::DetectorError::ResourceExhausted {
+            resource: stint_faults::Resource::Intervals,
+            limit: self.node_cap as u64,
+            at_word: None,
         }
+        .raise()
     }
 
     #[inline]
     fn dealloc(&mut self, t: u32) {
         self.len -= 1;
         self.free.push(t);
+        self.note_mem();
     }
 
     #[inline]
@@ -590,6 +654,14 @@ impl<A: Copy> Treap<A> {
     }
 }
 
+impl<A> Drop for Treap<A> {
+    fn drop(&mut self) {
+        // Return the arena's footprint to the gauges (no-op while disabled).
+        OBS_NODES.reconcile(&mut self.owned_nodes, 0);
+        OBS_BYTES.reconcile(&mut self.owned_bytes, 0);
+    }
+}
+
 impl<A: Copy> IntervalStore<A> for Treap<A> {
     fn insert_write(&mut self, x: Interval<A>, mut conflict: impl FnMut(A, u64, u64)) {
         debug_assert!(x.start < x.end);
@@ -641,7 +713,11 @@ impl<A: Copy> IntervalStore<A> for Treap<A> {
         if stint_obs::is_enabled() && self.len > 0 {
             OBS_DEPTH.observe(self.height() as u64);
         }
-        self.stats
+        let mut s = self.stats;
+        s.inserts = self.inserts;
+        s.len_hw = self.len_hw as u64;
+        s.bytes = self.heap_bytes();
+        s
     }
 }
 

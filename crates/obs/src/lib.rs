@@ -7,8 +7,12 @@
 //!
 //! * **Counters** ([`Counter`]) — named monotonic `u64`s declared as
 //!   `static`s per crate (`om.relabels`, `ivtree.rotations`, …).
-//!   [`Counter::record_max`] turns the same primitive into a high-water
-//!   gauge (`ivtree.nodes_high_water`).
+//! * **Gauges** ([`Gauge`]) — current value plus high watermark for
+//!   quantities that go both up and down, chiefly live byte accounting
+//!   (`ivtree.bytes`, `shadow.word_bytes`, …). [`Gauge::reconcile`] is the
+//!   arena pattern: owners track the bytes they last reported and publish
+//!   deltas, so the gauge stays exact across reallocation and drop. A
+//!   periodic [`sampler`] snapshots every gauge into a time series.
 //! * **Histograms** ([`Histogram`]) — log2-bucketed value distributions
 //!   (relabel widths, per-op nodes visited).
 //! * **Spans** ([`span`]) — lightweight start/stop timing with thread-local
@@ -71,16 +75,22 @@ pub const SAMPLE_PERIOD: u32 = 64;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ObsConfig {
     pub spans: SpanMode,
+    /// Periodic gauge-snapshot interval in milliseconds (`None` = sampler
+    /// off). Set via the `sample=N` spec key; snapshots feed the memory
+    /// time-series exporter and the Perfetto counter track.
+    pub sample_ms: Option<u64>,
 }
 
 impl ObsConfig {
     /// Counters only, spans off.
     pub const COUNTERS: ObsConfig = ObsConfig {
         spans: SpanMode::Off,
+        sample_ms: None,
     };
     /// Counters plus full (every-span) tracing.
     pub const FULL: ObsConfig = ObsConfig {
         spans: SpanMode::Full,
+        sample_ms: None,
     };
 
     /// Parse an `STINT_OBS` / `--obs` spec. Returns `Ok(None)` when the spec
@@ -93,6 +103,7 @@ impl ObsConfig {
     /// | `counters` | counters only, spans off |
     /// | `full` | counters + every span recorded |
     /// | `spans=off\|sampled\|full` | counters + explicit span mode |
+    /// | `sample=N` | counters + gauge snapshots every `N` ms (`0` = off) |
     ///
     /// Comma-separated parts compose (`counters,spans=full` ≡ `full`); the
     /// last span setting wins. Unknown keys are errors (surfaced as CLI
@@ -126,6 +137,14 @@ impl ObsConfig {
                             "full" => SpanMode::Full,
                             other => return Err(format!("unknown span mode {other:?}")),
                         };
+                    }
+                    Some(("sample", v)) => {
+                        enabled = true;
+                        let ms: u64 = v
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad sample interval {v:?}"))?;
+                        cfg.sample_ms = (ms > 0).then_some(ms);
                     }
                     _ => return Err(format!("unknown obs setting {part:?}")),
                 },
@@ -169,12 +188,18 @@ pub fn enable(cfg: ObsConfig) {
         SpanMode::Full => 2,
     };
     SPAN_MODE.store(mode, Ordering::Relaxed);
+    sampler::set_interval_ms(cfg.sample_ms.unwrap_or(0));
     ENABLED.store(true, Ordering::Release);
+    if cfg.sample_ms.is_some() {
+        sampler::start();
+    }
 }
 
 /// Back to the zero-cost disabled state. Already-recorded data stays in the
-/// registry (exporters still see it); nothing new is recorded.
+/// registry (exporters still see it); nothing new is recorded. A running
+/// sampler thread notices and exits on its next wakeup.
 pub fn disable() {
+    sampler::set_interval_ms(0);
     ENABLED.store(false, Ordering::Release);
 }
 
@@ -213,13 +238,25 @@ struct SpanRec {
     instant: bool,
 }
 
+/// One periodic gauge snapshot taken by the [`sampler`].
+#[derive(Clone, Debug)]
+struct Snapshot {
+    /// Nanoseconds since the registry epoch (the span time origin).
+    t_ns: u64,
+    /// `(gauge name, current value)` pairs at snapshot time.
+    values: Vec<(&'static str, u64)>,
+}
+
 struct Registry {
     counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
     histograms: Vec<&'static Histogram>,
     /// Late-bound named values (e.g. `DetectorStats` published at the end of
     /// a run) that have no static `Counter` declaration.
     named: BTreeMap<&'static str, u64>,
     spans: Vec<SpanRec>,
+    /// Periodic gauge snapshots (memory time series).
+    samples: Vec<Snapshot>,
     /// Process time origin for span timestamps, fixed at first registry use.
     epoch: Instant,
 }
@@ -231,9 +268,11 @@ fn registry() -> MutexGuard<'static, Registry> {
         .get_or_init(|| {
             Mutex::new(Registry {
                 counters: Vec::new(),
+                gauges: Vec::new(),
                 histograms: Vec::new(),
                 named: BTreeMap::new(),
                 spans: Vec::new(),
+                samples: Vec::new(),
                 epoch: Instant::now(),
             })
         })
@@ -271,6 +310,10 @@ pub fn reset() {
     for c in &reg.counters {
         c.value.store(0, Ordering::Relaxed);
     }
+    for g in &reg.gauges {
+        g.value.store(0, Ordering::Relaxed);
+        g.hw.store(0, Ordering::Relaxed);
+    }
     for h in &reg.histograms {
         h.count.store(0, Ordering::Relaxed);
         h.sum.store(0, Ordering::Relaxed);
@@ -280,6 +323,7 @@ pub fn reset() {
     }
     reg.named.clear();
     reg.spans.clear();
+    reg.samples.clear();
     reg.epoch = Instant::now();
 }
 
@@ -363,6 +407,136 @@ impl Counter {
             reg.counters.push(self);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// A named up-down gauge with a high watermark — the primitive for "bytes
+/// currently held" accounting. Same lazily-self-registering statics and
+/// one-relaxed-load disabled path as [`Counter`]; unlike a counter, a gauge
+/// can go down, and its peak is tracked separately so currents and
+/// watermarks are never conflated in the metrics export:
+///
+/// ```
+/// static BYTES: stint_obs::Gauge = stint_obs::Gauge::new("test.doc_bytes");
+/// let _scope = stint_obs::ScopedObs::enable(stint_obs::ObsConfig::COUNTERS);
+/// BYTES.add(4096);
+/// BYTES.sub(1024);
+/// assert_eq!(BYTES.get(), 3072);
+/// assert_eq!(BYTES.high_water(), 4096);
+/// ```
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    hw: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+            hw: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current value (0 until first enabled touch).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever reached (0 until first enabled touch).
+    pub fn high_water(&self) -> u64 {
+        self.hw.load(Ordering::Relaxed)
+    }
+
+    /// Raise the gauge by `n` and push the watermark. No-op (one relaxed
+    /// load) while disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !is_enabled() {
+            return;
+        }
+        self.register();
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.hw.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lower the gauge by `n`, saturating at zero (an enable mid-lifetime
+    /// can observe a release without its matching acquire). No-op (one
+    /// relaxed load) while disabled.
+    #[inline]
+    pub fn sub(&'static self, n: u64) {
+        if !is_enabled() {
+            return;
+        }
+        self.register();
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Reconcile an instance-local accounted size with the gauge: `*owned`
+    /// holds the bytes this instance last reported; the difference to `now`
+    /// is added to / subtracted from the gauge and `*owned` becomes `now`.
+    /// This is the one-line pattern every arena uses after a growth step
+    /// (and in `Drop` with `now = 0`). No-op while disabled — `*owned` is
+    /// then left untouched, so a later enabled drop cannot underflow.
+    #[inline]
+    pub fn reconcile(&'static self, owned: &mut u64, now: u64) {
+        if !is_enabled() {
+            return;
+        }
+        let old = *owned;
+        *owned = now;
+        if now > old {
+            self.add(now - old);
+        } else if old > now {
+            self.sub(old - now);
+        }
+    }
+
+    #[inline]
+    fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        let mut reg = registry();
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            reg.gauges.push(self);
+        }
+    }
+}
+
+/// Snapshot every registered gauge as `(name, current, high_water)` triples,
+/// sorted by name. Empty — without initializing the registry — when nothing
+/// has registered (in particular whenever observability was never enabled).
+pub fn gauges_snapshot() -> Vec<(&'static str, u64, u64)> {
+    if REGISTRY.get().is_none() {
+        return Vec::new();
+    }
+    let reg = registry();
+    let mut rows: Vec<(&'static str, u64, u64)> = reg
+        .gauges
+        .iter()
+        .map(|g| (g.name, g.get(), g.high_water()))
+        .collect();
+    rows.sort_by_key(|(name, ..)| *name);
+    rows
 }
 
 // ---------------------------------------------------------------------------
@@ -580,6 +754,93 @@ pub fn event(name: &'static str) {
 }
 
 // ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+/// Periodic gauge-snapshot sampler.
+///
+/// When [`ObsConfig::sample_ms`] is set, [`enable`] starts one background
+/// thread that calls [`sampler::sample_now`] on the configured interval.
+/// Each snapshot records every registered gauge's current value against the
+/// registry epoch (the same time origin spans use), building the memory
+/// time series exported by [`write_mem_series_json`] and merged into the
+/// Perfetto trace as `counter`-phase events by [`write_trace_json`]. The
+/// thread exits on [`disable`] (or when the interval is set to 0) at its
+/// next wakeup; sampling threads never outlive an enabled configuration by
+/// more than one interval.
+pub mod sampler {
+    use super::*;
+    use std::time::Duration;
+
+    /// Interval in ms; 0 means the sampler is off (thread exits).
+    static INTERVAL_MS: AtomicU64 = AtomicU64::new(0);
+    /// True while a sampler thread is alive (spawn guard).
+    static RUNNING: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn set_interval_ms(ms: u64) {
+        INTERVAL_MS.store(ms, Ordering::Relaxed);
+    }
+
+    /// The configured snapshot interval, if sampling is on.
+    pub fn interval_ms() -> Option<u64> {
+        match INTERVAL_MS.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(ms),
+        }
+    }
+
+    /// Take one gauge snapshot right now (the sampler thread's body; also
+    /// callable directly, e.g. by tests or at run boundaries, so a series
+    /// exists even when the run is shorter than one interval).
+    pub fn sample_now() {
+        if !is_enabled() {
+            return;
+        }
+        let mut reg = registry();
+        let t_ns = reg.epoch.elapsed().as_nanos() as u64;
+        #[allow(unused_mut)]
+        let mut values: Vec<(&'static str, u64)> =
+            reg.gauges.iter().map(|g| (g.name, g.get())).collect();
+        #[cfg(feature = "obs-alloc")]
+        values.push(("process.alloc_bytes", crate::alloc_track::live_bytes()));
+        values.sort_by_key(|(name, _)| *name);
+        reg.samples.push(Snapshot { t_ns, values });
+    }
+
+    /// Number of snapshots recorded so far.
+    pub fn samples_recorded() -> usize {
+        if REGISTRY.get().is_none() {
+            return 0;
+        }
+        registry().samples.len()
+    }
+
+    pub(crate) fn start() {
+        if RUNNING.swap(true, Ordering::AcqRel) {
+            return; // a sampler thread is already alive
+        }
+        let spawned = std::thread::Builder::new()
+            .name("stint-obs-sampler".into())
+            .spawn(|| {
+                loop {
+                    let ms = INTERVAL_MS.load(Ordering::Relaxed);
+                    if ms == 0 || !is_enabled() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(ms));
+                    sample_now();
+                }
+                RUNNING.store(false, Ordering::Release);
+            });
+        if spawned.is_err() {
+            // Thread spawn failure degrades to no sampling; callers can
+            // still `sample_now` manually.
+            RUNNING.store(false, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Exporters
 // ---------------------------------------------------------------------------
 
@@ -605,6 +866,7 @@ pub fn json_escape(s: &str) -> String {
 /// {
 ///   "schema": "stint-obs-metrics-v1",
 ///   "counters": { "om.relabels": 3, ... },
+///   "gauges": { "ivtree.bytes": { "current": 0, "hw": 8192 }, ... },
 ///   "histograms": {
 ///     "ivtree.op_visited": {
 ///       "count": 10, "sum": 57,
@@ -623,15 +885,21 @@ pub fn write_metrics_json<W: Write>(mut w: W) -> std::io::Result<()> {
     type HistRow = (&'static str, u64, u64, Vec<(usize, u64)>);
     flush_thread_spans();
     // Snapshot under the lock, format outside it.
-    let (counters, histograms, span_count) = {
+    let (counters, gauges, histograms, span_count) = {
         if REGISTRY.get().is_none() {
-            (BTreeMap::new(), Vec::new(), 0)
+            (BTreeMap::new(), Vec::new(), Vec::new(), 0)
         } else {
             let reg = registry();
             let mut counters: BTreeMap<&'static str, u64> = reg.named.clone();
             for c in &reg.counters {
                 *counters.entry(c.name).or_insert(0) += c.get();
             }
+            let mut gauges: Vec<(&'static str, u64, u64)> = reg
+                .gauges
+                .iter()
+                .map(|g| (g.name, g.get(), g.high_water()))
+                .collect();
+            gauges.sort_by_key(|(name, ..)| *name);
             let mut histograms: Vec<HistRow> = reg
                 .histograms
                 .iter()
@@ -649,7 +917,7 @@ pub fn write_metrics_json<W: Write>(mut w: W) -> std::io::Result<()> {
                 })
                 .collect();
             histograms.sort_by_key(|(name, ..)| *name);
-            (counters, histograms, reg.spans.len())
+            (counters, gauges, histograms, reg.spans.len())
         }
     };
     writeln!(w, "{{")?;
@@ -662,6 +930,23 @@ pub fn write_metrics_json<W: Write>(mut w: W) -> std::io::Result<()> {
         }
         first = false;
         write!(w, "    \"{}\": {v}", json_escape(name))?;
+    }
+    if !first {
+        writeln!(w)?;
+    }
+    writeln!(w, "  }},")?;
+    writeln!(w, "  \"gauges\": {{")?;
+    let mut first = true;
+    for (name, cur, hw) in &gauges {
+        if !first {
+            writeln!(w, ",")?;
+        }
+        first = false;
+        write!(
+            w,
+            "    \"{}\": {{ \"current\": {cur}, \"hw\": {hw} }}",
+            json_escape(name)
+        )?;
     }
     if !first {
         writeln!(w)?;
@@ -704,35 +989,62 @@ pub fn metrics_json() -> String {
 
 /// Serialize recorded spans in Chrome/Perfetto `trace_event` JSON: an array
 /// of complete (`"ph": "X"`, with `ts`/`dur` in microseconds) and instant
-/// (`"ph": "i"`) events. Load the file at `ui.perfetto.dev` or
+/// (`"ph": "i"`) events, followed by one `counter` (`"ph": "C"`) event per
+/// gauge per sampler snapshot — memory growth renders as counter tracks on
+/// the same timeline as the spans. Load the file at `ui.perfetto.dev` or
 /// `chrome://tracing`.
 pub fn write_trace_json<W: Write>(mut w: W) -> std::io::Result<()> {
     flush_thread_spans();
-    let spans: Vec<SpanRec> = if REGISTRY.get().is_none() {
-        Vec::new()
+    let (spans, samples): (Vec<SpanRec>, Vec<Snapshot>) = if REGISTRY.get().is_none() {
+        (Vec::new(), Vec::new())
     } else {
-        registry().spans.clone()
+        let reg = registry();
+        (reg.spans.clone(), reg.samples.clone())
+    };
+    let counter_events: usize = samples.iter().map(|s| s.values.len()).sum();
+    let total = spans.len() + counter_events;
+    let mut written = 0usize;
+    let comma = |written: &mut usize| {
+        *written += 1;
+        if *written < total {
+            ","
+        } else {
+            ""
+        }
     };
     writeln!(w, "[")?;
-    for (i, s) in spans.iter().enumerate() {
-        let comma = if i + 1 < spans.len() { "," } else { "" };
+    for s in &spans {
         let ts = s.start_ns as f64 / 1000.0;
         if s.instant {
             writeln!(
                 w,
                 "  {{\"name\": \"{}\", \"cat\": \"stint\", \"ph\": \"i\", \"s\": \"t\", \
-                 \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {}}}{comma}",
+                 \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {}}}{}",
                 json_escape(s.name),
-                s.tid
+                s.tid,
+                comma(&mut written)
             )?;
         } else {
             let dur = s.dur_ns as f64 / 1000.0;
             writeln!(
                 w,
                 "  {{\"name\": \"{}\", \"cat\": \"stint\", \"ph\": \"X\", \"ts\": {ts:.3}, \
-                 \"dur\": {dur:.3}, \"pid\": 1, \"tid\": {}}}{comma}",
+                 \"dur\": {dur:.3}, \"pid\": 1, \"tid\": {}}}{}",
                 json_escape(s.name),
-                s.tid
+                s.tid,
+                comma(&mut written)
+            )?;
+        }
+    }
+    for snap in &samples {
+        let ts = snap.t_ns as f64 / 1000.0;
+        for (name, v) in &snap.values {
+            writeln!(
+                w,
+                "  {{\"name\": \"{}\", \"cat\": \"stint\", \"ph\": \"C\", \"ts\": {ts:.3}, \
+                 \"pid\": 1, \"args\": {{\"value\": {v}}}}}{}",
+                json_escape(name),
+                comma(&mut written)
             )?;
         }
     }
@@ -746,6 +1058,141 @@ pub fn trace_json() -> String {
     String::from_utf8(buf).expect("trace JSON is ASCII")
 }
 
+/// Serialize the sampler's gauge snapshots as a memory time series:
+///
+/// ```json
+/// {
+///   "schema": "stint-obs-memseries-v1",
+///   "interval_ms": 10,
+///   "samples": [
+///     { "t_ns": 1000, "gauges": { "ivtree.bytes": 8192, ... } },
+///     ...
+///   ]
+/// }
+/// ```
+///
+/// Timestamps are nanoseconds since the registry epoch and strictly
+/// non-decreasing (snapshots are taken under the registry lock).
+pub fn write_mem_series_json<W: Write>(mut w: W) -> std::io::Result<()> {
+    let samples: Vec<Snapshot> = if REGISTRY.get().is_none() {
+        Vec::new()
+    } else {
+        registry().samples.clone()
+    };
+    writeln!(w, "{{")?;
+    writeln!(w, "  \"schema\": \"stint-obs-memseries-v1\",")?;
+    writeln!(
+        w,
+        "  \"interval_ms\": {},",
+        sampler::interval_ms().unwrap_or(0)
+    )?;
+    writeln!(w, "  \"samples\": [")?;
+    for (i, snap) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        write!(w, "    {{ \"t_ns\": {}, \"gauges\": {{", snap.t_ns)?;
+        for (j, (name, v)) in snap.values.iter().enumerate() {
+            if j > 0 {
+                write!(w, ", ")?;
+            }
+            write!(w, "\"{}\": {v}", json_escape(name))?;
+        }
+        writeln!(w, "}} }}{comma}")?;
+    }
+    writeln!(w, "  ]")?;
+    writeln!(w, "}}")
+}
+
+/// [`write_mem_series_json`] into a `String`.
+pub fn mem_series_json() -> String {
+    let mut buf = Vec::new();
+    write_mem_series_json(&mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("mem-series JSON is ASCII")
+}
+
+// ---------------------------------------------------------------------------
+// Counting global allocator (feature `obs-alloc`)
+// ---------------------------------------------------------------------------
+
+/// Process-level ground truth for the byte gauges: a counting wrapper
+/// around the system allocator, opt-in via the `obs-alloc` feature.
+///
+/// Binaries that want the numbers install it:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: stint_obs::alloc_track::CountingAlloc =
+///     stint_obs::alloc_track::CountingAlloc;
+/// ```
+///
+/// Counting is raw atomics, unconditional (it cannot consult [`is_enabled`]
+/// or the registry — both allocate), and therefore independent of the
+/// observability gate; the sampler folds `process.alloc_bytes` into its
+/// snapshots when this feature is on.
+#[cfg(feature = "obs-alloc")]
+pub mod alloc_track {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static HW: AtomicU64 = AtomicU64::new(0);
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Bytes currently allocated through the counting allocator.
+    pub fn live_bytes() -> u64 {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// Peak of [`live_bytes`] over the process lifetime.
+    pub fn high_water_bytes() -> u64 {
+        HW.load(Ordering::Relaxed)
+    }
+
+    /// Total successful allocations (incl. grows via `realloc`).
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    fn on_alloc(size: u64) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let now = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        HW.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(size: u64) {
+        let _ = LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(size))
+        });
+    }
+
+    /// The counting allocator. Zero-sized; delegates to [`System`].
+    pub struct CountingAlloc;
+
+    // SAFETY: pure delegation to System; the atomics only observe sizes.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            on_dealloc(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                on_dealloc(layout.size() as u64);
+                on_alloc(new_size as u64);
+            }
+            p
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Test scoping
 // ---------------------------------------------------------------------------
@@ -757,17 +1204,20 @@ pub fn trace_json() -> String {
 pub struct ScopedObs {
     prev_enabled: bool,
     prev_mode: u32,
+    prev_sample_ms: u64,
 }
 
 impl ScopedObs {
     pub fn enable(cfg: ObsConfig) -> ScopedObs {
         let prev_enabled = is_enabled();
         let prev_mode = SPAN_MODE.load(Ordering::Relaxed);
+        let prev_sample_ms = sampler::interval_ms().unwrap_or(0);
         enable(cfg);
         reset();
         ScopedObs {
             prev_enabled,
             prev_mode,
+            prev_sample_ms,
         }
     }
 }
@@ -776,6 +1226,7 @@ impl Drop for ScopedObs {
     fn drop(&mut self) {
         flush_thread_spans();
         SPAN_MODE.store(self.prev_mode, Ordering::Relaxed);
+        sampler::set_interval_ms(self.prev_sample_ms);
         ENABLED.store(self.prev_enabled, Ordering::Release);
     }
 }
@@ -801,7 +1252,8 @@ mod tests {
         assert_eq!(
             ObsConfig::parse("on").unwrap(),
             Some(ObsConfig {
-                spans: SpanMode::Sampled
+                spans: SpanMode::Sampled,
+                sample_ms: None,
             })
         );
         assert_eq!(
@@ -817,8 +1269,25 @@ mod tests {
             ObsConfig::parse("spans=off").unwrap(),
             Some(ObsConfig::COUNTERS)
         );
+        assert_eq!(
+            ObsConfig::parse("counters,sample=5").unwrap(),
+            Some(ObsConfig {
+                spans: SpanMode::Off,
+                sample_ms: Some(5),
+            })
+        );
+        // `sample=0` enables observability (with the default sampled spans)
+        // but leaves the sampler off.
+        assert_eq!(
+            ObsConfig::parse("sample=0").unwrap(),
+            Some(ObsConfig {
+                spans: SpanMode::Sampled,
+                sample_ms: None,
+            })
+        );
         assert!(ObsConfig::parse("frobnicate").is_err());
         assert!(ObsConfig::parse("spans=lots").is_err());
+        assert!(ObsConfig::parse("sample=soon").is_err());
     }
 
     #[test]
@@ -898,6 +1367,7 @@ mod tests {
         let _g = global_lock();
         let _scope = ScopedObs::enable(ObsConfig {
             spans: SpanMode::Sampled,
+            sample_ms: None,
         });
         let recorded: usize = std::thread::spawn(|| {
             (0..(SAMPLE_PERIOD * 2))
@@ -936,5 +1406,133 @@ mod tests {
     fn escape_is_sound() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("tab\tend"), "tab\\u0009end");
+    }
+
+    #[test]
+    fn gauge_add_sub_and_watermark() {
+        let _g = global_lock();
+        static G: Gauge = Gauge::new("test.gauge");
+        let _scope = ScopedObs::enable(ObsConfig::COUNTERS);
+        G.add(100);
+        G.add(50);
+        G.sub(120);
+        assert_eq!(G.get(), 30);
+        assert_eq!(G.high_water(), 150);
+        // Saturating: over-subtraction clamps at zero, watermark survives.
+        G.sub(1000);
+        assert_eq!(G.get(), 0);
+        assert_eq!(G.high_water(), 150);
+        let json = metrics_json();
+        assert!(
+            json.contains("\"test.gauge\": { \"current\": 0, \"hw\": 150 }"),
+            "{json}"
+        );
+        let snap = gauges_snapshot();
+        assert!(snap.contains(&("test.gauge", 0, 150)), "{snap:?}");
+    }
+
+    #[test]
+    fn gauge_reconcile_tracks_deltas() {
+        let _g = global_lock();
+        static G: Gauge = Gauge::new("test.reconcile_gauge");
+        let _scope = ScopedObs::enable(ObsConfig::COUNTERS);
+        let mut owned = 0u64;
+        G.reconcile(&mut owned, 4096);
+        assert_eq!((G.get(), owned), (4096, 4096));
+        G.reconcile(&mut owned, 1024);
+        assert_eq!((G.get(), owned), (1024, 1024));
+        G.reconcile(&mut owned, 0);
+        assert_eq!((G.get(), owned), (0, 0));
+        assert_eq!(G.high_water(), 4096);
+    }
+
+    #[test]
+    fn gauge_disabled_path_leaves_registry_untouched() {
+        let _g = global_lock();
+        static G: Gauge = Gauge::new("test.disabled_gauge");
+        assert!(!is_enabled());
+        G.add(7);
+        G.sub(3);
+        let mut owned = 0u64;
+        G.reconcile(&mut owned, 9);
+        assert_eq!(G.get(), 0);
+        assert_eq!(G.high_water(), 0);
+        assert_eq!(owned, 0, "reconcile must not track while disabled");
+        assert!(!G.registered.load(Ordering::Relaxed));
+        assert!(!gauges_snapshot().iter().any(|(n, ..)| *n == G.name()));
+    }
+
+    #[test]
+    fn gauge_reset_zeroes_current_and_watermark() {
+        let _g = global_lock();
+        static G: Gauge = Gauge::new("test.reset_gauge");
+        let _scope = ScopedObs::enable(ObsConfig::COUNTERS);
+        G.add(10);
+        reset();
+        assert_eq!(G.get(), 0);
+        assert_eq!(G.high_water(), 0);
+    }
+
+    #[test]
+    fn histogram_log2_bucket_boundaries() {
+        let _g = global_lock();
+        static H: Histogram = Histogram::new("test.bucket_hist");
+        let _scope = ScopedObs::enable(ObsConfig::COUNTERS);
+        // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i). Probe
+        // both edges of several buckets, including the top one.
+        H.observe(0); // bucket 0
+        H.observe(1); // bucket 1: [1, 2)
+        H.observe(2); // bucket 2: [2, 4)
+        H.observe(3); // bucket 2
+        H.observe(4); // bucket 3: [4, 8)
+        H.observe(7); // bucket 3
+        H.observe(8); // bucket 4: [8, 16)
+        H.observe(u64::MAX); // bucket 64: [2^63, 2^64)
+        let json = metrics_json();
+        for (log2, count) in [(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (64, 1)] {
+            assert!(
+                json.contains(&format!("{{ \"log2\": {log2}, \"count\": {count} }}")),
+                "bucket {log2} wrong:\n{json}"
+            );
+        }
+        assert_eq!(H.count(), 8);
+    }
+
+    #[test]
+    fn sampler_snapshots_and_mem_series_export() {
+        let _g = global_lock();
+        static G: Gauge = Gauge::new("test.sampled_gauge");
+        let _scope = ScopedObs::enable(ObsConfig {
+            spans: SpanMode::Off,
+            sample_ms: Some(1),
+        });
+        assert_eq!(sampler::interval_ms(), Some(1));
+        G.add(512);
+        sampler::sample_now();
+        G.add(512);
+        sampler::sample_now();
+        assert!(sampler::samples_recorded() >= 2);
+        let json = mem_series_json();
+        assert!(
+            json.contains("\"schema\": \"stint-obs-memseries-v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"test.sampled_gauge\": 512"), "{json}");
+        assert!(json.contains("\"test.sampled_gauge\": 1024"), "{json}");
+        // Timestamps are non-decreasing.
+        let mut last = 0u64;
+        for line in json.lines() {
+            if let Some(rest) = line.trim().strip_prefix("{ \"t_ns\": ") {
+                let t: u64 = rest[..rest.find(',').expect("comma")]
+                    .parse()
+                    .expect("t_ns");
+                assert!(t >= last, "timestamps regressed:\n{json}");
+                last = t;
+            }
+        }
+        // Snapshots render as Perfetto counter events on the trace timeline.
+        let trace = trace_json();
+        assert!(trace.contains("\"ph\": \"C\""), "{trace}");
+        assert!(trace.contains("\"args\": {\"value\": 1024}"), "{trace}");
     }
 }

@@ -106,7 +106,8 @@ const NIL: u32 = u32::MAX;
 // space against the `max_tag / 4` spacing capacity at which the universe is
 // declared exhausted.
 static OBS_INSERTS: stint_obs::Counter = stint_obs::Counter::new("om.inserts");
-static OBS_LEN_HW: stint_obs::Counter = stint_obs::Counter::new("om.len_high_water");
+static OBS_LEN: stint_obs::Gauge = stint_obs::Gauge::new("om.len");
+pub(crate) static OBS_BYTES: stint_obs::Gauge = stint_obs::Gauge::new("om.bytes");
 static OBS_RELABELS: stint_obs::Counter = stint_obs::Counter::new("om.relabels");
 static OBS_RELABEL_MOVED: stint_obs::Counter = stint_obs::Counter::new("om.relabel_moved");
 static OBS_FULL_RELABELS: stint_obs::Counter = stint_obs::Counter::new("om.full_relabels");
@@ -140,7 +141,7 @@ struct Node {
 /// assert!(list.precedes(b, c));
 /// assert!(!list.precedes(c, a));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct OmList {
     nodes: Vec<Node>,
     head: u32,
@@ -159,11 +160,45 @@ pub struct OmList {
     storm_period: u64,
     /// Insertions until the next forced relabel (seed-derived phase).
     storm_countdown: u64,
+    /// Bytes/elements last reported to the `om.bytes`/`om.len` gauges (zero
+    /// while obs is disabled — `Gauge::reconcile` no-ops).
+    owned_bytes: u64,
+    owned_len: u64,
 }
 
 impl Default for OmList {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for OmList {
+    fn clone(&self) -> Self {
+        // A clone owns fresh heap storage, so it starts with nothing
+        // reported and publishes its own footprint — copying the `owned_*`
+        // shadows would make the clone's drop subtract bytes it never added.
+        let mut l = OmList {
+            nodes: self.nodes.clone(),
+            head: self.head,
+            tail: self.tail,
+            relabels: self.relabels,
+            relabel_moved: self.relabel_moved,
+            max_tag: self.max_tag,
+            tag_bits: self.tag_bits,
+            storm_period: self.storm_period,
+            storm_countdown: self.storm_countdown,
+            owned_bytes: 0,
+            owned_len: 0,
+        };
+        l.note_mem();
+        l
+    }
+}
+
+impl Drop for OmList {
+    fn drop(&mut self) {
+        OBS_LEN.reconcile(&mut self.owned_len, 0);
+        OBS_BYTES.reconcile(&mut self.owned_bytes, 0);
     }
 }
 
@@ -187,6 +222,8 @@ impl OmList {
             tag_bits: 64,
             storm_period: 0,
             storm_countdown: 0,
+            owned_bytes: 0,
+            owned_len: 0,
         };
         if stint_faults::is_active() {
             if let Some(bits) = stint_faults::om_tag_bits() {
@@ -330,6 +367,21 @@ impl OmList {
         })
     }
 
+    /// Heap bytes currently owned by the node arena.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.nodes.capacity() * std::mem::size_of::<Node>()) as u64
+    }
+
+    /// Publish the arena's live footprint to the `om.*` gauges (no-op while
+    /// obs is disabled; the `owned_*` shadows stay untouched so a mid-life
+    /// enable can't underflow).
+    #[inline]
+    fn note_mem(&mut self) {
+        let (len, bytes) = (self.nodes.len() as u64, self.heap_bytes());
+        OBS_LEN.reconcile(&mut self.owned_len, len);
+        OBS_BYTES.reconcile(&mut self.owned_bytes, bytes);
+    }
+
     #[inline]
     fn alloc(&mut self, tag: u64, prev: u32, next: u32) -> u32 {
         let idx = self.nodes.len();
@@ -337,7 +389,7 @@ impl OmList {
         self.nodes.push(Node { tag, prev, next });
         if stint_obs::is_enabled() {
             OBS_INSERTS.incr();
-            OBS_LEN_HW.record_max(self.nodes.len() as u64);
+            self.note_mem();
         }
         idx as u32
     }

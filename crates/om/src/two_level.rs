@@ -46,11 +46,20 @@ pub struct TwoLevelOm {
     top: OmList,
     groups: Vec<Group>,
     elems: Vec<Element>,
+    /// Bytes last reported to the `om.bytes` gauge for the group/element
+    /// arenas (the inner `top` list accounts for itself).
+    owned_bytes: u64,
 }
 
 impl Default for TwoLevelOm {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for TwoLevelOm {
+    fn drop(&mut self) {
+        crate::OBS_BYTES.reconcile(&mut self.owned_bytes, 0);
     }
 }
 
@@ -60,7 +69,25 @@ impl TwoLevelOm {
             top: OmList::new(),
             groups: Vec::new(),
             elems: Vec::new(),
+            owned_bytes: 0,
         }
+    }
+
+    /// Heap bytes owned by the group and element arenas plus the inner
+    /// top-level list.
+    pub fn heap_bytes(&self) -> u64 {
+        self.top.heap_bytes()
+            + (self.groups.capacity() * std::mem::size_of::<Group>()
+                + self.elems.capacity() * std::mem::size_of::<Element>()) as u64
+    }
+
+    /// Publish this list's own arenas to the `om.bytes` gauge (the inner
+    /// `top` list reconciles its share itself).
+    #[inline]
+    fn note_mem(&mut self) {
+        let own = (self.groups.capacity() * std::mem::size_of::<Group>()
+            + self.elems.capacity() * std::mem::size_of::<Element>()) as u64;
+        crate::OBS_BYTES.reconcile(&mut self.owned_bytes, own);
     }
 
     /// Number of elements.
@@ -93,6 +120,9 @@ impl TwoLevelOm {
             prev: NIL,
             next: NIL,
         });
+        if stint_obs::is_enabled() {
+            self.note_mem();
+        }
         TlNode(0)
     }
 
@@ -128,6 +158,9 @@ impl TwoLevelOm {
             self.groups[g as usize].len += 1;
             if self.groups[g as usize].len as usize > 2 * GROUP_CAP {
                 self.split_group(g);
+            }
+            if stint_obs::is_enabled() {
+                self.note_mem();
             }
             return TlNode(idx);
         }

@@ -24,6 +24,7 @@ use stint_faults::{DetectorError, Resource};
 // disabled).
 static OBS_CHUNK_ALLOCS: stint_obs::Counter = stint_obs::Counter::new("shadow.chunk_allocs");
 static OBS_FILTER_ELISIONS: stint_obs::Counter = stint_obs::Counter::new("shadow.filter_elisions");
+static OBS_BIT_BYTES: stint_obs::Gauge = stint_obs::Gauge::new("shadow.bit_bytes");
 
 /// log2 of bitmap groups per chunk.
 const GROUPS_PER_CHUNK_BITS: u32 = 10;
@@ -75,11 +76,20 @@ pub struct BitShadow {
     oom_at: u64,
     /// First failure, recorded once; later unallocatable bits are dropped.
     exhausted: Option<DetectorError>,
+    /// Bytes last reported to the `shadow.bit_bytes` gauge (zero while obs
+    /// is disabled — `Gauge::reconcile` no-ops).
+    owned_bytes: u64,
 }
 
 impl Default for BitShadow {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for BitShadow {
+    fn drop(&mut self) {
+        OBS_BIT_BYTES.reconcile(&mut self.owned_bytes, 0);
     }
 }
 
@@ -217,6 +227,7 @@ impl BitShadow {
             chunk_cap: u64::MAX,
             oom_at: u64::MAX,
             exhausted: None,
+            owned_bytes: 0,
         };
         if stint_faults::is_active() {
             if let Some(cap) = stint_faults::shadow_page_cap() {
@@ -232,6 +243,24 @@ impl BitShadow {
     /// Number of chunks allocated (they persist across strands).
     pub fn chunks_allocated(&self) -> usize {
         self.chunks.len()
+    }
+
+    /// Total heap bytes owned: chunk bitmaps, the chunk directory vec, the
+    /// dirty list and the first-level map.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.chunks.len() * GROUPS_PER_CHUNK * 8
+            + self.chunks.capacity() * std::mem::size_of::<Box<[u64]>>()
+            + self.dirty.capacity() * std::mem::size_of::<u64>()) as u64
+            + self.map.heap_bytes()
+    }
+
+    /// Publish the live footprint to the `shadow.bit_bytes` gauge (no-op
+    /// while obs is disabled; called from the cold allocation path and after
+    /// dirty-list growth at extraction).
+    #[inline]
+    fn note_mem(&mut self) {
+        let bytes = self.heap_bytes();
+        OBS_BIT_BYTES.reconcile(&mut self.owned_bytes, bytes);
     }
 
     /// Cap chunk allocations at `chunks` (a `--max-shadow-mb` budget
@@ -287,6 +316,7 @@ impl BitShadow {
             idx
         });
         self.last_chunk = (chunk_no, slot);
+        self.note_mem();
         slot
     }
 
@@ -370,6 +400,11 @@ impl BitShadow {
         self.dirty.clear();
         if let Some(iv) = open {
             out.push(iv);
+        }
+        if stint_obs::is_enabled() {
+            // The dirty list may have grown this strand; extraction is the
+            // per-strand boundary where re-measuring it is cheap.
+            self.note_mem();
         }
     }
 }

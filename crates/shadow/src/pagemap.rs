@@ -49,6 +49,12 @@ impl PageMap {
         self.len == 0
     }
 
+    /// Heap bytes held by the slot array.
+    #[inline]
+    pub fn heap_bytes(&self) -> u64 {
+        (self.slots.len() * std::mem::size_of::<(u64, u32)>()) as u64
+    }
+
     #[inline]
     fn bucket(&self, key: u64) -> usize {
         // Fibonacci hashing: multiply by 2^64/φ and take the top bits.

@@ -31,6 +31,7 @@ use stint_faults::{DetectorError, Resource};
 // at the end of a run — so allocation counters are the interesting signal.
 static OBS_PAGE_ALLOCS: stint_obs::Counter = stint_obs::Counter::new("shadow.page_allocs");
 static OBS_SINK_HANDOUTS: stint_obs::Counter = stint_obs::Counter::new("shadow.sink_handouts");
+static OBS_WORD_BYTES: stint_obs::Gauge = stint_obs::Gauge::new("shadow.word_bytes");
 
 /// Sentinel strand id meaning "no recorded accessor".
 pub const NO_STRAND: u32 = u32::MAX;
@@ -84,6 +85,15 @@ pub struct WordShadow {
     sink: u32,
     /// First failure, recorded once; later allocations silently sink.
     exhausted: Option<DetectorError>,
+    /// Bytes last reported to the `shadow.word_bytes` gauge (zero while obs
+    /// is disabled — `Gauge::reconcile` no-ops).
+    owned_bytes: u64,
+}
+
+impl Drop for WordShadow {
+    fn drop(&mut self) {
+        OBS_WORD_BYTES.reconcile(&mut self.owned_bytes, 0);
+    }
 }
 
 impl Default for WordShadow {
@@ -109,6 +119,7 @@ impl WordShadow {
             allocs: 0,
             sink: u32::MAX,
             exhausted: None,
+            owned_bytes: 0,
         };
         if stint_faults::is_active() {
             if let Some(cap) = stint_faults::shadow_page_cap() {
@@ -149,6 +160,14 @@ impl WordShadow {
         self.pages.len() * PAGE_WORDS * std::mem::size_of::<WordEntry>()
     }
 
+    /// Total heap bytes owned: page data, the page directory vec and the
+    /// first-level map.
+    pub fn heap_bytes(&self) -> u64 {
+        self.shadow_bytes() as u64
+            + (self.pages.capacity() * std::mem::size_of::<Box<[WordEntry]>>()) as u64
+            + self.map.heap_bytes()
+    }
+
     #[inline]
     fn page_slot(&mut self, page_no: u64) -> usize {
         if let Some(slot) = self.map.get(page_no) {
@@ -180,17 +199,28 @@ impl WordShadow {
                 self.sink = self.pages.len() as u32;
                 self.pages
                     .push(vec![WordEntry::EMPTY; PAGE_WORDS].into_boxed_slice());
+                self.note_mem();
             }
             return self.sink as usize;
         }
         self.allocs += 1;
         OBS_PAGE_ALLOCS.incr();
         let pages = &mut self.pages;
-        self.map.get_or_insert_with(page_no, || {
+        let slot = self.map.get_or_insert_with(page_no, || {
             let idx = pages.len() as u32;
             pages.push(vec![WordEntry::EMPTY; PAGE_WORDS].into_boxed_slice());
             idx
-        }) as usize
+        }) as usize;
+        self.note_mem();
+        slot
+    }
+
+    /// Publish the live footprint to the `shadow.word_bytes` gauge (no-op
+    /// while obs is disabled; only called from the cold allocation path).
+    #[inline]
+    fn note_mem(&mut self) {
+        let bytes = self.heap_bytes();
+        OBS_WORD_BYTES.reconcile(&mut self.owned_bytes, bytes);
     }
 
     /// Mutable access to the entry of `word` (allocating its page lazily).

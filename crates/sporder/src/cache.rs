@@ -25,6 +25,7 @@ const SLOTS: usize = 64;
 static OBS_HITS: stint_obs::Counter = stint_obs::Counter::new("sporder.reach_cache_hits");
 static OBS_MISSES: stint_obs::Counter = stint_obs::Counter::new("sporder.reach_cache_misses");
 static OBS_FLUSHES: stint_obs::Counter = stint_obs::Counter::new("sporder.reach_cache_flushes");
+static OBS_CACHE_BYTES: stint_obs::Gauge = stint_obs::Gauge::new("sporder.reach_cache_bytes");
 
 /// `Slot::have` bit: the `parallel` answer is present.
 const HAVE_PARALLEL: u8 = 1;
@@ -60,6 +61,10 @@ pub struct ReachCache {
     pub misses: u64,
     /// Strand-boundary invalidations.
     pub flushes: u64,
+    /// Bytes last reported to the `sporder.reach_cache_bytes` gauge. The
+    /// cache is embedded by value in its detector, so its footprint is its
+    /// own `size_of` — reported at creation, returned at drop.
+    owned_bytes: u64,
 }
 
 impl Default for ReachCache {
@@ -68,9 +73,15 @@ impl Default for ReachCache {
     }
 }
 
+impl Drop for ReachCache {
+    fn drop(&mut self) {
+        OBS_CACHE_BYTES.reconcile(&mut self.owned_bytes, 0);
+    }
+}
+
 impl ReachCache {
     pub fn new() -> Self {
-        ReachCache {
+        let mut c = ReachCache {
             cur: StrandId(u32::MAX),
             // Slots start at gen 0; the live generation starts at 1 so every
             // slot begins invalid.
@@ -79,7 +90,10 @@ impl ReachCache {
             hits: 0,
             misses: 0,
             flushes: 0,
-        }
+            owned_bytes: 0,
+        };
+        OBS_CACHE_BYTES.reconcile(&mut c.owned_bytes, std::mem::size_of::<ReachCache>() as u64);
+        c
     }
 
     /// The strand whose queries the cache currently memoizes.

@@ -51,6 +51,7 @@ static OBS_SERIES_QUERIES: stint_obs::Counter = stint_obs::Counter::new("sporder
 static OBS_PARALLEL_QUERIES: stint_obs::Counter =
     stint_obs::Counter::new("sporder.parallel_queries");
 static OBS_LEFT_OF_QUERIES: stint_obs::Counter = stint_obs::Counter::new("sporder.left_of_queries");
+static OBS_BYTES: stint_obs::Gauge = stint_obs::Gauge::new("sporder.bytes");
 
 /// Identifier of an executed strand. Dense, allocated in creation order
 /// (creation order is *not* the sequential execution order for sync strands,
@@ -118,6 +119,15 @@ pub struct SpOrderImpl<L: OrderList = OmList> {
     heb: L,
     /// Per strand: (English node, Hebrew node).
     strands: Vec<(L::Handle, L::Handle)>,
+    /// Bytes last reported to the `sporder.bytes` gauge for the strand table
+    /// (the OM lists account for themselves via `om.bytes`).
+    owned_bytes: u64,
+}
+
+impl<L: OrderList> Drop for SpOrderImpl<L> {
+    fn drop(&mut self) {
+        OBS_BYTES.reconcile(&mut self.owned_bytes, 0);
+    }
 }
 
 /// SP-Order over the single-level labelled list (the default; O(log n)
@@ -146,6 +156,7 @@ impl<L: OrderList> SpOrderImpl<L> {
                 eng,
                 heb,
                 strands: vec![(e, h)],
+                owned_bytes: 0,
             },
             StrandId(0),
         )
@@ -157,10 +168,20 @@ impl<L: OrderList> SpOrderImpl<L> {
         self.strands.len()
     }
 
+    /// Heap bytes owned by the strand table (the OM lists report their own
+    /// footprint through `om.bytes`).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.strands.capacity() * std::mem::size_of::<(L::Handle, L::Handle)>()) as u64
+    }
+
     fn push(&mut self, e: L::Handle, h: L::Handle) -> StrandId {
         let id = self.strands.len();
         assert!(id < u32::MAX as usize, "strand count exceeds u32");
         self.strands.push((e, h));
+        if stint_obs::is_enabled() {
+            let bytes = self.heap_bytes();
+            OBS_BYTES.reconcile(&mut self.owned_bytes, bytes);
+        }
         StrandId(id as u32)
     }
 

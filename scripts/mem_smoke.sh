@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Memory-telemetry smoke test: one release CLI run with the gauge sampler on,
+# then validate the emitted time series and its agreement with the stats
+# dump using the in-tree `jsoncheck` binary (no python3/jq needed):
+#
+#  * the mem-series document parses and is non-empty with monotone t_ns;
+#  * the detector's end-of-run byte stats are bounded by the gauge
+#    watermarks, and Lemma 4.1 holds on the measured watermarks;
+#  * `-` as an exporter path streams to stdout.
+#
+# Usage: scripts/mem_smoke.sh [bench] (default: sort)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-sort}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cargo build --release -q -p stint-cli -p stint-bench --bin stint-cli --bin jsoncheck
+
+echo "== stint-cli detect $BENCH (stint, sampler at 2 ms, mem-series export)"
+./target/release/stint-cli \
+    detect "$BENCH" --variant stint --scale s --obs counters,sample=2 \
+    --mem-series-out "$OUT/mem.json" \
+    --stats-json "$OUT/stats.json" >"$OUT/stdout.txt"
+
+./target/release/jsoncheck validate "$OUT/mem.json" "$OUT/stats.json"
+./target/release/jsoncheck memseries "$OUT/mem.json" "$OUT/stats.json"
+
+# The series must track the interval arena, and the stats dump must carry
+# the same gauge namespace.
+grep -q '"ivtree.bytes"' "$OUT/mem.json" \
+    || { echo "FAIL: mem.json never sampled ivtree.bytes"; exit 1; }
+grep -q '"gauges"' "$OUT/stats.json" \
+    || { echo "FAIL: stats.json has no gauges snapshot"; exit 1; }
+echo "ok: series tracks ivtree.bytes and stats.json snapshots the gauges"
+
+echo "== --mem-series-out - streams to stdout"
+./target/release/stint-cli detect "$BENCH" --variant stint --mem-series-out - \
+    | grep -q '"stint-obs-memseries-v1"' \
+    || { echo "FAIL: '-' did not stream the series to stdout"; exit 1; }
+echo "ok: '-' streams to stdout"
+
+echo "mem smoke passed"

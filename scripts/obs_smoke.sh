@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Observability smoke test: one release CLI run with every exporter on, then
-# validate the three JSON documents (python3 json.tool) and assert the key
-# content promises — counters from every instrumented layer in the metrics,
-# Chrome trace_event complete spans in the trace, and exact agreement between
-# the stats dump and the metrics registry on the detector counters.
+# validate the three JSON documents and assert the key content promises —
+# counters from every instrumented layer in the metrics, Chrome trace_event
+# complete spans in the trace, and exact agreement between the stats dump and
+# the metrics registry on the detector counters.
+#
+# Validation uses python3 when available, falling back to jq and finally to
+# the in-tree `jsoncheck` binary (crates/bench), so the gate runs on machines
+# with neither. The agreement check always uses `jsoncheck agree` unless
+# python3 exists (both implement the same rule).
 #
 # Usage: scripts/obs_smoke.sh [bench] (default: sort)
 
@@ -21,11 +26,24 @@ cargo run --release -q -p stint-cli -- \
     --trace-out "$OUT/trace.json" \
     --stats-json "$OUT/stats.json" >"$OUT/stdout.txt"
 
+# Pick a JSON validator: python3, else jq, else the in-tree jsoncheck.
+if command -v python3 >/dev/null 2>&1; then
+    validate() { python3 -m json.tool "$1" >/dev/null; }
+    VALIDATOR=python3
+elif command -v jq >/dev/null 2>&1; then
+    validate() { jq empty "$1"; }
+    VALIDATOR=jq
+else
+    cargo build --release -q -p stint-bench --bin jsoncheck
+    validate() { ./target/release/jsoncheck validate "$1" >/dev/null; }
+    VALIDATOR=jsoncheck
+fi
+
 for f in metrics trace stats; do
-    python3 -m json.tool "$OUT/$f.json" >/dev/null \
+    validate "$OUT/$f.json" \
         || { echo "FAIL: $f.json is not valid JSON"; exit 1; }
 done
-echo "ok: metrics.json, trace.json, stats.json all parse"
+echo "ok: metrics.json, trace.json, stats.json all parse ($VALIDATOR)"
 
 # Metrics must carry counters from every instrumented layer.
 for key in om. sporder. ivtree. shadow. cilkrt. detector.; do
@@ -33,6 +51,15 @@ for key in om. sporder. ivtree. shadow. cilkrt. detector.; do
         || { echo "FAIL: metrics.json has no $key* counters"; exit 1; }
 done
 echo "ok: metrics.json covers om/sporder/ivtree/shadow/cilkrt/detector"
+
+# ... and the byte gauges with their watermarks.
+grep -q '"gauges"' "$OUT/metrics.json" \
+    || { echo "FAIL: metrics.json has no gauges section"; exit 1; }
+grep -q '"ivtree.bytes"' "$OUT/metrics.json" \
+    || { echo "FAIL: metrics.json has no ivtree.bytes gauge"; exit 1; }
+grep -q '"hw":' "$OUT/metrics.json" \
+    || { echo "FAIL: metrics.json gauges carry no watermarks"; exit 1; }
+echo "ok: metrics.json carries byte gauges with watermarks"
 
 # The trace must contain Chrome trace_event complete spans with durations.
 grep -q '"ph": "X"' "$OUT/trace.json" \
@@ -46,6 +73,7 @@ echo "ok: trace.json is Chrome trace_event with timed spans"
 # The stats dump and the metrics registry are fed from the same
 # DetectorStats::fields() source: summing any detector counter across the
 # runs in stats.json must reproduce the metrics value exactly.
+if [ "$VALIDATOR" = python3 ]; then
 python3 - "$OUT/stats.json" "$OUT/metrics.json" <<'EOF'
 import json, sys
 stats = json.load(open(sys.argv[1]))
@@ -61,5 +89,9 @@ for key in runs[0]["stats"]:
 print(f"ok: {len(runs[0]['stats'])} detector counters agree across "
       f"{len(runs)} variants")
 EOF
+else
+    cargo build --release -q -p stint-bench --bin jsoncheck
+    ./target/release/jsoncheck agree "$OUT/stats.json" "$OUT/metrics.json"
+fi
 
 echo "obs smoke passed"

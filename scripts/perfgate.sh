@@ -33,6 +33,12 @@ scripts/chaos.sh
 echo "== obs smoke (exporters + cross-document agreement)"
 scripts/obs_smoke.sh
 
+echo "== mem smoke (gauge sampler + watermark/stats agreement)"
+scripts/mem_smoke.sh
+
+echo "== space study (byte gauges + Lemma 4.1)"
+cargo run --release -q -p stint-bench --bin space -- "${ARGS[@]}"
+
 echo "== perfgate"
 if [ "$DIFF" = 1 ]; then
     # Leave the committed JSON in place so perfgate prints the comparison,

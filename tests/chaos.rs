@@ -193,6 +193,40 @@ fn degenerate_treap_keeps_verdicts_exact() {
     }
 }
 
+/// Fault class 3 (`ivtree`), exhaustion flavor: overrunning the treap's node
+/// cap must raise the structured Intervals resource error (exit 3), not an
+/// arbitrary `assert!` abort — the same typed-panic protocol every other
+/// arena uses, so `try_detect_with`'s catch_unwind turns it into `Err`.
+#[test]
+fn treap_node_cap_raises_structured_error() {
+    let _g = lock();
+    use stint_repro::{Interval, IntervalStore, StrandId, Treap};
+    let mut t: Treap<StrandId> = Treap::new();
+    t.set_node_cap(4);
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Disjoint intervals: every insert allocates a fresh node.
+        for i in 0..16u64 {
+            t.insert_write(Interval::new(i * 10, i * 10 + 4, StrandId(0)), |_, _, _| {});
+        }
+    }))
+    .expect_err("the fifth fresh node must trip the cap");
+    let e = payload
+        .downcast::<DetectorError>()
+        .expect("cap overrun must carry the typed DetectorError payload");
+    assert!(
+        matches!(
+            *e,
+            DetectorError::ResourceExhausted {
+                resource: Resource::Intervals,
+                limit: 4,
+                ..
+            }
+        ),
+        "unexpected failure {e}"
+    );
+    assert_eq!(e.exit_code(), 3);
+}
+
 /// Fault class 4 (`cilkrt`): worker spawn failures and startup deaths leave
 /// the pool correct (degraded to fewer workers, ultimately sequential).
 #[test]

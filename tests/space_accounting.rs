@@ -1,0 +1,135 @@
+//! Space-accounting invariants for the byte gauges (ISSUE: tentpole
+//! telemetry). Lives in its own test binary because the gauge registry is
+//! process-global; the tests serialize on [`lock`].
+//!
+//! The contract under test: after an arbitrary workload, each structure's
+//! gauge reads exactly the bytes the structure itself computes
+//! (`heap_bytes()`), dropping the structure returns its gauge to zero, and
+//! the high watermark survives the drop.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use stint_repro::obs;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// `(current, high_water)` of a gauge by name; `(0, 0)` if never registered.
+fn gauge(name: &str) -> (u64, u64) {
+    obs::gauges_snapshot()
+        .into_iter()
+        .find(|(n, ..)| *n == name)
+        .map(|(_, cur, hw)| (cur, hw))
+        .unwrap_or((0, 0))
+}
+
+/// Deterministic xorshift64 — "randomized" workloads without a PRNG dep.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn gauges_match_structure_bytes_and_zero_on_drop() {
+    let _g = lock();
+    let _obs = obs::ScopedObs::enable(obs::ObsConfig::COUNTERS);
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+
+    // Interval treap: random (partly overlapping, so merging and node
+    // recycling both happen) writer intervals.
+    {
+        use stint_repro::{Interval, IntervalStore, StrandId, Treap};
+        let mut t: Treap<StrandId> = Treap::new();
+        for _ in 0..500 {
+            let lo = rng.next() % 100_000;
+            let len = 1 + rng.next() % 64;
+            let who = StrandId((rng.next() % 8) as u32);
+            t.insert_write(Interval::new(lo, lo + len, who), |_, _, _| {});
+        }
+        assert_eq!(gauge("ivtree.bytes").0, t.heap_bytes());
+        assert_eq!(gauge("ivtree.nodes").0, t.len() as u64);
+        assert!(gauge("ivtree.bytes").1 >= t.heap_bytes());
+    }
+    let (cur, hw) = gauge("ivtree.bytes");
+    assert_eq!(cur, 0, "dropping the treap must return its bytes");
+    assert!(hw > 0, "the watermark survives the drop");
+    assert_eq!(gauge("ivtree.nodes").0, 0);
+
+    // Order-maintenance list: random insert-after positions (relabel storms
+    // included at this density).
+    {
+        use stint_om::OmList;
+        let mut l = OmList::new();
+        let mut nodes = vec![l.insert_first()];
+        for _ in 0..400 {
+            let at = nodes[(rng.next() as usize) % nodes.len()];
+            nodes.push(l.insert_after(at));
+        }
+        assert_eq!(gauge("om.bytes").0, l.heap_bytes());
+        assert_eq!(gauge("om.len").0, l.len() as u64);
+    }
+    assert_eq!(gauge("om.bytes").0, 0);
+    assert_eq!(gauge("om.len").0, 0);
+
+    // Word shadow: random word touches across a 1 Mi-word address space
+    // (page-table growth and page allocation).
+    {
+        use stint_shadow::WordShadow;
+        let mut s = WordShadow::new();
+        for _ in 0..300 {
+            s.entry_mut(rng.next() % (1 << 20));
+        }
+        assert_eq!(gauge("shadow.word_bytes").0, s.heap_bytes());
+    }
+    assert_eq!(gauge("shadow.word_bytes").0, 0);
+
+    // Bit shadow: the gauge is exact at every extraction boundary (the
+    // dirty list grows untracked mid-strand by design).
+    {
+        use stint_shadow::BitShadow;
+        let mut b = BitShadow::new();
+        let mut out = Vec::new();
+        for _strand in 0..50 {
+            for _ in 0..40 {
+                let lo = rng.next() % (1 << 18);
+                b.set_range(lo, lo + 1 + rng.next() % 32);
+            }
+            b.extract_and_clear(&mut out);
+            assert_eq!(gauge("shadow.bit_bytes").0, b.heap_bytes());
+        }
+    }
+    assert_eq!(gauge("shadow.bit_bytes").0, 0);
+}
+
+/// End-to-end: a full detection leaves nothing behind — every gauge back to
+/// zero once the run's structures are dropped, with non-zero watermarks
+/// proving they were tracked while alive.
+#[test]
+fn full_detection_returns_every_gauge_to_zero() {
+    let _g = lock();
+    let _obs = obs::ScopedObs::enable(obs::ObsConfig::COUNTERS);
+    use stint_repro::suite::{Scale, Workload};
+    for variant in [
+        stint_repro::Variant::Stint,
+        stint_repro::Variant::CompRts,
+        stint_repro::Variant::Vanilla,
+    ] {
+        let mut w = Workload::by_name("sort", Scale::Test);
+        let o = stint_repro::detect(&mut w, variant);
+        assert!(o.report.is_race_free());
+    }
+    for (name, current, hw) in obs::gauges_snapshot() {
+        assert_eq!(current, 0, "{name} still holds bytes after the runs");
+        if name == "sporder.bytes" || name == "om.bytes" || name == "ivtree.bytes" {
+            assert!(hw > 0, "{name} was never tracked during detection");
+        }
+    }
+}
