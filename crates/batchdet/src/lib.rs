@@ -1,0 +1,620 @@
+//! Sharded batch-mode race detection over recorded traces.
+//!
+//! The on-the-fly detectors in `stint` interleave detection with the
+//! program's own execution on a single thread. This crate runs detection as
+//! a **batch job** in two phases:
+//!
+//! 1. **Replay control flow sequentially** (or load a saved trace): the
+//!    result is a [`PortableTrace`] — the full instrumentation stream plus a
+//!    [`FrozenReach`] snapshot of SP-Order. After this phase the
+//!    `series`/`parallel`/`left_of` relation is *read-only*: every query is
+//!    a pair of rank comparisons on immutable vectors, safe to share across
+//!    threads with no synchronization.
+//! 2. **Fan the memory accesses out over address shards**: the 4-byte-word
+//!    address space touched by the trace is split into `K` contiguous
+//!    ranges, and each shard replays the subsequence of access events that
+//!    overlaps its range (clipped at the shard boundary) through a private
+//!    STINT interval detector. Shards run as fork-join tasks on the
+//!    `stint-cilkrt` work-stealing pool.
+//!
+//! # Why address sharding preserves the race set
+//!
+//! The access history is keyed by address: whether two accesses race
+//! depends only on the per-word history of that word and the (frozen)
+//! SP-Order relation, never on accesses to other words. Routing each word's
+//! events to exactly one shard therefore preserves, per word, the exact
+//! event subsequence the sequential detector saw — in the same order, with
+//! the same strand boundaries. The only differences are (a) interval
+//! *fragmentation* (a range access straddling a shard boundary becomes two
+//! clipped ranges) and (b) *delayed* strand-end flushes in shards where a
+//! strand was clean (skipped via a dirty flag) — both are per-word no-ops:
+//! same-strand entries never conflict (`parallel(s, s)` is false) and
+//! per-word insert semantics are idempotent for the same strand. Hence the
+//! per-word set of race triples `(word, kind, prev, cur)` is invariant in
+//! `K`, which is exactly what the differential battery in
+//! `tests/prop_batchdet.rs` checks.
+//!
+//! # Deterministic merge
+//!
+//! Raw per-shard race *records* are **not** invariant in `K` (the same racy
+//! region fragments differently at different shard boundaries), so the
+//! merged report is normalized per word and re-coalesced into maximal runs,
+//! then sorted by address and SP rank ([`FrozenReach::english_rank`]). The
+//! canonical [`MergedReport::render`] bytes are identical regardless of
+//! shard count, worker count, or steal order — the metamorphic invariance
+//! tests diff them directly.
+//!
+//! ```
+//! use stint::{Cilk, CilkProgram, PortableTrace};
+//! use stint_batchdet::{batch_detect, BatchConfig};
+//!
+//! struct Racy;
+//! impl CilkProgram for Racy {
+//!     fn run<C: Cilk>(&mut self, ctx: &mut C) {
+//!         ctx.spawn(|c| c.store(0x40, 8));
+//!         ctx.store(0x44, 4);
+//!         ctx.sync();
+//!     }
+//! }
+//!
+//! let pt = PortableTrace::record(&mut Racy);
+//! let out = batch_detect(&pt, &BatchConfig::default()).unwrap();
+//! assert!(!out.merged.is_race_free());
+//! ```
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use stint::{
+    Detector, DetectorError, DetectorStats, PortableTrace, Race, RaceKind, RaceReport,
+    StintDetector, Trace, TraceOp,
+};
+use stint_cilk::word_range;
+use stint_cilkrt::ThreadPool;
+use stint_obs::{Counter, Gauge};
+use stint_sporder::{FrozenReach, StrandId};
+
+static OBS_SHARD_RUNS: Counter = Counter::new("batchdet.shard.runs");
+static OBS_SHARD_EVENTS: Counter = Counter::new("batchdet.shard.events");
+static OBS_SHARD_RACES: Counter = Counter::new("batchdet.shard.races");
+static OBS_MERGES: Counter = Counter::new("batchdet.merges");
+/// Live access-history bytes held by in-flight shard detectors. Reconciled
+/// back to zero when each shard's detector is dropped, so the gauge reads 0
+/// after every batch run; its high-water mark records the peak.
+static OBS_SHARD_BYTES: Gauge = Gauge::new("batchdet.shard.bytes");
+
+/// Configuration for a batch detection run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Number of contiguous address shards (`K`). At least 1.
+    pub shards: usize,
+    /// Worker threads for the pool; `0` means one per hardware thread.
+    pub workers: usize,
+    /// Seed perturbing each worker's initial steal victim
+    /// ([`ThreadPool::with_seed`]); `0` keeps the default order. The merged
+    /// report is invariant in this — that is the point of the knob.
+    pub steal_seed: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            shards: 4,
+            workers: 0,
+            steal_seed: 0,
+        }
+    }
+}
+
+/// One shard's contiguous word range `[word_lo, word_hi)`.
+#[derive(Clone, Copy, Debug)]
+struct Shard {
+    index: usize,
+    word_lo: u64,
+    word_hi: u64,
+}
+
+/// What one shard's private detector saw.
+#[derive(Clone, Debug)]
+pub struct ShardOutcome {
+    pub index: usize,
+    /// The shard's word range `[word_lo, word_hi)`.
+    pub word_lo: u64,
+    pub word_hi: u64,
+    /// Access/free events routed to this shard (after clipping).
+    pub events: u64,
+    /// Per-shard report (unbounded — see [`RaceReport::unbounded`]).
+    pub report: RaceReport,
+    pub stats: DetectorStats,
+    /// First structured failure of the shard's detector (degraded soundly),
+    /// e.g. an injected shadow cap.
+    pub failure: Option<DetectorError>,
+}
+
+/// The canonical merged report: per-word-normalized race regions plus the
+/// exact racy-word set, both deterministic functions of the trace alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergedReport {
+    /// Maximal-run race regions, sorted by `(word_lo, word_hi,
+    /// english_rank(prev), english_rank(cur), kind)`.
+    pub regions: Vec<Race>,
+    /// The exact set of racy words, sorted.
+    pub racy_words: Vec<u64>,
+}
+
+impl MergedReport {
+    pub fn is_race_free(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Canonical text rendering — byte-identical across shard counts,
+    /// worker counts, and steal schedules (the metamorphic tests diff it).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        s.push_str("STINT-BATCH-REPORT v1\n");
+        let _ = writeln!(s, "racy-words {}", self.racy_words.len());
+        for w in &self.racy_words {
+            let _ = writeln!(s, "w {w:#x}");
+        }
+        let _ = writeln!(s, "regions {}", self.regions.len());
+        for r in &self.regions {
+            let _ = writeln!(
+                s,
+                "{} [{:#x},{:#x}) prev {} cur {}",
+                r.kind, r.word_lo, r.word_hi, r.prev.0, r.cur.0
+            );
+        }
+        s
+    }
+
+    /// Rebuild a [`RaceReport`] from the normalized regions, so existing
+    /// report printers work on merged output.
+    pub fn to_report(&self) -> RaceReport {
+        let mut rep = RaceReport::unbounded(true);
+        for r in &self.regions {
+            rep.add(r.kind, r.word_lo, r.word_hi, r.prev, r.cur);
+        }
+        rep
+    }
+}
+
+/// Result of a batch detection run.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardOutcome>,
+    pub merged: MergedReport,
+    /// Sum of the per-shard detector statistics.
+    pub stats: DetectorStats,
+    /// Total trace events (before routing).
+    pub events: usize,
+    pub strands: usize,
+    /// Wall-clock time of the sharded phase (fan-out + detection).
+    pub wall: Duration,
+    /// First per-shard structured failure, by shard index, if any. The
+    /// merged report is sound but only complete up to the failure point.
+    pub degraded: Option<DetectorError>,
+}
+
+fn corrupt(detail: String) -> DetectorError {
+    DetectorError::CorruptTrace { detail }
+}
+
+/// Parse **and validate** a `STINT-TRACE v1` stream for batch replay.
+/// Truncated, bit-flipped, or wrong-version input comes back as a
+/// structured [`DetectorError::CorruptTrace`] (exit code 4), never a panic.
+pub fn load_trace<R: std::io::BufRead>(r: R) -> Result<PortableTrace, DetectorError> {
+    let pt = PortableTrace::load(r).map_err(|e| corrupt(e.to_string()))?;
+    pt.validate().map_err(corrupt)?;
+    Ok(pt)
+}
+
+/// Batch-detect on a fresh pool built from `cfg` (worker count and steal
+/// seed). See [`batch_detect_on`].
+pub fn batch_detect(pt: &PortableTrace, cfg: &BatchConfig) -> Result<BatchOutcome, DetectorError> {
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+    let pool = ThreadPool::with_seed(workers, cfg.steal_seed);
+    batch_detect_on(&pool, pt, cfg)
+}
+
+/// Phase 2: fan the trace's access events out over `cfg.shards` address
+/// shards on `pool`, then merge deterministically.
+///
+/// The trace is validated first — a syntactically well-formed file whose
+/// strand ids or ranges were corrupted is rejected as
+/// [`DetectorError::CorruptTrace`] instead of indexing out of bounds. An
+/// injected detector panic inside a shard surfaces as
+/// [`DetectorError::Poisoned`] via the typed-panic protocol.
+pub fn batch_detect_on(
+    pool: &ThreadPool,
+    pt: &PortableTrace,
+    cfg: &BatchConfig,
+) -> Result<BatchOutcome, DetectorError> {
+    pt.validate().map_err(corrupt)?;
+    let shards = partition(&pt.trace, cfg.shards);
+    let trace = &pt.trace;
+    let reach = &pt.reach;
+    let t0 = Instant::now();
+    let mut slots: Vec<Option<ShardOutcome>> = (0..shards.len()).map(|_| None).collect();
+    catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| fan_out(pool, trace, reach, &shards, &mut slots));
+    }))
+    .map_err(DetectorError::from_panic)?;
+    let wall = t0.elapsed();
+    let outs: Vec<ShardOutcome> = slots
+        .into_iter()
+        .map(|s| s.expect("fan_out fills every shard slot"))
+        .collect();
+    let merged = merge_shards(&outs, reach);
+    let mut stats = DetectorStats::default();
+    for o in &outs {
+        stats.merge(&o.stats);
+    }
+    let degraded = outs.iter().find_map(|o| o.failure.clone());
+    Ok(BatchOutcome {
+        merged,
+        stats,
+        events: pt.trace.len(),
+        strands: pt.reach.strand_count(),
+        wall,
+        degraded,
+        shards: outs,
+    })
+}
+
+/// Word bounds `[lo, hi)` over all access/free events, or `None` if the
+/// trace touches no memory.
+fn word_bounds(trace: &Trace) -> Option<(u64, u64)> {
+    let mut bounds: Option<(u64, u64)> = None;
+    for e in &trace.events {
+        if e.op == TraceOp::StrandEnd {
+            continue;
+        }
+        let (lo, hi) = word_range(e.addr, e.bytes);
+        bounds = Some(match bounds {
+            None => (lo, hi),
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+        });
+    }
+    bounds
+}
+
+/// Split the touched word space into `k` contiguous shards. Trailing shards
+/// may be empty when the space is narrower than `k` words.
+fn partition(trace: &Trace, k: usize) -> Vec<Shard> {
+    let k = k.max(1);
+    let Some((lo, hi)) = word_bounds(trace) else {
+        // No memory accesses at all: k empty shards, so the shard count
+        // (and the per-shard telemetry shape) is always what was asked for.
+        return (0..k)
+            .map(|i| Shard {
+                index: i,
+                word_lo: 0,
+                word_hi: 0,
+            })
+            .collect();
+    };
+    let span = hi - lo;
+    let width = (span / k as u64 + u64::from(span % k as u64 != 0)).max(1);
+    (0..k)
+        .map(|i| {
+            let slo = (lo + width * i as u64).min(hi);
+            let shi = slo.saturating_add(width).min(hi);
+            Shard {
+                index: i,
+                word_lo: slo,
+                word_hi: shi,
+            }
+        })
+        .collect()
+}
+
+/// Recursive binary fan-out of the shard list over the pool's `join`.
+/// `slots[i]` receives shard `shards[i]`'s outcome, so the result order is
+/// the shard order no matter which worker ran what.
+fn fan_out(
+    pool: &ThreadPool,
+    trace: &Trace,
+    reach: &FrozenReach,
+    shards: &[Shard],
+    slots: &mut [Option<ShardOutcome>],
+) {
+    debug_assert_eq!(shards.len(), slots.len());
+    match shards.len() {
+        0 => {}
+        1 => slots[0] = Some(run_shard(trace, reach, shards[0])),
+        n => {
+            let mid = n / 2;
+            let (s_lo, s_hi) = shards.split_at(mid);
+            let (o_lo, o_hi) = slots.split_at_mut(mid);
+            pool.join(
+                || fan_out(pool, trace, reach, s_lo, o_lo),
+                || fan_out(pool, trace, reach, s_hi, o_hi),
+            );
+        }
+    }
+}
+
+/// Replay the events overlapping one shard's word range through a private
+/// STINT detector.
+fn run_shard(trace: &Trace, reach: &FrozenReach, shard: Shard) -> ShardOutcome {
+    let _span = stint_obs::span("batchdet.shard");
+    OBS_SHARD_RUNS.incr();
+    let mut det = StintDetector::new(RaceReport::unbounded(true));
+    // Set when this shard holds unflushed accesses of the current strand;
+    // strand ends in shards the strand never touched skip the detector call
+    // entirely. Delayed flushing is per-word equivalent (module docs).
+    let mut dirty = false;
+    let mut routed = 0u64;
+    let mut last = StrandId(0);
+    for e in &trace.events {
+        last = e.strand;
+        if e.op == TraceOp::StrandEnd {
+            if dirty {
+                det.strand_end(e.strand, reach);
+                dirty = false;
+            }
+            continue;
+        }
+        let (lo, hi) = word_range(e.addr, e.bytes);
+        let lo = lo.max(shard.word_lo);
+        let hi = hi.min(shard.word_hi);
+        if lo >= hi {
+            continue;
+        }
+        routed += 1;
+        // Synthesize a word-aligned byte range that `word_range` maps back
+        // to exactly the clipped `[lo, hi)`.
+        let addr = (lo * 4) as usize;
+        let bytes = ((hi - lo) * 4) as usize;
+        match e.op {
+            TraceOp::Load => det.load(e.strand, addr, bytes, reach),
+            TraceOp::Store => det.store(e.strand, addr, bytes, reach),
+            TraceOp::LoadRange => det.load_range(e.strand, addr, bytes, reach),
+            TraceOp::StoreRange => det.store_range(e.strand, addr, bytes, reach),
+            TraceOp::Free => {
+                // `free` flushes the strand's pending accesses itself
+                // before tombstoning the range.
+                det.free(e.strand, addr, bytes, reach);
+                dirty = false;
+            }
+            TraceOp::StrandEnd => unreachable!(),
+        }
+        if e.op != TraceOp::Free {
+            dirty = true;
+        }
+    }
+    det.finish(last, reach);
+    let mut owned = 0u64;
+    OBS_SHARD_BYTES.reconcile(&mut owned, det.stats.ah_bytes + det.stats.coalesce_bytes);
+    OBS_SHARD_EVENTS.add(routed);
+    OBS_SHARD_RACES.add(det.report.total);
+    let failure = Detector::<FrozenReach>::failure(&det);
+    let out = ShardOutcome {
+        index: shard.index,
+        word_lo: shard.word_lo,
+        word_hi: shard.word_hi,
+        events: routed,
+        report: det.report,
+        stats: det.stats,
+        failure,
+    };
+    OBS_SHARD_BYTES.reconcile(&mut owned, 0);
+    out
+}
+
+fn kind_code(k: RaceKind) -> u8 {
+    match k {
+        RaceKind::WriteWrite => 0,
+        RaceKind::ReadWrite => 1,
+        RaceKind::WriteRead => 2,
+    }
+}
+
+fn kind_from(c: u8) -> RaceKind {
+    match c {
+        0 => RaceKind::WriteWrite,
+        1 => RaceKind::ReadWrite,
+        _ => RaceKind::WriteRead,
+    }
+}
+
+/// Normalize per-shard race records per word, re-coalesce into maximal
+/// runs, and sort by address then SP rank. See the module docs for why this
+/// (and not the raw records) is the `K`-invariant object.
+fn merge_shards(shards: &[ShardOutcome], reach: &FrozenReach) -> MergedReport {
+    let _span = stint_obs::span("batchdet.merge");
+    OBS_MERGES.incr();
+    let mut triples: Vec<(u8, u32, u32, u64)> = Vec::new();
+    let mut words: BTreeSet<u64> = BTreeSet::new();
+    for sh in shards {
+        for r in sh.report.races() {
+            for w in r.word_lo..r.word_hi {
+                triples.push((kind_code(r.kind), r.prev.0, r.cur.0, w));
+            }
+        }
+        words.extend(sh.report.racy_words());
+    }
+    triples.sort_unstable();
+    triples.dedup();
+    let mut regions: Vec<Race> = Vec::new();
+    for (k, p, c, w) in triples {
+        if let Some(lastr) = regions.last_mut() {
+            if kind_code(lastr.kind) == k
+                && lastr.prev.0 == p
+                && lastr.cur.0 == c
+                && lastr.word_hi == w
+            {
+                lastr.word_hi = w + 1;
+                continue;
+            }
+        }
+        regions.push(Race {
+            kind: kind_from(k),
+            word_lo: w,
+            word_hi: w + 1,
+            prev: StrandId(p),
+            cur: StrandId(c),
+        });
+    }
+    regions.sort_by_key(|r| {
+        (
+            r.word_lo,
+            r.word_hi,
+            reach.english_rank(r.prev),
+            reach.english_rank(r.cur),
+            kind_code(r.kind),
+        )
+    });
+    MergedReport {
+        regions,
+        racy_words: words.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stint::{detect, Cilk, CilkProgram, Variant};
+
+    /// Two parallel writers overlapping across a wide range plus a free —
+    /// exercises range clipping, strand-end skipping, and tombstones.
+    struct WideRacy;
+    impl CilkProgram for WideRacy {
+        fn run<C: Cilk>(&mut self, ctx: &mut C) {
+            ctx.spawn(|c| {
+                c.store_range(0x100, 64);
+                c.load(0x200, 8);
+            });
+            ctx.store_range(0x120, 64);
+            ctx.sync();
+            ctx.free(0x100, 32);
+            ctx.spawn(|c| c.store(0x104, 4));
+            ctx.load(0x104, 4);
+            ctx.sync();
+        }
+    }
+
+    struct CleanFanout;
+    impl CilkProgram for CleanFanout {
+        fn run<C: Cilk>(&mut self, ctx: &mut C) {
+            for i in 0..6usize {
+                ctx.spawn(move |c| {
+                    c.store_range(0x1000 + i * 128, 128);
+                    c.load_range(0x1000 + i * 128, 128);
+                });
+            }
+            ctx.sync();
+            ctx.load_range(0x1000, 6 * 128);
+        }
+    }
+
+    fn cfg(shards: usize, workers: usize, seed: u64) -> BatchConfig {
+        BatchConfig {
+            shards,
+            workers,
+            steal_seed: seed,
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_racy_words_for_any_shard_count() {
+        let pt = PortableTrace::record(&mut WideRacy);
+        let expected = detect(&mut WideRacy, Variant::Stint).report.racy_words();
+        assert!(!expected.is_empty());
+        for k in [1, 2, 3, 7, 16] {
+            let out = batch_detect(&pt, &cfg(k, 2, 0)).unwrap();
+            assert_eq!(out.merged.racy_words, expected, "K={k}");
+            assert!(out.degraded.is_none());
+            assert_eq!(out.shards.len(), k);
+        }
+    }
+
+    #[test]
+    fn render_is_invariant_in_shards_workers_and_seed() {
+        let pt = PortableTrace::record(&mut WideRacy);
+        let baseline = batch_detect(&pt, &cfg(1, 1, 0)).unwrap().merged.render();
+        for (k, w, seed) in [(2, 1, 0), (4, 3, 0), (4, 3, 0xDEAD_BEEF), (9, 2, 7)] {
+            let got = batch_detect(&pt, &cfg(k, w, seed)).unwrap().merged.render();
+            assert_eq!(got, baseline, "K={k} workers={w} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn race_free_program_stays_race_free() {
+        let pt = PortableTrace::record(&mut CleanFanout);
+        let out = batch_detect(&pt, &cfg(5, 2, 0)).unwrap();
+        assert!(out.merged.is_race_free());
+        assert!(out.merged.racy_words.is_empty());
+        // Every access event lands in at least one shard.
+        let routed: u64 = out.shards.iter().map(|s| s.events).sum();
+        let accesses = pt
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.op != TraceOp::StrandEnd)
+            .count() as u64;
+        assert!(routed >= accesses, "routed {routed} < accesses {accesses}");
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let pt = PortableTrace {
+            trace: Trace::default(),
+            reach: FrozenReach::from_ranks(vec![0], vec![0]),
+        };
+        let out = batch_detect(&pt, &cfg(4, 1, 0)).unwrap();
+        assert!(out.merged.is_race_free());
+        assert_eq!(out.events, 0);
+    }
+
+    #[test]
+    fn merged_stats_sum_shard_work() {
+        let pt = PortableTrace::record(&mut CleanFanout);
+        let out = batch_detect(&pt, &cfg(3, 2, 0)).unwrap();
+        assert!(out.stats.treap.ops > 0);
+        assert!(out.stats.strands_flushed > 0);
+        let per_shard: u64 = out.shards.iter().map(|s| s.stats.strands_flushed).sum();
+        assert_eq!(out.stats.strands_flushed, per_shard);
+    }
+
+    #[test]
+    fn out_of_range_strand_is_corrupt_not_a_panic() {
+        let mut pt = PortableTrace::record(&mut WideRacy);
+        pt.trace.events[0].strand = StrandId(10_000);
+        let err = batch_detect(&pt, &cfg(2, 1, 0)).unwrap_err();
+        assert!(matches!(err, DetectorError::CorruptTrace { .. }), "{err}");
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn load_trace_rejects_garbage_as_corrupt() {
+        for bad in [
+            "",
+            "WRONG MAGIC\n",
+            "STINT-TRACE v2\nstrands 0\nevents 0\n",
+            "STINT-TRACE v1\nstrands 1\n0 0\nevents 1\ns 99 0x40 4\n",
+        ] {
+            let err = load_trace(bad.as_bytes()).unwrap_err();
+            assert!(matches!(err, DetectorError::CorruptTrace { .. }), "{bad:?}");
+            assert_eq!(err.exit_code(), 4, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn to_report_round_trips_the_merge() {
+        let pt = PortableTrace::record(&mut WideRacy);
+        let out = batch_detect(&pt, &cfg(4, 2, 0)).unwrap();
+        let rep = out.merged.to_report();
+        assert_eq!(rep.racy_words(), out.merged.racy_words);
+        assert_eq!(rep.races().len(), out.merged.regions.len());
+    }
+}

@@ -1,0 +1,302 @@
+//! `batch` — scalability study for the sharded batch-mode detector.
+//!
+//! For every workload the binary records one portable trace, times the
+//! sequential STINT replay of it (the single-detector baseline), then times
+//! batch detection over K ∈ {1, 2, 4, 8} address shards with `workers = K`
+//! on the work-stealing pool. Each cell reports `speedup = t_seq / t_batch`;
+//! the headline number is the geomean speedup at K=4 over the *large*
+//! benchmarks (traces with at least [`LARGE_EVENTS`] events — small traces
+//! are fan-out-overhead-bound and say nothing about scalability).
+//!
+//! Every batch run is also cross-checked against the sequential replay: the
+//! merged racy-word set must match exactly, for every K. A mismatch is a
+//! detector bug and a hard failure, not a statistic.
+//!
+//! The emitted `BENCH_batch.json` records `hw_threads`
+//! (`available_parallelism`) so the gate in `perfgate --check` can enforce
+//! the >1.5x speedup bar only on machines that actually have ≥ 4 hardware
+//! threads; on smaller boxes the structural checks still run but the
+//! speedup bar is informational.
+//!
+//! Flags: `--scale {test|s|m|paper}` (default `s`), `--reps N` (best-of-N
+//! per cell, default 3), `--bench NAME`, `--out PATH` (default
+//! `BENCH_batch.json`).
+
+use std::time::{Duration, Instant};
+use stint::{PortableTrace, RaceReport, StintDetector};
+use stint_batchdet::{batch_detect, BatchConfig};
+use stint_bench::*;
+use stint_suite::{Scale, Workload, NAMES};
+
+/// Shard-count axis of the study. Must be strictly increasing — `jsoncheck
+/// batch` and `perfgate --check` verify the emitted axis is monotone.
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// A trace with at least this many events counts as *large*: big enough
+/// that per-shard detector setup and pool fan-out are amortized. The
+/// headline geomean is computed over large benches only (falling back to
+/// all benches if the scale produces none).
+const LARGE_EVENTS: u64 = 20_000;
+
+struct Args {
+    scale: Scale,
+    reps: u32,
+    out: String,
+    bench: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut a = Args {
+        scale: scale_from_args(),
+        reps: 3,
+        out: "BENCH_batch.json".to_string(),
+        bench: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--reps" => {
+                a.reps = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps needs a positive integer");
+                        std::process::exit(2);
+                    });
+                i += 1;
+            }
+            "--out" => {
+                a.out = argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            "--bench" => {
+                a.bench = Some(argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--bench needs a workload name");
+                    std::process::exit(2);
+                }));
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    a.reps = a.reps.max(1);
+    a
+}
+
+struct Cell {
+    shards: usize,
+    workers: usize,
+    wall: Duration,
+}
+
+struct Row {
+    bench: &'static str,
+    events: u64,
+    strands: usize,
+    seq: Duration,
+    cells: Vec<Cell>,
+}
+
+impl Row {
+    fn large(&self) -> bool {
+        self.events >= LARGE_EVENTS
+    }
+    fn speedup(&self, cell: &Cell) -> f64 {
+        self.seq.as_secs_f64() / cell.wall.as_secs_f64().max(1e-9)
+    }
+    fn speedup_at(&self, k: usize) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.shards == k)
+            .map(|c| self.speedup(c))
+    }
+}
+
+/// Best-of-N sequential STINT replay of the trace; also returns the
+/// racy-word set every batch run must reproduce.
+fn time_sequential(pt: &PortableTrace, reps: u32) -> (Duration, Vec<u64>) {
+    let mut best = Duration::MAX;
+    let mut words = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let det = pt.replay(StintDetector::new(RaceReport::unbounded(true)));
+        let wall = t0.elapsed();
+        best = best.min(wall);
+        words = det.report.racy_words();
+    }
+    (best, words)
+}
+
+/// Best-of-N batch detection at one shard count, cross-checked against the
+/// sequential racy-word set on every rep.
+fn time_batch(bench: &str, pt: &PortableTrace, k: usize, reps: u32, expected: &[u64]) -> Cell {
+    let cfg = BatchConfig {
+        shards: k,
+        workers: k,
+        steal_seed: 0,
+    };
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let out = batch_detect(pt, &cfg)
+            .unwrap_or_else(|e| panic!("{bench}: batch detection failed at K={k}: {e}"));
+        assert!(
+            out.degraded.is_none(),
+            "{bench}: degraded batch run at K={k} with no fault plan installed"
+        );
+        assert_eq!(
+            out.merged.racy_words, expected,
+            "{bench}: batch racy words diverge from sequential STINT at K={k}"
+        );
+        best = best.min(out.wall);
+    }
+    Cell {
+        shards: k,
+        workers: k,
+        wall: best,
+    }
+}
+
+fn run_bench(name: &'static str, scale: Scale, reps: u32) -> Row {
+    let mut w = Workload::by_name(name, scale);
+    let pt = PortableTrace::record(&mut w);
+    w.verify()
+        .unwrap_or_else(|e| panic!("{name}: workload output wrong after recording: {e}"));
+    let events = pt.trace.len() as u64;
+    let strands = pt.reach.strand_count();
+    let (seq, expected) = time_sequential(&pt, reps);
+    let cells = SHARDS
+        .iter()
+        .map(|&k| time_batch(name, &pt, k, reps, &expected))
+        .collect();
+    Row {
+        bench: name,
+        events,
+        strands,
+        seq,
+        cells,
+    }
+}
+
+fn write_json(path: &str, scale: Scale, reps: u32, hw: usize, rows: &[Row], headline: (f64, &str)) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"stint-bench-batch-v1\",\n");
+    j.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(scale)));
+    j.push_str(&format!("  \"reps\": {reps},\n"));
+    j.push_str(&format!("  \"hw_threads\": {hw},\n"));
+    j.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            concat!(
+                "    {{\"bench\": \"{}\", \"events\": {}, \"strands\": {}, ",
+                "\"large\": {}, \"seq_secs\": {:.6}, \"shards\": [\n"
+            ),
+            r.bench,
+            r.events,
+            r.strands,
+            r.large(),
+            r.seq.as_secs_f64(),
+        ));
+        for (ci, c) in r.cells.iter().enumerate() {
+            j.push_str(&format!(
+                "      {{\"k\": {}, \"workers\": {}, \"secs\": {:.6}, \"speedup\": {:.4}}}{}\n",
+                c.shards,
+                c.workers,
+                c.wall.as_secs_f64(),
+                r.speedup(c),
+                if ci + 1 < r.cells.len() { "," } else { "" },
+            ));
+        }
+        j.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"geomean_speedup_k4\": {:.4},\n  \"geomean_over\": \"{}\"\n}}\n",
+        headline.0, headline.1,
+    ));
+    std::fs::write(path, j).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+}
+
+fn main() {
+    let args = parse_args();
+    assert!(
+        !stint_faults::is_active(),
+        "the batch study must run with no fault plan installed"
+    );
+    if let Some(b) = args.bench.as_deref() {
+        if !NAMES.contains(&b) {
+            eprintln!("--bench {b}: no such workload (have: {})", NAMES.join(", "));
+            std::process::exit(2);
+        }
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "batch — sequential STINT replay vs K-sharded batch detection \
+         (scale={}, best of {}, {} hw thread(s))",
+        scale_name(args.scale),
+        args.reps,
+        hw
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for name in NAMES {
+        if args.bench.as_deref().is_some_and(|b| b != name) {
+            continue;
+        }
+        rows.push(run_bench(name, args.scale, args.reps));
+    }
+
+    let mut header = vec!["bench".to_string(), "events".to_string(), "seq".to_string()];
+    for k in SHARDS {
+        header.push(format!("K={k}"));
+    }
+    header.push("large".to_string());
+    let mut t = Table::new(header);
+    for r in &rows {
+        let mut cells = vec![r.bench.to_string(), r.events.to_string(), secs(r.seq)];
+        for c in &r.cells {
+            cells.push(format!("{:.2}x", r.speedup(c)));
+        }
+        cells.push(if r.large() { "yes" } else { "-" }.to_string());
+        t.row(cells);
+    }
+    t.print();
+
+    // Headline geomean: speedup at K=4 over large benches, falling back to
+    // every bench when the scale produced no large trace.
+    let large: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.large())
+        .filter_map(|r| r.speedup_at(4))
+        .collect();
+    let (pool, over) = if large.is_empty() {
+        let all: Vec<f64> = rows.iter().filter_map(|r| r.speedup_at(4)).collect();
+        (all, "all")
+    } else {
+        (large, "large")
+    };
+    let g = geomean(&pool);
+    println!();
+    println!(
+        "geomean speedup at K=4 over {over} benches: {g:.2}x \
+         ({} hw thread(s); the >1.5x bar applies at hw_threads >= 4)",
+        hw
+    );
+
+    write_json(&args.out, args.scale, args.reps, hw, &rows, (g, over));
+    println!("\nwrote {}", args.out);
+}

@@ -16,6 +16,12 @@
 //!                                   STATS, the gauge watermarks must bound
 //!                                   the detector's byte stats and Lemma 4.1
 //!                                   must hold on the reported watermarks
+//! jsoncheck batch BATCH             BATCH must be a stint-bench-batch-v1
+//!                                   scalability report: per bench a
+//!                                   strictly increasing shard axis with
+//!                                   positive timings and speedup fields,
+//!                                   plus the hw_threads-stamped headline
+//!                                   geomean
 //! ```
 //!
 //! Exit codes: 0 = all checks passed, 1 = a check failed, 2 = usage error.
@@ -167,6 +173,80 @@ fn memseries(series_path: &str, stats_path: Option<&str>) {
     println!("ok: gauge watermarks bound the detector byte stats (Lemma 4.1 holds)");
 }
 
+/// Structural validation of the batch-scalability report (`BENCH_batch.json`
+/// from the `batch` binary): the shard axis must be strictly increasing per
+/// bench, every cell must carry positive timings plus a speedup, and the
+/// headline geomean must be stamped with the machine's thread count (the
+/// conditional speedup gate in `perfgate --check` keys off it).
+fn batch(path: &str) {
+    let doc = load(path);
+    schema(&doc, path, "stint-bench-batch-v1");
+    let f64_field = |v: &Value, key: &str, ctx: &str| -> f64 {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing numeric field {key:?}")))
+    };
+    let hw = u64_field(&doc, "hw_threads", path);
+    if hw == 0 {
+        fail(format!("{path}: hw_threads is 0"));
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(format!("{path}: no benches array")));
+    if benches.is_empty() {
+        fail(format!("{path}: empty benches array"));
+    }
+    let mut cells = 0usize;
+    for b in benches {
+        let name = b
+            .get("bench")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(format!("{path}: bench entry without a name")));
+        let ctx = format!("{path}: {name}");
+        if f64_field(b, "seq_secs", &ctx) <= 0.0 {
+            fail(format!("{ctx}: non-positive seq_secs"));
+        }
+        if b.get("large").and_then(Value::as_bool).is_none() {
+            fail(format!("{ctx}: missing boolean field \"large\""));
+        }
+        let shards = b
+            .get("shards")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| fail(format!("{ctx}: no shards array")));
+        if shards.is_empty() {
+            fail(format!("{ctx}: empty shard axis"));
+        }
+        let mut prev_k = 0u64;
+        for s in shards {
+            let k = u64_field(s, "k", &ctx);
+            if k <= prev_k {
+                fail(format!(
+                    "{ctx}: shard axis not strictly increasing (k={k} after {prev_k})"
+                ));
+            }
+            prev_k = k;
+            u64_field(s, "workers", &ctx);
+            if f64_field(s, "secs", &ctx) <= 0.0 {
+                fail(format!("{ctx}: non-positive secs at k={k}"));
+            }
+            if f64_field(s, "speedup", &ctx) <= 0.0 {
+                fail(format!("{ctx}: non-positive speedup at k={k}"));
+            }
+            cells += 1;
+        }
+    }
+    f64_field(&doc, "geomean_speedup_k4", path);
+    if doc.get("geomean_over").and_then(Value::as_str).is_none() {
+        fail(format!("{path}: missing geomean_over"));
+    }
+    println!(
+        "ok: {} benches x {cells} cells, shard axes monotone, \
+         speedups present (hw_threads={hw})",
+        benches.len()
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -180,11 +260,13 @@ fn main() {
         Some("memseries") if argv.len() == 2 || argv.len() == 3 => {
             memseries(&argv[1], argv.get(2).map(String::as_str))
         }
+        Some("batch") if argv.len() == 2 => batch(&argv[1]),
         _ => {
             eprintln!(
                 "usage: jsoncheck validate FILE...\n       \
                  jsoncheck agree STATS METRICS\n       \
-                 jsoncheck memseries SERIES [STATS]"
+                 jsoncheck memseries SERIES [STATS]\n       \
+                 jsoncheck batch BATCH"
             );
             std::process::exit(2);
         }

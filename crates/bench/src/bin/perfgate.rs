@@ -262,6 +262,93 @@ fn check_space_report(path: &str) {
     println!("check passed: Lemma 4.1 holds in all {cases} recorded space cases");
 }
 
+/// Minimum geomean K=4 speedup the sharded batch detector must deliver —
+/// enforced only when the report was produced on a machine with at least
+/// four hardware threads. With fewer threads every shard time-slices one
+/// core and a slowdown is the *expected* result, so the bar would only
+/// measure the scheduler; the structural checks still run there.
+const BATCH_SPEEDUP_BAR: f64 = 1.5;
+const BATCH_HW_FLOOR: u64 = 4;
+
+/// Gate the batch-scalability report (regenerated by the `batch` binary; see
+/// `scripts/perfgate.sh`). Structure first: a strictly increasing shard axis
+/// per bench with speedup fields on every cell. Then, on machines with
+/// [`BATCH_HW_FLOOR`]+ hardware threads, the recorded headline geomean at
+/// K=4 must clear [`BATCH_SPEEDUP_BAR`]. Absent file = the study has not
+/// run; that is only a warning, like the space report.
+fn check_batch_report(path: &str) {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        eprintln!("warning: no {path} (run the `batch` binary to gate the scalability study)");
+        return;
+    };
+    let fail = |msg: String| -> ! {
+        eprintln!("FAIL: {path}: {msg}");
+        std::process::exit(1);
+    };
+    let doc = stint_bench::json::parse(&content).unwrap_or_else(|e| fail(e));
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("stint-bench-batch-v1") {
+        fail("not a stint-bench-batch-v1 document".into());
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| fail("missing benches array".into()));
+    if benches.is_empty() {
+        fail("empty benches array".into());
+    }
+    for b in benches {
+        let name = b.get("bench").and_then(|v| v.as_str()).unwrap_or("?");
+        let shards = b
+            .get("shards")
+            .and_then(|v| v.as_array())
+            .unwrap_or_else(|| fail(format!("{name}: missing shards array")));
+        let mut prev_k = 0u64;
+        for s in shards {
+            let k = s
+                .get("k")
+                .and_then(|v| v.as_u64())
+                .unwrap_or_else(|| fail(format!("{name}: shard cell without k")));
+            if k <= prev_k {
+                fail(format!(
+                    "{name}: shard axis not strictly increasing at k={k}"
+                ));
+            }
+            prev_k = k;
+            if s.get("speedup").and_then(|v| v.as_f64()).is_none() {
+                fail(format!("{name}: shard cell k={k} without a speedup field"));
+            }
+        }
+        if prev_k == 0 {
+            fail(format!("{name}: empty shard axis"));
+        }
+    }
+    let hw = doc
+        .get("hw_threads")
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| fail("missing hw_threads".into()));
+    let g = doc
+        .get("geomean_speedup_k4")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail("missing geomean_speedup_k4".into()));
+    if hw >= BATCH_HW_FLOOR {
+        if g < BATCH_SPEEDUP_BAR {
+            fail(format!(
+                "batch geomean speedup at K=4 is {g:.2}x on {hw} hw threads \
+                 (bar: {BATCH_SPEEDUP_BAR}x)"
+            ));
+        }
+        println!(
+            "check passed: batch K=4 geomean {g:.2}x clears the \
+             {BATCH_SPEEDUP_BAR}x bar on {hw} hw threads"
+        );
+    } else {
+        println!(
+            "check passed: batch report structurally sound; speedup bar waived \
+             (geomean {g:.2}x on {hw} hw thread(s), bar applies at >= {BATCH_HW_FLOOR})"
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     // The numbers below are only meaningful on the faults-disabled path; a
@@ -405,6 +492,7 @@ fn main() {
         }
 
         check_space_report("BENCH_space.json");
+        check_batch_report("BENCH_batch.json");
     }
 
     // Disabled observability must stay disabled: if any counter registered,

@@ -218,6 +218,16 @@ impl ThreadPool {
     /// came up, down to zero (fully sequential execution). Fault plans are
     /// sampled here, at construction.
     pub fn new(threads: usize) -> Self {
+        Self::with_seed(threads, 0)
+    }
+
+    /// As [`ThreadPool::new`], but perturbing the steal schedule: `seed`
+    /// picks each worker's initial round-robin victim. Victim choice never
+    /// affects *what* is computed — only which worker runs which job — so
+    /// two pools with different seeds are a cheap way to exercise
+    /// schedule-independence claims (the batch detector's metamorphic tests
+    /// replay under several seeds and require byte-identical reports).
+    pub fn with_seed(threads: usize, seed: u64) -> Self {
         let threads = threads.max(1);
         let deques: Vec<Deque<JobRef>> = (0..threads).map(|_| Deque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
@@ -242,11 +252,19 @@ impl ThreadPool {
             }
             let panic_at_start = faults && stint_faults::worker_panics(i);
             let shared = Arc::clone(&shared);
+            // Each worker's first steal victim: the next worker by default,
+            // shuffled per-worker when a seed is given. The steal loop wraps
+            // modulo the worker count, so any usize works.
+            let start_victim = if seed == 0 {
+                i + 1
+            } else {
+                splitmix64(seed ^ (i as u64 + 1)) as usize % threads
+            };
             // A dropped deque's Stealer just reports Empty, so the stealers
             // registered for failed workers stay safe to probe.
             match std::thread::Builder::new()
                 .name(format!("cilkrt-worker-{i}"))
-                .spawn(move || worker_main(shared, i, deque, panic_at_start))
+                .spawn(move || worker_main(shared, i, deque, panic_at_start, start_victim))
             {
                 Ok(h) => handles.push(h),
                 Err(_) => failed += 1,
@@ -547,7 +565,22 @@ impl Drop for AliveGuard {
     }
 }
 
-fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<JobRef>, panic_at_start: bool) {
+/// SplitMix64 — the standard 64-bit avalanche mix, used only to scatter
+/// seeded steal-schedule start victims.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn worker_main(
+    shared: Arc<Shared>,
+    index: usize,
+    deque: Deque<JobRef>,
+    panic_at_start: bool,
+    start_victim: usize,
+) {
     shared.alive.fetch_add(1, Ordering::AcqRel);
     let _alive = AliveGuard {
         shared: Arc::clone(&shared),
@@ -563,7 +596,7 @@ fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<JobRef>, panic_at
             shared: Arc::clone(&shared),
             index,
             deque,
-            next_victim: Cell::new(index + 1),
+            next_victim: Cell::new(start_victim),
         });
     });
     let mut idle_spins = 0u32;

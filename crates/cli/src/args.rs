@@ -9,19 +9,24 @@ pub const USAGE: &str = "\
 stint-cli — STINT race detector (SPAA 2021 reproduction)
 
 USAGE:
-  stint-cli detect <bench> [--variant V] [--scale S]
+  stint-cli detect <bench> [--variant V] [--scale S] [--shards K]
   stint-cli bugs
   stint-cli trace record <bench> <file> [--scale S]
   stint-cli trace info <file>
-  stint-cli trace replay <file> [--variant V]
+  stint-cli trace replay <file> [--variant V] [--shards K]
   stint-cli grid [n]
   stint-cli help
 
   <bench>    chol | fft | heat | mmul | sort | stra | straz
   --variant  vanilla | compiler | comp+rts | stint (default) | stint-btree;
              detect also accepts 'all' (every variant, run in parallel on a
-             work-stealing pool)
+             work-stealing pool); detect and trace replay also accept
+             'batch' (two-phase batch mode: record/load the trace, then
+             fan detection out over contiguous address shards on the
+             work-stealing pool; the merged report is identical to the
+             sequential one for every shard count)
   --scale    test (default) | s | m | paper
+  --shards   address shards for --variant batch (1..=4096, default 4)
 
 GLOBAL OPTIONS (any command):
   --fault-plan SPEC   install a deterministic fault plan (key=value,flag,...;
@@ -53,7 +58,8 @@ GLOBAL OPTIONS (any command):
 
 EXIT CODE: 0 = no races, 1 = races found, 2 = usage/IO error,
            3 = detector resource budget exhausted (report sound up to the
-               failure point), 4 = internal detector failure.";
+               failure point), 4 = internal detector failure or corrupt
+               trace file (batch replay validates before detecting).";
 
 /// Process/run-level options valid with every command: fault injection,
 /// resource budgets and observability (budgets and `--stats-json` only
@@ -72,11 +78,14 @@ pub struct RunOpts {
     pub stats_json: Option<String>,
 }
 
-/// `--variant` argument: one concrete variant, or `all` of them.
+/// `--variant` argument: one concrete variant, `all` of them, or the
+/// sharded `batch` mode (which is a detection *strategy*, not a core
+/// [`Variant`] — it always runs STINT detectors, one per address shard).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VariantSel {
     One(Variant),
     All,
+    Batch,
 }
 
 #[derive(Debug, PartialEq)]
@@ -86,6 +95,7 @@ pub enum Parsed {
         bench: String,
         variant: VariantSel,
         scale: Scale,
+        shards: usize,
     },
     Bugs,
     TraceRecord {
@@ -98,7 +108,8 @@ pub enum Parsed {
     },
     TraceReplay {
         file: String,
-        variant: Variant,
+        variant: VariantSel,
+        shards: usize,
     },
     Grid {
         n: usize,
@@ -113,6 +124,7 @@ fn parse_variant(s: &str) -> Result<VariantSel, String> {
         "stint" => Ok(VariantSel::One(Variant::Stint)),
         "stint-btree" | "btree" => Ok(VariantSel::One(Variant::StintFlat)),
         "all" => Ok(VariantSel::All),
+        "batch" => Ok(VariantSel::Batch),
         _ => Err(format!("unknown variant {s:?}")),
     }
 }
@@ -121,11 +133,13 @@ fn parse_scale(s: &str) -> Result<Scale, String> {
     Scale::parse(s).ok_or_else(|| format!("unknown scale {s:?}"))
 }
 
-/// Pull `--variant`/`--scale` options out of `rest`, leaving positionals.
-fn split_opts(rest: &[String]) -> Result<(Vec<String>, VariantSel, Scale), String> {
+/// Pull `--variant`/`--scale`/`--shards` options out of `rest`, leaving
+/// positionals.
+fn split_opts(rest: &[String]) -> Result<(Vec<String>, VariantSel, Scale, usize), String> {
     let mut pos = Vec::new();
     let mut variant = VariantSel::One(Variant::Stint);
     let mut scale = Scale::Test;
+    let mut shards = 4usize;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -139,6 +153,14 @@ fn split_opts(rest: &[String]) -> Result<(Vec<String>, VariantSel, Scale), Strin
                 scale = parse_scale(v)?;
                 i += 2;
             }
+            "--shards" => {
+                let v = rest.get(i + 1).ok_or("--shards needs a value")?;
+                shards = v.parse().map_err(|_| format!("bad --shards {v:?}"))?;
+                if shards == 0 || shards > 4096 {
+                    return Err("--shards must be in 1..=4096".into());
+                }
+                i += 2;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}"));
             }
@@ -148,7 +170,7 @@ fn split_opts(rest: &[String]) -> Result<(Vec<String>, VariantSel, Scale), Strin
             }
         }
     }
-    Ok((pos, variant, scale))
+    Ok((pos, variant, scale, shards))
 }
 
 /// Strip the global options (valid anywhere on the command line) out of
@@ -228,7 +250,7 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
     match cmd {
         "help" | "--help" | "-h" => Ok(Parsed::Help),
         "detect" => {
-            let (pos, variant, scale) = split_opts(&argv[1..])?;
+            let (pos, variant, scale, shards) = split_opts(&argv[1..])?;
             let [bench] = pos.as_slice() else {
                 return Err("detect takes exactly one benchmark name".into());
             };
@@ -239,6 +261,7 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                 bench: bench.clone(),
                 variant,
                 scale,
+                shards,
             })
         }
         "bugs" => Ok(Parsed::Bugs),
@@ -249,7 +272,7 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                 .ok_or("trace needs a subcommand")?;
             match sub {
                 "record" => {
-                    let (pos, _variant, scale) = split_opts(&argv[2..])?;
+                    let (pos, _variant, scale, _shards) = split_opts(&argv[2..])?;
                     let [bench, file] = pos.as_slice() else {
                         return Err("trace record takes <bench> <file>".into());
                     };
@@ -269,16 +292,20 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                     Ok(Parsed::TraceInfo { file: file.clone() })
                 }
                 "replay" => {
-                    let (pos, variant, _scale) = split_opts(&argv[2..])?;
+                    let (pos, variant, _scale, shards) = split_opts(&argv[2..])?;
                     let [file] = pos.as_slice() else {
                         return Err("trace replay takes <file>".into());
                     };
-                    let VariantSel::One(variant) = variant else {
-                        return Err("trace replay needs one concrete --variant, not 'all'".into());
-                    };
+                    if variant == VariantSel::All {
+                        return Err(
+                            "trace replay needs one concrete --variant (or 'batch'), not 'all'"
+                                .into(),
+                        );
+                    }
                     Ok(Parsed::TraceReplay {
                         file: file.clone(),
                         variant,
+                        shards,
                     })
                 }
                 _ => Err(format!("unknown trace subcommand {sub:?}")),
@@ -323,6 +350,7 @@ mod tests {
                 bench: "sort".into(),
                 variant: VariantSel::One(Variant::CompRts),
                 scale: Scale::S,
+                shards: 4,
             }
         );
     }
@@ -336,10 +364,56 @@ mod tests {
                 bench: "fft".into(),
                 variant: VariantSel::All,
                 scale: Scale::Test,
+                shards: 4,
             }
         );
         // `all` makes no sense for a single-detector replay.
         assert!(parse_cmd(&v(&["trace", "replay", "/tmp/t", "--variant", "all"])).is_err());
+    }
+
+    #[test]
+    fn parses_variant_batch_and_shards() {
+        let p = parse_cmd(&v(&[
+            "detect",
+            "mmul",
+            "--variant",
+            "batch",
+            "--shards",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::Detect {
+                bench: "mmul".into(),
+                variant: VariantSel::Batch,
+                scale: Scale::Test,
+                shards: 7,
+            }
+        );
+        // Batch replays a saved trace too, unlike 'all'.
+        let p = parse_cmd(&v(&[
+            "trace",
+            "replay",
+            "/tmp/t",
+            "--variant",
+            "batch",
+            "--shards",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::TraceReplay {
+                file: "/tmp/t".into(),
+                variant: VariantSel::Batch,
+                shards: 16,
+            }
+        );
+        assert!(parse_cmd(&v(&["detect", "mmul", "--shards", "0"])).is_err());
+        assert!(parse_cmd(&v(&["detect", "mmul", "--shards", "5000"])).is_err());
+        assert!(parse_cmd(&v(&["detect", "mmul", "--shards", "many"])).is_err());
+        assert!(parse_cmd(&v(&["detect", "mmul", "--shards"])).is_err());
     }
 
     #[test]
@@ -351,6 +425,7 @@ mod tests {
                 bench: "fft".into(),
                 variant: VariantSel::One(Variant::Stint),
                 scale: Scale::Test,
+                shards: 4,
             }
         );
         assert_eq!(parse(&v(&[])).unwrap().0, Parsed::Help);
@@ -400,7 +475,8 @@ mod tests {
             .0,
             Parsed::TraceReplay {
                 file: "/tmp/t.trace".into(),
-                variant: Variant::Vanilla,
+                variant: VariantSel::One(Variant::Vanilla),
+                shards: 4,
             }
         );
     }
@@ -426,6 +502,7 @@ mod tests {
                 bench: "mmul".into(),
                 variant: VariantSel::One(Variant::Stint),
                 scale: Scale::Test,
+                shards: 4,
             }
         );
         assert_eq!(opts.max_intervals, Some(10));

@@ -1,20 +1,21 @@
 //! `stint-cli` — command-line front end for the STINT reproduction.
 //!
 //! ```text
-//! stint-cli detect <bench> [--variant V] [--scale S]   race detect a benchmark
+//! stint-cli detect <bench> [--variant V] [--scale S] [--shards K]
 //! stint-cli bugs                                        run the buggy variants
 //! stint-cli trace record <bench> <file> [--scale S]     record a portable trace
 //! stint-cli trace info <file>                           inspect a trace file
-//! stint-cli trace replay <file> [--variant V]           detect from a trace
+//! stint-cli trace replay <file> [--variant V] [--shards K]
 //! stint-cli grid [n]                                    wavefront demo (Smith-Waterman)
 //! ```
 //!
-//! Variants: vanilla | compiler | comp+rts | stint | stint-btree.
+//! Variants: vanilla | compiler | comp+rts | stint | stint-btree, plus
+//! `batch` (sharded batch mode on the work-stealing pool; `--shards K`).
 //! Scales: test | s | m | paper.
 //!
 //! Exit codes: 0 = no races, 1 = races found, 2 = usage/IO error,
 //! 3 = detector resource budget exhausted (report sound up to the failure
-//! point), 4 = internal detector failure.
+//! point), 4 = internal detector failure or corrupt trace file.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::fs::File;
@@ -30,7 +31,8 @@ mod args;
 mod output;
 
 use args::{Parsed, RunOpts, VariantSel};
-use output::{print_outcome, print_report, write_stats_json};
+use output::{print_batch_outcome, print_outcome, print_report, write_stats_json};
+use stint_batchdet::{batch_detect, BatchConfig};
 
 /// A failed run: either bad input (exit 2) or a structured detector failure
 /// (exit 3 for resource exhaustion, 4 for a poisoned session).
@@ -200,13 +202,18 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             bench,
             variant,
             scale,
+            shards,
         } => {
             let mut cfg = Config::new(Variant::Stint);
             if let Some(mb) = opts.max_shadow_mb {
                 cfg.budget = cfg.budget.with_shadow_mb(mb);
             }
             cfg.budget.max_intervals = opts.max_intervals;
+            if variant == VariantSel::Batch {
+                return detect_batch(&bench, scale, shards, opts);
+            }
             let outcomes = match variant {
+                VariantSel::Batch => unreachable!("handled above"),
                 VariantSel::One(v) => {
                     cfg.variant = v;
                     let mut w = Workload::by_name(&bench, scale);
@@ -295,20 +302,50 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             }
             Ok(false)
         }
-        Parsed::TraceReplay { file, variant } => {
-            let pt = load_trace(&file).map_err(usage)?;
-            let report = RaceReport::default();
-            let report = match variant {
-                Variant::Vanilla => pt.replay(VanillaDetector::new(false, report)).report,
-                Variant::Compiler => pt.replay(VanillaDetector::new(true, report)).report,
-                Variant::CompRts => pt.replay(CompRtsDetector::new(report)).report,
-                Variant::Stint => pt.replay(StintDetector::new(report)).report,
-                Variant::StintFlat => pt.replay(StintFlatDetector::new_flat(report)).report,
-            };
-            println!("replayed {} events under {}:", pt.trace.len(), variant);
-            print_report(&report, 10);
-            Ok(!report.is_race_free())
-        }
+        Parsed::TraceReplay {
+            file,
+            variant,
+            shards,
+        } => match variant {
+            VariantSel::All => Err(usage("trace replay cannot run 'all'")),
+            VariantSel::Batch => {
+                // Batch replay validates the file before detecting: a
+                // truncated, bit-flipped, or wrong-version trace is a
+                // structured CorruptTrace failure (exit 4), never a panic.
+                let f = File::open(&file).map_err(|e| usage(format!("open {file}: {e}")))?;
+                let pt =
+                    stint_batchdet::load_trace(BufReader::new(f)).map_err(Failure::Detector)?;
+                let bcfg = BatchConfig {
+                    shards,
+                    ..BatchConfig::default()
+                };
+                let out = batch_detect(&pt, &bcfg).map_err(Failure::Detector)?;
+                // The header and merged report are invariant in the shard
+                // count and steal schedule, so scripts can byte-diff this
+                // output across K.
+                println!("replayed {} events under batch:", out.events);
+                let report = out.merged.to_report();
+                print_report(&report, 10);
+                if let Some(err) = out.degraded {
+                    return Err(Failure::Detector(err));
+                }
+                Ok(!report.is_race_free())
+            }
+            VariantSel::One(variant) => {
+                let pt = load_trace(&file).map_err(usage)?;
+                let report = RaceReport::default();
+                let report = match variant {
+                    Variant::Vanilla => pt.replay(VanillaDetector::new(false, report)).report,
+                    Variant::Compiler => pt.replay(VanillaDetector::new(true, report)).report,
+                    Variant::CompRts => pt.replay(CompRtsDetector::new(report)).report,
+                    Variant::Stint => pt.replay(StintDetector::new(report)).report,
+                    Variant::StintFlat => pt.replay(StintFlatDetector::new_flat(report)).report,
+                };
+                println!("replayed {} events under {}:", pt.trace.len(), variant);
+                print_report(&report, 10);
+                Ok(!report.is_race_free())
+            }
+        },
         Parsed::Grid { n } => {
             use stint_grid::wavefront::SmithWaterman;
             let a: Vec<u8> = (0..n).map(|i| b"ACGT"[(i * 7 + 1) % 4]).collect();
@@ -324,6 +361,36 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             Ok(!report.is_race_free())
         }
     }
+}
+
+/// `detect --variant batch`: record the benchmark into a portable trace
+/// (phase 1 — sequential control-flow replay building the frozen SP-Order),
+/// then fan detection out over `shards` address shards on the work-stealing
+/// pool (phase 2) and print the deterministically merged report.
+fn detect_batch(bench: &str, scale: Scale, shards: usize, opts: &RunOpts) -> Result<bool, Failure> {
+    if opts.max_shadow_mb.is_some() || opts.max_intervals.is_some() {
+        return Err(usage(
+            "resource budgets are not supported with --variant batch",
+        ));
+    }
+    if opts.stats_json.is_some() {
+        return Err(usage("--stats-json is not supported with --variant batch"));
+    }
+    let mut w = Workload::by_name(bench, scale);
+    let pt = PortableTrace::record(&mut w);
+    w.verify()
+        .map_err(|e| usage(format!("output verification: {e}")))?;
+    let bcfg = BatchConfig {
+        shards,
+        ..BatchConfig::default()
+    };
+    let out = batch_detect(&pt, &bcfg).map_err(Failure::Detector)?;
+    print_batch_outcome(bench, &out);
+    if let Some(err) = out.degraded {
+        // Sound but incomplete, exactly like a degraded sequential run.
+        return Err(Failure::Detector(err));
+    }
+    Ok(!out.merged.is_race_free())
 }
 
 /// Run every variant of `bench` concurrently, one task per variant, on a

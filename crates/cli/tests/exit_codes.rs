@@ -105,6 +105,130 @@ fn fault_plan_env_var_is_honored() {
     assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
 }
 
+/// Unique temp path for one test's scratch trace file.
+fn tmp_trace(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("stint-cli-{tag}-{}.trace", std::process::id()))
+}
+
+#[test]
+fn batch_replay_is_shard_invariant_and_exits_0_on_clean_traces() {
+    let path = tmp_trace("clean");
+    let p = path.to_str().expect("utf-8 temp path");
+    let out = run(&["trace", "record", "sort", p]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let a = run(&["trace", "replay", p, "--variant", "batch", "--shards", "1"]);
+    assert_eq!(code(&a), 0, "stderr: {}", stderr(&a));
+    let b = run(&["trace", "replay", p, "--variant", "batch", "--shards", "7"]);
+    assert_eq!(code(&b), 0, "stderr: {}", stderr(&b));
+    // The replay output is byte-identical regardless of the shard count.
+    assert_eq!(a.stdout, b.stdout, "batch replay output varies with K");
+    assert!(String::from_utf8_lossy(&a.stdout).contains("race free"));
+    let _ = std::fs::remove_file(&path);
+
+    let out = run(&["detect", "sort", "--variant", "batch", "--shards", "3"]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("race free"));
+}
+
+#[test]
+fn batch_exit_1_on_a_racy_trace() {
+    // Hand-written trace: strands 1 and 2 have crossed English/Hebrew
+    // ranks, so they are parallel — and both write word 0x10.
+    let path = tmp_trace("racy");
+    std::fs::write(
+        &path,
+        "STINT-TRACE v1\nstrands 3\n0 0\n1 2\n2 1\nevents 4\n\
+         s 1 0x40 4\ne 1 0x0 0\ns 2 0x40 4\ne 2 0x0 0\n",
+    )
+    .expect("write racy trace");
+    let p = path.to_str().expect("utf-8 temp path");
+    let out = run(&["trace", "replay", p, "--variant", "batch"]);
+    assert_eq!(code(&out), 1, "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("write-write"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn batch_exit_4_on_corrupted_traces() {
+    let good = "STINT-TRACE v1\nstrands 3\n0 0\n1 2\n2 1\nevents 4\n\
+                s 1 0x40 4\ne 1 0x0 0\ns 2 0x40 4\ne 2 0x0 0\n";
+    let corruptions: [(&str, String); 3] = [
+        ("truncated", good[..good.len() / 2].to_string()),
+        (
+            "version",
+            good.replacen("STINT-TRACE v1", "STINT-TRACE v3", 1),
+        ),
+        // Parses fine, but the strand id does not exist in the snapshot.
+        ("bitflip", good.replacen("s 2 0x40 4", "s 222 0x40 4", 1)),
+    ];
+    for (tag, text) in corruptions {
+        let path = tmp_trace(tag);
+        std::fs::write(&path, text).expect("write corrupt trace");
+        let p = path.to_str().expect("utf-8 temp path");
+        let out = run(&["trace", "replay", p, "--variant", "batch"]);
+        assert_eq!(code(&out), 4, "{tag}: stderr: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("corrupt trace"),
+            "{tag}: stderr: {}",
+            stderr(&out)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn batch_usage_errors_exit_2() {
+    for args in [
+        &["detect", "sort", "--variant", "batch", "--shards", "0"][..],
+        &["detect", "sort", "--variant", "batch", "--shards", "9999"][..],
+        &[
+            "trace",
+            "replay",
+            "/nonexistent.trace",
+            "--variant",
+            "batch",
+        ][..],
+        &[
+            "detect",
+            "sort",
+            "--variant",
+            "batch",
+            "--stats-json",
+            "/tmp/x.json",
+        ][..],
+        &[
+            "detect",
+            "sort",
+            "--variant",
+            "batch",
+            "--max-intervals",
+            "9",
+        ][..],
+    ] {
+        let out = run(args);
+        assert_eq!(code(&out), 2, "args {args:?}, stderr: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn batch_exit_4_on_injected_shard_panic() {
+    let out = run(&[
+        "detect",
+        "sort",
+        "--variant",
+        "batch",
+        "--fault-plan",
+        "panic-at-flush=1",
+    ]);
+    assert_eq!(code(&out), 4, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("poisoned"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
 #[test]
 fn degraded_run_still_prints_partial_report() {
     // The partial report must be printed before the exit-3 error: the

@@ -79,6 +79,14 @@ impl Default for RaceReport {
 }
 
 impl RaceReport {
+    /// A report with no detail cap. The batch detector's per-shard reports
+    /// use this so the merged, per-word-normalized report is a function of
+    /// the trace alone — a cap would truncate differently at different
+    /// shard counts and break the byte-identical merge guarantee.
+    pub fn unbounded(collect_words: bool) -> Self {
+        Self::new(usize::MAX, collect_words)
+    }
+
     pub fn new(cap: usize, collect_words: bool) -> Self {
         RaceReport {
             races: Vec::new(),

@@ -30,6 +30,14 @@ impl Sided {
             self.interval_bytes as f64 / self.intervals as f64
         }
     }
+
+    fn merge(&mut self, other: &Sided) {
+        self.hooks += other.hooks;
+        self.hook_bytes += other.hook_bytes;
+        self.words += other.words;
+        self.intervals += other.intervals;
+        self.interval_bytes += other.interval_bytes;
+    }
 }
 
 /// Statistics collected by a detector run.
@@ -103,6 +111,29 @@ impl DetectorStats {
         } else {
             self.page_batch_words as f64 / self.page_batches as f64
         }
+    }
+
+    /// Fold another run's statistics into this one. Used by the batch
+    /// detector to aggregate per-shard stats: counters and times sum;
+    /// `treap_len_hw` sums the per-shard peaks, an upper bound on the true
+    /// simultaneous peak (shards need not peak at the same moment).
+    pub fn merge(&mut self, other: &DetectorStats) {
+        self.read.merge(&other.read);
+        self.write.merge(&other.write);
+        self.ah_time += other.ah_time;
+        self.hash_ops += other.hash_ops;
+        self.treap.merge(&other.treap);
+        self.strands_flushed += other.strands_flushed;
+        self.reach_hits += other.reach_hits;
+        self.reach_misses += other.reach_misses;
+        self.reach_flushes += other.reach_flushes;
+        self.hook_filter_hits += other.hook_filter_hits;
+        self.page_batches += other.page_batches;
+        self.page_batch_words += other.page_batch_words;
+        self.ah_bytes += other.ah_bytes;
+        self.coalesce_bytes += other.coalesce_bytes;
+        self.treap_inserts += other.treap_inserts;
+        self.treap_len_hw += other.treap_len_hw;
     }
 
     /// Every integer field as a named `("detector.…", value)` pair. This is

@@ -173,6 +173,37 @@ impl PortableTrace {
         replay(&self.trace, &self.reach, det)
     }
 
+    /// Check that the trace is internally consistent: every event's strand
+    /// exists in the frozen reachability snapshot and no event's byte range
+    /// overflows the address space. [`PortableTrace::load`] checks syntax
+    /// only; a bit flip inside a strand or length field still parses, and
+    /// replaying it would index out of bounds — callers that detect from
+    /// untrusted files run this first.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.reach.strand_count();
+        for (i, e) in self.trace.events.iter().enumerate() {
+            if e.strand.index() >= n {
+                return Err(format!(
+                    "event {i}: strand {} out of range (trace has {n} strands)",
+                    e.strand.0
+                ));
+            }
+            // `word_range` rounds the end up via `addr + bytes + 3`, so the
+            // whole rounded sum must fit.
+            if e.addr
+                .checked_add(e.bytes)
+                .and_then(|s| s.checked_add(3))
+                .is_none()
+            {
+                return Err(format!(
+                    "event {i}: byte range {:#x}+{} overflows the address space",
+                    e.addr, e.bytes
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Serialize to the simple line-oriented `STINT-TRACE v1` text format.
     pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         writeln!(w, "STINT-TRACE v1")?;

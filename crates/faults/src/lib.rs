@@ -86,6 +86,11 @@ pub enum DetectorError {
     /// A panic unwound through the detector; its state is poisoned and the
     /// partial verdict must not be trusted.
     Poisoned { detail: String },
+    /// A recorded trace failed to parse or validate (truncated file, flipped
+    /// bits, wrong format version, strand ids outside the frozen
+    /// reachability snapshot). Nothing was detected; there is no partial
+    /// verdict at all.
+    CorruptTrace { detail: String },
 }
 
 impl DetectorError {
@@ -93,7 +98,7 @@ impl DetectorError {
     pub fn exit_code(&self) -> u8 {
         match self {
             DetectorError::ResourceExhausted { .. } => 3,
-            DetectorError::Poisoned { .. } => 4,
+            DetectorError::Poisoned { .. } | DetectorError::CorruptTrace { .. } => 4,
         }
     }
 
@@ -145,6 +150,9 @@ impl std::fmt::Display for DetectorError {
             }
             DetectorError::Poisoned { detail } => {
                 write!(f, "detector state poisoned by panic: {detail}")
+            }
+            DetectorError::CorruptTrace { detail } => {
+                write!(f, "corrupt trace: {detail}")
             }
         }
     }

@@ -355,6 +355,13 @@ impl FrozenReach {
     pub fn strand_count(&self) -> usize {
         self.eng_rank.len()
     }
+
+    /// The strand's rank in the English (left-to-right serial) order. The
+    /// batch detector sorts merged race regions by this rank so the merged
+    /// report is deterministic regardless of shard count or steal order.
+    pub fn english_rank(&self, s: StrandId) -> u32 {
+        self.eng_rank[s.index()]
+    }
 }
 
 impl Reachability for FrozenReach {

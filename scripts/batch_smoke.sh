@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Batch-mode smoke test: record a trace of one suite workload, replay it
+# through the sharded batch detector, and prove the equivalence claims the
+# differential battery makes, end to end on the real CLI binary:
+#
+#  * batch replay at K=4 agrees with the sequential STINT replay of the same
+#    trace (line 1 names the variant, so the diff skips it — everything
+#    else must be byte-identical);
+#  * batch replay output is byte-identical across shard counts (K=1 vs K=4
+#    vs K=7, including line 1 — the header never mentions K);
+#  * a truncated copy of the trace is rejected structurally: exit 4 and a
+#    "corrupt trace" diagnostic, no panic.
+#
+# Usage: scripts/batch_smoke.sh [bench] (default: sort)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-sort}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cargo build --release -q -p stint-cli --bin stint-cli
+
+echo "== record $BENCH trace"
+./target/release/stint-cli trace record "$BENCH" "$OUT/run.trace" >/dev/null
+
+echo "== batch replay (K=4) vs sequential stint replay"
+./target/release/stint-cli trace replay "$OUT/run.trace" \
+    --variant batch --shards 4 >"$OUT/batch4.txt"
+./target/release/stint-cli trace replay "$OUT/run.trace" \
+    --variant stint >"$OUT/seq.txt"
+if ! diff <(tail -n +2 "$OUT/batch4.txt") <(tail -n +2 "$OUT/seq.txt"); then
+    echo "FAIL: batch replay disagrees with the sequential replay"
+    exit 1
+fi
+echo "ok: merged batch report matches the sequential report"
+
+echo "== batch replay is byte-identical across shard counts"
+for k in 1 7; do
+    ./target/release/stint-cli trace replay "$OUT/run.trace" \
+        --variant batch --shards "$k" >"$OUT/batch$k.txt"
+    if ! diff "$OUT/batch4.txt" "$OUT/batch$k.txt"; then
+        echo "FAIL: batch replay output differs between K=4 and K=$k"
+        exit 1
+    fi
+done
+echo "ok: K=1, K=4 and K=7 render byte-identically"
+
+echo "== corrupted trace is rejected with exit 4"
+head -c "$(($(wc -c <"$OUT/run.trace") / 2))" "$OUT/run.trace" >"$OUT/bad.trace"
+set +e
+./target/release/stint-cli trace replay "$OUT/bad.trace" \
+    --variant batch >/dev/null 2>"$OUT/bad.err"
+RC=$?
+set -e
+if [ "$RC" != 4 ]; then
+    echo "FAIL: truncated trace exited $RC, expected 4"
+    exit 1
+fi
+grep -q "corrupt trace" "$OUT/bad.err" \
+    || { echo "FAIL: no 'corrupt trace' diagnostic"; cat "$OUT/bad.err"; exit 1; }
+echo "ok: truncated trace rejected structurally (exit 4)"
+
+echo "batch smoke passed"

@@ -39,6 +39,13 @@ scripts/mem_smoke.sh
 echo "== space study (byte gauges + Lemma 4.1)"
 cargo run --release -q -p stint-bench --bin space -- "${ARGS[@]}"
 
+echo "== batch smoke (sharded replay equivalence on the CLI)"
+scripts/batch_smoke.sh
+
+echo "== batch scalability study (sequential vs K-sharded detection)"
+cargo run --release -q -p stint-bench --bin batch -- "${ARGS[@]}"
+cargo run --release -q -p stint-bench --bin jsoncheck -- batch BENCH_batch.json
+
 echo "== perfgate"
 if [ "$DIFF" = 1 ]; then
     # Leave the committed JSON in place so perfgate prints the comparison,

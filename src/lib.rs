@@ -9,6 +9,7 @@
 
 pub use stint::*;
 
+pub use stint_batchdet as batchdet;
 pub use stint_cilkrt as cilkrt;
 pub use stint_grid as grid;
 pub use stint_suite as suite;

@@ -285,6 +285,154 @@ fn injected_flush_panic_is_reported_as_poisoned() {
     }
 }
 
+/// Serialize a fresh recorded trace of a suite workload.
+fn recorded_trace_text(bench: &str) -> String {
+    let mut w = Workload::by_name(bench, Scale::Test);
+    let pt = stint_repro::PortableTrace::record(&mut w);
+    let mut buf = Vec::new();
+    pt.save(&mut buf).expect("save to Vec");
+    String::from_utf8(buf).expect("trace text is ASCII")
+}
+
+/// Trace robustness: truncated, bit-flipped, and wrong-version trace files
+/// fed to batch replay come back as a structured `CorruptTrace` error (exit
+/// code 4) — never a panic, and never an out-of-bounds replay.
+#[test]
+fn batch_rejects_corrupted_traces_structurally() {
+    let _g = lock();
+    use stint_repro::batchdet::load_trace;
+    let good = recorded_trace_text("sort");
+
+    // Truncation, including a cut straight through a line.
+    for frac in [0, 1, 2, 3] {
+        let cut = good.len() * frac / 4 + 3;
+        let e = load_trace(&good.as_bytes()[..cut.min(good.len() - 1)])
+            .expect_err("truncated trace must be rejected");
+        assert!(matches!(e, DetectorError::CorruptTrace { .. }), "{e}");
+        assert_eq!(e.exit_code(), 4);
+    }
+
+    // A "bit flip" inside a strand id: still parses, but the strand indexes
+    // out of the frozen reachability snapshot — validation must catch it
+    // before any shard replays it.
+    let flipped: Vec<String> = {
+        let mut done = false;
+        good.lines()
+            .map(|l| {
+                let mut t = l.split_whitespace();
+                let op = t.next().unwrap_or("");
+                if !done && matches!(op, "l" | "s" | "L" | "S") {
+                    done = true;
+                    let rest: Vec<&str> = t.collect();
+                    format!("{op} 999999 {} {}", rest[1], rest[2])
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect()
+    };
+    let e = load_trace(flipped.join("\n").as_bytes())
+        .expect_err("out-of-range strand must be rejected");
+    assert!(matches!(e, DetectorError::CorruptTrace { .. }), "{e}");
+    assert!(e.to_string().contains("out of range"), "{e}");
+    assert_eq!(e.exit_code(), 4);
+
+    // Wrong format version.
+    let versioned = good.replacen("STINT-TRACE v1", "STINT-TRACE v2", 1);
+    let e = load_trace(versioned.as_bytes()).expect_err("wrong version must be rejected");
+    assert!(matches!(e, DetectorError::CorruptTrace { .. }), "{e}");
+    assert_eq!(e.exit_code(), 4);
+
+    // And the original still loads and batch-detects cleanly.
+    let pt = load_trace(good.as_bytes()).expect("pristine trace loads");
+    let out = stint_repro::batchdet::batch_detect(&pt, &Default::default())
+        .expect("pristine trace detects");
+    assert!(out.merged.is_race_free());
+}
+
+/// An injected flush panic inside a shard worker surfaces from the batch
+/// fan-out as a structured `Poisoned` error (exit 4), through the pool's
+/// panic-capturing join and the typed-panic protocol.
+#[test]
+fn batch_injected_flush_panic_is_poisoned() {
+    let _g = lock();
+    let mut w = Workload::by_name("sort", Scale::Test);
+    let pt = stint_repro::PortableTrace::record(&mut w);
+    let _plan = ScopedPlan::install(FaultPlan {
+        panic_at_flush: Some(1),
+        ..Default::default()
+    });
+    let cfg = stint_repro::batchdet::BatchConfig {
+        shards: 4,
+        workers: 2,
+        steal_seed: 0,
+    };
+    let e = stint_repro::batchdet::batch_detect(&pt, &cfg)
+        .expect_err("injected shard panic must surface as an error");
+    assert!(matches!(e, DetectorError::Poisoned { .. }), "{e}");
+    assert_eq!(e.exit_code(), 4);
+    assert!(e.to_string().contains("injected flush panic"), "{e}");
+}
+
+/// Batch detection under shadow caps degrades soundly per shard: a clean
+/// trace never gains a false race, and any degradation is the structured
+/// exit-3 resource error.
+#[test]
+fn batch_shadow_caps_degrade_soundly() {
+    let _g = lock();
+    let mut w = Workload::by_name("mmul", Scale::Test);
+    let pt = stint_repro::PortableTrace::record(&mut w);
+    let _plan = ScopedPlan::install(FaultPlan {
+        shadow_page_cap: Some(2),
+        ..Default::default()
+    });
+    let cfg = stint_repro::batchdet::BatchConfig {
+        shards: 3,
+        workers: 2,
+        steal_seed: 0,
+    };
+    let out = stint_repro::batchdet::batch_detect(&pt, &cfg)
+        .expect("shadow caps must not abort the batch run");
+    assert!(
+        out.merged.is_race_free(),
+        "fabricated races under shadow caps"
+    );
+    if let Some(e) = out.degraded {
+        assert_eq!(e.exit_code(), 3, "{e}");
+    }
+}
+
+/// Fault class 4 (`cilkrt`) composed with batch: if every worker fails to
+/// spawn, the fan-out runs sequentially on the degraded pool and the merged
+/// verdict is still exact.
+#[test]
+fn batch_survives_worker_spawn_failures() {
+    let _g = lock();
+    let mut w = Workload::by_name("sort", Scale::Test);
+    let pt = stint_repro::PortableTrace::record(&mut w);
+    let healthy = stint_repro::batchdet::batch_detect(&pt, &Default::default())
+        .expect("healthy batch run")
+        .merged
+        .render();
+    let _plan = ScopedPlan::install(FaultPlan {
+        worker_spawn_fail_from: Some(0),
+        ..Default::default()
+    });
+    let cfg = stint_repro::batchdet::BatchConfig {
+        shards: 4,
+        workers: 4,
+        steal_seed: 0,
+    };
+    let out = stint_repro::batchdet::batch_detect(&pt, &cfg)
+        .expect("degraded pool must still complete the batch");
+    assert!(out.degraded.is_none());
+    assert_eq!(
+        out.merged.render(),
+        healthy,
+        "degraded pool changed verdict"
+    );
+}
+
 /// Budgets compose with faults: a run that is both capped and stormed still
 /// terminates with a sound verdict or structured error.
 #[test]

@@ -48,6 +48,32 @@ fn metrics_cover_every_layer_and_agree_with_stats() {
     assert!(forked, "no join ever ran on a pool worker");
     drop(pool);
 
+    // batchdet: a sharded batch run over a recorded trace. Its per-shard
+    // detectors live only inside the run, so afterwards the byte gauge must
+    // have reconciled back to zero while its watermark kept the peak.
+    let mut w = Workload::by_name("sort", Scale::Test);
+    let pt = stint_repro::PortableTrace::record(&mut w);
+    let batch = stint_repro::batchdet::batch_detect(
+        &pt,
+        &stint_repro::batchdet::BatchConfig {
+            shards: 3,
+            workers: 2,
+            steal_seed: 0,
+        },
+    )
+    .expect("clean batch run");
+    assert!(batch.degraded.is_none());
+    assert!(batch.merged.is_race_free());
+    let shard_bytes = obs::gauges_snapshot()
+        .into_iter()
+        .find(|(name, _, _)| *name == "batchdet.shard.bytes")
+        .expect("batchdet.shard.bytes gauge never registered");
+    assert_eq!(
+        shard_bytes.1, 0,
+        "batchdet.shard.bytes did not reconcile to zero after the batch run"
+    );
+    assert!(shard_bytes.2 > 0, "no shard detector ever recorded bytes");
+
     assert!(obs::registry_initialized());
     let metrics = obs::metrics_json();
 
@@ -61,6 +87,9 @@ fn metrics_cover_every_layer_and_agree_with_stats() {
         "shadow.filter_elisions",
         "cilkrt.workers_spawned",
         "cilkrt.spawns",
+        "batchdet.shard.runs",
+        "batchdet.shard.events",
+        "batchdet.merges",
     ] {
         assert!(
             counter(&metrics, name).is_some_and(|v| v > 0),
@@ -91,6 +120,8 @@ fn metrics_cover_every_layer_and_agree_with_stats() {
     assert!(trace.contains("\"ph\": \"X\""), "{trace}");
     assert!(trace.contains("\"name\": \"detect.execute\""), "{trace}");
     assert!(trace.contains("\"name\": \"stint.flush\""), "{trace}");
+    assert!(trace.contains("\"name\": \"batchdet.shard\""), "{trace}");
+    assert!(trace.contains("\"name\": \"batchdet.merge\""), "{trace}");
 }
 
 fn counter_sum(a: &stint_repro::Outcome, b: &stint_repro::Outcome, name: &str) -> u64 {

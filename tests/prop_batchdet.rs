@@ -1,0 +1,77 @@
+//! Differential battery for the sharded batch detector: on random fork-join
+//! programs, batch detection over `K` address shards must report exactly the
+//! racy-word set of the sequential STINT run — for every `K` — and the
+//! canonical merged rendering must be byte-identical across shard counts,
+//! worker counts, and steal-schedule seeds (the metamorphic invariance the
+//! deterministic merge guarantees).
+
+use proptest::prelude::*;
+use stint_repro::batchdet::{batch_detect, BatchConfig};
+use stint_repro::{detect, PortableTrace, Variant};
+
+mod common;
+use common::{func_strategy, AstProgram};
+
+fn cfg(shards: usize, workers: usize, steal_seed: u64) -> BatchConfig {
+    BatchConfig {
+        shards,
+        workers,
+        steal_seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sharded_batch_matches_sequential_for_every_k(f in func_strategy(3)) {
+        let expected = detect(&mut AstProgram(&f), Variant::Stint)
+            .report
+            .racy_words();
+        let pt = PortableTrace::record(&mut AstProgram(&f));
+        for k in [1usize, 2, 7, 16] {
+            let out = batch_detect(&pt, &cfg(k, 2, 0)).expect("clean batch run");
+            prop_assert!(out.degraded.is_none(), "K={} degraded", k);
+            prop_assert_eq!(out.shards.len(), k);
+            prop_assert_eq!(&out.merged.racy_words, &expected, "K={}", k);
+            // The race verdict agrees too, not just the word set.
+            prop_assert_eq!(out.merged.is_race_free(), expected.is_empty(), "K={}", k);
+        }
+    }
+
+    #[test]
+    fn merged_render_is_metamorphically_invariant(f in func_strategy(2)) {
+        let pt = PortableTrace::record(&mut AstProgram(&f));
+        let baseline = batch_detect(&pt, &cfg(1, 1, 0))
+            .expect("baseline batch run")
+            .merged
+            .render();
+        // Vary every scheduling degree of freedom: shard count, worker
+        // count (1 vs N), and the steal-schedule seed (two different ones).
+        for (k, w, seed) in [
+            (2usize, 1usize, 0u64),
+            (4, 4, 0),
+            (4, 4, 0xDEAD_BEEF),
+            (7, 2, 0xC0FFEE),
+            (16, 3, 42),
+        ] {
+            let got = batch_detect(&pt, &cfg(k, w, seed))
+                .expect("batch run")
+                .merged
+                .render();
+            prop_assert_eq!(&got, &baseline, "K={} workers={} seed={}", k, w, seed);
+        }
+    }
+
+    #[test]
+    fn save_load_then_batch_agrees_with_in_memory_batch(f in func_strategy(2)) {
+        // The full pipeline a user runs: record → save → load → batch.
+        let pt = PortableTrace::record(&mut AstProgram(&f));
+        let mut buf = Vec::new();
+        pt.save(&mut buf).expect("save to Vec");
+        let back = stint_repro::batchdet::load_trace(&buf[..]).expect("load what we saved");
+        let a = batch_detect(&pt, &cfg(4, 2, 0)).expect("batch run");
+        let b = batch_detect(&back, &cfg(4, 2, 0)).expect("batch run on loaded trace");
+        prop_assert_eq!(a.merged.render(), b.merged.render());
+    }
+}
