@@ -2,7 +2,7 @@
 //!
 //! The on-the-fly detectors in `stint` interleave detection with the
 //! program's own execution on a single thread. This crate runs detection as
-//! a **batch job** in two phases:
+//! a **batch job**:
 //!
 //! 1. **Replay control flow sequentially** (or load a saved trace): the
 //!    result is a [`PortableTrace`] — the full instrumentation stream plus a
@@ -10,12 +10,24 @@
 //!    `series`/`parallel`/`left_of` relation is *read-only*: every query is
 //!    a pair of rank comparisons on immutable vectors, safe to share across
 //!    threads with no synchronization.
-//! 2. **Fan the memory accesses out over address shards**: the 4-byte-word
+//! 2. **Partition the event stream in one O(n) pass**: the 4-byte-word
 //!    address space touched by the trace is split into `K` contiguous
-//!    ranges, and each shard replays the subsequence of access events that
-//!    overlaps its range (clipped at the shard boundary) through a private
-//!    STINT interval detector. Shards run as fork-join tasks on the
-//!    `stint-cilkrt` work-stealing pool.
+//!    shards at *event-weight quantiles* of a bucketed access histogram
+//!    (so shards are load-balanced, not just width-balanced), and a single
+//!    scan routes each event to exactly the shards its word range overlaps
+//!    (clipped at the boundary). Total partition work is O(n + straddlers),
+//!    not the O(K·n) of the historical clip-per-shard design where every
+//!    shard re-scanned the whole stream.
+//! 3. **Fan the per-shard event vectors out** as fork-join tasks on the
+//!    `stint-cilkrt` work-stealing pool; each shard replays its
+//!    pre-clipped subsequence through a private STINT interval detector.
+//!
+//! For traces saved in the compressed chunked `STINT-TRACE v2` format (see
+//! `stint::ctrace`), [`batch_detect_chunked`] streams the file chunk by
+//! chunk — the whole `PortableTrace` is never resident — keeping one
+//! persistent detector per shard across chunks and consuming contiguous
+//! run-length runs **wholesale** (one coalesced range access per run, not
+//! one per decoded event).
 //!
 //! # Why address sharding preserves the race set
 //!
@@ -29,10 +41,14 @@
 //! clipped ranges) and (b) *delayed* strand-end flushes in shards where a
 //! strand was clean (skipped via a dirty flag) — both are per-word no-ops:
 //! same-strand entries never conflict (`parallel(s, s)` is false) and
-//! per-word insert semantics are idempotent for the same strand. Hence the
+//! per-word insert semantics are idempotent for the same strand. Quantile
+//! (instead of equal-width) boundaries keep the shards contiguous, so the
+//! argument is unchanged. A wholesale-consumed run tiles memory
+//! contiguously (`stride == bytes`, word-aligned), so its single coalesced
+//! range access sets exactly the words of its expanded events. Hence the
 //! per-word set of race triples `(word, kind, prev, cur)` is invariant in
-//! `K`, which is exactly what the differential battery in
-//! `tests/prop_batchdet.rs` checks.
+//! `K` and in the encoding, which is exactly what the differential battery
+//! in `tests/prop_batchdet.rs` checks.
 //!
 //! # Deterministic merge
 //!
@@ -63,12 +79,14 @@
 //! ```
 
 use std::collections::BTreeSet;
+use std::io::BufRead;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+use stint::ctrace::{partition_index, CompressedTraceReader, EventRun};
 use stint::{
     Detector, DetectorError, DetectorStats, PortableTrace, Race, RaceKind, RaceReport,
-    StintDetector, Trace, TraceOp,
+    StintDetector, TraceEvent, TraceOp,
 };
 use stint_cilk::word_range;
 use stint_cilkrt::ThreadPool;
@@ -80,9 +98,19 @@ static OBS_SHARD_EVENTS: Counter = Counter::new("batchdet.shard.events");
 static OBS_SHARD_RACES: Counter = Counter::new("batchdet.shard.races");
 static OBS_MERGES: Counter = Counter::new("batchdet.merges");
 /// Live access-history bytes held by in-flight shard detectors. Reconciled
-/// back to zero when each shard's detector is dropped, so the gauge reads 0
-/// after every batch run; its high-water mark records the peak.
+/// back to zero when each shard's detector finishes, so the gauge reads 0
+/// after every batch run (chunked or not); its high-water mark records the
+/// peak.
 static OBS_SHARD_BYTES: Gauge = Gauge::new("batchdet.shard.bytes");
+/// Compressed bytes ingested by the chunked streaming path (chunk framing +
+/// payload; the throughput axis of `BENCH_batch.json`).
+static OBS_INGEST_BYTES: Counter = Counter::new("batchdet.ingest.bytes");
+static OBS_INGEST_CHUNKS: Counter = Counter::new("batchdet.ingest.chunks");
+static OBS_INGEST_RUNS: Counter = Counter::new("batchdet.ingest.runs");
+/// In-flight decoded-but-undetected event-buffer bytes of the streaming
+/// path. Reconciled to zero after every chunk, so it reads 0 after each
+/// chunked run; the high-water mark is the peak buffered footprint.
+static OBS_INGEST_BUF: Gauge = Gauge::new("batchdet.ingest.buf_bytes");
 
 /// Configuration for a batch detection run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,7 +150,10 @@ pub struct ShardOutcome {
     /// The shard's word range `[word_lo, word_hi)`.
     pub word_lo: u64,
     pub word_hi: u64,
-    /// Access/free events routed to this shard (after clipping).
+    /// Events handed to this shard's detector: clipped accesses, frees, and
+    /// dirty strand-end flush markers — the shard's *work count*. A
+    /// run-length run consumed wholesale counts once, not per decoded
+    /// event.
     pub events: u64,
     /// Per-shard report (unbounded — see [`RaceReport::unbounded`]).
     pub report: RaceReport,
@@ -180,6 +211,20 @@ impl MergedReport {
     }
 }
 
+/// Streaming-ingest telemetry of a chunked run (`None` for in-memory runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Compressed chunk bytes consumed (framing + payload).
+    pub bytes: u64,
+    pub chunks: u64,
+    /// Run-length records decoded.
+    pub runs: u64,
+    /// Runs consumed wholesale as one coalesced range access.
+    pub wholesale_runs: u64,
+    /// Decoded (semantic) events the runs expand to.
+    pub events: u64,
+}
+
 /// Result of a batch detection run.
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {
@@ -191,8 +236,12 @@ pub struct BatchOutcome {
     /// Total trace events (before routing).
     pub events: usize,
     pub strands: usize,
-    /// Wall-clock time of the sharded phase (fan-out + detection).
+    /// Wall-clock time of the batch phase (partition + fan-out + detection;
+    /// for chunked runs this includes decode, so `ingest.bytes / wall` is
+    /// the end-to-end ingest throughput).
     pub wall: Duration,
+    /// Streaming-ingest telemetry ([`batch_detect_chunked`] only).
+    pub ingest: Option<IngestStats>,
     /// First per-shard structured failure, by shard index, if any. The
     /// merged report is sound but only complete up to the failure point.
     pub degraded: Option<DetectorError>,
@@ -202,18 +251,17 @@ fn corrupt(detail: String) -> DetectorError {
     DetectorError::CorruptTrace { detail }
 }
 
-/// Parse **and validate** a `STINT-TRACE v1` stream for batch replay.
-/// Truncated, bit-flipped, or wrong-version input comes back as a
-/// structured [`DetectorError::CorruptTrace`] (exit code 4), never a panic.
+/// Parse **and validate** a trace stream (either the `STINT-TRACE v1` text
+/// format or the compressed chunked v2 format) for batch replay. Truncated,
+/// bit-flipped, or wrong-version input comes back as a structured
+/// [`DetectorError::CorruptTrace`] (exit code 4), never a panic.
 pub fn load_trace<R: std::io::BufRead>(r: R) -> Result<PortableTrace, DetectorError> {
-    let pt = PortableTrace::load(r).map_err(|e| corrupt(e.to_string()))?;
+    let pt = PortableTrace::load_any(r).map_err(|e| corrupt(e.to_string()))?;
     pt.validate().map_err(corrupt)?;
     Ok(pt)
 }
 
-/// Batch-detect on a fresh pool built from `cfg` (worker count and steal
-/// seed). See [`batch_detect_on`].
-pub fn batch_detect(pt: &PortableTrace, cfg: &BatchConfig) -> Result<BatchOutcome, DetectorError> {
+fn pool_for(cfg: &BatchConfig) -> ThreadPool {
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -221,12 +269,18 @@ pub fn batch_detect(pt: &PortableTrace, cfg: &BatchConfig) -> Result<BatchOutcom
     } else {
         cfg.workers
     };
-    let pool = ThreadPool::with_seed(workers, cfg.steal_seed);
-    batch_detect_on(&pool, pt, cfg)
+    ThreadPool::with_seed(workers, cfg.steal_seed)
 }
 
-/// Phase 2: fan the trace's access events out over `cfg.shards` address
-/// shards on `pool`, then merge deterministically.
+/// Batch-detect on a fresh pool built from `cfg` (worker count and steal
+/// seed). See [`batch_detect_on`].
+pub fn batch_detect(pt: &PortableTrace, cfg: &BatchConfig) -> Result<BatchOutcome, DetectorError> {
+    batch_detect_on(&pool_for(cfg), pt, cfg)
+}
+
+/// Partition the trace's events over `cfg.shards` address shards in one
+/// O(n) pass, fan the per-shard vectors out on `pool`, then merge
+/// deterministically.
 ///
 /// The trace is validated first — a syntactically well-formed file whose
 /// strand ids or ranges were corrupted is rejected as
@@ -239,20 +293,151 @@ pub fn batch_detect_on(
     cfg: &BatchConfig,
 ) -> Result<BatchOutcome, DetectorError> {
     pt.validate().map_err(corrupt)?;
-    let shards = partition(&pt.trace, cfg.shards);
-    let trace = &pt.trace;
+    let (bounds, hist) = partition_index(&pt.trace);
+    let shards = plan_shards(bounds, &hist, cfg.shards);
     let reach = &pt.reach;
     let t0 = Instant::now();
-    let mut slots: Vec<Option<ShardOutcome>> = (0..shards.len()).map(|_| None).collect();
+
+    // The single partition pass: O(n) over the stream, plus one extra
+    // clipped copy per boundary straddler. Pre-size each shard's buffer to
+    // its quantile-planned share so absorbing millions of routed events
+    // doesn't pay log(n) doubling reallocations of a multi-hundred-MB Vec.
+    let mut states: Vec<ShardState> = shards.iter().map(|&s| ShardState::new(s)).collect();
+    let mut last = StrandId(0);
+    if states.len() == 1 {
+        // One shard owns the whole span: every clip is the identity and
+        // every strand end is its own, so routing would be pure per-event
+        // overhead. One memcpy reproduces exactly the sequential stream.
+        states[0].buf.extend_from_slice(&pt.trace.events);
+        states[0].events = pt.trace.events.len() as u64;
+        last = pt.trace.events.last().map_or(last, |e| e.strand);
+    } else {
+        let share = pt.trace.events.len() / shards.len().max(1) + 1024;
+        for st in &mut states {
+            st.buf.reserve(share);
+        }
+        let mut router = Router::new(&shards);
+        for e in &pt.trace.events {
+            last = e.strand;
+            route_event(&mut router, *e, &mut states);
+        }
+    }
+
     catch_unwind(AssertUnwindSafe(|| {
-        pool.install(|| fan_out(pool, trace, reach, &shards, &mut slots));
+        pool.install(|| fan_out(pool, reach, &mut states));
+    }))
+    .map_err(DetectorError::from_panic)?;
+    take_poison(&mut states)?;
+    // The final per-shard flush runs sequentially here, after every worker
+    // is quiescent, so a panic in it may unwind — but still surfaces as the
+    // structured error, not an escaping panic.
+    let outs: Vec<ShardOutcome> = catch_unwind(AssertUnwindSafe(|| {
+        states
+            .into_iter()
+            .map(|st| st.finish(reach, last))
+            .collect()
     }))
     .map_err(DetectorError::from_panic)?;
     let wall = t0.elapsed();
-    let outs: Vec<ShardOutcome> = slots
-        .into_iter()
-        .map(|s| s.expect("fan_out fills every shard slot"))
-        .collect();
+    finish_outcome(outs, reach, pt.trace.len(), wall, None)
+}
+
+/// Streaming batch detection over a compressed chunked `STINT-TRACE v2`
+/// stream: decode one chunk at a time, route its runs to per-shard buffers
+/// (consuming contiguous runs wholesale), and fan each chunk's buffers out
+/// over persistent per-shard detectors. Peak memory is one chunk plus the
+/// shard detectors — the full event stream is never resident.
+pub fn batch_detect_chunked<R: BufRead>(
+    r: R,
+    cfg: &BatchConfig,
+) -> Result<BatchOutcome, DetectorError> {
+    batch_detect_chunked_on(&pool_for(cfg), r, cfg)
+}
+
+/// [`batch_detect_chunked`] on an existing pool.
+pub fn batch_detect_chunked_on<R: BufRead>(
+    pool: &ThreadPool,
+    r: R,
+    cfg: &BatchConfig,
+) -> Result<BatchOutcome, DetectorError> {
+    let mut reader = CompressedTraceReader::open(r).map_err(|e| corrupt(e.to_string()))?;
+    let n_strands = reader.reach.strand_count();
+    let bounds = (reader.word_hi > reader.word_lo).then_some((reader.word_lo, reader.word_hi));
+    let hist = std::mem::take(&mut reader.hist);
+    let shards = plan_shards(bounds, &hist, cfg.shards);
+    let reach = reader.reach.clone();
+    let total_events = reader.total_events;
+
+    let mut states: Vec<ShardState> = shards.iter().map(|&s| ShardState::new(s)).collect();
+    let mut router = Router::new(&shards);
+    let mut last = StrandId(0);
+    let mut ingest = IngestStats::default();
+    let mut runs: Vec<EventRun> = Vec::new();
+    let t0 = Instant::now();
+    let streamed = catch_unwind(AssertUnwindSafe(|| -> Result<(), DetectorError> {
+        loop {
+            let more = reader
+                .next_chunk(&mut runs)
+                .map_err(|e| corrupt(e.to_string()))?;
+            if !more {
+                break;
+            }
+            for run in &runs {
+                if run.strand.index() >= n_strands {
+                    return Err(corrupt(format!(
+                        "run strand {} out of range (trace has {n_strands} strands)",
+                        run.strand.0
+                    )));
+                }
+                if !run_addr_ok(run) {
+                    return Err(corrupt(format!(
+                        "run at {:#x} stride {} overflows the address space",
+                        run.addr, run.stride
+                    )));
+                }
+                last = run.strand;
+                ingest.events += run.count;
+                route_run(&mut router, run, &mut states, &mut ingest);
+            }
+            let chunk_bytes = reader.bytes_read() - ingest.bytes;
+            ingest.bytes = reader.bytes_read();
+            ingest.chunks += 1;
+            ingest.runs += runs.len() as u64;
+            OBS_INGEST_BYTES.add(chunk_bytes);
+            OBS_INGEST_CHUNKS.incr();
+            OBS_INGEST_RUNS.add(runs.len() as u64);
+            let buffered: u64 = states
+                .iter()
+                .map(|st| (st.buf.len() * std::mem::size_of::<TraceEvent>()) as u64)
+                .sum();
+            let mut owned = 0u64;
+            OBS_INGEST_BUF.reconcile(&mut owned, buffered);
+            pool.install(|| fan_out(pool, &reach, &mut states));
+            OBS_INGEST_BUF.reconcile(&mut owned, 0);
+            take_poison(&mut states)?;
+        }
+        reader.finished().map_err(|e| corrupt(e.to_string()))
+    }))
+    .map_err(DetectorError::from_panic)?;
+    streamed?;
+    let outs: Vec<ShardOutcome> = catch_unwind(AssertUnwindSafe(|| {
+        states
+            .into_iter()
+            .map(|st| st.finish(&reach, last))
+            .collect()
+    }))
+    .map_err(DetectorError::from_panic)?;
+    let wall = t0.elapsed();
+    finish_outcome(outs, &reach, total_events as usize, wall, Some(ingest))
+}
+
+fn finish_outcome(
+    outs: Vec<ShardOutcome>,
+    reach: &FrozenReach,
+    events: usize,
+    wall: Duration,
+    ingest: Option<IngestStats>,
+) -> Result<BatchOutcome, DetectorError> {
     let merged = merge_shards(&outs, reach);
     let mut stats = DetectorStats::default();
     for o in &outs {
@@ -262,36 +447,34 @@ pub fn batch_detect_on(
     Ok(BatchOutcome {
         merged,
         stats,
-        events: pt.trace.len(),
-        strands: pt.reach.strand_count(),
+        events,
+        strands: reach.strand_count(),
         wall,
+        ingest,
         degraded,
         shards: outs,
     })
 }
 
-/// Word bounds `[lo, hi)` over all access/free events, or `None` if the
-/// trace touches no memory.
-fn word_bounds(trace: &Trace) -> Option<(u64, u64)> {
-    let mut bounds: Option<(u64, u64)> = None;
-    for e in &trace.events {
-        if e.op == TraceOp::StrandEnd {
-            continue;
-        }
-        let (lo, hi) = word_range(e.addr, e.bytes);
-        bounds = Some(match bounds {
-            None => (lo, hi),
-            Some((a, b)) => (a.min(lo), b.max(hi)),
-        });
-    }
-    bounds
+/// Every address the run expands to (plus the `word_range` rounding slack)
+/// stays inside the address space — the per-event overflow check of
+/// `PortableTrace::validate`, lifted to whole runs.
+fn run_addr_ok(run: &EventRun) -> bool {
+    let first = run.addr as i128;
+    let last = first + (run.stride as i128) * (run.count as i128 - 1);
+    let (min, max) = (first.min(last), first.max(last));
+    min >= 0 && max + run.bytes as i128 + 3 <= usize::MAX as i128
 }
 
-/// Split the touched word space into `k` contiguous shards. Trailing shards
-/// may be empty when the space is narrower than `k` words.
-fn partition(trace: &Trace, k: usize) -> Vec<Shard> {
+/// Choose `k` contiguous shard ranges whose boundaries sit at event-weight
+/// quantiles of the partition index (`hist` buckets over `[lo, hi)`), so a
+/// skewed trace still spreads its *events* — not just its address width —
+/// evenly. Heavily concentrated traces may still produce empty shards (a
+/// single bucket cannot be split); contiguity is what the correctness
+/// argument needs, balance is best-effort.
+fn plan_shards(bounds: Option<(u64, u64)>, hist: &[u64], k: usize) -> Vec<Shard> {
     let k = k.max(1);
-    let Some((lo, hi)) = word_bounds(trace) else {
+    let Some((lo, hi)) = bounds else {
         // No memory accesses at all: k empty shards, so the shard count
         // (and the per-shard telemetry shape) is always what was asked for.
         return (0..k)
@@ -302,113 +485,287 @@ fn partition(trace: &Trace, k: usize) -> Vec<Shard> {
             })
             .collect();
     };
+    let total: u64 = hist.iter().sum();
     let span = hi - lo;
-    let width = (span / k as u64 + u64::from(span % k as u64 != 0)).max(1);
-    (0..k)
-        .map(|i| {
-            let slo = (lo + width * i as u64).min(hi);
-            let shi = slo.saturating_add(width).min(hi);
-            Shard {
-                index: i,
-                word_lo: slo,
-                word_hi: shi,
+    let mut edges = Vec::with_capacity(k + 1);
+    edges.push(lo);
+    if total == 0 {
+        // Degenerate index: fall back to equal width.
+        let width = (span / k as u64 + u64::from(span % k as u64 != 0)).max(1);
+        for i in 1..k {
+            edges.push((lo + width * i as u64).min(hi));
+        }
+    } else {
+        let bw = stint::ctrace::bucket_width(lo, hi);
+        let mut cum = 0u64;
+        let mut b = 0usize;
+        for i in 1..k {
+            let target = (total * i as u64).div_ceil(k as u64);
+            while b < hist.len() && cum < target {
+                cum += hist[b];
+                b += 1;
             }
+            let edge = (lo + bw * b as u64).min(hi);
+            edges.push(edge.max(*edges.last().unwrap()));
+        }
+    }
+    edges.push(hi);
+    (0..k)
+        .map(|i| Shard {
+            index: i,
+            word_lo: edges[i],
+            word_hi: edges[i + 1].max(edges[i]),
         })
         .collect()
 }
 
-/// Recursive binary fan-out of the shard list over the pool's `join`.
-/// `slots[i]` receives shard `shards[i]`'s outcome, so the result order is
-/// the shard order no matter which worker ran what.
-fn fan_out(
-    pool: &ThreadPool,
-    trace: &Trace,
-    reach: &FrozenReach,
-    shards: &[Shard],
-    slots: &mut [Option<ShardOutcome>],
-) {
-    debug_assert_eq!(shards.len(), slots.len());
-    match shards.len() {
-        0 => {}
-        1 => slots[0] = Some(run_shard(trace, reach, shards[0])),
-        n => {
-            let mid = n / 2;
-            let (s_lo, s_hi) = shards.split_at(mid);
-            let (o_lo, o_hi) = slots.split_at_mut(mid);
-            pool.join(
-                || fan_out(pool, trace, reach, s_lo, o_lo),
-                || fan_out(pool, trace, reach, s_hi, o_hi),
-            );
+/// The partition pass's routing state: shard cut-points plus the per-shard
+/// dirty flags that gate strand-end flush markers.
+struct Router {
+    /// `ends[i]` is shard `i`'s routing end; shard `i` covers
+    /// `[ends[i-1], ends[i])` (shard 0 from 0). The last end is lifted to
+    /// `u64::MAX` so any event routes deterministically even if it falls
+    /// outside the planned bounds.
+    ends: Vec<u64>,
+    /// Shard holds unflushed accesses of the current strand.
+    dirty: Vec<bool>,
+    /// Shards whose `dirty` flag may be set (may hold stale entries cleared
+    /// by a free; drained and deduplicated at each strand end). Keeps
+    /// strand-end routing O(shards the strand touched), not O(K).
+    dirty_list: Vec<u32>,
+}
+
+impl Router {
+    fn new(shards: &[Shard]) -> Router {
+        let k = shards.len();
+        let mut ends: Vec<u64> = shards.iter().map(|s| s.word_hi).collect();
+        ends[k - 1] = u64::MAX;
+        Router {
+            ends,
+            dirty: vec![false; k],
+            dirty_list: Vec::new(),
+        }
+    }
+
+    /// Route one access/free word range, invoking `push(shard, lo, hi)`
+    /// once per overlapped shard with the clipped subrange, and update the
+    /// dirty flags (an access dirties the shard; a free cleans it — the
+    /// detector's `free` flushes pending accesses itself).
+    #[inline]
+    fn route(&mut self, is_free: bool, lo: u64, hi: u64, mut push: impl FnMut(usize, u64, u64)) {
+        if lo >= hi {
+            return;
+        }
+        let mut i = self.ends.partition_point(|&e| e <= lo);
+        let mut cur = lo;
+        while cur < hi {
+            while self.ends[i] <= cur {
+                i += 1;
+            }
+            let clip = hi.min(self.ends[i]);
+            if is_free {
+                self.dirty[i] = false;
+            } else if !self.dirty[i] {
+                self.dirty[i] = true;
+                self.dirty_list.push(i as u32);
+            }
+            push(i, cur, clip);
+            cur = clip;
+        }
+    }
+
+    /// Drain the dirty set, invoking `push(shard)` once per shard that
+    /// still holds unflushed accesses.
+    #[inline]
+    fn on_strand_end(&mut self, mut push: impl FnMut(usize)) {
+        for idx in self.dirty_list.drain(..) {
+            let i = idx as usize;
+            if self.dirty[i] {
+                self.dirty[i] = false;
+                push(i);
+            }
         }
     }
 }
 
-/// Replay the events overlapping one shard's word range through a private
-/// STINT detector.
-fn run_shard(trace: &Trace, reach: &FrozenReach, shard: Shard) -> ShardOutcome {
-    let _span = stint_obs::span("batchdet.shard");
-    OBS_SHARD_RUNS.incr();
-    let mut det = StintDetector::new(RaceReport::unbounded(true));
-    // Set when this shard holds unflushed accesses of the current strand;
-    // strand ends in shards the strand never touched skip the detector call
-    // entirely. Delayed flushing is per-word equivalent (module docs).
-    let mut dirty = false;
-    let mut routed = 0u64;
-    let mut last = StrandId(0);
-    for e in &trace.events {
-        last = e.strand;
-        if e.op == TraceOp::StrandEnd {
-            if dirty {
-                det.strand_end(e.strand, reach);
-                dirty = false;
-            }
-            continue;
-        }
-        let (lo, hi) = word_range(e.addr, e.bytes);
-        let lo = lo.max(shard.word_lo);
-        let hi = hi.min(shard.word_hi);
-        if lo >= hi {
-            continue;
-        }
-        routed += 1;
-        // Synthesize a word-aligned byte range that `word_range` maps back
-        // to exactly the clipped `[lo, hi)`.
-        let addr = (lo * 4) as usize;
-        let bytes = ((hi - lo) * 4) as usize;
-        match e.op {
-            TraceOp::Load => det.load(e.strand, addr, bytes, reach),
-            TraceOp::Store => det.store(e.strand, addr, bytes, reach),
-            TraceOp::LoadRange => det.load_range(e.strand, addr, bytes, reach),
-            TraceOp::StoreRange => det.store_range(e.strand, addr, bytes, reach),
-            TraceOp::Free => {
-                // `free` flushes the strand's pending accesses itself
-                // before tombstoning the range.
-                det.free(e.strand, addr, bytes, reach);
-                dirty = false;
-            }
-            TraceOp::StrandEnd => unreachable!(),
-        }
-        if e.op != TraceOp::Free {
-            dirty = true;
+/// A shard's accumulated work: its private detector plus the buffer of
+/// routed events not yet replayed (drained per chunk in streaming mode,
+/// once in in-memory mode).
+struct ShardState {
+    shard: Shard,
+    det: StintDetector,
+    buf: Vec<TraceEvent>,
+    events: u64,
+    /// A panic payload captured while draining on the pool. Unwinding
+    /// through `ThreadPool::join` while the sibling job is stolen and in
+    /// flight would tear down the stack frame the thief's `StackJob` lives
+    /// on, so the fan-out leaf catches instead and the caller rethrows the
+    /// first payload as a structured error once every worker is quiescent.
+    poison: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl ShardState {
+    fn new(shard: Shard) -> ShardState {
+        ShardState {
+            shard,
+            det: StintDetector::new(RaceReport::unbounded(true)),
+            buf: Vec::new(),
+            events: 0,
+            poison: None,
         }
     }
-    det.finish(last, reach);
-    let mut owned = 0u64;
-    OBS_SHARD_BYTES.reconcile(&mut owned, det.stats.ah_bytes + det.stats.coalesce_bytes);
-    OBS_SHARD_EVENTS.add(routed);
-    OBS_SHARD_RACES.add(det.report.total);
-    let failure = Detector::<FrozenReach>::failure(&det);
-    let out = ShardOutcome {
-        index: shard.index,
-        word_lo: shard.word_lo,
-        word_hi: shard.word_hi,
-        events: routed,
-        report: det.report,
-        stats: det.stats,
-        failure,
-    };
-    OBS_SHARD_BYTES.reconcile(&mut owned, 0);
-    out
+
+    #[inline]
+    fn push(&mut self, op: TraceOp, strand: StrandId, lo: u64, hi: u64) {
+        // Synthesize a word-aligned byte range that `word_range` maps back
+        // to exactly the clipped `[lo, hi)`.
+        self.buf.push(TraceEvent {
+            op,
+            strand,
+            addr: (lo * 4) as usize,
+            bytes: ((hi - lo) * 4) as usize,
+        });
+        self.events += 1;
+    }
+
+    #[inline]
+    fn push_strand_end(&mut self, strand: StrandId) {
+        self.buf.push(TraceEvent {
+            op: TraceOp::StrandEnd,
+            strand,
+            addr: 0,
+            bytes: 0,
+        });
+        self.events += 1;
+    }
+
+    /// Replay the buffered events through the shard's detector (runs on the
+    /// pool).
+    fn drain(&mut self, reach: &FrozenReach) {
+        let _span = stint_obs::span("batchdet.shard");
+        OBS_SHARD_RUNS.incr();
+        for e in &self.buf {
+            match e.op {
+                TraceOp::Load => self.det.load(e.strand, e.addr, e.bytes, reach),
+                TraceOp::Store => self.det.store(e.strand, e.addr, e.bytes, reach),
+                TraceOp::LoadRange => self.det.load_range(e.strand, e.addr, e.bytes, reach),
+                TraceOp::StoreRange => self.det.store_range(e.strand, e.addr, e.bytes, reach),
+                TraceOp::Free => self.det.free(e.strand, e.addr, e.bytes, reach),
+                TraceOp::StrandEnd => self.det.strand_end(e.strand, reach),
+            }
+        }
+        OBS_SHARD_EVENTS.add(self.buf.len() as u64);
+        self.buf.clear();
+    }
+
+    fn finish(mut self, reach: &FrozenReach, last: StrandId) -> ShardOutcome {
+        debug_assert!(self.buf.is_empty(), "finish before draining the buffer");
+        self.det.finish(last, reach);
+        let mut owned = 0u64;
+        OBS_SHARD_BYTES.reconcile(
+            &mut owned,
+            self.det.stats.ah_bytes + self.det.stats.coalesce_bytes,
+        );
+        OBS_SHARD_RACES.add(self.det.report.total);
+        let failure = Detector::<FrozenReach>::failure(&self.det);
+        let out = ShardOutcome {
+            index: self.shard.index,
+            word_lo: self.shard.word_lo,
+            word_hi: self.shard.word_hi,
+            events: self.events,
+            report: self.det.report,
+            stats: self.det.stats,
+            failure,
+        };
+        OBS_SHARD_BYTES.reconcile(&mut owned, 0);
+        out
+    }
+}
+
+/// Route one discrete trace event (the in-memory partition pass).
+#[inline]
+fn route_event(router: &mut Router, e: TraceEvent, states: &mut [ShardState]) {
+    if e.op == TraceOp::StrandEnd {
+        router.on_strand_end(|i| states[i].push_strand_end(e.strand));
+        return;
+    }
+    let (lo, hi) = word_range(e.addr, e.bytes);
+    router.route(e.op == TraceOp::Free, lo, hi, |i, clo, chi| {
+        states[i].push(e.op, e.strand, clo, chi)
+    });
+}
+
+/// Route one decoded run (the streaming pass). A contiguous word-aligned
+/// run is consumed wholesale: its whole footprint goes in as ONE coalesced
+/// range access per overlapped shard, which covers exactly the same shadow
+/// words as the expanded events — detection directly on the compressed
+/// form. Other runs expand event by event without materializing a vector.
+#[inline]
+fn route_run(
+    router: &mut Router,
+    run: &EventRun,
+    states: &mut [ShardState],
+    ingest: &mut IngestStats,
+) {
+    match run.op {
+        TraceOp::StrandEnd => {
+            router.on_strand_end(|i| states[i].push_strand_end(run.strand));
+        }
+        _ => {
+            if let Some((op, addr, total)) = run.as_wholesale_range() {
+                ingest.wholesale_runs += 1;
+                let (lo, hi) = word_range(addr, total);
+                router.route(false, lo, hi, |i, clo, chi| {
+                    states[i].push(op, run.strand, clo, chi)
+                });
+                return;
+            }
+            let is_free = run.op == TraceOp::Free;
+            let mut addr = run.addr;
+            for j in 0..run.count {
+                let (lo, hi) = word_range(addr, run.bytes);
+                router.route(is_free, lo, hi, |i, clo, chi| {
+                    states[i].push(run.op, run.strand, clo, chi)
+                });
+                if j + 1 < run.count {
+                    addr = (addr as i64).wrapping_add(run.stride) as usize;
+                }
+            }
+        }
+    }
+}
+
+/// Recursive binary fan-out of the shard states over the pool's `join`:
+/// each shard drains its buffered events through its private detector. A
+/// leaf panic is captured into the shard's `poison` slot — never unwound
+/// across a `join` frame — and rethrown by [`take_poison`] afterwards.
+fn fan_out(pool: &ThreadPool, reach: &FrozenReach, states: &mut [ShardState]) {
+    match states.len() {
+        0 => {}
+        1 => {
+            let st = &mut states[0];
+            if st.poison.is_none() {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| st.drain(reach))) {
+                    st.poison = Some(p);
+                }
+            }
+        }
+        n => {
+            let (a, b) = states.split_at_mut(n / 2);
+            pool.join(|| fan_out(pool, reach, a), || fan_out(pool, reach, b));
+        }
+    }
+}
+
+/// Rethrow the first captured shard panic as the structured error the typed
+/// panic protocol encodes (an injected flush panic becomes `Poisoned`).
+fn take_poison(states: &mut [ShardState]) -> Result<(), DetectorError> {
+    for st in states.iter_mut() {
+        if let Some(p) = st.poison.take() {
+            return Err(DetectorError::from_panic(p));
+        }
+    }
+    Ok(())
 }
 
 fn kind_code(k: RaceKind) -> u8 {
@@ -483,7 +840,7 @@ fn merge_shards(shards: &[ShardOutcome], reach: &FrozenReach) -> MergedReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stint::{detect, Cilk, CilkProgram, Variant};
+    use stint::{detect, Cilk, CilkProgram, Trace, Variant};
 
     /// Two parallel writers overlapping across a wide range plus a free —
     /// exercises range clipping, strand-end skipping, and tombstones.
@@ -525,6 +882,12 @@ mod tests {
         }
     }
 
+    fn compress(pt: &PortableTrace, chunk: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        pt.save_compressed(&mut buf, chunk).unwrap();
+        buf
+    }
+
     #[test]
     fn batch_matches_sequential_racy_words_for_any_shard_count() {
         let pt = PortableTrace::record(&mut WideRacy);
@@ -546,6 +909,115 @@ mod tests {
             let got = batch_detect(&pt, &cfg(k, w, seed)).unwrap().merged.render();
             assert_eq!(got, baseline, "K={k} workers={w} seed={seed}");
         }
+    }
+
+    #[test]
+    fn chunked_streaming_matches_in_memory_for_any_chunk_size() {
+        let pt = PortableTrace::record(&mut WideRacy);
+        let baseline = batch_detect(&pt, &cfg(4, 2, 0)).unwrap();
+        for chunk in [1usize, 3, 16, 100_000] {
+            let buf = compress(&pt, chunk);
+            let out = batch_detect_chunked(&buf[..], &cfg(4, 2, 0)).unwrap();
+            assert_eq!(
+                out.merged.render(),
+                baseline.merged.render(),
+                "chunk={chunk}"
+            );
+            let ing = out.ingest.expect("chunked runs report ingest stats");
+            assert_eq!(ing.events, pt.trace.len() as u64);
+            assert!(ing.bytes > 0);
+            assert!(ing.chunks > 0);
+            assert_eq!(out.events, pt.trace.len());
+        }
+    }
+
+    /// Strided parallel writers: the compressed form coalesces each
+    /// strand's sweep into runs the streaming path can consume wholesale.
+    struct StridedRacy;
+    impl CilkProgram for StridedRacy {
+        fn run<C: Cilk>(&mut self, ctx: &mut C) {
+            ctx.spawn(|c| {
+                for i in 0..64usize {
+                    c.store(0x1000 + i * 8, 8);
+                }
+            });
+            for i in 0..64usize {
+                c_load(ctx, 0x1000 + i * 8, 8);
+            }
+            ctx.sync();
+        }
+    }
+    fn c_load<C: Cilk>(c: &mut C, a: usize, b: usize) {
+        c.load(a, b);
+    }
+
+    #[test]
+    fn wholesale_run_consumption_matches_expanded_replay() {
+        let pt = PortableTrace::record(&mut StridedRacy);
+        let expected = batch_detect(&pt, &cfg(3, 2, 0)).unwrap();
+        let buf = compress(&pt, 64);
+        let out = batch_detect_chunked(&buf[..], &cfg(3, 2, 0)).unwrap();
+        assert_eq!(out.merged.render(), expected.merged.render());
+        let ing = out.ingest.unwrap();
+        assert!(
+            ing.wholesale_runs > 0,
+            "strided sweeps must be consumed wholesale"
+        );
+        // Wholesale consumption is the work win: the detectors touch far
+        // fewer events than the trace holds.
+        let touched: u64 = out.shards.iter().map(|s| s.events).sum();
+        assert!(
+            touched < ing.events / 2,
+            "touched {touched} not well below {} decoded events",
+            ing.events
+        );
+    }
+
+    #[test]
+    fn k1_partition_work_is_within_sequential_work() {
+        // The tentpole's work bound: at K=1 the shard must touch no more
+        // events than the trace holds (no clip-per-shard rescans).
+        let pt = PortableTrace::record(&mut WideRacy);
+        let out = batch_detect(&pt, &cfg(1, 1, 0)).unwrap();
+        assert_eq!(out.shards.len(), 1);
+        assert!(
+            out.shards[0].events <= pt.trace.len() as u64,
+            "K=1 routed {} > {} trace events",
+            out.shards[0].events,
+            pt.trace.len()
+        );
+    }
+
+    #[test]
+    fn partition_balances_skewed_traces() {
+        // 90% of events in the low quarter of the span, 10% spread over the
+        // rest: equal-width sharding would hand almost everything to shard
+        // 0; quantile boundaries must cut inside the hot region. (The hot
+        // region spans many histogram buckets on purpose — a single bucket
+        // is indivisible.)
+        struct Skewed;
+        impl CilkProgram for Skewed {
+            fn run<C: Cilk>(&mut self, ctx: &mut C) {
+                ctx.spawn(|c| {
+                    for i in 0..360usize {
+                        c.store(0x1000 + (i % 1024) * 8, 4);
+                    }
+                });
+                for i in 0..40usize {
+                    ctx.load(0x4000 + i * 0x400, 4);
+                }
+                ctx.sync();
+            }
+        }
+        let pt = PortableTrace::record(&mut Skewed);
+        let out = batch_detect(&pt, &cfg(4, 2, 0)).unwrap();
+        let events: Vec<u64> = out.shards.iter().map(|s| s.events).collect();
+        let max = *events.iter().max().unwrap();
+        let total: u64 = events.iter().sum();
+        assert!(
+            max <= total * 3 / 4,
+            "one shard hogs the work: {events:?} (quantile balance failed)"
+        );
     }
 
     #[test]
@@ -574,6 +1046,11 @@ mod tests {
         let out = batch_detect(&pt, &cfg(4, 1, 0)).unwrap();
         assert!(out.merged.is_race_free());
         assert_eq!(out.events, 0);
+        // And the chunked path agrees on an empty compressed trace.
+        let buf = compress(&pt, 16);
+        let out = batch_detect_chunked(&buf[..], &cfg(4, 1, 0)).unwrap();
+        assert!(out.merged.is_race_free());
+        assert_eq!(out.events, 0);
     }
 
     #[test]
@@ -600,6 +1077,7 @@ mod tests {
         for bad in [
             "",
             "WRONG MAGIC\n",
+            "STINT-TRACE v3\nstrands 0\nevents 0\n",
             "STINT-TRACE v2\nstrands 0\nevents 0\n",
             "STINT-TRACE v1\nstrands 1\n0 0\nevents 1\ns 99 0x40 4\n",
         ] {
@@ -607,6 +1085,26 @@ mod tests {
             assert!(matches!(err, DetectorError::CorruptTrace { .. }), "{bad:?}");
             assert_eq!(err.exit_code(), 4, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn chunked_rejects_corrupted_streams_as_corrupt() {
+        let pt = PortableTrace::record(&mut WideRacy);
+        let buf = compress(&pt, 8);
+        for frac in [1usize, 4, 7] {
+            let cut = buf.len() * frac / 8;
+            let err = batch_detect_chunked(&buf[..cut], &cfg(2, 1, 0)).unwrap_err();
+            assert!(
+                matches!(err, DetectorError::CorruptTrace { .. }),
+                "truncation at {cut}: {err}"
+            );
+            assert_eq!(err.exit_code(), 4);
+        }
+        let mut flipped = buf.clone();
+        let at = flipped.len() / 2;
+        flipped[at] ^= 0x20;
+        let err = batch_detect_chunked(&flipped[..], &cfg(2, 1, 0)).unwrap_err();
+        assert!(matches!(err, DetectorError::CorruptTrace { .. }), "{err}");
     }
 
     #[test]

@@ -1,30 +1,40 @@
-//! `batch` — scalability study for the sharded batch-mode detector.
+//! `batch` — scalability and ingest study for the sharded batch-mode
+//! detector.
 //!
 //! For every workload the binary records one portable trace, times the
 //! sequential STINT replay of it (the single-detector baseline), then times
 //! batch detection over K ∈ {1, 2, 4, 8} address shards with `workers = K`
-//! on the work-stealing pool. Each cell reports `speedup = t_seq / t_batch`;
-//! the headline number is the geomean speedup at K=4 over the *large*
+//! on the work-stealing pool. Each cell reports `speedup = t_seq / t_batch`
+//! **and the shard work count** — the events actually routed to shard
+//! detectors, which the O(n) partition pass keeps within a whisker of the
+//! trace length instead of the K·n of a clip-per-shard rescan. The
+//! headline number is the geomean speedup at K=4 over the *large*
 //! benchmarks (traces with at least [`LARGE_EVENTS`] events — small traces
 //! are fan-out-overhead-bound and say nothing about scalability).
 //!
-//! Every batch run is also cross-checked against the sequential replay: the
-//! merged racy-word set must match exactly, for every K. A mismatch is a
-//! detector bug and a hard failure, not a statistic.
+//! The study also measures the compressed chunked `STINT-TRACE v2`
+//! encoding: per bench it records the uncompressed (v1 text) and
+//! compressed byte sizes, then times the streaming chunked detector at K=4
+//! over the compressed buffer and reports ingest throughput in bytes/sec —
+//! the second axis of `BENCH_batch.json` (schema `stint-bench-batch-v2`).
 //!
-//! The emitted `BENCH_batch.json` records `hw_threads`
-//! (`available_parallelism`) so the gate in `perfgate --check` can enforce
-//! the >1.5x speedup bar only on machines that actually have ≥ 4 hardware
-//! threads; on smaller boxes the structural checks still run but the
-//! speedup bar is informational.
+//! Every batch run — in-memory or streamed — is cross-checked against the
+//! sequential replay: the merged racy-word set must match exactly, for
+//! every K and both encodings. A mismatch is a detector bug and a hard
+//! failure, not a statistic.
+//!
+//! The emitted JSON records `hw_threads` (`available_parallelism`) so the
+//! gate in `perfgate --check` can enforce the >1.5x speedup bar only on
+//! machines that actually have ≥ 4 hardware threads; the work-count and
+//! compression gates are machine-independent and always enforced.
 //!
 //! Flags: `--scale {test|s|m|paper}` (default `s`), `--reps N` (best-of-N
 //! per cell, default 3), `--bench NAME`, `--out PATH` (default
 //! `BENCH_batch.json`).
 
 use std::time::{Duration, Instant};
-use stint::{PortableTrace, RaceReport, StintDetector};
-use stint_batchdet::{batch_detect, BatchConfig};
+use stint::{PortableTrace, RaceReport, StintDetector, DEFAULT_CHUNK_EVENTS};
+use stint_batchdet::{batch_detect, batch_detect_chunked, BatchConfig};
 use stint_bench::*;
 use stint_suite::{Scale, Workload, NAMES};
 
@@ -32,10 +42,14 @@ use stint_suite::{Scale, Workload, NAMES};
 /// batch` and `perfgate --check` verify the emitted axis is monotone.
 const SHARDS: [usize; 4] = [1, 2, 4, 8];
 
+/// Shard count of the streaming-ingest cell.
+const STREAM_K: usize = 4;
+
 /// A trace with at least this many events counts as *large*: big enough
 /// that per-shard detector setup and pool fan-out are amortized. The
-/// headline geomean is computed over large benches only (falling back to
-/// all benches if the scale produces none).
+/// headline geomean — and the compression-ratio gate, which tiny traces
+/// would turn into a header-overhead measurement — is computed over large
+/// benches only (falling back to all benches if the scale produces none).
 const LARGE_EVENTS: u64 = 20_000;
 
 struct Args {
@@ -92,6 +106,18 @@ struct Cell {
     shards: usize,
     workers: usize,
     wall: Duration,
+    /// Events routed to shard detectors (summed over shards) — the batch
+    /// phase's work count.
+    work: u64,
+}
+
+/// The streaming-ingest cell: chunked detection over the compressed buffer.
+struct StreamCell {
+    wall: Duration,
+    bytes: u64,
+    chunks: u64,
+    runs: u64,
+    wholesale_runs: u64,
 }
 
 struct Row {
@@ -100,6 +126,11 @@ struct Row {
     strands: usize,
     seq: Duration,
     cells: Vec<Cell>,
+    /// v1 text encoding size (bytes; counted, never materialized).
+    v1_bytes: u64,
+    /// Compressed chunked v2 encoding size (bytes).
+    v2_bytes: u64,
+    stream: StreamCell,
 }
 
 impl Row {
@@ -114,6 +145,29 @@ impl Row {
             .iter()
             .find(|c| c.shards == k)
             .map(|c| self.speedup(c))
+    }
+    /// Shard work relative to the trace length at one K.
+    fn work_ratio(&self, cell: &Cell) -> f64 {
+        cell.work as f64 / (self.events.max(1)) as f64
+    }
+    fn compression_ratio(&self) -> f64 {
+        self.v2_bytes as f64 / (self.v1_bytes.max(1)) as f64
+    }
+    fn stream_mib_s(&self) -> f64 {
+        let secs = self.stream.wall.as_secs_f64().max(1e-9);
+        self.stream.bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+}
+
+/// Byte-counting sink: sizes the v1 text encoding without holding it.
+struct CountWriter(u64);
+impl std::io::Write for CountWriter {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0 += b.len() as u64;
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -141,6 +195,7 @@ fn time_batch(bench: &str, pt: &PortableTrace, k: usize, reps: u32, expected: &[
         steal_seed: 0,
     };
     let mut best = Duration::MAX;
+    let mut work = 0u64;
     for _ in 0..reps {
         let out = batch_detect(pt, &cfg)
             .unwrap_or_else(|e| panic!("{bench}: batch detection failed at K={k}: {e}"));
@@ -153,12 +208,45 @@ fn time_batch(bench: &str, pt: &PortableTrace, k: usize, reps: u32, expected: &[
             "{bench}: batch racy words diverge from sequential STINT at K={k}"
         );
         best = best.min(out.wall);
+        work = out.shards.iter().map(|s| s.events).sum();
     }
     Cell {
         shards: k,
         workers: k,
         wall: best,
+        work,
     }
+}
+
+/// Best-of-N streaming chunked detection over the compressed buffer at
+/// [`STREAM_K`] shards, cross-checked like the in-memory cells.
+fn time_stream(bench: &str, buf: &[u8], reps: u32, expected: &[u64]) -> StreamCell {
+    let cfg = BatchConfig {
+        shards: STREAM_K,
+        workers: STREAM_K,
+        steal_seed: 0,
+    };
+    let mut best: Option<StreamCell> = None;
+    for _ in 0..reps {
+        let out = batch_detect_chunked(buf, &cfg)
+            .unwrap_or_else(|e| panic!("{bench}: chunked detection failed: {e}"));
+        assert!(out.degraded.is_none(), "{bench}: degraded chunked run");
+        assert_eq!(
+            out.merged.racy_words, expected,
+            "{bench}: streamed racy words diverge from sequential STINT"
+        );
+        let ing = out.ingest.expect("chunked runs report ingest stats");
+        if best.as_ref().is_none_or(|b| out.wall < b.wall) {
+            best = Some(StreamCell {
+                wall: out.wall,
+                bytes: ing.bytes,
+                chunks: ing.chunks,
+                runs: ing.runs,
+                wholesale_runs: ing.wholesale_runs,
+            });
+        }
+    }
+    best.expect("reps >= 1")
 }
 
 fn run_bench(name: &'static str, scale: Scale, reps: u32) -> Row {
@@ -173,42 +261,81 @@ fn run_bench(name: &'static str, scale: Scale, reps: u32) -> Row {
         .iter()
         .map(|&k| time_batch(name, &pt, k, reps, &expected))
         .collect();
+    let mut counter = CountWriter(0);
+    pt.save(&mut counter)
+        .unwrap_or_else(|e| panic!("{name}: sizing the v1 encoding failed: {e}"));
+    let v1_bytes = counter.0;
+    let mut buf = Vec::new();
+    let cst = pt
+        .save_compressed(&mut buf, DEFAULT_CHUNK_EVENTS)
+        .unwrap_or_else(|e| panic!("{name}: compression failed: {e}"));
+    let stream = time_stream(name, &buf, reps, &expected);
+    assert_eq!(
+        stream.chunks, cst.chunks,
+        "{name}: reader chunk count drift"
+    );
     Row {
         bench: name,
         events,
         strands,
         seq,
         cells,
+        v1_bytes,
+        v2_bytes: cst.bytes,
+        stream,
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(path: &str, scale: Scale, reps: u32, hw: usize, rows: &[Row], headline: (f64, &str)) {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"stint-bench-batch-v1\",\n");
+    j.push_str("  \"schema\": \"stint-bench-batch-v2\",\n");
     j.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(scale)));
     j.push_str(&format!("  \"reps\": {reps},\n"));
     j.push_str(&format!("  \"hw_threads\": {hw},\n"));
+    j.push_str(&format!("  \"stream_k\": {STREAM_K},\n"));
     j.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {
         j.push_str(&format!(
             concat!(
                 "    {{\"bench\": \"{}\", \"events\": {}, \"strands\": {}, ",
-                "\"large\": {}, \"seq_secs\": {:.6}, \"shards\": [\n"
+                "\"large\": {}, \"seq_secs\": {:.6},\n",
+                "     \"uncompressed_bytes\": {}, \"compressed_bytes\": {}, ",
+                "\"compression_ratio\": {:.6},\n",
+                "     \"stream\": {{\"k\": {}, \"secs\": {:.6}, \"bytes\": {}, ",
+                "\"chunks\": {}, \"runs\": {}, \"wholesale_runs\": {}, ",
+                "\"mib_per_sec\": {:.3}}},\n",
+                "     \"shards\": [\n"
             ),
             r.bench,
             r.events,
             r.strands,
             r.large(),
             r.seq.as_secs_f64(),
+            r.v1_bytes,
+            r.v2_bytes,
+            r.compression_ratio(),
+            STREAM_K,
+            r.stream.wall.as_secs_f64(),
+            r.stream.bytes,
+            r.stream.chunks,
+            r.stream.runs,
+            r.stream.wholesale_runs,
+            r.stream_mib_s(),
         ));
         for (ci, c) in r.cells.iter().enumerate() {
             j.push_str(&format!(
-                "      {{\"k\": {}, \"workers\": {}, \"secs\": {:.6}, \"speedup\": {:.4}}}{}\n",
+                concat!(
+                    "      {{\"k\": {}, \"workers\": {}, \"secs\": {:.6}, ",
+                    "\"speedup\": {:.4}, \"work\": {}, \"work_ratio\": {:.4}}}{}\n"
+                ),
                 c.shards,
                 c.workers,
                 c.wall.as_secs_f64(),
                 r.speedup(c),
+                c.work,
+                r.work_ratio(c),
                 if ci + 1 < r.cells.len() { "," } else { "" },
             ));
         }
@@ -264,6 +391,9 @@ fn main() {
     for k in SHARDS {
         header.push(format!("K={k}"));
     }
+    header.push("work@8".to_string());
+    header.push("ratio".to_string());
+    header.push("MiB/s".to_string());
     header.push("large".to_string());
     let mut t = Table::new(header);
     for r in &rows {
@@ -271,6 +401,10 @@ fn main() {
         for c in &r.cells {
             cells.push(format!("{:.2}x", r.speedup(c)));
         }
+        let w8 = r.cells.last().map(|c| r.work_ratio(c)).unwrap_or(0.0);
+        cells.push(format!("{w8:.3}x"));
+        cells.push(format!("{:.3}", r.compression_ratio()));
+        cells.push(format!("{:.1}", r.stream_mib_s()));
         cells.push(if r.large() { "yes" } else { "-" }.to_string());
         t.row(cells);
     }

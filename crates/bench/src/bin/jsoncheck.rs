@@ -16,12 +16,14 @@
 //!                                   STATS, the gauge watermarks must bound
 //!                                   the detector's byte stats and Lemma 4.1
 //!                                   must hold on the reported watermarks
-//! jsoncheck batch BATCH             BATCH must be a stint-bench-batch-v1
+//! jsoncheck batch BATCH             BATCH must be a stint-bench-batch-v2
 //!                                   scalability report: per bench a
 //!                                   strictly increasing shard axis with
-//!                                   positive timings and speedup fields,
-//!                                   plus the hw_threads-stamped headline
-//!                                   geomean
+//!                                   positive timings, speedup and
+//!                                   work-count fields, compression sizes,
+//!                                   the streaming-ingest cell, plus the
+//!                                   hw_threads-stamped headline geomean;
+//!                                   a stale v1 report exits 2
 //! ```
 //!
 //! Exit codes: 0 = all checks passed, 1 = a check failed, 2 = usage error.
@@ -174,13 +176,27 @@ fn memseries(series_path: &str, stats_path: Option<&str>) {
 }
 
 /// Structural validation of the batch-scalability report (`BENCH_batch.json`
-/// from the `batch` binary): the shard axis must be strictly increasing per
-/// bench, every cell must carry positive timings plus a speedup, and the
-/// headline geomean must be stamped with the machine's thread count (the
-/// conditional speedup gate in `perfgate --check` keys off it).
+/// from the `batch` binary, schema `stint-bench-batch-v2`): the shard axis
+/// must be strictly increasing per bench, every cell must carry positive
+/// timings plus speedup and work-count fields, every bench must carry the
+/// compression sizes and the streaming-ingest cell, and the headline
+/// geomean must be stamped with the machine's thread count (the conditional
+/// speedup gate in `perfgate --check` keys off it). A stale v1 report is a
+/// *loud* usage failure (exit 2): regenerate it with the current `batch`
+/// binary rather than gating on numbers that no longer measure the
+/// partition pass.
 fn batch(path: &str) {
     let doc = load(path);
-    schema(&doc, path, "stint-bench-batch-v1");
+    let got = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    if got == "stint-bench-batch-v1" {
+        eprintln!(
+            "FAIL: {path}: stale stint-bench-batch-v1 report — the batch study \
+             now emits stint-bench-batch-v2 (work counts + compression + \
+             streaming throughput); regenerate with the `batch` binary"
+        );
+        std::process::exit(2);
+    }
+    schema(&doc, path, "stint-bench-batch-v2");
     let f64_field = |v: &Value, key: &str, ctx: &str| -> f64 {
         v.get(key)
             .and_then(Value::as_f64)
@@ -190,6 +206,7 @@ fn batch(path: &str) {
     if hw == 0 {
         fail(format!("{path}: hw_threads is 0"));
     }
+    u64_field(&doc, "stream_k", path);
     let benches = doc
         .get("benches")
         .and_then(Value::as_array)
@@ -209,6 +226,33 @@ fn batch(path: &str) {
         }
         if b.get("large").and_then(Value::as_bool).is_none() {
             fail(format!("{ctx}: missing boolean field \"large\""));
+        }
+        if u64_field(b, "uncompressed_bytes", &ctx) == 0 {
+            fail(format!("{ctx}: zero uncompressed_bytes"));
+        }
+        if u64_field(b, "compressed_bytes", &ctx) == 0 {
+            fail(format!("{ctx}: zero compressed_bytes"));
+        }
+        if f64_field(b, "compression_ratio", &ctx) <= 0.0 {
+            fail(format!("{ctx}: non-positive compression_ratio"));
+        }
+        let stream = b
+            .get("stream")
+            .unwrap_or_else(|| fail(format!("{ctx}: missing stream cell")));
+        u64_field(stream, "k", &ctx);
+        if f64_field(stream, "secs", &ctx) <= 0.0 {
+            fail(format!("{ctx}: non-positive stream secs"));
+        }
+        if u64_field(stream, "bytes", &ctx) == 0 {
+            fail(format!("{ctx}: zero stream bytes"));
+        }
+        if u64_field(stream, "chunks", &ctx) == 0 {
+            fail(format!("{ctx}: zero stream chunks"));
+        }
+        u64_field(stream, "runs", &ctx);
+        u64_field(stream, "wholesale_runs", &ctx);
+        if f64_field(stream, "mib_per_sec", &ctx) <= 0.0 {
+            fail(format!("{ctx}: non-positive stream throughput"));
         }
         let shards = b
             .get("shards")
@@ -233,6 +277,10 @@ fn batch(path: &str) {
             if f64_field(s, "speedup", &ctx) <= 0.0 {
                 fail(format!("{ctx}: non-positive speedup at k={k}"));
             }
+            u64_field(s, "work", &ctx);
+            if f64_field(s, "work_ratio", &ctx) <= 0.0 {
+                fail(format!("{ctx}: non-positive work_ratio at k={k}"));
+            }
             cells += 1;
         }
     }
@@ -241,8 +289,8 @@ fn batch(path: &str) {
         fail(format!("{path}: missing geomean_over"));
     }
     println!(
-        "ok: {} benches x {cells} cells, shard axes monotone, \
-         speedups present (hw_threads={hw})",
+        "ok: {} benches x {cells} cells, shard axes monotone, work counts, \
+         compression sizes and stream throughput present (hw_threads={hw})",
         benches.len()
     );
 }

@@ -269,13 +269,31 @@ fn check_space_report(path: &str) {
 /// measure the scheduler; the structural checks still run there.
 const BATCH_SPEEDUP_BAR: f64 = 1.5;
 const BATCH_HW_FLOOR: u64 = 4;
+/// Work-count bound at K=1: the single shard must touch at most ~1.1x the
+/// trace's events — the O(n) partition pass never rescans, so anything
+/// beyond rounding slack means a clip-per-shard regression.
+const BATCH_K1_WORK_BAR: f64 = 1.1;
+/// Work-count bound at any K: total routed events stay near-linear in the
+/// trace length (straddler clips and per-shard strand-end markers are the
+/// only duplication). A clip-per-shard design would sit at K·n — ratio 8.0
+/// on the K=8 cell — so 1.5 is a sharp gate with room for small traces.
+const BATCH_WORK_BAR: f64 = 1.5;
+/// The compressed chunked encoding must at least halve the v1 text size on
+/// every *large* bench (tiny traces are header-overhead-bound).
+const BATCH_COMPRESSION_BAR: f64 = 0.5;
 
 /// Gate the batch-scalability report (regenerated by the `batch` binary; see
-/// `scripts/perfgate.sh`). Structure first: a strictly increasing shard axis
-/// per bench with speedup fields on every cell. Then, on machines with
-/// [`BATCH_HW_FLOOR`]+ hardware threads, the recorded headline geomean at
-/// K=4 must clear [`BATCH_SPEEDUP_BAR`]. Absent file = the study has not
-/// run; that is only a warning, like the space report.
+/// `scripts/perfgate.sh`), schema `stint-bench-batch-v2`. Structure first: a
+/// strictly increasing shard axis per bench with speedup and work fields on
+/// every cell, plus the compression sizes and streaming-ingest cell. Then
+/// the machine-independent gates: K=1 work ratio within
+/// [`BATCH_K1_WORK_BAR`], every cell's work ratio within
+/// [`BATCH_WORK_BAR`] (near-linear partition scaling), large-bench
+/// compression ratio within [`BATCH_COMPRESSION_BAR`], and positive
+/// streaming throughput. Finally, on machines with [`BATCH_HW_FLOOR`]+
+/// hardware threads, the recorded headline geomean at K=4 must clear
+/// [`BATCH_SPEEDUP_BAR`]. Absent file = the study has not run; that is only
+/// a warning, like the space report. A stale v1 report is a hard failure.
 fn check_batch_report(path: &str) {
     let Ok(content) = std::fs::read_to_string(path) else {
         eprintln!("warning: no {path} (run the `batch` binary to gate the scalability study)");
@@ -286,8 +304,14 @@ fn check_batch_report(path: &str) {
         std::process::exit(1);
     };
     let doc = stint_bench::json::parse(&content).unwrap_or_else(|e| fail(e));
-    if doc.get("schema").and_then(|s| s.as_str()) != Some("stint-bench-batch-v1") {
-        fail("not a stint-bench-batch-v1 document".into());
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some("stint-bench-batch-v2") => {}
+        Some("stint-bench-batch-v1") => fail(
+            "stale stint-bench-batch-v1 report; regenerate with the current \
+             `batch` binary (emits v2 with work counts and compression)"
+                .into(),
+        ),
+        _ => fail("not a stint-bench-batch-v2 document".into()),
     }
     let benches = doc
         .get("benches")
@@ -296,8 +320,30 @@ fn check_batch_report(path: &str) {
     if benches.is_empty() {
         fail("empty benches array".into());
     }
+    let mut gated_cells = 0usize;
     for b in benches {
         let name = b.get("bench").and_then(|v| v.as_str()).unwrap_or("?");
+        let large = b.get("large").and_then(|v| v.as_bool()).unwrap_or(false);
+        let ratio = b
+            .get("compression_ratio")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| fail(format!("{name}: missing compression_ratio")));
+        if large && ratio > BATCH_COMPRESSION_BAR {
+            fail(format!(
+                "{name}: compressed trace is {ratio:.3}x the v1 size \
+                 (bar: {BATCH_COMPRESSION_BAR}x on large benches)"
+            ));
+        }
+        let stream = b
+            .get("stream")
+            .unwrap_or_else(|| fail(format!("{name}: missing stream cell")));
+        let mibs = stream
+            .get("mib_per_sec")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| fail(format!("{name}: stream cell without throughput")));
+        if mibs <= 0.0 {
+            fail(format!("{name}: non-positive streaming throughput"));
+        }
         let shards = b
             .get("shards")
             .and_then(|v| v.as_array())
@@ -317,6 +363,22 @@ fn check_batch_report(path: &str) {
             if s.get("speedup").and_then(|v| v.as_f64()).is_none() {
                 fail(format!("{name}: shard cell k={k} without a speedup field"));
             }
+            let wr = s
+                .get("work_ratio")
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| fail(format!("{name}: shard cell k={k} without work_ratio")));
+            let bar = if k == 1 {
+                BATCH_K1_WORK_BAR
+            } else {
+                BATCH_WORK_BAR
+            };
+            if wr > bar {
+                fail(format!(
+                    "{name}: partition work at K={k} is {wr:.3}x the trace \
+                     (bar: {bar}x — the O(n) pass must not rescan per shard)"
+                ));
+            }
+            gated_cells += 1;
         }
         if prev_k == 0 {
             fail(format!("{name}: empty shard axis"));
@@ -330,6 +392,11 @@ fn check_batch_report(path: &str) {
         .get("geomean_speedup_k4")
         .and_then(|v| v.as_f64())
         .unwrap_or_else(|| fail("missing geomean_speedup_k4".into()));
+    println!(
+        "check passed: batch work ratios within {BATCH_K1_WORK_BAR}x (K=1) / \
+         {BATCH_WORK_BAR}x (all K) over {gated_cells} cells; large-bench \
+         compression within {BATCH_COMPRESSION_BAR}x; stream throughput present"
+    );
     if hw >= BATCH_HW_FLOOR {
         if g < BATCH_SPEEDUP_BAR {
             fail(format!(

@@ -10,10 +10,13 @@ stint-cli — STINT race detector (SPAA 2021 reproduction)
 
 USAGE:
   stint-cli detect <bench> [--variant V] [--scale S] [--shards K]
+                   [--compress] [--chunk-events N]
   stint-cli bugs
-  stint-cli trace record <bench> <file> [--scale S]
+  stint-cli trace record <bench> <file> [--scale S] [--compress]
+                   [--chunk-events N]
   stint-cli trace info <file>
-  stint-cli trace replay <file> [--variant V] [--shards K]
+  stint-cli trace replay <file> [--variant V] [--shards K] [--compress]
+                   [--chunk-events N]
   stint-cli grid [n]
   stint-cli help
 
@@ -27,6 +30,17 @@ USAGE:
              sequential one for every shard count)
   --scale    test (default) | s | m | paper
   --shards   address shards for --variant batch (1..=4096, default 4)
+  --compress trace record: save the compressed chunked STINT-TRACE v2
+             format (delta+run-length coded, per-chunk checksums) instead
+             of the v1 text format; trace replay --variant batch: force
+             streaming chunked detection (a v1 input is transcoded first;
+             v2 inputs always stream, flag or not); detect --variant
+             batch: run the recorded trace through the compressed
+             streaming path instead of in-memory partitioning
+  --chunk-events N
+             events per compressed chunk (1..=16777216, default 4096);
+             both the record-side chunk size and the streaming replay's
+             per-chunk working-set bound
 
 GLOBAL OPTIONS (any command):
   --fault-plan SPEC   install a deterministic fault plan (key=value,flag,...;
@@ -96,12 +110,16 @@ pub enum Parsed {
         variant: VariantSel,
         scale: Scale,
         shards: usize,
+        compress: bool,
+        chunk_events: usize,
     },
     Bugs,
     TraceRecord {
         bench: String,
         file: String,
         scale: Scale,
+        compress: bool,
+        chunk_events: usize,
     },
     TraceInfo {
         file: String,
@@ -110,6 +128,8 @@ pub enum Parsed {
         file: String,
         variant: VariantSel,
         shards: usize,
+        compress: bool,
+        chunk_events: usize,
     },
     Grid {
         n: usize,
@@ -133,31 +153,64 @@ fn parse_scale(s: &str) -> Result<Scale, String> {
     Scale::parse(s).ok_or_else(|| format!("unknown scale {s:?}"))
 }
 
-/// Pull `--variant`/`--scale`/`--shards` options out of `rest`, leaving
-/// positionals.
-fn split_opts(rest: &[String]) -> Result<(Vec<String>, VariantSel, Scale, usize), String> {
+/// The subcommand-level options `split_opts` pulls out of the argument
+/// list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SubOpts {
+    variant: VariantSel,
+    scale: Scale,
+    shards: usize,
+    compress: bool,
+    chunk_events: usize,
+}
+
+impl Default for SubOpts {
+    fn default() -> Self {
+        SubOpts {
+            variant: VariantSel::One(Variant::Stint),
+            scale: Scale::Test,
+            shards: 4,
+            compress: false,
+            chunk_events: stint::ctrace::DEFAULT_CHUNK_EVENTS,
+        }
+    }
+}
+
+/// Pull `--variant`/`--scale`/`--shards`/`--compress`/`--chunk-events`
+/// options out of `rest`, leaving positionals.
+fn split_opts(rest: &[String]) -> Result<(Vec<String>, SubOpts), String> {
     let mut pos = Vec::new();
-    let mut variant = VariantSel::One(Variant::Stint);
-    let mut scale = Scale::Test;
-    let mut shards = 4usize;
+    let mut o = SubOpts::default();
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--variant" => {
                 let v = rest.get(i + 1).ok_or("--variant needs a value")?;
-                variant = parse_variant(v)?;
+                o.variant = parse_variant(v)?;
                 i += 2;
             }
             "--scale" => {
                 let v = rest.get(i + 1).ok_or("--scale needs a value")?;
-                scale = parse_scale(v)?;
+                o.scale = parse_scale(v)?;
                 i += 2;
             }
             "--shards" => {
                 let v = rest.get(i + 1).ok_or("--shards needs a value")?;
-                shards = v.parse().map_err(|_| format!("bad --shards {v:?}"))?;
-                if shards == 0 || shards > 4096 {
+                o.shards = v.parse().map_err(|_| format!("bad --shards {v:?}"))?;
+                if o.shards == 0 || o.shards > 4096 {
                     return Err("--shards must be in 1..=4096".into());
+                }
+                i += 2;
+            }
+            "--compress" => {
+                o.compress = true;
+                i += 1;
+            }
+            "--chunk-events" => {
+                let v = rest.get(i + 1).ok_or("--chunk-events needs a value")?;
+                o.chunk_events = v.parse().map_err(|_| format!("bad --chunk-events {v:?}"))?;
+                if o.chunk_events == 0 || o.chunk_events > 16_777_216 {
+                    return Err("--chunk-events must be in 1..=16777216".into());
                 }
                 i += 2;
             }
@@ -170,7 +223,7 @@ fn split_opts(rest: &[String]) -> Result<(Vec<String>, VariantSel, Scale, usize)
             }
         }
     }
-    Ok((pos, variant, scale, shards))
+    Ok((pos, o))
 }
 
 /// Strip the global options (valid anywhere on the command line) out of
@@ -250,18 +303,23 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
     match cmd {
         "help" | "--help" | "-h" => Ok(Parsed::Help),
         "detect" => {
-            let (pos, variant, scale, shards) = split_opts(&argv[1..])?;
+            let (pos, o) = split_opts(&argv[1..])?;
             let [bench] = pos.as_slice() else {
                 return Err("detect takes exactly one benchmark name".into());
             };
             if !crate::known_bench(bench) {
                 return Err(format!("unknown benchmark {bench:?}"));
             }
+            if o.compress && o.variant != VariantSel::Batch {
+                return Err("detect --compress needs --variant batch".into());
+            }
             Ok(Parsed::Detect {
                 bench: bench.clone(),
-                variant,
-                scale,
-                shards,
+                variant: o.variant,
+                scale: o.scale,
+                shards: o.shards,
+                compress: o.compress,
+                chunk_events: o.chunk_events,
             })
         }
         "bugs" => Ok(Parsed::Bugs),
@@ -272,7 +330,7 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                 .ok_or("trace needs a subcommand")?;
             match sub {
                 "record" => {
-                    let (pos, _variant, scale, _shards) = split_opts(&argv[2..])?;
+                    let (pos, o) = split_opts(&argv[2..])?;
                     let [bench, file] = pos.as_slice() else {
                         return Err("trace record takes <bench> <file>".into());
                     };
@@ -282,7 +340,9 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                     Ok(Parsed::TraceRecord {
                         bench: bench.clone(),
                         file: file.clone(),
-                        scale,
+                        scale: o.scale,
+                        compress: o.compress,
+                        chunk_events: o.chunk_events,
                     })
                 }
                 "info" => {
@@ -292,20 +352,25 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                     Ok(Parsed::TraceInfo { file: file.clone() })
                 }
                 "replay" => {
-                    let (pos, variant, _scale, shards) = split_opts(&argv[2..])?;
+                    let (pos, o) = split_opts(&argv[2..])?;
                     let [file] = pos.as_slice() else {
                         return Err("trace replay takes <file>".into());
                     };
-                    if variant == VariantSel::All {
+                    if o.variant == VariantSel::All {
                         return Err(
                             "trace replay needs one concrete --variant (or 'batch'), not 'all'"
                                 .into(),
                         );
                     }
+                    if o.compress && o.variant != VariantSel::Batch {
+                        return Err("trace replay --compress needs --variant batch".into());
+                    }
                     Ok(Parsed::TraceReplay {
                         file: file.clone(),
-                        variant,
-                        shards,
+                        variant: o.variant,
+                        shards: o.shards,
+                        compress: o.compress,
+                        chunk_events: o.chunk_events,
                     })
                 }
                 _ => Err(format!("unknown trace subcommand {sub:?}")),
@@ -333,6 +398,8 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    const CHUNK: usize = stint::ctrace::DEFAULT_CHUNK_EVENTS;
+
     #[test]
     fn parses_detect_with_options() {
         let p = parse_cmd(&v(&[
@@ -351,6 +418,8 @@ mod tests {
                 variant: VariantSel::One(Variant::CompRts),
                 scale: Scale::S,
                 shards: 4,
+                compress: false,
+                chunk_events: CHUNK,
             }
         );
     }
@@ -365,6 +434,8 @@ mod tests {
                 variant: VariantSel::All,
                 scale: Scale::Test,
                 shards: 4,
+                compress: false,
+                chunk_events: CHUNK,
             }
         );
         // `all` makes no sense for a single-detector replay.
@@ -389,6 +460,8 @@ mod tests {
                 variant: VariantSel::Batch,
                 scale: Scale::Test,
                 shards: 7,
+                compress: false,
+                chunk_events: CHUNK,
             }
         );
         // Batch replays a saved trace too, unlike 'all'.
@@ -408,6 +481,8 @@ mod tests {
                 file: "/tmp/t".into(),
                 variant: VariantSel::Batch,
                 shards: 16,
+                compress: false,
+                chunk_events: CHUNK,
             }
         );
         assert!(parse_cmd(&v(&["detect", "mmul", "--shards", "0"])).is_err());
@@ -426,6 +501,8 @@ mod tests {
                 variant: VariantSel::One(Variant::Stint),
                 scale: Scale::Test,
                 shards: 4,
+                compress: false,
+                chunk_events: CHUNK,
             }
         );
         assert_eq!(parse(&v(&[])).unwrap().0, Parsed::Help);
@@ -455,6 +532,8 @@ mod tests {
                 bench: "mmul".into(),
                 file: "/tmp/t.trace".into(),
                 scale: Scale::Test,
+                compress: false,
+                chunk_events: CHUNK,
             }
         );
         assert_eq!(
@@ -477,6 +556,8 @@ mod tests {
                 file: "/tmp/t.trace".into(),
                 variant: VariantSel::One(Variant::Vanilla),
                 shards: 4,
+                compress: false,
+                chunk_events: CHUNK,
             }
         );
     }
@@ -503,6 +584,8 @@ mod tests {
                 variant: VariantSel::One(Variant::Stint),
                 scale: Scale::Test,
                 shards: 4,
+                compress: false,
+                chunk_events: CHUNK,
             }
         );
         assert_eq!(opts.max_intervals, Some(10));
@@ -553,6 +636,92 @@ mod tests {
         // Explicit off round-trips as Some(None).
         let (_, opts) = parse(&v(&["bugs", "--obs", "off"])).unwrap();
         assert_eq!(opts.obs, Some(None));
+    }
+
+    #[test]
+    fn parses_compress_and_chunk_events() {
+        let p = parse_cmd(&v(&[
+            "trace",
+            "record",
+            "mmul",
+            "/tmp/t",
+            "--compress",
+            "--chunk-events",
+            "128",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::TraceRecord {
+                bench: "mmul".into(),
+                file: "/tmp/t".into(),
+                scale: Scale::Test,
+                compress: true,
+                chunk_events: 128,
+            }
+        );
+        let p = parse_cmd(&v(&[
+            "trace",
+            "replay",
+            "/tmp/t",
+            "--variant",
+            "batch",
+            "--compress",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::TraceReplay {
+                file: "/tmp/t".into(),
+                variant: VariantSel::Batch,
+                shards: 4,
+                compress: true,
+                chunk_events: CHUNK,
+            }
+        );
+        let p = parse_cmd(&v(&["detect", "mmul", "--variant", "batch", "--compress"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Detect {
+                bench: "mmul".into(),
+                variant: VariantSel::Batch,
+                scale: Scale::Test,
+                shards: 4,
+                compress: true,
+                chunk_events: CHUNK,
+            }
+        );
+        // --compress is a batch-mode knob everywhere but trace record.
+        assert!(parse_cmd(&v(&["detect", "mmul", "--compress"])).is_err());
+        assert!(parse_cmd(&v(&[
+            "trace",
+            "replay",
+            "/tmp/t",
+            "--variant",
+            "stint",
+            "--compress"
+        ]))
+        .is_err());
+        // Bounds and arity checks.
+        assert!(parse_cmd(&v(&["trace", "record", "mmul", "/tmp/t", "--chunk-events"])).is_err());
+        assert!(parse_cmd(&v(&[
+            "trace",
+            "record",
+            "mmul",
+            "/tmp/t",
+            "--chunk-events",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_cmd(&v(&[
+            "trace",
+            "record",
+            "mmul",
+            "/tmp/t",
+            "--chunk-events",
+            "99999999"
+        ]))
+        .is_err());
     }
 
     #[test]

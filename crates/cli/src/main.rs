@@ -32,7 +32,7 @@ mod output;
 
 use args::{Parsed, RunOpts, VariantSel};
 use output::{print_batch_outcome, print_outcome, print_report, write_stats_json};
-use stint_batchdet::{batch_detect, BatchConfig};
+use stint_batchdet::{batch_detect, batch_detect_chunked, BatchConfig};
 
 /// A failed run: either bad input (exit 2) or a structured detector failure
 /// (exit 3 for resource exhaustion, 4 for a poisoned session).
@@ -203,6 +203,8 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             variant,
             scale,
             shards,
+            compress,
+            chunk_events,
         } => {
             let mut cfg = Config::new(Variant::Stint);
             if let Some(mb) = opts.max_shadow_mb {
@@ -210,7 +212,7 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             }
             cfg.budget.max_intervals = opts.max_intervals;
             if variant == VariantSel::Batch {
-                return detect_batch(&bench, scale, shards, opts);
+                return detect_batch(&bench, scale, shards, compress, chunk_events, opts);
             }
             let outcomes = match variant {
                 VariantSel::Batch => unreachable!("handled above"),
@@ -275,16 +277,37 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             any |= !o.report.is_race_free();
             Ok(any)
         }
-        Parsed::TraceRecord { bench, file, scale } => {
+        Parsed::TraceRecord {
+            bench,
+            file,
+            scale,
+            compress,
+            chunk_events,
+        } => {
             let mut w = Workload::by_name(&bench, scale);
             let pt = PortableTrace::record(&mut w);
             let f = File::create(&file).map_err(|e| usage(format!("create {file}: {e}")))?;
-            pt.save(BufWriter::new(f)).map_err(usage)?;
-            println!(
-                "recorded {} events over {} strands into {file}",
-                pt.trace.len(),
-                pt.reach.strand_count()
-            );
+            if compress {
+                let st = pt
+                    .save_compressed(BufWriter::new(f), chunk_events)
+                    .map_err(usage)?;
+                println!(
+                    "recorded {} events over {} strands into {file} \
+                     (compressed: {} runs, {} chunk(s), {} bytes)",
+                    pt.trace.len(),
+                    pt.reach.strand_count(),
+                    st.runs,
+                    st.chunks,
+                    st.bytes
+                );
+            } else {
+                pt.save(BufWriter::new(f)).map_err(usage)?;
+                println!(
+                    "recorded {} events over {} strands into {file}",
+                    pt.trace.len(),
+                    pt.reach.strand_count()
+                );
+            }
             Ok(false)
         }
         Parsed::TraceInfo { file } => {
@@ -306,6 +329,8 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             file,
             variant,
             shards,
+            compress,
+            chunk_events,
         } => match variant {
             VariantSel::All => Err(usage("trace replay cannot run 'all'")),
             VariantSel::Batch => {
@@ -313,17 +338,40 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
                 // truncated, bit-flipped, or wrong-version trace is a
                 // structured CorruptTrace failure (exit 4), never a panic.
                 let f = File::open(&file).map_err(|e| usage(format!("open {file}: {e}")))?;
-                let pt =
-                    stint_batchdet::load_trace(BufReader::new(f)).map_err(Failure::Detector)?;
+                let mut r = BufReader::new(f);
                 let bcfg = BatchConfig {
                     shards,
                     ..BatchConfig::default()
                 };
-                let out = batch_detect(&pt, &bcfg).map_err(Failure::Detector)?;
+                let out = if sniff_v2(&mut r).map_err(usage)? {
+                    // v2 streams chunk-by-chunk straight off the disk —
+                    // the full event stream is never resident.
+                    batch_detect_chunked(r, &bcfg).map_err(Failure::Detector)?
+                } else {
+                    let pt = stint_batchdet::load_trace(r).map_err(Failure::Detector)?;
+                    if compress {
+                        // Transcode the v1 text trace to the compressed
+                        // chunked form, then run the same streaming path.
+                        let mut buf = Vec::new();
+                        pt.save_compressed(&mut buf, chunk_events).map_err(usage)?;
+                        batch_detect_chunked(&buf[..], &bcfg).map_err(Failure::Detector)?
+                    } else {
+                        batch_detect(&pt, &bcfg).map_err(Failure::Detector)?
+                    }
+                };
                 // The header and merged report are invariant in the shard
-                // count and steal schedule, so scripts can byte-diff this
-                // output across K.
+                // count, steal schedule, and trace encoding, so scripts can
+                // byte-diff this output across K and across v1/v2 (the
+                // chunked path adds one "  ingested ..." telemetry line,
+                // which encoding-comparing scripts strip).
                 println!("replayed {} events under batch:", out.events);
+                if let Some(ing) = &out.ingest {
+                    println!(
+                        "  ingested {} compressed bytes in {} chunk(s) \
+                         ({} runs, {} wholesale)",
+                        ing.bytes, ing.chunks, ing.runs, ing.wholesale_runs
+                    );
+                }
                 let report = out.merged.to_report();
                 print_report(&report, 10);
                 if let Some(err) = out.degraded {
@@ -366,8 +414,17 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
 /// `detect --variant batch`: record the benchmark into a portable trace
 /// (phase 1 — sequential control-flow replay building the frozen SP-Order),
 /// then fan detection out over `shards` address shards on the work-stealing
-/// pool (phase 2) and print the deterministically merged report.
-fn detect_batch(bench: &str, scale: Scale, shards: usize, opts: &RunOpts) -> Result<bool, Failure> {
+/// pool (phase 2) and print the deterministically merged report. With
+/// `--compress`, phase 2 instead transcodes the trace to the compressed
+/// chunked encoding and runs the streaming ingest path end to end.
+fn detect_batch(
+    bench: &str,
+    scale: Scale,
+    shards: usize,
+    compress: bool,
+    chunk_events: usize,
+    opts: &RunOpts,
+) -> Result<bool, Failure> {
     if opts.max_shadow_mb.is_some() || opts.max_intervals.is_some() {
         return Err(usage(
             "resource budgets are not supported with --variant batch",
@@ -384,7 +441,13 @@ fn detect_batch(bench: &str, scale: Scale, shards: usize, opts: &RunOpts) -> Res
         shards,
         ..BatchConfig::default()
     };
-    let out = batch_detect(&pt, &bcfg).map_err(Failure::Detector)?;
+    let out = if compress {
+        let mut buf = Vec::new();
+        pt.save_compressed(&mut buf, chunk_events).map_err(usage)?;
+        batch_detect_chunked(&buf[..], &bcfg).map_err(Failure::Detector)?
+    } else {
+        batch_detect(&pt, &bcfg).map_err(Failure::Detector)?
+    };
     print_batch_outcome(bench, &out);
     if let Some(err) = out.degraded {
         // Sound but incomplete, exactly like a degraded sequential run.
@@ -446,9 +509,17 @@ fn fan_out(
     }
 }
 
+/// Peek the buffered reader's head for the compressed `STINT-TRACE v2`
+/// magic without consuming anything.
+fn sniff_v2(r: &mut BufReader<File>) -> Result<bool, String> {
+    use std::io::BufRead;
+    let head = r.fill_buf().map_err(|e| format!("read trace: {e}"))?;
+    Ok(head.starts_with(stint::MAGIC_V2.as_bytes()))
+}
+
 fn load_trace(file: &str) -> Result<PortableTrace, String> {
     let f = File::open(file).map_err(|e| format!("open {file}: {e}"))?;
-    PortableTrace::load(BufReader::new(f)).map_err(|e| format!("parse {file}: {e}"))
+    PortableTrace::load_any(BufReader::new(f)).map_err(|e| format!("parse {file}: {e}"))
 }
 
 /// Shared with `args.rs` for validation.

@@ -44,6 +44,7 @@
 //! work the access history performs.
 
 pub mod comprts;
+pub mod ctrace;
 pub mod report;
 pub mod stats;
 pub mod stint_det;
@@ -53,6 +54,10 @@ pub mod vanilla;
 pub mod word_logic;
 
 pub use comprts::CompRtsDetector;
+pub use ctrace::{
+    load_compressed, save_compressed, CompressStats, CompressedTraceReader, EventRun,
+    DEFAULT_CHUNK_EVENTS, MAGIC_V2,
+};
 pub use report::{Race, RaceKind, RaceReport};
 pub use stats::{DetectorStats, Sided};
 pub use stint_det::{IntervalDetector, StintDetector, StintFlatDetector};

@@ -273,38 +273,74 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
             self.stats.write.interval_bytes += (hi - lo) * 4;
         }
 
-        // --- Read intervals: check against write tree, insert into read
-        // tree. Queries on the same address region as the insert that
-        // follows keep the relevant tree paths cache-hot, so the phases stay
-        // interleaved per interval.
-        for &(lo, hi) in &reads {
-            let report = &mut self.report;
-            self.write_tree.query_overlaps(lo, hi, |old, olo, ohi| {
-                if old != TOMBSTONE && q.parallel(old) {
-                    report.add(RaceKind::WriteRead, olo, ohi, old, s);
-                }
-            });
-            self.read_tree.insert_read(Interval::new(lo, hi, s), |old| {
-                old == TOMBSTONE || q.cur_left_of(old)
-            });
-        }
-
-        // --- Write intervals: check against read tree, insert into write
-        // tree.
-        for &(lo, hi) in &writes {
-            let report = &mut self.report;
-            self.read_tree.query_overlaps(lo, hi, |old, olo, ohi| {
-                if old != TOMBSTONE && q.parallel(old) {
-                    report.add(RaceKind::ReadWrite, olo, ohi, old, s);
-                }
-            });
+        if self.hot.batched {
+            // Batched flush: all cross-tree checks first (they only read the
+            // opposite tree), then the strand's whole sorted disjoint run
+            // list goes into its own tree as ONE bulk insert — the treap's
+            // append fast path turns n root-to-leaf insertions into an O(n)
+            // build plus an O(lg n) join whenever the batch lands beyond the
+            // stored cover. Checks and inserts touch different trees, so the
+            // phase split observes exactly the same history as the
+            // interleaved legacy loop below.
+            for &(lo, hi) in &reads {
+                let report = &mut self.report;
+                self.write_tree.query_overlaps(lo, hi, |old, olo, ohi| {
+                    if old != TOMBSTONE && q.parallel(old) {
+                        report.add(RaceKind::WriteRead, olo, ohi, old, s);
+                    }
+                });
+            }
+            self.read_tree
+                .insert_reads_for(s, &reads, |old| old == TOMBSTONE || q.cur_left_of(old));
+            for &(lo, hi) in &writes {
+                let report = &mut self.report;
+                self.read_tree.query_overlaps(lo, hi, |old, olo, ohi| {
+                    if old != TOMBSTONE && q.parallel(old) {
+                        report.add(RaceKind::ReadWrite, olo, ohi, old, s);
+                    }
+                });
+            }
             let report = &mut self.report;
             self.write_tree
-                .insert_write(Interval::new(lo, hi, s), |old, olo, ohi| {
+                .insert_writes_for(s, &writes, |old, olo, ohi| {
                     if old != TOMBSTONE && q.parallel(old) {
                         report.add(RaceKind::WriteWrite, olo, ohi, old, s);
                     }
                 });
+        } else {
+            // --- Read intervals: check against write tree, insert into read
+            // tree. Queries on the same address region as the insert that
+            // follows keep the relevant tree paths cache-hot, so the phases
+            // stay interleaved per interval.
+            for &(lo, hi) in &reads {
+                let report = &mut self.report;
+                self.write_tree.query_overlaps(lo, hi, |old, olo, ohi| {
+                    if old != TOMBSTONE && q.parallel(old) {
+                        report.add(RaceKind::WriteRead, olo, ohi, old, s);
+                    }
+                });
+                self.read_tree.insert_read(Interval::new(lo, hi, s), |old| {
+                    old == TOMBSTONE || q.cur_left_of(old)
+                });
+            }
+
+            // --- Write intervals: check against read tree, insert into
+            // write tree.
+            for &(lo, hi) in &writes {
+                let report = &mut self.report;
+                self.read_tree.query_overlaps(lo, hi, |old, olo, ohi| {
+                    if old != TOMBSTONE && q.parallel(old) {
+                        report.add(RaceKind::ReadWrite, olo, ohi, old, s);
+                    }
+                });
+                let report = &mut self.report;
+                self.write_tree
+                    .insert_write(Interval::new(lo, hi, s), |old, olo, ohi| {
+                        if old != TOMBSTONE && q.parallel(old) {
+                            report.add(RaceKind::WriteWrite, olo, ohi, old, s);
+                        }
+                    });
+            }
         }
         reads.clear();
         writes.clear();

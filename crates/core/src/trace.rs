@@ -226,17 +226,57 @@ impl PortableTrace {
         Ok(())
     }
 
+    /// Serialize to the compressed chunked `STINT-TRACE v2` binary format
+    /// (see [`crate::ctrace`]) with at most `chunk_events` decoded events
+    /// per chunk.
+    pub fn save_compressed<W: std::io::Write>(
+        &self,
+        w: W,
+        chunk_events: usize,
+    ) -> std::io::Result<crate::ctrace::CompressStats> {
+        crate::ctrace::save_compressed(self, w, chunk_events)
+    }
+
+    /// Parse either trace format, dispatching on the magic line: the v1
+    /// text format or the compressed chunked v2 format.
+    pub fn load_any<R: std::io::BufRead>(mut r: R) -> std::io::Result<PortableTrace> {
+        use std::io::{Error, ErrorKind};
+        let mut magic = String::new();
+        r.read_line(&mut magic)?;
+        match magic.trim_end() {
+            "STINT-TRACE v1" => Self::load_v1_after_magic(r),
+            crate::ctrace::MAGIC_V2 => {
+                let mut reader = crate::ctrace::CompressedTraceReader::open_after_magic(r)?;
+                crate::ctrace::load_rest(&mut reader)
+            }
+            _ => Err(Error::new(
+                ErrorKind::InvalidData,
+                "bad magic: expected STINT-TRACE v1 or v2",
+            )),
+        }
+    }
+
     /// Parse the `STINT-TRACE v1` format.
-    pub fn load<R: std::io::BufRead>(r: R) -> std::io::Result<PortableTrace> {
+    pub fn load<R: std::io::BufRead>(mut r: R) -> std::io::Result<PortableTrace> {
+        use std::io::{Error, ErrorKind};
+        let mut magic = String::new();
+        r.read_line(&mut magic)?;
+        if magic.trim_end() != "STINT-TRACE v1" {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "bad magic: expected STINT-TRACE v1",
+            ));
+        }
+        Self::load_v1_after_magic(r)
+    }
+
+    fn load_v1_after_magic<R: std::io::BufRead>(r: R) -> std::io::Result<PortableTrace> {
         use std::io::{Error, ErrorKind};
         let bad = |m: &str| Error::new(ErrorKind::InvalidData, m.to_string());
         let mut lines = r.lines();
         let mut next = move || -> std::io::Result<String> {
             lines.next().ok_or_else(|| bad("unexpected end of trace"))?
         };
-        if next()?.trim() != "STINT-TRACE v1" {
-            return Err(bad("bad magic: expected STINT-TRACE v1"));
-        }
         let header = next()?;
         let n: usize = header
             .strip_prefix("strands ")

@@ -142,6 +142,36 @@ pub trait IntervalStore<A: Copy> {
     fn to_vec(&self) -> Vec<Interval<A>>;
     /// Operation counters.
     fn stats(&self) -> OpStats;
+
+    /// Bulk-record a strand's pre-coalesced write runs: `runs` is the sorted,
+    /// pairwise-disjoint word-interval list a coalescing shadow produces at
+    /// strand end, all accessed by `who`. Semantically identical to one
+    /// [`IntervalStore::insert_write`] per run (the default implementation);
+    /// stores may override with a batched fast path.
+    fn insert_writes_for(
+        &mut self,
+        who: A,
+        runs: &[(u64, u64)],
+        mut conflict: impl FnMut(A, u64, u64),
+    ) {
+        for &(lo, hi) in runs {
+            self.insert_write(Interval::new(lo, hi, who), &mut conflict);
+        }
+    }
+
+    /// Bulk-record a strand's pre-coalesced read runs (see
+    /// [`IntervalStore::insert_writes_for`]; read semantics of
+    /// [`IntervalStore::insert_read`]).
+    fn insert_reads_for(
+        &mut self,
+        who: A,
+        runs: &[(u64, u64)],
+        mut is_new_left_of: impl FnMut(A) -> bool,
+    ) {
+        for &(lo, hi) in runs {
+            self.insert_read(Interval::new(lo, hi, who), &mut is_new_left_of);
+        }
+    }
 }
 
 /// Merge adjacent intervals with equal accessors — the stores may legally

@@ -72,6 +72,13 @@ pub struct Treap<A> {
     /// Arena slot budget: allocation past this raises
     /// [`stint_faults::DetectorError::ResourceExhausted`].
     node_cap: u32,
+    /// Conservative cover of every stored interval: the union of all
+    /// intervals ever inserted is `[lo_bound, hi_bound)` (trims and removals
+    /// only shrink coverage, so the cover never under-estimates). An insert
+    /// or query entirely outside it cannot overlap anything — the
+    /// key-compare early-out and the bulk append fast path key off this.
+    lo_bound: u64,
+    hi_bound: u64,
     /// Heap bytes last reported to the `ivtree.bytes`/`ivtree.nodes` gauges
     /// (zero while obs is disabled — `Gauge::reconcile` no-ops).
     owned_bytes: u64,
@@ -105,6 +112,8 @@ impl<A: Copy> Treap<A> {
             stats: OpStats::default(),
             inserts: 0,
             node_cap: NIL,
+            lo_bound: u64::MAX,
+            hi_bound: 0,
             owned_bytes: 0,
             owned_nodes: 0,
         }
@@ -641,6 +650,75 @@ impl<A: Copy> Treap<A> {
         );
     }
 
+    /// Record that `[start, end)` was inserted, growing the conservative
+    /// cover (see the `lo_bound`/`hi_bound` fields).
+    #[inline]
+    fn note_extent(&mut self, start: u64, end: u64) {
+        self.lo_bound = self.lo_bound.min(start);
+        self.hi_bound = self.hi_bound.max(end);
+    }
+
+    /// `[lo, hi)` cannot overlap any stored interval: one key compare
+    /// against the conservative cover instead of a root-to-leaf walk.
+    #[inline]
+    fn misses_cover(&self, lo: u64, hi: u64) -> bool {
+        self.root == NIL || hi <= self.lo_bound || lo >= self.hi_bound
+    }
+
+    /// `runs` is sorted, pairwise disjoint, and non-empty per run — the
+    /// shape a coalescing shadow's extract produces.
+    fn runs_are_sorted_disjoint(runs: &[(u64, u64)]) -> bool {
+        runs.iter().all(|&(lo, hi)| lo < hi) && runs.windows(2).all(|w| w[0].1 <= w[1].0)
+    }
+
+    /// Build a valid treap from sorted disjoint runs in O(n) via the
+    /// rightmost-spine Cartesian construction: each new node (random
+    /// priority) displaces the spine suffix it outranks as its left child.
+    fn build_sorted(&mut self, who: A, runs: &[(u64, u64)]) -> u32 {
+        let mut spine: Vec<u32> = Vec::new();
+        for &(lo, hi) in runs {
+            let p = self.next_prio();
+            let t = self.alloc(Interval::new(lo, hi, who), p);
+            self.stats.visited += 1;
+            let mut displaced = NIL;
+            while let Some(&top) = spine.last() {
+                if self.n(top).prio < p {
+                    displaced = top;
+                    spine.pop();
+                } else {
+                    break;
+                }
+            }
+            self.nm(t).left = displaced;
+            if let Some(&top) = spine.last() {
+                self.nm(top).right = t;
+            }
+            spine.push(t);
+        }
+        spine.first().copied().unwrap_or(NIL)
+    }
+
+    /// Join two treaps where every key in `a` precedes every key in `b`
+    /// (standard treap join along the touching spines).
+    fn join(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        self.stats.visited += 1;
+        if self.n(a).prio >= self.n(b).prio {
+            let r = self.join(self.n(a).right, b);
+            self.nm(a).right = r;
+            a
+        } else {
+            let l = self.join(a, self.n(b).left);
+            self.nm(b).left = l;
+            b
+        }
+    }
+
     /// Height of the tree (tests/benches; O(n)).
     pub fn height(&self) -> usize {
         fn h<A>(nodes: &[Node<A>], t: u32) -> usize {
@@ -668,7 +746,17 @@ impl<A: Copy> IntervalStore<A> for Treap<A> {
         self.stats.ops += 1;
         self.inserts += 1;
         let visited_before = self.stats.visited;
-        self.root = self.iw(self.root, x, &mut conflict);
+        if self.misses_cover(x.start, x.end) {
+            // Key-compare early-out: nothing stored can overlap `x`, so the
+            // overlap case analysis is skipped and `x` goes in as a plain
+            // disjoint insert (identical resulting tree: same BST position,
+            // same priority draw, no conflicts to report).
+            let p = self.next_prio();
+            self.root = self.insert_disjoint(self.root, x, p);
+        } else {
+            self.root = self.iw(self.root, x, &mut conflict);
+        }
+        self.note_extent(x.start, x.end);
         if stint_obs::is_enabled() {
             OBS_INSERTS.incr();
             OBS_OP_VISITED.observe(self.stats.visited - visited_before);
@@ -680,7 +768,13 @@ impl<A: Copy> IntervalStore<A> for Treap<A> {
         self.stats.ops += 1;
         self.inserts += 1;
         let visited_before = self.stats.visited;
-        self.root = self.ir(self.root, x, &mut is_new_left_of);
+        if self.misses_cover(x.start, x.end) {
+            let p = self.next_prio();
+            self.root = self.insert_disjoint(self.root, x, p);
+        } else {
+            self.root = self.ir(self.root, x, &mut is_new_left_of);
+        }
+        self.note_extent(x.start, x.end);
         if stint_obs::is_enabled() {
             OBS_INSERTS.incr();
             OBS_OP_VISITED.observe(self.stats.visited - visited_before);
@@ -689,6 +783,14 @@ impl<A: Copy> IntervalStore<A> for Treap<A> {
 
     fn query_overlaps(&mut self, lo: u64, hi: u64, mut f: impl FnMut(A, u64, u64)) {
         self.stats.ops += 1;
+        if self.misses_cover(lo, hi) {
+            // Query miss early-out: zero nodes visited.
+            if stint_obs::is_enabled() {
+                OBS_QUERIES.incr();
+                OBS_OP_VISITED.observe(0);
+            }
+            return;
+        }
         let visited_before = self.stats.visited;
         self.qo(self.root, lo, hi, &mut f);
         if stint_obs::is_enabled() {
@@ -705,6 +807,81 @@ impl<A: Copy> IntervalStore<A> for Treap<A> {
         let mut v = Vec::with_capacity(self.len);
         self.collect(self.root, &mut v);
         v
+    }
+
+    fn insert_writes_for(
+        &mut self,
+        who: A,
+        runs: &[(u64, u64)],
+        mut conflict: impl FnMut(A, u64, u64),
+    ) {
+        if let Some(&(first_lo, _)) = runs.first() {
+            let last_hi = runs[runs.len() - 1].1;
+            // Bulk fast path: the whole batch lies beyond (or before) the
+            // conservative cover, so no overlap with stored intervals — or
+            // between runs — is possible. Build a treap from the sorted
+            // batch in O(n) and join it onto the tree in O(lg n), instead
+            // of n root-to-leaf insertions.
+            let append = self.root == NIL || first_lo >= self.hi_bound;
+            let prepend = !append && last_hi <= self.lo_bound;
+            if (append || prepend) && Self::runs_are_sorted_disjoint(runs) {
+                let n = runs.len() as u64;
+                self.stats.ops += n;
+                self.inserts += n;
+                let visited_before = self.stats.visited;
+                let built = self.build_sorted(who, runs);
+                let root = self.root;
+                self.root = if append {
+                    self.join(root, built)
+                } else {
+                    self.join(built, root)
+                };
+                self.note_extent(first_lo, last_hi);
+                if stint_obs::is_enabled() {
+                    OBS_INSERTS.add(n);
+                    OBS_OP_VISITED.observe(self.stats.visited - visited_before);
+                }
+                return;
+            }
+        }
+        for &(lo, hi) in runs {
+            self.insert_write(Interval::new(lo, hi, who), &mut conflict);
+        }
+    }
+
+    fn insert_reads_for(
+        &mut self,
+        who: A,
+        runs: &[(u64, u64)],
+        mut is_new_left_of: impl FnMut(A) -> bool,
+    ) {
+        if let Some(&(first_lo, _)) = runs.first() {
+            let last_hi = runs[runs.len() - 1].1;
+            let append = self.root == NIL || first_lo >= self.hi_bound;
+            let prepend = !append && last_hi <= self.lo_bound;
+            if (append || prepend) && Self::runs_are_sorted_disjoint(runs) {
+                let n = runs.len() as u64;
+                self.stats.ops += n;
+                self.inserts += n;
+                let visited_before = self.stats.visited;
+                let built = self.build_sorted(who, runs);
+                let root = self.root;
+                self.root = if append {
+                    self.join(root, built)
+                } else {
+                    self.join(built, root)
+                };
+                self.note_extent(first_lo, last_hi);
+                if stint_obs::is_enabled() {
+                    OBS_INSERTS.add(n);
+                    OBS_OP_VISITED.observe(self.stats.visited - visited_before);
+                }
+                return;
+            }
+        }
+        for &(lo, hi) in runs {
+            self.insert_read(Interval::new(lo, hi, who), &mut is_new_left_of);
+        }
     }
 
     fn stats(&self) -> OpStats {
@@ -993,6 +1170,88 @@ mod tests {
         let h = t.height();
         assert!(h < 64, "height {h} too large for 10k nodes — not balanced");
         t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_append_matches_loop_inserts() {
+        // Strand-end flush pattern: each batch of sorted disjoint runs lands
+        // entirely beyond everything stored (fresh address block per batch).
+        let batches: Vec<Vec<(u64, u64)>> = (0..20u64)
+            .map(|b| {
+                (0..5)
+                    .map(|i| (b * 100 + i * 10, b * 100 + i * 10 + 4))
+                    .collect()
+            })
+            .collect();
+        let mut bulk = Treap::new();
+        let mut looped = Treap::new();
+        for (w, batch) in batches.iter().enumerate() {
+            bulk.insert_writes_for(w as u32, batch, |_, _, _| panic!("no overlap expected"));
+            for &(lo, hi) in batch {
+                looped.insert_write(iv(lo, hi, w as u32), |_, _, _| panic!("no overlap"));
+            }
+            bulk.check_invariants();
+        }
+        assert_eq!(contents(&bulk), contents(&looped));
+        assert_eq!(bulk.insert_ops(), looped.insert_ops());
+        assert_eq!(bulk.len_high_water(), looped.len_high_water());
+    }
+
+    #[test]
+    fn bulk_prepend_and_overlapping_fall_through() {
+        let mut t = Treap::new();
+        t.insert_writes_for(1, &[(100, 110), (120, 130)], |_, _, _| {});
+        // Entirely below the cover: prepend fast path.
+        t.insert_writes_for(2, &[(0, 10), (20, 30)], |_, _, _| {});
+        t.check_invariants();
+        assert_eq!(
+            contents(&t),
+            vec![(0, 10, 2), (20, 30, 2), (100, 110, 1), (120, 130, 1)]
+        );
+        // Overlapping batch must fall back to the per-run case analysis and
+        // report conflicts exactly as single inserts would.
+        let mut hits = Vec::new();
+        t.insert_writes_for(3, &[(25, 105)], |w, lo, hi| hits.push((w, lo, hi)));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![(1, 100, 105), (2, 25, 30)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_read_append_then_overlap_resolves_leftmost() {
+        let mut t = Treap::new();
+        t.insert_reads_for(1, &[(0, 10), (20, 30)], |_| panic!("no overlap expected"));
+        t.check_invariants();
+        // Overlapping read batch falls back and resolves left-of per region.
+        t.insert_reads_for(2, &[(5, 25)], |_| false);
+        t.check_invariants();
+        assert_eq!(contents(&t), vec![(0, 10, 1), (10, 20, 2), (20, 30, 1)]);
+    }
+
+    #[test]
+    fn unsorted_bulk_batch_falls_back_correctly() {
+        let mut t = Treap::new();
+        // Not sorted: fast path must reject it and loop.
+        t.insert_writes_for(1, &[(50, 60), (0, 10)], |_, _, _| {});
+        t.check_invariants();
+        assert_eq!(contents(&t), vec![(0, 10, 1), (50, 60, 1)]);
+    }
+
+    #[test]
+    fn cover_early_out_skips_walks_but_stays_exact() {
+        let mut t = Treap::new();
+        t.insert_write(iv(100, 200, 1), |_, _, _| {});
+        let s0 = t.stats();
+        // Disjoint query left and right of the cover: zero nodes visited.
+        t.query_overlaps(0, 100, |_, _, _| panic!("touching is not overlapping"));
+        t.query_overlaps(200, 300, |_, _, _| panic!("touching is not overlapping"));
+        let s1 = t.stats();
+        assert_eq!(s1.ops, s0.ops + 2);
+        assert_eq!(s1.visited, s0.visited, "cover miss must not walk the tree");
+        // Overlapping query still reports exactly.
+        let mut hits = Vec::new();
+        t.query_overlaps(150, 250, |w, lo, hi| hits.push((w, lo, hi)));
+        assert_eq!(hits, vec![(1, 150, 200)]);
     }
 
     #[test]

@@ -9,7 +9,13 @@
 #  * batch replay output is byte-identical across shard counts (K=1 vs K=4
 #    vs K=7, including line 1 — the header never mentions K);
 #  * a truncated copy of the trace is rejected structurally: exit 4 and a
-#    "corrupt trace" diagnostic, no panic.
+#    "corrupt trace" diagnostic, no panic;
+#  * the compressed chunked STINT-TRACE v2 encoding round-trips: a
+#    `--compress` recording streamed through the chunked batch path renders
+#    the same report as the uncompressed in-memory path (modulo the one
+#    ingest-telemetry line), stays byte-identical across shard counts, is
+#    at most half the v1 size, and rejects truncation AND bit flips with
+#    exit 4.
 #
 # Usage: scripts/batch_smoke.sh [bench] (default: sort)
 
@@ -61,5 +67,55 @@ fi
 grep -q "corrupt trace" "$OUT/bad.err" \
     || { echo "FAIL: no 'corrupt trace' diagnostic"; cat "$OUT/bad.err"; exit 1; }
 echo "ok: truncated trace rejected structurally (exit 4)"
+
+echo "== compressed trace: record --compress, streamed replay agrees"
+./target/release/stint-cli trace record "$BENCH" "$OUT/run.ctrace" --compress >/dev/null
+V1_BYTES=$(wc -c <"$OUT/run.trace")
+V2_BYTES=$(wc -c <"$OUT/run.ctrace")
+if [ "$((2 * V2_BYTES))" -gt "$V1_BYTES" ]; then
+    echo "FAIL: compressed trace is $V2_BYTES bytes, more than half of $V1_BYTES"
+    exit 1
+fi
+echo "ok: compressed $V1_BYTES -> $V2_BYTES bytes (<= 0.5x)"
+./target/release/stint-cli trace replay "$OUT/run.ctrace" \
+    --variant batch --shards 4 >"$OUT/cbatch4.txt"
+# The streamed output adds one "  ingested ..." telemetry line; strip it
+# when comparing against the in-memory batch replay of the v1 file.
+if ! diff <(grep -v "ingested" "$OUT/cbatch4.txt") "$OUT/batch4.txt"; then
+    echo "FAIL: streamed compressed replay disagrees with the in-memory replay"
+    exit 1
+fi
+echo "ok: streamed chunked report matches the in-memory batch report"
+
+echo "== compressed replay is byte-identical across shard counts"
+for k in 1 7; do
+    ./target/release/stint-cli trace replay "$OUT/run.ctrace" \
+        --variant batch --shards "$k" >"$OUT/cbatch$k.txt"
+    if ! diff "$OUT/cbatch4.txt" "$OUT/cbatch$k.txt"; then
+        echo "FAIL: compressed replay output differs between K=4 and K=$k"
+        exit 1
+    fi
+done
+echo "ok: compressed K=1, K=4 and K=7 render byte-identically"
+
+echo "== corrupted compressed trace is rejected with exit 4"
+head -c "$(($(wc -c <"$OUT/run.ctrace") / 2))" "$OUT/run.ctrace" >"$OUT/bad.ctrace"
+cp "$OUT/run.ctrace" "$OUT/flip.ctrace"
+printf '\xff' | dd of="$OUT/flip.ctrace" bs=1 \
+    seek="$((V2_BYTES / 2))" conv=notrunc 2>/dev/null
+for bad in bad.ctrace flip.ctrace; do
+    set +e
+    ./target/release/stint-cli trace replay "$OUT/$bad" \
+        --variant batch >/dev/null 2>"$OUT/$bad.err"
+    RC=$?
+    set -e
+    if [ "$RC" != 4 ]; then
+        echo "FAIL: corrupted compressed trace $bad exited $RC, expected 4"
+        exit 1
+    fi
+    grep -q "corrupt trace" "$OUT/$bad.err" \
+        || { echo "FAIL: no 'corrupt trace' diagnostic for $bad"; cat "$OUT/$bad.err"; exit 1; }
+done
+echo "ok: truncated and bit-flipped compressed traces rejected (exit 4)"
 
 echo "batch smoke passed"

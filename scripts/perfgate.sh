@@ -39,10 +39,10 @@ scripts/mem_smoke.sh
 echo "== space study (byte gauges + Lemma 4.1)"
 cargo run --release -q -p stint-bench --bin space -- "${ARGS[@]}"
 
-echo "== batch smoke (sharded replay equivalence on the CLI)"
+echo "== batch smoke (sharded replay + compressed-trace equivalence on the CLI)"
 scripts/batch_smoke.sh
 
-echo "== batch scalability study (sequential vs K-sharded detection)"
+echo "== batch scalability study (sequential vs K-sharded vs streamed detection)"
 cargo run --release -q -p stint-bench --bin batch -- "${ARGS[@]}"
 cargo run --release -q -p stint-bench --bin jsoncheck -- batch BENCH_batch.json
 

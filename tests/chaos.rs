@@ -350,6 +350,49 @@ fn batch_rejects_corrupted_traces_structurally() {
     assert!(out.merged.is_race_free());
 }
 
+/// Compressed-trace robustness: truncated and bit-flipped STINT-TRACE v2
+/// streams fed to the chunked batch path come back as a structured
+/// `CorruptTrace` error (exit code 4) — the per-chunk checksums and varint
+/// bounds reject the damage before any shard replays an event.
+#[test]
+fn chunked_batch_rejects_corrupted_compressed_traces() {
+    let _g = lock();
+    use stint_repro::batchdet::{batch_detect_chunked, BatchConfig};
+    let mut w = Workload::by_name("sort", Scale::Test);
+    let pt = stint_repro::PortableTrace::record(&mut w);
+    let mut good = Vec::new();
+    pt.save_compressed(&mut good, 256).expect("compressed save");
+    let cfg = BatchConfig::default();
+
+    // Truncation at several depths: inside the header, inside a chunk body,
+    // and just shy of the final chunk.
+    for frac in [1, 2, 3] {
+        let cut = (good.len() * frac / 4).min(good.len() - 1);
+        let e = batch_detect_chunked(&good[..cut], &cfg)
+            .expect_err("truncated compressed trace must be rejected");
+        assert!(
+            matches!(e, DetectorError::CorruptTrace { .. }),
+            "cut at {frac}/4: {e}"
+        );
+        assert_eq!(e.exit_code(), 4);
+    }
+
+    // A single flipped bit in the middle of the stream trips a checksum
+    // (or a bounds check) — never a panic, never a silent wrong verdict.
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x20;
+    let e = batch_detect_chunked(&flipped[..], &cfg)
+        .expect_err("bit-flipped compressed trace must be rejected");
+    assert!(matches!(e, DetectorError::CorruptTrace { .. }), "{e}");
+    assert_eq!(e.exit_code(), 4);
+
+    // And the pristine stream still detects cleanly.
+    let out = batch_detect_chunked(&good[..], &cfg).expect("pristine compressed trace detects");
+    assert!(out.merged.is_race_free());
+    assert!(out.ingest.is_some_and(|st| st.chunks > 1));
+}
+
 /// An injected flush panic inside a shard worker surfaces from the batch
 /// fan-out as a structured `Poisoned` error (exit 4), through the pool's
 /// panic-capturing join and the typed-panic protocol.

@@ -74,6 +74,34 @@ fn metrics_cover_every_layer_and_agree_with_stats() {
     );
     assert!(shard_bytes.2 > 0, "no shard detector ever recorded bytes");
 
+    // Chunked streaming over the compressed v2 encoding: the ingest
+    // counters must tick, and both in-flight gauges — the decoded chunk
+    // buffer and the per-shard detector bytes — must reconcile back to
+    // zero once the run finishes (their watermarks keep the peaks).
+    let mut cbuf = Vec::new();
+    pt.save_compressed(&mut cbuf, 64).expect("compressed save");
+    let chunked = stint_repro::batchdet::batch_detect_chunked(
+        &cbuf[..],
+        &stint_repro::batchdet::BatchConfig {
+            shards: 3,
+            workers: 2,
+            steal_seed: 0,
+        },
+    )
+    .expect("clean chunked run");
+    assert!(chunked.merged.is_race_free());
+    assert_eq!(chunked.merged.render(), batch.merged.render());
+    let ingest = chunked.ingest.expect("chunked runs report ingest stats");
+    assert!(ingest.bytes > 0 && ingest.chunks > 1 && ingest.runs > 0);
+    for name in ["batchdet.shard.bytes", "batchdet.ingest.buf_bytes"] {
+        let g = obs::gauges_snapshot()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name} gauge never registered"));
+        assert_eq!(g.1, 0, "{name} did not reconcile to zero after streaming");
+        assert!(g.2 > 0, "{name} watermark never rose above zero");
+    }
+
     assert!(obs::registry_initialized());
     let metrics = obs::metrics_json();
 
@@ -90,6 +118,9 @@ fn metrics_cover_every_layer_and_agree_with_stats() {
         "batchdet.shard.runs",
         "batchdet.shard.events",
         "batchdet.merges",
+        "batchdet.ingest.bytes",
+        "batchdet.ingest.chunks",
+        "batchdet.ingest.runs",
     ] {
         assert!(
             counter(&metrics, name).is_some_and(|v| v > 0),

@@ -6,7 +6,7 @@
 //! deterministic merge guarantees).
 
 use proptest::prelude::*;
-use stint_repro::batchdet::{batch_detect, BatchConfig};
+use stint_repro::batchdet::{batch_detect, batch_detect_chunked, BatchConfig};
 use stint_repro::{detect, PortableTrace, Variant};
 
 mod common;
@@ -73,5 +73,45 @@ proptest! {
         let a = batch_detect(&pt, &cfg(4, 2, 0)).expect("batch run");
         let b = batch_detect(&back, &cfg(4, 2, 0)).expect("batch run on loaded trace");
         prop_assert_eq!(a.merged.render(), b.merged.render());
+    }
+
+    #[test]
+    fn chunked_compressed_batch_matches_in_memory_batch(
+        f in func_strategy(3),
+        chunk_events in prop_oneof![Just(1usize), 2usize..48, Just(4096usize)],
+        k in 1usize..8,
+    ) {
+        // Both encodings, one verdict: streaming a compressed v2 trace
+        // chunk-by-chunk through the partition pass must render the same
+        // merged report and count the same per-shard work as the in-memory
+        // batch over the original trace — for every chunk size, including
+        // one event per chunk.
+        let pt = PortableTrace::record(&mut AstProgram(&f));
+        let a = batch_detect(&pt, &cfg(k, 2, 0)).expect("in-memory batch run");
+
+        let mut buf = Vec::new();
+        pt.save_compressed(&mut buf, chunk_events).expect("compressed save");
+        let b = batch_detect_chunked(&buf[..], &cfg(k, 2, 0)).expect("chunked batch run");
+
+        prop_assert_eq!(a.merged.render(), b.merged.render(), "chunk={}", chunk_events);
+        prop_assert_eq!(a.events, b.events, "chunk={}", chunk_events);
+        // Wholesale run consumption and dirty strand-end filtering only ever
+        // shave work off the streamed side — shard by shard it never replays
+        // more than the in-memory partition did.
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            prop_assert!(
+                sb.events <= sa.events,
+                "chunk={}: shard {} streamed {} > in-memory {}",
+                chunk_events, sa.index, sb.events, sa.events
+            );
+        }
+        // Ingest telemetry: chunk framing + payload bytes fit inside the
+        // file (the header is accounted separately), and every decoded
+        // trace event is counted.
+        let ingest = b.ingest.expect("chunked run reports ingest stats");
+        prop_assert!(ingest.bytes <= buf.len() as u64);
+        if ingest.events > 0 {
+            prop_assert!(ingest.bytes > 0 && ingest.chunks > 0);
+        }
     }
 }
