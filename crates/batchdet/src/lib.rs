@@ -85,8 +85,8 @@ use std::time::{Duration, Instant};
 
 use stint::ctrace::{partition_index, CompressedTraceReader, EventRun};
 use stint::{
-    Detector, DetectorError, DetectorStats, PortableTrace, Race, RaceKind, RaceReport,
-    StintDetector, TraceEvent, TraceOp,
+    Detector, DetectorError, DetectorStats, PortableTrace, Race, RaceKind, RaceReport, Resource,
+    ResourceBudget, StintDetector, TraceEvent, TraceOp,
 };
 use stint_cilk::word_range;
 use stint_cilkrt::ThreadPool;
@@ -131,6 +131,54 @@ impl Default for BatchConfig {
             shards: 4,
             workers: 0,
             steal_seed: 0,
+        }
+    }
+}
+
+/// Per-session limits for a batch run — the knobs `stint-serve` sets for
+/// every tenant: a [`ResourceBudget`] applied to **each** shard detector,
+/// plus an optional wall-clock deadline.
+///
+/// The deadline is checked at chunk boundaries on the streaming path (and
+/// before the fan-out on the in-memory path) — detectors are not
+/// interruptible mid-chunk, so a session overruns its deadline by at most
+/// one chunk's worth of work. A tripped deadline does **not** abort the
+/// run: the shards that already replayed are flushed and merged, and the
+/// outcome carries `degraded = ResourceExhausted(WallClock)` — the report
+/// is sound up to the point detection stopped, exactly like a memory
+/// budget.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionLimits {
+    /// Budget applied to every shard detector (shadow bytes cap the
+    /// per-shard coalescing tables; the interval cap freezes the per-shard
+    /// access history).
+    pub budget: ResourceBudget,
+    /// Absolute wall-clock deadline; `None` = no timeout.
+    pub deadline: Option<Instant>,
+    /// The timeout that produced `deadline`, in milliseconds — carried into
+    /// the structured error's `limit` field for diagnostics.
+    pub timeout_ms: u64,
+}
+
+impl SessionLimits {
+    /// Limits with a deadline `timeout` from now.
+    pub fn timeout_after(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self.timeout_ms = timeout.as_millis() as u64;
+        self
+    }
+
+    /// True once the deadline (if any) has passed.
+    pub fn exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The structured degradation marker for a tripped deadline.
+    pub fn timeout_error(&self) -> DetectorError {
+        DetectorError::ResourceExhausted {
+            resource: Resource::WallClock,
+            limit: self.timeout_ms,
+            at_word: None,
         }
     }
 }
@@ -292,6 +340,21 @@ pub fn batch_detect_on(
     pt: &PortableTrace,
     cfg: &BatchConfig,
 ) -> Result<BatchOutcome, DetectorError> {
+    batch_detect_limited_on(pool, pt, cfg, &SessionLimits::default())
+}
+
+/// [`batch_detect_on`] under per-session [`SessionLimits`]: every shard
+/// detector gets the session's [`ResourceBudget`], and a deadline that has
+/// already passed when the fan-out would start skips replay entirely and
+/// reports the structured wall-clock degradation instead (the in-memory
+/// path has no chunk boundaries to preempt at; the streaming path in
+/// [`batch_detect_chunked_limited_on`] is the precise one).
+pub fn batch_detect_limited_on(
+    pool: &ThreadPool,
+    pt: &PortableTrace,
+    cfg: &BatchConfig,
+    limits: &SessionLimits,
+) -> Result<BatchOutcome, DetectorError> {
     pt.validate().map_err(corrupt)?;
     let (bounds, hist) = partition_index(&pt.trace);
     let shards = plan_shards(bounds, &hist, cfg.shards);
@@ -302,7 +365,10 @@ pub fn batch_detect_on(
     // clipped copy per boundary straddler. Pre-size each shard's buffer to
     // its quantile-planned share so absorbing millions of routed events
     // doesn't pay log(n) doubling reallocations of a multi-hundred-MB Vec.
-    let mut states: Vec<ShardState> = shards.iter().map(|&s| ShardState::new(s)).collect();
+    let mut states: Vec<ShardState> = shards
+        .iter()
+        .map(|&s| ShardState::new(s, limits.budget))
+        .collect();
     let mut last = StrandId(0);
     if states.len() == 1 {
         // One shard owns the whole span: every clip is the identity and
@@ -323,11 +389,22 @@ pub fn batch_detect_on(
         }
     }
 
-    catch_unwind(AssertUnwindSafe(|| {
-        pool.install(|| fan_out(pool, reach, &mut states));
-    }))
-    .map_err(DetectorError::from_panic)?;
-    take_poison(&mut states)?;
+    let timed_out = limits.exceeded();
+    if timed_out {
+        // Deadline already blown before any replay: drop the routed buffers
+        // (finish() expects drained shards) and report the partial-but-sound
+        // empty verdict below instead of wedging a worker on a session whose
+        // client has already given up.
+        for st in &mut states {
+            st.buf.clear();
+        }
+    } else {
+        catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| fan_out(pool, reach, &mut states));
+        }))
+        .map_err(DetectorError::from_panic)?;
+        take_poison(&mut states)?;
+    }
     // The final per-shard flush runs sequentially here, after every worker
     // is quiescent, so a panic in it may unwind — but still surfaces as the
     // structured error, not an escaping panic.
@@ -339,7 +416,11 @@ pub fn batch_detect_on(
     }))
     .map_err(DetectorError::from_panic)?;
     let wall = t0.elapsed();
-    finish_outcome(outs, reach, pt.trace.len(), wall, None)
+    let mut out = finish_outcome(outs, reach, pt.trace.len(), wall, None)?;
+    if timed_out && out.degraded.is_none() {
+        out.degraded = Some(limits.timeout_error());
+    }
+    Ok(out)
 }
 
 /// Streaming batch detection over a compressed chunked `STINT-TRACE v2`
@@ -360,6 +441,21 @@ pub fn batch_detect_chunked_on<R: BufRead>(
     r: R,
     cfg: &BatchConfig,
 ) -> Result<BatchOutcome, DetectorError> {
+    batch_detect_chunked_limited_on(pool, r, cfg, &SessionLimits::default())
+}
+
+/// [`batch_detect_chunked_on`] under per-session [`SessionLimits`]. The
+/// wall-clock deadline is checked at every chunk boundary: a tripped
+/// deadline stops ingesting, flushes the shards that already replayed, and
+/// returns the partial-but-sound outcome with the structured
+/// `ResourceExhausted(WallClock)` degradation marker — never an abort, and
+/// never an unbounded stall on a worker.
+pub fn batch_detect_chunked_limited_on<R: BufRead>(
+    pool: &ThreadPool,
+    r: R,
+    cfg: &BatchConfig,
+    limits: &SessionLimits,
+) -> Result<BatchOutcome, DetectorError> {
     let mut reader = CompressedTraceReader::open(r).map_err(|e| corrupt(e.to_string()))?;
     let n_strands = reader.reach.strand_count();
     let bounds = (reader.word_hi > reader.word_lo).then_some((reader.word_lo, reader.word_hi));
@@ -368,14 +464,26 @@ pub fn batch_detect_chunked_on<R: BufRead>(
     let reach = reader.reach.clone();
     let total_events = reader.total_events;
 
-    let mut states: Vec<ShardState> = shards.iter().map(|&s| ShardState::new(s)).collect();
+    let mut states: Vec<ShardState> = shards
+        .iter()
+        .map(|&s| ShardState::new(s, limits.budget))
+        .collect();
     let mut router = Router::new(&shards);
     let mut last = StrandId(0);
     let mut ingest = IngestStats::default();
     let mut runs: Vec<EventRun> = Vec::new();
+    let mut timed_out = false;
     let t0 = Instant::now();
     let streamed = catch_unwind(AssertUnwindSafe(|| -> Result<(), DetectorError> {
         loop {
+            if limits.exceeded() {
+                // Chunk-boundary preemption: stop ingesting, keep what the
+                // shards already saw. The unread remainder of the stream is
+                // the client's loss, not a corruption — skip the trailer
+                // check below.
+                timed_out = true;
+                break;
+            }
             let more = reader
                 .next_chunk(&mut runs)
                 .map_err(|e| corrupt(e.to_string()))?;
@@ -416,7 +524,11 @@ pub fn batch_detect_chunked_on<R: BufRead>(
             OBS_INGEST_BUF.reconcile(&mut owned, 0);
             take_poison(&mut states)?;
         }
-        reader.finished().map_err(|e| corrupt(e.to_string()))
+        if timed_out {
+            Ok(())
+        } else {
+            reader.finished().map_err(|e| corrupt(e.to_string()))
+        }
     }))
     .map_err(DetectorError::from_panic)?;
     streamed?;
@@ -428,7 +540,11 @@ pub fn batch_detect_chunked_on<R: BufRead>(
     }))
     .map_err(DetectorError::from_panic)?;
     let wall = t0.elapsed();
-    finish_outcome(outs, &reach, total_events as usize, wall, Some(ingest))
+    let mut out = finish_outcome(outs, &reach, total_events as usize, wall, Some(ingest))?;
+    if timed_out && out.degraded.is_none() {
+        out.degraded = Some(limits.timeout_error());
+    }
+    Ok(out)
 }
 
 fn finish_outcome(
@@ -605,10 +721,10 @@ struct ShardState {
 }
 
 impl ShardState {
-    fn new(shard: Shard) -> ShardState {
+    fn new(shard: Shard, budget: ResourceBudget) -> ShardState {
         ShardState {
             shard,
-            det: StintDetector::new(RaceReport::unbounded(true)),
+            det: StintDetector::new(RaceReport::unbounded(true)).with_budget(budget),
             buf: Vec::new(),
             events: 0,
             poison: None,

@@ -24,6 +24,11 @@
 //!                                   the streaming-ingest cell, plus the
 //!                                   hw_threads-stamped headline geomean;
 //!                                   a stale v1 report exits 2
+//! jsoncheck serve SERVE             SERVE must be a stint-bench-serve-v1
+//!                                   load study: per-status results summing
+//!                                   to the session count, ordered latency
+//!                                   percentiles, positive throughput, zero
+//!                                   lost races, and gauges drained to zero
 //! ```
 //!
 //! Exit codes: 0 = all checks passed, 1 = a check failed, 2 = usage error.
@@ -295,6 +300,71 @@ fn batch(path: &str) {
     );
 }
 
+/// Structural gate for `BENCH_serve.json` (the `serve_load` load study):
+/// the per-status result counts must sum to the session count, the latency
+/// percentiles must be ordered and positive, throughput must be positive,
+/// no racy session may have been answered `ok`, and every obs gauge must
+/// have reconciled to zero after the drain.
+fn serve(path: &str) {
+    let doc = load(path);
+    schema(&doc, path, "stint-bench-serve-v1");
+    let sessions = u64_field(&doc, "sessions", path);
+    if sessions == 0 {
+        fail(format!("{path}: zero sessions"));
+    }
+    if u64_field(&doc, "hw_threads", path) == 0 {
+        fail(format!("{path}: hw_threads is 0"));
+    }
+    u64_field(&doc, "session_workers", path);
+    u64_field(&doc, "queue_depth", path);
+    let results = doc
+        .get("results")
+        .unwrap_or_else(|| fail(format!("{path}: no results object")));
+    let mut sum = 0u64;
+    for key in ["ok", "racy", "usage", "degraded", "corrupt", "poisoned"] {
+        sum += u64_field(results, key, path);
+    }
+    if sum != sessions {
+        fail(format!(
+            "{path}: results sum to {sum}, expected {sessions} sessions"
+        ));
+    }
+    if u64_field(results, "racy", path) == 0 {
+        fail(format!(
+            "{path}: no racy sessions — the mixed-traffic mix must include racy traces"
+        ));
+    }
+    u64_field(&doc, "busy_rejections", path);
+    if u64_field(&doc, "lost_races", path) != 0 {
+        fail(format!("{path}: lost_races is nonzero"));
+    }
+    let f64_field = |key: &str| -> f64 {
+        doc.get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fail(format!("{path}: missing numeric field {key:?}")))
+    };
+    let p50 = f64_field("p50_ms");
+    let p99 = f64_field("p99_ms");
+    if p50 < 0.0 || p99 < p50 {
+        fail(format!(
+            "{path}: bad latency percentiles p50={p50} p99={p99}"
+        ));
+    }
+    if f64_field("sessions_per_sec") <= 0.0 {
+        fail(format!("{path}: non-positive sessions_per_sec"));
+    }
+    if f64_field("wall_secs") <= 0.0 {
+        fail(format!("{path}: non-positive wall_secs"));
+    }
+    if doc.get("gauges_zero_after_drain").and_then(Value::as_bool) != Some(true) {
+        fail(format!("{path}: gauges_zero_after_drain is not true"));
+    }
+    println!(
+        "ok: {sessions} sessions, statuses sum, no lost races, \
+         p50 {p50:.2}ms <= p99 {p99:.2}ms, gauges drained"
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -309,12 +379,14 @@ fn main() {
             memseries(&argv[1], argv.get(2).map(String::as_str))
         }
         Some("batch") if argv.len() == 2 => batch(&argv[1]),
+        Some("serve") if argv.len() == 2 => serve(&argv[1]),
         _ => {
             eprintln!(
                 "usage: jsoncheck validate FILE...\n       \
                  jsoncheck agree STATS METRICS\n       \
                  jsoncheck memseries SERIES [STATS]\n       \
-                 jsoncheck batch BATCH"
+                 jsoncheck batch BATCH\n       \
+                 jsoncheck serve SERVE"
             );
             std::process::exit(2);
         }

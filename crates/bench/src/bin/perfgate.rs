@@ -416,6 +416,74 @@ fn check_batch_report(path: &str) {
     }
 }
 
+/// Structural gate for `BENCH_serve.json` (the `serve_load` service study):
+/// per-status results summing to the session count, ordered latency
+/// percentiles, positive throughput, zero lost races, and every obs gauge
+/// drained to zero. Absent file = the load study has not run; that is only
+/// a warning, like the other reports.
+fn check_serve_report(path: &str) {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        eprintln!("warning: no {path} (run the `serve_load` binary to gate the service study)");
+        return;
+    };
+    let fail = |msg: String| -> ! {
+        eprintln!("FAIL: {path}: {msg}");
+        std::process::exit(1);
+    };
+    let doc = stint_bench::json::parse(&content).unwrap_or_else(|e| fail(e));
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("stint-bench-serve-v1") {
+        fail("not a stint-bench-serve-v1 document".into());
+    }
+    let sessions = doc
+        .get("sessions")
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| fail("missing sessions".into()));
+    if sessions == 0 {
+        fail("zero sessions".into());
+    }
+    let results = doc
+        .get("results")
+        .unwrap_or_else(|| fail("missing results object".into()));
+    let mut sum = 0u64;
+    for key in ["ok", "racy", "usage", "degraded", "corrupt", "poisoned"] {
+        sum += results
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| fail(format!("results missing {key:?}")));
+    }
+    if sum != sessions {
+        fail(format!("results sum to {sum}, expected {sessions}"));
+    }
+    if doc.get("lost_races").and_then(|v| v.as_u64()) != Some(0) {
+        fail("lost_races must be present and zero".into());
+    }
+    let p50 = doc
+        .get("p50_ms")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail("missing p50_ms".into()));
+    let p99 = doc
+        .get("p99_ms")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail("missing p99_ms".into()));
+    if p50 < 0.0 || p99 < p50 {
+        fail(format!("bad latency percentiles p50={p50} p99={p99}"));
+    }
+    let sps = doc
+        .get("sessions_per_sec")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail("missing sessions_per_sec".into()));
+    if sps <= 0.0 {
+        fail("non-positive sessions_per_sec".into());
+    }
+    if doc.get("gauges_zero_after_drain").and_then(|v| v.as_bool()) != Some(true) {
+        fail("gauges_zero_after_drain is not true".into());
+    }
+    println!(
+        "check passed: serve study — {sessions} sessions, statuses sum, no lost \
+         races, p50 {p50:.2}ms <= p99 {p99:.2}ms, {sps:.0}/s, gauges drained"
+    );
+}
+
 fn main() {
     let args = parse_args();
     // The numbers below are only meaningful on the faults-disabled path; a
@@ -560,6 +628,7 @@ fn main() {
 
         check_space_report("BENCH_space.json");
         check_batch_report("BENCH_batch.json");
+        check_serve_report("BENCH_serve.json");
     }
 
     // Disabled observability must stay disabled: if any counter registered,

@@ -1,0 +1,357 @@
+//! `serve_load` — many-client load driver for the detection service.
+//!
+//! Runs an in-process [`stint_serve::Engine`] and pushes thousands of
+//! queued sessions of mixed traffic through it: clean and racy traces (v1
+//! and compressed v2), corrupt payloads, zero-budget timeout sessions, and
+//! malformed option specs. `Busy` rejections are retried after the
+//! server's hint, so every logical session is eventually answered — the
+//! run fails loudly if any session is lost, if a racy trace is ever
+//! answered `ok` (a lost race), or if any obs gauge is nonzero after the
+//! drain.
+//!
+//! Chaos is inherited from the environment: run under
+//! `STINT_FAULTS=serve-panic-session=N` (and friends) to soak the panic
+//! isolation path; poisoned sessions are counted and checked, not crashed
+//! on. Observability likewise comes from `STINT_OBS`.
+//!
+//! Publishes `BENCH_serve.json` (`stint-bench-serve-v1`): p50/p99 session
+//! latency, sessions/sec, and the per-status result counts. Validate with
+//! `jsoncheck serve BENCH_serve.json`.
+//!
+//! ```text
+//! serve_load [--sessions N] [--session-workers N] [--queue-depth N]
+//!            [--pool-workers N] [--out FILE]
+//! ```
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use stint::PortableTrace;
+use stint_serve::{Engine, EngineConfig, Status};
+use stint_suite::{Scale, Workload};
+
+/// One traffic class of the mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    CleanV2,
+    RacyV1,
+    RacyV2,
+    Corrupt,
+    Timeout,
+    Usage,
+}
+
+impl Kind {
+    /// Weighted round-robin mix: mostly clean, a steady stream of racy and
+    /// hostile traffic.
+    const MIX: [Kind; 10] = [
+        Kind::CleanV2,
+        Kind::RacyV1,
+        Kind::CleanV2,
+        Kind::RacyV2,
+        Kind::Corrupt,
+        Kind::CleanV2,
+        Kind::Timeout,
+        Kind::RacyV2,
+        Kind::CleanV2,
+        Kind::Usage,
+    ];
+
+    fn racy(self) -> bool {
+        matches!(self, Kind::RacyV1 | Kind::RacyV2 | Kind::Timeout)
+    }
+}
+
+const RACY_V1: &str = "STINT-TRACE v1\nstrands 3\n0 0\n1 2\n2 1\nevents 4\n\
+                       s 1 0x40 4\ne 1 0x0 0\ns 2 0x40 4\ne 2 0x0 0\n";
+
+struct Corpus {
+    clean_v2: Vec<u8>,
+    racy_v2: Vec<u8>,
+    corrupt: Vec<u8>,
+}
+
+impl Corpus {
+    fn build() -> Corpus {
+        let mut w = Workload::by_name("sort", Scale::Test);
+        let clean = PortableTrace::record(&mut w);
+        let mut clean_v2 = Vec::new();
+        clean
+            .save_compressed(&mut clean_v2, 512)
+            .expect("compress clean trace");
+        let racy = PortableTrace::load_any(RACY_V1.as_bytes()).expect("parse racy v1");
+        let mut racy_v2 = Vec::new();
+        racy.save_compressed(&mut racy_v2, 2)
+            .expect("compress racy trace");
+        let mut corrupt = clean_v2.clone();
+        corrupt.truncate(corrupt.len() * 2 / 3);
+        Corpus {
+            clean_v2,
+            racy_v2,
+            corrupt,
+        }
+    }
+
+    fn payload(&self, kind: Kind) -> (String, Vec<u8>) {
+        match kind {
+            Kind::CleanV2 => (String::new(), self.clean_v2.clone()),
+            Kind::RacyV1 => ("shards=2".into(), RACY_V1.as_bytes().to_vec()),
+            Kind::RacyV2 => (String::new(), self.racy_v2.clone()),
+            Kind::Corrupt => (String::new(), self.corrupt.clone()),
+            Kind::Timeout => ("timeout-ms=0".into(), self.racy_v2.clone()),
+            Kind::Usage => ("frobnicate=1".into(), self.clean_v2.clone()),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Results {
+    ok: u64,
+    racy: u64,
+    usage: u64,
+    degraded: u64,
+    corrupt: u64,
+    poisoned: u64,
+}
+
+fn die(m: String) -> ! {
+    eprintln!("error: {m}");
+    eprintln!(
+        "usage: serve_load [--sessions N] [--session-workers N] \
+         [--queue-depth N] [--pool-workers N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn next_num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> usize {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(format!("{flag} needs a positive number")))
+}
+
+fn parse_args() -> (usize, EngineConfig, String) {
+    let mut sessions = 1000usize;
+    let mut cfg = EngineConfig {
+        session_workers: 2,
+        queue_depth: 32,
+        pool_workers: 2,
+        default_timeout_ms: 30_000,
+        retry_after_ms: 2,
+    };
+    let mut out = "BENCH_serve.json".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sessions" => sessions = next_num(&mut it, a),
+            "--session-workers" => cfg.session_workers = next_num(&mut it, a),
+            "--queue-depth" => cfg.queue_depth = next_num(&mut it, a),
+            "--pool-workers" => cfg.pool_workers = next_num(&mut it, a),
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a path".into()))
+                    .clone()
+            }
+            other => die(format!("unknown flag {other:?}")),
+        }
+    }
+    if sessions == 0 {
+        die("--sessions must be positive".into());
+    }
+    (sessions, cfg, out)
+}
+
+fn main() {
+    // Injected session panics are caught by the engine's unwind boundary
+    // and answered as `poisoned`; without this hook each one would still
+    // dump a backtrace and drown the summary under a chaos plan.
+    stint_serve::install_panic_hook();
+    let (sessions, cfg, out_path) = parse_args();
+    // Chaos and observability come from the environment so the smoke
+    // script owns the plan; a malformed spec is a usage error here too.
+    if let Err(e) = stint_faults::install_from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    if let Err(e) = stint::obs::enable_from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    let corpus = Corpus::build();
+    let engine = Engine::new(cfg);
+    let (tx, rx) = mpsc::channel();
+
+    let mut kinds: HashMap<u32, usize> = HashMap::new(); // session id → mix slot
+    let mut started: HashMap<u32, Instant> = HashMap::new();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(sessions);
+    let mut results = Results::default();
+    let mut busy_rejections = 0u64;
+    let mut lost_races = 0u64;
+    let mut answered = 0usize;
+    let t0 = Instant::now();
+
+    let submit = |engine: &Engine,
+                  kinds: &mut HashMap<u32, usize>,
+                  started: &mut HashMap<u32, Instant>,
+                  slot: usize| {
+        let kind = Kind::MIX[slot % Kind::MIX.len()];
+        let (opts, trace) = corpus.payload(kind);
+        let id = engine.try_submit(opts, trace, tx.clone());
+        kinds.insert(id, slot);
+        started.insert(id, Instant::now());
+    };
+
+    for slot in 0..sessions {
+        submit(&engine, &mut kinds, &mut started, slot);
+    }
+    // Every logical session ends in exactly one terminal reply; Busy is a
+    // transient that re-enters the queue after the server's hint.
+    while answered < sessions {
+        let resp = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("session reply lost — daemon wedged?");
+        let slot = kinds
+            .remove(&resp.session)
+            .expect("reply for an unknown session id");
+        let t_start = started.remove(&resp.session).expect("no start time");
+        if resp.status == Status::Busy {
+            busy_rejections += 1;
+            std::thread::sleep(Duration::from_millis(engine.config().retry_after_ms));
+            submit(&engine, &mut kinds, &mut started, slot);
+            continue;
+        }
+        answered += 1;
+        latencies_ms.push(t_start.elapsed().as_secs_f64() * 1e3);
+        let kind = Kind::MIX[slot % Kind::MIX.len()];
+        // A racy trace answered `ok` would be a silently lost race — the
+        // one unforgivable outcome. Degraded/poisoned are flagged, not
+        // silent.
+        if kind.racy() && resp.status == Status::Ok {
+            lost_races += 1;
+        }
+        match resp.status {
+            Status::Ok => results.ok += 1,
+            Status::Racy => results.racy += 1,
+            Status::Usage => results.usage += 1,
+            Status::Degraded => results.degraded += 1,
+            Status::Corrupt => {
+                if resp.payload.contains("kind: poisoned") {
+                    results.poisoned += 1;
+                } else {
+                    results.corrupt += 1;
+                }
+            }
+            Status::Busy | Status::Bye => unreachable!("terminal reply"),
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    engine.drain();
+    let totals = engine.totals();
+    // `cilkrt.pool_bytes` tracks live pool memory and only reconciles when
+    // the pool is dropped, so the engine must be gone before the zero
+    // check — any gauge still nonzero then is a genuine session leak.
+    drop(engine);
+
+    let gauges = stint::obs::gauges_snapshot();
+    let gauges_zero = gauges.iter().all(|(_, cur, _)| *cur == 0);
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+        latencies_ms[idx]
+    };
+
+    let mut failures = Vec::new();
+    if lost_races > 0 {
+        failures.push(format!("{lost_races} racy session(s) answered ok"));
+    }
+    // Busy bounces never reach a worker, so admitted sessions must equal
+    // the logical session count exactly — anything else lost a session.
+    if totals.sessions != sessions as u64 {
+        failures.push(format!(
+            "engine admitted {} sessions, expected {sessions}",
+            totals.sessions
+        ));
+    }
+    if totals.busy != busy_rejections {
+        failures.push(format!(
+            "engine counted {} busy rejections, driver saw {busy_rejections}",
+            totals.busy
+        ));
+    }
+    if !gauges_zero {
+        let dirty: Vec<String> = gauges
+            .iter()
+            .filter(|(_, cur, _)| *cur != 0)
+            .map(|(n, cur, _)| format!("{n}={cur}"))
+            .collect();
+        failures.push(format!("gauges nonzero after drain: {}", dirty.join(", ")));
+    }
+
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"stint-bench-serve-v1\",\n");
+    j.push_str(&format!("  \"hw_threads\": {hw},\n"));
+    j.push_str(&format!("  \"sessions\": {sessions},\n"));
+    j.push_str(&format!(
+        "  \"session_workers\": {},\n  \"queue_depth\": {},\n  \"pool_workers\": {},\n",
+        cfg.session_workers, cfg.queue_depth, cfg.pool_workers
+    ));
+    j.push_str(&format!(
+        "  \"results\": {{ \"ok\": {}, \"racy\": {}, \"usage\": {}, \"degraded\": {}, \
+         \"corrupt\": {}, \"poisoned\": {} }},\n",
+        results.ok,
+        results.racy,
+        results.usage,
+        results.degraded,
+        results.corrupt,
+        results.poisoned
+    ));
+    j.push_str(&format!("  \"busy_rejections\": {busy_rejections},\n"));
+    j.push_str(&format!("  \"lost_races\": {lost_races},\n"));
+    j.push_str(&format!("  \"p50_ms\": {:.3},\n", pct(0.50)));
+    j.push_str(&format!("  \"p99_ms\": {:.3},\n", pct(0.99)));
+    j.push_str(&format!(
+        "  \"sessions_per_sec\": {:.1},\n",
+        sessions as f64 / wall
+    ));
+    j.push_str(&format!("  \"wall_secs\": {wall:.3},\n"));
+    j.push_str(&format!("  \"gauges_zero_after_drain\": {gauges_zero}\n"));
+    j.push_str("}\n");
+    std::fs::write(&out_path, &j).unwrap_or_else(|e| {
+        eprintln!("error: write {out_path}: {e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "serve_load: {sessions} sessions on {}w/{}q ({} busy bounces) in {wall:.2}s \
+         ({:.0}/s, p50 {:.2}ms, p99 {:.2}ms)",
+        cfg.session_workers,
+        cfg.queue_depth,
+        busy_rejections,
+        sessions as f64 / wall,
+        pct(0.50),
+        pct(0.99)
+    );
+    println!(
+        "  ok {} racy {} usage {} degraded {} corrupt {} poisoned {}  gauges-zero {}",
+        results.ok,
+        results.racy,
+        results.usage,
+        results.degraded,
+        results.corrupt,
+        results.poisoned,
+        gauges_zero
+    );
+    println!("  wrote {out_path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -52,6 +52,31 @@ fn exit_2_usage_errors() {
     }
 }
 
+/// A malformed fault spec is a usage error that names the offending token
+/// verbatim — both for the flag and for the environment variable — so the
+/// user can find the typo in a long comma-separated plan.
+#[test]
+fn exit_2_bad_fault_token_is_named() {
+    let out = run(&["detect", "sort", "--fault-plan", "frobnicate"]);
+    assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("\"frobnicate\""),
+        "stderr must name the token: {}",
+        stderr(&out)
+    );
+
+    let out = cli(&["detect", "sort"])
+        .env("STINT_FAULTS", "seed=7,shadow-page-cap=banana")
+        .output()
+        .expect("spawn stint-cli");
+    assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("\"shadow-page-cap=banana\""),
+        "stderr must name the token: {}",
+        stderr(&out)
+    );
+}
+
 #[test]
 fn exit_3_interval_budget_exhausted() {
     let out = run(&["detect", "mmul", "--max-intervals", "1"]);

@@ -61,7 +61,10 @@ pub use ctrace::{
 pub use report::{Race, RaceKind, RaceReport};
 pub use stats::{DetectorStats, Sided};
 pub use stint_det::{IntervalDetector, StintDetector, StintFlatDetector};
-pub use trace::{record, replay, PortableTrace, Trace, TraceEvent, TraceOp, TraceRecorder};
+pub use trace::{
+    record, replay, sniff_magic, PortableTrace, Trace, TraceEvent, TraceMagic, TraceOp,
+    TraceRecorder, MAGIC_V1,
+};
 pub use vanilla::VanillaDetector;
 
 // Re-export the substrate surface users need.

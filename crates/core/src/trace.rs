@@ -17,6 +17,35 @@
 use crate::Detector;
 use stint_sporder::{Reachability, StrandId};
 
+/// Magic line of the v1 text trace format.
+pub const MAGIC_V1: &str = "STINT-TRACE v1";
+
+/// Which on-disk trace encoding a byte prefix announces. The dispatch seam
+/// for framed ingest: `stint-serve` sniffs the head of a wire payload to
+/// choose between the in-memory v1 parser and the chunk-streaming v2
+/// reader, without consuming the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceMagic {
+    /// `STINT-TRACE v1` — text format, parsed fully into memory.
+    V1,
+    /// `STINT-TRACE v2` — compressed chunked format, streamable.
+    V2,
+    /// Anything else, including prefixes too short to decide. Feeding it to
+    /// a loader yields a structured corrupt-trace error, never a panic.
+    Unknown,
+}
+
+/// Classify the head of a (possibly partial) trace byte stream.
+pub fn sniff_magic(head: &[u8]) -> TraceMagic {
+    if head.starts_with(crate::ctrace::MAGIC_V2.as_bytes()) {
+        TraceMagic::V2
+    } else if head.starts_with(MAGIC_V1.as_bytes()) {
+        TraceMagic::V1
+    } else {
+        TraceMagic::Unknown
+    }
+}
+
 /// One recorded instrumentation event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceOp {
@@ -244,7 +273,7 @@ impl PortableTrace {
         let mut magic = String::new();
         r.read_line(&mut magic)?;
         match magic.trim_end() {
-            "STINT-TRACE v1" => Self::load_v1_after_magic(r),
+            MAGIC_V1 => Self::load_v1_after_magic(r),
             crate::ctrace::MAGIC_V2 => {
                 let mut reader = crate::ctrace::CompressedTraceReader::open_after_magic(r)?;
                 crate::ctrace::load_rest(&mut reader)
@@ -261,7 +290,7 @@ impl PortableTrace {
         use std::io::{Error, ErrorKind};
         let mut magic = String::new();
         r.read_line(&mut magic)?;
-        if magic.trim_end() != "STINT-TRACE v1" {
+        if magic.trim_end() != MAGIC_V1 {
             return Err(Error::new(
                 ErrorKind::InvalidData,
                 "bad magic: expected STINT-TRACE v1",

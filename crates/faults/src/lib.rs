@@ -51,6 +51,9 @@ pub enum Resource {
     OmTags,
     /// Work-stealing runtime workers.
     Workers,
+    /// Wall-clock budget of a detection session (`stint-serve` per-session
+    /// timeouts). The `limit` field carries the timeout in milliseconds.
+    WallClock,
 }
 
 impl std::fmt::Display for Resource {
@@ -60,6 +63,7 @@ impl std::fmt::Display for Resource {
             Resource::Intervals => write!(f, "interval store"),
             Resource::OmTags => write!(f, "order-maintenance tag space"),
             Resource::Workers => write!(f, "runtime workers"),
+            Resource::WallClock => write!(f, "wall-clock budget"),
         }
     }
 }
@@ -176,6 +180,8 @@ impl std::error::Error for DetectorError {}
 /// | `worker-spawn-fail=N` | `worker_spawn_fail_from` | spawning worker N (and later) fails |
 /// | `worker-panic=N` | `worker_panic_from` | worker N (and later) panics at startup |
 /// | `panic-at-flush=N` | `panic_at_flush` | inject a panic at the Nth strand flush |
+/// | `serve-panic-session=N` | `serve_panic_session` | every ~Nth served session panics mid-flight |
+/// | `serve-trunc-frame=N` | `serve_trunc_frame` | every ~Nth response frame is truncated on the wire |
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     pub seed: u64,
@@ -187,7 +193,30 @@ pub struct FaultPlan {
     pub worker_spawn_fail_from: Option<u32>,
     pub worker_panic_from: Option<u32>,
     pub panic_at_flush: Option<u64>,
+    pub serve_panic_session: Option<u64>,
+    pub serve_trunc_frame: Option<u64>,
 }
+
+/// Structured failure of [`FaultPlan::parse`]: the spec token that could not
+/// be understood, plus why. The CLI surfaces this as a usage error (exit
+/// code 2); `stint-serve` answers the session with the `Usage` status. The
+/// token is carried verbatim so the caller's diagnostic can point at exactly
+/// the part of `STINT_FAULTS`/`--fault-plan` that was wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// The offending `key=value` (or bare flag) token, verbatim.
+    pub token: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec token {:?}: {}", self.token, self.reason)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
 
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -218,36 +247,42 @@ impl FaultPlan {
     }
 
     /// Parse a `key=value,flag,...` spec. Unknown keys, missing values and
-    /// out-of-range numbers are errors (surfaced as CLI usage errors).
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    /// out-of-range numbers come back as a structured [`FaultParseError`]
+    /// naming the offending token (surfaced as CLI usage errors / the serve
+    /// `Usage` status) — a malformed spec must never panic or abort.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultParseError> {
         let mut plan = FaultPlan::default();
         for part in spec.split(',') {
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
+            let err = |reason: String| FaultParseError {
+                token: part.to_string(),
+                reason,
+            };
             let (key, val) = match part.split_once('=') {
                 Some((k, v)) => (k.trim(), Some(v.trim())),
                 None => (part, None),
             };
-            let num = |what: &str| -> Result<u64, String> {
-                val.ok_or_else(|| format!("fault {what:?} needs a value (e.g. {what}=4)"))?
+            let num = |what: &str| -> Result<u64, FaultParseError> {
+                val.ok_or_else(|| err(format!("fault {what:?} needs a value (e.g. {what}=4)")))?
                     .parse::<u64>()
-                    .map_err(|_| format!("fault {what:?}: value must be a non-negative integer"))
+                    .map_err(|_| err("value must be a non-negative integer".into()))
             };
             match key {
                 "seed" => plan.seed = num("seed")?,
                 "om-tags" => {
                     let bits = num("om-tags")?;
                     if !(4..=64).contains(&bits) {
-                        return Err("om-tags: bits must be in 4..=64".into());
+                        return Err(err("bits must be in 4..=64".into()));
                     }
                     plan.om_tag_bits = Some(bits as u32);
                 }
                 "om-storm" => {
                     let n = num("om-storm")?;
                     if n == 0 {
-                        return Err("om-storm: period must be at least 1".into());
+                        return Err(err("period must be at least 1".into()));
                     }
                     plan.om_relabel_storm = Some(n);
                 }
@@ -259,7 +294,21 @@ impl FaultPlan {
                 }
                 "worker-panic" => plan.worker_panic_from = Some(num("worker-panic")? as u32),
                 "panic-at-flush" => plan.panic_at_flush = Some(num("panic-at-flush")?),
-                other => return Err(format!("unknown fault {other:?}")),
+                "serve-panic-session" => {
+                    let n = num("serve-panic-session")?;
+                    if n == 0 {
+                        return Err(err("period must be at least 1".into()));
+                    }
+                    plan.serve_panic_session = Some(n);
+                }
+                "serve-trunc-frame" => {
+                    let n = num("serve-trunc-frame")?;
+                    if n == 0 {
+                        return Err(err("period must be at least 1".into()));
+                    }
+                    plan.serve_trunc_frame = Some(n);
+                }
+                _ => return Err(err("unknown fault".into())),
             }
         }
         Ok(plan)
@@ -406,6 +455,18 @@ pub fn panic_at_flush() -> Option<u64> {
     current().and_then(|p| p.panic_at_flush)
 }
 
+/// Serve-path chaos: period `N` such that every ~Nth session should panic
+/// mid-flight (sampled by `stint-serve` when a session starts), if injected.
+pub fn serve_panic_session() -> Option<u64> {
+    current().and_then(|p| p.serve_panic_session)
+}
+
+/// Serve-path chaos: period `N` such that every ~Nth response frame should
+/// be truncated on the wire, if injected.
+pub fn serve_trunc_frame() -> Option<u64> {
+    current().and_then(|p| p.serve_trunc_frame)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,7 +484,8 @@ mod tests {
     fn parse_full_spec() {
         let p = FaultPlan::parse(
             "seed=7, om-tags=16, om-storm=8, shadow-pages=4, shadow-oom-at=9, \
-             treap-degenerate, worker-spawn-fail=2, worker-panic=3, panic-at-flush=100",
+             treap-degenerate, worker-spawn-fail=2, worker-panic=3, panic-at-flush=100, \
+             serve-panic-session=50, serve-trunc-frame=9",
         )
         .unwrap();
         assert_eq!(p.seed, 7);
@@ -435,6 +497,8 @@ mod tests {
         assert_eq!(p.worker_spawn_fail_from, Some(2));
         assert_eq!(p.worker_panic_from, Some(3));
         assert_eq!(p.panic_at_flush, Some(100));
+        assert_eq!(p.serve_panic_session, Some(50));
+        assert_eq!(p.serve_trunc_frame, Some(9));
         assert!(p.injects_anything());
     }
 
@@ -446,8 +510,35 @@ mod tests {
         assert!(FaultPlan::parse("om-storm=0").is_err());
         assert!(FaultPlan::parse("shadow-pages=lots").is_err());
         assert!(FaultPlan::parse("frobnicate").is_err());
+        assert!(FaultPlan::parse("serve-panic-session=0").is_err());
         assert!(!FaultPlan::parse("").unwrap().injects_anything());
         assert!(!FaultPlan::parse("seed=9").unwrap().injects_anything());
+    }
+
+    /// Satellite: a malformed spec comes back as a *structured* error naming
+    /// the offending token verbatim — the CLI maps it to exit 2 and the
+    /// serve daemon to the `Usage` status, and neither ever sees a panic.
+    #[test]
+    fn parse_errors_carry_the_offending_token() {
+        let cases = [
+            ("om-tags=16,frobnicate=1,seed=3", "frobnicate=1"),
+            ("om-storm", "om-storm"),
+            ("shadow-pages=lots", "shadow-pages=lots"),
+            ("om-tags=3", "om-tags=3"),
+            (" serve-trunc-frame=0 ,seed=1", "serve-trunc-frame=0"),
+        ];
+        for (spec, token) in cases {
+            let e = FaultPlan::parse(spec).expect_err(spec);
+            assert_eq!(e.token, token, "spec {spec:?}");
+            assert!(!e.reason.is_empty(), "spec {spec:?}");
+            let shown = e.to_string();
+            assert!(
+                shown.contains(token),
+                "display must name the token: {shown}"
+            );
+        }
+        // A valid spec is unaffected by the error plumbing.
+        assert!(FaultPlan::parse("serve-panic-session=7").is_ok());
     }
 
     #[test]

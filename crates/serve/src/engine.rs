@@ -1,0 +1,459 @@
+//! The session engine: a bounded admission queue, a fixed crew of session
+//! workers, and one shared work-stealing pool.
+//!
+//! ## Lifecycle of a session
+//!
+//! ```text
+//! submit ──(queue full)──► Busy + retry-after-ms
+//!    │
+//!    ▼ queued (serve.queue_bytes)
+//!  worker pops ── catch_unwind ► run_session (serve.inflight)
+//!    │   parse opts ──(bad token)──► Usage
+//!    │   sniff magic: v2 → stream chunks / v1 → load / else → Corrupt
+//!    │   detect under SessionLimits on the shared cilkrt pool
+//!    ▼
+//!  reply: Ok | Racy | Degraded (partial report) | Corrupt (kind corrupt
+//!         or poisoned)
+//! ```
+//!
+//! ## Degradation matrix
+//!
+//! | failure                     | status     | payload `kind:` | report?  |
+//! |-----------------------------|------------|-----------------|----------|
+//! | wall-clock timeout          | `Degraded` | `degraded`      | partial  |
+//! | budget (shadow / intervals) | `Degraded` | `degraded`      | partial  |
+//! | session panic               | `Corrupt`  | `poisoned`      | none     |
+//! | unparsable / truncated trace| `Corrupt`  | `corrupt`       | none     |
+//! | bad option spec             | `Usage`    | `usage`         | none     |
+//! | queue full                  | `Busy`     | `busy`          | none     |
+//!
+//! A panic unwinding out of a session is caught by the worker, mapped
+//! through [`DetectorError::from_panic`], and answered like any other
+//! failure — the worker thread, its queue neighbors, and the shared pool
+//! all survive. The `serve.inflight` and `serve.queue_bytes` gauges are
+//! balanced outside the unwind boundary, so they reconcile to zero after
+//! every drain even when sessions time out or poison themselves.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use stint::{sniff_magic, DetectorError, ResourceBudget, TraceMagic};
+use stint_batchdet::{
+    batch_detect_chunked_limited_on, batch_detect_limited_on, load_trace, BatchConfig,
+    SessionLimits,
+};
+use stint_cilkrt::ThreadPool;
+use stint_obs::{Counter, Gauge};
+
+use crate::protocol::{Response, SessionOpts, Status};
+
+static OBS_SESSIONS: Counter = Counter::new("serve.sessions");
+static OBS_OK: Counter = Counter::new("serve.sessions.ok");
+static OBS_RACY: Counter = Counter::new("serve.sessions.racy");
+static OBS_USAGE: Counter = Counter::new("serve.sessions.usage");
+static OBS_DEGRADED: Counter = Counter::new("serve.sessions.degraded");
+static OBS_CORRUPT: Counter = Counter::new("serve.sessions.corrupt");
+static OBS_POISONED: Counter = Counter::new("serve.sessions.poisoned");
+static OBS_BUSY: Counter = Counter::new("serve.busy");
+/// Bytes of trace payload sitting in the admission queue. Bounded by
+/// `queue_depth × frame cap`; back to zero after every drain.
+static OBS_QUEUE_BYTES: Gauge = Gauge::new("serve.queue_bytes");
+/// Sessions currently executing on workers.
+static OBS_INFLIGHT: Gauge = Gauge::new("serve.inflight");
+
+/// Daemon-level configuration (per-session knobs ride in the DETECT frame).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Session workers: concurrent sessions in flight.
+    pub session_workers: usize,
+    /// Admission queue capacity; a full queue answers `Busy`.
+    pub queue_depth: usize,
+    /// Threads of the shared detection pool (all sessions fan out on it —
+    /// `ThreadPool::install` is safe from concurrent external threads).
+    pub pool_workers: usize,
+    /// Wall-clock budget for sessions that do not pick their own.
+    pub default_timeout_ms: u64,
+    /// Hint carried in `Busy` responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            session_workers: 2,
+            queue_depth: 64,
+            pool_workers: 2,
+            default_timeout_ms: 10_000,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// Monotonic totals, kept in plain atomics so they exist even when the obs
+/// layer is disabled (the load bench and STATS frame read them).
+#[derive(Default)]
+struct Totals {
+    sessions: AtomicU64,
+    ok: AtomicU64,
+    racy: AtomicU64,
+    usage: AtomicU64,
+    degraded: AtomicU64,
+    corrupt: AtomicU64,
+    poisoned: AtomicU64,
+    busy: AtomicU64,
+}
+
+/// A point-in-time copy of the engine totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TotalsSnapshot {
+    /// Sessions that reached a worker (admitted, whatever their verdict).
+    pub sessions: u64,
+    pub ok: u64,
+    pub racy: u64,
+    pub usage: u64,
+    pub degraded: u64,
+    pub corrupt: u64,
+    pub poisoned: u64,
+    /// Admissions refused with `Busy` (not counted in `sessions`).
+    pub busy: u64,
+}
+
+impl Totals {
+    fn snapshot(&self) -> TotalsSnapshot {
+        TotalsSnapshot {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            racy: self.racy.load(Ordering::Relaxed),
+            usage: self.usage.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How a session ended. Finer-grained than [`Status`]: poisoned and corrupt
+/// share a wire status (the CLI's exit-4 bucket) but are counted apart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    Racy,
+    Usage,
+    Degraded,
+    Corrupt,
+    Poisoned,
+}
+
+impl Verdict {
+    fn status(self) -> Status {
+        match self {
+            Verdict::Ok => Status::Ok,
+            Verdict::Racy => Status::Racy,
+            Verdict::Usage => Status::Usage,
+            Verdict::Degraded => Status::Degraded,
+            Verdict::Corrupt | Verdict::Poisoned => Status::Corrupt,
+        }
+    }
+
+    fn kind(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Racy => "racy",
+            Verdict::Usage => "usage",
+            Verdict::Degraded => "degraded",
+            Verdict::Corrupt => "corrupt",
+            Verdict::Poisoned => "poisoned",
+        }
+    }
+}
+
+struct Job {
+    id: u32,
+    opts: String,
+    trace: Vec<u8>,
+    reply: Sender<Response>,
+}
+
+struct Shared {
+    cfg: EngineConfig,
+    pool: ThreadPool,
+    queue: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+    draining: AtomicBool,
+    totals: Totals,
+}
+
+/// The detection service: owns the queue, the workers, and the pool.
+/// Cheap to share behind an `Arc`; [`Engine::drain`] is idempotent.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    pub fn new(cfg: EngineConfig) -> Engine {
+        let shared = Arc::new(Shared {
+            cfg,
+            pool: ThreadPool::new(cfg.pool_workers.max(1)),
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            draining: AtomicBool::new(false),
+            totals: Totals::default(),
+        });
+        let workers = (0..cfg.session_workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Engine {
+            shared,
+            workers: Mutex::new(workers),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.cfg
+    }
+
+    pub fn totals(&self) -> TotalsSnapshot {
+        self.shared.totals.snapshot()
+    }
+
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("queue mutex poisoned")
+            .len()
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Admit a session, or answer immediately on the reply channel with
+    /// `Busy` (queue full) / `Bye` (draining). Returns the session id.
+    pub fn try_submit(&self, opts: String, trace: Vec<u8>, reply: Sender<Response>) -> u32 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as u32;
+        let mut q = self.shared.queue.lock().expect("queue mutex poisoned");
+        if self.shared.draining.load(Ordering::Acquire) {
+            drop(q);
+            let _ = reply.send(Response::new(
+                Status::Bye,
+                id,
+                "kind: bye\nerror: server is draining\n",
+            ));
+            return id;
+        }
+        if q.len() >= self.shared.cfg.queue_depth {
+            drop(q);
+            self.shared.totals.busy.fetch_add(1, Ordering::Relaxed);
+            OBS_BUSY.incr();
+            let _ = reply.send(Response::new(
+                Status::Busy,
+                id,
+                format!(
+                    "kind: busy\nretry-after-ms: {}\n",
+                    self.shared.cfg.retry_after_ms
+                ),
+            ));
+            return id;
+        }
+        OBS_QUEUE_BYTES.add(trace.len() as u64);
+        q.push_back(Job {
+            id,
+            opts,
+            trace,
+            reply,
+        });
+        drop(q);
+        self.shared.cond.notify_one();
+        id
+    }
+
+    /// The STATS frame payload: engine totals, queue occupancy, and — when
+    /// the obs layer is on — every gauge plus the full metrics JSON.
+    pub fn stats_payload(&self) -> String {
+        use std::fmt::Write;
+        let t = self.totals();
+        let mut s = String::new();
+        let _ = writeln!(s, "kind: stats");
+        let _ = writeln!(s, "sessions: {}", t.sessions);
+        let _ = writeln!(s, "ok: {}", t.ok);
+        let _ = writeln!(s, "racy: {}", t.racy);
+        let _ = writeln!(s, "usage: {}", t.usage);
+        let _ = writeln!(s, "degraded: {}", t.degraded);
+        let _ = writeln!(s, "corrupt: {}", t.corrupt);
+        let _ = writeln!(s, "poisoned: {}", t.poisoned);
+        let _ = writeln!(s, "busy: {}", t.busy);
+        let _ = writeln!(s, "queued: {}", self.queue_len());
+        let _ = writeln!(s, "session-workers: {}", self.shared.cfg.session_workers);
+        let _ = writeln!(s, "pool-workers: {}", self.shared.cfg.pool_workers);
+        let enabled = stint_obs::is_enabled();
+        let _ = writeln!(s, "obs: {}", if enabled { "enabled" } else { "disabled" });
+        if stint_obs::registry_initialized() {
+            for (name, cur, hw) in stint_obs::gauges_snapshot() {
+                let _ = writeln!(s, "gauge {name} {cur} {hw}");
+            }
+        }
+        if enabled {
+            s.push_str("metrics:\n");
+            s.push_str(&stint_obs::metrics_json());
+        }
+        s
+    }
+
+    /// Graceful drain: stop admitting, finish every queued session, park
+    /// the workers. Idempotent — later calls (and calls racing from several
+    /// transport threads) join nothing and return immediately.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.cond.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers mutex poisoned"));
+        for h in workers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue mutex poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.cond.wait(q).expect("queue mutex poisoned");
+            }
+        };
+        // Gauge discipline: both gauges move *outside* the unwind boundary,
+        // so a poisoned or timed-out session still balances them.
+        OBS_QUEUE_BYTES.sub(job.trace.len() as u64);
+        OBS_INFLIGHT.add(1);
+        shared.totals.sessions.fetch_add(1, Ordering::Relaxed);
+        OBS_SESSIONS.incr();
+        let (verdict, payload) = match catch_unwind(AssertUnwindSafe(|| run_session(shared, &job)))
+        {
+            Ok(vp) => vp,
+            Err(p) => error_payload(&DetectorError::from_panic(p)),
+        };
+        OBS_INFLIGHT.sub(1);
+        bump(&shared.totals, verdict);
+        let _ = job
+            .reply
+            .send(Response::new(verdict.status(), job.id, payload));
+    }
+}
+
+fn bump(totals: &Totals, v: Verdict) {
+    let (cell, obs) = match v {
+        Verdict::Ok => (&totals.ok, &OBS_OK),
+        Verdict::Racy => (&totals.racy, &OBS_RACY),
+        Verdict::Usage => (&totals.usage, &OBS_USAGE),
+        Verdict::Degraded => (&totals.degraded, &OBS_DEGRADED),
+        Verdict::Corrupt => (&totals.corrupt, &OBS_CORRUPT),
+        Verdict::Poisoned => (&totals.poisoned, &OBS_POISONED),
+    };
+    cell.fetch_add(1, Ordering::Relaxed);
+    obs.incr();
+}
+
+/// One session, start to verdict. Runs under the worker's `catch_unwind`;
+/// everything that can fail comes back as a structured verdict.
+fn run_session(shared: &Shared, job: &Job) -> (Verdict, String) {
+    let opts = match SessionOpts::parse(&job.opts) {
+        Ok(o) => o,
+        Err(e) => return (Verdict::Usage, format!("kind: usage\nerror: {e}\n")),
+    };
+    // Chaos knob: every Nth session dies mid-flight. The worker's
+    // catch_unwind turns this into a poisoned reply; neighbors are
+    // untouched.
+    if let Some(n) = stint_faults::serve_panic_session() {
+        if u64::from(job.id) % n == 0 {
+            panic!("injected serve session panic (session {})", job.id);
+        }
+    }
+    if let Some(ms) = opts.stall_ms {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    let mut budget = ResourceBudget::default();
+    if let Some(mb) = opts.max_shadow_mb {
+        budget = budget.with_shadow_mb(mb);
+    }
+    budget.max_intervals = opts.max_intervals;
+    let timeout = opts.timeout_ms.unwrap_or(shared.cfg.default_timeout_ms);
+    let limits = SessionLimits {
+        budget,
+        ..SessionLimits::default()
+    }
+    .timeout_after(Duration::from_millis(timeout));
+    let bcfg = BatchConfig {
+        shards: opts.shards.unwrap_or_else(|| BatchConfig::default().shards),
+        ..BatchConfig::default()
+    };
+    let result = match sniff_magic(&job.trace) {
+        // v2 streams straight off the frame buffer chunk by chunk: peak
+        // detector-side memory is one chunk plus the shard detectors.
+        TraceMagic::V2 => {
+            batch_detect_chunked_limited_on(&shared.pool, &job.trace[..], &bcfg, &limits)
+        }
+        TraceMagic::V1 => load_trace(&job.trace[..])
+            .and_then(|pt| batch_detect_limited_on(&shared.pool, &pt, &bcfg, &limits)),
+        TraceMagic::Unknown => Err(DetectorError::CorruptTrace {
+            detail: "unrecognized trace magic (expected STINT-TRACE v1 or v2)".into(),
+        }),
+    };
+    match result {
+        Ok(out) => {
+            use std::fmt::Write;
+            let verdict = if out.degraded.is_some() {
+                Verdict::Degraded
+            } else if !out.merged.is_race_free() {
+                Verdict::Racy
+            } else {
+                Verdict::Ok
+            };
+            let mut p = String::new();
+            let _ = writeln!(p, "kind: {}", verdict.kind());
+            let _ = writeln!(p, "races: {}", out.merged.racy_words.len());
+            let _ = writeln!(p, "events: {}", out.events);
+            let _ = writeln!(p, "strands: {}", out.strands);
+            let _ = writeln!(p, "wall-ms: {}", out.wall.as_millis());
+            if let Some(e) = &out.degraded {
+                let _ = writeln!(p, "error: {e}");
+            }
+            p.push_str("report:\n");
+            p.push_str(&out.merged.render());
+            (verdict, p)
+        }
+        Err(e) => error_payload(&e),
+    }
+}
+
+fn error_payload(e: &DetectorError) -> (Verdict, String) {
+    let v = match e {
+        DetectorError::ResourceExhausted { .. } => Verdict::Degraded,
+        DetectorError::Poisoned { .. } => Verdict::Poisoned,
+        DetectorError::CorruptTrace { .. } => Verdict::Corrupt,
+    };
+    (v, format!("kind: {}\nerror: {e}\n", v.kind()))
+}

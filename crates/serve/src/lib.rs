@@ -1,0 +1,72 @@
+//! `stint-serve` — detection as a service.
+//!
+//! A persistent daemon that accepts recorded traces over a length-prefixed
+//! framed protocol (unix socket, or stdin/stdout for CI), runs each one as
+//! an isolated *session* on a shared work-stealing pool, and answers with a
+//! structured report. The CLI's 0–4 exit-code contract becomes a
+//! per-response status byte (`Ok`/`Racy`/`Usage`/`Degraded`/`Corrupt`, plus
+//! the transport-level `Busy` and `Bye`).
+//!
+//! Robustness is the point, not an afterthought:
+//!
+//! * **budgets + timeouts** — every session carries a `ResourceBudget` and
+//!   a wall-clock deadline ([`stint_batchdet::SessionLimits`]); a tripped
+//!   limit degrades the session to a partial-but-sound report instead of
+//!   wedging a worker;
+//! * **backpressure** — admission is a bounded queue; a full queue answers
+//!   `Busy` with a retry-after hint instead of growing without bound;
+//! * **isolation** — sessions run under `catch_unwind`; a poisoned session
+//!   answers `Corrupt` (kind `poisoned`) and its worker lives on;
+//! * **drain** — SIGTERM or a `SHUTDOWN` frame stops admission, finishes
+//!   the queue, and answers `Bye`; idle socket clients are disconnected by
+//!   a read timeout so half-open connections cannot pin slots.
+//!
+//! The crate splits into [`protocol`] (wire frames and session option
+//! specs), [`engine`] (the bounded queue, session workers, and the
+//! detection itself), and [`server`] (byte-stream transports and signal
+//! handling). The `stint-serve` binary wires them to stdio or a unix
+//! socket and also provides client-side helpers (`frame`, `decode`,
+//! `send`) so shell scripts can speak the protocol.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig, TotalsSnapshot};
+pub use protocol::{Request, Response, SessionOpts, Status};
+
+/// Install a panic hook suitable for daemon processes: session panics are
+/// already contained by the worker's `catch_unwind` and answered as
+/// `poisoned`, so the default hook's per-panic backtrace is pure noise —
+/// especially under the `serve-panic-session` chaos knob, which fires one
+/// panic per Nth session by design. Structured [`DetectorError`] payloads
+/// and injected chaos panics are silenced; anything else still prints, and
+/// a broken stdout pipe exits quietly like the CLI does.
+///
+/// [`DetectorError`]: stint_faults::DetectorError
+pub fn install_panic_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        if info
+            .payload()
+            .downcast_ref::<stint_faults::DetectorError>()
+            .is_some()
+        {
+            return;
+        }
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.contains("injected serve session panic") {
+            return;
+        }
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+    }));
+}

@@ -1,0 +1,307 @@
+//! `stint-serve` — the detection-as-a-service daemon and its client-side
+//! helpers.
+//!
+//! ```text
+//! stint-serve serve [--stdio | --socket PATH] [options]   run the daemon
+//! stint-serve frame detect [--opts SPEC] FILE|-           emit a DETECT frame
+//! stint-serve frame stats|shutdown|ping                   emit a control frame
+//! stint-serve decode                                      pretty-print response frames
+//! stint-serve send --socket PATH [--opts SPEC] FILE...    one-shot client
+//! ```
+//!
+//! `frame` writes request frames to stdout, so shell pipelines build a whole
+//! conversation by concatenation:
+//!
+//! ```text
+//! { stint-serve frame ping; stint-serve frame detect t.trace; \
+//!   stint-serve frame shutdown; } | stint-serve serve --stdio | stint-serve decode
+//! ```
+//!
+//! `decode` exits 1 if the response stream is truncated or damaged (the
+//! `serve-trunc-frame` chaos knob produces exactly that), 0 otherwise.
+//! `send` exits with the worst status it saw, mapped onto the CLI's 0–4
+//! exit-code contract.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use stint_serve::protocol::{self, FrameError, Request};
+use stint_serve::server;
+use stint_serve::{Engine, EngineConfig};
+
+const USAGE: &str = "\
+stint-serve — detection as a service
+
+USAGE:
+  stint-serve serve [--stdio | --socket PATH]
+        [--session-workers N] [--queue-depth N] [--pool-workers N]
+        [--timeout-ms N] [--retry-after-ms N] [--idle-timeout-ms N]
+        [--fault-plan SPEC] [--obs SPEC]
+  stint-serve frame detect [--opts SPEC] FILE|-
+  stint-serve frame stats|shutdown|ping
+  stint-serve decode
+  stint-serve send --socket PATH [--opts SPEC] [--stats] [--ping]
+        [--shutdown] [FILE...]
+
+Session opts (DETECT frames): shards=K, timeout-ms=N, max-shadow-mb=N,
+max-intervals=N, stall-ms=N.
+
+Response statuses: 0 ok, 1 racy, 2 usage, 3 degraded, 4 corrupt (kind
+corrupt|poisoned), 5 busy (retry-after-ms hint), 6 bye.";
+
+fn main() -> ExitCode {
+    stint_serve::install_panic_hook();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let args: Vec<&str> = argv.iter().map(String::as_str).collect();
+    match args.first().copied() {
+        None | Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("frame") => cmd_frame(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("send") => cmd_send(&args[1..]),
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, val: Option<&&str>) -> Result<T, String> {
+    let v = val.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: {v:?} is not a valid number"))
+}
+
+fn cmd_serve(args: &[&str]) -> Result<ExitCode, String> {
+    let mut cfg = EngineConfig::default();
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+    let mut idle_timeout_ms = 30_000u64;
+    let mut fault_plan: Option<String> = None;
+    let mut obs_spec: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match *a {
+            "--stdio" => stdio = true,
+            "--socket" => {
+                socket = Some(
+                    it.next()
+                        .ok_or_else(|| "--socket needs a path".to_string())?
+                        .to_string(),
+                )
+            }
+            "--session-workers" => cfg.session_workers = parse_num(a, it.next())?,
+            "--queue-depth" => cfg.queue_depth = parse_num(a, it.next())?,
+            "--pool-workers" => cfg.pool_workers = parse_num(a, it.next())?,
+            "--timeout-ms" => cfg.default_timeout_ms = parse_num(a, it.next())?,
+            "--retry-after-ms" => cfg.retry_after_ms = parse_num(a, it.next())?,
+            "--idle-timeout-ms" => idle_timeout_ms = parse_num(a, it.next())?,
+            "--fault-plan" => {
+                fault_plan = Some(
+                    it.next()
+                        .ok_or_else(|| "--fault-plan needs a spec".to_string())?
+                        .to_string(),
+                )
+            }
+            "--obs" => {
+                obs_spec = Some(
+                    it.next()
+                        .ok_or_else(|| "--obs needs a spec".to_string())?
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    if stdio && socket.is_some() {
+        return Err("--stdio and --socket are mutually exclusive".into());
+    }
+    // Fault plans and observability: environment first, then the flag
+    // (which wins) — and both before the engine exists, because fault knobs
+    // are sampled at construction time. A malformed spec names its
+    // offending token and exits 2.
+    stint_faults::install_from_env().map_err(|e| e.to_string())?;
+    if let Some(spec) = &fault_plan {
+        let plan = stint_faults::FaultPlan::parse(spec)
+            .map_err(|e| format!("--fault-plan {spec:?}: {e}"))?;
+        stint_faults::install(plan);
+    }
+    stint::obs::enable_from_env().map_err(|e| e.to_string())?;
+    if let Some(spec) = &obs_spec {
+        match stint::obs::ObsConfig::parse(spec).map_err(|e| format!("--obs {spec:?}: {e}"))? {
+            Some(c) => stint::obs::enable(c),
+            None => stint::obs::disable(),
+        }
+    }
+    let engine = Arc::new(Engine::new(cfg));
+    server::install_signal_handlers();
+    if let Some(path) = socket {
+        eprintln!("stint-serve: listening on {path}");
+        server::run_socket(&engine, &path, idle_timeout_ms).map_err(|e| e.to_string())?;
+    } else {
+        server::run_stdio(&engine).map_err(|e| e.to_string())?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_frame(args: &[&str]) -> Result<ExitCode, String> {
+    let mut stdout = io::stdout().lock();
+    let req = match args.first().copied() {
+        Some("stats") => Request::Stats,
+        Some("shutdown") => Request::Shutdown,
+        Some("ping") => Request::Ping,
+        Some("detect") => {
+            let mut opts = String::new();
+            let mut file: Option<&str> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match *a {
+                    "--opts" => {
+                        opts = it
+                            .next()
+                            .ok_or_else(|| "--opts needs a spec".to_string())?
+                            .to_string()
+                    }
+                    other => file = Some(other),
+                }
+            }
+            let file = file.ok_or_else(|| "frame detect needs a trace file (or -)".to_string())?;
+            let trace = read_input(file)?;
+            Request::Detect { opts, trace }
+        }
+        _ => return Err("frame needs one of: detect, stats, shutdown, ping".into()),
+    };
+    protocol::write_request(&mut stdout, &req).map_err(|e| format!("write frame: {e}"))?;
+    stdout.flush().map_err(|e| format!("write frame: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn read_input(path: &str) -> Result<Vec<u8>, String> {
+    let mut buf = Vec::new();
+    if path == "-" {
+        io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("read stdin: {e}"))?;
+    } else {
+        buf = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    }
+    Ok(buf)
+}
+
+fn cmd_decode(args: &[&str]) -> Result<ExitCode, String> {
+    if !args.is_empty() {
+        return Err("decode takes no arguments (responses on stdin)".into());
+    }
+    let mut stdin = io::stdin().lock();
+    loop {
+        match protocol::read_response(&mut stdin) {
+            Ok(None) => return Ok(ExitCode::SUCCESS),
+            Ok(Some(resp)) => {
+                println!("-- session {}: {}", resp.session, resp.status);
+                for line in resp.payload.lines() {
+                    println!("   {line}");
+                }
+            }
+            Err(FrameError::Malformed(m)) => {
+                eprintln!("decode: response stream damaged: {m}");
+                return Ok(ExitCode::from(1));
+            }
+            Err(FrameError::Io(e)) => return Err(format!("read responses: {e}")),
+        }
+    }
+}
+
+fn cmd_send(args: &[&str]) -> Result<ExitCode, String> {
+    let mut socket: Option<&str> = None;
+    let mut opts = String::new();
+    let mut stats = false;
+    let mut ping = false;
+    let mut shutdown = false;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match *a {
+            "--socket" => socket = it.next().copied(),
+            "--opts" => {
+                opts = it
+                    .next()
+                    .ok_or_else(|| "--opts needs a spec".to_string())?
+                    .to_string()
+            }
+            "--stats" => stats = true,
+            "--ping" => ping = true,
+            "--shutdown" => shutdown = true,
+            other => files.push(other),
+        }
+    }
+    let socket = socket.ok_or_else(|| "send needs --socket PATH".to_string())?;
+    if files.is_empty() && !stats && !ping && !shutdown {
+        return Err("send needs at least one trace file or --stats/--ping/--shutdown".into());
+    }
+    let stream = UnixStream::connect(socket).map_err(|e| format!("connect {socket}: {e}"))?;
+    let mut reader = stream
+        .try_clone()
+        .map_err(|e| format!("clone socket: {e}"))?;
+    let mut w = io::BufWriter::new(stream);
+    let mut expected = 0usize;
+    if ping {
+        protocol::write_request(&mut w, &Request::Ping).map_err(|e| e.to_string())?;
+        expected += 1;
+    }
+    for f in &files {
+        let trace = read_input(f)?;
+        protocol::write_request(
+            &mut w,
+            &Request::Detect {
+                opts: opts.clone(),
+                trace,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        expected += 1;
+    }
+    if stats {
+        protocol::write_request(&mut w, &Request::Stats).map_err(|e| e.to_string())?;
+        expected += 1;
+    }
+    if shutdown {
+        protocol::write_request(&mut w, &Request::Shutdown).map_err(|e| e.to_string())?;
+        expected += 1;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    let mut worst = 0u8;
+    for _ in 0..expected {
+        match protocol::read_response(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(resp)) => {
+                println!("-- session {}: {}", resp.session, resp.status);
+                for line in resp.payload.lines() {
+                    println!("   {line}");
+                }
+                worst = worst.max(resp.status.exit_code());
+            }
+            Err(FrameError::Malformed(m)) => {
+                eprintln!("send: response stream damaged: {m}");
+                return Ok(ExitCode::from(4));
+            }
+            Err(FrameError::Io(e)) => return Err(format!("read responses: {e}")),
+        }
+    }
+    Ok(ExitCode::from(worst))
+}

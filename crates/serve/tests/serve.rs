@@ -1,0 +1,324 @@
+//! End-to-end tests of the detection service: engine verdicts for every
+//! status, backpressure, panic isolation, timeouts, and the framed stdio
+//! transport.
+//!
+//! Fault plans and the engine totals are process-global, so every test
+//! serializes on one lock (the same idiom as the repo-level chaos tests).
+
+use std::io::Write;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use stint::{FaultPlan, PortableTrace, ScopedPlan};
+use stint_serve::protocol::{self, Request, Response, SessionOpts, Status};
+use stint_serve::server::run_frames;
+use stint_serve::{Engine, EngineConfig};
+use stint_suite::{Scale, Workload};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A minimal hand-written racy v1 trace: strands 1 and 2 have crossed
+/// English/Hebrew ranks (parallel) and both write word 0x10.
+const RACY_V1: &str = "STINT-TRACE v1\nstrands 3\n0 0\n1 2\n2 1\nevents 4\n\
+                       s 1 0x40 4\ne 1 0x0 0\ns 2 0x40 4\ne 2 0x0 0\n";
+
+fn clean_v1() -> Vec<u8> {
+    let mut w = Workload::by_name("sort", Scale::Test);
+    let pt = PortableTrace::record(&mut w);
+    let mut buf = Vec::new();
+    pt.save(&mut buf).expect("save v1");
+    buf
+}
+
+fn racy_v2() -> Vec<u8> {
+    let pt = PortableTrace::load_any(RACY_V1.as_bytes()).expect("parse racy v1");
+    let mut buf = Vec::new();
+    pt.save_compressed(&mut buf, 2).expect("save v2");
+    buf
+}
+
+/// Submit one session and wait for its reply.
+fn session(engine: &Engine, opts: &str, trace: Vec<u8>) -> Response {
+    let (tx, rx) = mpsc::channel();
+    let id = engine.try_submit(opts.to_string(), trace, tx);
+    let resp = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("session reply");
+    assert_eq!(resp.session, id);
+    resp
+}
+
+fn small_engine() -> Engine {
+    Engine::new(EngineConfig {
+        session_workers: 2,
+        queue_depth: 16,
+        pool_workers: 2,
+        ..EngineConfig::default()
+    })
+}
+
+#[test]
+fn verdicts_cover_the_status_enum() {
+    let _g = lock();
+    let engine = small_engine();
+    // Clean trace → Ok with an empty report.
+    let r = session(&engine, "", clean_v1());
+    assert_eq!(r.status, Status::Ok, "payload: {}", r.payload);
+    assert!(r.payload.contains("kind: ok"));
+    assert!(r.payload.contains("races: 0"));
+    // Racy v1 → Racy, and the canonical report names the racy word.
+    let r = session(&engine, "shards=2", RACY_V1.as_bytes().to_vec());
+    assert_eq!(r.status, Status::Racy);
+    assert!(r.payload.contains("kind: racy"));
+    assert!(r.payload.contains("w 0x10"), "payload: {}", r.payload);
+    // The same trace in the compressed v2 encoding streams to the same
+    // verdict and the same rendered report.
+    let r2 = session(&engine, "shards=2", racy_v2());
+    assert_eq!(r2.status, Status::Racy);
+    let report = |p: &str| p.split("report:\n").nth(1).map(str::to_string);
+    assert_eq!(report(&r.payload), report(&r2.payload));
+    // Garbage bytes → Corrupt (kind corrupt).
+    let r = session(&engine, "", b"not a trace at all".to_vec());
+    assert_eq!(r.status, Status::Corrupt);
+    assert!(r.payload.contains("kind: corrupt"));
+    // Truncated v2 → Corrupt, not a panic or a hang.
+    let mut cut = racy_v2();
+    cut.truncate(cut.len() / 2);
+    let r = session(&engine, "", cut);
+    assert_eq!(r.status, Status::Corrupt);
+    // Bad option spec → Usage naming the offending token.
+    let r = session(&engine, "shards=2,frobnicate=1", clean_v1());
+    assert_eq!(r.status, Status::Usage);
+    assert!(
+        r.payload.contains("\"frobnicate=1\""),
+        "payload: {}",
+        r.payload
+    );
+    // An already-expired wall-clock budget → Degraded with a sound partial
+    // report, never a wedged worker.
+    let r = session(&engine, "timeout-ms=0", racy_v2());
+    assert_eq!(r.status, Status::Degraded, "payload: {}", r.payload);
+    assert!(r.payload.contains("kind: degraded"));
+    assert!(r.payload.contains("wall-clock budget"));
+    let t = engine.totals();
+    assert_eq!(t.sessions, 7);
+    assert_eq!(t.ok, 1);
+    assert_eq!(t.racy, 2);
+    assert_eq!(t.corrupt, 2);
+    assert_eq!(t.usage, 1);
+    assert_eq!(t.degraded, 1);
+    engine.drain();
+}
+
+#[test]
+fn shadow_budget_degrades_the_session() {
+    let _g = lock();
+    let engine = small_engine();
+    let r = session(&engine, "max-intervals=1", clean_v1());
+    assert_eq!(r.status, Status::Degraded, "payload: {}", r.payload);
+    assert!(r.payload.contains("error:"), "payload: {}", r.payload);
+    engine.drain();
+}
+
+#[test]
+fn backpressure_answers_busy_with_retry_hint() {
+    let _g = lock();
+    let engine = Engine::new(EngineConfig {
+        session_workers: 1,
+        queue_depth: 1,
+        pool_workers: 1,
+        retry_after_ms: 7,
+        ..EngineConfig::default()
+    });
+    let (tx, rx) = mpsc::channel();
+    // One slow session occupies the worker, one fills the queue; the rest
+    // must bounce immediately with Busy instead of growing the queue.
+    engine.try_submit("stall-ms=300".into(), clean_v1(), tx.clone());
+    let mut busy = 0u64;
+    for _ in 0..8 {
+        engine.try_submit(String::new(), clean_v1(), tx.clone());
+    }
+    drop(tx);
+    let mut done = 0;
+    while let Ok(resp) = rx.recv_timeout(Duration::from_secs(60)) {
+        if resp.status == Status::Busy {
+            busy += 1;
+            assert!(
+                resp.payload.contains("retry-after-ms: 7"),
+                "payload: {}",
+                resp.payload
+            );
+        }
+        done += 1;
+    }
+    assert_eq!(done, 9, "every submission is answered");
+    assert!(busy >= 6, "expected most submissions to bounce, got {busy}");
+    assert_eq!(engine.totals().busy, busy);
+    engine.drain();
+}
+
+#[test]
+fn injected_session_panics_poison_only_their_session() {
+    let _g = lock();
+    let engine = small_engine();
+    // Session ids are engine-global and monotonic; period 1 panics every
+    // session while the plan is installed.
+    let plan = FaultPlan {
+        serve_panic_session: Some(1),
+        ..FaultPlan::default()
+    };
+    let poisoned = {
+        let _plan = ScopedPlan::install(plan);
+        session(&engine, "", clean_v1())
+    };
+    assert_eq!(poisoned.status, Status::Corrupt);
+    assert!(
+        poisoned.payload.contains("kind: poisoned"),
+        "payload: {}",
+        poisoned.payload
+    );
+    assert!(poisoned.payload.contains("injected serve session panic"));
+    // The worker survived: the very next session (plan dropped) is clean.
+    let r = session(&engine, "", clean_v1());
+    assert_eq!(r.status, Status::Ok);
+    let t = engine.totals();
+    assert_eq!(t.poisoned, 1);
+    assert_eq!(t.ok, 1);
+    engine.drain();
+}
+
+#[test]
+fn draining_engine_answers_bye() {
+    let _g = lock();
+    let engine = small_engine();
+    engine.drain();
+    let (tx, rx) = mpsc::channel();
+    engine.try_submit(String::new(), clean_v1(), tx);
+    let resp = rx.recv_timeout(Duration::from_secs(10)).expect("reply");
+    assert_eq!(resp.status, Status::Bye);
+}
+
+/// `Write` sink shareable with the writer thread.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn decode_all(bytes: &[u8]) -> Vec<Response> {
+    let mut r = bytes;
+    let mut out = Vec::new();
+    while let Some(resp) = protocol::read_response(&mut r).expect("well-formed response stream") {
+        out.push(resp);
+    }
+    out
+}
+
+#[test]
+fn stdio_transport_speaks_the_full_protocol() {
+    let _g = lock();
+    let engine = Arc::new(Engine::new(EngineConfig {
+        session_workers: 1, // one worker → replies in submission order
+        queue_depth: 16,
+        pool_workers: 1,
+        ..EngineConfig::default()
+    }));
+    let mut frames = Vec::new();
+    protocol::write_request(&mut frames, &Request::Ping).expect("frame");
+    protocol::write_request(
+        &mut frames,
+        &Request::Detect {
+            opts: String::new(),
+            trace: clean_v1(),
+        },
+    )
+    .expect("frame");
+    protocol::write_request(
+        &mut frames,
+        &Request::Detect {
+            opts: "shards=3".into(),
+            trace: RACY_V1.as_bytes().to_vec(),
+        },
+    )
+    .expect("frame");
+    protocol::write_request(&mut frames, &Request::Stats).expect("frame");
+    protocol::write_request(&mut frames, &Request::Shutdown).expect("frame");
+    let sink = SharedBuf::default();
+    let shutdown = run_frames(&engine, &frames[..], sink.clone(), false).expect("serve the stream");
+    assert!(shutdown, "SHUTDOWN frame reported");
+    let out = sink.0.lock().unwrap_or_else(|e| e.into_inner());
+    let resps = decode_all(&out);
+    // Ping and stats are answered inline by the reader, detects by
+    // completion, so only the endpoints are order-deterministic: the ping
+    // reply leads, Bye trails (drain flushes every session reply first).
+    assert_eq!(resps.len(), 5, "payloads: {:?}", resps);
+    assert!(resps[0].payload.contains("pong"));
+    assert_eq!(resps.last().map(|r| r.status), Some(Status::Bye));
+    let find = |needle: &str| {
+        resps
+            .iter()
+            .find(|r| r.payload.contains(needle))
+            .unwrap_or_else(|| panic!("no response containing {needle:?}: {resps:?}"))
+            .clone()
+    };
+    assert_eq!(find("kind: ok\nraces: 0").status, Status::Ok);
+    let racy = find("w 0x10");
+    assert_eq!(racy.status, Status::Racy);
+    assert!(racy.session > 0, "detect replies carry their session id");
+    assert_eq!(find("sessions: ").status, Status::Ok);
+    assert!(engine.is_draining(), "shutdown frame drained the engine");
+}
+
+#[test]
+fn malformed_frame_answers_usage_and_abandons_the_stream() {
+    let _g = lock();
+    let engine = Arc::new(small_engine());
+    // A DETECT frame truncated mid-payload.
+    let mut frames = Vec::new();
+    protocol::write_request(
+        &mut frames,
+        &Request::Detect {
+            opts: String::new(),
+            trace: clean_v1(),
+        },
+    )
+    .expect("frame");
+    frames.truncate(frames.len() - 10);
+    let sink = SharedBuf::default();
+    let shutdown = run_frames(&engine, &frames[..], sink.clone(), false).expect("serve");
+    assert!(!shutdown);
+    let out = sink.0.lock().unwrap_or_else(|e| e.into_inner());
+    let resps = decode_all(&out);
+    assert_eq!(resps.len(), 1);
+    assert_eq!(resps[0].status, Status::Usage);
+    assert!(
+        resps[0].payload.contains("truncated frame"),
+        "payload: {}",
+        resps[0].payload
+    );
+    engine.drain();
+}
+
+#[test]
+fn session_opts_reject_is_stable_through_the_wire() {
+    // Round-trip guard: the opts grammar the server parses is the one the
+    // client helpers document.
+    let spec = "shards=2,timeout-ms=50,max-shadow-mb=8,max-intervals=1000,stall-ms=0";
+    let o = SessionOpts::parse(spec).expect("parse");
+    assert_eq!(o.shards, Some(2));
+    assert_eq!(o.timeout_ms, Some(50));
+    let e = SessionOpts::parse("timeout-ms=soon").expect_err("reject");
+    assert_eq!(e.token, "timeout-ms=soon");
+}

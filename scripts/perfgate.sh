@@ -46,6 +46,9 @@ echo "== batch scalability study (sequential vs K-sharded vs streamed detection)
 cargo run --release -q -p stint-bench --bin batch -- "${ARGS[@]}"
 cargo run --release -q -p stint-bench --bin jsoncheck -- batch BENCH_batch.json
 
+echo "== serve smoke (daemon transports, backpressure, chaos soak)"
+scripts/serve_smoke.sh
+
 echo "== perfgate"
 if [ "$DIFF" = 1 ]; then
     # Leave the committed JSON in place so perfgate prints the comparison,

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Serve-mode smoke test: drive the stint-serve daemon end to end on the
+# real binaries, over both transports, and prove the robustness claims the
+# unit suite makes in-process:
+#
+#  * a framed stdio conversation (ping, clean v1, clean v2, racy, corrupt,
+#    timed-out, stats, shutdown) answers every session with the right
+#    status and ends with a clean `bye`;
+#  * a saturated daemon (1 worker, queue depth 1) answers `busy` with a
+#    retry-after hint instead of queueing without bound, and still serves
+#    the sessions it admitted;
+#  * the unix-socket transport round-trips: a one-shot `send` client gets
+#    the 0-4 exit-code contract (clean 0, racy 1), and `send --shutdown`
+#    drains the daemon to a clean exit;
+#  * a 500-session chaos soak (mixed clean/racy/corrupt/usage/timeout
+#    traffic under an injected-panic fault plan, obs on) finishes with
+#    zero lost races, balanced counters, drained gauges, and a
+#    `BENCH_serve.json` that `jsoncheck serve` accepts.
+#
+# Usage: scripts/serve_smoke.sh [bench] (default: sort)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-sort}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cargo build --release -q -p stint-cli --bin stint-cli
+cargo build --release -q -p stint-serve --bin stint-serve
+cargo build --release -q -p stint-bench --bin serve_load --bin jsoncheck
+SERVE=./target/release/stint-serve
+
+echo "== corpus: record $BENCH (v1 + compressed v2), handcraft racy + corrupt"
+./target/release/stint-cli trace record "$BENCH" "$OUT/clean.trace" >/dev/null
+./target/release/stint-cli trace record "$BENCH" "$OUT/clean.ctrace" --compress >/dev/null
+printf 'STINT-TRACE v1\nstrands 3\n0 0\n1 2\n2 1\nevents 4\ns 1 0x40 4\ne 1 0x0 0\ns 2 0x40 4\ne 2 0x0 0\n' \
+    >"$OUT/racy.trace"
+head -c "$(($(wc -c <"$OUT/clean.trace") / 2))" "$OUT/clean.trace" >"$OUT/bad.trace"
+
+echo "== stdio transport: one framed conversation, every status"
+{
+    "$SERVE" frame ping
+    "$SERVE" frame detect "$OUT/clean.trace"
+    "$SERVE" frame detect --opts shards=2 "$OUT/clean.ctrace"
+    "$SERVE" frame detect "$OUT/racy.trace"
+    "$SERVE" frame detect "$OUT/bad.trace"
+    "$SERVE" frame detect --opts frobnicate "$OUT/clean.trace"
+    "$SERVE" frame detect --opts timeout-ms=0 "$OUT/clean.ctrace"
+    "$SERVE" frame stats
+    "$SERVE" frame shutdown
+} >"$OUT/conv.frames"
+"$SERVE" serve --stdio <"$OUT/conv.frames" >"$OUT/conv.resp"
+"$SERVE" decode <"$OUT/conv.resp" >"$OUT/conv.txt"
+# STATS is answered inline by the reader while detect sessions complete
+# asynchronously, so assert the snapshot's shape, not its mid-stream counts.
+for want in "kind: pong" ": racy" ": corrupt" ": usage" ": degraded" \
+    "kind: stats" "session-workers: 2" "queued: " ": bye"; do
+    grep -q "$want" "$OUT/conv.txt" \
+        || { echo "FAIL: stdio conversation missing \"$want\""; cat "$OUT/conv.txt"; exit 1; }
+done
+[ "$(grep -c -- "-- session .*: ok" "$OUT/conv.txt")" -ge 2 ] \
+    || { echo "FAIL: expected two clean sessions to answer ok"; cat "$OUT/conv.txt"; exit 1; }
+echo "ok: ping/ok/racy/corrupt/usage/degraded/stats/bye all observed"
+
+echo "== backpressure: 1 worker, queue depth 1 => busy with retry-after"
+for _ in 1 2 3 4 5 6; do
+    "$SERVE" frame detect --opts stall-ms=100 "$OUT/racy.trace"
+done >"$OUT/storm.frames"
+"$SERVE" serve --stdio --session-workers 1 --queue-depth 1 \
+    <"$OUT/storm.frames" >"$OUT/storm.resp"
+"$SERVE" decode <"$OUT/storm.resp" >"$OUT/storm.txt"
+grep -q "retry-after-ms" "$OUT/storm.txt" \
+    || { echo "FAIL: saturated daemon never answered busy"; cat "$OUT/storm.txt"; exit 1; }
+grep -q ": racy" "$OUT/storm.txt" \
+    || { echo "FAIL: admitted sessions were not served"; cat "$OUT/storm.txt"; exit 1; }
+echo "ok: saturation answers busy (retry-after hint) and admitted work completes"
+
+echo "== unix-socket transport: daemon, one-shot client, graceful shutdown"
+SOCK="$OUT/serve.sock"
+"$SERVE" serve --socket "$SOCK" --idle-timeout-ms 5000 2>"$OUT/daemon.err" &
+DAEMON=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || { echo "FAIL: daemon never bound $SOCK"; cat "$OUT/daemon.err"; exit 1; }
+"$SERVE" send --socket "$SOCK" --ping "$OUT/clean.trace" >"$OUT/send1.txt"
+grep -q ": ok" "$OUT/send1.txt" \
+    || { echo "FAIL: clean trace over socket not ok"; cat "$OUT/send1.txt"; exit 1; }
+set +e
+"$SERVE" send --socket "$SOCK" "$OUT/racy.trace" >"$OUT/send2.txt"
+RC=$?
+set -e
+[ "$RC" = 1 ] || { echo "FAIL: racy trace exited $RC, expected 1"; cat "$OUT/send2.txt"; exit 1; }
+"$SERVE" send --socket "$SOCK" --shutdown >"$OUT/send3.txt"
+grep -q ": bye" "$OUT/send3.txt" \
+    || { echo "FAIL: shutdown did not answer bye"; cat "$OUT/send3.txt"; exit 1; }
+wait "$DAEMON" \
+    || { echo "FAIL: daemon exited nonzero after shutdown"; cat "$OUT/daemon.err"; exit 1; }
+[ ! -S "$SOCK" ] || { echo "FAIL: socket file not removed on shutdown"; exit 1; }
+echo "ok: socket round trip (exit 0/1 contract) and clean drain"
+
+# The soak refreshes the repo-root BENCH_serve.json that `perfgate --check`
+# validates, the same way the batch study refreshes BENCH_batch.json.
+echo "== chaos soak: 500 mixed sessions under injected panics, obs on"
+STINT_FAULTS="serve-panic-session=10,seed=7" STINT_OBS=full \
+    ./target/release/serve_load --sessions 500 --out BENCH_serve.json
+./target/release/jsoncheck serve BENCH_serve.json
+echo "ok: soak survived (no lost races, gauges drained) and report validates"
+
+echo "serve smoke passed"

@@ -501,3 +501,90 @@ fn combined_faults_and_budgets_stay_structured() {
         Err(e) => panic!("combined faults must not abort: {e}"),
     }
 }
+
+/// Adversarial short reads (satellite): zero-length input, EOF straight
+/// after the magic, EOF mid-header, and EOF mid-varint must all surface as
+/// a structured `CorruptTrace` from the ingest seams — never a panic, and
+/// never a busy-loop on a reader that stops advancing. The v2 sweep cuts
+/// the stream densely through the magic + header region (where the varint
+/// framing lives) and at sampled depths through the chunk frames.
+#[test]
+fn short_reads_are_structured_corruption() {
+    let _g = lock();
+    use stint_repro::batchdet::{batch_detect_chunked, load_trace, BatchConfig};
+    use stint_repro::PortableTrace;
+
+    fn assert_corrupt(e: DetectorError, what: &str) {
+        assert!(
+            matches!(e, DetectorError::CorruptTrace { .. }),
+            "{what}: {e}"
+        );
+        assert_eq!(e.exit_code(), 4, "{what}");
+    }
+
+    // Zero-length input on both ingest seams.
+    assert_corrupt(
+        load_trace(&[][..]).expect_err("empty input must be rejected"),
+        "empty load_trace",
+    );
+    let cfg = BatchConfig::default();
+    assert_corrupt(
+        batch_detect_chunked(&[][..], &cfg).expect_err("empty input must be rejected"),
+        "empty chunked",
+    );
+
+    // EOF immediately after each magic line: v1 has no strand header yet,
+    // v2 dies inside the first framing varint.
+    for magic in ["STINT-TRACE v1\n", "STINT-TRACE v2\n", "STINT-TRACE v"] {
+        assert_corrupt(
+            load_trace(magic.as_bytes()).expect_err("bare magic must be rejected"),
+            magic,
+        );
+    }
+
+    let mut w = Workload::by_name("sort", Scale::Test);
+    let pt = stint_repro::PortableTrace::record(&mut w);
+    let mut v2 = Vec::new();
+    pt.save_compressed(&mut v2, 64).expect("compressed save");
+
+    // Dense sweep through magic + header varints + header payload, then
+    // sampled cuts through the chunk frames: every prefix must come back
+    // as a plain parse error from `load_any` (no panic, no hang) …
+    let dense = 0..v2.len().min(96);
+    let sampled = (1..64).map(|i| i * v2.len() / 64);
+    for cut in dense.chain(sampled).filter(|&c| c < v2.len()) {
+        let e = PortableTrace::load_any(&v2[..cut]).expect_err("short read must be rejected");
+        assert_eq!(e.to_string(), e.to_string(), "cut {cut}"); // error formats without panicking
+    }
+    // … and the batch seam wraps a representative subset as `CorruptTrace`,
+    // including a cut landing mid-varint in the chunk framing (one byte
+    // past a quarter boundary is inside a frame varint for this corpus).
+    for cut in [15, 16, 17, v2.len() / 4 + 1, v2.len() - 1] {
+        assert_corrupt(
+            batch_detect_chunked(&v2[..cut], &cfg).expect_err("short read must be rejected"),
+            &format!("v2 cut {cut}"),
+        );
+    }
+
+    // A reader that dribbles one byte per syscall must not busy-loop or
+    // change the verdict: the pristine stream still parses.
+    struct OneByte<'a>(&'a [u8]);
+    impl std::io::Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = 1.min(self.0.len()).min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+    let dribble = std::io::BufReader::with_capacity(1, OneByte(&v2));
+    let slow = PortableTrace::load_any(dribble).expect("dribbled pristine stream parses");
+    assert_eq!(slow.trace.events.len(), pt.trace.events.len());
+    // And a dribbled *truncated* stream is still a structured rejection.
+    let cut = v2.len() / 2;
+    let dribble = std::io::BufReader::with_capacity(1, OneByte(&v2[..cut]));
+    assert_corrupt(
+        load_trace(dribble).expect_err("dribbled short read must be rejected"),
+        "dribbled truncation",
+    );
+}

@@ -153,6 +153,101 @@ fn metrics_cover_every_layer_and_agree_with_stats() {
     assert!(trace.contains("\"name\": \"stint.flush\""), "{trace}");
     assert!(trace.contains("\"name\": \"batchdet.shard\""), "{trace}");
     assert!(trace.contains("\"name\": \"batchdet.merge\""), "{trace}");
+
+    // serve: a multi-session engine run covering every verdict, including a
+    // timed-out and a poisoned session. The per-verdict counters must sum
+    // to the admitted total, and the serve gauges must reconcile to zero
+    // after the drain — the timed-out and poisoned sessions included,
+    // because the gauges move outside the engine's unwind boundary.
+    {
+        use std::sync::mpsc;
+        use stint_repro::serve::{Engine, EngineConfig, Status};
+
+        let racy_v1 = "STINT-TRACE v1\nstrands 3\n0 0\n1 2\n2 1\nevents 4\n\
+                       s 1 0x40 4\ne 1 0x0 0\ns 2 0x40 4\ne 2 0x0 0\n";
+        let mut clean_v1 = Vec::new();
+        pt.save(&mut clean_v1).expect("save v1");
+
+        let engine = Engine::new(EngineConfig {
+            session_workers: 2,
+            queue_depth: 16,
+            pool_workers: 2,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let mut expect = std::collections::HashMap::new();
+        for (opts, trace, want) in [
+            ("", clean_v1.clone(), Status::Ok),
+            ("shards=2", cbuf.clone(), Status::Ok),
+            ("", racy_v1.as_bytes().to_vec(), Status::Racy),
+            ("", clean_v1[..clean_v1.len() / 2].to_vec(), Status::Corrupt),
+            ("frobnicate", clean_v1.clone(), Status::Usage),
+            ("timeout-ms=0", cbuf.clone(), Status::Degraded),
+        ] {
+            let id = engine.try_submit(opts.into(), trace, tx.clone());
+            expect.insert(id, want);
+        }
+        for _ in 0..expect.len() {
+            let resp = rx
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .expect("session reply");
+            assert_eq!(Some(&resp.status), expect.get(&resp.session), "{resp:?}");
+        }
+        // Poisoned session, alone while the chaos plan is installed so no
+        // concurrent neighbor trips the knob.
+        {
+            let _plan = stint_repro::ScopedPlan::install(stint_repro::FaultPlan {
+                serve_panic_session: Some(1),
+                ..Default::default()
+            });
+            let id = engine.try_submit(String::new(), clean_v1.clone(), tx.clone());
+            let resp = rx
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .expect("poisoned session reply");
+            assert_eq!(resp.session, id);
+            assert_eq!(resp.status, Status::Corrupt);
+            assert!(resp.payload.contains("kind: poisoned"), "{}", resp.payload);
+        }
+        engine.drain();
+
+        // Counters: every verdict ticked once (Ok twice), and the
+        // per-verdict counters sum exactly to the admitted total.
+        let m = obs::metrics_json();
+        let verdicts = [
+            ("serve.sessions.ok", 2),
+            ("serve.sessions.racy", 1),
+            ("serve.sessions.usage", 1),
+            ("serve.sessions.degraded", 1),
+            ("serve.sessions.corrupt", 1),
+            ("serve.sessions.poisoned", 1),
+        ];
+        for (name, want) in verdicts {
+            assert_eq!(counter(&m, name), Some(want), "{name}:\n{m}");
+        }
+        let total: u64 = verdicts.iter().map(|(_, n)| n).sum();
+        assert_eq!(counter(&m, "serve.sessions"), Some(total), "{m}");
+        // Never-ticked counters are not exported at all: no admission was
+        // ever bounced, so `serve.busy` must be absent (or explicitly 0).
+        assert_eq!(counter(&m, "serve.busy").unwrap_or(0), 0, "{m}");
+
+        // Gauges: both serve gauges saw traffic and reconciled to zero.
+        for name in ["serve.queue_bytes", "serve.inflight"] {
+            let g = obs::gauges_snapshot()
+                .into_iter()
+                .find(|(n, _, _)| *n == name)
+                .unwrap_or_else(|| panic!("{name} gauge never registered"));
+            assert_eq!(g.1, 0, "{name} did not reconcile to zero after drain");
+            assert!(g.2 > 0, "{name} watermark never rose above zero");
+        }
+        drop(engine);
+    }
+
+    // End state: every live-resource owner is gone, so every registered
+    // gauge — shard bytes, ingest buffers, pool bookkeeping, serve queue
+    // and in-flight — must read exactly zero.
+    for (name, cur, _) in obs::gauges_snapshot() {
+        assert_eq!(cur, 0, "gauge {name} nonzero after all owners dropped");
+    }
 }
 
 fn counter_sum(a: &stint_repro::Outcome, b: &stint_repro::Outcome, name: &str) -> u64 {
