@@ -24,11 +24,23 @@
 //!                                   the streaming-ingest cell, plus the
 //!                                   hw_threads-stamped headline geomean;
 //!                                   a stale v1 report exits 2
-//! jsoncheck serve SERVE             SERVE must be a stint-bench-serve-v1
+//! jsoncheck serve SERVE             SERVE must be a stint-bench-serve-v2
 //!                                   load study: per-status results summing
 //!                                   to the session count, ordered latency
 //!                                   percentiles, positive throughput, zero
-//!                                   lost races, and gauges drained to zero
+//!                                   lost races, gauges drained to zero,
+//!                                   obs-off phase inert, journal clean,
+//!                                   daemon/driver latency agreement;
+//!                                   a stale v1 report exits 2
+//! jsoncheck prom FILE               FILE must be a well-formed Prometheus
+//!                                   text exposition: every sample family
+//!                                   preceded by a # TYPE line, numeric
+//!                                   values, histogram buckets cumulative
+//!                                   with le="+Inf" equal to _count
+//! jsoncheck journal FILE            FILE must be a stint-journal-v1
+//!                                   session journal: magic line, clean
+//!                                   varint+FNV-1a framing, every record a
+//!                                   decodable session event
 //! ```
 //!
 //! Exit codes: 0 = all checks passed, 1 = a check failed, 2 = usage error.
@@ -307,7 +319,17 @@ fn batch(path: &str) {
 /// have reconciled to zero after the drain.
 fn serve(path: &str) {
     let doc = load(path);
-    schema(&doc, path, "stint-bench-serve-v1");
+    let got = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    if got == "stint-bench-serve-v1" {
+        eprintln!(
+            "FAIL: {path}: stale stint-bench-serve-v1 report — the load study \
+             now emits stint-bench-serve-v2 (two-phase obs overhead + daemon \
+             latency cross-check + journal replay); regenerate with the \
+             `serve_load` binary"
+        );
+        std::process::exit(2);
+    }
+    schema(&doc, path, "stint-bench-serve-v2");
     let sessions = u64_field(&doc, "sessions", path);
     if sessions == 0 {
         fail(format!("{path}: zero sessions"));
@@ -353,16 +375,160 @@ fn serve(path: &str) {
     if f64_field("sessions_per_sec") <= 0.0 {
         fail(format!("{path}: non-positive sessions_per_sec"));
     }
+    if f64_field("sessions_per_sec_obs_off") <= 0.0 {
+        fail(format!("{path}: non-positive sessions_per_sec_obs_off"));
+    }
+    if f64_field("sessions_per_sec_obs_full") <= 0.0 {
+        fail(format!("{path}: non-positive sessions_per_sec_obs_full"));
+    }
+    if f64_field("obs_overhead_ratio") <= 0.0 {
+        fail(format!("{path}: non-positive obs_overhead_ratio"));
+    }
     if f64_field("wall_secs") <= 0.0 {
         fail(format!("{path}: non-positive wall_secs"));
+    }
+    // The daemon's own histogram estimates ride along; they must at least
+    // be ordered like percentiles. The agreement *gate* is perfgate's.
+    let dp50 = f64_field("daemon_p50_ms");
+    let dp99 = f64_field("daemon_p99_ms");
+    if dp50 < 0.0 || dp99 < dp50 {
+        fail(format!(
+            "{path}: bad daemon latency percentiles p50={dp50} p99={dp99}"
+        ));
+    }
+    f64_field("latency_p50_ratio");
+    f64_field("latency_p99_ratio");
+    for key in [
+        "latency_agree",
+        "obs_off_registry_untouched",
+        "flight_idle_obs_off",
+        "journal_clean",
+    ] {
+        if doc.get(key).and_then(Value::as_bool).is_none() {
+            fail(format!("{path}: missing boolean field {key:?}"));
+        }
+    }
+    if u64_field(&doc, "journal_records", path) == 0 {
+        fail(format!(
+            "{path}: zero journal_records — the obs-full phase must journal"
+        ));
     }
     if doc.get("gauges_zero_after_drain").and_then(Value::as_bool) != Some(true) {
         fail(format!("{path}: gauges_zero_after_drain is not true"));
     }
     println!(
         "ok: {sessions} sessions, statuses sum, no lost races, \
-         p50 {p50:.2}ms <= p99 {p99:.2}ms, gauges drained"
+         p50 {p50:.2}ms <= p99 {p99:.2}ms, two-phase obs fields present, \
+         journal clean, gauges drained"
     );
+}
+
+/// Well-formedness of a Prometheus text exposition: every sample must
+/// belong to a family announced by a `# TYPE` line, every value must be
+/// numeric, and histogram bucket counts must be cumulative (monotone in
+/// `le`, with the `+Inf` bucket equal to `_count`).
+fn prom(path: &str) {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let mut types: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    // family → (per-family bucket trail, +Inf value, _count value)
+    let mut buckets: std::collections::HashMap<String, (u64, Option<u64>, Option<u64>)> =
+        std::collections::HashMap::new();
+    let mut samples = 0usize;
+    for (ln, line) in content.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(ty)) = (it.next(), it.next()) else {
+                fail(format!("{path}:{ln}: malformed # TYPE line"));
+            };
+            if !matches!(
+                ty,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                fail(format!("{path}:{ln}: unknown metric type {ty:?}"));
+            }
+            types.insert(name.to_string(), ty.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment
+        }
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| fail(format!("{path}:{ln}: sample line without a value")));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| fail(format!("{path}:{ln}: non-numeric value {value:?}")));
+        let name = name_and_labels.split(['{', ' ']).next().unwrap_or_default();
+        // A histogram's samples are <f>_bucket/<f>_sum/<f>_count under the
+        // family's single # TYPE line.
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| types.contains_key(*f))
+            .unwrap_or(name);
+        let Some(ty) = types.get(family) else {
+            fail(format!(
+                "{path}:{ln}: sample {name:?} has no preceding # TYPE line"
+            ));
+        };
+        samples += 1;
+        if ty == "histogram" {
+            let entry = buckets.entry(family.to_string()).or_insert((0, None, None));
+            if name.ends_with("_bucket") {
+                let v = value as u64;
+                if value < 0.0 || value.fract() != 0.0 {
+                    fail(format!("{path}:{ln}: non-integral bucket count {value}"));
+                }
+                if v < entry.0 {
+                    fail(format!(
+                        "{path}:{ln}: bucket counts not cumulative ({v} after {})",
+                        entry.0
+                    ));
+                }
+                entry.0 = v;
+                if name_and_labels.contains("le=\"+Inf\"") {
+                    entry.1 = Some(v);
+                }
+            } else if name.ends_with("_count") {
+                entry.2 = Some(value as u64);
+            }
+        }
+    }
+    if samples == 0 {
+        fail(format!("{path}: no samples"));
+    }
+    for (family, (_, inf, count)) in &buckets {
+        if inf.is_none() {
+            fail(format!("{path}: histogram {family} has no +Inf bucket"));
+        }
+        if inf != count {
+            fail(format!(
+                "{path}: histogram {family}: +Inf bucket {inf:?} != _count {count:?}"
+            ));
+        }
+    }
+    println!(
+        "ok: {samples} samples across {} typed families, {} histogram(s) cumulative",
+        types.len(),
+        buckets.len()
+    );
+}
+
+/// Framing + payload validation of a `stint-journal-v1` session journal:
+/// delegates the varint+FNV-1a framing to the serve-tier replayer and
+/// requires every record to decode as a session event.
+fn journal(path: &str) {
+    let f = std::fs::File::open(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    match stint_serve::journal::validate_stream(std::io::BufReader::new(f)) {
+        Ok(n) => println!("ok: {n} session events, framing and checksums clean"),
+        Err(e) => fail(format!("{path}: {e}")),
+    }
 }
 
 fn main() {
@@ -380,13 +546,17 @@ fn main() {
         }
         Some("batch") if argv.len() == 2 => batch(&argv[1]),
         Some("serve") if argv.len() == 2 => serve(&argv[1]),
+        Some("prom") if argv.len() == 2 => prom(&argv[1]),
+        Some("journal") if argv.len() == 2 => journal(&argv[1]),
         _ => {
             eprintln!(
                 "usage: jsoncheck validate FILE...\n       \
                  jsoncheck agree STATS METRICS\n       \
                  jsoncheck memseries SERIES [STATS]\n       \
                  jsoncheck batch BATCH\n       \
-                 jsoncheck serve SERVE"
+                 jsoncheck serve SERVE\n       \
+                 jsoncheck prom FILE\n       \
+                 jsoncheck journal FILE"
             );
             std::process::exit(2);
         }

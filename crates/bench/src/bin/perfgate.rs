@@ -416,11 +416,16 @@ fn check_batch_report(path: &str) {
     }
 }
 
-/// Structural gate for `BENCH_serve.json` (the `serve_load` service study):
-/// per-status results summing to the session count, ordered latency
-/// percentiles, positive throughput, zero lost races, and every obs gauge
-/// drained to zero. Absent file = the load study has not run; that is only
-/// a warning, like the other reports.
+/// Structural gate for `BENCH_serve.json` (the `serve_load` service study,
+/// schema `stint-bench-serve-v2`): per-status results summing to the
+/// session count, ordered latency percentiles, positive throughput, zero
+/// lost races, every obs gauge drained to zero — plus the telemetry-plane
+/// gates: the obs-off phase must have left the registry untouched and the
+/// flight recorder empty, the journal replay must be clean, the daemon's
+/// own latency histograms must agree with the driver, and the obs-full
+/// soak must stay within 10% of obs-off throughput. Absent file = the
+/// load study has not run; that is only a warning, like the other
+/// reports.
 fn check_serve_report(path: &str) {
     let Ok(content) = std::fs::read_to_string(path) else {
         eprintln!("warning: no {path} (run the `serve_load` binary to gate the service study)");
@@ -431,8 +436,15 @@ fn check_serve_report(path: &str) {
         std::process::exit(1);
     };
     let doc = stint_bench::json::parse(&content).unwrap_or_else(|e| fail(e));
-    if doc.get("schema").and_then(|s| s.as_str()) != Some("stint-bench-serve-v1") {
-        fail("not a stint-bench-serve-v1 document".into());
+    if doc.get("schema").and_then(|s| s.as_str()) == Some("stint-bench-serve-v1") {
+        fail(
+            "stale stint-bench-serve-v1 report — regenerate with the current \
+             `serve_load` binary (two-phase obs study)"
+                .into(),
+        );
+    }
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("stint-bench-serve-v2") {
+        fail("not a stint-bench-serve-v2 document".into());
     }
     let sessions = doc
         .get("sessions")
@@ -478,9 +490,35 @@ fn check_serve_report(path: &str) {
     if doc.get("gauges_zero_after_drain").and_then(|v| v.as_bool()) != Some(true) {
         fail("gauges_zero_after_drain is not true".into());
     }
+    // The telemetry-plane gates.
+    for key in [
+        "obs_off_registry_untouched",
+        "flight_idle_obs_off",
+        "journal_clean",
+        "latency_agree",
+    ] {
+        if doc.get(key).and_then(|v| v.as_bool()) != Some(true) {
+            fail(format!("{key} is not true"));
+        }
+    }
+    if doc.get("journal_records").and_then(|v| v.as_u64()) == Some(0) {
+        fail("zero journal_records in the obs-full phase".into());
+    }
+    let overhead = doc
+        .get("obs_overhead_ratio")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail("missing obs_overhead_ratio".into()));
+    if overhead > 1.10 {
+        fail(format!(
+            "obs-full soak is {:.1}% slower than obs-off (limit 10%)",
+            (overhead - 1.0) * 100.0
+        ));
+    }
     println!(
         "check passed: serve study — {sessions} sessions, statuses sum, no lost \
-         races, p50 {p50:.2}ms <= p99 {p99:.2}ms, {sps:.0}/s, gauges drained"
+         races, p50 {p50:.2}ms <= p99 {p99:.2}ms, {sps:.0}/s, obs overhead \
+         {:+.1}% (limit +10%), daemon latency agrees, journal clean, gauges drained",
+        (overhead - 1.0) * 100.0
     );
 }
 

@@ -45,6 +45,7 @@
 
 pub mod comprts;
 pub mod ctrace;
+pub mod journal;
 pub mod report;
 pub mod stats;
 pub mod stint_det;

@@ -599,6 +599,22 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of all [`BUCKETS`] bucket counts (index = log2 bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of the recorded samples
+    /// from the log2 buckets. See [`quantile_from_buckets`] for the
+    /// estimation rule; returns 0.0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        quantile_from_buckets(&counts, q)
+    }
+
     #[cold]
     fn register_slow(&'static self) {
         let mut reg = registry();
@@ -606,6 +622,76 @@ impl Histogram {
             reg.histograms.push(self);
         }
     }
+}
+
+/// Estimate the `q`-quantile from an array of log2 bucket counts (index
+/// layout of [`Histogram`]: bucket 0 holds the value 0, bucket `i` holds
+/// `[2^(i-1), 2^i)`). The target rank is `ceil(q * count)` clamped to
+/// `[1, count]`; within the bucket holding that rank the estimate
+/// interpolates linearly between the bucket bounds. Empty input → 0.0.
+///
+/// Factored out of [`Histogram::quantile`] so callers holding *merged*
+/// bucket arrays (e.g. the serve driver summing per-status latency
+/// histograms) can run the same estimator.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut before = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if before + n >= target {
+            if i == 0 {
+                return 0.0;
+            }
+            let lo = (1u128 << (i - 1)) as f64;
+            let hi = (1u128 << i) as f64;
+            // Midpoint-rank interpolation keeps the estimate strictly
+            // inside the half-open bucket even at q = 1.0.
+            let frac = ((target - before) as f64 - 0.5) / n as f64;
+            return lo + frac * (hi - lo);
+        }
+        before += n;
+    }
+    // Unreachable: target ≤ total and the loop covers every sample.
+    0.0
+}
+
+/// One histogram in a [`histograms_snapshot`]: name, sample count, sample
+/// sum, and all [`BUCKETS`] bucket counts (index = log2 bucket).
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+/// Snapshot every registered histogram, sorted by name. Empty — without
+/// initializing the registry — when nothing has registered (in particular
+/// whenever observability was never enabled).
+pub fn histograms_snapshot() -> Vec<HistSnapshot> {
+    if REGISTRY.get().is_none() {
+        return Vec::new();
+    }
+    let reg = registry();
+    let mut rows: Vec<HistSnapshot> = reg
+        .histograms
+        .iter()
+        .map(|h| HistSnapshot {
+            name: h.name,
+            count: h.count(),
+            sum: h.sum(),
+            buckets: h.bucket_counts(),
+        })
+        .collect();
+    rows.sort_by_key(|s| s.name);
+    rows
 }
 
 // ---------------------------------------------------------------------------
@@ -837,6 +923,179 @@ pub mod sampler {
             // still `sample_now` manually.
             RUNNING.store(false, Ordering::Release);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Lock-free bounded ring buffer of fixed-size structured events — the
+/// daemon's black box. Writers claim a slot with one `fetch_add` on a
+/// global cursor and publish the record with a stamp protocol (stamp 0 =
+/// being written; stamp `i+1` = record `i` complete), so concurrent
+/// writers never block and a reader can always take a consistent snapshot:
+/// it re-reads each slot's stamp after the payload words and drops torn
+/// slots. The ring holds the most recent [`flight::CAP`] records; older
+/// ones are overwritten.
+///
+/// Recording is gated on [`is_enabled`] — one relaxed load, no record, no
+/// cursor movement while disabled — and keeps its own statics, so it never
+/// initializes the metrics registry.
+pub mod flight {
+    use super::*;
+
+    /// Ring capacity (power of two). The last `CAP` records survive.
+    pub const CAP: usize = 1024;
+
+    /// One decoded flight-recorder record.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct FlightEvent {
+        /// Nanoseconds since the recorder epoch (first enabled record).
+        pub t_ns: u64,
+        /// Session id the event belongs to (0 = daemon-level).
+        pub session: u32,
+        /// Event kind code — the *caller's* namespace (the serve crate
+        /// defines its lifecycle kinds); the recorder stores it opaquely.
+        pub kind: u16,
+        /// Status/verdict code, caller-defined.
+        pub status: u16,
+        /// One payload word (queue depth, latency ms, error code, …).
+        pub payload: u64,
+    }
+
+    struct Slot {
+        /// 0 = empty or mid-write; `i + 1` = holds record number `i`.
+        stamp: AtomicU64,
+        t_ns: AtomicU64,
+        /// `session << 32 | kind << 16 | status`.
+        meta: AtomicU64,
+        payload: AtomicU64,
+    }
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY: Slot = Slot {
+        stamp: AtomicU64::new(0),
+        t_ns: AtomicU64::new(0),
+        meta: AtomicU64::new(0),
+        payload: AtomicU64::new(0),
+    };
+    static SLOTS: [Slot; CAP] = [EMPTY; CAP];
+    /// Total records ever written (also the next record number).
+    static CURSOR: AtomicU64 = AtomicU64::new(0);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Record one event. No-op (one relaxed load) while disabled.
+    #[inline]
+    pub fn record(session: u32, kind: u16, status: u16, payload: u64) {
+        if !is_enabled() {
+            return;
+        }
+        let t_ns = epoch().elapsed().as_nanos() as u64;
+        let i = CURSOR.fetch_add(1, Ordering::Relaxed);
+        let slot = &SLOTS[(i as usize) & (CAP - 1)];
+        // Invalidate, write the words, then publish the new stamp; a
+        // reader that races sees stamp 0 or mismatched stamps and skips.
+        slot.stamp.store(0, Ordering::Release);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        let meta = ((session as u64) << 32) | ((kind as u64) << 16) | status as u64;
+        slot.meta.store(meta, Ordering::Relaxed);
+        slot.payload.store(payload, Ordering::Relaxed);
+        slot.stamp.store(i + 1, Ordering::Release);
+    }
+
+    /// Total records ever written (monotone; records beyond [`CAP`] ago
+    /// have been overwritten).
+    pub fn records_written() -> u64 {
+        CURSOR.load(Ordering::Relaxed)
+    }
+
+    /// Consistent snapshot of the surviving records, oldest first. Slots
+    /// being overwritten during the scan are skipped (torn-read check via
+    /// the stamp protocol), so a snapshot under concurrent writers returns
+    /// slightly fewer than [`CAP`] records rather than garbage.
+    pub fn snapshot() -> Vec<FlightEvent> {
+        let cursor = CURSOR.load(Ordering::Acquire);
+        let oldest = cursor.saturating_sub(CAP as u64);
+        let mut rows: Vec<(u64, FlightEvent)> = Vec::new();
+        for slot in &SLOTS {
+            let s1 = slot.stamp.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            let t_ns = slot.t_ns.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let payload = slot.payload.load(Ordering::Relaxed);
+            let s2 = slot.stamp.load(Ordering::Acquire);
+            let rec = s1 - 1;
+            if s1 != s2 || rec < oldest || rec >= cursor.max(s1) {
+                continue; // torn or stale slot
+            }
+            rows.push((
+                rec,
+                FlightEvent {
+                    t_ns,
+                    session: (meta >> 32) as u32,
+                    kind: ((meta >> 16) & 0xffff) as u16,
+                    status: (meta & 0xffff) as u16,
+                    payload,
+                },
+            ));
+        }
+        rows.sort_by_key(|(rec, _)| *rec);
+        rows.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Drop every record and rewind the cursor (test isolation / fresh
+    /// soak phases). Not linearizable against concurrent writers.
+    pub fn reset() {
+        for slot in &SLOTS {
+            slot.stamp.store(0, Ordering::Release);
+        }
+        CURSOR.store(0, Ordering::Release);
+    }
+
+    /// Dump the snapshot as JSON (`stint-flight-v1`):
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "stint-flight-v1",
+    ///   "records_written": 2048,
+    ///   "records": [
+    ///     { "t_ns": 12345, "session": 7, "kind": 2, "status": 0,
+    ///       "payload": 42 },
+    ///     ...
+    ///   ]
+    /// }
+    /// ```
+    pub fn write_json<W: Write>(mut w: W) -> std::io::Result<()> {
+        let records = snapshot();
+        writeln!(w, "{{")?;
+        writeln!(w, "  \"schema\": \"stint-flight-v1\",")?;
+        writeln!(w, "  \"records_written\": {},", records_written())?;
+        writeln!(w, "  \"records\": [")?;
+        for (i, r) in records.iter().enumerate() {
+            let comma = if i + 1 < records.len() { "," } else { "" };
+            writeln!(
+                w,
+                "    {{ \"t_ns\": {}, \"session\": {}, \"kind\": {}, \
+                 \"status\": {}, \"payload\": {} }}{comma}",
+                r.t_ns, r.session, r.kind, r.status, r.payload
+            )?;
+        }
+        writeln!(w, "  ]")?;
+        writeln!(w, "}}")
+    }
+
+    /// [`write_json`] into a `String`.
+    pub fn json() -> String {
+        let mut buf = Vec::new();
+        write_json(&mut buf).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("flight JSON is ASCII")
     }
 }
 
@@ -1107,6 +1366,104 @@ pub fn mem_series_json() -> String {
     let mut buf = Vec::new();
     write_mem_series_json(&mut buf).expect("writing to a Vec cannot fail");
     String::from_utf8(buf).expect("mem-series JSON is ASCII")
+}
+
+/// Sanitize a metric name for Prometheus exposition: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_` (so `serve.latency_ms.ok` →
+/// `serve_latency_ms_ok`).
+pub fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Serialize the registry in the Prometheus text exposition format
+/// (version 0.0.4): every metric is preceded by `# HELP` and `# TYPE`
+/// lines; counters (including late-bound named values) export as
+/// `counter`, gauges as two `gauge` families (`<name>` current and
+/// `<name>_hw` watermark), histograms as the native `histogram` type with
+/// cumulative `le` buckets on the log2 boundaries (`le="2^i - 1"` for
+/// bucket `i`, integer samples) closed by `le="+Inf"`, `_sum` and
+/// `_count`. Families are sorted by name, so output is deterministic for
+/// a deterministic run. Produces only the two header comment lines when
+/// the registry was never initialized.
+pub fn write_prometheus_text<W: Write>(mut w: W) -> std::io::Result<()> {
+    type HistRow = (&'static str, u64, u64, Vec<u64>);
+    let (counters, gauges, histograms) = {
+        if REGISTRY.get().is_none() {
+            (BTreeMap::new(), Vec::new(), Vec::new())
+        } else {
+            let reg = registry();
+            let mut counters: BTreeMap<&'static str, u64> = reg.named.clone();
+            for c in &reg.counters {
+                *counters.entry(c.name).or_insert(0) += c.get();
+            }
+            let mut gauges: Vec<(&'static str, u64, u64)> = reg
+                .gauges
+                .iter()
+                .map(|g| (g.name, g.get(), g.high_water()))
+                .collect();
+            gauges.sort_by_key(|(name, ..)| *name);
+            let mut histograms: Vec<HistRow> = reg
+                .histograms
+                .iter()
+                .map(|h| (h.name, h.count(), h.sum(), h.bucket_counts()))
+                .collect();
+            histograms.sort_by_key(|(name, ..)| *name);
+            (counters, gauges, histograms)
+        }
+    };
+    writeln!(w, "# stint-obs Prometheus exposition")?;
+    writeln!(
+        w,
+        "# (counters, gauges with _hw watermarks, log2 histograms)"
+    )?;
+    for (name, v) in &counters {
+        let p = prom_name(name);
+        writeln!(w, "# HELP {p} stint counter {name}")?;
+        writeln!(w, "# TYPE {p} counter")?;
+        writeln!(w, "{p} {v}")?;
+    }
+    for (name, cur, hw) in &gauges {
+        let p = prom_name(name);
+        writeln!(w, "# HELP {p} stint gauge {name}")?;
+        writeln!(w, "# TYPE {p} gauge")?;
+        writeln!(w, "{p} {cur}")?;
+        writeln!(w, "# HELP {p}_hw high watermark of {name}")?;
+        writeln!(w, "# TYPE {p}_hw gauge")?;
+        writeln!(w, "{p}_hw {hw}")?;
+    }
+    for (name, count, sum, buckets) in &histograms {
+        let p = prom_name(name);
+        writeln!(w, "# HELP {p} stint log2 histogram {name}")?;
+        writeln!(w, "# TYPE {p} histogram")?;
+        let mut cum = 0u64;
+        for (i, n) in buckets.iter().enumerate() {
+            cum += n;
+            if *n == 0 && i > 0 && i + 1 < buckets.len() {
+                continue; // keep output compact: first/last + non-empty
+            }
+            let le = (1u128 << i) - 1; // bucket i holds integers ≤ 2^i - 1
+            writeln!(w, "{p}_bucket{{le=\"{le}\"}} {cum}")?;
+        }
+        writeln!(w, "{p}_bucket{{le=\"+Inf\"}} {count}")?;
+        writeln!(w, "{p}_sum {sum}")?;
+        writeln!(w, "{p}_count {count}")?;
+    }
+    Ok(())
+}
+
+/// [`write_prometheus_text`] into a `String`.
+pub fn prometheus_text() -> String {
+    let mut buf = Vec::new();
+    write_prometheus_text(&mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("prometheus text is ASCII")
 }
 
 // ---------------------------------------------------------------------------
@@ -1496,6 +1853,158 @@ mod tests {
             );
         }
         assert_eq!(H.count(), 8);
+    }
+
+    #[test]
+    fn quantile_over_log2_buckets() {
+        let _g = global_lock();
+        static H: Histogram = Histogram::new("test.quantile_hist");
+        let _scope = ScopedObs::enable(ObsConfig::COUNTERS);
+        assert_eq!(H.quantile(0.5), 0.0, "empty histogram");
+        // 100 samples of exactly 8 → every quantile lands in bucket 4
+        // ([8, 16)), so estimates are within that bucket.
+        for _ in 0..100 {
+            H.observe(8);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = H.quantile(q);
+            assert!((8.0..16.0).contains(&v), "q={q} → {v}");
+        }
+        // Mixed: 90 zeros and 10 large values — p50 is 0, p99 is large.
+        reset();
+        for _ in 0..90 {
+            H.observe(0);
+        }
+        for _ in 0..10 {
+            H.observe(1 << 20);
+        }
+        assert_eq!(H.quantile(0.5), 0.0);
+        let p99 = H.quantile(0.99);
+        assert!(
+            ((1 << 20) as f64..(1 << 21) as f64).contains(&p99),
+            "p99={p99}"
+        );
+        // The free-function form agrees on the same buckets.
+        assert_eq!(quantile_from_buckets(&H.bucket_counts(), 0.99), p99);
+        assert_eq!(quantile_from_buckets(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn flight_recorder_round_trip_and_wrap() {
+        let _g = global_lock();
+        let _scope = ScopedObs::enable(ObsConfig::COUNTERS);
+        flight::reset();
+        assert_eq!(flight::records_written(), 0);
+        assert!(flight::snapshot().is_empty());
+        flight::record(7, 2, 1, 42);
+        flight::record(8, 3, 0, 0);
+        let snap = flight::snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            (
+                snap[0].session,
+                snap[0].kind,
+                snap[0].status,
+                snap[0].payload
+            ),
+            (7, 2, 1, 42)
+        );
+        assert!(snap[1].t_ns >= snap[0].t_ns, "oldest first");
+        // Overflow the ring: only the last CAP records survive, in order.
+        flight::reset();
+        for i in 0..(flight::CAP as u64 + 100) {
+            flight::record(i as u32, 0, 0, i);
+        }
+        let snap = flight::snapshot();
+        assert_eq!(snap.len(), flight::CAP);
+        assert_eq!(snap[0].payload, 100, "oldest surviving record");
+        assert_eq!(
+            snap.last().map(|e| e.payload),
+            Some(flight::CAP as u64 + 99)
+        );
+        assert_eq!(flight::records_written(), flight::CAP as u64 + 100);
+        let json = flight::json();
+        assert!(json.contains("\"schema\": \"stint-flight-v1\""), "{json}");
+        assert!(json.contains("\"records_written\": 1124"), "{json}");
+        flight::reset();
+    }
+
+    #[test]
+    fn flight_recorder_disabled_is_inert() {
+        let _g = global_lock();
+        flight::reset();
+        assert!(!is_enabled());
+        flight::record(1, 1, 1, 1);
+        assert_eq!(flight::records_written(), 0);
+        assert!(flight::snapshot().is_empty());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let _g = global_lock();
+        static C: Counter = Counter::new("test.prom.counter");
+        static G: Gauge = Gauge::new("test.prom.gauge");
+        static H: Histogram = Histogram::new("test.prom_hist_ms");
+        let _scope = ScopedObs::enable(ObsConfig::COUNTERS);
+        C.add(3);
+        G.add(100);
+        G.sub(40);
+        H.observe(0);
+        H.observe(5);
+        H.observe(900);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_prom_counter counter"), "{text}");
+        assert!(text.contains("\ntest_prom_counter 3\n"), "{text}");
+        assert!(text.contains("# TYPE test_prom_gauge gauge"), "{text}");
+        assert!(text.contains("\ntest_prom_gauge 60\n"), "{text}");
+        assert!(text.contains("\ntest_prom_gauge_hw 100\n"), "{text}");
+        assert!(
+            text.contains("# TYPE test_prom_hist_ms histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_prom_hist_ms_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("test_prom_hist_ms_sum 905"), "{text}");
+        assert!(text.contains("test_prom_hist_ms_count 3"), "{text}");
+        // Cumulative bucket counts are monotone and end at the count.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("test_prom_hist_ms_bucket{le=\"") {
+                let v: u64 = rest
+                    .split("} ")
+                    .nth(1)
+                    .expect("bucket value")
+                    .parse()
+                    .expect("numeric");
+                assert!(v >= last, "buckets regressed:\n{text}");
+                last = v;
+            }
+        }
+        assert_eq!(last, 3);
+        // Every sample line's family has a preceding # TYPE line.
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.push(rest.split(' ').next().expect("name").to_string());
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let name = line
+                    .split(['{', ' '])
+                    .next()
+                    .expect("metric name")
+                    .to_string();
+                let family = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or(&name);
+                assert!(
+                    typed.iter().any(|t| t == family || t == &name),
+                    "sample {name} lacks a # TYPE line:\n{text}"
+                );
+            }
+        }
     }
 
     #[test]

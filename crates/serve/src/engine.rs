@@ -34,13 +34,13 @@
 //! balanced outside the unwind boundary, so they reconcile to zero after
 //! every drain even when sessions time out or poison themselves.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use stint::{sniff_magic, DetectorError, ResourceBudget, TraceMagic};
 use stint_batchdet::{
@@ -48,8 +48,12 @@ use stint_batchdet::{
     SessionLimits,
 };
 use stint_cilkrt::ThreadPool;
-use stint_obs::{Counter, Gauge};
+use stint_obs::{flight, Counter, Gauge, Histogram};
 
+use crate::journal::{
+    ReplaySummary, SessionJournal, EV_ADMITTED, EV_BUSY, EV_BYE, EV_DRAINED, EV_STARTED,
+    EV_TIMEOUT, EV_VERDICT,
+};
 use crate::protocol::{Response, SessionOpts, Status};
 
 static OBS_SESSIONS: Counter = Counter::new("serve.sessions");
@@ -65,6 +69,18 @@ static OBS_BUSY: Counter = Counter::new("serve.busy");
 static OBS_QUEUE_BYTES: Gauge = Gauge::new("serve.queue_bytes");
 /// Sessions currently executing on workers.
 static OBS_INFLIGHT: Gauge = Gauge::new("serve.inflight");
+// Per-status session latency (admission to verdict, milliseconds). The
+// daemon-side ground truth the offline driver's client-side percentiles
+// are cross-checked against.
+static OBS_LAT_OK: Histogram = Histogram::new("serve.latency_ms.ok");
+static OBS_LAT_RACY: Histogram = Histogram::new("serve.latency_ms.racy");
+static OBS_LAT_USAGE: Histogram = Histogram::new("serve.latency_ms.usage");
+static OBS_LAT_DEGRADED: Histogram = Histogram::new("serve.latency_ms.degraded");
+static OBS_LAT_CORRUPT: Histogram = Histogram::new("serve.latency_ms.corrupt");
+static OBS_LAT_POISONED: Histogram = Histogram::new("serve.latency_ms.poisoned");
+/// How long jobs sat in the admission queue before a worker picked them
+/// up (milliseconds).
+static OBS_QUEUE_AGE: Histogram = Histogram::new("serve.queue_age_ms");
 
 /// Daemon-level configuration (per-session knobs ride in the DETECT frame).
 #[derive(Clone, Copy, Debug)]
@@ -171,6 +187,46 @@ impl Verdict {
             Verdict::Poisoned => "poisoned",
         }
     }
+
+    /// Stable wire/journal code (also `crate::journal::verdict_name`).
+    fn code(self) -> u16 {
+        match self {
+            Verdict::Ok => 0,
+            Verdict::Racy => 1,
+            Verdict::Usage => 2,
+            Verdict::Degraded => 3,
+            Verdict::Corrupt => 4,
+            Verdict::Poisoned => 5,
+        }
+    }
+
+    fn latency_hist(self) -> &'static Histogram {
+        match self {
+            Verdict::Ok => &OBS_LAT_OK,
+            Verdict::Racy => &OBS_LAT_RACY,
+            Verdict::Usage => &OBS_LAT_USAGE,
+            Verdict::Degraded => &OBS_LAT_DEGRADED,
+            Verdict::Corrupt => &OBS_LAT_CORRUPT,
+            Verdict::Poisoned => &OBS_LAT_POISONED,
+        }
+    }
+}
+
+/// Every registered `serve.latency_ms.*` histogram with samples, as
+/// `(status, histogram)` pairs — feeds STATS/HEALTH quantiles and the
+/// load driver's daemon-side cross-check.
+pub fn latency_histograms() -> Vec<(&'static str, &'static Histogram)> {
+    [
+        ("ok", &OBS_LAT_OK),
+        ("racy", &OBS_LAT_RACY),
+        ("usage", &OBS_LAT_USAGE),
+        ("degraded", &OBS_LAT_DEGRADED),
+        ("corrupt", &OBS_LAT_CORRUPT),
+        ("poisoned", &OBS_LAT_POISONED),
+    ]
+    .into_iter()
+    .filter(|(_, h)| h.count() > 0)
+    .collect()
 }
 
 struct Job {
@@ -178,6 +234,7 @@ struct Job {
     opts: String,
     trace: Vec<u8>,
     reply: Sender<Response>,
+    queued_at: Instant,
 }
 
 struct Shared {
@@ -187,6 +244,43 @@ struct Shared {
     cond: Condvar,
     draining: AtomicBool,
     totals: Totals,
+    /// Session journal, if the daemon runs with one.
+    journal: Option<SessionJournal>,
+    /// Engine start (uptime origin for HEALTH).
+    started_at: Instant,
+    /// Watermark of queue wait (µs) — how stale the queue has been.
+    queue_age_us_hw: AtomicU64,
+    /// EWMA of per-session service time (µs), `ema ← (7·ema + x) / 8`.
+    /// Plain atomics independent of the obs gate: the measured
+    /// retry-after hint must work with observability off.
+    svc_ema_us: AtomicU64,
+    /// Sessions currently on a worker, with their admission time — the
+    /// HEALTH frame's in-flight set. Maintained outside the session
+    /// unwind boundary, like the gauges.
+    running: Mutex<BTreeMap<u32, Instant>>,
+}
+
+impl Shared {
+    fn journal_log(&self, session: u32, kind: u16, code: u16, payload: u64) {
+        if let Some(j) = &self.journal {
+            j.log(session, kind, code, payload);
+        }
+        flight::record(session, kind, code, payload);
+    }
+
+    /// Busy hint from measured drain rate: expected time for the current
+    /// queue to clear at the observed per-session service time, floored
+    /// at the configured constant (which also covers the cold start
+    /// before any session has completed) and capped at one minute.
+    fn retry_hint_ms(&self, queue_len: usize) -> u64 {
+        let ema_us = self.svc_ema_us.load(Ordering::Relaxed);
+        if ema_us == 0 {
+            return self.cfg.retry_after_ms;
+        }
+        let workers = self.cfg.session_workers.max(1) as u64;
+        let est_ms = (queue_len as u64 + 1) * (ema_us / 1000) / workers;
+        est_ms.clamp(self.cfg.retry_after_ms, 60_000)
+    }
 }
 
 /// The detection service: owns the queue, the workers, and the pool.
@@ -199,6 +293,18 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(cfg: EngineConfig) -> Engine {
+        Engine::with_journal(cfg, None)
+    }
+
+    /// Build an engine appending lifecycle records to `journal`. Session
+    /// ids resume *above* the highest id the journal's replay saw, so a
+    /// restarted daemon never reuses an id that might still be in a
+    /// client's hands.
+    pub fn with_journal(cfg: EngineConfig, journal: Option<SessionJournal>) -> Engine {
+        let first_id = journal
+            .as_ref()
+            .map(|j| u64::from(j.recovered().max_session) + 1)
+            .unwrap_or(1);
         let shared = Arc::new(Shared {
             cfg,
             pool: ThreadPool::new(cfg.pool_workers.max(1)),
@@ -206,6 +312,11 @@ impl Engine {
             cond: Condvar::new(),
             draining: AtomicBool::new(false),
             totals: Totals::default(),
+            journal,
+            started_at: Instant::now(),
+            queue_age_us_hw: AtomicU64::new(0),
+            svc_ema_us: AtomicU64::new(0),
+            running: Mutex::new(BTreeMap::new()),
         });
         let workers = (0..cfg.session_workers.max(1))
             .map(|_| {
@@ -216,8 +327,19 @@ impl Engine {
         Engine {
             shared,
             workers: Mutex::new(workers),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(first_id),
         }
+    }
+
+    /// What the journal replay found at startup (`None` without a
+    /// journal): the crash-forensics view of the previous run.
+    pub fn recovered(&self) -> Option<&ReplaySummary> {
+        self.shared.journal.as_ref().map(|j| j.recovered())
+    }
+
+    /// The live session journal, if any.
+    pub fn journal(&self) -> Option<&SessionJournal> {
+        self.shared.journal.as_ref()
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -247,6 +369,7 @@ impl Engine {
         let mut q = self.shared.queue.lock().expect("queue mutex poisoned");
         if self.shared.draining.load(Ordering::Acquire) {
             drop(q);
+            self.shared.journal_log(id, EV_BYE, 0, 0);
             let _ = reply.send(Response::new(
                 Status::Bye,
                 id,
@@ -255,25 +378,28 @@ impl Engine {
             return id;
         }
         if q.len() >= self.shared.cfg.queue_depth {
+            let hint = self.shared.retry_hint_ms(q.len());
             drop(q);
             self.shared.totals.busy.fetch_add(1, Ordering::Relaxed);
             OBS_BUSY.incr();
+            self.shared.journal_log(id, EV_BUSY, 0, hint);
             let _ = reply.send(Response::new(
                 Status::Busy,
                 id,
-                format!(
-                    "kind: busy\nretry-after-ms: {}\n",
-                    self.shared.cfg.retry_after_ms
-                ),
+                format!("kind: busy\nretry-after-ms: {hint}\n"),
             ));
             return id;
         }
         OBS_QUEUE_BYTES.add(trace.len() as u64);
+        // Journaled under the queue lock, so a session's `admitted`
+        // record always precedes its `started` record on disk.
+        self.shared.journal_log(id, EV_ADMITTED, 0, q.len() as u64);
         q.push_back(Job {
             id,
             opts,
             trace,
             reply,
+            queued_at: Instant::now(),
         });
         drop(q);
         self.shared.cond.notify_one();
@@ -304,6 +430,15 @@ impl Engine {
             for (name, cur, hw) in stint_obs::gauges_snapshot() {
                 let _ = writeln!(s, "gauge {name} {cur} {hw}");
             }
+            for (status, h) in latency_histograms() {
+                let _ = writeln!(
+                    s,
+                    "latency-ms {status} count {} p50 {:.2} p99 {:.2}",
+                    h.count(),
+                    h.quantile(0.5),
+                    h.quantile(0.99)
+                );
+            }
         }
         if enabled {
             s.push_str("metrics:\n");
@@ -312,15 +447,114 @@ impl Engine {
         s
     }
 
+    /// Watermark of how long any job has waited in the queue, in
+    /// milliseconds (measured at worker pickup).
+    pub fn queue_age_hw_ms(&self) -> u64 {
+        self.shared.queue_age_us_hw.load(Ordering::Relaxed) / 1000
+    }
+
+    /// The measured `retry-after-ms` hint a Busy bounce would carry right
+    /// now.
+    pub fn retry_hint_ms(&self) -> u64 {
+        self.shared.retry_hint_ms(self.queue_len())
+    }
+
+    /// The HEALTH frame payload: uptime, queue state, the live in-flight
+    /// set, the journal/crash-recovery digest, and per-status latency
+    /// quantiles when the obs layer is on.
+    pub fn health_payload(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "kind: health");
+        let _ = writeln!(
+            s,
+            "uptime-ms: {}",
+            self.shared.started_at.elapsed().as_millis()
+        );
+        let _ = writeln!(
+            s,
+            "draining: {}",
+            if self.is_draining() { "true" } else { "false" }
+        );
+        let _ = writeln!(s, "queued: {}", self.queue_len());
+        let _ = writeln!(s, "queue-age-hw-ms: {}", self.queue_age_hw_ms());
+        let _ = writeln!(s, "retry-after-ms: {}", self.retry_hint_ms());
+        {
+            let running = self
+                .shared
+                .running
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let _ = writeln!(s, "in-flight: {}", running.len());
+            if !running.is_empty() {
+                let ids: Vec<String> = running.keys().map(|id| id.to_string()).collect();
+                let _ = writeln!(s, "in-flight-ids: {}", ids.join(","));
+            }
+        }
+        match &self.shared.journal {
+            Some(j) => {
+                let _ = writeln!(
+                    s,
+                    "journal: {}",
+                    j.path()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "<sink>".into())
+                );
+                let _ = writeln!(s, "journal-records: {}", j.records_appended());
+                let rec = j.recovered();
+                let _ = writeln!(s, "recovered-records: {}", rec.records);
+                let _ = writeln!(s, "recovered-in-flight: {}", rec.in_flight().len());
+                if !rec.in_flight().is_empty() {
+                    let ids: Vec<String> =
+                        rec.in_flight().iter().map(|id| id.to_string()).collect();
+                    let _ = writeln!(s, "recovered-in-flight-ids: {}", ids.join(","));
+                }
+                if let Some(c) = &rec.corruption {
+                    let _ = writeln!(s, "recovered-corruption: {c}");
+                }
+            }
+            None => {
+                let _ = writeln!(s, "journal: off");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "flight-records: {}",
+            stint_obs::flight::records_written()
+        );
+        if stint_obs::registry_initialized() {
+            for (status, h) in latency_histograms() {
+                let _ = writeln!(
+                    s,
+                    "latency-ms {status} count {} p50 {:.2} p99 {:.2}",
+                    h.count(),
+                    h.quantile(0.5),
+                    h.quantile(0.99)
+                );
+            }
+        }
+        s
+    }
+
     /// Graceful drain: stop admitting, finish every queued session, park
     /// the workers. Idempotent — later calls (and calls racing from several
     /// transport threads) join nothing and return immediately.
     pub fn drain(&self) {
-        self.shared.draining.store(true, Ordering::Release);
+        let first = !self.shared.draining.swap(true, Ordering::AcqRel);
         self.shared.cond.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().expect("workers mutex poisoned"));
         for h in workers {
             let _ = h.join();
+        }
+        if first {
+            // One drain record after the queue has emptied: the journal's
+            // last word is "everything admitted was answered".
+            self.shared.journal_log(
+                0,
+                EV_DRAINED,
+                0,
+                self.shared.totals.sessions.load(Ordering::Relaxed),
+            );
         }
     }
 }
@@ -345,19 +579,57 @@ fn worker_loop(shared: &Shared) {
                 q = shared.cond.wait(q).expect("queue mutex poisoned");
             }
         };
-        // Gauge discipline: both gauges move *outside* the unwind boundary,
-        // so a poisoned or timed-out session still balances them.
+        // Gauge discipline: gauges and the in-flight set move *outside*
+        // the unwind boundary, so a poisoned or timed-out session still
+        // balances them.
         OBS_QUEUE_BYTES.sub(job.trace.len() as u64);
         OBS_INFLIGHT.add(1);
         shared.totals.sessions.fetch_add(1, Ordering::Relaxed);
         OBS_SESSIONS.incr();
+        let queue_age = job.queued_at.elapsed();
+        shared
+            .queue_age_us_hw
+            .fetch_max(queue_age.as_micros() as u64, Ordering::Relaxed);
+        OBS_QUEUE_AGE.observe(queue_age.as_millis() as u64);
+        shared
+            .running
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(job.id, job.queued_at);
+        shared.journal_log(job.id, EV_STARTED, 0, queue_age.as_millis() as u64);
+        let run_start = Instant::now();
         let (verdict, payload) = match catch_unwind(AssertUnwindSafe(|| run_session(shared, &job)))
         {
             Ok(vp) => vp,
             Err(p) => error_payload(&DetectorError::from_panic(p)),
         };
+        // Feed the measured drain rate (plain atomics — works with obs
+        // off): ema ← (7·ema + sample) / 8.
+        let svc_us = run_start.elapsed().as_micros() as u64;
+        let _ = shared
+            .svc_ema_us
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |ema| {
+                Some(if ema == 0 {
+                    svc_us
+                } else {
+                    (7 * ema + svc_us) / 8
+                })
+            });
+        let latency_ms = job.queued_at.elapsed().as_millis() as u64;
+        verdict.latency_hist().observe(latency_ms);
         OBS_INFLIGHT.sub(1);
+        shared
+            .running
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job.id);
         bump(&shared.totals, verdict);
+        if verdict == Verdict::Degraded && payload.contains("wall-clock budget") {
+            shared.journal_log(job.id, EV_TIMEOUT, verdict.code(), latency_ms);
+        }
+        // Verdict is journaled *before* the reply leaves: a session whose
+        // answer a client has seen always has its verdict on disk.
+        shared.journal_log(job.id, EV_VERDICT, verdict.code(), latency_ms);
         let _ = job
             .reply
             .send(Response::new(verdict.status(), job.id, payload));

@@ -31,11 +31,23 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod engine;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 
 pub use engine::{Engine, EngineConfig, TotalsSnapshot};
+pub use journal::{ReplaySummary, SessionEvent, SessionJournal};
 pub use protocol::{Request, Response, SessionOpts, Status};
+
+/// Where the panic hook dumps the flight recorder. Set once at startup
+/// (from `--flight-dump`); never read on the session hot path.
+static FLIGHT_DUMP_PATH: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
+
+/// Register the flight-recorder dump path so an *unexpected* daemon panic
+/// (not a contained session panic) still leaves a post-mortem artifact.
+pub fn set_flight_dump_path(path: std::path::PathBuf) {
+    let _ = FLIGHT_DUMP_PATH.set(path);
+}
 
 /// Install a panic hook suitable for daemon processes: session panics are
 /// already contained by the worker's `catch_unwind` and answered as
@@ -66,6 +78,14 @@ pub fn install_panic_hook() {
         }
         if msg.contains("Broken pipe") {
             std::process::exit(0);
+        }
+        // A panic that escapes the session sandbox is a daemon bug: dump
+        // the flight-recorder ring before the backtrace so the last ~1k
+        // lifecycle events survive the crash.
+        if let Some(path) = FLIGHT_DUMP_PATH.get() {
+            if let Ok(f) = std::fs::File::create(path) {
+                let _ = stint_obs::flight::write_json(std::io::BufWriter::new(f));
+            }
         }
         eprintln!("{info}");
     }));

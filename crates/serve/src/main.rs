@@ -41,17 +41,27 @@ USAGE:
         [--session-workers N] [--queue-depth N] [--pool-workers N]
         [--timeout-ms N] [--retry-after-ms N] [--idle-timeout-ms N]
         [--fault-plan SPEC] [--obs SPEC]
+        [--journal PATH] [--journal-fsync always|off|every=N]
+        [--prom-out PATH] [--flight-dump PATH]
   stint-serve frame detect [--opts SPEC] FILE|-
-  stint-serve frame stats|shutdown|ping
+  stint-serve frame stats|shutdown|ping|health
   stint-serve decode
   stint-serve send --socket PATH [--opts SPEC] [--stats] [--ping]
-        [--shutdown] [FILE...]
+        [--health] [--shutdown] [FILE...]
+  stint-serve journal inspect|replay PATH
 
 Session opts (DETECT frames): shards=K, timeout-ms=N, max-shadow-mb=N,
 max-intervals=N, stall-ms=N.
 
 Response statuses: 0 ok, 1 racy, 2 usage, 3 degraded, 4 corrupt (kind
-corrupt|poisoned), 5 busy (retry-after-ms hint), 6 bye.";
+corrupt|poisoned), 5 busy (retry-after-ms hint), 6 bye.
+
+Ops plane: --journal appends every session lifecycle transition to a
+crash-safe stint-journal-v1 file replayed on restart; --prom-out and
+--flight-dump write the Prometheus exposition and the flight-recorder
+ring (JSON) after drain; `journal inspect` summarizes a journal and
+`journal replay` prints every event. `journal inspect` exits 1 when the
+journal has a corrupt tail.";
 
 fn main() -> ExitCode {
     stint_serve::install_panic_hook();
@@ -78,6 +88,7 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         Some("frame") => cmd_frame(&args[1..]),
         Some("decode") => cmd_decode(&args[1..]),
         Some("send") => cmd_send(&args[1..]),
+        Some("journal") => cmd_journal(&args[1..]),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -95,6 +106,10 @@ fn cmd_serve(args: &[&str]) -> Result<ExitCode, String> {
     let mut idle_timeout_ms = 30_000u64;
     let mut fault_plan: Option<String> = None;
     let mut obs_spec: Option<String> = None;
+    let mut journal_path: Option<String> = None;
+    let mut journal_fsync = stint::journal::FsyncPolicy::Every(64);
+    let mut prom_out: Option<String> = None;
+    let mut flight_dump: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match *a {
@@ -126,6 +141,34 @@ fn cmd_serve(args: &[&str]) -> Result<ExitCode, String> {
                         .to_string(),
                 )
             }
+            "--journal" => {
+                journal_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--journal needs a path".to_string())?
+                        .to_string(),
+                )
+            }
+            "--journal-fsync" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| "--journal-fsync needs always|off|every=N".to_string())?;
+                journal_fsync = stint::journal::FsyncPolicy::parse(spec)
+                    .map_err(|e| format!("--journal-fsync {spec:?}: {e}"))?;
+            }
+            "--prom-out" => {
+                prom_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--prom-out needs a path".to_string())?
+                        .to_string(),
+                )
+            }
+            "--flight-dump" => {
+                flight_dump = Some(
+                    it.next()
+                        .ok_or_else(|| "--flight-dump needs a path".to_string())?
+                        .to_string(),
+                )
+            }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
@@ -149,13 +192,46 @@ fn cmd_serve(args: &[&str]) -> Result<ExitCode, String> {
             None => stint::obs::disable(),
         }
     }
-    let engine = Arc::new(Engine::new(cfg));
+    // Open (and replay) the journal before the engine exists: recovery
+    // seeds the session-id counter so restarted daemons never reuse an id
+    // from before the crash.
+    let journal = match &journal_path {
+        Some(p) => {
+            let j = stint_serve::SessionJournal::open(std::path::Path::new(p), journal_fsync)
+                .map_err(|e| format!("--journal {p}: {e}"))?;
+            let rec = j.recovered();
+            if rec.records > 0 {
+                eprintln!("stint-serve: journal replay of {p}:");
+                for line in rec.render().lines() {
+                    eprintln!("stint-serve:   {line}");
+                }
+            }
+            Some(j)
+        }
+        None => None,
+    };
+    if let Some(p) = &flight_dump {
+        stint_serve::set_flight_dump_path(std::path::PathBuf::from(p.as_str()));
+    }
+    let engine = Arc::new(Engine::with_journal(cfg, journal));
     server::install_signal_handlers();
     if let Some(path) = socket {
         eprintln!("stint-serve: listening on {path}");
         server::run_socket(&engine, &path, idle_timeout_ms).map_err(|e| e.to_string())?;
     } else {
         server::run_stdio(&engine).map_err(|e| e.to_string())?;
+    }
+    // Post-drain exports: the engine has quiesced, so the exposition and
+    // the flight ring are a consistent final snapshot.
+    if let Some(p) = &prom_out {
+        let f = std::fs::File::create(p).map_err(|e| format!("--prom-out {p}: {e}"))?;
+        stint::obs::write_prometheus_text(io::BufWriter::new(f))
+            .map_err(|e| format!("--prom-out {p}: {e}"))?;
+    }
+    if let Some(p) = &flight_dump {
+        let f = std::fs::File::create(p).map_err(|e| format!("--flight-dump {p}: {e}"))?;
+        stint::obs::flight::write_json(io::BufWriter::new(f))
+            .map_err(|e| format!("--flight-dump {p}: {e}"))?;
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -166,6 +242,7 @@ fn cmd_frame(args: &[&str]) -> Result<ExitCode, String> {
         Some("stats") => Request::Stats,
         Some("shutdown") => Request::Shutdown,
         Some("ping") => Request::Ping,
+        Some("health") => Request::Health,
         Some("detect") => {
             let mut opts = String::new();
             let mut file: Option<&str> = None;
@@ -185,7 +262,7 @@ fn cmd_frame(args: &[&str]) -> Result<ExitCode, String> {
             let trace = read_input(file)?;
             Request::Detect { opts, trace }
         }
-        _ => return Err("frame needs one of: detect, stats, shutdown, ping".into()),
+        _ => return Err("frame needs one of: detect, stats, shutdown, ping, health".into()),
     };
     protocol::write_request(&mut stdout, &req).map_err(|e| format!("write frame: {e}"))?;
     stdout.flush().map_err(|e| format!("write frame: {e}"))?;
@@ -232,6 +309,7 @@ fn cmd_send(args: &[&str]) -> Result<ExitCode, String> {
     let mut opts = String::new();
     let mut stats = false;
     let mut ping = false;
+    let mut health = false;
     let mut shutdown = false;
     let mut files: Vec<&str> = Vec::new();
     let mut it = args.iter();
@@ -246,13 +324,16 @@ fn cmd_send(args: &[&str]) -> Result<ExitCode, String> {
             }
             "--stats" => stats = true,
             "--ping" => ping = true,
+            "--health" => health = true,
             "--shutdown" => shutdown = true,
             other => files.push(other),
         }
     }
     let socket = socket.ok_or_else(|| "send needs --socket PATH".to_string())?;
-    if files.is_empty() && !stats && !ping && !shutdown {
-        return Err("send needs at least one trace file or --stats/--ping/--shutdown".into());
+    if files.is_empty() && !stats && !ping && !health && !shutdown {
+        return Err(
+            "send needs at least one trace file or --stats/--ping/--health/--shutdown".into(),
+        );
     }
     let stream = UnixStream::connect(socket).map_err(|e| format!("connect {socket}: {e}"))?;
     let mut reader = stream
@@ -280,6 +361,10 @@ fn cmd_send(args: &[&str]) -> Result<ExitCode, String> {
         protocol::write_request(&mut w, &Request::Stats).map_err(|e| e.to_string())?;
         expected += 1;
     }
+    if health {
+        protocol::write_request(&mut w, &Request::Health).map_err(|e| e.to_string())?;
+        expected += 1;
+    }
     if shutdown {
         protocol::write_request(&mut w, &Request::Shutdown).map_err(|e| e.to_string())?;
         expected += 1;
@@ -304,4 +389,32 @@ fn cmd_send(args: &[&str]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::from(worst))
+}
+
+fn cmd_journal(args: &[&str]) -> Result<ExitCode, String> {
+    let (mode, path) = match args {
+        [m @ ("inspect" | "replay"), p] => (*m, *p),
+        _ => return Err("journal needs: inspect|replay PATH".into()),
+    };
+    let (events, summary) = stint_serve::journal::replay_file(std::path::Path::new(path))
+        .map_err(|e| format!("journal {path}: {e}"))?;
+    if mode == "replay" {
+        for ev in &events {
+            println!(
+                "{:>8} t={:<8} session {:<6} {:<10} code {:<2} payload {}",
+                ev.seq,
+                format!("{}ms", ev.t_ms),
+                ev.session,
+                stint_serve::journal::event_name(ev.kind),
+                ev.code,
+                ev.payload
+            );
+        }
+    }
+    print!("{}", summary.render());
+    Ok(if summary.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }

@@ -42,14 +42,21 @@ pub const REQ_DETECT: u8 = 0x01;
 pub const REQ_STATS: u8 = 0x02;
 pub const REQ_SHUTDOWN: u8 = 0x03;
 pub const REQ_PING: u8 = 0x04;
+pub const REQ_HEALTH: u8 = 0x05;
 
 /// One client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
-    Detect { opts: String, trace: Vec<u8> },
+    Detect {
+        opts: String,
+        trace: Vec<u8>,
+    },
     Stats,
     Shutdown,
     Ping,
+    /// Liveness + operational snapshot: uptime, queue-age watermark,
+    /// in-flight session set, and latency quantiles.
+    Health,
 }
 
 /// Per-response status byte — the framed analogue of the CLI exit codes
@@ -237,6 +244,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, FrameError> {
         REQ_STATS => Ok(Some(Request::Stats)),
         REQ_SHUTDOWN => Ok(Some(Request::Shutdown)),
         REQ_PING => Ok(Some(Request::Ping)),
+        REQ_HEALTH => Ok(Some(Request::Health)),
         other => Err(FrameError::Malformed(format!(
             "unknown request type {other:#04x}"
         ))),
@@ -266,6 +274,10 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
         }
         Request::Ping => {
             w.write_all(&[REQ_PING])?;
+            w.write_all(&0u32.to_le_bytes())?;
+        }
+        Request::Health => {
+            w.write_all(&[REQ_HEALTH])?;
             w.write_all(&0u32.to_le_bytes())?;
         }
     }
@@ -412,6 +424,7 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Ping,
+            Request::Health,
         ];
         let mut buf = Vec::new();
         for r in &reqs {

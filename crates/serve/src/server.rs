@@ -99,6 +99,9 @@ pub fn run_frames<R: Read, W: Write + Send + 'static>(
             Ok(Some(Request::Stats)) => {
                 let _ = tx.send(Response::new(Status::Ok, 0, engine.stats_payload()));
             }
+            Ok(Some(Request::Health)) => {
+                let _ = tx.send(Response::new(Status::Ok, 0, engine.health_payload()));
+            }
             Ok(Some(Request::Shutdown)) => {
                 shutdown = true;
                 break None;

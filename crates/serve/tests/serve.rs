@@ -322,3 +322,99 @@ fn session_opts_reject_is_stable_through_the_wire() {
     let e = SessionOpts::parse("timeout-ms=soon").expect_err("reject");
     assert_eq!(e.token, "timeout-ms=soon");
 }
+
+#[test]
+fn health_frame_reports_the_operational_snapshot() {
+    let _g = lock();
+    let engine = Arc::new(small_engine());
+    // A completed session gives the latency histograms something to report
+    // when obs is on; with obs off the payload simply omits those lines.
+    let resp = session(&engine, "", RACY_V1.as_bytes().to_vec());
+    assert_eq!(resp.status, Status::Racy);
+    let mut frames = Vec::new();
+    protocol::write_request(&mut frames, &Request::Health).expect("frame");
+    let sink = SharedBuf::default();
+    run_frames(&engine, &frames[..], sink.clone(), false).expect("serve health");
+    let out = sink.0.lock().unwrap_or_else(|e| e.into_inner());
+    let resps = decode_all(&out);
+    assert_eq!(resps.len(), 1);
+    assert_eq!(resps[0].status, Status::Ok);
+    let payload = &resps[0].payload;
+    for want in [
+        "kind: health",
+        "uptime-ms: ",
+        "draining: false",
+        "queued: 0",
+        "queue-age-hw-ms: ",
+        "retry-after-ms: ",
+        "in-flight: 0",
+        "journal: off",
+        "flight-records: ",
+    ] {
+        assert!(
+            payload.contains(want),
+            "health payload missing {want:?}:\n{payload}"
+        );
+    }
+    engine.drain();
+}
+
+#[test]
+fn journaled_engine_survives_a_lifecycle_round_trip() {
+    let _g = lock();
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("serve_lifecycle_{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let journal = stint_serve::SessionJournal::open(&path, stint::journal::FsyncPolicy::Always)
+        .expect("open journal");
+    let engine = Engine::with_journal(
+        EngineConfig {
+            session_workers: 1,
+            queue_depth: 16,
+            pool_workers: 1,
+            ..EngineConfig::default()
+        },
+        Some(journal),
+    );
+    assert_eq!(session(&engine, "", clean_v1()).status, Status::Ok);
+    assert_eq!(
+        session(&engine, "", RACY_V1.as_bytes().to_vec()).status,
+        Status::Racy
+    );
+    engine.drain();
+    drop(engine);
+
+    let (events, summary) = stint_serve::journal::replay_file(&path).expect("replay");
+    assert!(summary.is_clean(), "summary:\n{}", summary.render());
+    assert_eq!(summary.admitted.len(), 2);
+    assert_eq!(summary.finished.len(), 2);
+    assert!(summary.in_flight().is_empty());
+    assert_eq!(summary.drains, 1);
+    assert_eq!(summary.verdicts.get("ok"), Some(&1));
+    assert_eq!(summary.verdicts.get("racy"), Some(&1));
+    // admitted always hits the journal before started, started before the
+    // verdict — per session, in submission order under one worker.
+    let kinds: Vec<u16> = events.iter().map(|e| e.kind).collect();
+    use stint_serve::journal::{EV_ADMITTED, EV_DRAINED, EV_STARTED, EV_VERDICT};
+    assert_eq!(kinds[0], EV_ADMITTED);
+    assert!(kinds
+        .windows(2)
+        .all(|w| w[0] != EV_STARTED || w[1] != EV_STARTED));
+    assert_eq!(kinds.last().copied(), Some(EV_DRAINED));
+    assert_eq!(
+        kinds.iter().filter(|&&k| k == EV_VERDICT).count(),
+        2,
+        "events: {events:?}"
+    );
+
+    // A second engine on the same path replays it and continues the id
+    // sequence.
+    let journal = stint_serve::SessionJournal::open(&path, stint::journal::FsyncPolicy::Always)
+        .expect("reopen journal");
+    assert_eq!(journal.recovered().records, summary.records);
+    let engine = Engine::with_journal(EngineConfig::default(), Some(journal));
+    let resp = session(&engine, "", clean_v1());
+    assert!(resp.session > summary.max_session);
+    engine.drain();
+    let _ = std::fs::remove_file(&path);
+}

@@ -46,8 +46,22 @@ echo "== batch scalability study (sequential vs K-sharded vs streamed detection)
 cargo run --release -q -p stint-bench --bin batch -- "${ARGS[@]}"
 cargo run --release -q -p stint-bench --bin jsoncheck -- batch BENCH_batch.json
 
-echo "== serve smoke (daemon transports, backpressure, chaos soak)"
+echo "== serve smoke (daemon transports, backpressure, ops plane, chaos soak)"
 scripts/serve_smoke.sh
+
+# Telemetry-plane assertions on the soak report serve_smoke just wrote:
+#  (a) the flight recorder and journal left every gauge zero after drain,
+#  (b) the obs-disabled phase never touched the registry or the flight
+#      ring (no journal/recorder work on the disabled path), and
+#  (c) the obs-full soak held within 10% of obs-off throughput.
+# `jsoncheck serve` validates the v2 shape here; `perfgate --check` below
+# re-reads the same file and hard-fails on any of the three gates.
+echo "== telemetry plane gates (BENCH_serve.json v2)"
+cargo run --release -q -p stint-bench --bin jsoncheck -- serve BENCH_serve.json
+for key in gauges_zero_after_drain obs_off_registry_untouched flight_idle_obs_off; do
+    grep -q "\"$key\": true" BENCH_serve.json \
+        || { echo "FAIL: BENCH_serve.json: $key is not true"; exit 1; }
+done
 
 echo "== perfgate"
 if [ "$DIFF" = 1 ]; then

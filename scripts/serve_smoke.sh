@@ -12,10 +12,16 @@
 #  * the unix-socket transport round-trips: a one-shot `send` client gets
 #    the 0-4 exit-code contract (clean 0, racy 1), and `send --shutdown`
 #    drains the daemon to a clean exit;
+#  * the ops plane round-trips on the real daemon: a journaled stdio
+#    conversation leaves a `stint-journal-v1` file that `journal
+#    inspect`/`replay` and `jsoncheck journal` accept, a HEALTH frame
+#    answers the operational snapshot, and the post-drain `--prom-out` /
+#    `--flight-dump` exports pass `jsoncheck prom` / `validate`;
 #  * a 500-session chaos soak (mixed clean/racy/corrupt/usage/timeout
-#    traffic under an injected-panic fault plan, obs on) finishes with
-#    zero lost races, balanced counters, drained gauges, and a
-#    `BENCH_serve.json` that `jsoncheck serve` accepts.
+#    traffic under an injected-panic fault plan) runs the two-phase
+#    obs-off/obs-full study and finishes with zero lost races, balanced
+#    counters, drained gauges, a clean journal replay, and a
+#    `BENCH_serve.json` (v2) that `jsoncheck serve` accepts.
 #
 # Usage: scripts/serve_smoke.sh [bench] (default: sort)
 
@@ -98,12 +104,60 @@ wait "$DAEMON" \
 [ ! -S "$SOCK" ] || { echo "FAIL: socket file not removed on shutdown"; exit 1; }
 echo "ok: socket round trip (exit 0/1 contract) and clean drain"
 
+echo "== ops plane: journal + HEALTH + prometheus + flight dump on the daemon"
+{
+    "$SERVE" frame health
+    "$SERVE" frame detect "$OUT/clean.trace"
+    "$SERVE" frame detect "$OUT/racy.trace"
+    "$SERVE" frame shutdown
+} >"$OUT/ops.frames"
+"$SERVE" serve --stdio --obs full --journal "$OUT/ops.journal" \
+    --journal-fsync every=8 --prom-out "$OUT/ops.prom" \
+    --flight-dump "$OUT/ops.flight" <"$OUT/ops.frames" >"$OUT/ops.resp"
+"$SERVE" decode <"$OUT/ops.resp" >"$OUT/ops.txt"
+for want in "kind: health" "uptime-ms: " "journal: " ": racy" ": bye"; do
+    grep -q "$want" "$OUT/ops.txt" \
+        || { echo "FAIL: ops conversation missing \"$want\""; cat "$OUT/ops.txt"; exit 1; }
+done
+./target/release/jsoncheck journal "$OUT/ops.journal"
+./target/release/jsoncheck prom "$OUT/ops.prom"
+./target/release/jsoncheck validate "$OUT/ops.flight"
+grep -q "stint-flight-v1" "$OUT/ops.flight" \
+    || { echo "FAIL: flight dump is not a stint-flight-v1 document"; exit 1; }
+"$SERVE" journal inspect "$OUT/ops.journal" >"$OUT/ops.inspect"
+grep -q "clean: true" "$OUT/ops.inspect" \
+    || { echo "FAIL: journal inspect reports damage"; cat "$OUT/ops.inspect"; exit 1; }
+grep -q "in-flight: 0" "$OUT/ops.inspect" \
+    || { echo "FAIL: drained daemon left sessions in flight"; cat "$OUT/ops.inspect"; exit 1; }
+"$SERVE" journal replay "$OUT/ops.journal" | grep -q "verdict" \
+    || { echo "FAIL: journal replay shows no verdicts"; exit 1; }
+# A restarted daemon must replay the journal on startup and report it.
+"$SERVE" frame ping | "$SERVE" serve --stdio --journal "$OUT/ops.journal" \
+    >/dev/null 2>"$OUT/ops.replay.err"
+grep -q "journal replay" "$OUT/ops.replay.err" \
+    || { echo "FAIL: restart did not report the journal replay"; cat "$OUT/ops.replay.err"; exit 1; }
+echo "ok: journal round trip, HEALTH snapshot, prom + flight exports validate"
+
+echo "== forensics: a torn journal tail degrades to a structured partial"
+cp "$OUT/ops.journal" "$OUT/torn.journal"
+SIZE=$(wc -c <"$OUT/torn.journal")
+head -c "$((SIZE - 3))" "$OUT/torn.journal" >"$OUT/torn.tmp" && mv "$OUT/torn.tmp" "$OUT/torn.journal"
+set +e
+"$SERVE" journal inspect "$OUT/torn.journal" >"$OUT/torn.txt"
+RC=$?
+set -e
+[ "$RC" = 1 ] || { echo "FAIL: torn journal inspect exited $RC, expected 1"; cat "$OUT/torn.txt"; exit 1; }
+grep -q "corruption: " "$OUT/torn.txt" \
+    || { echo "FAIL: torn journal not flagged as corrupt"; cat "$OUT/torn.txt"; exit 1; }
+echo "ok: torn tail is flagged, intact prefix still replays"
+
 # The soak refreshes the repo-root BENCH_serve.json that `perfgate --check`
 # validates, the same way the batch study refreshes BENCH_batch.json.
-echo "== chaos soak: 500 mixed sessions under injected panics, obs on"
-STINT_FAULTS="serve-panic-session=10,seed=7" STINT_OBS=full \
+# serve_load runs its own obs-off/obs-full phases, so no STINT_OBS here.
+echo "== chaos soak: 500 mixed sessions x2 phases under injected panics"
+STINT_FAULTS="serve-panic-session=10,seed=7" \
     ./target/release/serve_load --sessions 500 --out BENCH_serve.json
 ./target/release/jsoncheck serve BENCH_serve.json
-echo "ok: soak survived (no lost races, gauges drained) and report validates"
+echo "ok: two-phase soak survived (no lost races, journal clean, gauges drained)"
 
 echo "serve smoke passed"

@@ -30,6 +30,35 @@ fn full_run_with_obs_disabled_leaves_no_trace() {
     // never even created.
     assert!(!obs::registry_initialized());
 
+    // The serve tier's telemetry plane obeys the same contract: a full
+    // session lifecycle — journal attached — writes journal frames (those
+    // are the durability story, not metrics) but records nothing in the
+    // flight ring and registers nothing.
+    let path = std::env::temp_dir().join(format!("obs_disabled_{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let journal = stint_serve::SessionJournal::open(&path, stint::journal::FsyncPolicy::Off)
+        .expect("open journal");
+    let engine =
+        stint_serve::Engine::with_journal(stint_serve::EngineConfig::default(), Some(journal));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut w = Workload::by_name("sort", Scale::Test);
+    let mut buf = Vec::new();
+    stint_repro::PortableTrace::record(&mut w)
+        .save(&mut buf)
+        .expect("save trace");
+    engine.try_submit(String::new(), buf, tx);
+    rx.recv_timeout(std::time::Duration::from_secs(60))
+        .expect("session reply");
+    engine.drain();
+    drop(engine);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        obs::flight::records_written(),
+        0,
+        "flight recorder must stay inert with obs disabled"
+    );
+    assert!(!obs::registry_initialized());
+
     // The exporters still work — and emit empty documents.
     let metrics = obs::metrics_json();
     assert!(metrics.contains("\"counters\": {"));
@@ -37,6 +66,13 @@ fn full_run_with_obs_disabled_leaves_no_trace() {
     assert!(metrics.contains("\"spans_recorded\": 0"));
     let trace = obs::trace_json();
     assert!(!trace.contains("\"ph\""), "unexpected spans:\n{trace}");
+    let prom = obs::prometheus_text();
+    assert!(
+        prom.lines().all(|l| l.starts_with('#') || l.is_empty()),
+        "disabled exposition must be comments only:\n{prom}"
+    );
+    let flight = obs::flight::json();
+    assert!(flight.contains("\"records_written\": 0"), "{flight}");
 
     // Exporting must not have initialized the registry either.
     assert!(!obs::registry_initialized());
