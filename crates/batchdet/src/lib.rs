@@ -85,8 +85,8 @@ use std::time::{Duration, Instant};
 
 use stint::ctrace::{partition_index, CompressedTraceReader, EventRun};
 use stint::{
-    Detector, DetectorError, DetectorStats, PortableTrace, Race, RaceKind, RaceReport, Resource,
-    ResourceBudget, StintDetector, TraceEvent, TraceOp,
+    Detector, DetectorError, DetectorStats, EventSpans, PortableTrace, Race, RaceKind, RaceReport,
+    Resource, ResourceBudget, StintDetector, TraceEvent, TraceOp, Witness,
 };
 use stint_cilk::word_range;
 use stint_cilkrt::ThreadPool;
@@ -123,6 +123,11 @@ pub struct BatchConfig {
     /// ([`ThreadPool::with_seed`]); `0` keeps the default order. The merged
     /// report is invariant in this — that is the point of the knob.
     pub steal_seed: u64,
+    /// Attach verifiable witnesses (see `stint::witness`) to the merged
+    /// regions. Capture happens at **merge time** from the global event-span
+    /// table and the frozen orders — shard detectors record nothing — so the
+    /// merged report stays byte-identical across shard counts.
+    pub witnesses: bool,
 }
 
 impl Default for BatchConfig {
@@ -131,6 +136,7 @@ impl Default for BatchConfig {
             shards: 4,
             workers: 0,
             steal_seed: 0,
+            witnesses: false,
         }
     }
 }
@@ -239,11 +245,15 @@ impl MergedReport {
         }
         let _ = writeln!(s, "regions {}", self.regions.len());
         for r in &self.regions {
-            let _ = writeln!(
+            let _ = write!(
                 s,
                 "{} [{:#x},{:#x}) prev {} cur {}",
                 r.kind, r.word_lo, r.word_hi, r.prev.0, r.cur.0
             );
+            if let Some(w) = &r.witness {
+                let _ = write!(s, " w {}", w.render());
+            }
+            s.push('\n');
         }
         s
     }
@@ -253,7 +263,7 @@ impl MergedReport {
     pub fn to_report(&self) -> RaceReport {
         let mut rep = RaceReport::unbounded(true);
         for r in &self.regions {
-            rep.add(r.kind, r.word_lo, r.word_hi, r.prev, r.cur);
+            rep.add_race(r.clone());
         }
         rep
     }
@@ -356,6 +366,10 @@ pub fn batch_detect_limited_on(
     limits: &SessionLimits,
 ) -> Result<BatchOutcome, DetectorError> {
     pt.validate().map_err(corrupt)?;
+    // Merge-time witness capture: one O(n) pass over the (whole) trace for
+    // the per-strand event spans; a deterministic function of the trace, so
+    // the attached witnesses are invariant in K/workers/steal order.
+    let spans = cfg.witnesses.then(|| EventSpans::from_trace(&pt.trace));
     let (bounds, hist) = partition_index(&pt.trace);
     let shards = plan_shards(bounds, &hist, cfg.shards);
     let reach = &pt.reach;
@@ -416,7 +430,7 @@ pub fn batch_detect_limited_on(
     }))
     .map_err(DetectorError::from_panic)?;
     let wall = t0.elapsed();
-    let mut out = finish_outcome(outs, reach, pt.trace.len(), wall, None)?;
+    let mut out = finish_outcome(outs, reach, pt.trace.len(), wall, None, spans.as_ref())?;
     if timed_out && out.degraded.is_none() {
         out.degraded = Some(limits.timeout_error());
     }
@@ -472,6 +486,11 @@ pub fn batch_detect_chunked_limited_on<R: BufRead>(
     let mut last = StrandId(0);
     let mut ingest = IngestStats::default();
     let mut runs: Vec<EventRun> = Vec::new();
+    // Incremental span table: decoded event ids equal original trace
+    // indices (runs expand in order), so a run by strand `s` covers ids
+    // `[ev_id, ev_id + count)`.
+    let mut spans = cfg.witnesses.then(EventSpans::default);
+    let mut ev_id = 0u64;
     let mut timed_out = false;
     let t0 = Instant::now();
     let streamed = catch_unwind(AssertUnwindSafe(|| -> Result<(), DetectorError> {
@@ -505,6 +524,13 @@ pub fn batch_detect_chunked_limited_on<R: BufRead>(
                 }
                 last = run.strand;
                 ingest.events += run.count;
+                if let Some(sp) = spans.as_mut() {
+                    if run.count > 0 {
+                        sp.note(run.strand, ev_id);
+                        sp.note(run.strand, ev_id + run.count - 1);
+                    }
+                }
+                ev_id += run.count;
                 route_run(&mut router, run, &mut states, &mut ingest);
             }
             let chunk_bytes = reader.bytes_read() - ingest.bytes;
@@ -540,7 +566,14 @@ pub fn batch_detect_chunked_limited_on<R: BufRead>(
     }))
     .map_err(DetectorError::from_panic)?;
     let wall = t0.elapsed();
-    let mut out = finish_outcome(outs, &reach, total_events as usize, wall, Some(ingest))?;
+    let mut out = finish_outcome(
+        outs,
+        &reach,
+        total_events as usize,
+        wall,
+        Some(ingest),
+        spans.as_ref(),
+    )?;
     if timed_out && out.degraded.is_none() {
         out.degraded = Some(limits.timeout_error());
     }
@@ -553,8 +586,9 @@ fn finish_outcome(
     events: usize,
     wall: Duration,
     ingest: Option<IngestStats>,
+    spans: Option<&EventSpans>,
 ) -> Result<BatchOutcome, DetectorError> {
-    let merged = merge_shards(&outs, reach);
+    let merged = merge_shards(&outs, reach, spans);
     let mut stats = DetectorStats::default();
     for o in &outs {
         stats.merge(&o.stats);
@@ -903,7 +937,11 @@ fn kind_from(c: u8) -> RaceKind {
 /// Normalize per-shard race records per word, re-coalesce into maximal
 /// runs, and sort by address then SP rank. See the module docs for why this
 /// (and not the raw records) is the `K`-invariant object.
-fn merge_shards(shards: &[ShardOutcome], reach: &FrozenReach) -> MergedReport {
+fn merge_shards(
+    shards: &[ShardOutcome],
+    reach: &FrozenReach,
+    spans: Option<&EventSpans>,
+) -> MergedReport {
     let _span = stint_obs::span("batchdet.merge");
     OBS_MERGES.incr();
     let mut triples: Vec<(u8, u32, u32, u64)> = Vec::new();
@@ -930,13 +968,7 @@ fn merge_shards(shards: &[ShardOutcome], reach: &FrozenReach) -> MergedReport {
                 continue;
             }
         }
-        regions.push(Race {
-            kind: kind_from(k),
-            word_lo: w,
-            word_hi: w + 1,
-            prev: StrandId(p),
-            cur: StrandId(c),
-        });
+        regions.push(Race::new(kind_from(k), w, w + 1, StrandId(p), StrandId(c)));
     }
     regions.sort_by_key(|r| {
         (
@@ -947,6 +979,19 @@ fn merge_shards(shards: &[ShardOutcome], reach: &FrozenReach) -> MergedReport {
             kind_code(r.kind),
         )
     });
+    // Merge-time witness attachment: a deterministic function of the
+    // (pair, global span table, frozen orders) triple — identical no matter
+    // how the regions fragmented across shards. Memoized per strand pair.
+    if let Some(spans) = spans {
+        let mut memo: std::collections::HashMap<(u32, u32), Witness> =
+            std::collections::HashMap::new();
+        for r in &mut regions {
+            let w = memo
+                .entry((r.prev.0, r.cur.0))
+                .or_insert_with(|| Witness::from_spans(reach, spans, r.prev, r.cur));
+            r.witness = Some(Box::new(w.clone()));
+        }
+    }
     MergedReport {
         regions,
         racy_words: words.into_iter().collect(),
@@ -995,6 +1040,7 @@ mod tests {
             shards,
             workers,
             steal_seed: seed,
+            witnesses: false,
         }
     }
 
@@ -1221,6 +1267,41 @@ mod tests {
         flipped[at] ^= 0x20;
         let err = batch_detect_chunked(&flipped[..], &cfg(2, 1, 0)).unwrap_err();
         assert!(matches!(err, DetectorError::CorruptTrace { .. }), "{err}");
+    }
+
+    #[test]
+    fn witnessed_merge_is_k_invariant_and_verifiable() {
+        let pt = PortableTrace::record(&mut WideRacy);
+        let wcfg = |k| BatchConfig {
+            shards: k,
+            workers: 2,
+            steal_seed: 0,
+            witnesses: true,
+        };
+        let baseline = batch_detect(&pt, &wcfg(1)).unwrap().merged;
+        assert!(!baseline.regions.is_empty());
+        assert!(baseline.regions.iter().all(|r| r.witness.is_some()));
+        // Every merge-time witness validates independently, trace included.
+        let checker = stint::WitnessChecker::new(&pt.reach).with_trace(&pt.trace);
+        for r in &baseline.regions {
+            checker.check(r).unwrap();
+        }
+        // Byte-identical across K with witnesses on (render carries them).
+        for k in [2, 7, 16] {
+            let got = batch_detect(&pt, &wcfg(k)).unwrap().merged;
+            assert_eq!(got.render(), baseline.render(), "K={k}");
+            assert_eq!(got, baseline, "K={k}");
+        }
+        assert!(baseline.render().contains(" w prev=s"));
+        // The chunked streaming path attaches identical witnesses.
+        for chunk in [1usize, 8] {
+            let buf = compress(&pt, chunk);
+            let got = batch_detect_chunked(&buf[..], &wcfg(4)).unwrap().merged;
+            assert_eq!(got.render(), baseline.render(), "chunk={chunk}");
+        }
+        // to_report keeps the witnesses on the rebuilt records.
+        let rep = baseline.to_report();
+        assert!(rep.races().iter().all(|r| r.witness.is_some()));
     }
 
     #[test]

@@ -193,6 +193,7 @@ fn time_batch(bench: &str, pt: &PortableTrace, k: usize, reps: u32, expected: &[
         shards: k,
         workers: k,
         steal_seed: 0,
+        ..BatchConfig::default()
     };
     let mut best = Duration::MAX;
     let mut work = 0u64;
@@ -225,6 +226,7 @@ fn time_stream(bench: &str, buf: &[u8], reps: u32, expected: &[u64]) -> StreamCe
         shards: STREAM_K,
         workers: STREAM_K,
         steal_seed: 0,
+        ..BatchConfig::default()
     };
     let mut best: Option<StreamCell> = None;
     for _ in 0..reps {

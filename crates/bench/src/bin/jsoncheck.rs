@@ -41,6 +41,15 @@
 //!                                   session journal: magic line, clean
 //!                                   varint+FNV-1a framing, every record a
 //!                                   decodable session event
+//! jsoncheck report FILE             FILE must be a stint-report-v1 race
+//!                                   report card: per run a kept count that
+//!                                   matches the races array, an explicit
+//!                                   truncated marker consistent with
+//!                                   total vs kept, coalesced racy
+//!                                   intervals covering racy_words, and
+//!                                   well-formed races (known kind,
+//!                                   word_lo < word_hi, witness either
+//!                                   null or structurally complete)
 //! ```
 //!
 //! Exit codes: 0 = all checks passed, 1 = a check failed, 2 = usage error.
@@ -531,6 +540,156 @@ fn journal(path: &str) {
     }
 }
 
+/// Structural validation of the race-report-card (`--report-json` from the
+/// CLI, schema `stint-report-v1`): per run the kept count must equal the
+/// length of the races array, the `truncated` marker must be consistent
+/// with `total` vs `kept` (a capped report must say so, an uncapped one
+/// must not), the racy-interval list must be sorted, disjoint, and sum to
+/// exactly `racy_words`, and every race must be well-formed — a known
+/// kind, a non-empty word range inside some racy interval, and a witness
+/// that is either `null` or structurally complete (both evidence sides
+/// with ordered spans, both order bits, both lineage chains). Semantic
+/// witness validity is `stint-cli witness verify`'s job; this is the
+/// schema gate the smoke scripts run without a trace at hand.
+fn report(path: &str) {
+    let doc = load(path);
+    schema(&doc, path, "stint-report-v1");
+    for key in ["source", "command"] {
+        if doc.get(key).and_then(Value::as_str).is_none() {
+            fail(format!("{path}: missing string field {key:?}"));
+        }
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(format!("{path}: no runs array")));
+    if runs.is_empty() {
+        fail(format!("{path}: empty runs array"));
+    }
+    let (mut total_races, mut witnessed) = (0usize, 0usize);
+    for r in runs {
+        let variant = r
+            .get("variant")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(format!("{path}: run without a variant name")));
+        let ctx = format!("{path}: {variant}");
+        let total = u64_field(r, "total", &ctx);
+        let kept = u64_field(r, "kept", &ctx);
+        let races = r
+            .get("races")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| fail(format!("{ctx}: no races array")));
+        if kept as usize != races.len() {
+            fail(format!(
+                "{ctx}: kept={kept} but races array has {} entries",
+                races.len()
+            ));
+        }
+        let truncated = r
+            .get("truncated")
+            .and_then(Value::as_bool)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing boolean field \"truncated\"")));
+        if truncated != (kept < total) {
+            fail(format!(
+                "{ctx}: truncated={truncated} inconsistent with kept={kept} of total={total}"
+            ));
+        }
+        let racy_words = u64_field(r, "racy_words", &ctx);
+        let intervals = r
+            .get("racy_intervals")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| fail(format!("{ctx}: no racy_intervals array")));
+        let mut covered = 0u64;
+        let mut prev_hi = 0u64;
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (i, iv) in intervals.iter().enumerate() {
+            let pair = iv
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .unwrap_or_else(|| fail(format!("{ctx}: racy_intervals[{i}] is not a pair")));
+            let (Some(lo), Some(hi)) = (pair[0].as_u64(), pair[1].as_u64()) else {
+                fail(format!("{ctx}: racy_intervals[{i}] is not numeric"));
+            };
+            if lo >= hi {
+                fail(format!("{ctx}: empty interval [{lo}, {hi})"));
+            }
+            if i > 0 && lo < prev_hi {
+                fail(format!(
+                    "{ctx}: intervals not sorted/disjoint ([{lo}, {hi}) after hi={prev_hi})"
+                ));
+            }
+            prev_hi = hi;
+            covered += hi - lo;
+            spans.push((lo, hi));
+        }
+        if covered != racy_words {
+            fail(format!(
+                "{ctx}: intervals cover {covered} words, racy_words says {racy_words}"
+            ));
+        }
+        for (j, race) in races.iter().enumerate() {
+            total_races += 1;
+            let rctx = format!("{ctx}: race {j}");
+            match race.get("kind").and_then(Value::as_str) {
+                Some("write-write" | "read-write" | "write-read") => {}
+                other => fail(format!("{rctx}: bad kind {other:?}")),
+            }
+            let lo = u64_field(race, "word_lo", &rctx);
+            let hi = u64_field(race, "word_hi", &rctx);
+            if lo >= hi {
+                fail(format!("{rctx}: empty word range [{lo}, {hi})"));
+            }
+            if !spans.iter().any(|&(a, b)| a <= lo && hi <= b) {
+                fail(format!(
+                    "{rctx}: range [{lo}, {hi}) outside every racy interval"
+                ));
+            }
+            u64_field(race, "prev", &rctx);
+            u64_field(race, "cur", &rctx);
+            match race.get("witness") {
+                None => fail(format!("{rctx}: missing witness field (use null)")),
+                Some(Value::Null) => {}
+                Some(w) => {
+                    witnessed += 1;
+                    for side in ["prev", "cur"] {
+                        let e = w
+                            .get(side)
+                            .unwrap_or_else(|| fail(format!("{rctx}: witness missing {side:?}")));
+                        u64_field(e, "strand", &rctx);
+                        let first = u64_field(e, "first", &rctx);
+                        let last = u64_field(e, "last", &rctx);
+                        if first > last {
+                            fail(format!("{rctx}: {side} span [{first}, {last}] inverted"));
+                        }
+                        if e.get("event").is_none() {
+                            fail(format!("{rctx}: {side} evidence missing event field"));
+                        }
+                    }
+                    for key in ["prev_before_eng", "prev_before_heb"] {
+                        if w.get(key).and_then(Value::as_bool).is_none() {
+                            fail(format!("{rctx}: witness missing boolean {key:?}"));
+                        }
+                    }
+                    for key in ["prev_lineage", "cur_lineage"] {
+                        let chain = w
+                            .get(key)
+                            .and_then(Value::as_array)
+                            .unwrap_or_else(|| fail(format!("{rctx}: witness missing {key:?}")));
+                        if chain.is_empty() {
+                            fail(format!("{rctx}: empty lineage chain {key:?}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "ok: {} run(s), {total_races} race record(s) ({witnessed} witnessed), \
+         truncation markers consistent, intervals coalesced",
+        runs.len()
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -548,6 +707,7 @@ fn main() {
         Some("serve") if argv.len() == 2 => serve(&argv[1]),
         Some("prom") if argv.len() == 2 => prom(&argv[1]),
         Some("journal") if argv.len() == 2 => journal(&argv[1]),
+        Some("report") if argv.len() == 2 => report(&argv[1]),
         _ => {
             eprintln!(
                 "usage: jsoncheck validate FILE...\n       \
@@ -556,7 +716,8 @@ fn main() {
                  jsoncheck batch BATCH\n       \
                  jsoncheck serve SERVE\n       \
                  jsoncheck prom FILE\n       \
-                 jsoncheck journal FILE"
+                 jsoncheck journal FILE\n       \
+                 jsoncheck report FILE"
             );
             std::process::exit(2);
         }

@@ -10,17 +10,21 @@ stint-cli — STINT race detector (SPAA 2021 reproduction)
 
 USAGE:
   stint-cli detect <bench> [--variant V] [--scale S] [--shards K]
-                   [--compress] [--chunk-events N]
+                   [--compress] [--chunk-events N] [--witness]
   stint-cli bugs
   stint-cli trace record <bench> <file> [--scale S] [--compress]
                    [--chunk-events N]
   stint-cli trace info <file>
   stint-cli trace replay <file> [--variant V] [--shards K] [--compress]
-                   [--chunk-events N]
+                   [--chunk-events N] [--witness]
+  stint-cli witness verify <trace-file> <report.json>
   stint-cli grid [n]
   stint-cli help
 
-  <bench>    chol | fft | heat | mmul | sort | stra | straz
+  <bench>    chol | fft | heat | mmul | sort | stra | straz, plus the
+             seeded-bug variants buggy-heat | buggy-merge | buggy-mmul
+             (deterministically racy — for recording racy traces and
+             witness smoke tests)
   --variant  vanilla | compiler | comp+rts | stint (default) | stint-btree;
              detect also accepts 'all' (every variant, run in parallel on a
              work-stealing pool); detect and trace replay also accept
@@ -41,6 +45,16 @@ USAGE:
              events per compressed chunk (1..=16777216, default 4096);
              both the record-side chunk size and the streaming replay's
              per-chunk working-set bound
+  --witness  capture verifiable witnesses with each reported race (event
+             spans of both accesses, SP-Order tag evidence, spawn-tree
+             lineage); off by default and free when off; re-validate with
+             'stint-cli witness verify'
+
+  witness verify re-runs the independent WitnessChecker on every race in a
+  --report-json report card against the recorded trace it came from: order
+  bits are recomputed from the frozen rank permutations, lineage from the
+  parent table, and each claimed span must hold a concretely conflicting
+  access. A tampered witness exits 4.
 
 GLOBAL OPTIONS (any command):
   --fault-plan SPEC   install a deterministic fault plan (key=value,flag,...;
@@ -69,6 +83,11 @@ GLOBAL OPTIONS (any command):
                       stdout
   --stats-json PATH   (detect) write the run's DetectorStats as JSON,
                       including a process-wide gauge watermark snapshot
+  --report-json PATH  (detect, trace replay) write the race-report-card as
+                      JSON (schema stint-report-v1): totals, an explicit
+                      truncated marker, coalesced racy intervals, and —
+                      with --witness — the structured witness of every
+                      kept race; PATH '-' writes to stdout
 
 EXIT CODE: 0 = no races, 1 = races found, 2 = usage/IO error,
            3 = detector resource budget exhausted (report sound up to the
@@ -90,6 +109,7 @@ pub struct RunOpts {
     pub trace_out: Option<String>,
     pub mem_series_out: Option<String>,
     pub stats_json: Option<String>,
+    pub report_json: Option<String>,
 }
 
 /// `--variant` argument: one concrete variant, `all` of them, or the
@@ -112,6 +132,7 @@ pub enum Parsed {
         shards: usize,
         compress: bool,
         chunk_events: usize,
+        witness: bool,
     },
     Bugs,
     TraceRecord {
@@ -130,6 +151,13 @@ pub enum Parsed {
         shards: usize,
         compress: bool,
         chunk_events: usize,
+        witness: bool,
+    },
+    /// `witness verify <trace> <report.json>`: re-validate every witness in
+    /// a report card against the trace it was captured from.
+    WitnessVerify {
+        trace: String,
+        report: String,
     },
     Grid {
         n: usize,
@@ -162,6 +190,7 @@ struct SubOpts {
     shards: usize,
     compress: bool,
     chunk_events: usize,
+    witness: bool,
 }
 
 impl Default for SubOpts {
@@ -172,12 +201,13 @@ impl Default for SubOpts {
             shards: 4,
             compress: false,
             chunk_events: stint::ctrace::DEFAULT_CHUNK_EVENTS,
+            witness: false,
         }
     }
 }
 
-/// Pull `--variant`/`--scale`/`--shards`/`--compress`/`--chunk-events`
-/// options out of `rest`, leaving positionals.
+/// Pull `--variant`/`--scale`/`--shards`/`--compress`/`--chunk-events`/
+/// `--witness` options out of `rest`, leaving positionals.
 fn split_opts(rest: &[String]) -> Result<(Vec<String>, SubOpts), String> {
     let mut pos = Vec::new();
     let mut o = SubOpts::default();
@@ -204,6 +234,10 @@ fn split_opts(rest: &[String]) -> Result<(Vec<String>, SubOpts), String> {
             }
             "--compress" => {
                 o.compress = true;
+                i += 1;
+            }
+            "--witness" => {
+                o.witness = true;
                 i += 1;
             }
             "--chunk-events" => {
@@ -284,6 +318,10 @@ fn extract_run_opts(argv: &[String]) -> Result<(Vec<String>, RunOpts), String> {
                 opts.stats_json = Some(take_value("--stats-json")?);
                 i += 2;
             }
+            "--report-json" => {
+                opts.report_json = Some(take_value("--report-json")?);
+                i += 2;
+            }
             _ => {
                 rest.push(argv[i].clone());
                 i += 1;
@@ -320,9 +358,26 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                 shards: o.shards,
                 compress: o.compress,
                 chunk_events: o.chunk_events,
+                witness: o.witness,
             })
         }
         "bugs" => Ok(Parsed::Bugs),
+        "witness" => {
+            let sub = argv
+                .get(1)
+                .map(String::as_str)
+                .ok_or("witness needs a subcommand (verify)")?;
+            if sub != "verify" {
+                return Err(format!("unknown witness subcommand {sub:?}"));
+            }
+            let [_, _, trace, report] = argv else {
+                return Err("witness verify takes <trace-file> <report.json>".into());
+            };
+            Ok(Parsed::WitnessVerify {
+                trace: trace.clone(),
+                report: report.clone(),
+            })
+        }
         "trace" => {
             let sub = argv
                 .get(1)
@@ -336,6 +391,13 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                     };
                     if !crate::known_bench(bench) {
                         return Err(format!("unknown benchmark {bench:?}"));
+                    }
+                    if o.witness {
+                        return Err(
+                            "--witness applies at detection time (detect, trace replay), \
+                             not trace record"
+                                .into(),
+                        );
                     }
                     Ok(Parsed::TraceRecord {
                         bench: bench.clone(),
@@ -371,6 +433,7 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                         shards: o.shards,
                         compress: o.compress,
                         chunk_events: o.chunk_events,
+                        witness: o.witness,
                     })
                 }
                 _ => Err(format!("unknown trace subcommand {sub:?}")),
@@ -420,6 +483,7 @@ mod tests {
                 shards: 4,
                 compress: false,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
     }
@@ -436,6 +500,7 @@ mod tests {
                 shards: 4,
                 compress: false,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
         // `all` makes no sense for a single-detector replay.
@@ -462,6 +527,7 @@ mod tests {
                 shards: 7,
                 compress: false,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
         // Batch replays a saved trace too, unlike 'all'.
@@ -483,6 +549,7 @@ mod tests {
                 shards: 16,
                 compress: false,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
         assert!(parse_cmd(&v(&["detect", "mmul", "--shards", "0"])).is_err());
@@ -503,6 +570,7 @@ mod tests {
                 shards: 4,
                 compress: false,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
         assert_eq!(parse(&v(&[])).unwrap().0, Parsed::Help);
@@ -558,6 +626,7 @@ mod tests {
                 shards: 4,
                 compress: false,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
     }
@@ -586,6 +655,7 @@ mod tests {
                 shards: 4,
                 compress: false,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
         assert_eq!(opts.max_intervals, Some(10));
@@ -677,6 +747,7 @@ mod tests {
                 shards: 4,
                 compress: true,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
         let p = parse_cmd(&v(&["detect", "mmul", "--variant", "batch", "--compress"])).unwrap();
@@ -689,6 +760,7 @@ mod tests {
                 shards: 4,
                 compress: true,
                 chunk_events: CHUNK,
+                witness: false,
             }
         );
         // --compress is a batch-mode knob everywhere but trace record.
@@ -722,6 +794,59 @@ mod tests {
             "99999999"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_witness_flag_and_verify() {
+        let p = parse_cmd(&v(&["detect", "buggy-mmul", "--witness"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Detect {
+                bench: "buggy-mmul".into(),
+                variant: VariantSel::One(Variant::Stint),
+                scale: Scale::Test,
+                shards: 4,
+                compress: false,
+                chunk_events: CHUNK,
+                witness: true,
+            }
+        );
+        let p = parse_cmd(&v(&[
+            "trace",
+            "replay",
+            "/tmp/t",
+            "--variant",
+            "batch",
+            "--witness",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::TraceReplay {
+                file: "/tmp/t".into(),
+                variant: VariantSel::Batch,
+                shards: 4,
+                compress: false,
+                chunk_events: CHUNK,
+                witness: true,
+            }
+        );
+        assert_eq!(
+            parse_cmd(&v(&["witness", "verify", "/tmp/t", "/tmp/r.json"])).unwrap(),
+            Parsed::WitnessVerify {
+                trace: "/tmp/t".into(),
+                report: "/tmp/r.json".into(),
+            }
+        );
+        // Capture is a detection-time knob; recording doesn't take it.
+        assert!(parse_cmd(&v(&["trace", "record", "mmul", "/tmp/t", "--witness"])).is_err());
+        assert!(parse_cmd(&v(&["witness"])).is_err());
+        assert!(parse_cmd(&v(&["witness", "frobnicate"])).is_err());
+        assert!(parse_cmd(&v(&["witness", "verify", "/tmp/t"])).is_err());
+        // --report-json is a global option with a value.
+        let (_, opts) = parse(&v(&["detect", "sort", "--report-json", "/tmp/r.json"])).unwrap();
+        assert_eq!(opts.report_json.as_deref(), Some("/tmp/r.json"));
+        assert!(parse(&v(&["detect", "sort", "--report-json"])).is_err());
     }
 
     #[test]

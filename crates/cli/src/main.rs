@@ -22,16 +22,19 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use stint::{
-    try_detect_with, CompRtsDetector, Config, DetectorError, Outcome, PortableTrace, RaceReport,
-    StintDetector, StintFlatDetector, VanillaDetector, Variant,
+    try_detect_with, AccessEvidence, CompRtsDetector, Config, DetectorError, Outcome,
+    PortableTrace, Race, RaceKind, RaceReport, StintDetector, StintFlatDetector, StrandId,
+    VanillaDetector, Variant, Witness, WitnessChecker,
 };
-use stint_suite::{Scale, Workload, NAMES};
+use stint_suite::{Scale, Workload, BUGGY_NAMES, NAMES};
 
 mod args;
 mod output;
 
 use args::{Parsed, RunOpts, VariantSel};
-use output::{print_batch_outcome, print_outcome, print_report, write_stats_json};
+use output::{
+    print_batch_outcome, print_outcome, print_report, write_report_json, write_stats_json,
+};
 use stint_batchdet::{batch_detect, batch_detect_chunked, BatchConfig};
 
 /// A failed run: either bad input (exit 2) or a structured detector failure
@@ -205,14 +208,16 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             shards,
             compress,
             chunk_events,
+            witness,
         } => {
             let mut cfg = Config::new(Variant::Stint);
             if let Some(mb) = opts.max_shadow_mb {
                 cfg.budget = cfg.budget.with_shadow_mb(mb);
             }
             cfg.budget.max_intervals = opts.max_intervals;
+            cfg.witnesses = witness;
             if variant == VariantSel::Batch {
-                return detect_batch(&bench, scale, shards, compress, chunk_events, opts);
+                return detect_batch(&bench, scale, shards, compress, chunk_events, witness, opts);
             }
             let outcomes = match variant {
                 VariantSel::Batch => unreachable!("handled above"),
@@ -248,6 +253,13 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             // run's partial numbers are still inspectable.
             if let Some(path) = &opts.stats_json {
                 write_stats_json(path, &bench, &outcomes).map_err(usage)?;
+            }
+            if let Some(path) = &opts.report_json {
+                let runs: Vec<(String, &RaceReport)> = outcomes
+                    .iter()
+                    .map(|o| (o.variant.name().to_string(), &o.report))
+                    .collect();
+                write_report_json(path, &bench, "detect", &runs).map_err(usage)?;
             }
             if let Some(err) = outcomes.iter().find_map(|o| o.degraded.clone()) {
                 // The report above is sound but incomplete: surface the
@@ -331,6 +343,7 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             shards,
             compress,
             chunk_events,
+            witness,
         } => match variant {
             VariantSel::All => Err(usage("trace replay cannot run 'all'")),
             VariantSel::Batch => {
@@ -341,6 +354,7 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
                 let mut r = BufReader::new(f);
                 let bcfg = BatchConfig {
                     shards,
+                    witnesses: witness,
                     ..BatchConfig::default()
                 };
                 let out = if sniff_v2(&mut r).map_err(usage)? {
@@ -374,6 +388,10 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
                 }
                 let report = out.merged.to_report();
                 print_report(&report, 10);
+                if let Some(path) = &opts.report_json {
+                    write_report_json(path, &file, "replay", &[("BATCH".into(), &report)])
+                        .map_err(usage)?;
+                }
                 if let Some(err) = out.degraded {
                     return Err(Failure::Detector(err));
                 }
@@ -383,17 +401,37 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
                 let pt = load_trace(&file).map_err(usage)?;
                 let report = RaceReport::default();
                 let report = match variant {
-                    Variant::Vanilla => pt.replay(VanillaDetector::new(false, report)).report,
-                    Variant::Compiler => pt.replay(VanillaDetector::new(true, report)).report,
-                    Variant::CompRts => pt.replay(CompRtsDetector::new(report)).report,
-                    Variant::Stint => pt.replay(StintDetector::new(report)).report,
-                    Variant::StintFlat => pt.replay(StintFlatDetector::new_flat(report)).report,
+                    Variant::Vanilla => {
+                        pt.replay(VanillaDetector::new(false, report).with_witnesses(witness))
+                            .report
+                    }
+                    Variant::Compiler => {
+                        pt.replay(VanillaDetector::new(true, report).with_witnesses(witness))
+                            .report
+                    }
+                    Variant::CompRts => {
+                        pt.replay(CompRtsDetector::new(report).with_witnesses(witness))
+                            .report
+                    }
+                    Variant::Stint => {
+                        pt.replay(StintDetector::new(report).with_witnesses(witness))
+                            .report
+                    }
+                    Variant::StintFlat => {
+                        pt.replay(StintFlatDetector::new_flat(report).with_witnesses(witness))
+                            .report
+                    }
                 };
                 println!("replayed {} events under {}:", pt.trace.len(), variant);
                 print_report(&report, 10);
+                if let Some(path) = &opts.report_json {
+                    write_report_json(path, &file, "replay", &[(variant.name().into(), &report)])
+                        .map_err(usage)?;
+                }
                 Ok(!report.is_race_free())
             }
         },
+        Parsed::WitnessVerify { trace, report } => witness_verify(&trace, &report),
         Parsed::Grid { n } => {
             use stint_grid::wavefront::SmithWaterman;
             let a: Vec<u8> = (0..n).map(|i| b"ACGT"[(i * 7 + 1) % 4]).collect();
@@ -423,6 +461,7 @@ fn detect_batch(
     shards: usize,
     compress: bool,
     chunk_events: usize,
+    witness: bool,
     opts: &RunOpts,
 ) -> Result<bool, Failure> {
     if opts.max_shadow_mb.is_some() || opts.max_intervals.is_some() {
@@ -439,6 +478,7 @@ fn detect_batch(
         .map_err(|e| usage(format!("output verification: {e}")))?;
     let bcfg = BatchConfig {
         shards,
+        witnesses: witness,
         ..BatchConfig::default()
     };
     let out = if compress {
@@ -449,6 +489,10 @@ fn detect_batch(
         batch_detect(&pt, &bcfg).map_err(Failure::Detector)?
     };
     print_batch_outcome(bench, &out);
+    if let Some(path) = &opts.report_json {
+        let report = out.merged.to_report();
+        write_report_json(path, bench, "detect", &[("BATCH".into(), &report)]).map_err(usage)?;
+    }
     if let Some(err) = out.degraded {
         // Sound but incomplete, exactly like a degraded sequential run.
         return Err(Failure::Detector(err));
@@ -522,7 +566,136 @@ fn load_trace(file: &str) -> Result<PortableTrace, String> {
     PortableTrace::load_any(BufReader::new(f)).map_err(|e| format!("parse {file}: {e}"))
 }
 
-/// Shared with `args.rs` for validation.
+/// `witness verify <trace> <report.json>`: re-run the independent
+/// [`WitnessChecker`] on every race in a `stint-report-v1` report card
+/// against the trace it was emitted from. Unreadable inputs are usage
+/// errors (exit 2); a witness that fails verification — tampered evidence,
+/// or a report paired with the wrong trace — is a corrupt-input failure
+/// (exit 4). A report that carries races but no witnesses is a usage error:
+/// there is nothing to verify, re-emit with `--witness`.
+fn witness_verify(trace_path: &str, report_path: &str) -> Result<bool, Failure> {
+    use stint_bench::json::{parse, Value};
+    let pt = load_trace(trace_path).map_err(usage)?;
+    let text = std::fs::read_to_string(report_path)
+        .map_err(|e| usage(format!("read {report_path}: {e}")))?;
+    let doc = parse(&text).map_err(|e| usage(format!("parse {report_path}: {e}")))?;
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != "stint-report-v1" {
+        return Err(usage(format!(
+            "{report_path}: schema is {schema:?}, expected \"stint-report-v1\""
+        )));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| usage(format!("{report_path}: no runs array")))?;
+    let checker = WitnessChecker::new(&pt.reach).with_trace(&pt.trace);
+    let (mut total, mut checked, mut unwitnessed) = (0u64, 0u64, 0u64);
+    for (ri, run) in runs.iter().enumerate() {
+        let races = run
+            .get("races")
+            .and_then(Value::as_array)
+            .ok_or_else(|| usage(format!("{report_path}: run {ri} has no races array")))?;
+        for (rj, race_json) in races.iter().enumerate() {
+            total += 1;
+            let race = race_from_json(race_json)
+                .map_err(|e| usage(format!("{report_path}: run {ri} race {rj}: {e}")))?;
+            if race.witness.is_none() {
+                unwitnessed += 1;
+                continue;
+            }
+            checked += 1;
+            if let Err(reason) = checker.check(&race) {
+                eprintln!(
+                    "witness REJECTED (run {ri}, {} race on words [{:#x},{:#x}), \
+                     s{} vs s{}): {reason}",
+                    race.kind, race.word_lo, race.word_hi, race.prev.0, race.cur.0
+                );
+                return Err(Failure::Detector(DetectorError::CorruptTrace {
+                    detail: format!("witness verification failed: {reason}"),
+                }));
+            }
+        }
+    }
+    if checked == 0 && total > 0 {
+        return Err(usage(format!(
+            "{report_path}: {total} race(s), none witnessed — re-emit with --witness"
+        )));
+    }
+    println!(
+        "verified {checked} witness(es) across {total} race record(s) \
+         ({unwitnessed} unwitnessed) against {trace_path}"
+    );
+    Ok(false)
+}
+
+/// Rebuild a [`Race`] (with optional witness) from its report-card JSON.
+fn race_from_json(v: &stint_bench::json::Value) -> Result<Race, String> {
+    use stint_bench::json::Value;
+    let num = |o: &Value, key: &str| -> Result<u64, String> {
+        o.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing integer field {key:?}"))
+    };
+    let kind = match v.get("kind").and_then(Value::as_str) {
+        Some("write-write") => RaceKind::WriteWrite,
+        Some("read-write") => RaceKind::ReadWrite,
+        Some("write-read") => RaceKind::WriteRead,
+        other => return Err(format!("bad race kind {other:?}")),
+    };
+    let mut race = Race::new(
+        kind,
+        num(v, "word_lo")?,
+        num(v, "word_hi")?,
+        StrandId(num(v, "prev")? as u32),
+        StrandId(num(v, "cur")? as u32),
+    );
+    match v.get("witness") {
+        None | Some(Value::Null) => {}
+        Some(w) => {
+            let side = |key: &str| -> Result<AccessEvidence, String> {
+                let e = w
+                    .get(key)
+                    .ok_or_else(|| format!("witness missing {key:?} evidence"))?;
+                Ok(AccessEvidence {
+                    strand: StrandId(num(e, "strand")? as u32),
+                    first_event: num(e, "first")?,
+                    last_event: num(e, "last")?,
+                    event: e.get("event").and_then(Value::as_u64),
+                })
+            };
+            let flag = |key: &str| -> Result<bool, String> {
+                w.get(key)
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| format!("witness missing boolean {key:?}"))
+            };
+            let chain = |key: &str| -> Result<Vec<StrandId>, String> {
+                w.get(key)
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| format!("witness missing lineage {key:?}"))?
+                    .iter()
+                    .map(|s| {
+                        s.as_u64()
+                            .map(|n| StrandId(n as u32))
+                            .ok_or_else(|| format!("non-integer strand in {key:?}"))
+                    })
+                    .collect()
+            };
+            race.witness = Some(Box::new(Witness {
+                prev: side("prev")?,
+                cur: side("cur")?,
+                prev_before_eng: flag("prev_before_eng")?,
+                prev_before_heb: flag("prev_before_heb")?,
+                prev_lineage: chain("prev_lineage")?,
+                cur_lineage: chain("cur_lineage")?,
+            }));
+        }
+    }
+    Ok(race)
+}
+
+/// Shared with `args.rs` for validation: the race-free suite plus the
+/// seeded-bug variants (racy traces for witness tooling).
 pub(crate) fn known_bench(name: &str) -> bool {
-    NAMES.contains(&name)
+    NAMES.contains(&name) || BUGGY_NAMES.contains(&name)
 }

@@ -78,8 +78,20 @@ pub fn print_report(report: &RaceReport, max: usize) {
         report.total,
         report.racy_words().len()
     );
+    // Detail records dropped at the report cap are surfaced explicitly —
+    // a capped report must never read as a complete one.
+    if report.truncated() {
+        println!(
+            "  truncated:        detail capped at {} of {} report(s)",
+            report.races().len(),
+            report.total
+        );
+    }
     for race in report.races().iter().take(max) {
         println!("    {race}");
+        if let Some(w) = &race.witness {
+            println!("      witness: {w}");
+        }
     }
     let shown = report.races().len().min(max);
     if (report.total as usize) > shown {
@@ -138,6 +150,7 @@ pub fn write_stats_json(path: &str, bench: &str, outcomes: &[Outcome]) -> Result
             writeln!(w, "      \"spawns\": {},", o.counters.spawns)?;
             writeln!(w, "      \"syncs\": {},", o.counters.effective_syncs)?;
             writeln!(w, "      \"races\": {},", o.report.total)?;
+            writeln!(w, "      \"truncated\": {},", o.report.truncated())?;
             writeln!(w, "      \"racy_words\": {},", o.report.racy_words().len())?;
             match &o.degraded {
                 Some(e) => writeln!(
@@ -155,6 +168,83 @@ pub fn write_stats_json(path: &str, bench: &str, outcomes: &[Outcome]) -> Result
             }
             writeln!(w, "      }}")?;
             let comma = if i + 1 < outcomes.len() { "," } else { "" };
+            writeln!(w, "    }}{comma}")?;
+        }
+        writeln!(w, "  ]")?;
+        writeln!(w, "}}")
+    };
+    emit().map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Write the race-report-card (`--report-json`, schema `stint-report-v1`):
+/// per run the totals, an **explicit `truncated` marker** (detail records
+/// dropped at the report cap are never silent), the coalesced racy word
+/// intervals, and every kept race — with its structured witness when
+/// capture was on. `witness verify` re-validates this file against the
+/// trace it came from.
+///
+/// ```json
+/// {
+///   "schema": "stint-report-v1",
+///   "source": "buggy-mmul",
+///   "command": "detect",
+///   "runs": [ { "variant": "STINT", "total": 3, "kept": 3,
+///               "truncated": false, "racy_words": 4,
+///               "racy_intervals": [[16, 20]],
+///               "races": [ { "kind": "write-read", "word_lo": 16,
+///                            "word_hi": 20, "prev": 2, "cur": 5,
+///                            "witness": { "prev": { ... }, ... } } ] } ]
+/// }
+/// ```
+pub fn write_report_json(
+    path: &str,
+    source: &str,
+    command: &str,
+    runs: &[(String, &RaceReport)],
+) -> Result<(), String> {
+    use std::io::Write;
+    let mut w: Box<dyn std::io::Write> = if path == "-" {
+        Box::new(std::io::BufWriter::new(std::io::stdout()))
+    } else {
+        let f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        Box::new(std::io::BufWriter::new(f))
+    };
+    let mut emit = || -> std::io::Result<()> {
+        writeln!(w, "{{")?;
+        writeln!(w, "  \"schema\": \"stint-report-v1\",")?;
+        writeln!(w, "  \"source\": \"{}\",", json_escape(source))?;
+        writeln!(w, "  \"command\": \"{}\",", json_escape(command))?;
+        writeln!(w, "  \"runs\": [")?;
+        for (i, (variant, report)) in runs.iter().enumerate() {
+            writeln!(w, "    {{")?;
+            writeln!(w, "      \"variant\": \"{}\",", json_escape(variant))?;
+            writeln!(w, "      \"total\": {},", report.total)?;
+            writeln!(w, "      \"kept\": {},", report.races().len())?;
+            writeln!(w, "      \"truncated\": {},", report.truncated())?;
+            writeln!(w, "      \"racy_words\": {},", report.racy_words().len())?;
+            let ivs: Vec<String> = report
+                .racy_intervals()
+                .iter()
+                .map(|(lo, hi)| format!("[{lo}, {hi}]"))
+                .collect();
+            writeln!(w, "      \"racy_intervals\": [{}],", ivs.join(", "))?;
+            writeln!(w, "      \"races\": [")?;
+            let races = report.races();
+            for (j, r) in races.iter().enumerate() {
+                let witness = match &r.witness {
+                    Some(wit) => wit.to_json(),
+                    None => "null".into(),
+                };
+                let comma = if j + 1 < races.len() { "," } else { "" };
+                writeln!(
+                    w,
+                    "        {{ \"kind\": \"{}\", \"word_lo\": {}, \"word_hi\": {}, \
+                     \"prev\": {}, \"cur\": {}, \"witness\": {witness} }}{comma}",
+                    r.kind, r.word_lo, r.word_hi, r.prev.0, r.cur.0
+                )?;
+            }
+            writeln!(w, "      ]")?;
+            let comma = if i + 1 < runs.len() { "," } else { "" };
             writeln!(w, "    }}{comma}")?;
         }
         writeln!(w, "  ]")?;

@@ -68,70 +68,16 @@ impl CompRtsDetector {
         self
     }
 
-    /// Apply resource budgets. On exhaustion the [`WordShadow`] degrades to
-    /// an always-empty sink page and the [`BitShadow`] coalescers drop bits
-    /// (both sound: no false races); the first failure surfaces via
-    /// [`Detector::failure`].
-    pub fn with_budget(mut self, b: ResourceBudget) -> Self {
-        if let Some(bytes) = b.max_shadow_bytes {
-            self.shadow.set_page_cap(bytes / WordShadow::BYTES_PER_PAGE);
-            self.reads.set_chunk_cap(bytes / BitShadow::BYTES_PER_CHUNK);
-            self.writes
-                .set_chunk_cap(bytes / BitShadow::BYTES_PER_CHUNK);
-        }
+    /// Enable verifiable-witness capture (see [`crate::witness`]).
+    pub fn with_witnesses(mut self, on: bool) -> Self {
+        self.report.set_witness_capture(on);
         self
     }
-}
 
-impl<R: Reachability> Detector<R> for CompRtsDetector {
-    #[inline]
-    fn load(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
-        let (lo, hi) = word_range(addr, bytes);
-        self.stats.read.hooks += 1;
-        self.stats.read.hook_bytes += bytes as u64;
-        self.stats.read.words += hi - lo;
-        // The bit table is monotone until the strand-end flush, so a range
-        // the filter has seen set this strand can skip it entirely.
-        if self.hot.batched {
-            if !self.read_filter.covers(lo, hi) {
-                self.reads.set_range(lo, hi);
-                if lo < hi {
-                    self.read_filter.record(lo, hi);
-                }
-            }
-        } else {
-            self.reads.set_range(lo, hi);
-        }
-    }
-
-    #[inline]
-    fn store(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
-        let (lo, hi) = word_range(addr, bytes);
-        self.stats.write.hooks += 1;
-        self.stats.write.hook_bytes += bytes as u64;
-        self.stats.write.words += hi - lo;
-        if self.hot.batched {
-            if !self.write_filter.covers(lo, hi) {
-                self.writes.set_range(lo, hi);
-                if lo < hi {
-                    self.write_filter.record(lo, hi);
-                }
-            }
-        } else {
-            self.writes.set_range(lo, hi);
-        }
-    }
-
-    fn free(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
-        // Flush the strand's pending accesses first (they really happened and
-        // must be checked/recorded before the region's history is erased);
-        // flushing mid-strand with the same strand id is semantics-preserving.
-        self.strand_end(s, reach);
-        let (lo, hi) = word_range(addr, bytes);
-        self.shadow.clear_range(lo, hi);
-    }
-
-    fn strand_end(&mut self, s: StrandId, reach: &R) {
+    /// The strand-end flush, shared by the `strand_end` hook, `free`, and
+    /// `finish`. Internal callers must NOT `observe` (only real hook
+    /// invocations are trace events).
+    fn flush<R: Reachability>(&mut self, s: StrandId, reach: &R) {
         if self.reads.is_clear() && self.writes.is_clear() {
             return;
         }
@@ -187,8 +133,80 @@ impl<R: Reachability> Detector<R> for CompRtsDetector {
         self.timer.end(t0, &mut self.stats.ah_time);
     }
 
+    /// Apply resource budgets. On exhaustion the [`WordShadow`] degrades to
+    /// an always-empty sink page and the [`BitShadow`] coalescers drop bits
+    /// (both sound: no false races); the first failure surfaces via
+    /// [`Detector::failure`].
+    pub fn with_budget(mut self, b: ResourceBudget) -> Self {
+        if let Some(bytes) = b.max_shadow_bytes {
+            self.shadow.set_page_cap(bytes / WordShadow::BYTES_PER_PAGE);
+            self.reads.set_chunk_cap(bytes / BitShadow::BYTES_PER_CHUNK);
+            self.writes
+                .set_chunk_cap(bytes / BitShadow::BYTES_PER_CHUNK);
+        }
+        self
+    }
+}
+
+impl<R: Reachability> Detector<R> for CompRtsDetector {
+    #[inline]
+    fn load(&mut self, s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        self.report.observe(s, true);
+        let (lo, hi) = word_range(addr, bytes);
+        self.stats.read.hooks += 1;
+        self.stats.read.hook_bytes += bytes as u64;
+        self.stats.read.words += hi - lo;
+        // The bit table is monotone until the strand-end flush, so a range
+        // the filter has seen set this strand can skip it entirely.
+        if self.hot.batched {
+            if !self.read_filter.covers(lo, hi) {
+                self.reads.set_range(lo, hi);
+                if lo < hi {
+                    self.read_filter.record(lo, hi);
+                }
+            }
+        } else {
+            self.reads.set_range(lo, hi);
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        self.report.observe(s, true);
+        let (lo, hi) = word_range(addr, bytes);
+        self.stats.write.hooks += 1;
+        self.stats.write.hook_bytes += bytes as u64;
+        self.stats.write.words += hi - lo;
+        if self.hot.batched {
+            if !self.write_filter.covers(lo, hi) {
+                self.writes.set_range(lo, hi);
+                if lo < hi {
+                    self.write_filter.record(lo, hi);
+                }
+            }
+        } else {
+            self.writes.set_range(lo, hi);
+        }
+    }
+
+    fn free(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
+        self.report.observe(s, false);
+        // Flush the strand's pending accesses first (they really happened and
+        // must be checked/recorded before the region's history is erased);
+        // flushing mid-strand with the same strand id is semantics-preserving.
+        self.flush(s, reach);
+        let (lo, hi) = word_range(addr, bytes);
+        self.shadow.clear_range(lo, hi);
+    }
+
+    fn strand_end(&mut self, s: StrandId, reach: &R) {
+        self.report.observe(s, false);
+        self.flush(s, reach);
+    }
+
     fn finish(&mut self, s: StrandId, reach: &R) {
-        self.strand_end(s, reach);
+        // Not a trace event: flush without `observe`.
+        self.flush(s, reach);
         self.stats.hash_ops = self.shadow.ops;
         self.stats.reach_hits = self.cache.hits;
         self.stats.reach_misses = self.cache.misses;

@@ -338,6 +338,22 @@ pub fn save_compressed<W: Write>(
     for &c in &hist {
         put_varint(&mut header, c);
     }
+    // Optional lineage block (spawn parents for race witnesses): absent for
+    // snapshots without a parent table, so older files — which end at the
+    // histogram — still parse.
+    if let Some(parents) = pt.reach.parents() {
+        for &par in parents {
+            // NO_PARENT → 0, else parent+1: keeps the root a 1-byte varint.
+            put_varint(
+                &mut header,
+                if par == stint_sporder::NO_PARENT {
+                    0
+                } else {
+                    u64::from(par) + 1
+                },
+            );
+        }
+    }
     let mut framing = Vec::new();
     put_varint(&mut framing, header.len() as u64);
     put_varint(&mut framing, fnv1a(&header));
@@ -469,12 +485,35 @@ impl<R: BufRead> CompressedTraceReader<R> {
         for _ in 0..buckets {
             hist.push(get_varint(&header, &mut pos)?);
         }
+        // Optional lineage block: headers written without a parent table end
+        // at the histogram; otherwise exactly one parent entry per strand.
+        let mut parents: Vec<u32> = Vec::new();
+        if pos != header.len() {
+            parents.reserve(n);
+            for i in 0..n {
+                let v = get_varint(&header, &mut pos)?;
+                let par = if v == 0 {
+                    stint_sporder::NO_PARENT
+                } else {
+                    let par = v - 1;
+                    if par >= n as u64 || par as usize == i {
+                        return Err(bad("parent entry out of range or self-referential"));
+                    }
+                    par as u32
+                };
+                parents.push(par);
+            }
+        }
         if pos != header.len() {
             return Err(bad("trailing bytes in header"));
         }
+        let mut reach = FrozenReach::from_ranks(eng, heb);
+        if !parents.is_empty() {
+            reach = reach.with_parents(parents);
+        }
         Ok(CompressedTraceReader {
             r,
-            reach: FrozenReach::from_ranks(eng, heb),
+            reach,
             total_events,
             word_lo,
             word_hi,

@@ -52,6 +52,7 @@ pub mod stint_det;
 pub mod timing;
 pub mod trace;
 pub mod vanilla;
+pub mod witness;
 pub mod word_logic;
 
 pub use comprts::CompRtsDetector;
@@ -67,6 +68,9 @@ pub use trace::{
     TraceRecorder, MAGIC_V1,
 };
 pub use vanilla::VanillaDetector;
+pub use witness::{
+    lineage_to_common, AccessEvidence, EventSpans, Provenance, Witness, WitnessChecker,
+};
 
 // Re-export the substrate surface users need.
 pub use stint_cilk::{
@@ -210,6 +214,9 @@ pub struct Config {
     pub hot: HotPath,
     /// Resource budgets (default: unbounded).
     pub budget: ResourceBudget,
+    /// Capture verifiable race witnesses (see [`witness`]). Off by default;
+    /// disabled capture costs one `Option` discriminant check per hook.
+    pub witnesses: bool,
 }
 
 impl Config {
@@ -220,6 +227,7 @@ impl Config {
             collect_racy_words: true,
             hot: HotPath::default(),
             budget: ResourceBudget::UNLIMITED,
+            witnesses: false,
         }
     }
 }
@@ -249,7 +257,8 @@ pub fn detect<P: CilkProgram>(p: &mut P, variant: Variant) -> Outcome {
 
 /// Race detect `p` with explicit options.
 pub fn detect_with<P: CilkProgram>(p: &mut P, cfg: Config) -> Outcome {
-    let report = RaceReport::new(cfg.race_cap, cfg.collect_racy_words);
+    let mut report = RaceReport::new(cfg.race_cap, cfg.collect_racy_words);
+    report.set_witness_capture(cfg.witnesses);
     match cfg.variant {
         Variant::Vanilla => {
             let det = VanillaDetector::new(false, report)

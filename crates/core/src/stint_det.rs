@@ -162,6 +162,12 @@ impl<S: IntervalStore<StrandId>> IntervalDetector<S> {
         self
     }
 
+    /// Enable verifiable-witness capture (see [`crate::witness`]).
+    pub fn with_witnesses(mut self, on: bool) -> Self {
+        self.report.set_witness_capture(on);
+        self
+    }
+
     /// Current sizes of the (read, write) interval stores.
     pub fn tree_sizes(&self) -> (usize, usize) {
         (self.read_tree.len(), self.write_tree.len())
@@ -179,7 +185,8 @@ impl<S: IntervalStore<StrandId>> IntervalDetector<S> {
 
 impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetector<S> {
     #[inline]
-    fn load(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+    fn load(&mut self, s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        self.report.observe(s, true);
         if self.failure.is_some() {
             return; // dead: history frozen at the failure point
         }
@@ -202,7 +209,8 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
     }
 
     #[inline]
-    fn store(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+    fn store(&mut self, s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        self.report.observe(s, true);
         if self.failure.is_some() {
             return; // dead: history frozen at the failure point
         }
@@ -223,12 +231,13 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
     }
 
     fn free(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
+        self.report.observe(s, false);
         if self.failure.is_some() {
             return; // dead: history frozen at the failure point
         }
         // Flush pending accesses (they must be checked before the region's
         // history is erased), then blanket both trees with a tombstone.
-        self.strand_end(s, reach);
+        self.flush(s, reach);
         let (lo, hi) = word_range(addr, bytes);
         if lo < hi {
             self.read_tree
@@ -239,6 +248,39 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
     }
 
     fn strand_end(&mut self, s: StrandId, reach: &R) {
+        self.report.observe(s, false);
+        self.flush(s, reach);
+    }
+
+    fn finish(&mut self, s: StrandId, reach: &R) {
+        // Not a trace event: flush without `observe`.
+        self.flush(s, reach);
+        let mut t = self.read_tree.stats();
+        t.merge(&self.write_tree.stats());
+        self.stats.treap = t;
+        self.stats.reach_hits = self.cache.hits;
+        self.stats.reach_misses = self.cache.misses;
+        self.stats.reach_flushes = self.cache.flushes;
+        self.stats.hook_filter_hits = self.read_filter.hits + self.write_filter.hits;
+        self.stats.ah_bytes = t.bytes;
+        self.stats.coalesce_bytes = self.reads.heap_bytes() + self.writes.heap_bytes();
+        self.stats.treap_inserts = t.inserts;
+        self.stats.treap_len_hw = t.len_hw;
+    }
+
+    fn failure(&self) -> Option<DetectorError> {
+        self.failure
+            .clone()
+            .or_else(|| self.reads.exhausted())
+            .or_else(|| self.writes.exhausted())
+    }
+}
+
+impl<S: IntervalStore<StrandId>> IntervalDetector<S> {
+    /// The strand-end flush, shared by the `strand_end` hook, `free`, and
+    /// `finish`. Internal callers must NOT `observe` (only real hook
+    /// invocations are trace events).
+    fn flush<R: Reachability>(&mut self, s: StrandId, reach: &R) {
         if self.failure.is_some() || (self.reads.is_clear() && self.writes.is_clear()) {
             return;
         }
@@ -286,7 +328,7 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
                 let report = &mut self.report;
                 self.write_tree.query_overlaps(lo, hi, |old, olo, ohi| {
                     if old != TOMBSTONE && q.parallel(old) {
-                        report.add(RaceKind::WriteRead, olo, ohi, old, s);
+                        report.add_r(RaceKind::WriteRead, olo, ohi, old, s, reach);
                     }
                 });
             }
@@ -296,7 +338,7 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
                 let report = &mut self.report;
                 self.read_tree.query_overlaps(lo, hi, |old, olo, ohi| {
                     if old != TOMBSTONE && q.parallel(old) {
-                        report.add(RaceKind::ReadWrite, olo, ohi, old, s);
+                        report.add_r(RaceKind::ReadWrite, olo, ohi, old, s, reach);
                     }
                 });
             }
@@ -304,7 +346,7 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
             self.write_tree
                 .insert_writes_for(s, &writes, |old, olo, ohi| {
                     if old != TOMBSTONE && q.parallel(old) {
-                        report.add(RaceKind::WriteWrite, olo, ohi, old, s);
+                        report.add_r(RaceKind::WriteWrite, olo, ohi, old, s, reach);
                     }
                 });
         } else {
@@ -316,7 +358,7 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
                 let report = &mut self.report;
                 self.write_tree.query_overlaps(lo, hi, |old, olo, ohi| {
                     if old != TOMBSTONE && q.parallel(old) {
-                        report.add(RaceKind::WriteRead, olo, ohi, old, s);
+                        report.add_r(RaceKind::WriteRead, olo, ohi, old, s, reach);
                     }
                 });
                 self.read_tree.insert_read(Interval::new(lo, hi, s), |old| {
@@ -330,14 +372,14 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
                 let report = &mut self.report;
                 self.read_tree.query_overlaps(lo, hi, |old, olo, ohi| {
                     if old != TOMBSTONE && q.parallel(old) {
-                        report.add(RaceKind::ReadWrite, olo, ohi, old, s);
+                        report.add_r(RaceKind::ReadWrite, olo, ohi, old, s, reach);
                     }
                 });
                 let report = &mut self.report;
                 self.write_tree
                     .insert_write(Interval::new(lo, hi, s), |old, olo, ohi| {
                         if old != TOMBSTONE && q.parallel(old) {
-                            report.add(RaceKind::WriteWrite, olo, ohi, old, s);
+                            report.add_r(RaceKind::WriteWrite, olo, ohi, old, s, reach);
                         }
                     });
             }
@@ -361,28 +403,6 @@ impl<S: IntervalStore<StrandId>, R: Reachability> Detector<R> for IntervalDetect
                 });
             }
         }
-    }
-
-    fn finish(&mut self, s: StrandId, reach: &R) {
-        self.strand_end(s, reach);
-        let mut t = self.read_tree.stats();
-        t.merge(&self.write_tree.stats());
-        self.stats.treap = t;
-        self.stats.reach_hits = self.cache.hits;
-        self.stats.reach_misses = self.cache.misses;
-        self.stats.reach_flushes = self.cache.flushes;
-        self.stats.hook_filter_hits = self.read_filter.hits + self.write_filter.hits;
-        self.stats.ah_bytes = t.bytes;
-        self.stats.coalesce_bytes = self.reads.heap_bytes() + self.writes.heap_bytes();
-        self.stats.treap_inserts = t.inserts;
-        self.stats.treap_len_hw = t.len_hw;
-    }
-
-    fn failure(&self) -> Option<DetectorError> {
-        self.failure
-            .clone()
-            .or_else(|| self.reads.exhausted())
-            .or_else(|| self.writes.exhausted())
     }
 }
 

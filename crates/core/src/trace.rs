@@ -234,11 +234,19 @@ impl PortableTrace {
     }
 
     /// Serialize to the simple line-oriented `STINT-TRACE v1` text format.
+    /// Rank lines carry an optional third column — the strand's spawn parent
+    /// (`-` for the root) — when the snapshot has lineage; older readers that
+    /// only split off two fields still parse the two ranks.
     pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         writeln!(w, "STINT-TRACE v1")?;
         writeln!(w, "strands {}", self.reach.strand_count())?;
-        for (e, h) in self.reach.ranks() {
-            writeln!(w, "{e} {h}")?;
+        let parents = self.reach.parents();
+        for (i, (e, h)) in self.reach.ranks().enumerate() {
+            match parents.map(|p| p[i]) {
+                Some(stint_sporder::NO_PARENT) => writeln!(w, "{e} {h} -")?,
+                Some(p) => writeln!(w, "{e} {h} {p}")?,
+                None => writeln!(w, "{e} {h}")?,
+            }
         }
         writeln!(w, "events {}", self.trace.events.len())?;
         for ev in &self.trace.events {
@@ -313,7 +321,9 @@ impl PortableTrace {
             .ok_or_else(|| bad("bad strands header"))?;
         let mut eng = Vec::with_capacity(n);
         let mut heb = Vec::with_capacity(n);
-        for _ in 0..n {
+        // Optional lineage column: all rank lines carry it or none do.
+        let mut parents: Vec<u32> = Vec::new();
+        for i in 0..n {
             let line = next()?;
             let mut it = line.split_whitespace();
             let e: u32 = it
@@ -326,6 +336,29 @@ impl PortableTrace {
                 .ok_or_else(|| bad("bad rank line"))?;
             eng.push(e);
             heb.push(h);
+            match it.next() {
+                Some(tok) => {
+                    if parents.len() != i {
+                        return Err(bad("lineage column present on only some rank lines"));
+                    }
+                    let p: u32 = if tok == "-" {
+                        stint_sporder::NO_PARENT
+                    } else {
+                        tok.parse().map_err(|_| bad("bad parent entry"))?
+                    };
+                    // Validate here rather than panic in `with_parents`:
+                    // trace files are untrusted input.
+                    if p != stint_sporder::NO_PARENT && (p as usize >= n || p as usize == i) {
+                        return Err(bad("parent entry out of range or self-referential"));
+                    }
+                    parents.push(p);
+                }
+                None => {
+                    if !parents.is_empty() {
+                        return Err(bad("lineage column present on only some rank lines"));
+                    }
+                }
+            }
         }
         let header = next()?;
         let m: usize = header
@@ -363,9 +396,13 @@ impl PortableTrace {
                 bytes,
             });
         }
+        let mut reach = stint_sporder::FrozenReach::from_ranks(eng, heb);
+        if !parents.is_empty() {
+            reach = reach.with_parents(parents);
+        }
         Ok(PortableTrace {
             trace: Trace { events },
-            reach: stint_sporder::FrozenReach::from_ranks(eng, heb),
+            reach,
         })
     }
 }
@@ -447,6 +484,41 @@ strands 1
 0 0
 events 1
 ? 0 0x0 0",
+        ] {
+            assert!(
+                PortableTrace::load(std::io::BufReader::new(bad.as_bytes())).is_err(),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_lineage_column_roundtrips() {
+        let pt = PortableTrace::record(&mut Racy);
+        assert!(pt.reach.parents().is_some(), "live recording has lineage");
+        let mut buf = Vec::new();
+        pt.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(
+            text.lines().nth(2).unwrap().ends_with(" -"),
+            "root row: {text}"
+        );
+        let back = PortableTrace::load(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.reach.parents(), pt.reach.parents());
+    }
+
+    #[test]
+    fn v1_legacy_two_column_ranks_still_parse() {
+        let legacy = "STINT-TRACE v1\nstrands 2\n0 1\n1 0\nevents 1\ns 0 0x0 4\n";
+        let pt = PortableTrace::load(std::io::BufReader::new(legacy.as_bytes())).unwrap();
+        assert!(pt.reach.parents().is_none());
+        assert_eq!(pt.trace.len(), 1);
+        // A mixed lineage column is rejected, as are bad parent entries.
+        for bad in [
+            "STINT-TRACE v1\nstrands 2\n0 1 -\n1 0\nevents 0\n",
+            "STINT-TRACE v1\nstrands 2\n0 1\n1 0 0\nevents 0\n",
+            "STINT-TRACE v1\nstrands 2\n0 1 -\n1 0 7\nevents 0\n",
+            "STINT-TRACE v1\nstrands 2\n0 1 -\n1 0 1\nevents 0\n",
         ] {
             assert!(
                 PortableTrace::load(std::io::BufReader::new(bad.as_bytes())).is_err(),

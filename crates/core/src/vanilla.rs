@@ -58,6 +58,12 @@ impl VanillaDetector {
         self
     }
 
+    /// Enable verifiable-witness capture (see [`crate::witness`]).
+    pub fn with_witnesses(mut self, on: bool) -> Self {
+        self.report.set_witness_capture(on);
+        self
+    }
+
     /// Apply resource budgets. On exhaustion the [`WordShadow`] degrades to
     /// an always-empty sink page (sound: nothing past the cap can satisfy a
     /// race predicate) and the failure surfaces via [`Detector::failure`].
@@ -154,10 +160,20 @@ impl VanillaDetector {
             }
         }
     }
+
+    /// Strand-boundary accounting shared by the `strand_end` hook and
+    /// `finish` (which is not a trace event and must not `observe`).
+    fn end_strand(&mut self) {
+        self.stats.strands_flushed += 1;
+        if self.panic_at_flush == Some(self.stats.strands_flushed) {
+            panic!("injected flush panic (fault plan panic-at-flush)");
+        }
+    }
 }
 
 impl<R: Reachability> Detector<R> for VanillaDetector {
     fn load(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
+        self.report.observe(s, true);
         let (lo, hi) = word_range(addr, bytes);
         self.stats.read.hooks += 1;
         self.stats.read.hook_bytes += bytes as u64;
@@ -169,6 +185,7 @@ impl<R: Reachability> Detector<R> for VanillaDetector {
     }
 
     fn store(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
+        self.report.observe(s, true);
         let (lo, hi) = word_range(addr, bytes);
         self.stats.write.hooks += 1;
         self.stats.write.hook_bytes += bytes as u64;
@@ -179,6 +196,7 @@ impl<R: Reachability> Detector<R> for VanillaDetector {
     }
 
     fn load_range(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
+        self.report.observe(s, true);
         let (lo, hi) = word_range(addr, bytes);
         self.stats.read.hooks += 1;
         self.stats.read.hook_bytes += bytes as u64;
@@ -195,6 +213,7 @@ impl<R: Reachability> Detector<R> for VanillaDetector {
     }
 
     fn store_range(&mut self, s: StrandId, addr: usize, bytes: usize, reach: &R) {
+        self.report.observe(s, true);
         let (lo, hi) = word_range(addr, bytes);
         self.stats.write.hooks += 1;
         self.stats.write.hook_bytes += bytes as u64;
@@ -209,20 +228,21 @@ impl<R: Reachability> Detector<R> for VanillaDetector {
         self.store_words(s, lo, hi, reach, self.compiler_coalescing);
     }
 
-    fn free(&mut self, _s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+    fn free(&mut self, s: StrandId, addr: usize, bytes: usize, _reach: &R) {
+        self.report.observe(s, false);
         let (lo, hi) = word_range(addr, bytes);
         self.shadow.clear_range(lo, hi);
     }
 
-    fn strand_end(&mut self, _s: StrandId, _reach: &R) {
-        self.stats.strands_flushed += 1;
-        if self.panic_at_flush == Some(self.stats.strands_flushed) {
-            panic!("injected flush panic (fault plan panic-at-flush)");
-        }
+    fn strand_end(&mut self, s: StrandId, _reach: &R) {
+        self.report.observe(s, false);
+        self.end_strand();
     }
 
-    fn finish(&mut self, s: StrandId, reach: &R) {
-        self.strand_end(s, reach);
+    fn finish(&mut self, _s: StrandId, _reach: &R) {
+        // `finish` is not a trace event: no `observe`, or replayed event ids
+        // would drift past the trace length.
+        self.end_strand();
         self.stats.hash_ops = self.shadow.ops;
         self.stats.reach_hits = self.cache.hits;
         self.stats.reach_misses = self.cache.misses;

@@ -19,13 +19,13 @@ pub fn write_word<R: Reachability>(
     if e.reader != NO_STRAND {
         let r = StrandId(e.reader);
         if reach.parallel(r, s) {
-            report.add(RaceKind::ReadWrite, w, w + 1, r, s);
+            report.add_r(RaceKind::ReadWrite, w, w + 1, r, s, reach);
         }
     }
     if e.writer != NO_STRAND {
         let wr = StrandId(e.writer);
         if reach.parallel(wr, s) {
-            report.add(RaceKind::WriteWrite, w, w + 1, wr, s);
+            report.add_r(RaceKind::WriteWrite, w, w + 1, wr, s, reach);
         }
     }
     // The current strand is always the new last writer (sequential order).
@@ -44,7 +44,7 @@ pub fn read_word<R: Reachability>(
     if e.writer != NO_STRAND {
         let wr = StrandId(e.writer);
         if reach.parallel(wr, s) {
-            report.add(RaceKind::WriteRead, w, w + 1, wr, s);
+            report.add_r(RaceKind::WriteRead, w, w + 1, wr, s, reach);
         }
     }
     // Keep whichever reader is leftmost. Under sequential execution the new
@@ -69,13 +69,13 @@ pub fn write_word_cached<R: Reachability>(
     if e.reader != NO_STRAND {
         let r = StrandId(e.reader);
         if cache.parallel_with_cur(r, reach) {
-            report.add(RaceKind::ReadWrite, w, w + 1, r, s);
+            report.add_r(RaceKind::ReadWrite, w, w + 1, r, s, reach);
         }
     }
     if e.writer != NO_STRAND {
         let wr = StrandId(e.writer);
         if cache.parallel_with_cur(wr, reach) {
-            report.add(RaceKind::WriteWrite, w, w + 1, wr, s);
+            report.add_r(RaceKind::WriteWrite, w, w + 1, wr, s, reach);
         }
     }
     e.writer = s.0;
@@ -96,7 +96,7 @@ pub fn read_word_cached<R: Reachability>(
     if e.writer != NO_STRAND {
         let wr = StrandId(e.writer);
         if cache.parallel_with_cur(wr, reach) {
-            report.add(RaceKind::WriteRead, w, w + 1, wr, s);
+            report.add_r(RaceKind::WriteRead, w, w + 1, wr, s, reach);
         }
     }
     if e.reader == NO_STRAND || cache.cur_left_of(StrandId(e.reader), reach) {

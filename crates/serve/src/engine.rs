@@ -64,6 +64,13 @@ static OBS_DEGRADED: Counter = Counter::new("serve.sessions.degraded");
 static OBS_CORRUPT: Counter = Counter::new("serve.sessions.corrupt");
 static OBS_POISONED: Counter = Counter::new("serve.sessions.poisoned");
 static OBS_BUSY: Counter = Counter::new("serve.busy");
+/// Witnesses captured across all sessions that opted in (`witness=1`);
+/// counts captures, not wire deliveries — the reply strips detail past
+/// [`MAX_WIRE_WITNESSES`] but the counter sees everything.
+static OBS_WITNESSES: Counter = Counter::new("serve.witnesses");
+/// Witness-detail cap per DETECT reply: races past this keep their record
+/// but lose the attached witness, bounding reply-frame growth.
+const MAX_WIRE_WITNESSES: usize = 64;
 /// Bytes of trace payload sitting in the admission queue. Bounded by
 /// `queue_depth × frame cap`; back to zero after every drain.
 static OBS_QUEUE_BYTES: Gauge = Gauge::new("serve.queue_bytes");
@@ -680,6 +687,7 @@ fn run_session(shared: &Shared, job: &Job) -> (Verdict, String) {
     .timeout_after(Duration::from_millis(timeout));
     let bcfg = BatchConfig {
         shards: opts.shards.unwrap_or_else(|| BatchConfig::default().shards),
+        witnesses: opts.witness,
         ..BatchConfig::default()
     };
     let result = match sniff_magic(&job.trace) {
@@ -695,7 +703,7 @@ fn run_session(shared: &Shared, job: &Job) -> (Verdict, String) {
         }),
     };
     match result {
-        Ok(out) => {
+        Ok(mut out) => {
             use std::fmt::Write;
             let verdict = if out.degraded.is_some() {
                 Verdict::Degraded
@@ -710,6 +718,32 @@ fn run_session(shared: &Shared, job: &Job) -> (Verdict, String) {
             let _ = writeln!(p, "events: {}", out.events);
             let _ = writeln!(p, "strands: {}", out.strands);
             let _ = writeln!(p, "wall-ms: {}", out.wall.as_millis());
+            if opts.witness {
+                // Count every captured witness, then cap what actually rides
+                // the wire: regions past the cap keep their race record but
+                // drop witness detail, so a pathological report can't blow
+                // the reply frame up. The counts make the cap visible.
+                let captured = out
+                    .merged
+                    .regions
+                    .iter()
+                    .filter(|r| r.witness.is_some())
+                    .count();
+                OBS_WITNESSES.add(captured as u64);
+                let mut shown = 0usize;
+                for r in &mut out.merged.regions {
+                    if r.witness.is_none() {
+                        continue;
+                    }
+                    if shown < MAX_WIRE_WITNESSES {
+                        shown += 1;
+                    } else {
+                        r.witness = None;
+                    }
+                }
+                let _ = writeln!(p, "witnesses: {captured}");
+                let _ = writeln!(p, "witnesses-shown: {shown}");
+            }
             if let Some(e) = &out.degraded {
                 let _ = writeln!(p, "error: {e}");
             }

@@ -356,6 +356,9 @@ impl std::error::Error for OptParseError {}
 /// | `max-intervals=N`  | interval-store budget per shard detector         |
 /// | `stall-ms=N`       | sleep before detecting — deterministic slow-     |
 /// |                    | session simulation for backpressure/timeout tests|
+/// | `witness=0\|1`     | capture verifiable witnesses with each reported  |
+/// |                    | race (off by default; replies carry a witness    |
+/// |                    | count and size-capped witness detail)            |
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionOpts {
     pub shards: Option<usize>,
@@ -363,6 +366,7 @@ pub struct SessionOpts {
     pub max_shadow_mb: Option<u64>,
     pub max_intervals: Option<u64>,
     pub stall_ms: Option<u64>,
+    pub witness: bool,
 }
 
 impl SessionOpts {
@@ -399,6 +403,13 @@ impl SessionOpts {
                 "max-shadow-mb" => o.max_shadow_mb = Some(num()?),
                 "max-intervals" => o.max_intervals = Some(num()?),
                 "stall-ms" => o.stall_ms = Some(num()?),
+                "witness" => {
+                    o.witness = match num()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(err("witness must be 0 or 1".into())),
+                    }
+                }
                 _ => return Err(err("unknown session opt".into())),
             }
         }
@@ -525,12 +536,15 @@ mod tests {
 
     #[test]
     fn session_opts_parse_and_reject() {
-        let o = SessionOpts::parse(" shards=8 , timeout-ms=250,max-shadow-mb=1,stall-ms=5 ")
-            .expect("parse");
+        let o =
+            SessionOpts::parse(" shards=8 , timeout-ms=250,max-shadow-mb=1,stall-ms=5,witness=1 ")
+                .expect("parse");
         assert_eq!(o.shards, Some(8));
         assert_eq!(o.timeout_ms, Some(250));
         assert_eq!(o.max_shadow_mb, Some(1));
         assert_eq!(o.stall_ms, Some(5));
+        assert!(o.witness);
+        assert!(!SessionOpts::parse("witness=0").expect("parse").witness);
         assert_eq!(SessionOpts::parse(""), Ok(SessionOpts::default()));
         for (spec, tok) in [
             ("shards=0", "shards=0"),
@@ -538,6 +552,7 @@ mod tests {
             ("frobnicate=1", "frobnicate=1"),
             ("timeout-ms", "timeout-ms"),
             ("shards=2,waldo=9", "waldo=9"),
+            ("witness=2", "witness=2"),
         ] {
             let e = SessionOpts::parse(spec).expect_err(spec);
             assert_eq!(e.token, tok, "spec {spec:?}");

@@ -194,6 +194,32 @@ fn injected_session_panics_poison_only_their_session() {
 }
 
 #[test]
+fn witness_opt_attaches_counted_witnesses() {
+    let _g = lock();
+    let engine = small_engine();
+    // Opt in: the reply counts captures, says how many rode the wire, and
+    // the rendered report carries the witness evidence (` w ... order=`).
+    let r = session(&engine, "witness=1,shards=2", RACY_V1.as_bytes().to_vec());
+    assert_eq!(r.status, Status::Racy, "payload: {}", r.payload);
+    assert!(r.payload.contains("witnesses: 1"), "payload: {}", r.payload);
+    assert!(r.payload.contains("witnesses-shown: 1"));
+    assert!(r.payload.contains(" order="), "payload: {}", r.payload);
+    // Witnesses are merge-invariant: a different shard count produces a
+    // byte-identical witnessed report.
+    let r2 = session(&engine, "witness=1,shards=7", RACY_V1.as_bytes().to_vec());
+    let report = |p: &str| p.split("report:\n").nth(1).map(str::to_string);
+    assert_eq!(report(&r.payload), report(&r2.payload));
+    // Off (default and explicit witness=0): no witness lines, no evidence.
+    for opts in ["", "witness=0"] {
+        let r = session(&engine, opts, RACY_V1.as_bytes().to_vec());
+        assert_eq!(r.status, Status::Racy);
+        assert!(!r.payload.contains("witnesses:"), "payload: {}", r.payload);
+        assert!(!r.payload.contains(" order="));
+    }
+    engine.drain();
+}
+
+#[test]
 fn draining_engine_answers_bye() {
     let _g = lock();
     let engine = small_engine();

@@ -87,6 +87,35 @@ pub trait Reachability {
     /// observation this decides whether a new reader replaces the stored
     /// leftmost reader.
     fn left_of(&self, a: StrandId, b: StrandId) -> bool;
+
+    /// The raw order evidence behind a `series`/`parallel` verdict:
+    /// `(a <_E b, a <_H b)` — `a` before `b` in the English and Hebrew
+    /// orders. Series iff both bits agree and are true; parallel iff the
+    /// bits disagree. `(false, false)` for `a == b`. The default derives the
+    /// bits from `series`/`left_of`; implementations holding the orders
+    /// directly (ranks, OM lists) should override with direct comparisons.
+    fn order_pair(&self, a: StrandId, b: StrandId) -> (bool, bool) {
+        if a == b {
+            (false, false)
+        } else if self.series(a, b) {
+            (true, true)
+        } else if self.series(b, a) {
+            (false, false)
+        } else if self.left_of(a, b) {
+            // Parallel with `a` sequentially first: a <_E b, b <_H a.
+            (true, false)
+        } else {
+            (false, true)
+        }
+    }
+
+    /// The strand that spawned (or sync-continued into) `s` — the edge of
+    /// the spawn-tree lineage race witnesses carry. `None` when the
+    /// implementation does not track lineage (it is explanatory context;
+    /// the rank evidence above is the proof) or for the root strand.
+    fn parent_of(&self, _s: StrandId) -> Option<StrandId> {
+        None
+    }
 }
 
 impl<L: OrderList> Reachability for SpOrderImpl<L> {
@@ -101,6 +130,10 @@ impl<L: OrderList> Reachability for SpOrderImpl<L> {
     #[inline]
     fn left_of(&self, a: StrandId, b: StrandId) -> bool {
         SpOrderImpl::left_of(self, a, b)
+    }
+    #[inline]
+    fn parent_of(&self, s: StrandId) -> Option<StrandId> {
+        SpOrderImpl::parent_of(self, s)
     }
 }
 
@@ -119,10 +152,16 @@ pub struct SpOrderImpl<L: OrderList = OmList> {
     heb: L,
     /// Per strand: (English node, Hebrew node).
     strands: Vec<(L::Handle, L::Handle)>,
+    /// Per strand: the strand that created it ([`NO_PARENT`] for the root) —
+    /// the spawn-tree lineage race witnesses walk.
+    parents: Vec<u32>,
     /// Bytes last reported to the `sporder.bytes` gauge for the strand table
     /// (the OM lists account for themselves via `om.bytes`).
     owned_bytes: u64,
 }
+
+/// Sentinel parent of the root strand in lineage tables.
+pub const NO_PARENT: u32 = u32::MAX;
 
 impl<L: OrderList> Drop for SpOrderImpl<L> {
     fn drop(&mut self) {
@@ -156,6 +195,7 @@ impl<L: OrderList> SpOrderImpl<L> {
                 eng,
                 heb,
                 strands: vec![(e, h)],
+                parents: vec![NO_PARENT],
                 owned_bytes: 0,
             },
             StrandId(0),
@@ -171,13 +211,15 @@ impl<L: OrderList> SpOrderImpl<L> {
     /// Heap bytes owned by the strand table (the OM lists report their own
     /// footprint through `om.bytes`).
     pub fn heap_bytes(&self) -> u64 {
-        (self.strands.capacity() * std::mem::size_of::<(L::Handle, L::Handle)>()) as u64
+        (self.strands.capacity() * std::mem::size_of::<(L::Handle, L::Handle)>()
+            + self.parents.capacity() * std::mem::size_of::<u32>()) as u64
     }
 
-    fn push(&mut self, e: L::Handle, h: L::Handle) -> StrandId {
+    fn push(&mut self, e: L::Handle, h: L::Handle, parent: u32) -> StrandId {
         let id = self.strands.len();
         assert!(id < u32::MAX as usize, "strand count exceeds u32");
         self.strands.push((e, h));
+        self.parents.push(parent);
         if stint_obs::is_enabled() {
             let bytes = self.heap_bytes();
             OBS_BYTES.reconcile(&mut self.owned_bytes, bytes);
@@ -192,7 +234,7 @@ impl<L: OrderList> SpOrderImpl<L> {
         let (ce, ch) = self.strands[cur.index()];
         let je = self.eng.insert_after(ce);
         let jh = self.heb.insert_after(ch);
-        self.push(je, jh)
+        self.push(je, jh, cur.0)
     }
 
     /// Register a spawn executed by `cur`, returning the child's first strand
@@ -205,12 +247,19 @@ impl<L: OrderList> SpOrderImpl<L> {
         // Hebrew: cur, continuation, child  (insert child first, then cont).
         let sh = self.heb.insert_after(ch);
         let kh = self.heb.insert_after(ch);
-        let child = self.push(se, sh);
-        let continuation = self.push(ke, kh);
+        let child = self.push(se, sh, cur.0);
+        let continuation = self.push(ke, kh, cur.0);
         SpawnStrands {
             child,
             continuation,
         }
+    }
+
+    /// The strand that created `s` (`None` for the root).
+    #[inline]
+    pub fn parent_of(&self, s: StrandId) -> Option<StrandId> {
+        let p = self.parents[s.index()];
+        (p != NO_PARENT).then_some(StrandId(p))
     }
 
     /// True if strand `a` logically precedes strand `b` (series, `a ≺ b`).
@@ -297,6 +346,7 @@ impl<L: OrderList> SpOrderImpl<L> {
         FrozenReach {
             eng_rank: rank_of(false),
             heb_rank: rank_of(true),
+            parents: Some(self.parents.clone()),
         }
     }
 }
@@ -317,11 +367,28 @@ impl SpOrderImpl<OmList> {
 /// orders. Freezing a [`SpOrderImpl`] yields a compact, serializable
 /// structure that answers the same queries — useful for persisting recorded
 /// traces (see `stint::trace`) and for replaying them in later processes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct FrozenReach {
     eng_rank: Vec<u32>,
     heb_rank: Vec<u32>,
+    /// Optional spawn-tree lineage ([`NO_PARENT`] marks the root). `None`
+    /// when the snapshot came from a source that does not carry lineage
+    /// (old v1 traces, the compressed v2 header, bare `from_ranks`); the
+    /// reachability answers are identical either way — lineage only enriches
+    /// race witnesses.
+    parents: Option<Vec<u32>>,
 }
+
+/// Equality compares the *reachability substrate* (the two rank
+/// permutations) only: a snapshot that lost its optional lineage on a
+/// round-trip through a lineage-free encoding still answers every query
+/// identically and must compare equal.
+impl PartialEq for FrozenReach {
+    fn eq(&self, other: &Self) -> bool {
+        self.eng_rank == other.eng_rank && self.heb_rank == other.heb_rank
+    }
+}
+impl Eq for FrozenReach {}
 
 impl FrozenReach {
     /// Reconstruct from previously exported ranks.
@@ -341,7 +408,34 @@ impl FrozenReach {
         };
         check(&eng_rank);
         check(&heb_rank);
-        FrozenReach { eng_rank, heb_rank }
+        FrozenReach {
+            eng_rank,
+            heb_rank,
+            parents: None,
+        }
+    }
+
+    /// Attach a spawn-tree lineage table (one entry per strand,
+    /// [`NO_PARENT`] for the root).
+    ///
+    /// # Panics
+    /// Panics if the table's length disagrees with the strand count or an
+    /// entry points at an out-of-range strand or at itself.
+    pub fn with_parents(mut self, parents: Vec<u32>) -> FrozenReach {
+        assert_eq!(parents.len(), self.eng_rank.len(), "one parent per strand");
+        for (i, &p) in parents.iter().enumerate() {
+            assert!(
+                p == NO_PARENT || (p as usize) < parents.len() && p as usize != i,
+                "parent {p} of strand {i} out of range or self-referential"
+            );
+        }
+        self.parents = Some(parents);
+        self
+    }
+
+    /// The raw lineage table, if this snapshot carries one.
+    pub fn parents(&self) -> Option<&[u32]> {
+        self.parents.as_deref()
     }
 
     /// The per-strand (English, Hebrew) ranks.
@@ -380,6 +474,18 @@ impl Reachability for FrozenReach {
     #[inline]
     fn left_of(&self, a: StrandId, b: StrandId) -> bool {
         a != b && self.heb_rank[b.index()] < self.heb_rank[a.index()]
+    }
+    #[inline]
+    fn order_pair(&self, a: StrandId, b: StrandId) -> (bool, bool) {
+        (
+            self.eng_rank[a.index()] < self.eng_rank[b.index()],
+            self.heb_rank[a.index()] < self.heb_rank[b.index()],
+        )
+    }
+    #[inline]
+    fn parent_of(&self, s: StrandId) -> Option<StrandId> {
+        let p = self.parents.as_ref()?[s.index()];
+        (p != NO_PARENT).then_some(StrandId(p))
     }
 }
 
@@ -590,6 +696,54 @@ mod tests {
         let (e, h): (Vec<u32>, Vec<u32>) = frozen.ranks().unzip();
         let back = FrozenReach::from_ranks(e, h);
         assert_eq!(back, frozen);
+    }
+
+    #[test]
+    fn order_pair_matches_verdicts_and_lineage_reaches_root() {
+        let mut t = Toy::new();
+        let root = t.cur;
+        let (mut a, mut b) = (None, None);
+        t.spawn(|t| {
+            t.spawn(|t| a = Some(t.cur));
+            b = Some(t.cur);
+        });
+        t.sync();
+        let (a, b) = (a.unwrap(), b.unwrap());
+        let frozen = t.sp.freeze();
+        for &(x, y) in &[(root, a), (a, b), (b, t.cur), (a, t.cur)] {
+            for r in [&t.sp as &dyn Reachability, &frozen as &dyn Reachability] {
+                let (e, h) = r.order_pair(x, y);
+                assert_eq!(r.series(x, y), e && h, "series({x:?},{y:?})");
+                assert_eq!(r.parallel(x, y), e != h, "parallel({x:?},{y:?})");
+                // The pair is antisymmetric.
+                let (re, rh) = r.order_pair(y, x);
+                assert_eq!((re, rh), (!e, !h));
+            }
+            assert_eq!(
+                (&t.sp as &dyn Reachability).order_pair(x, x),
+                (false, false)
+            );
+        }
+        // Every strand's lineage chain terminates at the root.
+        for s in 0..frozen.strand_count() as u32 {
+            let mut cur = StrandId(s);
+            let mut hops = 0;
+            while let Some(p) = frozen.parent_of(cur) {
+                cur = p;
+                hops += 1;
+                assert!(hops <= frozen.strand_count(), "lineage cycle at {s}");
+            }
+            assert_eq!(cur, root);
+            assert_eq!(t.sp.parent_of(StrandId(s)), frozen.parent_of(StrandId(s)));
+        }
+        // Lineage survives a rank round-trip only when re-attached; equality
+        // ignores it (it is context, not substrate).
+        let (e, h): (Vec<u32>, Vec<u32>) = frozen.ranks().unzip();
+        let bare = FrozenReach::from_ranks(e, h);
+        assert_eq!(bare, frozen);
+        assert!(bare.parents().is_none());
+        let back = bare.with_parents(frozen.parents().unwrap().to_vec());
+        assert_eq!(back.parents(), frozen.parents());
     }
 
     #[test]

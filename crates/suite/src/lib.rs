@@ -60,6 +60,12 @@ impl Scale {
 /// The benchmark names in the paper's (alphabetical) table order.
 pub const NAMES: [&str; 7] = ["chol", "fft", "heat", "mmul", "sort", "stra", "straz"];
 
+/// Seeded-bug variants constructible by name — deterministic *racy*
+/// workloads for positive-path tooling (recording racy traces, witness
+/// smoke tests). Not part of [`NAMES`]: the figure harness iterates the
+/// race-free suite only.
+pub const BUGGY_NAMES: [&str; 3] = ["buggy-heat", "buggy-merge", "buggy-mmul"];
+
 /// A ready-to-run benchmark instance. Construction is deterministic; run it
 /// once (kernels mutate their data in place).
 pub enum Workload {
@@ -70,10 +76,14 @@ pub enum Workload {
     Sort(sort::Sort),
     Stra(strassen::Strassen),
     Straz(strassen::StrassenZ),
+    BuggyHeat(buggy::HeatMissingBarrier),
+    BuggyMerge(buggy::OverlappingMerge),
+    BuggyMmul(buggy::MmulMissingSync),
 }
 
 impl Workload {
     /// Build a fresh instance of the named benchmark at the given scale.
+    /// Accepts the race-free [`NAMES`] and the seeded-bug [`BUGGY_NAMES`].
     ///
     /// # Panics
     /// Panics on an unknown name.
@@ -86,6 +96,30 @@ impl Workload {
             "sort" => Workload::Sort(sort::Sort::with_scale(scale)),
             "stra" => Workload::Stra(strassen::Strassen::with_scale(scale)),
             "straz" => Workload::Straz(strassen::StrassenZ::with_scale(scale)),
+            "buggy-heat" => {
+                let (n, steps, b) = match scale {
+                    Scale::Test => (16, 3, 4),
+                    Scale::S => (64, 4, 8),
+                    Scale::M | Scale::Paper => (128, 5, 8),
+                };
+                Workload::BuggyHeat(buggy::HeatMissingBarrier::new(n, n, steps, b, 7))
+            }
+            "buggy-merge" => {
+                let (n, overlap) = match scale {
+                    Scale::Test => (64, 4),
+                    Scale::S => (1024, 16),
+                    Scale::M | Scale::Paper => (8192, 32),
+                };
+                Workload::BuggyMerge(buggy::OverlappingMerge::new(n, overlap, 7))
+            }
+            "buggy-mmul" => {
+                let (n, b) = match scale {
+                    Scale::Test => (16, 4),
+                    Scale::S => (64, 8),
+                    Scale::M | Scale::Paper => (128, 16),
+                };
+                Workload::BuggyMmul(buggy::MmulMissingSync::new(n, b, 7))
+            }
             _ => panic!("unknown benchmark {name:?}"),
         }
     }
@@ -100,12 +134,17 @@ impl Workload {
             Workload::Sort(_) => "sort",
             Workload::Stra(_) => "stra",
             Workload::Straz(_) => "straz",
+            Workload::BuggyHeat(_) => "buggy-heat",
+            Workload::BuggyMerge(_) => "buggy-merge",
+            Workload::BuggyMmul(_) => "buggy-mmul",
         }
     }
 
     /// Check the computation's output (call after running). Returns an error
     /// description on failure. Verification may be skipped (Ok) at large
-    /// scales where the reference computation would dominate.
+    /// scales where the reference computation would dominate. The buggy
+    /// variants always pass: their outputs are deliberately undefined — the
+    /// race report is the interesting artifact.
     pub fn verify(&self) -> Result<(), String> {
         match self {
             Workload::Chol(b) => b.verify(),
@@ -115,6 +154,7 @@ impl Workload {
             Workload::Sort(b) => b.verify(),
             Workload::Stra(b) => b.verify(),
             Workload::Straz(b) => b.verify(),
+            Workload::BuggyHeat(_) | Workload::BuggyMerge(_) | Workload::BuggyMmul(_) => Ok(()),
         }
     }
 }
@@ -129,6 +169,9 @@ impl CilkProgram for Workload {
             Workload::Sort(b) => b.run(ctx),
             Workload::Stra(b) => b.run(ctx),
             Workload::Straz(b) => b.run(ctx),
+            Workload::BuggyHeat(b) => b.run(ctx),
+            Workload::BuggyMerge(b) => b.run(ctx),
+            Workload::BuggyMmul(b) => b.run(ctx),
         }
     }
 }

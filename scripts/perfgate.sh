@@ -42,6 +42,9 @@ cargo run --release -q -p stint-bench --bin space -- "${ARGS[@]}"
 echo "== batch smoke (sharded replay + compressed-trace equivalence on the CLI)"
 scripts/batch_smoke.sh
 
+echo "== witness smoke (emit -> verify -> tamper -> reject on the CLI)"
+scripts/witness_smoke.sh
+
 echo "== batch scalability study (sequential vs K-sharded vs streamed detection)"
 cargo run --release -q -p stint-bench --bin batch -- "${ARGS[@]}"
 cargo run --release -q -p stint-bench --bin jsoncheck -- batch BENCH_batch.json

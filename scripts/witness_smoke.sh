@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Witness-provenance smoke test: prove the emit -> verify -> tamper -> reject
+# loop end to end on the real CLI binary, against a deliberately racy trace:
+#
+#  * recording a seeded-bug workload and replaying it with --witness attaches
+#    a witness to every kept race, and the replay's --report-json report card
+#    passes the `jsoncheck report` structural gate;
+#  * `witness verify` re-validates every witness in that report card against
+#    the recorded trace (exit 1 from the racy replay is expected; exit 0 from
+#    verify is required);
+#  * witnessed batch replay is byte-identical across shard counts — the
+#    merge-time capture cannot depend on K;
+#  * tampering with the report card's order evidence is caught: verify exits
+#    4 with a REJECTED diagnostic, never a pass and never a panic;
+#  * pairing the report card with the WRONG trace is also rejected;
+#  * the inertness contract holds on the surface: without --witness the
+#    rendered replay carries no witness lines and the report card says
+#    "witness": null for every race.
+#
+# Usage: scripts/witness_smoke.sh [bench] (default: buggy-mmul)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-buggy-mmul}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cargo build --release -q -p stint-cli --bin stint-cli
+cargo build --release -q -p stint-bench --bin jsoncheck
+
+echo "== record racy $BENCH trace"
+./target/release/stint-cli trace record "$BENCH" "$OUT/racy.trace" >/dev/null
+
+echo "== witnessed batch replay (exit 1 = races found) + report card"
+set +e
+./target/release/stint-cli trace replay "$OUT/racy.trace" --variant batch \
+    --witness --report-json "$OUT/report.json" >"$OUT/replay.txt"
+RC=$?
+set -e
+if [ "$RC" != 1 ]; then
+    echo "FAIL: witnessed replay of a racy trace exited $RC, expected 1"
+    exit 1
+fi
+grep -q "order=" "$OUT/replay.txt" \
+    || { echo "FAIL: no witness evidence in the rendered replay"; exit 1; }
+./target/release/jsoncheck report "$OUT/report.json"
+if grep -q '"witness": null' "$OUT/report.json"; then
+    echo "FAIL: a kept race lost its witness with --witness on"
+    exit 1
+fi
+
+echo "== witness verify accepts the genuine report card"
+./target/release/stint-cli witness verify "$OUT/racy.trace" "$OUT/report.json"
+
+echo "== witnessed replay is byte-identical across shard counts"
+for k in 1 7; do
+    set +e
+    ./target/release/stint-cli trace replay "$OUT/racy.trace" --variant batch \
+        --shards "$k" --witness >"$OUT/replay$k.txt"
+    set -e
+    if ! diff "$OUT/replay.txt" "$OUT/replay$k.txt"; then
+        echo "FAIL: witnessed replay output differs between K=4 and K=$k"
+        exit 1
+    fi
+done
+echo "ok: witnessed K=1, K=4 and K=7 render byte-identically"
+
+echo "== tampered order evidence is rejected with exit 4"
+sed 's/"prev_before_eng": true/"prev_before_eng": false/g;
+     s/"prev_before_eng":true/"prev_before_eng":false/g;
+     s/"prev_before_heb": false/"prev_before_heb": true/g;
+     s/"prev_before_heb":false/"prev_before_heb":true/g' \
+    "$OUT/report.json" >"$OUT/tampered.json"
+if cmp -s "$OUT/report.json" "$OUT/tampered.json"; then
+    echo "FAIL: tamper sed changed nothing"
+    exit 1
+fi
+set +e
+./target/release/stint-cli witness verify "$OUT/racy.trace" "$OUT/tampered.json" \
+    >/dev/null 2>"$OUT/tamper.err"
+RC=$?
+set -e
+if [ "$RC" != 4 ]; then
+    echo "FAIL: tampered witness exited $RC, expected 4"
+    cat "$OUT/tamper.err"
+    exit 1
+fi
+grep -q "REJECTED" "$OUT/tamper.err" \
+    || { echo "FAIL: no REJECTED diagnostic"; cat "$OUT/tamper.err"; exit 1; }
+echo "ok: tampered witness rejected structurally (exit 4)"
+
+echo "== report card paired with the wrong trace is rejected"
+./target/release/stint-cli trace record sort "$OUT/other.trace" >/dev/null
+set +e
+./target/release/stint-cli witness verify "$OUT/other.trace" "$OUT/report.json" \
+    >/dev/null 2>&1
+RC=$?
+set -e
+if [ "$RC" != 4 ] && [ "$RC" != 2 ]; then
+    echo "FAIL: wrong-trace verification exited $RC, expected 4 (or 2)"
+    exit 1
+fi
+echo "ok: wrong trace rejected (exit $RC)"
+
+echo "== without --witness the surface stays witness-free"
+set +e
+./target/release/stint-cli trace replay "$OUT/racy.trace" --variant batch \
+    --report-json "$OUT/plain.json" >"$OUT/plain.txt"
+set -e
+if grep -q "order=" "$OUT/plain.txt"; then
+    echo "FAIL: witness evidence rendered without --witness"
+    exit 1
+fi
+grep -q '"witness": null' "$OUT/plain.json" \
+    || { echo "FAIL: report card without --witness must say witness: null"; exit 1; }
+./target/release/jsoncheck report "$OUT/plain.json"
+
+echo "witness smoke passed"

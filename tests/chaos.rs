@@ -409,6 +409,7 @@ fn batch_injected_flush_panic_is_poisoned() {
         shards: 4,
         workers: 2,
         steal_seed: 0,
+        ..Default::default()
     };
     let e = stint_repro::batchdet::batch_detect(&pt, &cfg)
         .expect_err("injected shard panic must surface as an error");
@@ -433,6 +434,7 @@ fn batch_shadow_caps_degrade_soundly() {
         shards: 3,
         workers: 2,
         steal_seed: 0,
+        ..Default::default()
     };
     let out = stint_repro::batchdet::batch_detect(&pt, &cfg)
         .expect("shadow caps must not abort the batch run");
@@ -465,6 +467,7 @@ fn batch_survives_worker_spawn_failures() {
         shards: 4,
         workers: 4,
         steal_seed: 0,
+        ..Default::default()
     };
     let out = stint_repro::batchdet::batch_detect(&pt, &cfg)
         .expect("degraded pool must still complete the batch");

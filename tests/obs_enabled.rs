@@ -59,6 +59,7 @@ fn metrics_cover_every_layer_and_agree_with_stats() {
             shards: 3,
             workers: 2,
             steal_seed: 0,
+            ..Default::default()
         },
     )
     .expect("clean batch run");
@@ -86,6 +87,7 @@ fn metrics_cover_every_layer_and_agree_with_stats() {
             shards: 3,
             workers: 2,
             steal_seed: 0,
+            ..Default::default()
         },
     )
     .expect("clean chunked run");

@@ -17,6 +17,7 @@ fn cfg(shards: usize, workers: usize, steal_seed: u64) -> BatchConfig {
         shards,
         workers,
         steal_seed,
+        ..BatchConfig::default()
     }
 }
 
