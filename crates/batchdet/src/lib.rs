@@ -91,7 +91,10 @@ use stint::{
 use stint_cilk::word_range;
 use stint_cilkrt::ThreadPool;
 use stint_obs::{Counter, Gauge};
-use stint_sporder::{FrozenReach, StrandId};
+use stint_sporder::{FrozenReach, Reachability, StrandId};
+
+mod online;
+pub use online::{online_detect, OnlineConfig, OnlineEngine, OnlineOutcome};
 
 static OBS_SHARD_RUNS: Counter = Counter::new("batchdet.shard.runs");
 static OBS_SHARD_EVENTS: Counter = Counter::new("batchdet.shard.events");
@@ -790,8 +793,11 @@ impl ShardState {
     }
 
     /// Replay the buffered events through the shard's detector (runs on the
-    /// pool).
-    fn drain(&mut self, reach: &FrozenReach) {
+    /// pool). Generic over the reachability substrate: the batch paths
+    /// replay against a [`FrozenReach`] snapshot, the parallel-online path
+    /// against the live relabel-free `DePaReach` (immutable timestamps, so
+    /// sharing `&R` across workers is race-free by construction).
+    fn drain<R: Reachability>(&mut self, reach: &R) {
         let _span = stint_obs::span("batchdet.shard");
         OBS_SHARD_RUNS.incr();
         for e in &self.buf {
@@ -808,7 +814,7 @@ impl ShardState {
         self.buf.clear();
     }
 
-    fn finish(mut self, reach: &FrozenReach, last: StrandId) -> ShardOutcome {
+    fn finish<R: Reachability>(mut self, reach: &R, last: StrandId) -> ShardOutcome {
         debug_assert!(self.buf.is_empty(), "finish before draining the buffer");
         self.det.finish(last, reach);
         let mut owned = 0u64;
@@ -817,7 +823,7 @@ impl ShardState {
             self.det.stats.ah_bytes + self.det.stats.coalesce_bytes,
         );
         OBS_SHARD_RACES.add(self.det.report.total);
-        let failure = Detector::<FrozenReach>::failure(&self.det);
+        let failure = Detector::<R>::failure(&self.det);
         let out = ShardOutcome {
             index: self.shard.index,
             word_lo: self.shard.word_lo,
@@ -889,7 +895,7 @@ fn route_run(
 /// each shard drains its buffered events through its private detector. A
 /// leaf panic is captured into the shard's `poison` slot — never unwound
 /// across a `join` frame — and rethrown by [`take_poison`] afterwards.
-fn fan_out(pool: &ThreadPool, reach: &FrozenReach, states: &mut [ShardState]) {
+fn fan_out<R: Reachability + Sync>(pool: &ThreadPool, reach: &R, states: &mut [ShardState]) {
     match states.len() {
         0 => {}
         1 => {

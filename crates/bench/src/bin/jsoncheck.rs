@@ -24,6 +24,13 @@
 //!                                   the streaming-ingest cell, plus the
 //!                                   hw_threads-stamped headline geomean;
 //!                                   a stale v1 report exits 2
+//! jsoncheck parallel PARALLEL       PARALLEL must be a
+//!                                   stint-bench-parallel-v1 scaling report:
+//!                                   per bench a strictly increasing worker
+//!                                   axis with positive timings, speedup,
+//!                                   work-count and merge-cycle fields, the
+//!                                   DePa footprint, plus the
+//!                                   hw_threads-stamped headline geomean
 //! jsoncheck serve SERVE             SERVE must be a stint-bench-serve-v2
 //!                                   load study: per-status results summing
 //!                                   to the session count, ordered latency
@@ -317,6 +324,104 @@ fn batch(path: &str) {
     println!(
         "ok: {} benches x {cells} cells, shard axes monotone, work counts, \
          compression sizes and stream throughput present (hw_threads={hw})",
+        benches.len()
+    );
+}
+
+/// Structural validation of the parallel-online scaling report
+/// (`BENCH_parallel.json` from the `parallel` binary, schema
+/// `stint-bench-parallel-v1`): the worker axis must be strictly increasing
+/// per bench, every cell must carry positive timings plus speedup,
+/// work-count and merge-cycle fields, every bench must carry the DePa
+/// footprint, and the headline geomean must be stamped with the machine's
+/// thread count (the conditional speedup gate in `perfgate --check` keys
+/// off it).
+fn parallel(path: &str) {
+    let doc = load(path);
+    schema(&doc, path, "stint-bench-parallel-v1");
+    let f64_field = |v: &Value, key: &str, ctx: &str| -> f64 {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing numeric field {key:?}")))
+    };
+    let hw = u64_field(&doc, "hw_threads", path);
+    if hw == 0 {
+        fail(format!("{path}: hw_threads is 0"));
+    }
+    if u64_field(&doc, "shards", path) == 0 {
+        fail(format!("{path}: zero shards"));
+    }
+    if u64_field(&doc, "chunk_events", path) == 0 {
+        fail(format!("{path}: zero chunk_events"));
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(format!("{path}: no benches array")));
+    if benches.is_empty() {
+        fail(format!("{path}: empty benches array"));
+    }
+    let mut cells = 0usize;
+    for b in benches {
+        let name = b
+            .get("bench")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(format!("{path}: bench entry without a name")));
+        let ctx = format!("{path}: {name}");
+        if u64_field(b, "events", &ctx) == 0 {
+            fail(format!("{ctx}: zero events"));
+        }
+        u64_field(b, "strands", &ctx);
+        if f64_field(b, "seq_secs", &ctx) <= 0.0 {
+            fail(format!("{ctx}: non-positive seq_secs"));
+        }
+        if b.get("large").and_then(Value::as_bool).is_none() {
+            fail(format!("{ctx}: missing boolean field \"large\""));
+        }
+        if u64_field(b, "depa_bytes", &ctx) == 0 {
+            fail(format!("{ctx}: zero depa_bytes"));
+        }
+        let workers = b
+            .get("workers")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| fail(format!("{ctx}: no workers array")));
+        if workers.is_empty() {
+            fail(format!("{ctx}: empty worker axis"));
+        }
+        let mut prev_w = 0u64;
+        for s in workers {
+            let w = u64_field(s, "w", &ctx);
+            if w <= prev_w {
+                fail(format!(
+                    "{ctx}: worker axis not strictly increasing (w={w} after {prev_w})"
+                ));
+            }
+            prev_w = w;
+            if f64_field(s, "secs", &ctx) <= 0.0 {
+                fail(format!("{ctx}: non-positive secs at w={w}"));
+            }
+            if f64_field(s, "speedup", &ctx) <= 0.0 {
+                fail(format!("{ctx}: non-positive speedup at w={w}"));
+            }
+            if u64_field(s, "work", &ctx) == 0 {
+                fail(format!("{ctx}: zero work at w={w}"));
+            }
+            if f64_field(s, "work_ratio", &ctx) <= 0.0 {
+                fail(format!("{ctx}: non-positive work_ratio at w={w}"));
+            }
+            if u64_field(s, "chunks", &ctx) == 0 {
+                fail(format!("{ctx}: zero merge cycles at w={w}"));
+            }
+            cells += 1;
+        }
+    }
+    f64_field(&doc, "geomean_speedup_w4", path);
+    if doc.get("geomean_over").and_then(Value::as_str).is_none() {
+        fail(format!("{path}: missing geomean_over"));
+    }
+    println!(
+        "ok: {} benches x {cells} cells, worker axes monotone, work counts, \
+         merge cycles and DePa footprints present (hw_threads={hw})",
         benches.len()
     );
 }
@@ -704,6 +809,7 @@ fn main() {
             memseries(&argv[1], argv.get(2).map(String::as_str))
         }
         Some("batch") if argv.len() == 2 => batch(&argv[1]),
+        Some("parallel") if argv.len() == 2 => parallel(&argv[1]),
         Some("serve") if argv.len() == 2 => serve(&argv[1]),
         Some("prom") if argv.len() == 2 => prom(&argv[1]),
         Some("journal") if argv.len() == 2 => journal(&argv[1]),
@@ -714,6 +820,7 @@ fn main() {
                  jsoncheck agree STATS METRICS\n       \
                  jsoncheck memseries SERIES [STATS]\n       \
                  jsoncheck batch BATCH\n       \
+                 jsoncheck parallel PARALLEL\n       \
                  jsoncheck serve SERVE\n       \
                  jsoncheck prom FILE\n       \
                  jsoncheck journal FILE\n       \

@@ -416,6 +416,126 @@ fn check_batch_report(path: &str) {
     }
 }
 
+/// Wall-clock bar for the online mode at W=4: it must at least break even
+/// against sequential STINT — enforced, like the batch bar, only on
+/// machines with [`BATCH_HW_FLOOR`]+ hardware threads (the executor itself
+/// stays sequential, so only the detection fraction parallelizes; on a
+/// 1-core box every worker time-slices one core and a slowdown is the
+/// expected result).
+const PARALLEL_SPEEDUP_BAR: f64 = 1.0;
+/// Work-count bound at any W: events routed to shard detectors across all
+/// merge cycles stay near-linear in the instrumentation stream (straddler
+/// clips and per-shard markers are the only duplication), independent of
+/// the worker count — DePa timestamps are relabel-free, so extra workers
+/// add queries, never maintenance work.
+const PARALLEL_WORK_BAR: f64 = 1.5;
+
+/// Gate the parallel-online scaling report (regenerated by the `parallel`
+/// binary; see `scripts/perfgate.sh`), schema `stint-bench-parallel-v1`.
+/// Structure first: a strictly increasing worker axis per bench with
+/// speedup, work and merge-cycle fields on every cell. Then the
+/// machine-independent gate: every cell's work ratio within
+/// [`PARALLEL_WORK_BAR`]. Finally, on machines with [`BATCH_HW_FLOOR`]+
+/// hardware threads, the recorded headline geomean at W=4 must clear
+/// [`PARALLEL_SPEEDUP_BAR`]. Absent file = the study has not run; that is
+/// only a warning, like the other reports.
+fn check_parallel_report(path: &str) {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        eprintln!(
+            "warning: no {path} (run the `parallel` binary to gate the online scaling study)"
+        );
+        return;
+    };
+    let fail = |msg: String| -> ! {
+        eprintln!("FAIL: {path}: {msg}");
+        std::process::exit(1);
+    };
+    let doc = stint_bench::json::parse(&content).unwrap_or_else(|e| fail(e));
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("stint-bench-parallel-v1") {
+        fail("not a stint-bench-parallel-v1 document".into());
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| fail("missing benches array".into()));
+    if benches.is_empty() {
+        fail("empty benches array".into());
+    }
+    let mut gated_cells = 0usize;
+    for b in benches {
+        let name = b.get("bench").and_then(|v| v.as_str()).unwrap_or("?");
+        if b.get("depa_bytes").and_then(|v| v.as_u64()).is_none() {
+            fail(format!("{name}: missing depa_bytes"));
+        }
+        let workers = b
+            .get("workers")
+            .and_then(|v| v.as_array())
+            .unwrap_or_else(|| fail(format!("{name}: missing workers array")));
+        let mut prev_w = 0u64;
+        for s in workers {
+            let w = s
+                .get("w")
+                .and_then(|v| v.as_u64())
+                .unwrap_or_else(|| fail(format!("{name}: worker cell without w")));
+            if w <= prev_w {
+                fail(format!(
+                    "{name}: worker axis not strictly increasing at w={w}"
+                ));
+            }
+            prev_w = w;
+            if s.get("speedup").and_then(|v| v.as_f64()).is_none() {
+                fail(format!("{name}: worker cell w={w} without a speedup field"));
+            }
+            if s.get("chunks").and_then(|v| v.as_u64()).is_none() {
+                fail(format!("{name}: worker cell w={w} without merge cycles"));
+            }
+            let wr = s
+                .get("work_ratio")
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| fail(format!("{name}: worker cell w={w} without work_ratio")));
+            if wr > PARALLEL_WORK_BAR {
+                fail(format!(
+                    "{name}: online shard work at W={w} is {wr:.3}x the stream \
+                     (bar: {PARALLEL_WORK_BAR}x — worker count must not multiply work)"
+                ));
+            }
+            gated_cells += 1;
+        }
+        if prev_w == 0 {
+            fail(format!("{name}: empty worker axis"));
+        }
+    }
+    let hw = doc
+        .get("hw_threads")
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| fail("missing hw_threads".into()));
+    let g = doc
+        .get("geomean_speedup_w4")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail("missing geomean_speedup_w4".into()));
+    println!(
+        "check passed: online work ratios within {PARALLEL_WORK_BAR}x over \
+         {gated_cells} cells (worker count adds no maintenance work)"
+    );
+    if hw >= BATCH_HW_FLOOR {
+        if g < PARALLEL_SPEEDUP_BAR {
+            fail(format!(
+                "online geomean speedup at W=4 is {g:.2}x on {hw} hw threads \
+                 (bar: {PARALLEL_SPEEDUP_BAR}x)"
+            ));
+        }
+        println!(
+            "check passed: online W=4 geomean {g:.2}x clears the \
+             {PARALLEL_SPEEDUP_BAR}x bar on {hw} hw threads"
+        );
+    } else {
+        println!(
+            "check passed: parallel report structurally sound; speedup bar waived \
+             (geomean {g:.2}x on {hw} hw thread(s), bar applies at >= {BATCH_HW_FLOOR})"
+        );
+    }
+}
+
 /// Structural gate for `BENCH_serve.json` (the `serve_load` service study,
 /// schema `stint-bench-serve-v2`): per-status results summing to the
 /// session count, ordered latency percentiles, positive throughput, zero
@@ -666,6 +786,7 @@ fn main() {
 
         check_space_report("BENCH_space.json");
         check_batch_report("BENCH_batch.json");
+        check_parallel_report("BENCH_parallel.json");
         check_serve_report("BENCH_serve.json");
     }
 

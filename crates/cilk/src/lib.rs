@@ -25,7 +25,7 @@
 //! race detector (parallelizing it is listed as future work).
 
 use stint_om::OrderList;
-use stint_sporder::{Reachability, SpOrder, SpOrderImpl, StrandId};
+use stint_sporder::{ReachMaint, Reachability, SpOrder, SpOrderImpl, StrandId};
 
 /// The instrumented-program interface: parallel control plus memory hooks.
 ///
@@ -205,29 +205,33 @@ pub struct ExecCounters {
 }
 
 /// The sequential depth-first executor: runs the program in Cilk's serial
-/// order while maintaining SP-Order reachability and feeding a [`Detector`].
+/// order while maintaining a reachability substrate and feeding a
+/// [`Detector`].
 ///
-/// Generic over the order-maintenance list behind SP-Order: `OmList`
-/// (default) or `TwoLevelOm` for the O(1)-amortized variant.
-pub struct Executor<D, L = stint_om::OmList>
+/// Generic over the substrate via [`ReachMaint`]: SP-Order over either OM
+/// list (`SpOrderImpl<OmList>` — the default — or `TwoLevelOm`), or the
+/// relabel-free `DePaReach`. The executor issues the identical maintenance
+/// call sequence to every substrate, so strand ids, lineage and frozen
+/// ranks are substrate-independent.
+pub struct Executor<D, R = SpOrder>
 where
-    L: OrderList,
-    D: Detector<SpOrderImpl<L>>,
+    R: ReachMaint,
+    D: Detector<R>,
 {
-    pub reach: SpOrderImpl<L>,
+    pub reach: R,
     pub det: D,
     pub counters: ExecCounters,
     cur: StrandId,
     frames: Vec<Frame>,
 }
 
-impl<D, L> Executor<D, L>
+impl<D, R> Executor<D, R>
 where
-    L: OrderList,
-    D: Detector<SpOrderImpl<L>>,
+    R: ReachMaint,
+    D: Detector<R>,
 {
     pub fn new(det: D) -> Self {
-        let (reach, root) = SpOrderImpl::<L>::new();
+        let (reach, root) = R::init();
         Executor {
             reach,
             det,
@@ -271,10 +275,10 @@ where
     }
 }
 
-impl<D, L> Cilk for Executor<D, L>
+impl<D, R> Cilk for Executor<D, R>
 where
-    L: OrderList,
-    D: Detector<SpOrderImpl<L>>,
+    R: ReachMaint,
+    D: Detector<R>,
 {
     fn spawn(&mut self, f: impl FnOnce(&mut Self)) {
         self.counters.spawns += 1;
@@ -296,6 +300,7 @@ where
         self.sync_current_frame();
         self.det.strand_end(self.cur, &self.reach);
         self.frames.pop();
+        self.reach.child_return(self.cur);
         self.cur = s.continuation;
     }
 
@@ -307,10 +312,12 @@ where
         self.counters.calls += 1;
         // A serial call continues the current strand but opens a fresh sync
         // scope; its implicit sync runs at return.
+        self.reach.call_enter(self.cur);
         self.frames.push(Frame { sync_strand: None });
         f(self);
         self.sync_current_frame();
         self.frames.pop();
+        self.reach.call_exit(self.cur);
     }
 
     #[inline]
@@ -343,21 +350,35 @@ pub fn run_with_detector<P: CilkProgram, D: Detector>(
     p: &mut P,
     det: D,
 ) -> (Executor<D>, std::time::Duration) {
-    run_with_detector_in::<P, D, stint_om::OmList>(p, det)
+    run_with_detector_r::<P, D, SpOrder>(p, det)
+}
+
+/// As [`run_with_detector`], but with an explicit reachability substrate
+/// (e.g. `DePaReach` for relabel-free timestamps).
+pub fn run_with_detector_r<P, D, R>(p: &mut P, det: D) -> (Executor<D, R>, std::time::Duration)
+where
+    P: CilkProgram,
+    R: ReachMaint,
+    D: Detector<R>,
+{
+    let mut ex = Executor::<D, R>::new(det);
+    let start = std::time::Instant::now();
+    ex.execute(p);
+    (ex, start.elapsed())
 }
 
 /// As [`run_with_detector`], but with an explicit order-maintenance list
 /// behind SP-Order (e.g. `TwoLevelOm` for O(1)-amortized maintenance).
-pub fn run_with_detector_in<P, D, L>(p: &mut P, det: D) -> (Executor<D, L>, std::time::Duration)
+pub fn run_with_detector_in<P, D, L>(
+    p: &mut P,
+    det: D,
+) -> (Executor<D, SpOrderImpl<L>>, std::time::Duration)
 where
     P: CilkProgram,
     L: OrderList,
     D: Detector<SpOrderImpl<L>>,
 {
-    let mut ex = Executor::<D, L>::new(det);
-    let start = std::time::Instant::now();
-    ex.execute(p);
-    (ex, start.elapsed())
+    run_with_detector_r::<P, D, SpOrderImpl<L>>(p, det)
 }
 
 /// Run `p` with reachability maintenance but no detection (the `reach.`

@@ -2,7 +2,7 @@
 //! input is a `Result` error surfaced as exit code 2 — parsing never panics.
 
 use stint::obs::ObsConfig;
-use stint::{FaultPlan, Variant};
+use stint::{FaultPlan, ReachKind, Variant};
 use stint_suite::Scale;
 
 pub const USAGE: &str = "\
@@ -11,6 +11,8 @@ stint-cli — STINT race detector (SPAA 2021 reproduction)
 USAGE:
   stint-cli detect <bench> [--variant V] [--scale S] [--shards K]
                    [--compress] [--chunk-events N] [--witness]
+                   [--reach R] [--online-parallel] [--workers W]
+                   [--steal-seed N]
   stint-cli bugs
   stint-cli trace record <bench> <file> [--scale S] [--compress]
                    [--chunk-events N]
@@ -49,6 +51,24 @@ USAGE:
              spans of both accesses, SP-Order tag evidence, spawn-tree
              lineage); off by default and free when off; re-validate with
              'stint-cli witness verify'
+  --reach    sporder (default) | depa — reachability substrate for
+             sequential detect: SP-Order over the labelled OM list, or
+             relabel-free DePa depth-vector timestamps (immutable once a
+             strand is published; same races, same report)
+  --online-parallel
+             detect while the program runs: the instrumented execution
+             maintains the DePa substrate and each chunk of the event
+             stream fans out over address shards on the work-stealing
+             pool, against the live (lock-free) timestamps; the merged
+             report is byte-identical for every worker count, steal seed
+             and chunk size, and its racy intervals equal sequential
+             STINT's; takes --shards/--chunk-events/--witness, not
+             --variant batch/all or --compress
+  --workers  pool workers for --online-parallel (0 = one per hardware
+             thread, default; max 256)
+  --steal-seed N
+             perturb each pool worker's initial steal victim (determinism
+             knob for --online-parallel; the report must not change)
 
   witness verify re-runs the independent WitnessChecker on every race in a
   --report-json report card against the recorded trace it came from: order
@@ -133,6 +153,14 @@ pub enum Parsed {
         compress: bool,
         chunk_events: usize,
         witness: bool,
+        /// Reachability substrate for the sequential path (`--reach`).
+        reach: ReachKind,
+        /// `--online-parallel`: parallel online detection over live DePa.
+        online: bool,
+        /// Pool workers for `--online-parallel` (0 = hardware threads).
+        workers: usize,
+        /// Steal-victim seed for `--online-parallel`.
+        steal_seed: u64,
     },
     Bugs,
     TraceRecord {
@@ -191,6 +219,10 @@ struct SubOpts {
     compress: bool,
     chunk_events: usize,
     witness: bool,
+    reach: ReachKind,
+    online: bool,
+    workers: usize,
+    steal_seed: u64,
 }
 
 impl Default for SubOpts {
@@ -202,6 +234,10 @@ impl Default for SubOpts {
             compress: false,
             chunk_events: stint::ctrace::DEFAULT_CHUNK_EVENTS,
             witness: false,
+            reach: ReachKind::SpOrder,
+            online: false,
+            workers: 0,
+            steal_seed: 0,
         }
     }
 }
@@ -246,6 +282,32 @@ fn split_opts(rest: &[String]) -> Result<(Vec<String>, SubOpts), String> {
                 if o.chunk_events == 0 || o.chunk_events > 16_777_216 {
                     return Err("--chunk-events must be in 1..=16777216".into());
                 }
+                i += 2;
+            }
+            "--reach" => {
+                let v = rest.get(i + 1).ok_or("--reach needs a value")?;
+                o.reach = match v.as_str() {
+                    "sporder" => ReachKind::SpOrder,
+                    "depa" => ReachKind::DePa,
+                    _ => return Err(format!("unknown reach substrate {v:?}")),
+                };
+                i += 2;
+            }
+            "--online-parallel" => {
+                o.online = true;
+                i += 1;
+            }
+            "--workers" => {
+                let v = rest.get(i + 1).ok_or("--workers needs a value")?;
+                o.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+                if o.workers > 256 {
+                    return Err("--workers must be in 0..=256".into());
+                }
+                i += 2;
+            }
+            "--steal-seed" => {
+                let v = rest.get(i + 1).ok_or("--steal-seed needs a value")?;
+                o.steal_seed = v.parse().map_err(|_| format!("bad --steal-seed {v:?}"))?;
                 i += 2;
             }
             other if other.starts_with("--") => {
@@ -331,6 +393,21 @@ fn extract_run_opts(argv: &[String]) -> Result<(Vec<String>, RunOpts), String> {
     Ok((rest, opts))
 }
 
+/// The online/substrate knobs are detect-only; trace subcommands reject
+/// them rather than silently ignoring them.
+fn reject_online_opts(o: &SubOpts, ctx: &str) -> Result<(), String> {
+    if o.online {
+        return Err(format!("--online-parallel does not apply to {ctx}"));
+    }
+    if o.reach != ReachKind::SpOrder {
+        return Err(format!("--reach does not apply to {ctx}"));
+    }
+    if o.workers != 0 || o.steal_seed != 0 {
+        return Err(format!("--workers/--steal-seed do not apply to {ctx}"));
+    }
+    Ok(())
+}
+
 pub fn parse(argv: &[String]) -> Result<(Parsed, RunOpts), String> {
     let (argv, opts) = extract_run_opts(argv)?;
     Ok((parse_cmd(&argv)?, opts))
@@ -348,7 +425,35 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
             if !crate::known_bench(bench) {
                 return Err(format!("unknown benchmark {bench:?}"));
             }
-            if o.compress && o.variant != VariantSel::Batch {
+            if o.online {
+                if o.variant != VariantSel::One(Variant::Stint) {
+                    return Err(
+                        "--online-parallel is its own detection strategy (STINT shard \
+                         detectors over live DePa); drop --variant"
+                            .into(),
+                    );
+                }
+                if o.compress {
+                    return Err("--compress does not apply to --online-parallel \
+                                (nothing is recorded)"
+                        .into());
+                }
+            } else {
+                if o.workers != 0 {
+                    return Err("--workers needs --online-parallel".into());
+                }
+                if o.steal_seed != 0 {
+                    return Err("--steal-seed needs --online-parallel".into());
+                }
+            }
+            if o.reach == ReachKind::DePa && o.variant == VariantSel::Batch {
+                return Err(
+                    "--reach does not apply to --variant batch (batch replays a frozen \
+                     snapshot); use --online-parallel for live DePa detection"
+                        .into(),
+                );
+            }
+            if o.compress && !o.online && o.variant != VariantSel::Batch {
                 return Err("detect --compress needs --variant batch".into());
             }
             Ok(Parsed::Detect {
@@ -359,6 +464,10 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                 compress: o.compress,
                 chunk_events: o.chunk_events,
                 witness: o.witness,
+                reach: o.reach,
+                online: o.online,
+                workers: o.workers,
+                steal_seed: o.steal_seed,
             })
         }
         "bugs" => Ok(Parsed::Bugs),
@@ -386,6 +495,7 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
             match sub {
                 "record" => {
                     let (pos, o) = split_opts(&argv[2..])?;
+                    reject_online_opts(&o, "trace record")?;
                     let [bench, file] = pos.as_slice() else {
                         return Err("trace record takes <bench> <file>".into());
                     };
@@ -415,6 +525,7 @@ fn parse_cmd(argv: &[String]) -> Result<Parsed, String> {
                 }
                 "replay" => {
                     let (pos, o) = split_opts(&argv[2..])?;
+                    reject_online_opts(&o, "trace replay")?;
                     let [file] = pos.as_slice() else {
                         return Err("trace replay takes <file>".into());
                     };
@@ -484,6 +595,10 @@ mod tests {
                 compress: false,
                 chunk_events: CHUNK,
                 witness: false,
+                reach: ReachKind::SpOrder,
+                online: false,
+                workers: 0,
+                steal_seed: 0,
             }
         );
     }
@@ -501,6 +616,10 @@ mod tests {
                 compress: false,
                 chunk_events: CHUNK,
                 witness: false,
+                reach: ReachKind::SpOrder,
+                online: false,
+                workers: 0,
+                steal_seed: 0,
             }
         );
         // `all` makes no sense for a single-detector replay.
@@ -528,6 +647,10 @@ mod tests {
                 compress: false,
                 chunk_events: CHUNK,
                 witness: false,
+                reach: ReachKind::SpOrder,
+                online: false,
+                workers: 0,
+                steal_seed: 0,
             }
         );
         // Batch replays a saved trace too, unlike 'all'.
@@ -571,6 +694,10 @@ mod tests {
                 compress: false,
                 chunk_events: CHUNK,
                 witness: false,
+                reach: ReachKind::SpOrder,
+                online: false,
+                workers: 0,
+                steal_seed: 0,
             }
         );
         assert_eq!(parse(&v(&[])).unwrap().0, Parsed::Help);
@@ -656,6 +783,10 @@ mod tests {
                 compress: false,
                 chunk_events: CHUNK,
                 witness: false,
+                reach: ReachKind::SpOrder,
+                online: false,
+                workers: 0,
+                steal_seed: 0,
             }
         );
         assert_eq!(opts.max_intervals, Some(10));
@@ -761,6 +892,10 @@ mod tests {
                 compress: true,
                 chunk_events: CHUNK,
                 witness: false,
+                reach: ReachKind::SpOrder,
+                online: false,
+                workers: 0,
+                steal_seed: 0,
             }
         );
         // --compress is a batch-mode knob everywhere but trace record.
@@ -809,6 +944,10 @@ mod tests {
                 compress: false,
                 chunk_events: CHUNK,
                 witness: true,
+                reach: ReachKind::SpOrder,
+                online: false,
+                workers: 0,
+                steal_seed: 0,
             }
         );
         let p = parse_cmd(&v(&[
@@ -847,6 +986,107 @@ mod tests {
         let (_, opts) = parse(&v(&["detect", "sort", "--report-json", "/tmp/r.json"])).unwrap();
         assert_eq!(opts.report_json.as_deref(), Some("/tmp/r.json"));
         assert!(parse(&v(&["detect", "sort", "--report-json"])).is_err());
+    }
+
+    #[test]
+    fn parses_reach_and_online_parallel() {
+        let p = parse_cmd(&v(&["detect", "mmul", "--reach", "depa"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Detect {
+                bench: "mmul".into(),
+                variant: VariantSel::One(Variant::Stint),
+                scale: Scale::Test,
+                shards: 4,
+                compress: false,
+                chunk_events: CHUNK,
+                witness: false,
+                reach: ReachKind::DePa,
+                online: false,
+                workers: 0,
+                steal_seed: 0,
+            }
+        );
+        let p = parse_cmd(&v(&[
+            "detect",
+            "buggy-mmul",
+            "--online-parallel",
+            "--workers",
+            "4",
+            "--steal-seed",
+            "7",
+            "--shards",
+            "3",
+            "--chunk-events",
+            "64",
+            "--witness",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::Detect {
+                bench: "buggy-mmul".into(),
+                variant: VariantSel::One(Variant::Stint),
+                scale: Scale::Test,
+                shards: 3,
+                compress: false,
+                chunk_events: 64,
+                witness: true,
+                reach: ReachKind::SpOrder,
+                online: true,
+                workers: 4,
+                steal_seed: 7,
+            }
+        );
+        // Substrate and pool knobs are detect-only and internally coherent.
+        assert!(parse_cmd(&v(&["detect", "mmul", "--reach", "wat"])).is_err());
+        assert!(parse_cmd(&v(&["detect", "mmul", "--reach"])).is_err());
+        assert!(parse_cmd(&v(&["detect", "mmul", "--workers", "2"])).is_err());
+        assert!(parse_cmd(&v(&["detect", "mmul", "--steal-seed", "9"])).is_err());
+        assert!(parse_cmd(&v(&[
+            "detect",
+            "mmul",
+            "--workers",
+            "300",
+            "--online-parallel"
+        ]))
+        .is_err());
+        assert!(parse_cmd(&v(&[
+            "detect",
+            "mmul",
+            "--online-parallel",
+            "--variant",
+            "batch"
+        ]))
+        .is_err());
+        assert!(parse_cmd(&v(&[
+            "detect",
+            "mmul",
+            "--online-parallel",
+            "--variant",
+            "all"
+        ]))
+        .is_err());
+        assert!(parse_cmd(&v(&["detect", "mmul", "--online-parallel", "--compress"])).is_err());
+        assert!(parse_cmd(&v(&[
+            "detect",
+            "mmul",
+            "--variant",
+            "batch",
+            "--reach",
+            "depa"
+        ]))
+        .is_err());
+        assert!(parse_cmd(&v(&[
+            "trace",
+            "record",
+            "mmul",
+            "/tmp/t",
+            "--online-parallel"
+        ]))
+        .is_err());
+        assert!(parse_cmd(&v(&["trace", "replay", "/tmp/t", "--reach", "depa"])).is_err());
+        assert!(parse_cmd(&v(&["trace", "replay", "/tmp/t", "--workers", "2"])).is_err());
     }
 
     #[test]

@@ -35,7 +35,9 @@ use args::{Parsed, RunOpts, VariantSel};
 use output::{
     print_batch_outcome, print_outcome, print_report, write_report_json, write_stats_json,
 };
-use stint_batchdet::{batch_detect, batch_detect_chunked, BatchConfig};
+use stint_batchdet::{
+    batch_detect, batch_detect_chunked, online_detect, BatchConfig, OnlineConfig,
+};
 
 /// A failed run: either bad input (exit 2) or a structured detector failure
 /// (exit 3 for resource exhaustion, 4 for a poisoned session).
@@ -209,6 +211,10 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             compress,
             chunk_events,
             witness,
+            reach,
+            online,
+            workers,
+            steal_seed,
         } => {
             let mut cfg = Config::new(Variant::Stint);
             if let Some(mb) = opts.max_shadow_mb {
@@ -216,6 +222,18 @@ fn run(p: Parsed, opts: &RunOpts) -> Result<bool, Failure> {
             }
             cfg.budget.max_intervals = opts.max_intervals;
             cfg.witnesses = witness;
+            cfg.reach = reach;
+            if online {
+                let ocfg = OnlineConfig {
+                    shards,
+                    workers,
+                    steal_seed,
+                    chunk_events,
+                    witnesses: witness,
+                    budget: cfg.budget,
+                };
+                return detect_online(&bench, scale, &ocfg, opts);
+            }
             if variant == VariantSel::Batch {
                 return detect_batch(&bench, scale, shards, compress, chunk_events, witness, opts);
             }
@@ -492,6 +510,47 @@ fn detect_batch(
     if let Some(path) = &opts.report_json {
         let report = out.merged.to_report();
         write_report_json(path, bench, "detect", &[("BATCH".into(), &report)]).map_err(usage)?;
+    }
+    if let Some(err) = out.degraded {
+        // Sound but incomplete, exactly like a degraded sequential run.
+        return Err(Failure::Detector(err));
+    }
+    Ok(!out.merged.is_race_free())
+}
+
+/// `detect --online-parallel`: run the benchmark once under the
+/// instrumented executor on the relabel-free DePa substrate, fanning each
+/// chunk of the instrumentation stream out over address shards on the
+/// work-stealing pool *while the program runs*. Everything printed here is
+/// a deterministic function of the program and the chunk/shard knobs — no
+/// worker count, steal seed or wall-clock time appears — so scripts
+/// byte-diff the whole stdout across pool configurations.
+fn detect_online(
+    bench: &str,
+    scale: Scale,
+    ocfg: &OnlineConfig,
+    opts: &RunOpts,
+) -> Result<bool, Failure> {
+    if opts.stats_json.is_some() {
+        return Err(usage(
+            "--stats-json is not supported with --online-parallel",
+        ));
+    }
+    let mut w = Workload::by_name(bench, scale);
+    let out = online_detect(&mut w, ocfg).map_err(Failure::Detector)?;
+    w.verify()
+        .map_err(|e| usage(format!("output verification: {e}")))?;
+    println!(
+        "online {bench}: {} events over {} strands, {} shard(s), {} merge cycle(s)",
+        out.events,
+        out.strands,
+        out.shards.len(),
+        out.chunks
+    );
+    let report = out.merged.to_report();
+    print_report(&report, 10);
+    if let Some(path) = &opts.report_json {
+        write_report_json(path, bench, "detect", &[("ONLINE".into(), &report)]).map_err(usage)?;
     }
     if let Some(err) = out.degraded {
         // Sound but incomplete, exactly like a degraded sequential run.

@@ -74,13 +74,15 @@ pub use witness::{
 
 // Re-export the substrate surface users need.
 pub use stint_cilk::{
-    run_baseline, run_reach_only, run_with_detector, BaseExec, Cilk, CilkProgram, Detector,
-    ExecCounters, Executor, NopDetector,
+    run_baseline, run_reach_only, run_with_detector, run_with_detector_r, BaseExec, Cilk,
+    CilkProgram, Detector, ExecCounters, Executor, NopDetector,
 };
 pub use stint_faults::{DetectorError, FaultPlan, Resource, ScopedPlan};
 pub use stint_ivtree::{FlatStore, Interval, IntervalStore, OpStats, Treap};
 pub use stint_obs as obs;
-pub use stint_sporder::{FrozenReach, ReachCache, Reachability, SpOrder, SpOrderO1, StrandId};
+pub use stint_sporder::{
+    DePaReach, FrozenReach, ReachCache, ReachMaint, Reachability, SpOrder, SpOrderO1, StrandId,
+};
 pub use timing::{FlushTimer, TimingMode};
 
 use std::time::Duration;
@@ -201,10 +203,36 @@ impl ResourceBudget {
     }
 }
 
+/// Which reachability substrate maintains series/parallel order during a
+/// sequential detection run. Both substrates answer every query identically
+/// (differentially enforced in `tests/prop_depa.rs`); they differ in
+/// maintenance mechanics — SP-Order relabels mutable order-maintenance
+/// lists, DePa publishes immutable depth-vector timestamps whose queries
+/// are lock-free (which is what lets `stint-batchdet`'s online mode fan
+/// detection out over a shared `&DePaReach`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReachKind {
+    /// SP-Order over the labelled OM list (the default).
+    SpOrder,
+    /// Relabel-free DePa depth-vector timestamps.
+    DePa,
+}
+
+impl ReachKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ReachKind::SpOrder => "sporder",
+            ReachKind::DePa => "depa",
+        }
+    }
+}
+
 /// Options for [`detect_with`].
 #[derive(Clone, Copy, Debug)]
 pub struct Config {
     pub variant: Variant,
+    /// Reachability substrate (default: SP-Order).
+    pub reach: ReachKind,
     /// Cap on detailed race records kept.
     pub race_cap: usize,
     /// Maintain the exact racy-word set (cheap for race-free programs; can
@@ -223,6 +251,7 @@ impl Config {
     pub fn new(variant: Variant) -> Self {
         Config {
             variant,
+            reach: ReachKind::SpOrder,
             race_cap: 10_000,
             collect_racy_words: true,
             hot: HotPath::default(),
@@ -257,6 +286,16 @@ pub fn detect<P: CilkProgram>(p: &mut P, variant: Variant) -> Outcome {
 
 /// Race detect `p` with explicit options.
 pub fn detect_with<P: CilkProgram>(p: &mut P, cfg: Config) -> Outcome {
+    match cfg.reach {
+        ReachKind::SpOrder => detect_in::<P, SpOrder>(p, cfg),
+        ReachKind::DePa => detect_in::<P, DePaReach>(p, cfg),
+    }
+}
+
+/// [`detect_with`] over an explicit reachability substrate. Every variant's
+/// detector is generic over [`Reachability`], so the substrate threads
+/// through unchanged.
+fn detect_in<P: CilkProgram, R: ReachMaint>(p: &mut P, cfg: Config) -> Outcome {
     let mut report = RaceReport::new(cfg.race_cap, cfg.collect_racy_words);
     report.set_witness_capture(cfg.witnesses);
     match cfg.variant {
@@ -264,45 +303,48 @@ pub fn detect_with<P: CilkProgram>(p: &mut P, cfg: Config) -> Outcome {
             let det = VanillaDetector::new(false, report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_traced(p, det);
+            let (ex, wall) = run_traced::<_, _, R>(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::Compiler => {
             let det = VanillaDetector::new(true, report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_traced(p, det);
+            let (ex, wall) = run_traced::<_, _, R>(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::CompRts => {
             let det = CompRtsDetector::new(report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_traced(p, det);
+            let (ex, wall) = run_traced::<_, _, R>(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::Stint => {
             let det = StintDetector::new(report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_traced(p, det);
+            let (ex, wall) = run_traced::<_, _, R>(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
         Variant::StintFlat => {
             let det = StintFlatDetector::new_flat(report)
                 .with_hot_path(cfg.hot)
                 .with_budget(cfg.budget);
-            let (ex, wall) = run_traced(p, det);
+            let (ex, wall) = run_traced::<_, _, R>(p, det);
             pack(cfg.variant, wall, ex, |d| (d.report, d.stats))
         }
     }
 }
 
-/// [`run_with_detector`] under a `detect.execute` span — the instrumented
+/// [`run_with_detector_r`] under a `detect.execute` span — the instrumented
 /// execution phase of every variant shows up as one top-level slice.
-fn run_traced<P: CilkProgram, D: Detector>(p: &mut P, det: D) -> (Executor<D>, Duration) {
+fn run_traced<P: CilkProgram, D: Detector<R>, R: ReachMaint>(
+    p: &mut P,
+    det: D,
+) -> (Executor<D, R>, Duration) {
     let _span = stint_obs::span("detect.execute");
-    run_with_detector(p, det)
+    run_with_detector_r(p, det)
 }
 
 /// Panic-safe [`detect_with`]: the whole instrumented execution runs under
@@ -319,10 +361,10 @@ pub fn try_detect_with<P: CilkProgram>(p: &mut P, cfg: Config) -> Result<Outcome
         .map_err(DetectorError::from_panic)
 }
 
-fn pack<D: Detector>(
+fn pack<D: Detector<R>, R: ReachMaint>(
     variant: Variant,
     wall: Duration,
-    ex: Executor<D>,
+    ex: Executor<D, R>,
     split: impl FnOnce(D) -> (RaceReport, DetectorStats),
 ) -> Outcome {
     let _span = stint_obs::span("detect.report");

@@ -41,7 +41,9 @@
 use stint_om::{OmList, OrderList, TwoLevelOm};
 
 mod cache;
+mod depa;
 pub use cache::ReachCache;
+pub use depa::DePaReach;
 
 // Observability (no-ops costing one relaxed load while `stint-obs` is
 // disabled). Order queries are counted at the `SpOrderImpl` layer so both
@@ -132,8 +134,84 @@ impl<L: OrderList> Reachability for SpOrderImpl<L> {
         SpOrderImpl::left_of(self, a, b)
     }
     #[inline]
+    fn order_pair(&self, a: StrandId, b: StrandId) -> (bool, bool) {
+        // Direct rank comparison: one English and one Hebrew `precedes`
+        // instead of the default's up-to-two `series` plus a `left_of`
+        // (counted as a single series-shaped query).
+        OBS_SERIES_QUERIES.incr();
+        if a == b {
+            return (false, false);
+        }
+        let (ae, ah) = self.strands[a.index()];
+        let (be, bh) = self.strands[b.index()];
+        (self.eng.precedes(ae, be), self.heb.precedes(ah, bh))
+    }
+    #[inline]
     fn parent_of(&self, s: StrandId) -> Option<StrandId> {
         SpOrderImpl::parent_of(self, s)
+    }
+}
+
+/// The *maintenance* interface of a reachability substrate: what the
+/// sequential executor (`stint-cilk`) needs to grow one alongside the
+/// running program. [`Reachability`] is the query half that detectors see;
+/// this is the construction half. Two substrates implement it:
+/// [`SpOrderImpl`] (mutable order-maintenance lists) and [`DePaReach`]
+/// (immutable depth-vector timestamps, lock-free queries).
+///
+/// The executor guarantees one call sequence per execution regardless of the
+/// substrate — `new_sync_strand` before the block's first `spawn`, a
+/// `call_enter`/`call_exit` bracket around serial calls, `child_return`
+/// after a spawned child's subcomputation finishes — so both substrates
+/// allocate identical [`StrandId`]s with identical lineage and freeze to
+/// identical rank permutations.
+pub trait ReachMaint: Reachability {
+    /// Create the substrate together with the root strand.
+    fn init() -> (Self, StrandId)
+    where
+        Self: Sized;
+    /// Create the sync strand of the sync block whose first spawn `cur` is
+    /// executing. Must precede that spawn's [`ReachMaint::spawn`].
+    fn new_sync_strand(&mut self, cur: StrandId) -> StrandId;
+    /// Register a spawn by `cur`; returns the child's first strand and the
+    /// continuation strand (pushed in that id order).
+    fn spawn(&mut self, cur: StrandId) -> SpawnStrands;
+    /// `cur` performs a serial call (fresh sync scope). Default: no-op —
+    /// SP-Order needs no frame bookkeeping.
+    fn call_enter(&mut self, _cur: StrandId) {}
+    /// The serial call returned (after its implicit sync). Default: no-op.
+    fn call_exit(&mut self, _cur: StrandId) {}
+    /// A spawned child's subcomputation finished (after its implicit sync);
+    /// `cur` is its final strand. Default: no-op.
+    fn child_return(&mut self, _cur: StrandId) {}
+    /// Number of strands registered so far.
+    fn strand_count(&self) -> usize;
+    /// Heap bytes owned by the substrate (space accounting).
+    fn heap_bytes(&self) -> u64;
+    /// Snapshot into rank permutations (with lineage).
+    fn freeze(&self) -> FrozenReach;
+}
+
+impl<L: OrderList> ReachMaint for SpOrderImpl<L> {
+    fn init() -> (Self, StrandId) {
+        SpOrderImpl::new()
+    }
+    #[inline]
+    fn new_sync_strand(&mut self, cur: StrandId) -> StrandId {
+        SpOrderImpl::new_sync_strand(self, cur)
+    }
+    #[inline]
+    fn spawn(&mut self, cur: StrandId) -> SpawnStrands {
+        SpOrderImpl::spawn(self, cur)
+    }
+    fn strand_count(&self) -> usize {
+        SpOrderImpl::strand_count(self)
+    }
+    fn heap_bytes(&self) -> u64 {
+        SpOrderImpl::heap_bytes(self)
+    }
+    fn freeze(&self) -> FrozenReach {
+        SpOrderImpl::freeze(self)
     }
 }
 

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# DePa / parallel-online smoke test: prove the substrate-equivalence and
+# determinism claims of the relabel-free online mode end to end on the real
+# CLI binary:
+#
+#  * sequential detection under `--reach depa` renders the same report as
+#    the default SP-Order substrate (wall-time lines stripped; absolute
+#    addresses canonicalized, since each process run maps the workload's
+#    heap buffers at ASLR-shifted bases);
+#  * parallel-online detection (`--online-parallel`) agrees with the
+#    sequential STINT verdict — same race-report and racy-word counts, same
+#    exit code;
+#  * the online render is byte-identical across worker counts {1, 2, 4, 8}
+#    and steal seeds at a fixed chunk size (canonicalized across processes,
+#    byte-for-byte within each run);
+#  * the degradation contract matches the sequential tiers: an injected
+#    flush panic exits 4 on both sequential and online runs, a one-interval
+#    budget exits 3, and online-only flags without `--online-parallel` are
+#    a usage error (exit 2).
+#
+# Usage: scripts/depa_smoke.sh [bench] (default: buggy-mmul)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-buggy-mmul}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cargo build --release -q -p stint-cli --bin stint-cli
+
+# Canonicalize absolute addresses: every distinct 0x… token becomes A<n> in
+# order of first appearance, so reports from different processes (different
+# heap bases) compare structurally. Wall-time lines are stripped first.
+canon() {
+    grep -v -e "wall time:" -e "access-hist time:" \
+        | awk '{
+            while (match($0, /0x[0-9a-f]+/)) {
+                tok = substr($0, RSTART, RLENGTH);
+                if (!(tok in map)) map[tok] = "A" ++n;
+                $0 = substr($0, 1, RSTART - 1) map[tok] substr($0, RSTART + RLENGTH);
+            }
+            print
+        }'
+}
+
+echo "== sequential detection: --reach depa vs --reach sporder"
+set +e
+./target/release/stint-cli detect "$BENCH" --scale test --reach sporder >"$OUT/sporder.txt"
+RC_SP=$?
+./target/release/stint-cli detect "$BENCH" --scale test --reach depa >"$OUT/depa.txt"
+RC_DP=$?
+set -e
+if [ "$RC_SP" != "$RC_DP" ]; then
+    echo "FAIL: substrates disagree on the exit code ($RC_SP vs $RC_DP)"
+    exit 1
+fi
+canon <"$OUT/sporder.txt" >"$OUT/sporder.canon"
+canon <"$OUT/depa.txt" >"$OUT/depa.canon"
+if ! diff "$OUT/sporder.canon" "$OUT/depa.canon"; then
+    echo "FAIL: --reach depa renders a different report than --reach sporder"
+    exit 1
+fi
+echo "ok: DePa and SP-Order render identical reports (exit $RC_SP)"
+
+echo "== online-parallel agrees with the sequential STINT verdict"
+set +e
+./target/release/stint-cli detect "$BENCH" --scale test --online-parallel \
+    --workers 2 >"$OUT/online.txt"
+RC_ON=$?
+set -e
+if [ "$RC_ON" != "$RC_SP" ]; then
+    echo "FAIL: online exit code $RC_ON, sequential $RC_SP"
+    exit 1
+fi
+grep "races:" "$OUT/sporder.txt" >"$OUT/seq.races"
+grep "races:" "$OUT/online.txt" >"$OUT/online.races"
+if ! diff "$OUT/seq.races" "$OUT/online.races"; then
+    echo "FAIL: online race/racy-word counts diverge from sequential STINT"
+    exit 1
+fi
+echo "ok: online verdict matches sequential STINT ($(cat "$OUT/seq.races" | tr -s ' '))"
+
+echo "== online render is byte-identical across workers and steal seeds"
+./target/release/stint-cli detect "$BENCH" --scale test --online-parallel \
+    --workers 1 --chunk-events 64 >"$OUT/w1.txt" || true
+canon <"$OUT/w1.txt" >"$OUT/w1.canon"
+for spec in "2 0" "4 0" "8 0" "2 7" "4 1234"; do
+    set -- $spec
+    W=$1; SEED=$2
+    ./target/release/stint-cli detect "$BENCH" --scale test --online-parallel \
+        --workers "$W" --steal-seed "$SEED" --chunk-events 64 >"$OUT/w.txt" || true
+    canon <"$OUT/w.txt" >"$OUT/w.canon"
+    if ! diff "$OUT/w1.canon" "$OUT/w.canon"; then
+        echo "FAIL: online render differs at workers=$W steal-seed=$SEED"
+        exit 1
+    fi
+done
+echo "ok: workers {1,2,4,8} x steal seeds render byte-identically (canonicalized)"
+
+echo "== chaos knob: injected flush panic exits 4 on both tiers"
+for extra in "" "--online-parallel --workers 2"; do
+    set +e
+    # shellcheck disable=SC2086
+    ./target/release/stint-cli detect sort --scale test $extra \
+        --fault-plan panic-at-flush=5 >/dev/null 2>"$OUT/panic.err"
+    RC=$?
+    set -e
+    if [ "$RC" != 4 ]; then
+        echo "FAIL: panic-at-flush (${extra:-sequential}) exited $RC, expected 4"
+        exit 1
+    fi
+done
+echo "ok: poisoned-session contract holds (exit 4, sequential and online)"
+
+echo "== chaos knob: one-interval budget degrades with exit 3"
+set +e
+./target/release/stint-cli detect "$BENCH" --scale test --online-parallel \
+    --workers 2 --max-intervals 1 >/dev/null 2>"$OUT/budget.err"
+RC=$?
+set -e
+if [ "$RC" != 3 ]; then
+    echo "FAIL: --max-intervals 1 under online exited $RC, expected 3"
+    exit 1
+fi
+echo "ok: budget degradation contract holds (exit 3)"
+
+echo "== usage contract: online-only flags require --online-parallel"
+set +e
+./target/release/stint-cli detect "$BENCH" --scale test --workers 4 \
+    >/dev/null 2>&1
+RC=$?
+set -e
+if [ "$RC" != 2 ]; then
+    echo "FAIL: --workers without --online-parallel exited $RC, expected 2"
+    exit 1
+fi
+echo "ok: --workers without --online-parallel is a usage error (exit 2)"
+
+echo "depa smoke passed"

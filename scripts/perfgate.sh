@@ -45,9 +45,16 @@ scripts/batch_smoke.sh
 echo "== witness smoke (emit -> verify -> tamper -> reject on the CLI)"
 scripts/witness_smoke.sh
 
+echo "== depa smoke (substrate equivalence + parallel-online determinism on the CLI)"
+scripts/depa_smoke.sh
+
 echo "== batch scalability study (sequential vs K-sharded vs streamed detection)"
 cargo run --release -q -p stint-bench --bin batch -- "${ARGS[@]}"
 cargo run --release -q -p stint-bench --bin jsoncheck -- batch BENCH_batch.json
+
+echo "== parallel-online scaling study (sequential STINT vs W-worker online over DePa)"
+cargo run --release -q -p stint-bench --bin parallel -- "${ARGS[@]}"
+cargo run --release -q -p stint-bench --bin jsoncheck -- parallel BENCH_parallel.json
 
 echo "== serve smoke (daemon transports, backpressure, ops plane, chaos soak)"
 scripts/serve_smoke.sh

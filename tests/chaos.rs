@@ -505,6 +505,172 @@ fn combined_faults_and_budgets_stay_structured() {
     }
 }
 
+/// One parallel-online detection run (`--online-parallel`) with the given
+/// shard/worker geometry, returning the same verdict shape as [`run_one`].
+fn run_online<P: CilkProgram>(mut p: P, workers: usize) -> Verdict {
+    let cfg = stint_repro::batchdet::OnlineConfig {
+        shards: 4,
+        workers,
+        steal_seed: 0,
+        chunk_events: 64,
+        witnesses: false,
+        budget: Default::default(),
+    };
+    let o = stint_repro::batchdet::online_detect(&mut p, &cfg)?;
+    Ok((o.merged.racy_words.len(), o.degraded))
+}
+
+/// Parallel-online under the injected flush panic: the poisoned-session
+/// contract is identical to the sequential tier — a structured `Poisoned`
+/// error with exit code 4, never an escaping panic and never a partial
+/// report published from a poisoned engine.
+#[test]
+fn online_injected_flush_panic_is_poisoned() {
+    let _g = lock();
+    let plan = FaultPlan {
+        panic_at_flush: Some(1),
+        ..Default::default()
+    };
+    // Sequential contract first …
+    let seq = {
+        let _plan = ScopedPlan::install(plan.clone());
+        run_one(Workload::by_name("sort", Scale::Test), Variant::Stint)
+            .expect_err("sequential: injected panic must surface")
+    };
+    assert_eq!(seq.exit_code(), 4);
+    // … then the online tier must match it for every worker count.
+    for workers in [1usize, 2, 4] {
+        let _plan = ScopedPlan::install(plan.clone());
+        let e = run_online(Workload::by_name("sort", Scale::Test), workers)
+            .expect_err("online: injected panic must surface as an error");
+        assert!(
+            matches!(e, DetectorError::Poisoned { .. }),
+            "workers={workers}: unexpected failure {e}"
+        );
+        assert_eq!(e.exit_code(), 4, "workers={workers}");
+        assert!(
+            e.to_string().contains("injected flush panic"),
+            "workers={workers}: {e}"
+        );
+    }
+}
+
+/// Parallel-online under shadow exhaustion: the degradation contract is the
+/// sequential one — clean programs never gain a false race, buggy programs
+/// either still report their races or report the degradation (exit 3);
+/// a race is never silently lost.
+#[test]
+fn online_shadow_exhaustion_degrades_soundly() {
+    let _g = lock();
+    let plans = [
+        FaultPlan {
+            shadow_page_cap: Some(2),
+            ..Default::default()
+        },
+        FaultPlan {
+            shadow_oom_at: Some(4),
+            seed: 7,
+            ..Default::default()
+        },
+    ];
+    for plan in plans {
+        for workers in [1usize, 2] {
+            {
+                let _plan = ScopedPlan::install(plan.clone());
+                let (n, degraded) = run_online(Workload::by_name("mmul", Scale::Test), workers)
+                    .expect("online: shadow faults must not abort");
+                assert_eq!(
+                    n, 0,
+                    "workers={workers}: fabricated races under shadow faults"
+                );
+                if let Some(e) = degraded {
+                    assert_eq!(e.exit_code(), 3, "workers={workers}: {e}");
+                }
+            }
+            {
+                let _plan = ScopedPlan::install(plan.clone());
+                let (n, degraded) = run_online(MmulMissingSync::new(16, 4, 7), workers)
+                    .expect("online: shadow faults must not abort");
+                assert!(
+                    n > 0 || degraded.is_some(),
+                    "workers={workers}: race silently missed without a degradation report"
+                );
+                if let Some(e) = degraded {
+                    assert_eq!(e.exit_code(), 3, "workers={workers}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Parallel-online under a shard interval budget: partial-but-sound with the
+/// structured exit-3 marker, mirroring the sequential budget contract on the
+/// buggy suite.
+#[test]
+fn online_interval_budget_degrades_soundly() {
+    let _g = lock();
+    let cfg = stint_repro::batchdet::OnlineConfig {
+        shards: 4,
+        workers: 2,
+        steal_seed: 0,
+        chunk_events: 64,
+        witnesses: false,
+        budget: stint_repro::ResourceBudget {
+            max_intervals: Some(1),
+            ..Default::default()
+        },
+    };
+    let out = stint_repro::batchdet::online_detect(&mut MmulMissingSync::new(16, 4, 7), &cfg)
+        .expect("budget trips degrade, not abort");
+    let e = out.degraded.expect("one-interval budget must degrade");
+    assert_eq!(e.exit_code(), 3, "{e}");
+    // Degradation was reported, so a truncated race set is permitted — but
+    // whatever is reported must be a subset of the true racy words.
+    let full = run_one(MmulMissingSync::new(16, 4, 7), Variant::Stint)
+        .expect("healthy run")
+        .0;
+    assert!(out.merged.racy_words.len() <= full);
+}
+
+/// Parallel-online composed with worker startup deaths: the pool degrades to
+/// fewer (ultimately zero) stealing workers and the verdict stays exact —
+/// byte-identical to the healthy online render.
+#[test]
+fn online_survives_worker_startup_panics() {
+    let _g = lock();
+    let cfg = stint_repro::batchdet::OnlineConfig {
+        shards: 4,
+        workers: 4,
+        steal_seed: 0,
+        chunk_events: 64,
+        witnesses: false,
+        budget: Default::default(),
+    };
+    let healthy = stint_repro::batchdet::online_detect(&mut MmulMissingSync::new(16, 4, 7), &cfg)
+        .expect("healthy online run");
+    assert!(!healthy.merged.racy_words.is_empty());
+    for plan in [
+        FaultPlan {
+            worker_panic_from: Some(0),
+            ..Default::default()
+        },
+        FaultPlan {
+            worker_spawn_fail_from: Some(0),
+            ..Default::default()
+        },
+    ] {
+        let _plan = ScopedPlan::install(plan);
+        let out = stint_repro::batchdet::online_detect(&mut MmulMissingSync::new(16, 4, 7), &cfg)
+            .expect("degraded pool must still complete the online run");
+        assert!(out.degraded.is_none());
+        assert_eq!(
+            out.merged.racy_words.len(),
+            healthy.merged.racy_words.len(),
+            "degraded pool changed the online verdict"
+        );
+    }
+}
+
 /// Adversarial short reads (satellite): zero-length input, EOF straight
 /// after the magic, EOF mid-header, and EOF mid-varint must all surface as
 /// a structured `CorruptTrace` from the ingest seams — never a panic, and

@@ -1,0 +1,275 @@
+//! Differential battery for the DePa reachability substrate: on random
+//! fork-join DAGs, `DePaReach` must agree bit-for-bit with `SpOrder` and with
+//! the brute-force transitive-closure oracle from `stint-spdag` on every
+//! ordered strand pair — `series`, `parallel`, `left_of` and `order_pair` —
+//! and both substrates must freeze to identical rank permutations.
+//!
+//! The battery also pins down the `order_pair` fast paths (issue #10
+//! satellite): both substrates override the trait default with direct rank
+//! comparisons, so every program additionally asserts that the override
+//! agrees with the default derivation (two `series` probes plus a `left_of`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stint_spdag::{random_func, simulate, Func, GenCfg, Stmt};
+use stint_sporder::{DePaReach, ReachMaint, Reachability, SpOrder, StrandId};
+
+/// Interpret a `Func` against any maintenance substrate, mirroring both the
+/// spdag reference simulator's strand semantics and the sequential executor's
+/// exact maintenance call sequence (`new_sync_strand` lazily before the first
+/// spawn of a block, `child_return` after a spawned child's implicit sync,
+/// `call_enter`/`call_exit` bracketing serial calls). The recorded `map`
+/// lists the substrate's strand ids in sequential order, so index `i`
+/// corresponds to spdag strand `i`.
+struct Walker<R: ReachMaint> {
+    r: R,
+    cur: StrandId,
+    map: Vec<StrandId>,
+}
+
+impl<R: ReachMaint> Walker<R> {
+    fn run(f: &Func) -> (R, Vec<StrandId>) {
+        let (r, root) = R::init();
+        let mut w = Walker {
+            r,
+            cur: root,
+            map: vec![root],
+        };
+        w.func(f);
+        (w.r, w.map)
+    }
+
+    fn func(&mut self, f: &Func) {
+        let mut sync_strand: Option<StrandId> = None;
+        let mut spawned = false;
+        for stmt in &f.0 {
+            match stmt {
+                Stmt::Compute(_) => {}
+                Stmt::Spawn(g) => {
+                    if sync_strand.is_none() {
+                        sync_strand = Some(self.r.new_sync_strand(self.cur));
+                    }
+                    spawned = true;
+                    let s = self.r.spawn(self.cur);
+                    self.cur = s.child;
+                    self.map.push(s.child);
+                    self.func(g);
+                    // The child's subcomputation (including its implicit
+                    // sync) is done; `cur` is its final strand.
+                    self.r.child_return(self.cur);
+                    self.cur = s.continuation;
+                    self.map.push(s.continuation);
+                }
+                Stmt::Sync => {
+                    if spawned {
+                        let j = sync_strand.take().unwrap();
+                        self.cur = j;
+                        self.map.push(j);
+                        spawned = false;
+                    }
+                }
+                Stmt::Call(g) => {
+                    self.r.call_enter(self.cur);
+                    self.func(g);
+                    self.r.call_exit(self.cur);
+                }
+            }
+        }
+        // Implicit sync at function end.
+        if spawned {
+            let j = sync_strand.take().unwrap();
+            self.cur = j;
+            self.map.push(j);
+        }
+    }
+}
+
+/// Delegates the three primitive queries but inherits the trait-default
+/// `order_pair`, exposing the default derivation for comparison against the
+/// substrate's direct-rank override.
+struct DefaultPair<'a, R: Reachability>(&'a R);
+
+impl<R: Reachability> Reachability for DefaultPair<'_, R> {
+    fn series(&self, a: StrandId, b: StrandId) -> bool {
+        self.0.series(a, b)
+    }
+    fn parallel(&self, a: StrandId, b: StrandId) -> bool {
+        self.0.parallel(a, b)
+    }
+    fn left_of(&self, a: StrandId, b: StrandId) -> bool {
+        self.0.left_of(a, b)
+    }
+}
+
+fn check_program(f: &Func) {
+    let sim = simulate(f);
+    let (sp, smap) = Walker::<SpOrder>::run(f);
+    let (dp, dmap) = Walker::<DePaReach>::run(f);
+    assert_eq!(
+        sim.strand_count(),
+        smap.len(),
+        "strand count mismatch between oracle and SP-Order walker"
+    );
+    assert_eq!(
+        smap, dmap,
+        "strand id allocation diverged between substrates"
+    );
+    assert_eq!(sp.strand_count(), dp.strand_count());
+
+    let n = sim.strand_count() as u32;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (sa, sb) = (smap[a as usize], smap[b as usize]);
+            let series = sim.precedes(a, b);
+            let parallel = sim.parallel(a, b);
+            assert_eq!(sp.series(sa, sb), series, "sporder series({a},{b})");
+            assert_eq!(
+                Reachability::series(&dp, sa, sb),
+                series,
+                "depa series({a},{b})"
+            );
+            assert_eq!(sp.parallel(sa, sb), parallel, "sporder parallel({a},{b})");
+            assert_eq!(
+                Reachability::parallel(&dp, sa, sb),
+                parallel,
+                "depa parallel({a},{b})"
+            );
+            let left = (parallel && a < b) || sim.precedes(b, a);
+            assert_eq!(sp.left_of(sa, sb), left, "sporder left_of({a},{b})");
+            assert_eq!(
+                Reachability::left_of(&dp, sa, sb),
+                left,
+                "depa left_of({a},{b})"
+            );
+            // The English order is the sequential order, the Hebrew order
+            // mirrors it for series pairs and reverses it for parallel ones.
+            let expect = if series {
+                (true, true)
+            } else if sim.precedes(b, a) {
+                (false, false)
+            } else {
+                (a < b, b < a)
+            };
+            let sp_pair = Reachability::order_pair(&sp, sa, sb);
+            let dp_pair = Reachability::order_pair(&dp, sa, sb);
+            assert_eq!(sp_pair, expect, "sporder order_pair({a},{b})");
+            assert_eq!(dp_pair, expect, "depa order_pair({a},{b})");
+            // Direct rank-comparison overrides must agree with the trait's
+            // default derivation.
+            assert_eq!(
+                DefaultPair(&sp).order_pair(sa, sb),
+                sp_pair,
+                "sporder order_pair({a},{b}) override vs default"
+            );
+            assert_eq!(
+                DefaultPair(&dp).order_pair(sa, sb),
+                dp_pair,
+                "depa order_pair({a},{b}) override vs default"
+            );
+        }
+    }
+
+    // Both substrates must freeze to the same rank permutations and lineage:
+    // this is what makes merged parallel-online reports byte-identical to
+    // sequential ones regardless of the substrate that produced them.
+    let fs = sp.freeze();
+    let fd = ReachMaint::freeze(&dp);
+    assert_eq!(fs.strand_count(), fd.strand_count());
+    let sr: Vec<(u32, u32)> = fs.ranks().collect();
+    let dr: Vec<(u32, u32)> = fd.ranks().collect();
+    assert_eq!(sr, dr, "frozen rank permutations diverged");
+    assert_eq!(
+        fs.parents().map(<[u32]>::to_vec),
+        fd.parents().map(<[u32]>::to_vec),
+        "frozen lineage diverged"
+    );
+    // Lineage must also agree on the live substrates.
+    for i in 0..n {
+        let s = smap[i as usize];
+        assert_eq!(
+            sp.parent_of(s),
+            Reachability::parent_of(&dp, s),
+            "parent_of({i}) diverged"
+        );
+    }
+}
+
+#[test]
+fn random_programs_match_oracle_and_sporder() {
+    let mut rng = StdRng::seed_from_u64(0xDE9A);
+    let cfg = GenCfg::default();
+    for _ in 0..400 {
+        let f = random_func(&mut rng, &cfg);
+        // Avoid quadratic blowup on the rare huge program.
+        if simulate(&f).strand_count() > 300 {
+            continue;
+        }
+        check_program(&f);
+    }
+}
+
+#[test]
+fn deep_programs_match_oracle_and_sporder() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let cfg = GenCfg {
+        max_depth: 8,
+        max_stmts: 3,
+        p_spawn: 0.5,
+        p_sync: 0.2,
+        ..GenCfg::default()
+    };
+    for _ in 0..250 {
+        let f = random_func(&mut rng, &cfg);
+        if simulate(&f).strand_count() > 300 {
+            continue;
+        }
+        check_program(&f);
+    }
+}
+
+#[test]
+fn wide_programs_match_oracle_and_sporder() {
+    let mut rng = StdRng::seed_from_u64(0x71DE);
+    let cfg = GenCfg {
+        max_depth: 2,
+        max_stmts: 12,
+        p_spawn: 0.45,
+        p_sync: 0.25,
+        ..GenCfg::default()
+    };
+    for _ in 0..250 {
+        let f = random_func(&mut rng, &cfg);
+        if simulate(&f).strand_count() > 300 {
+            continue;
+        }
+        check_program(&f);
+    }
+}
+
+/// A hand-built worst case for depth-vector maintenance: a chain of sync
+/// blocks nested through serial calls, each spawning before joining. Deep
+/// sync chains exercise DePa's era bumps and frame rebalancing far past what
+/// the random generator's depth cap reaches.
+#[test]
+fn deep_sync_chain_matches_oracle_and_sporder() {
+    // f_k = { spawn leaf; sync; call f_{k-1}; }  (f_0 = compute)
+    // Call depth and sync-chain length grow linearly (three strands per
+    // level), driving the depth vectors far deeper than GenCfg's cap.
+    let leaf = Func(vec![Stmt::Compute(vec![])]);
+    let mut f = leaf.clone();
+    for _ in 0..48 {
+        f = Func(vec![Stmt::Spawn(leaf.clone()), Stmt::Sync, Stmt::Call(f)]);
+    }
+    check_program(&f);
+
+    // A pure spawn ladder: every level spawns exactly once and immediately
+    // syncs, producing one long series chain of sync strands.
+    let mut g = Func(vec![Stmt::Compute(vec![])]);
+    for _ in 0..64 {
+        g = Func(vec![Stmt::Spawn(g), Stmt::Sync]);
+    }
+    check_program(&g);
+}

@@ -6,11 +6,24 @@
 //! shrinking: a failure here minimizes to a small witness program.
 
 use proptest::prelude::*;
+use stint::{PortableTrace, ResourceBudget, WitnessChecker};
+use stint_batchdet::{online_detect, OnlineConfig};
 use stint_repro::{detect, Variant};
 use stint_spdag::{simulate, Func, Stmt};
 
 mod common;
 use common::{func_strategy, AstProgram};
+
+fn online_cfg(workers: usize, steal_seed: u64) -> OnlineConfig {
+    OnlineConfig {
+        shards: 3,
+        workers,
+        steal_seed,
+        chunk_events: 32,
+        witnesses: false,
+        budget: ResourceBudget::default(),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -55,5 +68,64 @@ proptest! {
         prop_assert_eq!(&simulate(&spawned).racy_words(), &base);
         let got = detect(&mut AstProgram(&spawned), Variant::Stint).report.racy_words();
         prop_assert_eq!(&got, &base);
+    }
+}
+
+proptest! {
+    // Each case runs 12 full parallel-online detections (4 worker counts ×
+    // 3 steal seeds), so the case count is lower than the sweep above.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The differential battery for `--online-parallel`: racy intervals from
+    /// the concurrent DePa-backed pipeline are identical to sequential STINT
+    /// for every worker count and steal seed, and the rendered report is
+    /// byte-identical across all of them.
+    #[test]
+    fn online_parallel_matches_sequential_stint(f in func_strategy(3)) {
+        let sim = simulate(&f);
+        prop_assume!(sim.strand_count() <= 250);
+        let expected = detect(&mut AstProgram(&f), Variant::Stint).report.racy_words();
+        prop_assert_eq!(&sim.racy_words(), &expected);
+        let mut baseline: Option<String> = None;
+        for workers in [1usize, 2, 4, 8] {
+            for seed in [0u64, 0xDEAD_BEEF, 42] {
+                let out = online_detect(&mut AstProgram(&f), &online_cfg(workers, seed))
+                    .expect("online detection must not fail without faults");
+                prop_assert!(out.degraded.is_none());
+                prop_assert_eq!(
+                    &out.merged.racy_words, &expected,
+                    "workers={} seed={} diverged from sequential STINT", workers, seed
+                );
+                let render = out.merged.render();
+                match &baseline {
+                    None => baseline = Some(render),
+                    Some(b) => prop_assert_eq!(
+                        &render, b,
+                        "render not byte-identical at workers={} seed={}", workers, seed
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Witnessed parallel-online reports carry verifiable evidence: every
+    /// merged region's witness passes the independent `WitnessChecker`
+    /// against a sequentially recorded trace of the same program.
+    #[test]
+    fn online_witnesses_verify_against_recorded_trace(f in func_strategy(2)) {
+        let sim = simulate(&f);
+        prop_assume!(sim.strand_count() <= 250);
+        prop_assume!(!sim.racy_words().is_empty());
+        let mut cfg = online_cfg(2, 7);
+        cfg.witnesses = true;
+        let out = online_detect(&mut AstProgram(&f), &cfg).unwrap();
+        prop_assert!(!out.merged.regions.is_empty());
+        let pt = PortableTrace::record(&mut AstProgram(&f));
+        let checker = WitnessChecker::new(&pt.reach).with_trace(&pt.trace);
+        for r in &out.merged.regions {
+            prop_assert!(r.witness.is_some(), "merged region lost its witness");
+            let verdict = checker.check(r);
+            prop_assert!(verdict.is_ok(), "witness rejected: {:?}", verdict);
+        }
     }
 }
